@@ -1,0 +1,105 @@
+// E7 — congestion-driven two-pass routing.
+//
+// "A first-pass route of all nets would reveal congested areas ... A second
+// route of the affected nets could penalize those paths which chose the
+// congested area."
+//
+// Workload: funnel layouts where every net's shortest route dives through
+// one narrow passage although detours exist.  Table: passage overflow and
+// max occupancy before/after the second pass, and the wirelength paid.
+
+#include "bench_util.hpp"
+#include "congestion/two_pass.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+using geom::Rect;
+
+/// Two big macros with a narrow gap between them.  Pins sit on the *outer*
+/// edges, so every net's shortest route hugs a rim of the gap (congesting
+/// it), while a slightly longer detour along the routing boundary exists —
+/// the configuration the second pass is meant to exploit.
+layout::Layout funnel(std::size_t nets) {
+  const geom::Coord top = 30 + static_cast<geom::Coord>(nets) * 8 + 40;
+  layout::Layout lay(Rect{0, 0, 206, top + 20});
+  lay.set_min_separation(4);
+  const auto a = lay.add_cell(layout::Cell{"west", Rect{20, 10, 100, top}});
+  const auto b = lay.add_cell(layout::Cell{"east", Rect{106, 10, 186, top}});
+  for (std::size_t i = 0; i < nets; ++i) {
+    const geom::Coord y = 30 + static_cast<geom::Coord>(i) * 8;
+    lay.cell(a).add_pin_terminal("p" + std::to_string(i), Point{20, y});
+    lay.cell(b).add_pin_terminal("q" + std::to_string(i), Point{186, y});
+    layout::Net net("n" + std::to_string(i));
+    net.add_terminal(layout::TerminalRef{a, static_cast<std::uint32_t>(i)});
+    net.add_terminal(layout::TerminalRef{b, static_cast<std::uint32_t>(i)});
+    lay.add_net(std::move(net));
+  }
+  return lay;
+}
+
+void print_table() {
+  std::puts("E7 — two-pass congestion routing on funnel layouts");
+  std::puts("(gap capacity 3 wires at pitch 2; overflow = occupancy beyond"
+            " capacity, summed)");
+  bench::rule('-', 108);
+  std::printf("%6s | %10s %12s | %10s %12s | %9s %12s %10s\n", "nets",
+              "overflow-1", "max-occ-1", "overflow-2", "max-occ-2",
+              "rerouted", "WL pass1", "WL final");
+  bench::rule('-', 108);
+  for (const std::size_t nets : {4, 6, 8, 12}) {
+    const layout::Layout lay = funnel(nets);
+    const congestion::TwoPassRouter tp(lay);
+    congestion::TwoPassOptions opts;
+    opts.passages.wire_pitch = 2;
+    opts.penalty_dbu = 64;
+    const auto rep = tp.run(opts);
+    std::printf("%6zu | %10zu %12zu | %10zu %12zu | %9zu %12lld %10lld\n",
+                nets, rep.overflow_before, rep.max_occupancy_before,
+                rep.overflow_after, rep.max_occupancy_after,
+                rep.nets_rerouted,
+                static_cast<long long>(rep.first_pass.total_wirelength),
+                static_cast<long long>(rep.final_pass.total_wirelength));
+  }
+  bench::rule('-', 108);
+  std::puts("(the second pass trades wirelength for spread-out passages —"
+            " the paper's proposal)\n");
+}
+
+void BM_FirstPassOnly(benchmark::State& state) {
+  const layout::Layout lay = funnel(static_cast<std::size_t>(state.range(0)));
+  const route::NetlistRouter router(lay);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_all());
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " nets");
+}
+BENCHMARK(BM_FirstPassOnly)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_TwoPass(benchmark::State& state) {
+  const layout::Layout lay = funnel(static_cast<std::size_t>(state.range(0)));
+  const congestion::TwoPassRouter tp(lay);
+  congestion::TwoPassOptions opts;
+  opts.passages.wire_pitch = 2;
+  opts.penalty_dbu = 64;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tp.run(opts));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " nets");
+}
+BENCHMARK(BM_TwoPass)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_PassageExtraction(benchmark::State& state) {
+  const layout::Layout lay =
+      bench::make_workload(static_cast<std::size_t>(state.range(0)), 1024, 0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(congestion::extract_passages(lay, {}));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " cells");
+}
+BENCHMARK(BM_PassageExtraction)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

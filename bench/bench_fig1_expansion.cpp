@@ -1,0 +1,114 @@
+// E1 — Paper Figure 1: node expansion of the gridless A* line search.
+//
+// The paper's figure shows the handful of nodes the gridless algorithm
+// expands on a small general-cell example, its argument against the
+// Lee-Moore grid.  This bench reroutes the replica layout with every
+// representation/heuristic combination and reports expansions, generations,
+// OPEN high-water mark, and path length; the timed section measures each
+// method's wall clock.
+
+#include "bench_util.hpp"
+#include "core/track_graph.hpp"
+#include "grid/lee_moore.hpp"
+#include "workload/figures.hpp"
+
+namespace {
+
+using namespace gcr;
+
+struct MethodResult {
+  std::string name;
+  geom::Cost length = 0;
+  search::SearchStats stats;
+  std::size_t graph_size = 0;  // vertices materialized / grid points
+};
+
+std::vector<MethodResult> run_all() {
+  const workload::PointQuery q = workload::figure1_layout();
+  const bench::World w(q.layout);
+  std::vector<MethodResult> out;
+
+  const auto gridless = [&](search::Strategy s, const char* name) {
+    const route::GridlessRouter router(w.index, w.lines);
+    route::RouteOptions opts;
+    opts.strategy = s;
+    const auto r = router.route(q.s, q.d, opts);
+    out.push_back({name, r.length, r.stats, w.lines.lines().size()});
+  };
+  gridless(search::Strategy::kAStar, "gridless A* (paper)");
+  gridless(search::Strategy::kBestFirst, "gridless best-first (h=0)");
+
+  for (const geom::Coord pitch : {1, 2, 4}) {
+    const grid::GridGraph gg(w.index, pitch);
+    const grid::LeeMooreRouter lee(gg);
+    for (const auto& [s, tag] :
+         {std::pair{search::Strategy::kBestFirst, "Lee-Moore wave"},
+          std::pair{search::Strategy::kAStar, "grid A*"}}) {
+      const auto r = lee.route(q.s, q.d, s);
+      out.push_back({std::string(tag) + " pitch=" + std::to_string(pitch),
+                     r.length, r.stats, gg.vertex_count()});
+    }
+  }
+
+  const route::TrackGraph oracle(w.index, w.lines);
+  MethodResult tg;
+  tg.name = "explicit track graph (Dijkstra)";
+  tg.length = oracle.shortest_length(q.s, q.d);
+  tg.graph_size = oracle.vertex_count(q.s, q.d);
+  out.push_back(tg);
+  return out;
+}
+
+void print_table() {
+  std::puts("E1 / Figure 1 — node expansion on the general-cell example");
+  std::puts("(layout: 3 blocks, s=(5,40), d=(115,45); optimal length is the");
+  std::puts(" same for every admissible method — only the effort differs)");
+  bench::rule();
+  std::printf("%-34s %8s %10s %10s %9s %11s\n", "method", "length",
+              "expanded", "generated", "max-open", "graph-size");
+  bench::rule();
+  for (const MethodResult& m : run_all()) {
+    std::printf("%-34s %8lld %10zu %10zu %9zu %11zu\n", m.name.c_str(),
+                static_cast<long long>(m.length), m.stats.nodes_expanded,
+                m.stats.nodes_generated, m.stats.max_open_size, m.graph_size);
+  }
+  bench::rule();
+  std::puts("");
+}
+
+void BM_GridlessAStar(benchmark::State& state) {
+  const workload::PointQuery q = workload::figure1_layout();
+  const bench::World w(q.layout);
+  const route::GridlessRouter router(w.index, w.lines);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(q.s, q.d));
+  }
+}
+BENCHMARK(BM_GridlessAStar);
+
+void BM_LeeMooreWave(benchmark::State& state) {
+  const workload::PointQuery q = workload::figure1_layout();
+  const bench::World w(q.layout);
+  const grid::GridGraph gg(w.index, state.range(0));
+  const grid::LeeMooreRouter lee(gg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lee.route(q.s, q.d, gcr::search::Strategy::kBestFirst));
+  }
+}
+BENCHMARK(BM_LeeMooreWave)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GridAStar(benchmark::State& state) {
+  const workload::PointQuery q = workload::figure1_layout();
+  const bench::World w(q.layout);
+  const grid::GridGraph gg(w.index, state.range(0));
+  const grid::LeeMooreRouter lee(gg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lee.route(q.s, q.d, gcr::search::Strategy::kAStar));
+  }
+}
+BENCHMARK(BM_GridAStar)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

@@ -1,0 +1,156 @@
+// E5 — Hightower vs the admissible searches.
+//
+// "[The line-segment representation] greatly improved the efficiency of the
+// algorithm but caused it to fail to find some connections which could be
+// found by a Lee-Moore router.  As a result, some routers use Hightower's
+// algorithm for a quick first try, and if it fails, then the full power of
+// the Lee-Moore maze search algorithm is used."
+//
+// Table 1: success rate + effort on random layouts and on the two maze
+// families.  Table 2: the "quick first try, then maze search" pipeline cost.
+
+#include "bench_util.hpp"
+#include "grid/lee_moore.hpp"
+#include "hightower/hightower.hpp"
+#include "workload/figures.hpp"
+
+namespace {
+
+using namespace gcr;
+
+struct Scenario {
+  std::string name;
+  layout::Layout lay;
+  std::vector<std::pair<geom::Point, geom::Point>> queries;
+};
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> out;
+  for (const std::size_t cells : {8, 32, 96}) {
+    Scenario s;
+    s.name = "random " + std::to_string(cells) + " cells";
+    s.lay = bench::make_workload(cells, 768, 0, 500 + cells);
+    const bench::World w(s.lay);
+    s.queries = bench::random_queries(w, 24, 900 + cells);
+    out.push_back(std::move(s));
+  }
+  for (const std::size_t teeth : {4, 8}) {
+    const auto q = workload::comb_maze(teeth);
+    Scenario s;
+    s.name = "comb maze " + std::to_string(teeth) + " teeth";
+    s.lay = q.layout;
+    s.queries = {{q.s, q.d}};
+    out.push_back(std::move(s));
+  }
+  for (const std::size_t turns : {2, 4}) {
+    const auto q = workload::spiral_maze(turns);
+    Scenario s;
+    s.name = "spiral maze " + std::to_string(turns) + " turns";
+    s.lay = q.layout;
+    s.queries = {{q.s, q.d}};
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void print_table() {
+  std::puts("E5 — Hightower line probe vs admissible searches");
+  std::puts("(budget: 64 escape lines per try — the 'quick first try')");
+  bench::rule('-', 110);
+  std::printf("%-24s %9s | %13s %11s | %13s %13s | %11s\n", "scenario",
+              "queries", "HT success", "HT lines", "A* success",
+              "A* expanded", "len ratio");
+  bench::rule('-', 110);
+  for (const Scenario& sc : scenarios()) {
+    const bench::World w(sc.lay);
+    const hightower::HightowerRouter ht(w.index);
+    const route::GridlessRouter astar(w.index, w.lines);
+    std::size_t ht_ok = 0, astar_ok = 0;
+    double ht_lines = 0, astar_exp = 0, ratio_sum = 0;
+    std::size_t ratio_n = 0;
+    for (const auto& [a, b] : sc.queries) {
+      const auto hr = ht.route(a, b, 64);
+      const auto ar = astar.route(a, b);
+      ht_ok += hr.found ? 1 : 0;
+      astar_ok += ar.found ? 1 : 0;
+      ht_lines += static_cast<double>(hr.lines_used);
+      astar_exp += static_cast<double>(ar.stats.nodes_expanded);
+      if (hr.found && ar.found && ar.length > 0) {
+        ratio_sum += static_cast<double>(hr.length) /
+                     static_cast<double>(ar.length);
+        ++ratio_n;
+      }
+    }
+    const std::size_t n = sc.queries.size();
+    std::printf("%-24s %9zu | %10zu/%-2zu %11.1f | %10zu/%-2zu %13.1f | %11s\n",
+                sc.name.c_str(), n, ht_ok, n, ht_lines / n, astar_ok, n,
+                astar_exp / n,
+                ratio_n ? std::to_string(ratio_sum / ratio_n).substr(0, 5).c_str()
+                        : "-");
+  }
+  bench::rule('-', 110);
+  std::puts("(A* succeeds on every query; Hightower fails on the spirals and"
+            " under-budget combs,\n reproducing the paper's fallback"
+            " architecture)\n");
+}
+
+void BM_HightowerRandom(benchmark::State& state) {
+  static const bench::World w(bench::make_workload(32, 768, 0, 532));
+  static const auto queries = bench::random_queries(w, 24, 932);
+  const hightower::HightowerRouter ht(w.index);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ht.route(queries[i].first, queries[i].second, 64));
+    i = (i + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_HightowerRandom);
+
+void BM_GridlessAStarRandom(benchmark::State& state) {
+  static const bench::World w(bench::make_workload(32, 768, 0, 532));
+  static const auto queries = bench::random_queries(w, 24, 932);
+  const route::GridlessRouter router(w.index, w.lines);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(queries[i].first, queries[i].second));
+    i = (i + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_GridlessAStarRandom);
+
+void BM_QuickTryThenMaze(benchmark::State& state) {
+  // The historical pipeline: try Hightower; on failure, fall back.
+  static const bench::World w(bench::make_workload(32, 768, 0, 532));
+  static const auto queries = bench::random_queries(w, 24, 932);
+  const hightower::HightowerRouter ht(w.index);
+  const route::GridlessRouter fallback(w.index, w.lines);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto hr = ht.route(queries[i].first, queries[i].second, 64);
+    if (!hr.found) {
+      benchmark::DoNotOptimize(
+          fallback.route(queries[i].first, queries[i].second));
+    }
+    benchmark::DoNotOptimize(hr);
+    i = (i + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_QuickTryThenMaze);
+
+void BM_LeeMooreFallback(benchmark::State& state) {
+  static const bench::World w(bench::make_workload(32, 768, 0, 532));
+  static const auto queries = bench::random_queries(w, 24, 932);
+  const grid::GridGraph gg(w.index, 4);
+  const grid::LeeMooreRouter lee(gg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lee.route(queries[i].first, queries[i].second,
+                                       search::Strategy::kBestFirst));
+    i = (i + 1) % queries.size();
+  }
+}
+BENCHMARK(BM_LeeMooreFallback);
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

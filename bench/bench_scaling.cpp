@@ -1,0 +1,129 @@
+// E4 — scaling: "Using the grid-based approach tends to require large
+// amounts of memory and processor time since so many nodes are expanded";
+// the gridless representation's effort scales with the number of cells, not
+// the routing area.
+//
+// Sweep: cell count x routing extent; per configuration, the table reports
+// average expansions and memory proxies (grid vertices vs escape lines) for
+// the gridless A* against Lee-Moore at pitch 1 and 4.  The timed section
+// measures both routers across the sweep.
+
+#include "bench_util.hpp"
+#include "grid/lee_moore.hpp"
+
+namespace {
+
+using namespace gcr;
+
+constexpr std::size_t kQueries = 8;
+
+struct Config {
+  std::size_t cells;
+  geom::Coord extent;
+};
+
+const std::vector<Config> kConfigs = {
+    {4, 256}, {16, 512}, {64, 1024}, {256, 2048}};
+
+void print_table() {
+  std::puts("E4 — effort and memory scaling: gridless vs grid");
+  std::printf("(%zu random queries per configuration; averages)\n", kQueries);
+  bench::rule('-', 112);
+  std::printf("%6s %7s | %12s %12s | %14s %14s | %14s %14s\n", "cells",
+              "extent", "gridless-exp", "esc-lines", "grid1-expanded",
+              "grid1-verts", "grid4-expanded", "grid4-verts");
+  bench::rule('-', 112);
+  for (const Config& cfg : kConfigs) {
+    const bench::World w(
+        bench::make_workload(cfg.cells, cfg.extent, 0, 1000 + cfg.cells));
+    const auto queries = bench::random_queries(w, kQueries, 31 + cfg.cells);
+
+    const route::GridlessRouter router(w.index, w.lines);
+    double gridless_exp = 0;
+    for (const auto& [a, b] : queries) {
+      gridless_exp += static_cast<double>(router.route(a, b).stats.nodes_expanded);
+    }
+
+    double grid_exp[2] = {0, 0};
+    std::size_t grid_verts[2] = {0, 0};
+    const geom::Coord pitches[2] = {1, 4};
+    for (int k = 0; k < 2; ++k) {
+      const grid::GridGraph gg(w.index, pitches[k]);
+      grid_verts[k] = gg.vertex_count();
+      const grid::LeeMooreRouter lee(gg);
+      for (const auto& [a, b] : queries) {
+        grid_exp[k] += static_cast<double>(
+            lee.route(a, b, search::Strategy::kBestFirst).stats.nodes_expanded);
+      }
+    }
+    std::printf("%6zu %7lld | %12.1f %12zu | %14.1f %14zu | %14.1f %14zu\n",
+                cfg.cells, static_cast<long long>(cfg.extent),
+                gridless_exp / kQueries, w.lines.lines().size(),
+                grid_exp[0] / kQueries, grid_verts[0], grid_exp[1] / kQueries,
+                grid_verts[1]);
+  }
+  bench::rule('-', 112);
+  std::puts("(the gridless column grows with cells; the grid columns grow "
+            "with area — the paper's memory/time argument)\n");
+}
+
+void BM_GridlessScaling(benchmark::State& state) {
+  const Config cfg = kConfigs[static_cast<std::size_t>(state.range(0))];
+  const bench::World w(
+      bench::make_workload(cfg.cells, cfg.extent, 0, 1000 + cfg.cells));
+  const auto queries = bench::random_queries(w, kQueries, 31 + cfg.cells);
+  const route::GridlessRouter router(w.index, w.lines);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(queries[i].first, queries[i].second));
+    i = (i + 1) % queries.size();
+  }
+  state.SetLabel(std::to_string(cfg.cells) + " cells / " +
+                 std::to_string(cfg.extent) + " dbu");
+}
+BENCHMARK(BM_GridlessScaling)->DenseRange(0, 3);
+
+void BM_LeeMooreScaling(benchmark::State& state) {
+  const Config cfg = kConfigs[static_cast<std::size_t>(state.range(0))];
+  const bench::World w(
+      bench::make_workload(cfg.cells, cfg.extent, 0, 1000 + cfg.cells));
+  const auto queries = bench::random_queries(w, kQueries, 31 + cfg.cells);
+  const grid::GridGraph gg(w.index, 4);
+  const grid::LeeMooreRouter lee(gg);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lee.route(queries[i].first, queries[i].second,
+                                       search::Strategy::kBestFirst));
+    i = (i + 1) % queries.size();
+  }
+  state.SetLabel(std::to_string(cfg.cells) + " cells / pitch 4");
+}
+BENCHMARK(BM_LeeMooreScaling)->DenseRange(0, 3);
+
+void BM_EscapeLineConstruction(benchmark::State& state) {
+  const Config cfg = kConfigs[static_cast<std::size_t>(state.range(0))];
+  const layout::Layout lay =
+      bench::make_workload(cfg.cells, cfg.extent, 0, 1000 + cfg.cells);
+  const spatial::ObstacleIndex index(lay.boundary(), lay.obstacles());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spatial::EscapeLineSet(index));
+  }
+  state.SetLabel(std::to_string(cfg.cells) + " cells");
+}
+BENCHMARK(BM_EscapeLineConstruction)->DenseRange(0, 3);
+
+void BM_GridConstruction(benchmark::State& state) {
+  const Config cfg = kConfigs[static_cast<std::size_t>(state.range(0))];
+  const layout::Layout lay =
+      bench::make_workload(cfg.cells, cfg.extent, 0, 1000 + cfg.cells);
+  const spatial::ObstacleIndex index(lay.boundary(), lay.obstacles());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid::GridGraph(index, 1));
+  }
+  state.SetLabel(std::to_string(cfg.cells) + " cells / pitch 1");
+}
+BENCHMARK(BM_GridConstruction)->DenseRange(0, 3);
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

@@ -1,0 +1,130 @@
+// E3 — the search-strategy taxonomy and the Lee-Moore special case.
+//
+// Claims reproduced:
+//   * "Lee-Moore is the general search algorithm with grid successors and
+//     h = 0" — grid best-first and grid BFS expand comparably and find equal
+//     lengths;
+//   * "The best-first algorithm can show a dramatic improvement in time and
+//     space efficiency over blind searches such as depth-first and
+//     breadth-first";
+//   * the Manhattan heuristic (A*) prunes further still.
+// Table: average expansions / generations / OPEN peak / length-optimality
+// per strategy over a fixed query set on a random 16-cell layout.
+
+#include "bench_util.hpp"
+#include "grid/lee_moore.hpp"
+
+namespace {
+
+using namespace gcr;
+
+constexpr std::size_t kQueries = 12;
+
+struct Row {
+  std::string name;
+  double expanded = 0, generated = 0, open = 0;
+  std::size_t optimal = 0, found = 0;
+};
+
+void accumulate(Row& row, const search::SearchStats& st, bool found,
+                bool optimal) {
+  row.expanded += static_cast<double>(st.nodes_expanded);
+  row.generated += static_cast<double>(st.nodes_generated);
+  row.open += static_cast<double>(st.max_open_size);
+  row.found += found ? 1 : 0;
+  row.optimal += optimal ? 1 : 0;
+}
+
+std::vector<Row> run_all() {
+  const bench::World w(bench::make_workload(16, 512, 0, /*seed=*/42));
+  const auto queries = bench::random_queries(w, kQueries, 77);
+
+  // Optimal lengths from the gridless A* (cross-validated in the tests).
+  const route::GridlessRouter router(w.index, w.lines);
+  std::vector<geom::Cost> optimum;
+  for (const auto& [a, b] : queries) {
+    optimum.push_back(router.route(a, b).length);
+  }
+
+  std::vector<Row> rows;
+  // Gridless strategies.
+  for (const auto& [s, name] :
+       {std::pair{search::Strategy::kAStar, "gridless A* (paper)"},
+        std::pair{search::Strategy::kBestFirst, "gridless best-first"},
+        std::pair{search::Strategy::kGreedy, "gridless greedy (h only)"},
+        std::pair{search::Strategy::kBreadthFirst, "gridless breadth-first"},
+        std::pair{search::Strategy::kDepthFirst, "gridless depth-first"}}) {
+    Row row{name, 0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      route::RouteOptions opts;
+      opts.strategy = s;
+      opts.max_expansions = 2'000'000;
+      const auto r = router.route(queries[i].first, queries[i].second, opts);
+      accumulate(row, r.stats, r.found, r.found && r.length == optimum[i]);
+    }
+    rows.push_back(row);
+  }
+  // Grid strategies (pitch 4 keeps the blind ones tractable).
+  const grid::GridGraph gg(w.index, 4);
+  const grid::LeeMooreRouter lee(gg);
+  for (const auto& [s, name] :
+       {std::pair{search::Strategy::kBestFirst, "grid best-first = Lee-Moore"},
+        std::pair{search::Strategy::kBreadthFirst, "grid BFS (classic wave)"},
+        std::pair{search::Strategy::kAStar, "grid A*"}}) {
+    Row row{name, 0, 0, 0, 0, 0};
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto r = lee.route(queries[i].first, queries[i].second, s);
+      // Grid lengths are pitch-quantized; count "optimal" as within one
+      // grid step per bend of the gridless optimum.
+      const bool near_opt =
+          r.found && r.length + 8 * 4 >= optimum[i] && r.length >= optimum[i] - 8 * 4;
+      accumulate(row, r.stats, r.found, near_opt);
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void print_table() {
+  std::puts("E3 — strategy taxonomy: blind vs best-first vs heuristic search");
+  std::printf("(16 random macros, %zu queries; averages per query)\n",
+              kQueries);
+  bench::rule();
+  std::printf("%-30s %10s %11s %9s %8s %8s\n", "strategy", "expanded",
+              "generated", "max-open", "found", "optimal");
+  bench::rule();
+  for (const Row& r : run_all()) {
+    std::printf("%-30s %10.1f %11.1f %9.1f %5zu/%-2zu %5zu/%-2zu\n",
+                r.name.c_str(), r.expanded / kQueries, r.generated / kQueries,
+                r.open / kQueries, r.found, kQueries, r.optimal, kQueries);
+  }
+  bench::rule();
+  std::puts("");
+}
+
+void BM_Strategy(benchmark::State& state) {
+  static const bench::World w(bench::make_workload(16, 512, 0, 42));
+  static const auto queries = bench::random_queries(w, kQueries, 77);
+  const route::GridlessRouter router(w.index, w.lines);
+  const auto strat = static_cast<search::Strategy>(state.range(0));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    route::RouteOptions opts;
+    opts.strategy = strat;
+    opts.max_expansions = 2'000'000;
+    benchmark::DoNotOptimize(
+        router.route(queries[i].first, queries[i].second, opts));
+    i = (i + 1) % queries.size();
+  }
+  state.SetLabel(std::string(to_string(strat)));
+}
+BENCHMARK(BM_Strategy)
+    ->Arg(static_cast<int>(search::Strategy::kAStar))
+    ->Arg(static_cast<int>(search::Strategy::kBestFirst))
+    ->Arg(static_cast<int>(search::Strategy::kGreedy))
+    ->Arg(static_cast<int>(search::Strategy::kBreadthFirst))
+    ->Arg(static_cast<int>(search::Strategy::kDepthFirst));
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

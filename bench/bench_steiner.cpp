@@ -1,0 +1,135 @@
+// E6 — multi-terminal nets: the Steiner approximation.
+//
+// "Multi-terminal nets are accommodated by approximating a Steiner tree with
+// an adaptation of Dijkstra's minimum spanning tree algorithm.  The
+// modification ... considers all line segments in the spanning tree being
+// built as potential connection points.  A spanning tree would only consider
+// the pins (vertices)."
+//
+// Table: wirelength of the segment-connecting tree vs the pins-only
+// spanning tree vs the HPWL lower bound, by terminal count; plus the
+// effect of multi-pin terminals.
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+
+constexpr std::size_t kNetsPerK = 20;
+
+/// Half-perimeter wirelength of the terminal pins: a classic lower bound on
+/// any connecting tree.
+geom::Cost hpwl(const std::vector<std::vector<Point>>& terminals) {
+  geom::Rect box;
+  for (const auto& pins : terminals) {
+    for (const Point& p : pins) box = box.hull(p);
+  }
+  return box.half_perimeter();
+}
+
+std::vector<std::vector<Point>> random_net(const bench::World& w,
+                                           std::mt19937_64& rng,
+                                           std::size_t terminals) {
+  std::uniform_int_distribution<geom::Coord> c(0, w.lay.boundary().xhi);
+  std::vector<std::vector<Point>> out;
+  for (std::size_t t = 0; t < terminals; ++t) {
+    Point p{c(rng), c(rng)};
+    while (!w.index.routable(p)) p = Point{c(rng), c(rng)};
+    out.push_back({p});
+  }
+  return out;
+}
+
+void print_table() {
+  std::puts("E6 — Steiner approximation: segments as connection points");
+  std::printf("(random 24-cell layout, %zu nets per terminal count)\n",
+              kNetsPerK);
+  bench::rule('-', 104);
+  std::printf("%10s | %14s %14s %12s | %15s %15s\n", "terminals",
+              "steiner-WL", "spanning-WL", "saving", "steiner/HPWL",
+              "spanning/HPWL");
+  bench::rule('-', 104);
+
+  const bench::World w(bench::make_workload(24, 640, 0, 60));
+  const route::SteinerNetRouter router(w.index, w.lines);
+  for (const std::size_t k : {3, 4, 5, 8, 10}) {
+    std::mt19937_64 rng(7000 + k);
+    double st_sum = 0, sp_sum = 0, st_ratio = 0, sp_ratio = 0;
+    for (std::size_t n = 0; n < kNetsPerK; ++n) {
+      const auto terminals = random_net(w, rng, k);
+      const auto steiner = router.route_terminals(terminals);
+      route::SteinerOptions pins_only;
+      pins_only.connect_to_segments = false;
+      const auto spanning = router.route_terminals(terminals, pins_only);
+      const double lb = static_cast<double>(hpwl(terminals));
+      st_sum += static_cast<double>(steiner.wirelength);
+      sp_sum += static_cast<double>(spanning.wirelength);
+      st_ratio += static_cast<double>(steiner.wirelength) / lb;
+      sp_ratio += static_cast<double>(spanning.wirelength) / lb;
+    }
+    std::printf("%10zu | %14.1f %14.1f %11.1f%% | %15.3f %15.3f\n", k,
+                st_sum / kNetsPerK, sp_sum / kNetsPerK,
+                100.0 * (sp_sum - st_sum) / sp_sum, st_ratio / kNetsPerK,
+                sp_ratio / kNetsPerK);
+  }
+  bench::rule('-', 104);
+
+  // Multi-pin terminals: equivalent pins shorten trees further.
+  std::puts("multi-pin terminals (paper extension): each terminal offers 2");
+  std::puts("pins on opposite block sides; the router exploits whichever is");
+  std::puts("cheaper and feeds later connections through connected pins.");
+  std::mt19937_64 rng(4242);
+  std::uniform_int_distribution<geom::Coord> c(0, w.lay.boundary().xhi);
+  double single = 0, multi = 0;
+  for (std::size_t n = 0; n < kNetsPerK; ++n) {
+    std::vector<std::vector<Point>> one_pin, two_pin;
+    for (std::size_t t = 0; t < 4; ++t) {
+      Point p{c(rng), c(rng)};
+      while (!w.index.routable(p)) p = Point{c(rng), c(rng)};
+      Point q{c(rng), c(rng)};
+      while (!w.index.routable(q)) q = Point{c(rng), c(rng)};
+      one_pin.push_back({p});
+      two_pin.push_back({p, q});
+    }
+    single += static_cast<double>(router.route_terminals(one_pin).wirelength);
+    multi += static_cast<double>(router.route_terminals(two_pin).wirelength);
+  }
+  std::printf("  avg wirelength: single-pin %.1f vs multi-pin %.1f "
+              "(%.1f%% shorter)\n\n",
+              single / kNetsPerK, multi / kNetsPerK,
+              100.0 * (single - multi) / single);
+}
+
+void BM_SteinerNet(benchmark::State& state) {
+  static const bench::World w(bench::make_workload(24, 640, 0, 60));
+  const route::SteinerNetRouter router(w.index, w.lines);
+  std::mt19937_64 rng(8000 + static_cast<std::uint64_t>(state.range(0)));
+  const auto terminals =
+      random_net(w, rng, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_terminals(terminals));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " terminals");
+}
+BENCHMARK(BM_SteinerNet)->Arg(3)->Arg(5)->Arg(8)->Arg(10);
+
+void BM_SpanningNet(benchmark::State& state) {
+  static const bench::World w(bench::make_workload(24, 640, 0, 60));
+  const route::SteinerNetRouter router(w.index, w.lines);
+  std::mt19937_64 rng(8000 + static_cast<std::uint64_t>(state.range(0)));
+  const auto terminals =
+      random_net(w, rng, static_cast<std::size_t>(state.range(0)));
+  route::SteinerOptions pins_only;
+  pins_only.connect_to_segments = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_terminals(terminals, pins_only));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " terminals, pins only");
+}
+BENCHMARK(BM_SpanningNet)->Arg(3)->Arg(5)->Arg(8)->Arg(10);
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

@@ -1,0 +1,175 @@
+// gcr_route — command-line global router.
+//
+//   $ gcr_route chip.txt [options]
+//     --mode independent|sequential|twopass   (default independent)
+//     --svg FILE          write an SVG of the routed chip
+//     --routes FILE       write the route dump
+//     --verify            run the independent route verifier
+//     --feedback          run the placement-adjustment feedback loop first
+//     --stats             print per-net statistics
+//
+// Reads a layout in the text interchange format (see io/text_format.hpp),
+// routes every net with the gridless A* global router, and reports.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "congestion/two_pass.hpp"
+#include "io/route_dump.hpp"
+#include "io/svg.hpp"
+#include "io/text_format.hpp"
+#include "placement/feedback_loop.hpp"
+#include "verify/route_verifier.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s layout.txt [--mode independent|sequential|twopass]\n"
+               "       [--svg FILE] [--routes FILE] [--verify] [--feedback]\n"
+               "       [--stats]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gcr;
+  if (argc < 2) return usage(argv[0]);
+
+  std::string mode = "independent";
+  std::string svg_file, routes_file;
+  bool do_verify = false, do_feedback = false, do_stats = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--mode") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      mode = v;
+    } else if (arg == "--svg") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      svg_file = v;
+    } else if (arg == "--routes") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      routes_file = v;
+    } else if (arg == "--verify") {
+      do_verify = true;
+    } else if (arg == "--feedback") {
+      do_feedback = true;
+    } else if (arg == "--stats") {
+      do_stats = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  // --- Load and validate.
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  layout::Layout chip;
+  try {
+    chip = io::read_layout(in);
+  } catch (const io::ParseError& e) {
+    std::fprintf(stderr, "%s: %s\n", argv[1], e.what());
+    return 1;
+  }
+  const auto issues = chip.validate();
+  for (const auto& issue : issues) {
+    std::fprintf(stderr, "layout: %.*s — %s\n",
+                 static_cast<int>(layout::to_string(issue.kind).size()),
+                 layout::to_string(issue.kind).data(), issue.detail.c_str());
+  }
+  if (!issues.empty()) return 1;
+  std::printf("%s: %zu cells, %zu pins, %zu nets\n", argv[1],
+              chip.cells().size(), chip.pin_count(), chip.nets().size());
+
+  // --- Optional placement feedback.
+  if (do_feedback) {
+    const auto report = placement::run_feedback(chip);
+    std::printf("feedback: %zu iterations, %s\n", report.iterations,
+                report.converged ? "converged" : "NOT converged");
+    chip = report.final_layout;
+  }
+
+  // --- Route.
+  const auto t0 = std::chrono::steady_clock::now();
+  route::NetlistResult result;
+  if (mode == "twopass") {
+    const congestion::TwoPassRouter router(chip);
+    const auto rep = router.run();
+    std::printf("two-pass: overflow %zu -> %zu, %zu nets rerouted\n",
+                rep.overflow_before, rep.overflow_after, rep.nets_rerouted);
+    result = rep.final_pass;
+  } else {
+    route::NetlistOptions opts;
+    if (mode == "sequential") {
+      opts.mode = route::NetlistMode::kSequential;
+    } else if (mode != "independent") {
+      return usage(argv[0]);
+    }
+    const route::NetlistRouter router(chip);
+    result = router.route_all(opts);
+  }
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  std::printf("routed %zu/%zu nets, wirelength %lld, %.1f ms, "
+              "%zu nodes expanded\n",
+              result.routed, chip.nets().size(),
+              static_cast<long long>(result.total_wirelength), ms,
+              result.stats.nodes_expanded);
+
+  if (do_stats) {
+    std::printf("%-16s %10s %10s %8s %10s\n", "net", "wirelength", "segments",
+                "bends", "expanded");
+    for (std::size_t n = 0; n < result.routes.size(); ++n) {
+      const auto& nr = result.routes[n];
+      std::size_t bends = 0;
+      for (const auto& conn : nr.connections) bends += conn.bend_count();
+      std::printf("%-16s %10lld %10zu %8zu %10zu%s\n",
+                  chip.nets()[n].name().c_str(),
+                  static_cast<long long>(nr.wirelength), nr.segments.size(),
+                  bends, nr.stats.nodes_expanded, nr.ok ? "" : "  FAILED");
+    }
+  }
+
+  // --- Verify / export.
+  int exit_code = 0;
+  if (do_verify) {
+    const auto violations = verify::verify_routes(chip, result);
+    if (violations.empty()) {
+      std::puts("verify: clean");
+    } else {
+      for (const auto& v : violations) {
+        std::printf("verify: net %zu %.*s — %s\n", v.net,
+                    static_cast<int>(verify::to_string(v.kind).size()),
+                    verify::to_string(v.kind).data(), v.detail.c_str());
+      }
+      exit_code = 1;
+    }
+  }
+  if (!routes_file.empty()) {
+    std::ofstream out(routes_file);
+    io::write_routes(out, chip, result);
+    std::printf("wrote %s\n", routes_file.c_str());
+  }
+  if (!svg_file.empty()) {
+    if (io::save_svg(svg_file, chip, &result)) {
+      std::printf("wrote %s\n", svg_file.c_str());
+    }
+  }
+  return exit_code;
+}

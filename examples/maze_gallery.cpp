@@ -1,0 +1,61 @@
+// Maze gallery: renders the paper-figure replicas and the maze workloads as
+// SVGs, each with its optimal gridless route drawn in — quick visual
+// confirmation of what the benchmarks measure.
+//
+//   $ ./maze_gallery [output_dir]
+
+#include <cstdio>
+#include <string>
+
+#include "core/gridless_router.hpp"
+#include "io/svg.hpp"
+#include "workload/figures.hpp"
+
+namespace {
+
+using namespace gcr;
+
+bool render(const workload::PointQuery& q, const std::string& path) {
+  const spatial::ObstacleIndex index(q.layout.boundary(), q.layout.obstacles());
+  const spatial::EscapeLineSet lines(index);
+  const route::GridlessRouter router(index, lines);
+  const auto r = router.route(q.s, q.d);
+
+  // Wrap the single route as a one-net result so the SVG writer draws it.
+  route::NetlistResult result;
+  route::NetRoute nr;
+  nr.ok = r.found;
+  nr.segments = r.segments();
+  nr.wirelength = r.length;
+  result.routes.push_back(std::move(nr));
+
+  if (!io::save_svg(path, q.layout, &result,
+                    {.scale = 4.0, .draw_pins = false,
+                     .draw_cell_names = false})) {
+    return false;
+  }
+  std::printf("%-22s route %s, length %lld (manhattan %lld), %zu expanded\n",
+              path.c_str(), r.found ? "found" : "NOT FOUND",
+              static_cast<long long>(r.length),
+              static_cast<long long>(manhattan(q.s, q.d)),
+              r.stats.nodes_expanded);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? std::string(argv[1]) + "/" : "";
+  bool ok = true;
+  ok &= render(workload::figure1_layout(), dir + "figure1.svg");
+  ok &= render(workload::inverted_corner_layout(), dir + "figure2.svg");
+  for (const std::size_t teeth : {4, 8}) {
+    ok &= render(workload::comb_maze(teeth),
+                 dir + "comb" + std::to_string(teeth) + ".svg");
+  }
+  for (const std::size_t turns : {2, 4}) {
+    ok &= render(workload::spiral_maze(turns),
+                 dir + "spiral" + std::to_string(turns) + ".svg");
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,130 @@
+// State-space search beyond routing: the 8-puzzle.
+//
+// The paper grounds its router in AI state-space search: "Much of the early
+// work has concentrated on games such as chess, checkers, and the
+// 15-puzzle."  This example drives the very same Searcher the router uses —
+// same OPEN/CLOSED lists, same strategies — on the 8-puzzle, with the
+// Manhattan-distance-of-tiles heuristic playing the role the rectilinear
+// distance plays in routing.
+//
+//   $ ./puzzle_search
+
+#include <array>
+#include <cstdio>
+#include <random>
+
+#include "search/searcher.hpp"
+
+namespace {
+
+using gcr::geom::Cost;
+using gcr::search::SearchOptions;
+using gcr::search::Strategy;
+using gcr::search::Successor;
+
+/// A 3x3 board; value 0 is the blank.  Encoded in a single int for hashing.
+struct Board {
+  std::array<std::uint8_t, 9> t{};
+
+  friend constexpr auto operator<=>(const Board&, const Board&) = default;
+
+  [[nodiscard]] std::size_t blank() const {
+    for (std::size_t i = 0; i < 9; ++i) {
+      if (t[i] == 0) return i;
+    }
+    return 9;
+  }
+};
+
+struct BoardHash {
+  std::size_t operator()(const Board& b) const noexcept {
+    std::size_t h = 0;
+    for (const auto v : b.t) h = h * 11 + v;
+    return h;
+  }
+};
+
+const Board kGoal{{1, 2, 3, 4, 5, 6, 7, 8, 0}};
+
+struct PuzzleSpace {
+  using State = Board;
+
+  void successors(const State& s, std::vector<Successor<State>>& out) const {
+    const std::size_t b = s.blank();
+    const int r = static_cast<int>(b) / 3;
+    const int c = static_cast<int>(b) % 3;
+    static constexpr int kDr[4] = {1, -1, 0, 0};
+    static constexpr int kDc[4] = {0, 0, 1, -1};
+    for (int k = 0; k < 4; ++k) {
+      const int nr = r + kDr[k];
+      const int nc = c + kDc[k];
+      if (nr < 0 || nr > 2 || nc < 0 || nc > 2) continue;
+      Board nxt = s;
+      std::swap(nxt.t[b], nxt.t[static_cast<std::size_t>(nr * 3 + nc)]);
+      out.push_back({nxt, 1});
+    }
+  }
+
+  /// Sum of tile Manhattan distances — admissible, exactly as the
+  /// rectilinear distance is for wires.
+  [[nodiscard]] Cost heuristic(const State& s) const {
+    Cost h = 0;
+    for (int i = 0; i < 9; ++i) {
+      const int v = s.t[static_cast<std::size_t>(i)];
+      if (v == 0) continue;
+      const int goal = v - 1;
+      h += std::abs(i / 3 - goal / 3) + std::abs(i % 3 - goal % 3);
+    }
+    return h;
+  }
+
+  [[nodiscard]] bool is_goal(const State& s) const { return s == kGoal; }
+};
+
+Board scramble(int moves, std::uint64_t seed) {
+  PuzzleSpace space;
+  Board b = kGoal;
+  std::mt19937_64 rng(seed);
+  std::vector<Successor<Board>> succ;
+  for (int i = 0; i < moves; ++i) {
+    succ.clear();
+    space.successors(b, succ);
+    b = succ[rng() % succ.size()].state;
+  }
+  return b;
+}
+
+}  // namespace
+
+// The generic engine hashes states with std::hash; provide it for Board.
+template <>
+struct std::hash<Board> {
+  std::size_t operator()(const Board& b) const noexcept {
+    return BoardHash{}(b);
+  }
+};
+
+int main() {
+  PuzzleSpace space;
+  std::puts("8-puzzle via the router's search engine");
+  std::printf("%-14s %10s %12s %10s %8s\n", "strategy", "moves", "expanded",
+              "generated", "found");
+  for (const int difficulty : {15, 40, 120}) {
+    const Board start = scramble(difficulty, 1234);
+    for (const Strategy s :
+         {Strategy::kAStar, Strategy::kBestFirst, Strategy::kBreadthFirst}) {
+      SearchOptions opts;
+      opts.strategy = s;
+      opts.max_expansions = 500000;
+      const auto r = gcr::search::find_path(space, start, opts);
+      std::printf("%-14s %10zu %12zu %10zu %8s  (scramble %d)\n",
+                  std::string(to_string(s)).c_str(),
+                  r.found ? r.path.size() - 1 : 0, r.stats.nodes_expanded,
+                  r.stats.nodes_generated, r.found ? "yes" : "no",
+                  difficulty);
+    }
+  }
+  std::puts("\n(A* expands a fraction of the blind searches' nodes — the same"
+            "\n effect the gridless router exploits on the routing plane)");
+  return 0;
+}

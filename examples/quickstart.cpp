@@ -1,0 +1,73 @@
+// Quickstart: build a small general-cell layout, route one net gridlessly,
+// and print the result — the five-minute tour of the public API.
+//
+//   $ ./quickstart
+//
+// Steps: (1) describe the layout (cells, pins, a net), (2) validate the
+// placement rules, (3) build the spatial structures, (4) route with the
+// gridless A* line search, (5) inspect the path and search statistics.
+
+#include <cstdio>
+
+#include "core/gridless_router.hpp"
+#include "core/steiner.hpp"
+#include "layout/layout.hpp"
+
+int main() {
+  using namespace gcr;
+  using geom::Point;
+  using geom::Rect;
+
+  // 1. A 200x160 routing region with three rectangular macros.
+  layout::Layout chip(Rect{0, 0, 200, 160});
+  chip.set_min_separation(8);
+  const auto alu = chip.add_cell(layout::Cell{"alu", Rect{20, 20, 80, 90}});
+  const auto rom = chip.add_cell(layout::Cell{"rom", Rect{100, 40, 150, 120}});
+  const auto io = chip.add_cell(layout::Cell{"io", Rect{160, 20, 190, 60}});
+
+  // Pins live on cell boundaries; a net ties three terminals together.
+  chip.cell(alu).add_pin_terminal("out", Point{80, 60});
+  chip.cell(rom).add_pin_terminal("in", Point{100, 80});
+  chip.cell(io).add_pin_terminal("d0", Point{160, 40});
+  layout::Net net("data0");
+  net.add_terminal(layout::TerminalRef{alu, 0});
+  net.add_terminal(layout::TerminalRef{rom, 0});
+  net.add_terminal(layout::TerminalRef{io, 0});
+  chip.add_net(std::move(net));
+
+  // 2. Placement-rule validation (rectangular, orthogonal, separated).
+  for (const auto& issue : chip.validate()) {
+    std::printf("validation: %s — %s\n",
+                std::string(layout::to_string(issue.kind)).c_str(),
+                issue.detail.c_str());
+  }
+  if (!chip.valid()) return 1;
+
+  // 3. Spatial structures: the obstacle index (ray tracing) and the escape
+  //    lines (where optimal routes bend).
+  const spatial::ObstacleIndex index(chip.boundary(), chip.obstacles());
+  const spatial::EscapeLineSet lines(index);
+  std::printf("obstacles: %zu, escape lines: %zu\n", index.size(),
+              lines.lines().size());
+
+  // 4. Route the net: the Steiner builder grows a tree, each connection
+  //    found by the gridless A* line search.
+  const route::SteinerNetRouter router(index, lines);
+  const route::NetRoute result = router.route_net(chip, chip.nets()[0]);
+  if (!result.ok) {
+    std::puts("routing failed");
+    return 1;
+  }
+
+  // 5. Inspect.
+  std::printf("routed net 'data0': wirelength %lld dbu, %zu tree segments, "
+              "%zu nodes expanded\n",
+              static_cast<long long>(result.wirelength),
+              result.segments.size(), result.stats.nodes_expanded);
+  for (const auto& seg : result.segments) {
+    std::printf("  wire (%lld,%lld) -> (%lld,%lld)\n",
+                static_cast<long long>(seg.a.x), static_cast<long long>(seg.a.y),
+                static_cast<long long>(seg.b.x), static_cast<long long>(seg.b.y));
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "congestion/congestion_map.hpp"
+
+#include <algorithm>
+
+namespace gcr::congestion {
+
+using geom::Segment;
+
+CongestionMap::CongestionMap(std::vector<Passage> passages) {
+  loads_.reserve(passages.size());
+  for (Passage& p : passages) loads_.push_back(PassageLoad{std::move(p), 0});
+  nets_.resize(loads_.size());
+}
+
+void CongestionMap::add_net(std::size_t net_idx, const route::NetRoute& nr) {
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    const geom::Rect& region = loads_[i].passage.region;
+    const bool crosses = std::any_of(
+        nr.segments.begin(), nr.segments.end(), [&region](const Segment& s) {
+          // A wire uses the passage when it runs through the corridor's
+          // open area (hugging the rim counts too: the rim is where nets
+          // pile up against the cell edge).
+          return s.bounds().intersects(region);
+        });
+    if (!crosses) continue;
+    auto& occupants = nets_[i];
+    if (std::find(occupants.begin(), occupants.end(), net_idx) ==
+        occupants.end()) {
+      occupants.push_back(net_idx);
+      ++loads_[i].occupancy;
+    }
+  }
+}
+
+std::vector<std::size_t> CongestionMap::congested() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < loads_.size(); ++i) {
+    if (loads_[i].overflow() > 0) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t CongestionMap::max_occupancy() const noexcept {
+  std::size_t best = 0;
+  for (const PassageLoad& l : loads_) best = std::max(best, l.occupancy);
+  return best;
+}
+
+std::size_t CongestionMap::total_overflow() const noexcept {
+  std::size_t sum = 0;
+  for (const PassageLoad& l : loads_) sum += l.overflow();
+  return sum;
+}
+
+}  // namespace gcr::congestion

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "congestion/passages.hpp"
+#include "core/route_types.hpp"
+
+/// \file congestion_map.hpp
+/// Passage occupancy accounting.
+///
+/// "A first-pass route of all nets would reveal congested areas.  These
+/// congested areas would manifest themselves in the form of several nets
+/// hugging the edge of a cell which was close to an adjacent cell."
+/// The map counts, per passage, how many distinct nets run wire through it,
+/// and reports overflow against the passage capacity.
+
+namespace gcr::congestion {
+
+struct PassageLoad {
+  Passage passage;
+  std::size_t occupancy = 0;  ///< distinct nets crossing the passage
+  [[nodiscard]] std::size_t overflow() const noexcept {
+    return occupancy > passage.capacity ? occupancy - passage.capacity : 0;
+  }
+};
+
+class CongestionMap {
+ public:
+  explicit CongestionMap(std::vector<Passage> passages);
+
+  /// Accounts one routed net: each passage its segments touch gains one
+  /// occupant (counted once per net, however many segments cross).
+  void add_net(std::size_t net_idx, const route::NetRoute& nr);
+
+  [[nodiscard]] const std::vector<PassageLoad>& loads() const noexcept {
+    return loads_;
+  }
+
+  /// Indices (into loads()) of passages over capacity.
+  [[nodiscard]] std::vector<std::size_t> congested() const;
+
+  /// Nets recorded as crossing the given passage.
+  [[nodiscard]] const std::vector<std::size_t>& nets_through(
+      std::size_t passage_idx) const {
+    return nets_.at(passage_idx);
+  }
+
+  [[nodiscard]] std::size_t max_occupancy() const noexcept;
+  [[nodiscard]] std::size_t total_overflow() const noexcept;
+
+ private:
+  std::vector<PassageLoad> loads_;
+  std::vector<std::vector<std::size_t>> nets_;  // per passage
+};
+
+}  // namespace gcr::congestion

@@ -1,0 +1,115 @@
+#include "congestion/passages.hpp"
+
+#include <algorithm>
+
+namespace gcr::congestion {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Interval;
+using geom::Rect;
+
+namespace {
+
+/// Builds the passage between two facing spans, if the projection overlap is
+/// non-empty and no third cell intrudes.
+void consider_pair(std::vector<Passage>& out, const std::vector<Rect>& cells,
+                   std::size_t i, std::size_t j, const PassageOptions& opts) {
+  const Rect& a = cells[i];
+  const Rect& b = cells[j];
+
+  // Vertical gap (cells stacked): wires flow horizontally? No — wires
+  // crossing a vertical gap travel horizontally *through* the corridor
+  // between the cells; the corridor extends along x where the cells'
+  // x-projections overlap, and its height is the gap.  Flow is along x.
+  const Interval x_overlap = a.xs().intersection(b.xs());
+  if (!x_overlap.empty() && x_overlap.length() > 0) {
+    const bool a_below = a.yhi <= b.ylo;
+    const bool b_below = b.yhi <= a.ylo;
+    if (a_below || b_below) {
+      const Coord lo = a_below ? a.yhi : b.yhi;
+      const Coord hi = a_below ? b.ylo : a.ylo;
+      const Rect region{x_overlap.lo, lo, x_overlap.hi, hi};
+      const Coord gap = hi - lo;
+      if (gap > 0 && (opts.max_gap == 0 || gap <= opts.max_gap)) {
+        // Reject if a third cell pokes into the corridor.
+        const bool clear = std::none_of(
+            cells.begin(), cells.end(),
+            [&region](const Rect& c) { return c.intersects_open(region); });
+        if (clear) {
+          out.push_back(Passage{
+              region, Axis::kX, gap,
+              static_cast<std::size_t>(
+                  std::max<Coord>(1, gap / opts.wire_pitch)),
+              i, j});
+        }
+      }
+    }
+  }
+
+  // Horizontal gap (cells side by side): corridor along y, flow along y.
+  const Interval y_overlap = a.ys().intersection(b.ys());
+  if (!y_overlap.empty() && y_overlap.length() > 0) {
+    const bool a_left = a.xhi <= b.xlo;
+    const bool b_left = b.xhi <= a.xlo;
+    if (a_left || b_left) {
+      const Coord lo = a_left ? a.xhi : b.xhi;
+      const Coord hi = a_left ? b.xlo : a.xlo;
+      const Rect region{lo, y_overlap.lo, hi, y_overlap.hi};
+      const Coord gap = hi - lo;
+      if (gap > 0 && (opts.max_gap == 0 || gap <= opts.max_gap)) {
+        const bool clear = std::none_of(
+            cells.begin(), cells.end(),
+            [&region](const Rect& c) { return c.intersects_open(region); });
+        if (clear) {
+          out.push_back(Passage{
+              region, Axis::kY, gap,
+              static_cast<std::size_t>(
+                  std::max<Coord>(1, gap / opts.wire_pitch)),
+              i, j});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Passage> extract_passages(const layout::Layout& lay,
+                                      const PassageOptions& opts) {
+  std::vector<Passage> out;
+  const std::vector<Rect> cells = lay.obstacles();
+
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      consider_pair(out, cells, i, j, opts);
+    }
+  }
+
+  // Cell-to-boundary passages: treat the four boundary edges as virtual
+  // cells just outside the routing region.
+  const Rect& b = lay.boundary();
+  const Coord w = std::max<Coord>(1, b.width());
+  const Coord h = std::max<Coord>(1, b.height());
+  const std::vector<Rect> walls = {
+      Rect{b.xlo - 1, b.ylo - h, b.xhi + 1, b.ylo},  // south wall
+      Rect{b.xlo - 1, b.yhi, b.xhi + 1, b.yhi + h},  // north wall
+      Rect{b.xlo - w, b.ylo - 1, b.xlo, b.yhi + 1},  // west wall
+      Rect{b.xhi, b.ylo - 1, b.xhi + w, b.yhi + 1},  // east wall
+  };
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (const Rect& wall : walls) {
+      std::vector<Rect> pair_cells = cells;
+      pair_cells.push_back(wall);
+      std::vector<Passage> tmp;
+      consider_pair(tmp, pair_cells, i, pair_cells.size() - 1, opts);
+      for (Passage& p : tmp) {
+        p.cell_b = Passage::npos;  // boundary, not a real cell
+        out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace gcr::congestion

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "layout/layout.hpp"
+
+/// \file passages.hpp
+/// Inter-cell passages — the paper's "congested passages between adjacent
+/// cells".  "Since there are no channels the term [channel congestion] is
+/// slightly abused, but it refers here to congested passages between
+/// adjacent cells."  A passage is the gap region between two facing cell
+/// edges (or between a cell edge and the routing boundary); its capacity is
+/// the number of wire tracks that fit in the gap.
+
+namespace gcr::congestion {
+
+struct Passage {
+  /// The open corridor between the two facing edges.
+  geom::Rect region;
+  /// The axis wires traverse the passage along (perpendicular to the gap).
+  geom::Axis flow_axis = geom::Axis::kX;
+  /// Gap width in DBU.
+  geom::Coord gap = 0;
+  /// Wire tracks that fit: gap / wire_pitch (at least 1 when gap > 0).
+  std::size_t capacity = 0;
+  /// The two cells forming the passage; second == npos for cell-to-boundary.
+  std::size_t cell_a = npos;
+  std::size_t cell_b = npos;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+struct PassageOptions {
+  /// Wire pitch in DBU, for capacity computation.
+  geom::Coord wire_pitch = 2;
+  /// Only gaps at most this wide count as passages (wider regions are open
+  /// field, not chokepoints).  0 = no limit.
+  geom::Coord max_gap = 0;
+};
+
+/// Extracts every passage between facing cell pairs (projection overlap,
+/// no third cell in between) and between cells and the routing boundary.
+[[nodiscard]] std::vector<Passage> extract_passages(
+    const layout::Layout& lay, const PassageOptions& opts = {});
+
+}  // namespace gcr::congestion

@@ -1,0 +1,79 @@
+#include "congestion/two_pass.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gcr::congestion {
+
+CongestionMap build_map(const layout::Layout& lay,
+                        const route::NetlistResult& result,
+                        const PassageOptions& opts) {
+  CongestionMap map(extract_passages(lay, opts));
+  for (std::size_t i = 0; i < result.routes.size(); ++i) {
+    if (result.routes[i].ok) map.add_net(i, result.routes[i]);
+  }
+  return map;
+}
+
+TwoPassReport TwoPassRouter::run(const TwoPassOptions& opts) const {
+  TwoPassReport report;
+
+  // Pass 1: independent wirelength routing.
+  const route::NetlistRouter base_router(layout_);
+  route::NetlistOptions nl_opts;
+  nl_opts.steiner = opts.steiner;
+  report.first_pass = base_router.route_all(nl_opts);
+
+  route::NetlistResult current = report.first_pass;
+  {
+    const CongestionMap map = build_map(layout_, current, opts.passages);
+    report.overflow_before = map.total_overflow();
+    report.max_occupancy_before = map.max_occupancy();
+  }
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    const CongestionMap map = build_map(layout_, current, opts.passages);
+    const std::vector<std::size_t> hot = map.congested();
+    if (hot.empty()) break;
+
+    // Affected nets: every net crossing a congested passage.
+    std::unordered_set<std::size_t> affected;
+    route::RegionPenaltyCost penalty;
+    for (const std::size_t p : hot) {
+      const PassageLoad& load = map.loads()[p];
+      penalty.add_region(load.passage.region,
+                         opts.penalty_dbu * route::kCostScale *
+                             static_cast<geom::Cost>(load.overflow()));
+      for (const std::size_t n : map.nets_through(p)) affected.insert(n);
+    }
+    if (affected.empty()) break;
+
+    // Re-route only the offenders with the penalized cost function.
+    const spatial::ObstacleIndex index(layout_.boundary(), layout_.obstacles());
+    const spatial::EscapeLineSet lines(index);
+    const route::SteinerNetRouter rerouter(index, lines, &penalty);
+    bool changed = false;
+    for (const std::size_t n : affected) {
+      route::NetRoute nr =
+          rerouter.route_net(layout_, layout_.nets()[n], opts.steiner);
+      if (!nr.ok) continue;  // keep the pass-1 route on failure
+      if (nr.segments != current.routes[n].segments) changed = true;
+      current.total_wirelength +=
+          nr.wirelength - current.routes[n].wirelength;
+      current.routes[n] = std::move(nr);
+      ++report.nets_rerouted;
+    }
+    ++report.passes_run;
+    if (!changed) break;
+  }
+
+  {
+    const CongestionMap map = build_map(layout_, current, opts.passages);
+    report.overflow_after = map.total_overflow();
+    report.max_occupancy_after = map.max_occupancy();
+  }
+  report.final_pass = std::move(current);
+  return report;
+}
+
+}  // namespace gcr::congestion

@@ -1,0 +1,56 @@
+#pragma once
+
+#include "congestion/congestion_map.hpp"
+#include "core/netlist_router.hpp"
+
+/// \file two_pass.hpp
+/// The paper's congestion-driven second pass: "A second route of the
+/// affected nets could penalize those paths which chose the congested area."
+///
+/// Pass 1 routes every net independently on pure wirelength.  The congestion
+/// map then identifies over-capacity passages; only the nets crossing them
+/// are re-routed with a RegionPenaltyCost charging each congested passage,
+/// steering them into under-used corridors when an alternative of comparable
+/// length exists.
+
+namespace gcr::congestion {
+
+struct TwoPassOptions {
+  PassageOptions passages;
+  route::SteinerOptions steiner;
+  /// Scaled-cost penalty per congested passage crossed (per probe edge).
+  /// Charged in units of route::kCostScale; the default makes one congested
+  /// crossing as expensive as `penalty_dbu` DBU of extra wire.
+  geom::Cost penalty_dbu = 32;
+  /// Re-route iterations (each rebuilds the map and re-routes offenders).
+  std::size_t max_iterations = 3;
+};
+
+struct TwoPassReport {
+  route::NetlistResult first_pass;
+  route::NetlistResult final_pass;
+  std::size_t passes_run = 1;
+  std::size_t nets_rerouted = 0;
+  /// Congestion metrics before and after.
+  std::size_t overflow_before = 0;
+  std::size_t overflow_after = 0;
+  std::size_t max_occupancy_before = 0;
+  std::size_t max_occupancy_after = 0;
+};
+
+class TwoPassRouter {
+ public:
+  explicit TwoPassRouter(const layout::Layout& lay) : layout_(lay) {}
+
+  [[nodiscard]] TwoPassReport run(const TwoPassOptions& opts = {}) const;
+
+ private:
+  const layout::Layout& layout_;
+};
+
+/// Builds a congestion map for an already-routed netlist.
+[[nodiscard]] CongestionMap build_map(const layout::Layout& lay,
+                                      const route::NetlistResult& result,
+                                      const PassageOptions& opts);
+
+}  // namespace gcr::congestion

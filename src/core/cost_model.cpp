@@ -1,0 +1,45 @@
+#include "core/cost_model.hpp"
+
+#include <algorithm>
+
+namespace gcr::route {
+
+using geom::Dir;
+using geom::Point;
+using geom::Rect;
+using geom::Segment;
+
+bool on_obstacle_boundary(const spatial::ObstacleIndex& idx, const Point& p) {
+  return std::any_of(
+      idx.obstacles().begin(), idx.obstacles().end(),
+      [&p](const Rect& r) { return r.on_boundary(p); });
+}
+
+geom::Cost BendCost::penalty(const EdgeContext& ctx) const {
+  const bool bend =
+      ctx.from.in_dir != kNoDir &&
+      axis_of(static_cast<Dir>(ctx.from.in_dir)) != axis_of(ctx.move);
+  return bend ? epsilon_ : 0;
+}
+
+geom::Cost InvertedCornerCost::penalty(const EdgeContext& ctx) const {
+  const bool bend =
+      ctx.from.in_dir != kNoDir &&
+      axis_of(static_cast<Dir>(ctx.from.in_dir)) != axis_of(ctx.move);
+  if (!bend) return 0;
+  // A bend hugging a cell is preferred; a floating bend is the inverted
+  // corner's signature and pays epsilon.
+  return on_obstacle_boundary(ctx.obstacles, ctx.from.p) ? 0 : epsilon_;
+}
+
+geom::Cost RegionPenaltyCost::penalty(const EdgeContext& ctx) const {
+  const Segment edge{ctx.from.p, ctx.to};
+  geom::Cost sum = 0;
+  for (const Region& r : regions_) {
+    // Closed intersection: running along a congested passage's rim counts.
+    if (edge.bounds().intersects(r.area)) sum += r.weight;
+  }
+  return sum;
+}
+
+}  // namespace gcr::route

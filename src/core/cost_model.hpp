@@ -1,0 +1,118 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/route_types.hpp"
+#include "geometry/geometry.hpp"
+#include "spatial/obstacle_index.hpp"
+
+/// \file cost_model.hpp
+/// Generalized cost functions.
+///
+/// "Because of the generality of the A* algorithm, the heuristic cost
+/// function can be used to favor certain classes of routes over others."
+/// A CostModel adds a non-negative *penalty* on top of the scaled rectilinear
+/// length of each probe edge.  Penalties never subtract, so the Manhattan
+/// heuristic stays a lower bound and A* stays admissible with respect to the
+/// penalized cost.
+
+namespace gcr::route {
+
+/// Context handed to cost models when pricing one probe edge.
+struct EdgeContext {
+  const spatial::ObstacleIndex& obstacles;
+  /// State the probe leaves from (carries the incoming direction).
+  RouteState from;
+  /// Probe direction of this edge.
+  geom::Dir move;
+  /// Landing point.
+  geom::Point to;
+};
+
+/// Interface: price the penalty of a probe edge (>= 0, in scaled cost units).
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+  [[nodiscard]] virtual geom::Cost penalty(const EdgeContext& ctx) const = 0;
+};
+
+/// Pure wirelength: no penalty.  The paper's base cost ("we will assume cost
+/// to be the length of the path").
+class WirelengthCost final : public CostModel {
+ public:
+  [[nodiscard]] geom::Cost penalty(const EdgeContext&) const override {
+    return 0;
+  }
+};
+
+/// Epsilon per bend.  Among equal-length routes the one with fewest corners
+/// wins; with epsilon < kCostScale a bend penalty can never override a real
+/// length difference.
+class BendCost final : public CostModel {
+ public:
+  explicit BendCost(geom::Cost epsilon = 1) : epsilon_(epsilon) {}
+  [[nodiscard]] geom::Cost penalty(const EdgeContext& ctx) const override;
+
+ private:
+  geom::Cost epsilon_;
+};
+
+/// The paper's inverted-corner rule (Figure 2): among equal-length routes,
+/// penalize bends that happen *away from* any cell boundary.  The preferred
+/// route turns exactly at cell corners (hugging); the non-preferred route
+/// carries a floating jog that leaves an inverted corner in the wiring.
+/// Adding epsilon to each floating bend makes the router deterministically
+/// pick the preferred route.
+class InvertedCornerCost final : public CostModel {
+ public:
+  explicit InvertedCornerCost(geom::Cost epsilon = 1) : epsilon_(epsilon) {}
+  [[nodiscard]] geom::Cost penalty(const EdgeContext& ctx) const override;
+
+ private:
+  geom::Cost epsilon_;
+};
+
+/// Sum of component penalties.
+class CompositeCost final : public CostModel {
+ public:
+  void add(std::shared_ptr<const CostModel> m) { parts_.push_back(std::move(m)); }
+  [[nodiscard]] geom::Cost penalty(const EdgeContext& ctx) const override {
+    geom::Cost sum = 0;
+    for (const auto& m : parts_) sum += m->penalty(ctx);
+    return sum;
+  }
+  [[nodiscard]] bool empty() const noexcept { return parts_.empty(); }
+
+ private:
+  std::vector<std::shared_ptr<const CostModel>> parts_;
+};
+
+/// Penalty for probing through user-marked congested regions — the paper's
+/// "channel congestion" second-pass cost: "A second route of the affected
+/// nets could penalize those paths which chose the congested area."  Each
+/// region charges `weight` (scaled cost) when a probe edge intersects it.
+class RegionPenaltyCost final : public CostModel {
+ public:
+  struct Region {
+    geom::Rect area;
+    geom::Cost weight;
+  };
+
+  void add_region(geom::Rect area, geom::Cost weight) {
+    regions_.push_back({area, weight});
+  }
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] geom::Cost penalty(const EdgeContext& ctx) const override;
+
+ private:
+  std::vector<Region> regions_;
+};
+
+/// True when \p p lies on the boundary of any obstacle (a "hugging" point).
+[[nodiscard]] bool on_obstacle_boundary(const spatial::ObstacleIndex& idx,
+                                        const geom::Point& p);
+
+}  // namespace gcr::route

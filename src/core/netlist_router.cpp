@@ -1,0 +1,99 @@
+#include "core/netlist_router.hpp"
+
+#include <numeric>
+
+namespace gcr::route {
+
+using geom::Rect;
+using geom::Segment;
+
+namespace {
+
+std::vector<std::size_t> resolve_order(const NetlistOptions& opts,
+                                       std::size_t n) {
+  if (!opts.order.empty()) {
+    assert(opts.order.size() == n && "order must cover every net");
+    return opts.order;
+  }
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+void account(NetlistResult& result, std::size_t net_idx, NetRoute nr) {
+  result.stats += nr.stats;
+  if (nr.ok) {
+    ++result.routed;
+    result.total_wirelength += nr.wirelength;
+  } else {
+    ++result.failed;
+  }
+  result.routes[net_idx] = std::move(nr);
+}
+
+}  // namespace
+
+NetlistResult NetlistRouter::route_all(const NetlistOptions& opts) const {
+  return opts.mode == NetlistMode::kIndependent ? route_independent(opts)
+                                                : route_sequential(opts);
+}
+
+NetlistResult NetlistRouter::route_independent(
+    const NetlistOptions& opts) const {
+  NetlistResult result;
+  result.routes.resize(layout_.nets().size());
+
+  // One obstacle index and one escape-line set serve every net: the whole
+  // point of independent routing is that the search environment is fixed.
+  const spatial::ObstacleIndex index(layout_.boundary(), layout_.obstacles());
+  const spatial::EscapeLineSet lines(index);
+  const SteinerNetRouter net_router(index, lines, cost_);
+
+  for (const std::size_t i : resolve_order(opts, layout_.nets().size())) {
+    account(result, i,
+            net_router.route_net(layout_, layout_.nets()[i], opts.steiner));
+  }
+  return result;
+}
+
+NetlistResult NetlistRouter::route_sequential(
+    const NetlistOptions& opts) const {
+  NetlistResult result;
+  result.routes.resize(layout_.nets().size());
+
+  // Previously routed nets join the obstacle set (inflated by the wire
+  // spacing halo), so the index and escape lines must be rebuilt per net —
+  // part of the cost the paper's independent scheme avoids.
+  std::vector<Rect> obstacles = layout_.obstacles();
+  const std::size_t cell_obstacles = obstacles.size();
+
+  for (const std::size_t i : resolve_order(opts, layout_.nets().size())) {
+    const spatial::ObstacleIndex index(layout_.boundary(), obstacles);
+    const spatial::EscapeLineSet lines(index);
+    const SteinerNetRouter net_router(index, lines, cost_);
+
+    // A net whose pins are swallowed by earlier wires' halos cannot route.
+    bool pins_ok = true;
+    for (const auto& pins :
+         net_terminal_pins(layout_, layout_.nets()[i])) {
+      for (const geom::Point& p : pins) {
+        if (!index.routable(p)) pins_ok = false;
+      }
+    }
+    NetRoute nr;
+    if (pins_ok) {
+      nr = net_router.route_net(layout_, layout_.nets()[i], opts.steiner);
+    }
+    if (nr.ok) {
+      for (const Segment& s : nr.segments) {
+        obstacles.push_back(s.bounds().inflated(opts.wire_halo));
+      }
+    }
+    account(result, i, std::move(nr));
+  }
+  // Restore invariant for readers: obstacles beyond cell_obstacles are wires.
+  (void)cell_obstacles;
+  return result;
+}
+
+}  // namespace gcr::route

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "search/stats.hpp"
+
+/// \file route_types.hpp
+/// Value types shared by the gridless router, the Steiner net builder, and
+/// the netlist driver.
+
+namespace gcr::route {
+
+/// All internal path costs are lengths scaled by this factor, so that
+/// sub-length-quantum penalties (the paper's epsilon for the inverted
+/// corner: "if a small number, e, is added to the cost of the non-preferred
+/// route") are representable in integer arithmetic.  Any penalty in
+/// [1, kCostScale) breaks ties without ever overriding a real length
+/// difference.
+inline constexpr geom::Cost kCostScale = 64;
+
+/// Sentinel direction for "no incoming probe" (start states).
+inline constexpr std::uint8_t kNoDir = 4;
+
+/// A search state of the gridless line search: a point of the routing plane
+/// plus the direction the probe arrived from.  Direction is part of the
+/// state so that corner-dependent costs (bend and inverted-corner penalties)
+/// remain well-defined edge weights, keeping A* admissible.
+struct RouteState {
+  geom::Point p;
+  std::uint8_t in_dir = kNoDir;  ///< geom::Dir value, or kNoDir at a start
+
+  friend constexpr auto operator<=>(const RouteState&, const RouteState&) =
+      default;
+};
+
+/// A completed point-to-point (or set-to-set) connection.
+struct Route {
+  bool found = false;
+  /// Total scaled cost (length * kCostScale + penalties).
+  geom::Cost cost = 0;
+  /// Pure rectilinear wirelength in database units.
+  geom::Cost length = 0;
+  /// Bend-point polyline from source to target (colinear runs compressed).
+  std::vector<geom::Point> points;
+  search::SearchStats stats;
+
+  /// The polyline as axis-parallel segments.
+  [[nodiscard]] std::vector<geom::Segment> segments() const {
+    std::vector<geom::Segment> out;
+    for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+      out.emplace_back(points[i], points[i + 1]);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t bend_count() const noexcept {
+    return points.size() > 2 ? points.size() - 2 : 0;
+  }
+};
+
+/// A routed multi-terminal net: the union of tree segments plus bookkeeping.
+struct NetRoute {
+  bool ok = false;
+  /// Tree wire segments (one polyline per terminal connection, concatenated).
+  std::vector<geom::Segment> segments;
+  /// Total tree wirelength in DBU.
+  geom::Cost wirelength = 0;
+  /// Per-connection routes in the order terminals joined the tree.
+  std::vector<Route> connections;
+  /// Aggregate search statistics over all connections.
+  search::SearchStats stats;
+};
+
+}  // namespace gcr::route
+
+template <>
+struct std::hash<gcr::route::RouteState> {
+  std::size_t operator()(const gcr::route::RouteState& s) const noexcept {
+    return std::hash<gcr::geom::Point>{}(s.p) * 31u + s.in_dir;
+  }
+};

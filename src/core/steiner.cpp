@@ -1,0 +1,125 @@
+#include "core/steiner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gcr::route {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Dir;
+using geom::Point;
+using geom::Segment;
+
+std::vector<std::vector<Point>> net_terminal_pins(const layout::Layout& lay,
+                                                  const layout::Net& net) {
+  std::vector<std::vector<Point>> out;
+  out.reserve(net.terminals().size());
+  for (const layout::TerminalRef& ref : net.terminals()) {
+    const layout::Terminal& t = lay.terminal(ref);
+    std::vector<Point> pins;
+    pins.reserve(t.pins.size());
+    for (const layout::Pin& p : t.pins) pins.push_back(p.pos);
+    out.push_back(std::move(pins));
+  }
+  return out;
+}
+
+std::vector<Point> SteinerNetRouter::connection_points(
+    const std::vector<Point>& connected_pins, const std::vector<Segment>& tree,
+    const std::vector<Point>& goals, bool segments_allowed) const {
+  std::unordered_set<Point> set(connected_pins.begin(), connected_pins.end());
+  if (segments_allowed) {
+    for (const Segment& s : tree) {
+      set.insert(s.a);
+      set.insert(s.b);
+      if (s.degenerate()) continue;
+      // Escape-line crossings along the segment: the departure points the
+      // line search could use anyway, realized as explicit sources.
+      const Axis ax = s.axis();
+      const Dir d = s.b.along(ax) > s.a.along(ax)
+                        ? (ax == Axis::kX ? Dir::kEast : Dir::kNorth)
+                        : (ax == Axis::kX ? Dir::kWest : Dir::kSouth);
+      for (const Coord c : lines_.crossings(s.a, d, s.b.along(ax))) {
+        Point q = s.a;
+        q.along(ax) = c;
+        set.insert(q);
+      }
+      // Perpendicular projections of the remaining goals: the closest legal
+      // departure toward each target pin.
+      for (const Point& g : goals) set.insert(s.closest_point(g));
+    }
+  }
+  std::vector<Point> out(set.begin(), set.end());
+  std::sort(out.begin(), out.end());  // deterministic seeding order
+  return out;
+}
+
+NetRoute SteinerNetRouter::route_terminals(
+    const std::vector<std::vector<Point>>& terminals,
+    const SteinerOptions& opts) const {
+  NetRoute out;
+  if (terminals.empty()) return out;
+  for (const auto& pins : terminals) {
+    if (pins.empty()) return out;  // a pinless terminal is unroutable
+  }
+
+  // Seed the tree with the first terminal's pins (all of them: a multi-pin
+  // terminal is internally connected by its cell).
+  std::vector<Point> connected_pins = terminals[0];
+  std::vector<bool> joined(terminals.size(), false);
+  joined[0] = true;
+  std::size_t remaining = terminals.size() - 1;
+
+  out.ok = true;
+  while (remaining > 0) {
+    std::vector<Point> goals;
+    for (std::size_t t = 0; t < terminals.size(); ++t) {
+      if (joined[t]) continue;
+      goals.insert(goals.end(), terminals[t].begin(), terminals[t].end());
+    }
+    const std::vector<Point> sources = connection_points(
+        connected_pins, out.segments, goals, opts.connect_to_segments);
+
+    Route conn = router_.route_set(sources, goals, opts.route);
+    out.stats += conn.stats;
+    if (!conn.found) {
+      out.ok = false;
+      break;
+    }
+
+    // Which terminal did we hit?  The path ends on one of its pins.
+    const Point hit = conn.points.back();
+    std::size_t hit_term = terminals.size();
+    for (std::size_t t = 0; t < terminals.size() && hit_term == terminals.size();
+         ++t) {
+      if (joined[t]) continue;
+      if (std::find(terminals[t].begin(), terminals[t].end(), hit) !=
+          terminals[t].end()) {
+        hit_term = t;
+      }
+    }
+    assert(hit_term < terminals.size() && "goal must belong to some terminal");
+
+    for (std::size_t i = 0; i + 1 < conn.points.size(); ++i) {
+      out.segments.emplace_back(conn.points[i], conn.points[i + 1]);
+    }
+    out.wirelength += conn.length;
+    joined[hit_term] = true;
+    --remaining;
+    // "all the pins which are associated with the newly connected terminal
+    // are brought into the connected set."
+    connected_pins.insert(connected_pins.end(), terminals[hit_term].begin(),
+                          terminals[hit_term].end());
+    out.connections.push_back(std::move(conn));
+  }
+  return out;
+}
+
+NetRoute SteinerNetRouter::route_net(const layout::Layout& lay,
+                                     const layout::Net& net,
+                                     const SteinerOptions& opts) const {
+  return route_terminals(net_terminal_pins(lay, net), opts);
+}
+
+}  // namespace gcr::route

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <vector>
+
+#include "core/gridless_router.hpp"
+#include "core/route_types.hpp"
+#include "layout/layout.hpp"
+
+/// \file steiner.hpp
+/// Multi-terminal net construction.
+///
+/// "Multi-terminal nets are accommodated by approximating a Steiner tree
+/// with an adaptation of Dijkstra's minimum spanning tree algorithm.  The
+/// modification of the spanning tree algorithm considers all line segments
+/// in the spanning tree being built as potential connection points."
+///
+/// The builder grows a tree Prim-style: at each step a multi-source
+/// multi-target A* runs from the *connected set* — every pin already in the
+/// tree plus every point of every tree segment — to the pins of all
+/// yet-unconnected terminals, and the cheapest connection joins the tree.
+/// "Multi-pin terminals are handled by logically grouping all pins which
+/// belong to a terminal": when a terminal connects, all of its pins enter
+/// the connected set.
+
+namespace gcr::route {
+
+struct SteinerOptions {
+  RouteOptions route;
+  /// The paper's modification: tree segments are legal connection points.
+  /// false = classic spanning tree over pins only (the ablation baseline).
+  bool connect_to_segments = true;
+};
+
+class SteinerNetRouter {
+ public:
+  SteinerNetRouter(const spatial::ObstacleIndex& obstacles,
+                   const spatial::EscapeLineSet& lines,
+                   const CostModel* cost = nullptr)
+      : router_(obstacles, lines, cost), lines_(lines) {}
+
+  /// Routes a net given its terminals as pin-position lists.  The first
+  /// terminal seeds the tree; terminals then join in cheapest-connection
+  /// order.  On failure (some terminal unreachable) `ok` is false and the
+  /// partial tree is returned.
+  [[nodiscard]] NetRoute route_terminals(
+      const std::vector<std::vector<geom::Point>>& terminals,
+      const SteinerOptions& opts = {}) const;
+
+  /// Convenience: resolve a layout net's terminal references and route it.
+  [[nodiscard]] NetRoute route_net(const layout::Layout& lay,
+                                   const layout::Net& net,
+                                   const SteinerOptions& opts = {}) const;
+
+  [[nodiscard]] const GridlessRouter& router() const noexcept {
+    return router_;
+  }
+
+ private:
+  /// The finite realization of "all line segments are potential connection
+  /// points": pins already connected, segment endpoints, escape-line
+  /// crossings on each segment, and each goal pin's perpendicular
+  /// projection onto each segment.
+  [[nodiscard]] std::vector<geom::Point> connection_points(
+      const std::vector<geom::Point>& connected_pins,
+      const std::vector<geom::Segment>& tree,
+      const std::vector<geom::Point>& goals, bool segments_allowed) const;
+
+  GridlessRouter router_;
+  const spatial::EscapeLineSet& lines_;
+};
+
+/// Resolves every pin position of a net's terminals (cell terminals and pad
+/// terminals alike).
+[[nodiscard]] std::vector<std::vector<geom::Point>> net_terminal_pins(
+    const layout::Layout& lay, const layout::Net& net);
+
+}  // namespace gcr::route

@@ -1,0 +1,126 @@
+#include "core/track_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace gcr::route {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Cost;
+using geom::Dir;
+using geom::Interval;
+using geom::Point;
+using spatial::EscapeLine;
+
+TrackGraph::Built TrackGraph::build(const Point& a, const Point& b) const {
+  Built out;
+  if (!obstacles_.routable(a) || !obstacles_.routable(b)) return out;
+
+  // Augment the layout's escape lines with the two query points' projection
+  // lines (each point contributes one maximal horizontal and one maximal
+  // vertical free segment through itself).
+  std::vector<EscapeLine> lines = lines_.lines();
+  for (const Point& p : {a, b}) {
+    const Coord w = obstacles_.trace(p, Dir::kWest).stop;
+    const Coord e = obstacles_.trace(p, Dir::kEast).stop;
+    const Coord s = obstacles_.trace(p, Dir::kSouth).stop;
+    const Coord n = obstacles_.trace(p, Dir::kNorth).stop;
+    lines.push_back({Axis::kX, p.y, Interval{w, e}, EscapeLine::npos});
+    lines.push_back({Axis::kY, p.x, Interval{s, n}, EscapeLine::npos});
+  }
+
+  // Vertices: crossings of every horizontal with every vertical line.  A
+  // crossing is only usable when it is routable (escape lines are free by
+  // construction, but an added projection line may cross a line segment at a
+  // point interior to nothing — crossings are always on both lines, hence
+  // free).
+  std::map<Point, std::uint32_t> vert_of;
+  const auto intern = [&](const Point& p) {
+    const auto [it, inserted] =
+        vert_of.try_emplace(p, static_cast<std::uint32_t>(out.verts.size()));
+    if (inserted) out.verts.push_back(p);
+    return it->second;
+  };
+
+  // Collect the crossing points per line so edges join consecutive ones.
+  std::vector<std::vector<Point>> on_line(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (lines[i].axis != Axis::kX) continue;
+    for (std::size_t j = 0; j < lines.size(); ++j) {
+      if (lines[j].axis != Axis::kY) continue;
+      const EscapeLine& h = lines[i];
+      const EscapeLine& v = lines[j];
+      if (h.span.contains(v.track) && v.span.contains(h.track)) {
+        const Point x{v.track, h.track};
+        intern(x);
+        on_line[i].push_back(x);
+        on_line[j].push_back(x);
+      }
+    }
+  }
+  intern(a);
+  intern(b);
+  // The query points lie on their own projection lines; register them there.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (const Point& p : {a, b}) {
+      const bool on = lines[i].axis == Axis::kX
+                          ? (lines[i].track == p.y && lines[i].span.contains(p.x))
+                          : (lines[i].track == p.x && lines[i].span.contains(p.y));
+      if (on) on_line[i].push_back(p);
+    }
+  }
+
+  out.adj.resize(out.verts.size());
+  const auto connect = [&](const Point& p, const Point& q) {
+    const std::uint32_t u = vert_of.at(p);
+    const std::uint32_t v = vert_of.at(q);
+    const Cost w = manhattan(p, q);
+    out.adj[u].push_back({v, w});
+    out.adj[v].push_back({u, w});
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    auto& pts = on_line[i];
+    if (pts.size() < 2) continue;
+    std::sort(pts.begin(), pts.end());
+    pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+    for (std::size_t k = 0; k + 1 < pts.size(); ++k) {
+      connect(pts[k], pts[k + 1]);
+    }
+  }
+
+  out.src = vert_of.at(a);
+  out.dst = vert_of.at(b);
+  out.ok = true;
+  return out;
+}
+
+Cost TrackGraph::shortest_length(const Point& a, const Point& b) const {
+  const Built g = build(a, b);
+  if (!g.ok) return geom::kCostInf;
+  std::vector<Cost> dist(g.verts.size(), geom::kCostInf);
+  using Entry = std::pair<Cost, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  dist[g.src] = 0;
+  pq.push({0, g.src});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d != dist[u]) continue;
+    if (u == g.dst) return d;
+    for (const auto& [v, w] : g.adj[u]) {
+      if (d + w < dist[v]) {
+        dist[v] = d + w;
+        pq.push({d + w, v});
+      }
+    }
+  }
+  return dist[g.dst];
+}
+
+std::size_t TrackGraph::vertex_count(const Point& a, const Point& b) const {
+  return build(a, b).verts.size();
+}
+
+}  // namespace gcr::route

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "spatial/escape_lines.hpp"
+#include "spatial/obstacle_index.hpp"
+
+/// \file track_graph.hpp
+/// Explicit escape-line graph — the materialized form of the implicit graph
+/// the gridless router searches.
+///
+/// Vertices are the pairwise crossings of perpendicular escape lines (plus
+/// the projection lines of the two query points); edges join consecutive
+/// crossings along each line, weighted by distance.  A shortest rectilinear
+/// path among disjoint rectangular obstacles always exists inside this
+/// graph, so a Dijkstra sweep over it is an *optimality oracle*: tests and
+/// ablation benches compare the gridless A* result against it.  Building the
+/// whole graph costs O(L^2) in the number of lines, which is exactly the
+/// blow-up the on-the-fly ray-traced generation avoids.
+
+namespace gcr::route {
+
+class TrackGraph {
+ public:
+  TrackGraph(const spatial::ObstacleIndex& obstacles,
+             const spatial::EscapeLineSet& lines)
+      : obstacles_(obstacles), lines_(lines) {}
+
+  /// Length of a shortest rectilinear obstacle-avoiding path from \p a to
+  /// \p b, or geom::kCostInf when disconnected.  Exact (oracle quality).
+  [[nodiscard]] geom::Cost shortest_length(const geom::Point& a,
+                                           const geom::Point& b) const;
+
+  /// Number of vertices the explicit graph materializes for a query —
+  /// reported by the ablation bench as the cost of *not* generating
+  /// successors on the fly.
+  [[nodiscard]] std::size_t vertex_count(const geom::Point& a,
+                                         const geom::Point& b) const;
+
+ private:
+  struct Built {
+    std::vector<geom::Point> verts;
+    std::vector<std::vector<std::pair<std::uint32_t, geom::Cost>>> adj;
+    std::uint32_t src = 0, dst = 0;
+    bool ok = false;
+  };
+  [[nodiscard]] Built build(const geom::Point& a, const geom::Point& b) const;
+
+  const spatial::ObstacleIndex& obstacles_;
+  const spatial::EscapeLineSet& lines_;
+};
+
+}  // namespace gcr::route

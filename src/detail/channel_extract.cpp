@@ -1,0 +1,101 @@
+#include "detail/channel_extract.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace gcr::detail {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Point;
+using geom::Segment;
+
+namespace {
+
+/// Which side does net `net`'s wire leave trunk endpoint `p` on?  Looks for
+/// a perpendicular segment of the same net touching `p`.
+/// +1 = top, -1 = bottom, 0 = no perpendicular continuation.
+int pin_side(const route::NetlistResult& global, std::size_t net,
+             const Point& p, Axis trunk_axis) {
+  if (net >= global.routes.size() || !global.routes[net].ok) return 0;
+  for (const Segment& s : global.routes[net].segments) {
+    if (s.degenerate() || s.axis() == trunk_axis) continue;
+    if (!s.contains(p)) continue;
+    // The perpendicular segment extends to one side (or both, if p is in
+    // its middle — then the net genuinely pins both ways; report the longer
+    // side).
+    const Axis perp = other(trunk_axis);
+    const Coord at = p.along(perp);
+    const Coord lo = s.span().lo;
+    const Coord hi = s.span().hi;
+    if (hi > at && lo < at) return hi - at >= at - lo ? +1 : -1;
+    if (hi > at) return +1;
+    if (lo < at) return -1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ChannelProblem make_channel_problem(const Channel& channel,
+                                    const std::vector<SubNet>& subnets,
+                                    const route::NetlistResult& global) {
+  // Collect pin events: (coordinate along the channel, side, net+1).
+  struct Event {
+    Coord at;
+    int side;  // +1 top, -1 bottom, 0 unknown
+    int net;
+    std::size_t order;  // stable tiebreak
+  };
+  std::vector<Event> events;
+  const Axis ax = channel.axis;
+  for (const std::size_t m : channel.members) {
+    const SubNet& sn = subnets[m];
+    const int net = static_cast<int>(sn.net) + 1;
+    for (const Point& endp : {sn.seg.a, sn.seg.b}) {
+      events.push_back(Event{endp.along(ax),
+                             pin_side(global, sn.net, endp, ax), net,
+                             events.size()});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.order < b.order;
+  });
+
+  // One column per event keeps the construction conflict-free; unknown-side
+  // pins alternate to the bottom row (they impose no real constraint, the
+  // row only preserves the trunk's interval).
+  ChannelProblem p;
+  p.top.assign(events.size(), 0);
+  p.bottom.assign(events.size(), 0);
+  for (std::size_t c = 0; c < events.size(); ++c) {
+    if (events[c].side >= 0 && events[c].side != 0) {
+      p.top[c] = events[c].net;
+    } else {
+      p.bottom[c] = events[c].net;
+    }
+  }
+  return p;
+}
+
+VcgSummary route_channels_vcg(const std::vector<Channel>& channels,
+                              const std::vector<SubNet>& subnets,
+                              const route::NetlistResult& global) {
+  VcgSummary out;
+  for (const Channel& ch : channels) {
+    const ChannelProblem problem = make_channel_problem(ch, subnets, global);
+    out.density_lower_bound += problem.density();
+    const ChannelResult r = route_channel(problem);
+    if (r.ok) {
+      ++out.channels_routed;
+      out.total_tracks += r.tracks_used;
+      out.total_doglegs += r.doglegs;
+    } else {
+      ++out.channels_failed;
+    }
+  }
+  return out;
+}
+
+}  // namespace gcr::detail

@@ -1,0 +1,44 @@
+#pragma once
+
+#include "core/netlist_router.hpp"
+#include "detail/channel_router.hpp"
+#include "detail/channels.hpp"
+
+/// \file channel_extract.hpp
+/// Bridges the dynamically discovered channels to the classic channel-
+/// routing formulation: each subnet's trunk endpoints become pin columns,
+/// and the side each pin enters from (top or bottom) is recovered from the
+/// net's own perpendicular segments at that endpoint.  The resulting
+/// ChannelProblem feeds the VCG/dogleg channel router, giving the detailed
+/// stage constraint-aware track assignment instead of plain left-edge.
+
+namespace gcr::detail {
+
+/// Builds the two-row channel problem for \p channel.  Net ids in the
+/// problem are subnet net indices + 1 (the channel formulation reserves 0
+/// for "no pin").  Endpoints whose connecting perpendicular segment leaves
+/// upward pin on the top row; downward on the bottom row; endpoints with no
+/// perpendicular continuation contribute an interval but no vertical
+/// constraint (they are recorded on the row facing the channel's extent
+/// center so the trunk interval survives).
+[[nodiscard]] ChannelProblem make_channel_problem(
+    const Channel& channel, const std::vector<SubNet>& subnets,
+    const route::NetlistResult& global);
+
+/// Result of routing every discovered channel with the VCG router.
+struct VcgSummary {
+  std::size_t channels_routed = 0;
+  std::size_t channels_failed = 0;  ///< irreducible constraint cycles
+  std::size_t total_tracks = 0;
+  std::size_t total_doglegs = 0;
+  std::size_t density_lower_bound = 0;  ///< sum of per-channel densities
+};
+
+/// Routes every channel of \p channels via the constrained left-edge
+/// algorithm; channels with irreducible cycles are counted as failed (the
+/// plain left-edge assignment remains the fallback for them).
+[[nodiscard]] VcgSummary route_channels_vcg(
+    const std::vector<Channel>& channels, const std::vector<SubNet>& subnets,
+    const route::NetlistResult& global);
+
+}  // namespace gcr::detail

@@ -1,0 +1,215 @@
+#include "detail/channel_router.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace gcr::detail {
+
+namespace {
+
+/// A trunk under construction: one horizontal piece of a net.
+struct Piece {
+  int net = 0;
+  std::size_t lo = 0, hi = 0;
+};
+
+/// Pin columns of every net, in column order.
+std::map<int, std::vector<std::size_t>> net_columns(
+    const ChannelProblem& p) {
+  std::map<int, std::vector<std::size_t>> cols;
+  for (std::size_t c = 0; c < p.columns(); ++c) {
+    for (const int n : {p.top[c], p.bottom[c]}) {
+      if (n > 0) cols[n].push_back(c);
+    }
+  }
+  for (auto& [net, v] : cols) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return cols;
+}
+
+/// Index of the piece of net `n` covering column `c` (pieces are disjoint
+/// except at split columns; prefer the piece that *starts* earlier).
+std::size_t piece_at(const std::vector<Piece>& pieces,
+                     const std::map<int, std::vector<std::size_t>>& of_net,
+                     int n, std::size_t c) {
+  for (const std::size_t idx : of_net.at(n)) {
+    if (pieces[idx].lo <= c && c <= pieces[idx].hi) return idx;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// Vertical constraint edges between pieces: at every column, the piece
+/// pinned on top must sit above the piece pinned on the bottom.
+std::set<std::pair<std::size_t, std::size_t>> build_vcg(
+    const ChannelProblem& p, const std::vector<Piece>& pieces,
+    const std::map<int, std::vector<std::size_t>>& of_net) {
+  std::set<std::pair<std::size_t, std::size_t>> edges;
+  for (std::size_t c = 0; c < p.columns(); ++c) {
+    const int t = p.top[c];
+    const int b = p.bottom[c];
+    if (t <= 0 || b <= 0 || t == b) continue;
+    const std::size_t pt = piece_at(pieces, of_net, t, c);
+    const std::size_t pb = piece_at(pieces, of_net, b, c);
+    if (pt != static_cast<std::size_t>(-1) &&
+        pb != static_cast<std::size_t>(-1)) {
+      edges.insert({pt, pb});
+    }
+  }
+  return edges;
+}
+
+/// Returns one cycle (as a vertex list) in the VCG, or empty when acyclic.
+std::vector<std::size_t> find_cycle(
+    std::size_t n, const std::set<std::pair<std::size_t, std::size_t>>& edges) {
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [u, v] : edges) adj[u].push_back(v);
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::vector<std::size_t> stack;
+
+  // Recursive DFS via explicit stack of (node, next-child).
+  std::vector<std::pair<std::size_t, std::size_t>> frames;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (color[s] != 0) continue;
+    frames.push_back({s, 0});
+    color[s] = 1;
+    stack.push_back(s);
+    while (!frames.empty()) {
+      auto& [u, child] = frames.back();
+      if (child < adj[u].size()) {
+        const std::size_t v = adj[u][child++];
+        if (color[v] == 1) {
+          // Cycle: suffix of `stack` from v to u.
+          const auto it = std::find(stack.begin(), stack.end(), v);
+          return {it, stack.end()};
+        }
+        if (color[v] == 0) {
+          color[v] = 1;
+          stack.push_back(v);
+          frames.push_back({v, 0});
+        }
+      } else {
+        color[u] = 2;
+        stack.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::size_t ChannelProblem::density() const {
+  const auto cols = net_columns(*this);
+  std::size_t best = 0;
+  for (std::size_t c = 0; c < columns(); ++c) {
+    std::size_t d = 0;
+    for (const auto& [net, v] : cols) {
+      if (v.size() < 2) continue;
+      if (v.front() <= c && c <= v.back()) ++d;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+ChannelResult route_channel(const ChannelProblem& problem,
+                            const ChannelOptions& opts) {
+  ChannelResult result;
+  const auto cols = net_columns(problem);
+
+  // Initial pieces: one trunk per net spanning all of its pin columns.
+  // Single-column nets need no trunk: a top+bottom pair in one column is a
+  // straight vertical wire, and a lone pin needs nothing.
+  std::vector<Piece> pieces;
+  std::map<int, std::vector<std::size_t>> of_net;
+  for (const auto& [net, v] : cols) {
+    if (v.size() < 2) continue;
+    of_net[net].push_back(pieces.size());
+    pieces.push_back(Piece{net, v.front(), v.back()});
+  }
+
+  // Break vertical-constraint cycles with doglegs.
+  auto edges = build_vcg(problem, pieces, of_net);
+  std::size_t guard = 0;
+  for (;;) {
+    const auto cycle = find_cycle(pieces.size(), edges);
+    if (cycle.empty()) break;
+    if (!opts.allow_doglegs || ++guard > pieces.size() + cols.size()) {
+      return result;  // ok == false: irreducible cycle
+    }
+    // Split the first cycle member that has an internal pin column.
+    bool split_done = false;
+    for (const std::size_t idx : cycle) {
+      const Piece piece = pieces[idx];
+      const auto& pin_cols = cols.at(piece.net);
+      for (const std::size_t c : pin_cols) {
+        if (c > piece.lo && c < piece.hi) {
+          // Replace `idx` with [lo, c]; append [c, hi].
+          pieces[idx].hi = c;
+          of_net[piece.net].push_back(pieces.size());
+          pieces.push_back(Piece{piece.net, c, piece.hi});
+          // Keep the per-net piece list ordered by start column.
+          auto& lst = of_net[piece.net];
+          std::sort(lst.begin(), lst.end(), [&](std::size_t a, std::size_t b) {
+            return pieces[a].lo < pieces[b].lo;
+          });
+          ++result.doglegs;
+          split_done = true;
+          break;
+        }
+      }
+      if (split_done) break;
+    }
+    if (!split_done) return result;  // no splittable net: give up
+    edges = build_vcg(problem, pieces, of_net);
+  }
+
+  // Constrained left-edge: fill tracks top-down; a piece is eligible when
+  // all of its VCG predecessors are already placed (on higher tracks).
+  std::vector<std::size_t> pred_count(pieces.size(), 0);
+  for (const auto& [u, v] : edges) ++pred_count[v];
+  std::vector<bool> placed(pieces.size(), false);
+  std::size_t remaining = pieces.size();
+
+  std::vector<std::size_t> order(pieces.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&pieces](std::size_t a, std::size_t b) {
+                     return pieces[a].lo < pieces[b].lo;
+                   });
+
+  std::size_t track = 0;
+  while (remaining > 0) {
+    long long last_hi = -1;
+    bool any = false;
+    for (const std::size_t idx : order) {
+      if (placed[idx] || pred_count[idx] != 0) continue;
+      if (static_cast<long long>(pieces[idx].lo) <= last_hi) continue;
+      placed[idx] = true;
+      any = true;
+      --remaining;
+      last_hi = static_cast<long long>(pieces[idx].hi);
+      result.trunks.push_back(
+          ChannelTrunk{pieces[idx].net, pieces[idx].lo, pieces[idx].hi, track});
+    }
+    if (any) {
+      // Recompute pred counts from unplaced predecessors (simple and safe).
+      std::fill(pred_count.begin(), pred_count.end(), 0);
+      for (const auto& [u, v] : edges) {
+        if (!placed[u]) ++pred_count[v];
+      }
+      ++track;
+    } else {
+      return result;  // stuck (should not happen: VCG is acyclic here)
+    }
+  }
+  result.tracks_used = track;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace gcr::detail

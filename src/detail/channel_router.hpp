@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+/// \file channel_router.hpp
+/// A classic two-row channel router: the "standard channel routing
+/// algorithms which try to minimize the number of tracks used" that the
+/// paper's detailed router applies inside each dynamically assigned channel.
+///
+/// Problem statement (textbook form): a channel with pins on its top and
+/// bottom edges at integer columns; `top[c]` / `bottom[c]` give the net id
+/// at column c (0 = no pin).  Horizontal net trunks must be assigned to
+/// tracks such that (a) trunks of different nets sharing a track do not
+/// overlap, and (b) at every column the net pinned on top lies on a higher
+/// track than the net pinned on the bottom (the *vertical constraint*).
+///
+/// The implementation is the constrained left-edge algorithm over the
+/// vertical constraint graph (VCG), with single-dogleg splitting to break
+/// constraint cycles.  Density (the max column congestion) lower-bounds the
+/// track count; the tests verify both legality and near-density results on
+/// textbook instances.
+
+namespace gcr::detail {
+
+struct ChannelProblem {
+  /// Net id per column; 0 means no pin.  Both vectors share the same length.
+  std::vector<int> top;
+  std::vector<int> bottom;
+
+  [[nodiscard]] std::size_t columns() const noexcept { return top.size(); }
+  /// Max number of nets whose [min,max] column interval covers any column.
+  [[nodiscard]] std::size_t density() const;
+};
+
+/// One assigned horizontal trunk (a net or a dogleg piece of a net).
+struct ChannelTrunk {
+  int net = 0;
+  std::size_t col_lo = 0;
+  std::size_t col_hi = 0;
+  std::size_t track = 0;  ///< 0 = topmost track
+};
+
+struct ChannelResult {
+  bool ok = false;             ///< false: cyclic constraints survived doglegs
+  std::size_t tracks_used = 0;
+  std::size_t doglegs = 0;     ///< nets split to break cycles
+  std::vector<ChannelTrunk> trunks;
+};
+
+struct ChannelOptions {
+  /// Allow splitting multi-pin nets at internal pin columns to break
+  /// vertical-constraint cycles.
+  bool allow_doglegs = true;
+};
+
+/// Routes the channel; tracks are numbered top (0) to bottom.
+[[nodiscard]] ChannelResult route_channel(const ChannelProblem& problem,
+                                          const ChannelOptions& opts = {});
+
+}  // namespace gcr::detail

@@ -1,0 +1,73 @@
+#include "detail/channels.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace gcr::detail {
+
+using geom::Axis;
+using geom::Coord;
+
+namespace {
+
+/// Minimal union-find over subnet indices.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+std::vector<Channel> assign_channels(const std::vector<SubNet>& subnets,
+                                     Coord window) {
+  UnionFind uf(subnets.size());
+
+  // Interference: same axis, track distance <= window, span overlap.
+  // Degenerate subnets (single points) never interfere.
+  for (std::size_t i = 0; i < subnets.size(); ++i) {
+    if (subnets[i].seg.degenerate()) continue;
+    for (std::size_t j = i + 1; j < subnets.size(); ++j) {
+      if (subnets[j].seg.degenerate()) continue;
+      const geom::Segment& a = subnets[i].seg;
+      const geom::Segment& b = subnets[j].seg;
+      if (a.axis() != b.axis()) continue;
+      if (geom::coord_abs_diff(a.track(), b.track()) > window) continue;
+      if (!a.span().overlaps(b.span())) continue;
+      uf.unite(i, j);
+    }
+  }
+
+  // Materialize clusters in deterministic order of first member.
+  std::vector<Channel> channels;
+  std::vector<std::size_t> channel_of(subnets.size(),
+                                      static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < subnets.size(); ++i) {
+    if (subnets[i].seg.degenerate()) continue;
+    const std::size_t root = uf.find(i);
+    if (channel_of[root] == static_cast<std::size_t>(-1)) {
+      channel_of[root] = channels.size();
+      Channel c;
+      c.axis = subnets[i].seg.axis();
+      channels.push_back(c);
+    }
+    Channel& c = channels[channel_of[root]];
+    c.members.push_back(i);
+    c.extent = c.extent.hull(subnets[i].seg.bounds());
+  }
+  return channels;
+}
+
+}  // namespace gcr::detail

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+/// \file channels.hpp
+/// Dynamic channel assignment.
+///
+/// The paper's follow-on detailed router "dynamically assigns channels based
+/// on net interference rather than cell placement".  A *subnet* is one
+/// axis-parallel piece of a global route; two parallel subnets interfere
+/// when their spans overlap and their tracks are within one channel window
+/// of each other.  The transitive closure of interference defines the
+/// channels — no a-priori slicing of the routing surface into channels is
+/// ever done, which is exactly the paper's argument for skipping routing
+/// surface decomposition.
+
+namespace gcr::detail {
+
+/// One axis-parallel piece of a routed net.
+struct SubNet {
+  std::size_t net = 0;
+  geom::Segment seg;
+};
+
+/// A dynamically discovered channel: a set of mutually interfering parallel
+/// subnets, to be track-assigned together.
+struct Channel {
+  geom::Axis axis = geom::Axis::kX;
+  std::vector<std::size_t> members;  ///< indices into the subnet vector
+  geom::Rect extent;                 ///< hull of member segments
+};
+
+/// Clusters subnets into channels by interference.  \p window is the track
+/// distance (DBU) within which two parallel overlapping subnets interfere.
+[[nodiscard]] std::vector<Channel> assign_channels(
+    const std::vector<SubNet>& subnets, geom::Coord window);
+
+}  // namespace gcr::detail

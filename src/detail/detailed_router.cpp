@@ -1,0 +1,84 @@
+#include "detail/detailed_router.hpp"
+
+#include <algorithm>
+
+namespace gcr::detail {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Point;
+using geom::Segment;
+
+std::vector<SubNet> collect_subnets(const route::NetlistResult& global) {
+  std::vector<SubNet> out;
+  for (std::size_t n = 0; n < global.routes.size(); ++n) {
+    const route::NetRoute& nr = global.routes[n];
+    if (!nr.ok) continue;
+    for (const Segment& s : nr.segments) {
+      if (s.degenerate()) continue;
+      out.push_back(SubNet{n, s});
+    }
+  }
+  return out;
+}
+
+DetailedResult DetailedRouter::run(const route::NetlistResult& global) const {
+  DetailedResult out;
+  const std::vector<SubNet> subnets = collect_subnets(global);
+  out.subnet_count = subnets.size();
+
+  const std::vector<Channel> channels =
+      assign_channels(subnets, opts_.channel_window);
+  out.channel_count = channels.size();
+
+  out.wires.reserve(subnets.size());
+  for (std::size_t c = 0; c < channels.size(); ++c) {
+    const Channel& ch = channels[c];
+    std::vector<TrackInterval> ivs;
+    ivs.reserve(ch.members.size());
+    for (const std::size_t m : ch.members) {
+      ivs.push_back(TrackInterval{subnets[m].seg.span(), subnets[m].net});
+    }
+    const TrackAssignment ta = left_edge(ivs);
+    out.total_tracks += ta.tracks_used;
+    out.max_channel_tracks = std::max(out.max_channel_tracks, ta.tracks_used);
+
+    for (std::size_t k = 0; k < ch.members.size(); ++k) {
+      const SubNet& sn = subnets[ch.members[k]];
+      // Offset the wire perpendicular to its run by its track index; tracks
+      // fan out from the global-route line, which hugs the cell edge.
+      const Coord off =
+          static_cast<Coord>(ta.track_of[k]) * opts_.track_pitch;
+      Segment placed = sn.seg;
+      if (sn.seg.axis() == Axis::kX) {
+        placed.a.y += off;
+        placed.b.y += off;
+      } else {
+        placed.a.x += off;
+        placed.b.x += off;
+      }
+      out.wires.push_back(AssignedWire{
+          sn.net, placed,
+          sn.seg.axis() == Axis::kX ? std::size_t{0} : std::size_t{1}, c,
+          ta.track_of[k]});
+    }
+  }
+
+  // Layer assignment is H/V by construction; a via sits at every bend of
+  // every routed net (consecutive perpendicular segments meet there).
+  for (const route::NetRoute& nr : global.routes) {
+    if (!nr.ok) continue;
+    for (std::size_t i = 0; i + 1 < nr.segments.size(); ++i) {
+      const Segment& a = nr.segments[i];
+      const Segment& b = nr.segments[i + 1];
+      if (a.degenerate() || b.degenerate()) continue;
+      if (a.axis() != b.axis()) {
+        out.vias.push_back(a.b == b.a ? a.b : b.a);
+      }
+    }
+  }
+  out.via_count = out.vias.size();
+  return out;
+}
+
+}  // namespace gcr::detail

@@ -1,0 +1,51 @@
+#include "detail/left_edge.hpp"
+
+#include <algorithm>
+
+namespace gcr::detail {
+
+using geom::Coord;
+
+TrackAssignment left_edge(const std::vector<TrackInterval>& intervals) {
+  TrackAssignment out;
+  out.track_of.assign(intervals.size(), 0);
+
+  // Left-edge order: ascending left endpoint, then input order.
+  std::vector<std::size_t> order(intervals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&intervals](std::size_t a, std::size_t b) {
+                     return intervals[a].span.lo < intervals[b].span.lo;
+                   });
+
+  struct Track {
+    Coord right = geom::kCoordMin;  // rightmost occupied coordinate
+    std::size_t last_net = static_cast<std::size_t>(-1);
+  };
+  std::vector<Track> tracks;
+
+  for (const std::size_t idx : order) {
+    const TrackInterval& iv = intervals[idx];
+    bool placed = false;
+    for (std::size_t t = 0; t < tracks.size() && !placed; ++t) {
+      const bool same_net = tracks[t].last_net == iv.net;
+      // Different nets need strict separation; the same net may abut or
+      // overlap (it is one electrical node).
+      if ((same_net && iv.span.lo >= tracks[t].right) ||
+          (!same_net && iv.span.lo > tracks[t].right)) {
+        tracks[t].right = std::max(tracks[t].right, iv.span.hi);
+        tracks[t].last_net = iv.net;
+        out.track_of[idx] = t;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      out.track_of[idx] = tracks.size();
+      tracks.push_back(Track{iv.span.hi, iv.net});
+    }
+  }
+  out.tracks_used = tracks.size();
+  return out;
+}
+
+}  // namespace gcr::detail

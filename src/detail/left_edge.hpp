@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+/// \file left_edge.hpp
+/// The classic left-edge channel-routing algorithm: "Within the dynamically
+/// assigned channel the subnets can be track-assigned using standard channel
+/// routing algorithms which try to minimize the number of tracks used."
+/// Intervals belonging to the same net may share a track and may abut;
+/// intervals of different nets on one track must be disjoint.
+
+namespace gcr::detail {
+
+struct TrackInterval {
+  geom::Interval span;
+  std::size_t net = 0;
+};
+
+struct TrackAssignment {
+  /// Track index per input interval (same order as the input).
+  std::vector<std::size_t> track_of;
+  std::size_t tracks_used = 0;
+};
+
+/// Assigns each interval to the lowest feasible track (left-edge greedy).
+/// Deterministic: ties broken by input order after the left-edge sort.
+[[nodiscard]] TrackAssignment left_edge(
+    const std::vector<TrackInterval>& intervals);
+
+}  // namespace gcr::detail

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "layout/layout.hpp"
+#include "search/searcher.hpp"
+
+/// \file track_router.hpp
+/// Track-level realization: the "detailed routing and layer assignment" that
+/// follows global routing.
+///
+/// The paper: "This approach does require a detailed router to follow which
+/// does the track assignment ... The processor time consumed by global
+/// routing is always less than the time consumed by detailed routing and
+/// layer assignment."  The reason is resolution: global routing searches the
+/// sparse escape-line graph between macros, while detailed routing must
+/// produce legal geometry at wire-pitch resolution, wire by wire, with nets
+/// blocking one another and vias at every layer change.
+///
+/// This module is that substrate: a classic two-layer gridded track router.
+/// Layer 0 carries horizontal wires, layer 1 vertical wires (the H/V
+/// convention), vias connect the layers at a configurable cost, and every
+/// routed net occupies its grid cells against later nets.  Each global
+/// connection is re-routed at grid resolution between its endpoints; the
+/// global route's corridor gives the net ordering (netlist order, as a 1984
+/// system would).
+
+namespace gcr::detail {
+
+/// A grid state of the two-layer routing fabric.
+struct TrackPoint {
+  std::int32_t ix = 0;
+  std::int32_t iy = 0;
+  std::uint8_t layer = 0;  ///< 0 = horizontal layer, 1 = vertical layer
+
+  friend constexpr auto operator<=>(const TrackPoint&, const TrackPoint&) =
+      default;
+};
+
+struct TrackRouteOptions {
+  /// Routing grid pitch in DBU ("the minimum wire spacing").
+  geom::Coord pitch = 2;
+  /// Cost of a via, in multiples of the pitch cost.
+  geom::Cost via_cost = 4;
+  /// Abort threshold per connection (0 = unlimited).
+  std::size_t max_expansions = 0;
+};
+
+/// One realized wire path (grid points in order, layer changes = vias).
+struct TrackWire {
+  std::size_t net = 0;
+  std::vector<geom::Point> points;  ///< DBU positions
+  std::vector<std::uint8_t> layers; ///< layer per point
+};
+
+struct TrackRealization {
+  std::size_t connections_routed = 0;
+  std::size_t connections_failed = 0;
+  std::size_t via_count = 0;
+  geom::Cost total_wirelength = 0;  ///< DBU, vias excluded
+  std::vector<TrackWire> wires;
+  search::SearchStats stats;
+};
+
+/// The two-layer occupancy fabric plus the per-connection router.
+class TrackRouter {
+ public:
+  TrackRouter(const layout::Layout& lay, TrackRouteOptions opts = {});
+
+  /// Realizes every connection of every successfully globally-routed net.
+  /// Earlier nets' wires block later nets (grid cells owned per net).
+  [[nodiscard]] TrackRealization realize(const route::NetlistResult& global);
+
+  /// Routes one two-point connection at track level; on success the wire is
+  /// committed to the fabric.  Exposed for tests.
+  [[nodiscard]] bool route_connection(std::size_t net, const geom::Point& a,
+                                      const geom::Point& b,
+                                      TrackRealization& out);
+
+  [[nodiscard]] std::int32_t nx() const noexcept { return nx_; }
+  [[nodiscard]] std::int32_t ny() const noexcept { return ny_; }
+
+ private:
+  [[nodiscard]] std::size_t flat(std::int32_t ix, std::int32_t iy,
+                                 std::uint8_t layer) const noexcept {
+    return (static_cast<std::size_t>(layer) * static_cast<std::size_t>(ny_) +
+            static_cast<std::size_t>(iy)) *
+               static_cast<std::size_t>(nx_) +
+           static_cast<std::size_t>(ix);
+  }
+
+  /// Owner net of a fabric cell; kFree or kBlocked otherwise.
+  static constexpr std::uint32_t kFree = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kBlocked = 0xFFFFFFFEu;
+
+  [[nodiscard]] bool usable(const TrackPoint& p, std::uint32_t net) const;
+
+  geom::Point origin_;
+  TrackRouteOptions opts_;
+  std::int32_t nx_ = 0;
+  std::int32_t ny_ = 0;
+  std::vector<std::uint32_t> owner_;  ///< 2 * ny * nx fabric cells
+};
+
+}  // namespace gcr::detail
+
+template <>
+struct std::hash<gcr::detail::TrackPoint> {
+  std::size_t operator()(const gcr::detail::TrackPoint& p) const noexcept {
+    return (static_cast<std::size_t>(static_cast<std::uint32_t>(p.ix)) << 33) ^
+           (static_cast<std::size_t>(static_cast<std::uint32_t>(p.iy)) << 1) ^
+           p.layer;
+  }
+};

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+/// \file coord.hpp
+/// Database-unit coordinate type for the routing plane.
+///
+/// The paper's line-search formulation is gridless: pin and cell coordinates
+/// are arbitrary integers (database units), not grid indices.  A 64-bit signed
+/// integer keeps every derived quantity (Manhattan distances, path costs,
+/// ray-trace spans) exactly representable without overflow for any realistic
+/// layout extent.
+
+namespace gcr::geom {
+
+/// A coordinate in database units.  Signed so that halos around the layout
+/// boundary and reflected/negative placements are representable.
+using Coord = std::int64_t;
+
+/// Cost/weight type for path costs.  Edge weights are rectilinear distances
+/// (non-negative, as the paper requires for the termination argument), but
+/// generalized cost models add penalties, so costs get their own alias.
+using Cost = std::int64_t;
+
+/// Sentinel for "no coordinate" / unbounded ray extents.
+inline constexpr Coord kCoordMax = std::numeric_limits<Coord>::max() / 4;
+inline constexpr Coord kCoordMin = -kCoordMax;
+
+/// Sentinel for "infinite" cost (never produced by a finite path).
+inline constexpr Cost kCostInf = std::numeric_limits<Cost>::max() / 4;
+
+/// Absolute difference of two coordinates; the building block of the
+/// rectilinear (Manhattan) metric used for both edge weights and the A*
+/// heuristic.
+[[nodiscard]] constexpr Coord coord_abs_diff(Coord a, Coord b) noexcept {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace gcr::geom

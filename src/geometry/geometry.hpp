@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file geometry.hpp
+/// Umbrella header for the geometry substrate.
+
+#include "geometry/coord.hpp"     // IWYU pragma: export
+#include "geometry/interval.hpp"  // IWYU pragma: export
+#include "geometry/point.hpp"     // IWYU pragma: export
+#include "geometry/polygon.hpp"   // IWYU pragma: export
+#include "geometry/rect.hpp"      // IWYU pragma: export
+#include "geometry/segment.hpp"   // IWYU pragma: export

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <compare>
+#include <ostream>
+
+#include "geometry/coord.hpp"
+
+/// \file interval.hpp
+/// Closed 1-D intervals.  Rectangles are products of two intervals; ray
+/// tracing and escape-line stabbing reduce to interval tests.
+
+namespace gcr::geom {
+
+/// A closed interval [lo, hi] on one axis.  Empty iff lo > hi.
+struct Interval {
+  Coord lo = 0;
+  Coord hi = -1;  // default-constructed interval is empty
+
+  constexpr Interval() = default;
+  constexpr Interval(Coord l, Coord h) : lo(l), hi(h) {}
+
+  friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+
+  [[nodiscard]] constexpr bool empty() const noexcept { return lo > hi; }
+  [[nodiscard]] constexpr Coord length() const noexcept {
+    return empty() ? 0 : hi - lo;
+  }
+
+  /// Closed containment: lo <= v <= hi.
+  [[nodiscard]] constexpr bool contains(Coord v) const noexcept {
+    return lo <= v && v <= hi;
+  }
+
+  /// Open containment: lo < v < hi.  Used for "does a ray cross the *open*
+  /// interior of a cell edge span" — cells block only their open interiors so
+  /// routes may hug boundaries.
+  [[nodiscard]] constexpr bool contains_open(Coord v) const noexcept {
+    return lo < v && v < hi;
+  }
+
+  [[nodiscard]] constexpr bool contains(const Interval& o) const noexcept {
+    return !o.empty() && lo <= o.lo && o.hi <= hi;
+  }
+
+  /// Closed-closed overlap (shares at least a point).
+  [[nodiscard]] constexpr bool overlaps(const Interval& o) const noexcept {
+    return !empty() && !o.empty() && lo <= o.hi && o.lo <= hi;
+  }
+
+  /// Overlap with positive length (shares more than a point).
+  [[nodiscard]] constexpr bool overlaps_open(const Interval& o) const noexcept {
+    return !empty() && !o.empty() && lo < o.hi && o.lo < hi;
+  }
+
+  [[nodiscard]] constexpr Interval intersection(const Interval& o) const noexcept {
+    return Interval{std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  /// Smallest interval containing both (treats empty as identity).
+  [[nodiscard]] constexpr Interval hull(const Interval& o) const noexcept {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return Interval{std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  [[nodiscard]] constexpr Interval inflated(Coord by) const noexcept {
+    return empty() ? *this : Interval{lo - by, hi + by};
+  }
+
+  /// Clamp \p v into the interval (requires non-empty).
+  [[nodiscard]] constexpr Coord clamp(Coord v) const noexcept {
+    assert(!empty());
+    return std::clamp(v, lo, hi);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << '[' << iv.lo << ',' << iv.hi << ']';
+}
+
+}  // namespace gcr::geom

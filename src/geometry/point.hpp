@@ -1,0 +1,106 @@
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <ostream>
+
+#include "geometry/coord.hpp"
+
+/// \file point.hpp
+/// The atomic unit of the paper's data structure: "The atomic unit of the
+/// data structure is the point."  Points are plain value types; the dynamic
+/// x/y topological linking the paper describes lives in spatial::ObstacleIndex.
+
+namespace gcr::geom {
+
+/// Axis selector for axis-parallel geometry.  Rectilinear routing only ever
+/// moves along one axis at a time.
+enum class Axis : std::uint8_t { kX = 0, kY = 1 };
+
+/// The axis orthogonal to \p a.
+[[nodiscard]] constexpr Axis other(Axis a) noexcept {
+  return a == Axis::kX ? Axis::kY : Axis::kX;
+}
+
+/// One of the four rectilinear probe directions used by the line search.
+enum class Dir : std::uint8_t { kEast = 0, kWest = 1, kNorth = 2, kSouth = 3 };
+
+inline constexpr Dir kAllDirs[4] = {Dir::kEast, Dir::kWest, Dir::kNorth,
+                                    Dir::kSouth};
+
+[[nodiscard]] constexpr Axis axis_of(Dir d) noexcept {
+  return (d == Dir::kEast || d == Dir::kWest) ? Axis::kX : Axis::kY;
+}
+
+/// +1 for increasing-coordinate directions (east/north), -1 otherwise.
+[[nodiscard]] constexpr int sign_of(Dir d) noexcept {
+  return (d == Dir::kEast || d == Dir::kNorth) ? 1 : -1;
+}
+
+[[nodiscard]] constexpr Dir opposite(Dir d) noexcept {
+  switch (d) {
+    case Dir::kEast: return Dir::kWest;
+    case Dir::kWest: return Dir::kEast;
+    case Dir::kNorth: return Dir::kSouth;
+    case Dir::kSouth: return Dir::kNorth;
+  }
+  return Dir::kEast;  // unreachable
+}
+
+/// A point in the routing plane (database units).
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend constexpr auto operator<=>(const Point&, const Point&) = default;
+
+  /// Coordinate along \p a.
+  [[nodiscard]] constexpr Coord along(Axis a) const noexcept {
+    return a == Axis::kX ? x : y;
+  }
+
+  /// Mutable access to the coordinate along \p a.
+  [[nodiscard]] constexpr Coord& along(Axis a) noexcept {
+    return a == Axis::kX ? x : y;
+  }
+
+  /// The point displaced by \p delta along direction \p d.
+  [[nodiscard]] constexpr Point stepped(Dir d, Coord delta) const noexcept {
+    Point p = *this;
+    p.along(axis_of(d)) += sign_of(d) * delta;
+    return p;
+  }
+};
+
+/// Rectilinear (Manhattan) distance — the paper's edge weight and, from a node
+/// to the goal, its admissible heuristic h-hat: "the best you can do using
+/// Manhattan geometry is a connection whose length is equal to the rectilinear
+/// distance between the two points."
+[[nodiscard]] constexpr Cost manhattan(const Point& a, const Point& b) noexcept {
+  return coord_abs_diff(a.x, b.x) + coord_abs_diff(a.y, b.y);
+}
+
+/// True when \p a and \p b share an axis-parallel line (a rectilinear segment
+/// can join them without a bend).
+[[nodiscard]] constexpr bool colinear_rectilinear(const Point& a,
+                                                  const Point& b) noexcept {
+  return a.x == b.x || a.y == b.y;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ',' << p.y << ')';
+}
+
+}  // namespace gcr::geom
+
+template <>
+struct std::hash<gcr::geom::Point> {
+  std::size_t operator()(const gcr::geom::Point& p) const noexcept {
+    // Split-mix style combine; points cluster on escape lines, so mix well.
+    std::uint64_t h = static_cast<std::uint64_t>(p.x) * 0x9E3779B97F4A7C15ULL;
+    h ^= static_cast<std::uint64_t>(p.y) + 0x9E3779B97F4A7C15ULL + (h << 6) +
+         (h >> 2);
+    return static_cast<std::size_t>(h);
+  }
+};

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "geometry/rect.hpp"
+#include "geometry/segment.hpp"
+
+/// \file polygon.hpp
+/// Orthogonal (rectilinear) polygons — the paper's proposed extension beyond
+/// rectangular cells: "Another useful extension would be to allow orthogonal
+/// polygons for the cell boundaries."  We support them by decomposing each
+/// polygon into axis-aligned rectangles; the router then sees only rectangles,
+/// so admissibility of the line search is preserved unchanged.
+
+namespace gcr::geom {
+
+/// A simple orthogonal polygon given by its vertex cycle.  Consecutive
+/// vertices must alternate horizontal/vertical moves; the boundary must not
+/// self-intersect.  Orientation (CW/CCW) is accepted either way.
+class OrthoPolygon {
+ public:
+  OrthoPolygon() = default;
+  explicit OrthoPolygon(std::vector<Point> vertices);
+
+  /// Rectangle convenience: a 4-vertex polygon.
+  [[nodiscard]] static OrthoPolygon from_rect(const Rect& r);
+
+  [[nodiscard]] const std::vector<Point>& vertices() const noexcept {
+    return vertices_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return vertices_.empty(); }
+
+  /// Structural validity: >= 4 vertices, axis-parallel alternating edges,
+  /// closed, no repeated vertices, no self-intersection, positive area.
+  [[nodiscard]] bool valid() const;
+
+  /// Boundary edges in vertex order (closing edge included).
+  [[nodiscard]] std::vector<Segment> edges() const;
+
+  [[nodiscard]] Rect bounding_box() const noexcept;
+
+  [[nodiscard]] Cost area() const;
+
+  /// True when \p p is inside or on the boundary.
+  [[nodiscard]] bool contains(const Point& p) const;
+
+  /// True when \p p is strictly interior.
+  [[nodiscard]] bool contains_open(const Point& p) const;
+
+  /// Slab decomposition into disjoint-interior rectangles whose union is the
+  /// polygon.  Adjacent rectangles share full edges; the decomposition is
+  /// deterministic (vertical slabs between consecutive distinct vertex x's).
+  [[nodiscard]] std::vector<Rect> decompose() const;
+
+  /// The decomposition plus overlap "seam covers": because obstacles block
+  /// only their *open* interiors, the shared edge between two adjacent
+  /// decomposition rectangles would otherwise be a zero-width routable
+  /// corridor through the polygon's body.  Each seam gains a 2-DBU-wide
+  /// cover rectangle (still inside the polygon), so the union blocks exactly
+  /// the polygon interior.  This is the set routers must use.
+  [[nodiscard]] std::vector<Rect> blocking_rects() const;
+
+ private:
+  std::vector<Point> vertices_;
+};
+
+std::ostream& operator<<(std::ostream& os, const OrthoPolygon& poly);
+
+}  // namespace gcr::geom

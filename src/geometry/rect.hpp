@@ -1,0 +1,145 @@
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <compare>
+#include <ostream>
+
+#include "geometry/interval.hpp"
+#include "geometry/point.hpp"
+
+/// \file rect.hpp
+/// Axis-aligned rectangles — the paper's cell abstraction ("the blocks must be
+/// rectangular, oriented orthogonally").  A rectangle blocks routing through
+/// its *open interior*; its boundary is routable, which is what lets optimal
+/// paths "hug the boundaries of cells".
+
+namespace gcr::geom {
+
+/// Axis-aligned closed rectangle [xlo,xhi] x [ylo,yhi].  Degenerate (zero
+/// width/height) rectangles are permitted as geometric values but rejected as
+/// cell outlines by layout validation.
+struct Rect {
+  Coord xlo = 0, ylo = 0;
+  Coord xhi = -1, yhi = -1;  // default-constructed rect is empty
+
+  constexpr Rect() = default;
+  constexpr Rect(Coord x0, Coord y0, Coord x1, Coord y1)
+      : xlo(x0), ylo(y0), xhi(x1), yhi(y1) {}
+  constexpr Rect(const Point& a, const Point& b)
+      : xlo(std::min(a.x, b.x)),
+        ylo(std::min(a.y, b.y)),
+        xhi(std::max(a.x, b.x)),
+        yhi(std::max(a.y, b.y)) {}
+
+  friend constexpr auto operator<=>(const Rect&, const Rect&) = default;
+
+  [[nodiscard]] static constexpr Rect from_intervals(const Interval& x,
+                                                     const Interval& y) {
+    return Rect{x.lo, y.lo, x.hi, y.hi};
+  }
+
+  [[nodiscard]] constexpr Interval xs() const noexcept { return {xlo, xhi}; }
+  [[nodiscard]] constexpr Interval ys() const noexcept { return {ylo, yhi}; }
+  [[nodiscard]] constexpr Interval span(Axis a) const noexcept {
+    return a == Axis::kX ? xs() : ys();
+  }
+
+  [[nodiscard]] constexpr bool empty() const noexcept {
+    return xlo > xhi || ylo > yhi;
+  }
+  /// Positive area in both dimensions (a real block, not a line or point).
+  [[nodiscard]] constexpr bool proper() const noexcept {
+    return xlo < xhi && ylo < yhi;
+  }
+
+  [[nodiscard]] constexpr Coord width() const noexcept { return xhi - xlo; }
+  [[nodiscard]] constexpr Coord height() const noexcept { return yhi - ylo; }
+  [[nodiscard]] constexpr Cost half_perimeter() const noexcept {
+    return width() + height();
+  }
+  [[nodiscard]] constexpr Cost area() const noexcept {
+    return empty() ? 0 : width() * height();
+  }
+
+  [[nodiscard]] constexpr Point ll() const noexcept { return {xlo, ylo}; }
+  [[nodiscard]] constexpr Point lr() const noexcept { return {xhi, ylo}; }
+  [[nodiscard]] constexpr Point ul() const noexcept { return {xlo, yhi}; }
+  [[nodiscard]] constexpr Point ur() const noexcept { return {xhi, yhi}; }
+  [[nodiscard]] constexpr std::array<Point, 4> corners() const noexcept {
+    return {ll(), lr(), ur(), ul()};
+  }
+  [[nodiscard]] constexpr Point center() const noexcept {
+    return {(xlo + xhi) / 2, (ylo + yhi) / 2};
+  }
+
+  /// Closed containment (boundary included).
+  [[nodiscard]] constexpr bool contains(const Point& p) const noexcept {
+    return xs().contains(p.x) && ys().contains(p.y);
+  }
+  /// Open containment (strict interior).  The blocking predicate for routing.
+  [[nodiscard]] constexpr bool contains_open(const Point& p) const noexcept {
+    return xs().contains_open(p.x) && ys().contains_open(p.y);
+  }
+  [[nodiscard]] constexpr bool contains(const Rect& o) const noexcept {
+    return !o.empty() && xs().contains(o.xs()) && ys().contains(o.ys());
+  }
+  /// True when \p p lies on the rectangle's boundary.
+  [[nodiscard]] constexpr bool on_boundary(const Point& p) const noexcept {
+    return contains(p) && !contains_open(p);
+  }
+
+  /// Closed intersection test (touching counts).
+  [[nodiscard]] constexpr bool intersects(const Rect& o) const noexcept {
+    return xs().overlaps(o.xs()) && ys().overlaps(o.ys());
+  }
+  /// Open intersection test: interiors overlap (touching does not count).
+  /// Placement validation requires cells be a *non-zero* distance apart, so
+  /// even closed intersection is illegal between cells; this predicate is the
+  /// weaker overlap notion used for geometric bookkeeping.
+  [[nodiscard]] constexpr bool intersects_open(const Rect& o) const noexcept {
+    return xs().overlaps_open(o.xs()) && ys().overlaps_open(o.ys());
+  }
+
+  [[nodiscard]] constexpr Rect intersection(const Rect& o) const noexcept {
+    return from_intervals(xs().intersection(o.xs()), ys().intersection(o.ys()));
+  }
+  [[nodiscard]] constexpr Rect hull(const Rect& o) const noexcept {
+    return from_intervals(xs().hull(o.xs()), ys().hull(o.ys()));
+  }
+  [[nodiscard]] constexpr Rect hull(const Point& p) const noexcept {
+    return hull(Rect{p, p});
+  }
+  [[nodiscard]] constexpr Rect inflated(Coord by) const noexcept {
+    return empty() ? *this
+                   : Rect{xlo - by, ylo - by, xhi + by, yhi + by};
+  }
+
+  /// Rectilinear separation between two rectangles: 0 when they touch or
+  /// overlap, otherwise the Manhattan gap.  Placement validation requires this
+  /// to be strictly positive between every pair of cells.
+  [[nodiscard]] constexpr Coord separation(const Rect& o) const noexcept {
+    const Coord dx = std::max<Coord>(
+        0, std::max(o.xlo - xhi, xlo - o.xhi));
+    const Coord dy = std::max<Coord>(
+        0, std::max(o.ylo - yhi, ylo - o.yhi));
+    return dx + dy;
+  }
+
+  /// Manhattan distance from a point to the closed rectangle (0 if inside).
+  [[nodiscard]] constexpr Cost distance(const Point& p) const noexcept {
+    const Coord dx =
+        p.x < xlo ? xlo - p.x : (p.x > xhi ? p.x - xhi : 0);
+    const Coord dy =
+        p.y < ylo ? ylo - p.y : (p.y > yhi ? p.y - yhi : 0);
+    return dx + dy;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << '[' << r.xlo << ',' << r.ylo << " .. " << r.xhi << ',' << r.yhi
+            << ']';
+}
+
+}  // namespace gcr::geom

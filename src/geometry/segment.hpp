@@ -1,0 +1,120 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <compare>
+#include <optional>
+#include <ostream>
+
+#include "geometry/point.hpp"
+#include "geometry/rect.hpp"
+
+/// \file segment.hpp
+/// Axis-parallel line segments.  "Points are linked dynamically to form line
+/// segments which can either be edges of boxes (cells) or segments of wire
+/// nets."  Segments are the edges of the search graph and, after routing, the
+/// pieces of every global route.
+
+namespace gcr::geom {
+
+/// A closed axis-parallel segment between two points.  Degenerate segments
+/// (a == b) are allowed; they arise when a route visits a point without
+/// moving (e.g. a terminal directly on the current frontier).
+struct Segment {
+  Point a;
+  Point b;
+
+  constexpr Segment() = default;
+  constexpr Segment(Point p, Point q) : a(p), b(q) {
+    assert(colinear_rectilinear(p, q) && "segments must be axis-parallel");
+  }
+
+  friend constexpr auto operator<=>(const Segment&, const Segment&) = default;
+
+  [[nodiscard]] constexpr bool degenerate() const noexcept { return a == b; }
+
+  /// The axis the segment runs along.  A degenerate segment reports kX.
+  [[nodiscard]] constexpr Axis axis() const noexcept {
+    return a.x == b.x && a.y != b.y ? Axis::kY : Axis::kX;
+  }
+
+  [[nodiscard]] constexpr bool horizontal() const noexcept {
+    return axis() == Axis::kX;
+  }
+  [[nodiscard]] constexpr bool vertical() const noexcept {
+    return axis() == Axis::kY;
+  }
+
+  [[nodiscard]] constexpr Cost length() const noexcept {
+    return manhattan(a, b);
+  }
+
+  /// The coordinate shared by every point of the segment (y for horizontal,
+  /// x for vertical).  Degenerate segments report their y.
+  [[nodiscard]] constexpr Coord track() const noexcept {
+    return axis() == Axis::kX ? a.y : a.x;
+  }
+
+  /// The interval the segment spans along its own axis.
+  [[nodiscard]] constexpr Interval span() const noexcept {
+    const Axis ax = axis();
+    const Coord lo = std::min(a.along(ax), b.along(ax));
+    const Coord hi = std::max(a.along(ax), b.along(ax));
+    return {lo, hi};
+  }
+
+  [[nodiscard]] constexpr Rect bounds() const noexcept { return Rect{a, b}; }
+
+  [[nodiscard]] constexpr bool contains(const Point& p) const noexcept {
+    if (degenerate()) return p == a;
+    if (axis() == Axis::kX) return p.y == a.y && span().contains(p.x);
+    return p.x == a.x && span().contains(p.y);
+  }
+
+  /// Crossing point of two perpendicular segments, if they intersect
+  /// (endpoint touches count).  Parallel segments yield nullopt even when
+  /// overlapping; overlap is handled by span arithmetic at the call sites.
+  [[nodiscard]] constexpr std::optional<Point> crossing(
+      const Segment& o) const noexcept {
+    if (degenerate() || o.degenerate()) {
+      if (degenerate() && o.contains(a)) return a;
+      if (o.degenerate() && contains(o.a)) return o.a;
+      return std::nullopt;
+    }
+    if (axis() == o.axis()) return std::nullopt;
+    const Segment& h = horizontal() ? *this : o;
+    const Segment& v = horizontal() ? o : *this;
+    const Point x{v.a.x, h.a.y};
+    if (h.span().contains(x.x) && v.span().contains(x.y)) return x;
+    return std::nullopt;
+  }
+
+  /// True when the segment passes through the *open interior* of \p r —
+  /// i.e. routing along this segment would violate the block.  Touching or
+  /// running along the boundary (hugging) is legal and returns false.
+  [[nodiscard]] constexpr bool pierces(const Rect& r) const noexcept {
+    if (!r.proper()) return false;
+    if (degenerate()) return r.contains_open(a);
+    if (axis() == Axis::kX) {
+      return r.ys().contains_open(a.y) &&
+             span().overlaps_open(Interval{r.xlo, r.xhi});
+    }
+    return r.xs().contains_open(a.x) &&
+           span().overlaps_open(Interval{r.ylo, r.yhi});
+  }
+
+  /// Perpendicular projection of \p p onto the segment's line, clamped to the
+  /// segment.  Used to find candidate tree-connection points when extending a
+  /// partially built Steiner tree toward a new terminal.
+  [[nodiscard]] constexpr Point closest_point(const Point& p) const noexcept {
+    if (degenerate()) return a;
+    if (axis() == Axis::kX) return {span().clamp(p.x), a.y};
+    return {a.x, span().clamp(p.y)};
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Segment& s) {
+  return os << s.a << '-' << s.b;
+}
+
+}  // namespace gcr::geom

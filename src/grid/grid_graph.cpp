@@ -1,0 +1,73 @@
+#include "grid/grid_graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gcr::grid {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+GridGraph::GridGraph(const spatial::ObstacleIndex& index, Coord pitch)
+    : pitch_(pitch) {
+  assert(pitch >= 1);
+  const Rect& b = index.boundary();
+  origin_ = b.ll();
+  nx_ = static_cast<std::int32_t>(b.width() / pitch) + 1;
+  ny_ = static_cast<std::int32_t>(b.height() / pitch) + 1;
+  blocked_.assign(vertex_count(), 0);
+
+  // Rasterize each obstacle's open interior: grid coordinates strictly
+  // between the obstacle edges are blocked.
+  for (const Rect& r : index.obstacles()) {
+    // Smallest index with origin + i*pitch > r.xlo  and largest with < r.xhi.
+    const auto first_inside = [this](Coord lo, Coord org) {
+      return static_cast<std::int32_t>((lo - org) / pitch_) + 1;
+    };
+    const auto last_inside = [this](Coord hi, Coord org) {
+      Coord q = (hi - org) / pitch_;
+      if (org + q * pitch_ >= hi) --q;
+      return static_cast<std::int32_t>(q);
+    };
+    const std::int32_t ix0 = std::max(0, first_inside(r.xlo, origin_.x));
+    const std::int32_t ix1 = std::min(nx_ - 1, last_inside(r.xhi, origin_.x));
+    const std::int32_t iy0 = std::max(0, first_inside(r.ylo, origin_.y));
+    const std::int32_t iy1 = std::min(ny_ - 1, last_inside(r.yhi, origin_.y));
+    for (std::int32_t iy = iy0; iy <= iy1; ++iy) {
+      for (std::int32_t ix = ix0; ix <= ix1; ++ix) {
+        blocked_[flat(GridPoint{ix, iy})] = 1;
+      }
+    }
+  }
+}
+
+GridPoint GridGraph::nearest(const Point& p) const noexcept {
+  const auto clamp_idx = [](Coord v, std::int32_t n) {
+    return static_cast<std::int32_t>(
+        std::clamp<Coord>(v, 0, static_cast<Coord>(n - 1)));
+  };
+  const Coord ix = (p.x - origin_.x + pitch_ / 2) / pitch_;
+  const Coord iy = (p.y - origin_.y + pitch_ / 2) / pitch_;
+  return {clamp_idx(ix, nx_), clamp_idx(iy, ny_)};
+}
+
+std::optional<GridPoint> GridGraph::snap(const Point& p) const {
+  const GridPoint c = nearest(p);
+  if (routable(c)) return c;
+  const std::int32_t max_ring = std::max(nx_, ny_);
+  for (std::int32_t ring = 1; ring < max_ring; ++ring) {
+    for (std::int32_t dx = -ring; dx <= ring; ++dx) {
+      const std::int32_t rem = ring - (dx < 0 ? -dx : dx);
+      for (const std::int32_t dy : {-rem, rem}) {
+        const GridPoint g{c.ix + dx, c.iy + dy};
+        if (routable(g)) return g;
+        if (rem == 0) break;  // avoid testing the same point twice
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace gcr::grid

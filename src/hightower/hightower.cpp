@@ -1,0 +1,178 @@
+#include "hightower/hightower.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_set>
+
+namespace gcr::hightower {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Dir;
+using geom::Point;
+using geom::Segment;
+
+namespace {
+
+/// An escape line: a maximal free segment plus the point on its parent line
+/// it was erected through (for path back-tracing).
+struct Line {
+  Segment seg;
+  int parent = -1;
+  Point via;  // on both this line and its parent (== the origin for roots)
+};
+
+struct Side {
+  std::vector<Line> lines;
+  Point origin;
+  int active = -1;   // index of the line currently being escaped from
+  bool stuck = false;
+};
+
+struct VisitKey {
+  Point p;
+  Axis axis;
+  bool operator==(const VisitKey&) const = default;
+};
+
+struct VisitHash {
+  std::size_t operator()(const VisitKey& k) const noexcept {
+    return std::hash<Point>{}(k.p) * 2 + static_cast<std::size_t>(k.axis);
+  }
+};
+
+Segment maximal_line(const spatial::ObstacleIndex& idx, const Point& p,
+                     Axis axis) {
+  if (axis == Axis::kX) {
+    const Coord w = idx.trace(p, Dir::kWest).stop;
+    const Coord e = idx.trace(p, Dir::kEast).stop;
+    return Segment{Point{w, p.y}, Point{e, p.y}};
+  }
+  const Coord s = idx.trace(p, Dir::kSouth).stop;
+  const Coord n = idx.trace(p, Dir::kNorth).stop;
+  return Segment{Point{p.x, s}, Point{p.x, n}};
+}
+
+/// Walks from \p meet back along one side's via chain to its origin.
+std::vector<Point> trace_back(const Side& side, int line_idx, Point meet) {
+  std::vector<Point> pts{meet};
+  int cur = line_idx;
+  while (cur >= 0) {
+    const Line& ln = side.lines[static_cast<std::size_t>(cur)];
+    if (pts.back() != ln.via) pts.push_back(ln.via);
+    cur = ln.parent;
+  }
+  if (pts.back() != side.origin) pts.push_back(side.origin);
+  return pts;
+}
+
+}  // namespace
+
+HightowerResult HightowerRouter::route(const Point& from, const Point& to,
+                                       std::size_t max_lines) const {
+  HightowerResult out;
+  if (!obstacles_.routable(from) || !obstacles_.routable(to)) return out;
+
+  Side src, dst;
+  src.origin = from;
+  dst.origin = to;
+  std::unordered_set<VisitKey, VisitHash> visited;
+
+  const auto erect = [&](Side& side, const Point& at, Axis axis, int parent) {
+    if (!visited.insert(VisitKey{at, axis}).second) return -1;
+    side.lines.push_back(Line{maximal_line(obstacles_, at, axis), parent, at});
+    ++out.lines_used;
+    return static_cast<int>(side.lines.size() - 1);
+  };
+
+  // Hightower starts each side with the horizontal and vertical lines
+  // through the terminal.
+  erect(src, from, Axis::kX, -1);
+  erect(src, from, Axis::kY, -1);
+  erect(dst, to, Axis::kX, -1);
+  erect(dst, to, Axis::kY, -1);
+  src.active = static_cast<int>(src.lines.size()) - 1;
+  dst.active = static_cast<int>(dst.lines.size()) - 1;
+
+  const auto check_meet = [&](const Side& a, const Side& b)
+      -> std::optional<std::vector<Point>> {
+    for (std::size_t i = 0; i < a.lines.size(); ++i) {
+      for (std::size_t j = 0; j < b.lines.size(); ++j) {
+        const auto x = a.lines[i].seg.crossing(b.lines[j].seg);
+        if (!x) continue;
+        // Assemble source-side path + reversed target-side path.
+        std::vector<Point> sa =
+            trace_back(a, static_cast<int>(i), *x);
+        std::reverse(sa.begin(), sa.end());  // origin .. meet
+        const std::vector<Point> sb = trace_back(b, static_cast<int>(j), *x);
+        sa.insert(sa.end(), sb.begin() + 1, sb.end());  // meet .. other origin
+        return sa;
+      }
+    }
+    return std::nullopt;
+  };
+
+  const auto finish = [&](std::vector<Point> path, bool reversed) {
+    if (reversed) std::reverse(path.begin(), path.end());
+    out.found = true;
+    geom::Cost len = 0;
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      len += manhattan(path[i], path[i + 1]);
+    }
+    out.length = len;
+    out.path = std::move(path);
+  };
+
+  if (const auto p = check_meet(src, dst)) {
+    finish(std::move(*p), false);
+    return out;
+  }
+
+  // Greedy single-escape-line expansion: from the active line, erect one
+  // perpendicular line at the endpoint nearest the other terminal.  No
+  // backtracking beyond trying the second endpoint — Hightower's
+  // incompleteness in its purest form.
+  const auto expand = [&](Side& side, const Point& toward) -> int {
+    while (side.active >= 0) {
+      const Line& ln = side.lines[static_cast<std::size_t>(side.active)];
+      const Axis perp = other(ln.seg.axis());
+      Point e1 = ln.seg.a;
+      Point e2 = ln.seg.b;
+      if (manhattan(e2, toward) < manhattan(e1, toward)) std::swap(e1, e2);
+      for (const Point& at : {e1, e2}) {
+        const int idx = erect(side, at, perp, side.active);
+        if (idx >= 0) return idx;
+      }
+      // Both endpoints exhausted: retreat to the parent line.
+      side.active = ln.parent;
+    }
+    side.stuck = true;
+    return -1;
+  };
+
+  while ((!src.stuck || !dst.stuck) &&
+         src.lines.size() < max_lines && dst.lines.size() < max_lines) {
+    // Expand source side, then target side, checking for a meeting after
+    // each new line.
+    const int si = src.stuck ? -1 : expand(src, to);
+    if (si >= 0) {
+      src.active = si;
+      if (const auto p = check_meet(src, dst)) {
+        finish(std::move(*p), false);
+        return out;
+      }
+    }
+    const int di = dst.stuck ? -1 : expand(dst, from);
+    if (di >= 0) {
+      dst.active = di;
+      if (const auto p = check_meet(dst, src)) {
+        finish(std::move(*p), true);
+        return out;
+      }
+    }
+    if (si < 0 && di < 0) break;
+  }
+  return out;
+}
+
+}  // namespace gcr::hightower

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "spatial/obstacle_index.hpp"
+
+/// \file hightower.hpp
+/// The Hightower (1969) line-probe router, implemented as the paper's
+/// historical baseline.
+///
+/// "In 1969 David Hightower proposed using line segments as the
+/// representation instead of a large grid of points and this greatly
+/// improved the efficiency of the algorithm but caused it to fail to find
+/// some connections which could be found by a Lee-Moore router.  As a
+/// result, some routers use Hightower's algorithm for a quick first try,
+/// and if it fails, then the full power of the Lee-Moore maze search
+/// algorithm is used."
+///
+/// This implementation follows Hightower's single-escape-line discipline:
+/// both endpoints grow escape-line trees one perpendicular line at a time,
+/// each erected at a greedily chosen escape point, until a line from one
+/// side crosses a line from the other.  The greedy, non-backtracking choice
+/// is exactly what makes the algorithm incomplete — benchmark E5 measures
+/// its failure rate against the admissible searches.
+
+namespace gcr::hightower {
+
+struct HightowerResult {
+  bool found = false;
+  /// Bend polyline from source to target when found.
+  std::vector<geom::Point> path;
+  /// Rectilinear length of the path (not necessarily minimal).
+  geom::Cost length = 0;
+  /// Escape lines erected before success/failure — the effort metric.
+  std::size_t lines_used = 0;
+};
+
+class HightowerRouter {
+ public:
+  explicit HightowerRouter(const spatial::ObstacleIndex& obstacles)
+      : obstacles_(obstacles) {}
+
+  /// Attempts a two-point connection, erecting at most \p max_lines escape
+  /// lines per side before giving up.
+  [[nodiscard]] HightowerResult route(const geom::Point& from,
+                                      const geom::Point& to,
+                                      std::size_t max_lines = 64) const;
+
+ private:
+  const spatial::ObstacleIndex& obstacles_;
+};
+
+}  // namespace gcr::hightower

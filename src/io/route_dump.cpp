@@ -1,0 +1,119 @@
+#include "io/route_dump.hpp"
+
+#include <sstream>
+
+#include "io/text_format.hpp"
+
+namespace gcr::io {
+
+using geom::Point;
+using geom::Segment;
+
+void write_routes(std::ostream& out, const layout::Layout& lay,
+                  const route::NetlistResult& result) {
+  for (std::size_t n = 0; n < result.routes.size(); ++n) {
+    const route::NetRoute& nr = result.routes[n];
+    const std::string& name =
+        n < lay.nets().size() ? lay.nets()[n].name() : "?";
+    if (!nr.ok) {
+      out << "route " << name << " failed\n";
+      continue;
+    }
+    out << "route " << name << " ok wirelength " << nr.wirelength << '\n';
+    for (const Segment& s : nr.segments) {
+      out << "seg " << s.a.x << ' ' << s.a.y << ' ' << s.b.x << ' ' << s.b.y
+          << '\n';
+    }
+  }
+}
+
+std::string write_routes_string(const layout::Layout& lay,
+                                const route::NetlistResult& result) {
+  std::ostringstream os;
+  write_routes(os, lay, result);
+  return os.str();
+}
+
+route::NetlistResult read_routes(std::istream& in, const layout::Layout& lay) {
+  route::NetlistResult result;
+  result.routes.resize(lay.nets().size());
+
+  std::string line;
+  std::size_t line_no = 0;
+  long long current = -1;
+  geom::Cost recorded = 0;
+
+  const auto finish_current = [&](std::size_t at_line) {
+    if (current < 0) return;
+    route::NetRoute& nr = result.routes[static_cast<std::size_t>(current)];
+    geom::Cost geometric = 0;
+    for (const Segment& s : nr.segments) geometric += s.length();
+    if (geometric != recorded) {
+      throw ParseError(at_line, "wirelength mismatch for net " +
+                                    lay.nets()[static_cast<std::size_t>(current)]
+                                        .name());
+    }
+    nr.wirelength = geometric;
+    ++result.routed;
+    result.total_wirelength += geometric;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream is(line);
+    std::string kw;
+    if (!(is >> kw) || kw[0] == '#') continue;
+    if (kw == "route") {
+      finish_current(line_no);
+      current = -1;
+      std::string name, status;
+      if (!(is >> name >> status)) {
+        throw ParseError(line_no, "route needs: name status");
+      }
+      long long idx = -1;
+      for (std::size_t n = 0; n < lay.nets().size(); ++n) {
+        if (lay.nets()[n].name() == name) {
+          idx = static_cast<long long>(n);
+          break;
+        }
+      }
+      if (idx < 0) throw ParseError(line_no, "unknown net '" + name + "'");
+      if (status == "failed") {
+        ++result.failed;
+        continue;
+      }
+      if (status != "ok") {
+        throw ParseError(line_no, "status must be ok or failed");
+      }
+      std::string kw2;
+      if (!(is >> kw2 >> recorded) || kw2 != "wirelength") {
+        throw ParseError(line_no, "expected: wirelength <n>");
+      }
+      current = idx;
+      result.routes[static_cast<std::size_t>(current)].ok = true;
+    } else if (kw == "seg") {
+      if (current < 0) throw ParseError(line_no, "seg outside a route");
+      geom::Coord x0, y0, x1, y1;
+      if (!(is >> x0 >> y0 >> x1 >> y1)) {
+        throw ParseError(line_no, "seg needs 4 coordinates");
+      }
+      if (x0 != x1 && y0 != y1) {
+        throw ParseError(line_no, "seg must be axis-parallel");
+      }
+      result.routes[static_cast<std::size_t>(current)].segments.push_back(
+          Segment{Point{x0, y0}, Point{x1, y1}});
+    } else {
+      throw ParseError(line_no, "unknown directive '" + kw + "'");
+    }
+  }
+  finish_current(line_no);
+  return result;
+}
+
+route::NetlistResult read_routes_string(const std::string& text,
+                                        const layout::Layout& lay) {
+  std::istringstream is(text);
+  return read_routes(is, lay);
+}
+
+}  // namespace gcr::io

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/netlist_router.hpp"
+#include "layout/layout.hpp"
+
+/// \file route_dump.hpp
+/// Text serialization of global-routing results, so a routing run can be
+/// archived, diffed, or handed to a downstream detailed router as a file.
+///
+/// ```text
+/// route n1 ok wirelength 120
+/// seg 80 60 100 60
+/// seg 100 60 100 80
+/// route n2 failed
+/// ```
+
+namespace gcr::io {
+
+/// Writes every net's result (in net order) to \p out.
+void write_routes(std::ostream& out, const layout::Layout& lay,
+                  const route::NetlistResult& result);
+[[nodiscard]] std::string write_routes_string(const layout::Layout& lay,
+                                              const route::NetlistResult& result);
+
+/// Parses a dump produced by write_routes.  The layout provides net count
+/// and names; mismatched names or malformed lines throw ParseError (see
+/// text_format.hpp).  Wirelength is recomputed from the segments and checked
+/// against the recorded value.
+[[nodiscard]] route::NetlistResult read_routes(std::istream& in,
+                                               const layout::Layout& lay);
+[[nodiscard]] route::NetlistResult read_routes_string(const std::string& text,
+                                                      const layout::Layout& lay);
+
+}  // namespace gcr::io

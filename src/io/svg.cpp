@@ -1,0 +1,104 @@
+#include "io/svg.hpp"
+
+#include <array>
+#include <fstream>
+#include <sstream>
+
+namespace gcr::io {
+
+using geom::Point;
+using geom::Rect;
+
+namespace {
+
+constexpr std::array<const char*, 8> kNetColors = {
+    "#e6194b", "#3cb44b", "#4363d8", "#f58231",
+    "#911eb4", "#46f0f0", "#f032e6", "#9a6324"};
+
+}  // namespace
+
+void write_svg(std::ostream& out, const layout::Layout& lay,
+               const route::NetlistResult* routes, const SvgOptions& opts) {
+  const Rect& b = lay.boundary();
+  const double s = opts.scale;
+  const double w = static_cast<double>(b.width()) * s;
+  const double h = static_cast<double>(b.height()) * s;
+  // SVG y grows downward; flip so the layout reads in chip coordinates.
+  const auto X = [&](geom::Coord x) {
+    return (static_cast<double>(x - b.xlo)) * s;
+  };
+  const auto Y = [&](geom::Coord y) {
+    return h - (static_cast<double>(y - b.ylo)) * s;
+  };
+
+  out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w
+      << "\" height=\"" << h << "\">\n";
+  out << "<rect x=\"0\" y=\"0\" width=\"" << w << "\" height=\"" << h
+      << "\" fill=\"#fdfdf5\" stroke=\"#333\"/>\n";
+
+  for (const layout::Cell& c : lay.cells()) {
+    for (const Rect& r : c.obstacles()) {
+      out << "<rect x=\"" << X(r.xlo) << "\" y=\"" << Y(r.yhi)
+          << "\" width=\"" << static_cast<double>(r.width()) * s
+          << "\" height=\"" << static_cast<double>(r.height()) * s
+          << "\" fill=\"#cfd8dc\" stroke=\"#546e7a\"/>\n";
+    }
+    if (opts.draw_cell_names) {
+      const Point ctr = c.outline().center();
+      out << "<text x=\"" << X(ctr.x) << "\" y=\"" << Y(ctr.y)
+          << "\" font-size=\"" << 4 * s
+          << "\" text-anchor=\"middle\" fill=\"#37474f\">" << c.name()
+          << "</text>\n";
+    }
+    if (opts.draw_pins) {
+      for (const layout::Terminal& t : c.terminals()) {
+        for (const layout::Pin& p : t.pins) {
+          out << "<circle cx=\"" << X(p.pos.x) << "\" cy=\"" << Y(p.pos.y)
+              << "\" r=\"" << s << "\" fill=\"#263238\"/>\n";
+        }
+      }
+    }
+  }
+  if (opts.draw_pins) {
+    for (const layout::Terminal& t : lay.pads()) {
+      for (const layout::Pin& p : t.pins) {
+        out << "<rect x=\"" << X(p.pos.x) - s << "\" y=\"" << Y(p.pos.y) - s
+            << "\" width=\"" << 2 * s << "\" height=\"" << 2 * s
+            << "\" fill=\"#263238\"/>\n";
+      }
+    }
+  }
+
+  if (routes != nullptr) {
+    for (std::size_t n = 0; n < routes->routes.size(); ++n) {
+      const route::NetRoute& nr = routes->routes[n];
+      if (!nr.ok) continue;
+      const char* color = kNetColors[n % kNetColors.size()];
+      for (const geom::Segment& seg : nr.segments) {
+        out << "<line x1=\"" << X(seg.a.x) << "\" y1=\"" << Y(seg.a.y)
+            << "\" x2=\"" << X(seg.b.x) << "\" y2=\"" << Y(seg.b.y)
+            << "\" stroke=\"" << color << "\" stroke-width=\"" << s * 0.6
+            << "\" stroke-linecap=\"round\"/>\n";
+      }
+    }
+  }
+  out << "</svg>\n";
+}
+
+std::string svg_string(const layout::Layout& lay,
+                       const route::NetlistResult* routes,
+                       const SvgOptions& opts) {
+  std::ostringstream os;
+  write_svg(os, lay, routes, opts);
+  return os.str();
+}
+
+bool save_svg(const std::string& path, const layout::Layout& lay,
+              const route::NetlistResult* routes, const SvgOptions& opts) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_svg(f, lay, routes, opts);
+  return f.good();
+}
+
+}  // namespace gcr::io

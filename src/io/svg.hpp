@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/netlist_router.hpp"
+#include "layout/layout.hpp"
+
+/// \file svg.hpp
+/// SVG export for visual inspection of layouts and global routes — the
+/// modern stand-in for the pen plots a 1984 routing system would have
+/// produced.  Cells render as filled rectangles (polygon cells as their
+/// decomposition), pins as dots, routes as colored polylines.
+
+namespace gcr::io {
+
+struct SvgOptions {
+  /// Pixels per DBU.
+  double scale = 4.0;
+  bool draw_pins = true;
+  bool draw_cell_names = true;
+};
+
+/// Writes the layout (and optionally its routed nets) as a standalone SVG.
+void write_svg(std::ostream& out, const layout::Layout& lay,
+               const route::NetlistResult* routes = nullptr,
+               const SvgOptions& opts = {});
+
+[[nodiscard]] std::string svg_string(const layout::Layout& lay,
+                                     const route::NetlistResult* routes = nullptr,
+                                     const SvgOptions& opts = {});
+
+/// Convenience: writes the SVG to a file; returns false on I/O failure.
+bool save_svg(const std::string& path, const layout::Layout& lay,
+              const route::NetlistResult* routes = nullptr,
+              const SvgOptions& opts = {});
+
+}  // namespace gcr::io

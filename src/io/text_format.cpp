@@ -1,0 +1,219 @@
+#include "io/text_format.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace gcr::io {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '#') break;  // comment to end of line
+    out.push_back(tok);
+  }
+  return out;
+}
+
+Coord to_coord(const std::string& s, std::size_t line_no) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return static_cast<Coord>(v);
+  } catch (const std::exception&) {
+    throw ParseError(line_no, "expected integer, got '" + s + "'");
+  }
+}
+
+}  // namespace
+
+layout::Layout read_layout(std::istream& in) {
+  layout::Layout lay;
+  std::map<std::string, layout::CellId> cell_by_name;
+  std::map<std::string, std::map<std::string, std::uint32_t>> term_by_name;
+  std::map<std::string, std::uint32_t> pad_by_name;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = tokenize(line);
+    if (tok.empty()) continue;
+    const std::string& kw = tok[0];
+    const auto need = [&](std::size_t n) {
+      if (tok.size() < n + 1) {
+        throw ParseError(line_no, kw + " needs at least " +
+                                      std::to_string(n) + " arguments");
+      }
+    };
+
+    if (kw == "boundary") {
+      need(4);
+      lay.set_boundary(Rect{to_coord(tok[1], line_no), to_coord(tok[2], line_no),
+                            to_coord(tok[3], line_no),
+                            to_coord(tok[4], line_no)});
+    } else if (kw == "minsep") {
+      need(1);
+      lay.set_min_separation(to_coord(tok[1], line_no));
+    } else if (kw == "cell") {
+      need(5);
+      if (cell_by_name.count(tok[1]) != 0) {
+        throw ParseError(line_no, "duplicate cell '" + tok[1] + "'");
+      }
+      cell_by_name[tok[1]] = lay.add_cell(layout::Cell{
+          tok[1], Rect{to_coord(tok[2], line_no), to_coord(tok[3], line_no),
+                       to_coord(tok[4], line_no), to_coord(tok[5], line_no)}});
+    } else if (kw == "poly") {
+      need(7);  // name + at least 3 vertices... 4+ vertices => 8 coords
+      if ((tok.size() - 2) % 2 != 0) {
+        throw ParseError(line_no, "poly needs an even coordinate count");
+      }
+      if (cell_by_name.count(tok[1]) != 0) {
+        throw ParseError(line_no, "duplicate cell '" + tok[1] + "'");
+      }
+      std::vector<Point> verts;
+      for (std::size_t i = 2; i + 1 < tok.size(); i += 2) {
+        verts.push_back(
+            Point{to_coord(tok[i], line_no), to_coord(tok[i + 1], line_no)});
+      }
+      geom::OrthoPolygon poly(std::move(verts));
+      if (!poly.valid()) {
+        throw ParseError(line_no, "invalid orthogonal polygon '" + tok[1] + "'");
+      }
+      cell_by_name[tok[1]] = lay.add_cell(layout::Cell{tok[1], std::move(poly)});
+    } else if (kw == "term") {
+      need(4);
+      const auto it = cell_by_name.find(tok[1]);
+      if (it == cell_by_name.end()) {
+        throw ParseError(line_no, "unknown cell '" + tok[1] + "'");
+      }
+      if ((tok.size() - 3) % 2 != 0) {
+        throw ParseError(line_no, "term needs pin coordinate pairs");
+      }
+      layout::Terminal term;
+      term.name = tok[2];
+      for (std::size_t i = 3; i + 1 < tok.size(); i += 2) {
+        term.pins.push_back(layout::Pin{
+            Point{to_coord(tok[i], line_no), to_coord(tok[i + 1], line_no)},
+            term.name});
+      }
+      term_by_name[tok[1]][tok[2]] =
+          lay.cell(it->second).add_terminal(std::move(term));
+    } else if (kw == "pad") {
+      need(3);
+      if (pad_by_name.count(tok[1]) != 0) {
+        throw ParseError(line_no, "duplicate pad '" + tok[1] + "'");
+      }
+      layout::Terminal term;
+      term.name = tok[1];
+      for (std::size_t i = 2; i + 1 < tok.size(); i += 2) {
+        term.pins.push_back(layout::Pin{
+            Point{to_coord(tok[i], line_no), to_coord(tok[i + 1], line_no)},
+            term.name});
+      }
+      pad_by_name[tok[1]] = lay.add_pad(std::move(term));
+    } else if (kw == "net") {
+      need(3);
+      layout::Net net(tok[1]);
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const std::string& ref = tok[i];
+        const std::size_t dot = ref.find('.');
+        if (dot == std::string::npos) {
+          throw ParseError(line_no, "terminal ref '" + ref +
+                                        "' must be cell.term or pad.name");
+        }
+        const std::string owner = ref.substr(0, dot);
+        const std::string term = ref.substr(dot + 1);
+        if (owner == "pad") {
+          const auto it = pad_by_name.find(term);
+          if (it == pad_by_name.end()) {
+            throw ParseError(line_no, "unknown pad '" + term + "'");
+          }
+          net.add_terminal(layout::TerminalRef{layout::CellId{}, it->second});
+        } else {
+          const auto cit = cell_by_name.find(owner);
+          if (cit == cell_by_name.end()) {
+            throw ParseError(line_no, "unknown cell '" + owner + "'");
+          }
+          const auto& terms = term_by_name[owner];
+          const auto tit = terms.find(term);
+          if (tit == terms.end()) {
+            throw ParseError(line_no,
+                             "unknown terminal '" + owner + "." + term + "'");
+          }
+          net.add_terminal(layout::TerminalRef{cit->second, tit->second});
+        }
+      }
+      lay.add_net(std::move(net));
+    } else {
+      throw ParseError(line_no, "unknown directive '" + kw + "'");
+    }
+  }
+  return lay;
+}
+
+layout::Layout read_layout_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_layout(is);
+}
+
+void write_layout(std::ostream& out, const layout::Layout& lay) {
+  const Rect& b = lay.boundary();
+  out << "boundary " << b.xlo << ' ' << b.ylo << ' ' << b.xhi << ' ' << b.yhi
+      << '\n';
+  out << "minsep " << lay.min_separation() << '\n';
+  for (const layout::Cell& c : lay.cells()) {
+    if (c.polygonal()) {
+      out << "poly " << c.name();
+      for (const Point& p : c.shape().vertices()) {
+        out << ' ' << p.x << ' ' << p.y;
+      }
+      out << '\n';
+    } else {
+      const Rect& r = c.outline();
+      out << "cell " << c.name() << ' ' << r.xlo << ' ' << r.ylo << ' '
+          << r.xhi << ' ' << r.yhi << '\n';
+    }
+    for (const layout::Terminal& t : c.terminals()) {
+      out << "term " << c.name() << ' ' << t.name;
+      for (const layout::Pin& p : t.pins) {
+        out << ' ' << p.pos.x << ' ' << p.pos.y;
+      }
+      out << '\n';
+    }
+  }
+  for (const layout::Terminal& t : lay.pads()) {
+    out << "pad " << t.name;
+    for (const layout::Pin& p : t.pins) out << ' ' << p.pos.x << ' ' << p.pos.y;
+    out << '\n';
+  }
+  for (const layout::Net& n : lay.nets()) {
+    out << "net " << n.name();
+    for (const layout::TerminalRef& ref : n.terminals()) {
+      if (ref.cell.valid()) {
+        const layout::Cell& c = lay.cells()[ref.cell.value];
+        out << ' ' << c.name() << '.' << c.terminals()[ref.terminal].name;
+      } else {
+        out << " pad." << lay.pads()[ref.terminal].name;
+      }
+    }
+    out << '\n';
+  }
+}
+
+std::string write_layout_string(const layout::Layout& lay) {
+  std::ostringstream os;
+  write_layout(os, lay);
+  return os.str();
+}
+
+}  // namespace gcr::io

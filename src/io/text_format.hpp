@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "layout/layout.hpp"
+
+/// \file text_format.hpp
+/// A small line-oriented interchange format for routing problems, so that
+/// examples and tests can ship human-readable fixtures.
+///
+/// ```text
+/// # comment
+/// boundary 0 0 1024 1024
+/// minsep 8
+/// cell alu 100 100 300 260
+/// poly rom 400 100 500 100 500 200 450 200 450 150 400 150
+/// term alu a 100 120            # one pin
+/// term alu clk 100 200 300 200  # multi-pin terminal (two pins)
+/// pad vdd 0 512
+/// net n1 alu.a rom.t0 pad.vdd
+/// ```
+/// Cell terminals are referenced `cell.term`, pads `pad.name`.
+
+namespace gcr::io {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::size_t line, const std::string& what)
+      : std::runtime_error("line " + std::to_string(line) + ": " + what),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+/// Parses a layout from the text format.  Throws ParseError on malformed
+/// input (unknown directive, bad arity, dangling reference).
+[[nodiscard]] layout::Layout read_layout(std::istream& in);
+[[nodiscard]] layout::Layout read_layout_string(const std::string& text);
+
+/// Serializes a layout; read_layout(write_layout(x)) reproduces x.
+void write_layout(std::ostream& out, const layout::Layout& lay);
+[[nodiscard]] std::string write_layout_string(const layout::Layout& lay);
+
+}  // namespace gcr::io

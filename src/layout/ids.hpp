@@ -1,0 +1,61 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+/// \file ids.hpp
+/// Strong index types for layout entities.  Each is a thin wrapper over a
+/// 32-bit index into the owning container; mixing them up is a compile error.
+
+namespace gcr::layout {
+
+namespace detail {
+
+template <class Tag>
+struct StrongId {
+  std::uint32_t value = kInvalid;
+
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != kInvalid;
+  }
+  friend constexpr auto operator<=>(const StrongId&, const StrongId&) = default;
+};
+
+}  // namespace detail
+
+struct CellTag {};
+struct NetTag {};
+
+/// Index of a cell within Layout::cells().
+using CellId = detail::StrongId<CellTag>;
+/// Index of a net within Layout::nets().
+using NetId = detail::StrongId<NetTag>;
+
+/// A terminal is addressed by its owning cell plus index, or — for pads and
+/// other cell-less terminals — by an index into the layout's pad-terminal
+/// list (cell invalid).
+struct TerminalRef {
+  CellId cell;             ///< invalid() => pad terminal owned by the layout
+  std::uint32_t terminal = 0;
+
+  friend constexpr auto operator<=>(const TerminalRef&, const TerminalRef&) =
+      default;
+};
+
+}  // namespace gcr::layout
+
+template <class Tag>
+struct std::hash<gcr::layout::detail::StrongId<Tag>> {
+  std::size_t operator()(
+      const gcr::layout::detail::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,224 @@
+#include "layout/layout.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gcr::layout {
+
+std::vector<geom::Rect> Cell::obstacles() const {
+  if (!polygonal()) return {outline_};
+  return shape_->blocking_rects();
+}
+
+std::uint32_t Cell::add_terminal(Terminal t) {
+  terminals_.push_back(std::move(t));
+  return static_cast<std::uint32_t>(terminals_.size() - 1);
+}
+
+std::uint32_t Cell::add_pin_terminal(std::string name, geom::Point pos) {
+  Terminal t;
+  t.name = name;
+  t.pins.push_back(Pin{pos, std::move(name)});
+  return add_terminal(std::move(t));
+}
+
+void Cell::translate(geom::Coord dx, geom::Coord dy) {
+  outline_ = geom::Rect{outline_.xlo + dx, outline_.ylo + dy,
+                        outline_.xhi + dx, outline_.yhi + dy};
+  if (shape_.has_value()) {
+    std::vector<geom::Point> verts = shape_->vertices();
+    for (geom::Point& v : verts) {
+      v.x += dx;
+      v.y += dy;
+    }
+    shape_ = geom::OrthoPolygon{std::move(verts)};
+  }
+  for (Terminal& t : terminals_) {
+    for (Pin& p : t.pins) {
+      p.pos.x += dx;
+      p.pos.y += dy;
+    }
+  }
+}
+
+CellId Layout::add_cell(Cell c) {
+  cells_.push_back(std::move(c));
+  return CellId{static_cast<std::uint32_t>(cells_.size() - 1)};
+}
+
+std::uint32_t Layout::add_pad(Terminal t) {
+  pads_.push_back(std::move(t));
+  return static_cast<std::uint32_t>(pads_.size() - 1);
+}
+
+TerminalRef Layout::add_pad_pin(std::string name, geom::Point pos) {
+  Terminal t;
+  t.name = name;
+  t.pins.push_back(Pin{pos, std::move(name)});
+  return TerminalRef{CellId{}, add_pad(std::move(t))};
+}
+
+NetId Layout::add_net(Net n) {
+  nets_.push_back(std::move(n));
+  return NetId{static_cast<std::uint32_t>(nets_.size() - 1)};
+}
+
+bool Layout::terminal_exists(const TerminalRef& ref) const noexcept {
+  if (!ref.cell.valid()) return ref.terminal < pads_.size();
+  if (ref.cell.value >= cells_.size()) return false;
+  return ref.terminal < cells_[ref.cell.value].terminals().size();
+}
+
+const Terminal& Layout::terminal(const TerminalRef& ref) const {
+  if (!ref.cell.valid()) return pads_.at(ref.terminal);
+  return cells_.at(ref.cell.value).terminals().at(ref.terminal);
+}
+
+std::vector<geom::Rect> Layout::obstacles() const {
+  std::vector<geom::Rect> out;
+  out.reserve(cells_.size());
+  for (const Cell& c : cells_) {
+    for (const geom::Rect& r : c.obstacles()) out.push_back(r);
+  }
+  return out;
+}
+
+std::size_t Layout::pin_count() const noexcept {
+  std::size_t n = 0;
+  for (const Cell& c : cells_) {
+    for (const Terminal& t : c.terminals()) n += t.pins.size();
+  }
+  for (const Terminal& t : pads_) n += t.pins.size();
+  return n;
+}
+
+namespace {
+
+std::string describe(const TerminalRef& ref) {
+  std::ostringstream os;
+  if (ref.cell.valid()) {
+    os << "cell#" << ref.cell.value << "/term#" << ref.terminal;
+  } else {
+    os << "pad#" << ref.terminal;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<ValidationIssue> Layout::validate() const {
+  std::vector<ValidationIssue> issues;
+  const auto add = [&issues](ValidationIssue::Kind k, std::string d) {
+    issues.push_back(ValidationIssue{k, std::move(d)});
+  };
+
+  // -- Placement restrictions (paper: rectangular, orthogonal, finite and
+  //    non-zero distance apart, inside the routing boundary).
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const Cell& c = cells_[i];
+    std::ostringstream who;
+    who << "cell#" << i << " '" << c.name() << "'";
+    if (!c.outline().proper()) {
+      add(ValidationIssue::Kind::kCellNotProper, who.str());
+      continue;
+    }
+    if (c.polygonal() && !c.shape().valid()) {
+      add(ValidationIssue::Kind::kInvalidPolygon, who.str());
+      continue;
+    }
+    if (!boundary_.empty() && !boundary_.contains(c.outline())) {
+      add(ValidationIssue::Kind::kCellOutsideBoundary, who.str());
+    }
+  }
+  // Pairwise separation is measured between the cells' actual blocking
+  // rectangles (polygon cells decompose), so nested orthogonal-polygon
+  // shapes with overlapping bounding boxes are judged correctly.
+  std::vector<std::vector<geom::Rect>> cell_obstacles;
+  cell_obstacles.reserve(cells_.size());
+  for (const Cell& c : cells_) cell_obstacles.push_back(c.obstacles());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (!cells_[i].outline().proper()) continue;
+    for (std::size_t j = i + 1; j < cells_.size(); ++j) {
+      if (!cells_[j].outline().proper()) continue;
+      geom::Coord sep = geom::kCoordMax;
+      for (const geom::Rect& a : cell_obstacles[i]) {
+        for (const geom::Rect& b : cell_obstacles[j]) {
+          sep = std::min(sep, a.separation(b));
+        }
+      }
+      if (sep < min_separation_) {
+        std::ostringstream os;
+        os << "cell#" << i << " and cell#" << j << " separation " << sep
+           << " < " << min_separation_;
+        add(ValidationIssue::Kind::kCellsTooClose, os.str());
+      }
+    }
+  }
+
+  // -- Pins must not sit strictly inside any blocking interior (a pin on a
+  //    cell boundary is the normal case; a buried pin is unreachable).
+  const auto obstacle_rects = obstacles();
+  const auto check_pins = [&](const Terminal& t, const std::string& who) {
+    if (t.pins.empty()) {
+      add(ValidationIssue::Kind::kTerminalNoPins, who);
+      return;
+    }
+    for (const Pin& p : t.pins) {
+      for (const geom::Rect& r : obstacle_rects) {
+        if (r.contains_open(p.pos)) {
+          std::ostringstream os;
+          os << who << " pin " << p.pos << " inside obstacle " << r;
+          add(ValidationIssue::Kind::kPinInsideCell, os.str());
+          break;
+        }
+      }
+    }
+  };
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    for (std::size_t t = 0; t < cells_[i].terminals().size(); ++t) {
+      std::ostringstream who;
+      who << "cell#" << i << "/term#" << t;
+      check_pins(cells_[i].terminals()[t], who.str());
+    }
+  }
+  for (std::size_t t = 0; t < pads_.size(); ++t) {
+    std::ostringstream who;
+    who << "pad#" << t;
+    check_pins(pads_[t], who.str());
+  }
+
+  // -- Netlist consistency.
+  for (std::size_t n = 0; n < nets_.size(); ++n) {
+    const Net& net = nets_[n];
+    std::ostringstream who;
+    who << "net#" << n << " '" << net.name() << "'";
+    if (net.terminals().size() < 2) {
+      add(ValidationIssue::Kind::kNetTooSmall, who.str());
+    }
+    for (const TerminalRef& ref : net.terminals()) {
+      if (!terminal_exists(ref)) {
+        add(ValidationIssue::Kind::kDanglingTerminal,
+            who.str() + " -> " + describe(ref));
+      }
+    }
+  }
+  return issues;
+}
+
+std::string_view to_string(ValidationIssue::Kind k) noexcept {
+  using Kind = ValidationIssue::Kind;
+  switch (k) {
+    case Kind::kCellNotProper: return "cell-not-proper";
+    case Kind::kCellOutsideBoundary: return "cell-outside-boundary";
+    case Kind::kCellsTooClose: return "cells-too-close";
+    case Kind::kInvalidPolygon: return "invalid-polygon";
+    case Kind::kPinInsideCell: return "pin-inside-cell";
+    case Kind::kDanglingTerminal: return "dangling-terminal";
+    case Kind::kNetTooSmall: return "net-too-small";
+    case Kind::kTerminalNoPins: return "terminal-no-pins";
+  }
+  return "unknown";
+}
+
+}  // namespace gcr::layout

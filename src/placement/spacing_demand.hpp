@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "congestion/congestion_map.hpp"
+#include "core/netlist_router.hpp"
+#include "layout/layout.hpp"
+
+/// \file spacing_demand.hpp
+/// Routing-to-placement feedback: how much wider must each inter-cell
+/// passage become to carry the wires the global router put through it?
+///
+/// The paper's introduction poses the problem: the global router assumes
+/// "an unlimited number of wires may pass between any two cells", so either
+/// the designer reserves enough spacing up front, or "the routing system
+/// [must] provide feedback so that the placement can be automatically
+/// adjusted".  This module computes that feedback.
+
+namespace gcr::placement {
+
+/// A passage whose occupancy exceeds the tracks its gap can carry.
+struct SpacingDeficit {
+  congestion::Passage passage;
+  std::size_t occupancy = 0;
+  /// Extra gap width (DBU) needed: occupancy * pitch - current gap.
+  geom::Coord deficit = 0;
+};
+
+struct SpacingOptions {
+  /// Wire pitch used to convert occupancy to demanded gap width.
+  geom::Coord wire_pitch = 2;
+  /// Extra slack (DBU) added on top of the exact demand.
+  geom::Coord slack = 0;
+};
+
+/// Analyzes a routed netlist and returns every under-sized passage, sorted
+/// by descending deficit (deterministic).
+[[nodiscard]] std::vector<SpacingDeficit> spacing_deficits(
+    const layout::Layout& lay, const route::NetlistResult& routed,
+    const SpacingOptions& opts = {});
+
+/// Applies one round of placement adjustment: for each deficit, every cell
+/// on the far side of the passage shifts away by the deficit, and the
+/// routing boundary grows to keep all cells inside.  Rigid 1-D shifts
+/// preserve the placement rules (relative order and separations only grow).
+/// Returns the total area growth in DBU^2.
+geom::Cost widen_passages(layout::Layout& lay,
+                          const std::vector<SpacingDeficit>& deficits);
+
+}  // namespace gcr::placement

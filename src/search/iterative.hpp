@@ -1,0 +1,176 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "search/searcher.hpp"
+
+/// \file iterative.hpp
+/// Memory-light search drivers: iterative-deepening depth-first search and
+/// IDA* (Korf's iterative-deepening A*, published while the paper was in
+/// press).  Both re-run a bounded depth-first probe with a growing cutoff —
+/// depth for IDDFS, f = g + h for IDA* — trading re-expansion time for O(d)
+/// memory.  The paper holds the Lee-Moore grid's memory appetite against
+/// it; these drivers are the opposite end of the memory spectrum for the
+/// same state spaces, and the benches use them to complete the taxonomy.
+
+namespace gcr::search {
+
+struct IterativeOptions {
+  /// Hard ceiling on total node expansions across all passes (0 = none).
+  std::size_t max_expansions = 0;
+  /// Hard ceiling on the cutoff growth: max depth for IDDFS, max f for
+  /// IDA* (0 = none).
+  geom::Cost max_bound = 0;
+};
+
+namespace internal {
+
+/// Bounded DFS for IDA*: returns the smallest f that exceeded the bound
+/// (or kCostInf when the subtree is exhausted), and fills `path` on success.
+template <SearchSpace Space>
+geom::Cost ida_probe(const Space& space, const typename Space::State& s,
+                     geom::Cost g, geom::Cost bound,
+                     std::vector<typename Space::State>& path,
+                     SearchStats& stats, const IterativeOptions& opts,
+                     bool& found, bool& aborted) {
+  const geom::Cost f = g + space.heuristic(s);
+  if (f > bound) return f;
+  if (space.is_goal(s)) {
+    found = true;
+    path.push_back(s);
+    return f;
+  }
+  if (opts.max_expansions != 0 && stats.nodes_expanded >= opts.max_expansions) {
+    aborted = true;
+    return geom::kCostInf;
+  }
+  ++stats.nodes_expanded;
+  std::vector<Successor<typename Space::State>> succ;
+  space.successors(s, succ);
+  stats.nodes_generated += succ.size();
+
+  geom::Cost next_bound = geom::kCostInf;
+  path.push_back(s);
+  for (const auto& edge : succ) {
+    // Avoid trivial cycles: skip states already on the current path.
+    if (std::find(path.begin(), path.end(), edge.state) != path.end()) {
+      continue;
+    }
+    const geom::Cost t = ida_probe(space, edge.state, g + edge.cost, bound,
+                                   path, stats, opts, found, aborted);
+    if (found || aborted) return t;
+    next_bound = std::min(next_bound, t);
+  }
+  path.pop_back();
+  return next_bound;
+}
+
+}  // namespace internal
+
+/// IDA*: optimal on non-negative edge costs with an admissible heuristic,
+/// using memory linear in the solution depth.
+template <SearchSpace Space>
+[[nodiscard]] SearchResult<typename Space::State> ida_star(
+    const Space& space, const typename Space::State& start,
+    const IterativeOptions& opts = {}) {
+  SearchResult<typename Space::State> result;
+  geom::Cost bound = space.heuristic(start);
+  for (;;) {
+    if (opts.max_bound != 0 && bound > opts.max_bound) return result;
+    bool found = false;
+    bool aborted = false;
+    std::vector<typename Space::State> path;
+    const geom::Cost t = internal::ida_probe(space, start, 0, bound, path,
+                                             result.stats, opts, found,
+                                             aborted);
+    if (found) {
+      result.found = true;
+      result.path = std::move(path);
+      result.cost = t;
+      return result;
+    }
+    if (aborted) {
+      result.stats.aborted = true;
+      return result;
+    }
+    if (t >= geom::kCostInf) return result;  // space exhausted
+    bound = t;
+  }
+}
+
+/// Iterative-deepening DFS: complete on finite branching, blind, O(d)
+/// memory; finds a shallowest (fewest-edges) path, not a cheapest one.
+template <SearchSpace Space>
+[[nodiscard]] SearchResult<typename Space::State> iddfs(
+    const Space& space, const typename Space::State& start,
+    const IterativeOptions& opts = {}) {
+  SearchResult<typename Space::State> result;
+  for (std::size_t depth = 0;; ++depth) {
+    if (opts.max_bound != 0 &&
+        depth > static_cast<std::size_t>(opts.max_bound)) {
+      return result;
+    }
+    bool hit_limit = false;  // some branch was cut: deeper pass may help
+
+    // Explicit-stack bounded DFS with on-path cycle avoidance.
+    struct Frame {
+      typename Space::State state;
+      geom::Cost g;
+      std::vector<Successor<typename Space::State>> succ;
+      std::size_t next = 0;
+    };
+    std::vector<Frame> stack;
+    stack.push_back({start, 0, {}, 0});
+    if (space.is_goal(start)) {
+      result.found = true;
+      result.cost = 0;
+      result.path = {start};
+      return result;
+    }
+    space.successors(stack.back().state, stack.back().succ);
+    result.stats.nodes_generated += stack.back().succ.size();
+    ++result.stats.nodes_expanded;
+
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next >= top.succ.size()) {
+        stack.pop_back();
+        continue;
+      }
+      const auto& edge = top.succ[top.next++];
+      if (space.is_goal(edge.state)) {
+        result.found = true;
+        result.cost = top.g + edge.cost;
+        for (const Frame& f : stack) result.path.push_back(f.state);
+        result.path.push_back(edge.state);
+        return result;
+      }
+      if (stack.size() > depth) {
+        hit_limit = true;
+        continue;
+      }
+      bool on_path = false;
+      for (const Frame& f : stack) {
+        if (f.state == edge.state) {
+          on_path = true;
+          break;
+        }
+      }
+      if (on_path) continue;
+      if (opts.max_expansions != 0 &&
+          result.stats.nodes_expanded >= opts.max_expansions) {
+        result.stats.aborted = true;
+        return result;
+      }
+      Frame next{edge.state, top.g + edge.cost, {}, 0};
+      space.successors(next.state, next.succ);
+      result.stats.nodes_generated += next.succ.size();
+      ++result.stats.nodes_expanded;
+      stack.push_back(std::move(next));
+    }
+    if (!hit_limit) return result;  // exhausted without cutoff: no path
+  }
+}
+
+}  // namespace gcr::search

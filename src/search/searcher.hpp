@@ -1,0 +1,303 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <concepts>
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/coord.hpp"
+#include "search/stats.hpp"
+#include "search/strategy.hpp"
+
+/// \file searcher.hpp
+/// Generic graph search over an implicit state space, following the paper's
+/// presentation: an OPEN list of frontier nodes, a CLOSED list of expanded
+/// nodes, parent pointers for path back-tracing, and CLOSED-to-OPEN
+/// reopening with pointer re-direction when a shorter path to an
+/// intermediate point is found.
+///
+/// The same engine runs every strategy in the paper's taxonomy; only the
+/// OPEN-list ordering (and the termination rule for blind searches) differs.
+/// Instantiated by the gridless router (states = plane points reached by
+/// line probes), the Lee–Moore grid router (states = grid points), and the
+/// fifteen-puzzle example (states = board permutations) — demonstrating the
+/// paper's point that wire routing is one instance of general state-space
+/// search.
+
+namespace gcr::search {
+
+/// A successor edge: the reached state and the non-negative edge cost.
+template <class State>
+struct Successor {
+  State state;
+  geom::Cost cost = 0;
+};
+
+/// Requirements on a problem definition.
+template <class Space>
+concept SearchSpace = requires(const Space& sp, const typename Space::State& s,
+                               std::vector<Successor<typename Space::State>>& out) {
+  typename Space::State;
+  { sp.successors(s, out) } -> std::same_as<void>;
+  { sp.heuristic(s) } -> std::convertible_to<geom::Cost>;
+  { sp.is_goal(s) } -> std::convertible_to<bool>;
+};
+
+template <class State>
+struct SearchResult {
+  bool found = false;
+  geom::Cost cost = geom::kCostInf;
+  /// States from a start to the goal, inclusive.
+  std::vector<State> path;
+  SearchStats stats;
+};
+
+struct SearchOptions {
+  Strategy strategy = Strategy::kAStar;
+  /// Depth-first only: maximum path depth ("a depth limit is sometimes used
+  /// to prevent the algorithm from going too far down the wrong path").
+  /// 0 = unlimited.
+  std::size_t depth_limit = 0;
+  /// Abort after this many expansions (safety valve for blind strategies on
+  /// large spaces).  0 = unlimited.
+  std::size_t max_expansions = 0;
+};
+
+template <SearchSpace Space>
+class Searcher {
+ public:
+  using State = typename Space::State;
+
+  explicit Searcher(const Space& space) : space_(space) {}
+
+  /// Runs the search from (possibly several) start states.  Multiple starts
+  /// implement the multi-source tree-to-terminal searches of the Steiner
+  /// construction: every point of the partially built tree is a start.
+  [[nodiscard]] SearchResult<State> run(const std::vector<State>& starts,
+                                        const SearchOptions& opts = {}) {
+    reset();
+    SearchResult<State> result;
+    const Strategy strat = opts.strategy;
+    const bool blind =
+        strat == Strategy::kDepthFirst || strat == Strategy::kBreadthFirst;
+
+    for (const State& s : starts) {
+      const std::uint32_t idx = intern(s);
+      nodes_[idx].g = 0;
+      nodes_[idx].depth = 0;
+      nodes_[idx].parent = kNoParent;
+      push(idx, strat);
+    }
+
+    std::uint32_t best_goal = kNoParent;  // exhaustive mode tracks the best
+    geom::Cost best_goal_g = geom::kCostInf;
+
+    std::vector<Successor<State>> succ;
+    while (!open_empty(strat)) {
+      result.stats.max_open_size =
+          std::max(result.stats.max_open_size, open_size(strat));
+      const std::uint32_t cur = pop(strat);
+      if (cur == kNoParent) continue;  // stale heap entry
+      Node& node = nodes_[cur];
+      if (node.closed) continue;
+      node.closed = true;
+
+      // Termination: "the algorithm terminates when the goal node is removed
+      // from OPEN to be expanded."  Exhaustive mode ignores it and drains
+      // OPEN; blind modes terminate at generation time below (and here, in
+      // case a start is itself a goal).
+      if (space_.is_goal(states_[cur])) {
+        if (strat == Strategy::kExhaustive) {
+          if (node.g < best_goal_g) {
+            best_goal_g = node.g;
+            best_goal = cur;
+          }
+          continue;  // goals have no successors worth pursuing
+        }
+        finish(result, cur);
+        return result;
+      }
+
+      ++result.stats.nodes_expanded;
+      if (opts.max_expansions != 0 &&
+          result.stats.nodes_expanded > opts.max_expansions) {
+        result.stats.aborted = true;
+        break;
+      }
+      if (strat == Strategy::kDepthFirst && opts.depth_limit != 0 &&
+          node.depth >= opts.depth_limit) {
+        continue;  // depth cutoff: do not expand below the limit
+      }
+
+      succ.clear();
+      space_.successors(states_[cur], succ);
+      for (const Successor<State>& edge : succ) {
+        assert(edge.cost >= 0 && "edge weights must be non-negative");
+        ++result.stats.nodes_generated;
+        const std::uint32_t nxt = intern(edge.state);
+        Node& child = nodes_[nxt];
+        const geom::Cost g_new = nodes_[cur].g + edge.cost;
+
+        if (blind) {
+          // Blind searches keep the first path found to a state.
+          if (child.g != geom::kCostInf) continue;
+          child.g = g_new;
+          child.parent = cur;
+          child.depth = nodes_[cur].depth + 1;
+          if (space_.is_goal(edge.state)) {  // generation-time termination
+            finish(result, nxt);
+            return result;
+          }
+          push(nxt, strat);
+          continue;
+        }
+
+        if (g_new < child.g) {
+          // "If its new f is less than the old it must be placed back on
+          // OPEN ... its pointers must be redirected in order to reflect
+          // this new shorter path back to the start node."
+          if (child.closed) {
+            child.closed = false;
+            ++result.stats.nodes_reopened;
+          }
+          child.g = g_new;
+          child.parent = cur;
+          child.depth = nodes_[cur].depth + 1;
+          push(nxt, strat);
+        }
+      }
+    }
+
+    if (strat == Strategy::kExhaustive && best_goal != kNoParent) {
+      finish(result, best_goal);
+    }
+    return result;
+  }
+
+ private:
+  static constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
+
+  struct Node {
+    geom::Cost g = geom::kCostInf;
+    std::uint32_t parent = kNoParent;
+    std::uint32_t depth = 0;
+    bool closed = false;
+  };
+
+  struct HeapEntry {
+    geom::Cost priority;
+    std::uint64_t seq;   // FIFO tie-break for determinism
+    std::uint32_t node;
+    geom::Cost g_at_push;
+
+    bool operator>(const HeapEntry& o) const noexcept {
+      if (priority != o.priority) return priority > o.priority;
+      return seq > o.seq;
+    }
+  };
+
+  void reset() {
+    states_.clear();
+    nodes_.clear();
+    index_.clear();
+    heap_ = {};
+    fifo_.clear();
+    seq_ = 0;
+  }
+
+  std::uint32_t intern(const State& s) {
+    const auto [it, inserted] =
+        index_.try_emplace(s, static_cast<std::uint32_t>(states_.size()));
+    if (inserted) {
+      states_.push_back(s);
+      nodes_.emplace_back();
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] static bool ordered(Strategy s) noexcept {
+    return s == Strategy::kBestFirst || s == Strategy::kGreedy ||
+           s == Strategy::kAStar || s == Strategy::kExhaustive;
+  }
+
+  [[nodiscard]] geom::Cost priority_of(std::uint32_t idx, Strategy s) const {
+    switch (s) {
+      case Strategy::kBestFirst:
+      case Strategy::kExhaustive:
+        return nodes_[idx].g;
+      case Strategy::kGreedy:
+        return space_.heuristic(states_[idx]);
+      case Strategy::kAStar:
+        return nodes_[idx].g + space_.heuristic(states_[idx]);
+      default:
+        return 0;
+    }
+  }
+
+  void push(std::uint32_t idx, Strategy s) {
+    if (ordered(s)) {
+      heap_.push(HeapEntry{priority_of(idx, s), seq_++, idx, nodes_[idx].g});
+    } else {
+      fifo_.push_back(idx);
+    }
+  }
+
+  [[nodiscard]] bool open_empty(Strategy s) const {
+    return ordered(s) ? heap_.empty() : fifo_.empty();
+  }
+  [[nodiscard]] std::size_t open_size(Strategy s) const {
+    return ordered(s) ? heap_.size() : fifo_.size();
+  }
+
+  std::uint32_t pop(Strategy s) {
+    if (ordered(s)) {
+      const HeapEntry e = heap_.top();
+      heap_.pop();
+      // Lazy deletion: an entry is stale if the node found a better g since
+      // it was pushed (a fresher entry is in the heap).
+      if (e.g_at_push != nodes_[e.node].g) return kNoParent;
+      return e.node;
+    }
+    std::uint32_t idx;
+    if (s == Strategy::kDepthFirst) {
+      idx = fifo_.back();
+      fifo_.pop_back();
+    } else {
+      idx = fifo_.front();
+      fifo_.pop_front();
+    }
+    return idx;
+  }
+
+  void finish(SearchResult<State>& result, std::uint32_t goal) const {
+    result.found = true;
+    result.cost = nodes_[goal].g;
+    for (std::uint32_t n = goal; n != kNoParent; n = nodes_[n].parent) {
+      result.path.push_back(states_[n]);
+    }
+    std::reverse(result.path.begin(), result.path.end());
+  }
+
+  const Space& space_;
+  std::vector<State> states_;
+  std::vector<Node> nodes_;
+  std::unordered_map<State, std::uint32_t> index_;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap_;
+  std::deque<std::uint32_t> fifo_;
+  std::uint64_t seq_ = 0;
+};
+
+/// Convenience wrapper for single-start searches.
+template <SearchSpace Space>
+[[nodiscard]] SearchResult<typename Space::State> find_path(
+    const Space& space, const typename Space::State& start,
+    const SearchOptions& opts = {}) {
+  Searcher<Space> searcher(space);
+  return searcher.run({start}, opts);
+}
+
+}  // namespace gcr::search

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// \file strategy.hpp
+/// The paper's taxonomy of search algorithms, selectable at run time so the
+/// benchmarks can sweep them on identical problems.
+
+namespace gcr::search {
+
+enum class Strategy : std::uint8_t {
+  /// LIFO OPEN list, optional depth limit; blind.
+  kDepthFirst,
+  /// FIFO OPEN list; blind.  With unit grid successors this is Lee–Moore
+  /// wave expansion.
+  kBreadthFirst,
+  /// OPEN ordered by g-hat (path cost so far); branch-and-bound.  Equals
+  /// A* with h == 0 — the paper's characterization of Lee–Moore as a
+  /// special case of the general algorithm.
+  kBestFirst,
+  /// OPEN ordered by h-hat only (pure heuristic, inadmissible ordering);
+  /// included for the taxonomy's sake.
+  kGreedy,
+  /// OPEN ordered by f = g-hat + h-hat with admissible h; optimal.
+  kAStar,
+  /// Expand until OPEN is empty; return the best goal path seen.  The
+  /// paper's "exhaustive search" — order of expansion does not matter.
+  kExhaustive,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kDepthFirst: return "depth-first";
+    case Strategy::kBreadthFirst: return "breadth-first";
+    case Strategy::kBestFirst: return "best-first";
+    case Strategy::kGreedy: return "greedy";
+    case Strategy::kAStar: return "A*";
+    case Strategy::kExhaustive: return "exhaustive";
+  }
+  return "unknown";
+}
+
+/// True for strategies that guarantee a minimal-cost path on non-negative
+/// edge weights (the paper's admissibility property).
+[[nodiscard]] constexpr bool admissible(Strategy s) noexcept {
+  return s == Strategy::kBestFirst || s == Strategy::kAStar ||
+         s == Strategy::kExhaustive;
+}
+
+}  // namespace gcr::search

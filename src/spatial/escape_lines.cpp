@@ -1,0 +1,108 @@
+#include "spatial/escape_lines.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gcr::spatial {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Dir;
+using geom::Interval;
+using geom::Point;
+using geom::Rect;
+
+EscapeLineSet::EscapeLineSet(const ObstacleIndex& index) {
+  const Rect& bounds = index.boundary();
+
+  // Boundary edges are routable corridors too.
+  lines_.push_back(
+      {Axis::kX, bounds.ylo, bounds.xs(), EscapeLine::npos});
+  lines_.push_back(
+      {Axis::kX, bounds.yhi, bounds.xs(), EscapeLine::npos});
+  lines_.push_back(
+      {Axis::kY, bounds.xlo, bounds.ys(), EscapeLine::npos});
+  lines_.push_back(
+      {Axis::kY, bounds.xhi, bounds.ys(), EscapeLine::npos});
+
+  // Each obstacle edge extends through its corners until the extension would
+  // enter another obstacle's interior (or leave the boundary).  The edge
+  // itself is always part of the line: edges are routable hug corridors.
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    const Rect& r = index.obstacles()[i];
+    // Vertical lines through left/right edges.
+    for (const Coord x : {r.xlo, r.xhi}) {
+      const Coord lo = index.trace(Point{x, r.ylo}, Dir::kSouth).stop;
+      const Coord hi = index.trace(Point{x, r.yhi}, Dir::kNorth).stop;
+      lines_.push_back({Axis::kY, x, Interval{lo, hi}, i});
+    }
+    // Horizontal lines through bottom/top edges.
+    for (const Coord y : {r.ylo, r.yhi}) {
+      const Coord lo = index.trace(Point{r.xlo, y}, Dir::kWest).stop;
+      const Coord hi = index.trace(Point{r.xhi, y}, Dir::kEast).stop;
+      lines_.push_back({Axis::kX, y, Interval{lo, hi}, i});
+    }
+  }
+
+  // Merge exact duplicates (cells aligned on the same edge coordinate).
+  std::sort(lines_.begin(), lines_.end(),
+            [](const EscapeLine& a, const EscapeLine& b) {
+              return std::tie(a.axis, a.track, a.span.lo, a.span.hi, a.source) <
+                     std::tie(b.axis, b.track, b.span.lo, b.span.hi, b.source);
+            });
+  lines_.erase(std::unique(lines_.begin(), lines_.end(),
+                           [](const EscapeLine& a, const EscapeLine& b) {
+                             return a.axis == b.axis && a.track == b.track &&
+                                    a.span == b.span;
+                           }),
+               lines_.end());
+
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].axis == Axis::kY) {
+      vertical_by_x_.push_back(i);
+    } else {
+      horizontal_by_y_.push_back(i);
+    }
+  }
+  std::sort(vertical_by_x_.begin(), vertical_by_x_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return lines_[a].track < lines_[b].track;
+            });
+  std::sort(horizontal_by_y_.begin(), horizontal_by_y_.end(),
+            [this](std::size_t a, std::size_t b) {
+              return lines_[a].track < lines_[b].track;
+            });
+}
+
+std::vector<Coord> EscapeLineSet::crossings(const Point& from, Dir d,
+                                            Coord stop) const {
+  const Axis ax = axis_of(d);
+  const Coord origin = from.along(ax);
+  const Coord off = from.along(geom::other(ax));
+  const Coord lo = std::min(origin, stop);
+  const Coord hi = std::max(origin, stop);
+
+  const std::vector<std::size_t>& table =
+      ax == Axis::kX ? vertical_by_x_ : horizontal_by_y_;
+
+  // Binary search the track range [lo, hi] in the perpendicular table.
+  const auto first = std::lower_bound(
+      table.begin(), table.end(), lo,
+      [this](std::size_t idx, Coord v) { return lines_[idx].track < v; });
+  const auto last = std::upper_bound(
+      table.begin(), table.end(), hi,
+      [this](Coord v, std::size_t idx) { return v < lines_[idx].track; });
+
+  std::vector<Coord> out;
+  for (auto it = first; it != last; ++it) {
+    const EscapeLine& ln = lines_[*it];
+    if (ln.track == origin) continue;  // exclusive of the ray origin
+    if (ln.span.contains(off)) out.push_back(ln.track);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  if (sign_of(d) < 0) std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gcr::spatial

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+#include "spatial/obstacle_index.hpp"
+
+/// \file escape_lines.hpp
+/// Escape lines for the gridless line search.
+///
+/// The paper observes that "optimal paths need only hug the boundaries of
+/// cells if they intervene in the path selection."  Formally: among disjoint
+/// rectangular obstacles there is always a shortest rectilinear path whose
+/// bend points lie on the *escape lines* — the maximal obstacle-free segments
+/// extending each obstacle edge through and beyond its corners (plus the
+/// source/target projection lines, which the router adds per query).  The
+/// gridless successor generator therefore emits successors only where a probe
+/// ray crosses an escape line, at the hug point on the blocking boundary, and
+/// at the goal-aligned projection.  This is the line-segment representation
+/// that replaces the Lee–Moore grid.
+
+namespace gcr::spatial {
+
+/// A maximal obstacle-free axis-parallel open corridor line.
+/// axis == kX: horizontal line y == track spanning x in `span`;
+/// axis == kY: vertical line x == track spanning y in `span`.
+struct EscapeLine {
+  geom::Axis axis = geom::Axis::kX;
+  geom::Coord track = 0;
+  geom::Interval span;
+  /// Obstacle that generated the line (routing-boundary lines: npos).
+  std::size_t source = npos;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  friend bool operator==(const EscapeLine&, const EscapeLine&) = default;
+};
+
+/// The set of escape lines of a layout, indexed for ray-crossing queries.
+class EscapeLineSet {
+ public:
+  EscapeLineSet() = default;
+
+  /// Builds the escape lines of \p index: for every obstacle, the four edge
+  /// lines extended until blocked; plus the four routing-boundary edges.
+  /// Duplicates (e.g. two cells sharing an edge coordinate) are merged.
+  explicit EscapeLineSet(const ObstacleIndex& index);
+
+  [[nodiscard]] const std::vector<EscapeLine>& lines() const noexcept {
+    return lines_;
+  }
+
+  /// All crossings of the directed probe ray from \p from to the stop
+  /// coordinate \p stop (exclusive of the origin, inclusive of the stop
+  /// coordinate) with escape lines perpendicular to the probe.  Returned as
+  /// coordinates along the probe axis, sorted in travel order, deduplicated.
+  [[nodiscard]] std::vector<geom::Coord> crossings(const geom::Point& from,
+                                                   geom::Dir d,
+                                                   geom::Coord stop) const;
+
+ private:
+  std::vector<EscapeLine> lines_;
+  // Perpendicular lookup tables sorted by track coordinate.
+  std::vector<std::size_t> vertical_by_x_;    // crossed by horizontal probes
+  std::vector<std::size_t> horizontal_by_y_;  // crossed by vertical probes
+};
+
+}  // namespace gcr::spatial

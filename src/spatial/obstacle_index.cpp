@@ -1,0 +1,126 @@
+#include "spatial/obstacle_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gcr::spatial {
+
+using geom::Axis;
+using geom::Coord;
+using geom::Dir;
+using geom::Point;
+using geom::Rect;
+using geom::Segment;
+
+ObstacleIndex::ObstacleIndex(Rect boundary, std::vector<Rect> obstacles)
+    : boundary_(boundary), obstacles_(std::move(obstacles)) {
+  const std::size_t n = obstacles_.size();
+  by_xlo_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) by_xlo_[i] = i;
+  by_xhi_ = by_ylo_ = by_yhi_ = by_xlo_;
+  const auto& obs = obstacles_;
+  std::sort(by_xlo_.begin(), by_xlo_.end(), [&obs](std::size_t a, std::size_t b) {
+    return obs[a].xlo < obs[b].xlo;
+  });
+  std::sort(by_xhi_.begin(), by_xhi_.end(), [&obs](std::size_t a, std::size_t b) {
+    return obs[a].xhi > obs[b].xhi;
+  });
+  std::sort(by_ylo_.begin(), by_ylo_.end(), [&obs](std::size_t a, std::size_t b) {
+    return obs[a].ylo < obs[b].ylo;
+  });
+  std::sort(by_yhi_.begin(), by_yhi_.end(), [&obs](std::size_t a, std::size_t b) {
+    return obs[a].yhi > obs[b].yhi;
+  });
+}
+
+bool ObstacleIndex::interior(const Point& p) const {
+  return std::any_of(obstacles_.begin(), obstacles_.end(),
+                     [&p](const Rect& r) { return r.contains_open(p); });
+}
+
+bool ObstacleIndex::routable(const Point& p) const {
+  return boundary_.contains(p) && !interior(p);
+}
+
+bool ObstacleIndex::segment_blocked(const Segment& s) const {
+  return std::any_of(obstacles_.begin(), obstacles_.end(),
+                     [&s](const Rect& r) { return s.pierces(r); });
+}
+
+RayHit ObstacleIndex::trace(const Point& p, Dir d) const {
+  assert(boundary_.contains(p));
+  RayHit hit;
+  const Axis ax = axis_of(d);
+  const Axis perp = other(ax);
+  const Coord pos = p.along(ax);
+  const Coord off = p.along(perp);
+
+  // Boundary clip: the farthest the ray can possibly go.
+  switch (d) {
+    case Dir::kEast: hit.stop = boundary_.xhi; break;
+    case Dir::kWest: hit.stop = boundary_.xlo; break;
+    case Dir::kNorth: hit.stop = boundary_.yhi; break;
+    case Dir::kSouth: hit.stop = boundary_.ylo; break;
+  }
+
+  // An obstacle blocks the ray iff the perpendicular coordinate lies strictly
+  // inside its perpendicular span (boundaries are routable) and its near edge
+  // is at or ahead of the ray origin.  The edge tables are sorted by near-edge
+  // coordinate in travel order, so we scan from the first edge at or past the
+  // origin and stop once edges lie beyond the best stop found so far.
+  const auto scan = [&](const std::vector<std::size_t>& table, int sgn) {
+    // Binary search for the first table entry whose near edge is not behind p.
+    const auto near_edge = [&](std::size_t idx) -> Coord {
+      const Rect& r = obstacles_[idx];
+      switch (d) {
+        case Dir::kEast: return r.xlo;
+        case Dir::kWest: return r.xhi;
+        case Dir::kNorth: return r.ylo;
+        case Dir::kSouth: return r.yhi;
+      }
+      return 0;
+    };
+    auto it = std::lower_bound(
+        table.begin(), table.end(), pos,
+        [&](std::size_t idx, Coord v) { return sgn * near_edge(idx) < sgn * v; });
+    for (; it != table.end(); ++it) {
+      const Coord edge = near_edge(*it);
+      if (sgn * edge > sgn * hit.stop) break;  // beyond current stop: done
+      const Rect& r = obstacles_[*it];
+      if (!r.span(perp).contains_open(off)) continue;
+      // This obstacle's interior starts at `edge` in travel direction; the
+      // ray must stop on its boundary.
+      if (sgn * edge < sgn * hit.stop ||
+          (edge == hit.stop && !hit.obstacle.has_value())) {
+        hit.stop = edge;
+        hit.obstacle = *it;
+      }
+    }
+  };
+
+  switch (d) {
+    case Dir::kEast: scan(by_xlo_, +1); break;
+    case Dir::kWest: scan(by_xhi_, -1); break;
+    case Dir::kNorth: scan(by_ylo_, +1); break;
+    case Dir::kSouth: scan(by_yhi_, -1); break;
+  }
+
+  // A ray never travels backwards: if every blocker is behind p (possible
+  // when p hugs an edge), the stop clamps to p itself.
+  if (sign_of(d) > 0) {
+    hit.stop = std::max(hit.stop, pos);
+  } else {
+    hit.stop = std::min(hit.stop, pos);
+  }
+  return hit;
+}
+
+std::vector<std::size_t> ObstacleIndex::query(const Rect& q) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    if (obstacles_[i].intersects(q)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace gcr::spatial

@@ -1,0 +1,87 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "geometry/geometry.hpp"
+
+/// \file obstacle_index.hpp
+/// Spatial index over the blocking rectangles of a layout.
+///
+/// The paper: "All points are linked to reflect their topological order in
+/// both x and y. ... By maintaining the topological ordering, an efficient
+/// means of ray-tracing is used to expand the frontiers of the search."
+/// This index realizes that idea with obstacle edge tables sorted per probe
+/// direction, so a ray-trace is a binary search plus a short forward scan.
+
+namespace gcr::spatial {
+
+/// Result of tracing a ray from a point until it would enter an obstacle's
+/// open interior or leave the routing boundary.
+struct RayHit {
+  /// Coordinate (along the probe axis) at which the ray must stop.  The stop
+  /// point itself is reachable: it lies on the blocking obstacle's boundary
+  /// (the "hug" position) or on the routing boundary.
+  geom::Coord stop = 0;
+  /// Index of the blocking obstacle, or nullopt when the routing boundary
+  /// stopped the ray.
+  std::optional<std::size_t> obstacle;
+
+  [[nodiscard]] bool blocked_by_obstacle() const noexcept {
+    return obstacle.has_value();
+  }
+};
+
+/// Immutable obstacle index.  Obstacles are closed rectangles whose *open*
+/// interiors block routing; their boundaries are routable (paths may hug
+/// cells).  The routing boundary clips all rays.
+class ObstacleIndex {
+ public:
+  ObstacleIndex() = default;
+  ObstacleIndex(geom::Rect boundary, std::vector<geom::Rect> obstacles);
+
+  [[nodiscard]] const geom::Rect& boundary() const noexcept {
+    return boundary_;
+  }
+  [[nodiscard]] const std::vector<geom::Rect>& obstacles() const noexcept {
+    return obstacles_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return obstacles_.size(); }
+
+  /// True when \p p lies strictly inside some obstacle (an illegal position
+  /// for any route point).
+  [[nodiscard]] bool interior(const geom::Point& p) const;
+
+  /// True when \p p is routable: inside the boundary and not interior to any
+  /// obstacle.
+  [[nodiscard]] bool routable(const geom::Point& p) const;
+
+  /// True when the axis-parallel segment crosses any obstacle's open
+  /// interior.  Segments hugging boundaries are legal.
+  [[nodiscard]] bool segment_blocked(const geom::Segment& s) const;
+
+  /// Traces a ray from \p p in direction \p d.  Precondition: \p p is
+  /// routable.  Returns where the ray stops and what stopped it.  When \p p
+  /// sits directly against a blocking edge, stop == p's own coordinate and
+  /// the ray has zero extent.
+  [[nodiscard]] RayHit trace(const geom::Point& p, geom::Dir d) const;
+
+  /// Obstacles whose closed extent intersects \p query (for region analyses,
+  /// e.g. congestion passage extraction).
+  [[nodiscard]] std::vector<std::size_t> query(const geom::Rect& query) const;
+
+ private:
+  geom::Rect boundary_;
+  std::vector<geom::Rect> obstacles_;
+
+  /// Edge tables: obstacle indices sorted by the coordinate of the edge a ray
+  /// travelling in the keyed direction would hit first (east rays hit left
+  /// edges, sorted ascending by xlo, etc.).
+  std::vector<std::size_t> by_xlo_;  // east probes
+  std::vector<std::size_t> by_xhi_;  // west probes (descending xhi)
+  std::vector<std::size_t> by_ylo_;  // north probes
+  std::vector<std::size_t> by_yhi_;  // south probes (descending yhi)
+};
+
+}  // namespace gcr::spatial

@@ -1,0 +1,175 @@
+#include "verify/route_verifier.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "core/steiner.hpp"
+#include "spatial/obstacle_index.hpp"
+
+namespace gcr::verify {
+
+using geom::Point;
+using geom::Segment;
+
+namespace {
+
+/// Union-find over tree node indices.
+class DSU {
+ public:
+  explicit DSU(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::string seg_str(const Segment& s) {
+  std::ostringstream os;
+  os << s;
+  return os.str();
+}
+
+/// True when two axis-parallel segments touch: perpendicular crossing,
+/// parallel overlap on the same track, or shared endpoint.
+bool segments_touch(const Segment& a, const Segment& b) {
+  if (a.crossing(b).has_value()) return true;
+  if (a.degenerate() || b.degenerate()) {
+    return a.degenerate() ? b.contains(a.a) : a.contains(b.a);
+  }
+  return a.axis() == b.axis() && a.track() == b.track() &&
+         a.span().overlaps(b.span());
+}
+
+}  // namespace
+
+std::vector<RouteViolation> verify_net(const layout::Layout& lay,
+                                       std::size_t net_idx,
+                                       const route::NetRoute& nr) {
+  std::vector<RouteViolation> out;
+  const auto add = [&](RouteViolation::Kind k, std::string d) {
+    out.push_back(RouteViolation{k, net_idx, std::move(d)});
+  };
+
+  const spatial::ObstacleIndex index(lay.boundary(), lay.obstacles());
+
+  // -- Geometric legality of every segment.
+  for (const Segment& s : nr.segments) {
+    if (!lay.boundary().contains(s.bounds())) {
+      add(RouteViolation::Kind::kSegmentOutsideBoundary, seg_str(s));
+    }
+    if (index.segment_blocked(s)) {
+      add(RouteViolation::Kind::kSegmentThroughCell, seg_str(s));
+    }
+  }
+
+  // -- Honest accounting.
+  geom::Cost geometric = 0;
+  for (const Segment& s : nr.segments) geometric += s.length();
+  if (geometric != nr.wirelength) {
+    std::ostringstream os;
+    os << "reported " << nr.wirelength << " vs geometric " << geometric;
+    add(RouteViolation::Kind::kWirelengthMismatch, os.str());
+  }
+
+  // -- Electrical connectivity.  Union-find over segments *and* terminals:
+  //    segments join where they touch, and a terminal joins every segment
+  //    one of its pins lies on.  Terminals are connectivity nodes because a
+  //    multi-pin terminal's pins are internally connected through its cell
+  //    ("logically grouping all pins which belong to a terminal"), so two
+  //    wire components attached to different pins of one terminal are
+  //    electrically one net.
+  const auto terminals =
+      route::net_terminal_pins(lay, lay.nets()[net_idx]);
+  if (terminals.size() < 2) return out;
+  if (nr.segments.empty()) {
+    add(RouteViolation::Kind::kTreeDisconnected, "net has no wire");
+    return out;
+  }
+  const std::size_t seg_count = nr.segments.size();
+  DSU dsu(seg_count + terminals.size());
+  for (std::size_t i = 0; i < seg_count; ++i) {
+    for (std::size_t j = i + 1; j < seg_count; ++j) {
+      if (segments_touch(nr.segments[i], nr.segments[j])) dsu.unite(i, j);
+    }
+  }
+  std::vector<bool> terminal_touches(terminals.size(), false);
+  for (std::size_t t = 0; t < terminals.size(); ++t) {
+    for (const Point& pin : terminals[t]) {
+      for (std::size_t i = 0; i < seg_count; ++i) {
+        if (nr.segments[i].contains(pin)) {
+          dsu.unite(seg_count + t, i);
+          terminal_touches[t] = true;
+        }
+      }
+    }
+  }
+  // Every terminal: some pin physically on some segment.
+  for (std::size_t t = 0; t < terminals.size(); ++t) {
+    if (!terminal_touches[t]) {
+      std::ostringstream os;
+      os << "terminal #" << t << " (no pin touches the tree)";
+      add(RouteViolation::Kind::kTerminalNotConnected, os.str());
+    }
+  }
+  // Every segment and every terminal in one component.
+  const std::size_t root = dsu.find(0);
+  for (std::size_t i = 1; i < seg_count; ++i) {
+    if (dsu.find(i) != root) {
+      add(RouteViolation::Kind::kTreeDisconnected,
+          "segment " + seg_str(nr.segments[i]) + " in a separate component");
+      break;
+    }
+  }
+  for (std::size_t t = 0; t < terminals.size(); ++t) {
+    if (terminal_touches[t] && dsu.find(seg_count + t) != root) {
+      std::ostringstream os;
+      os << "terminal #" << t << " in a separate component";
+      add(RouteViolation::Kind::kTreeDisconnected, os.str());
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<RouteViolation> verify_routes(const layout::Layout& lay,
+                                          const route::NetlistResult& result,
+                                          const VerifyOptions& opts) {
+  std::vector<RouteViolation> out;
+  for (std::size_t n = 0; n < result.routes.size(); ++n) {
+    const route::NetRoute& nr = result.routes[n];
+    if (!nr.ok) {
+      if (opts.require_all_routed) {
+        out.push_back(RouteViolation{RouteViolation::Kind::kNetNotRouted, n,
+                                     lay.nets()[n].name()});
+      }
+      continue;
+    }
+    auto v = verify_net(lay, n, nr);
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+std::string_view to_string(RouteViolation::Kind k) noexcept {
+  using Kind = RouteViolation::Kind;
+  switch (k) {
+    case Kind::kSegmentOutsideBoundary: return "segment-outside-boundary";
+    case Kind::kSegmentThroughCell: return "segment-through-cell";
+    case Kind::kTerminalNotConnected: return "terminal-not-connected";
+    case Kind::kTreeDisconnected: return "tree-disconnected";
+    case Kind::kWirelengthMismatch: return "wirelength-mismatch";
+    case Kind::kNetNotRouted: return "net-not-routed";
+  }
+  return "unknown";
+}
+
+}  // namespace gcr::verify

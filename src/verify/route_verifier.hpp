@@ -1,0 +1,56 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "layout/layout.hpp"
+
+/// \file route_verifier.hpp
+/// Independent verification of global-routing results.
+///
+/// The router proper is validated against oracles in the test suite; this
+/// module is the *deployment-side* checker a user runs on any routing result
+/// before trusting it: every net's tree must be geometrically legal (inside
+/// the boundary, never through a cell's open interior), electrically
+/// connected (every terminal of the net reachable through the tree — checked
+/// with a union-find over segment intersections, independent of how the
+/// tree was built), and honestly accounted (reported wirelength equals the
+/// geometric sum).
+
+namespace gcr::verify {
+
+struct RouteViolation {
+  enum class Kind {
+    kSegmentOutsideBoundary,
+    kSegmentThroughCell,
+    kTerminalNotConnected,
+    kTreeDisconnected,        ///< tree splits into >1 connected component
+    kWirelengthMismatch,
+    kNetNotRouted,            ///< ok==false for a net that validate() accepts
+  };
+  Kind kind;
+  std::size_t net = 0;
+  std::string detail;
+};
+
+struct VerifyOptions {
+  /// Treat unrouted nets as violations (off when verifying partial results,
+  /// e.g. the sequential baseline).
+  bool require_all_routed = true;
+};
+
+/// Checks every routed net of \p result against \p lay.  Empty result means
+/// the routing is trustworthy.
+[[nodiscard]] std::vector<RouteViolation> verify_routes(
+    const layout::Layout& lay, const route::NetlistResult& result,
+    const VerifyOptions& opts = {});
+
+/// Single-net variant.
+[[nodiscard]] std::vector<RouteViolation> verify_net(
+    const layout::Layout& lay, std::size_t net_idx,
+    const route::NetRoute& nr);
+
+[[nodiscard]] std::string_view to_string(RouteViolation::Kind k) noexcept;
+
+}  // namespace gcr::verify

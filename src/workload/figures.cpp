@@ -1,0 +1,193 @@
+#include "workload/figures.hpp"
+
+#include <string>
+#include <vector>
+
+namespace gcr::workload {
+
+using geom::Coord;
+using geom::OrthoPolygon;
+using geom::Point;
+using geom::Rect;
+
+PointQuery figure1_layout() {
+  PointQuery q;
+  q.layout = layout::Layout(Rect{0, 0, 120, 80});
+  q.layout.set_min_separation(4);
+  q.layout.add_cell(layout::Cell{"A", Rect{20, 10, 40, 45}});
+  q.layout.add_cell(layout::Cell{"B", Rect{50, 30, 70, 70}});
+  q.layout.add_cell(layout::Cell{"C", Rect{80, 10, 100, 40}});
+  q.s = Point{5, 40};
+  q.d = Point{115, 45};
+  return q;
+}
+
+PointQuery inverted_corner_layout() {
+  PointQuery q;
+  q.layout = layout::Layout(Rect{0, 0, 80, 80});
+  q.layout.set_min_separation(4);
+  q.layout.add_cell(layout::Cell{"block", Rect{30, 30, 60, 60}});
+  // Several 80-DBU shortest routes exist; exactly one bends at the block's
+  // upper-right corner (60,60) — the preferred, hugging route.  The others
+  // carry at least one floating bend (the inverted corner) and lose by
+  // epsilon under InvertedCornerCost.
+  q.s = Point{20, 60};
+  q.d = Point{60, 20};
+  return q;
+}
+
+namespace {
+
+/// A "C" ring: a square annulus of wall thickness \p t with one gap of width
+/// \p g centered on side \p gap_side (0=N,1=E,2=S,3=W), as a single
+/// orthogonal polygon.
+OrthoPolygon c_ring(const Rect& outer, Coord t, Coord g, int gap_side) {
+  const Rect inner = outer.inflated(-t);
+  const Coord cx = (outer.xlo + outer.xhi) / 2;
+  const Coord cy = (outer.ylo + outer.yhi) / 2;
+  std::vector<Point> v;
+  switch (gap_side) {
+    case 0: {  // gap centered on the north side
+      const Coord g0 = cx - g / 2, g1 = cx + g / 2;
+      v = {{g0, outer.yhi}, {outer.xlo, outer.yhi}, {outer.xlo, outer.ylo},
+           {outer.xhi, outer.ylo}, {outer.xhi, outer.yhi}, {g1, outer.yhi},
+           {g1, inner.yhi},  {inner.xhi, inner.yhi}, {inner.xhi, inner.ylo},
+           {inner.xlo, inner.ylo}, {inner.xlo, inner.yhi}, {g0, inner.yhi}};
+      break;
+    }
+    case 1: {  // east
+      const Coord g0 = cy - g / 2, g1 = cy + g / 2;
+      v = {{outer.xhi, g1}, {outer.xhi, outer.yhi}, {outer.xlo, outer.yhi},
+           {outer.xlo, outer.ylo}, {outer.xhi, outer.ylo}, {outer.xhi, g0},
+           {inner.xhi, g0}, {inner.xhi, inner.ylo}, {inner.xlo, inner.ylo},
+           {inner.xlo, inner.yhi}, {inner.xhi, inner.yhi}, {inner.xhi, g1}};
+      break;
+    }
+    case 2: {  // south
+      const Coord g0 = cx - g / 2, g1 = cx + g / 2;
+      v = {{g1, outer.ylo}, {outer.xhi, outer.ylo}, {outer.xhi, outer.yhi},
+           {outer.xlo, outer.yhi}, {outer.xlo, outer.ylo}, {g0, outer.ylo},
+           {g0, inner.ylo}, {inner.xlo, inner.ylo}, {inner.xlo, inner.yhi},
+           {inner.xhi, inner.yhi}, {inner.xhi, inner.ylo}, {g1, inner.ylo}};
+      break;
+    }
+    default: {  // west
+      const Coord g0 = cy - g / 2, g1 = cy + g / 2;
+      v = {{outer.xlo, g0}, {outer.xlo, outer.ylo}, {outer.xhi, outer.ylo},
+           {outer.xhi, outer.yhi}, {outer.xlo, outer.yhi}, {outer.xlo, g1},
+           {inner.xlo, g1}, {inner.xlo, inner.yhi}, {inner.xhi, inner.yhi},
+           {inner.xhi, inner.ylo}, {inner.xlo, inner.ylo}, {inner.xlo, g0}};
+      break;
+    }
+  }
+  return OrthoPolygon{std::move(v)};
+}
+
+/// A labyrinth: a rectangular wall ring with one entry gap on its west wall
+/// and alternating internal teeth (odd teeth hang from the top arm, even
+/// teeth rise from the bottom arm), all as ONE orthogonal polygon, so there
+/// are no cell-to-cell slits to sneak through.  The only way from the entry
+/// to the chamber past the last tooth is the full serpentine.
+OrthoPolygon labyrinth(const Rect& outer, Coord t, Coord gap, Coord corridor,
+                       std::size_t teeth, Coord slot) {
+  const Rect inner = outer.inflated(-t);
+  const Coord gmid = (outer.ylo + outer.yhi) / 2;
+  const Coord gy0 = gmid - gap / 2;
+  const Coord gy1 = gmid + gap / 2;
+  const Coord top_tip = inner.ylo + corridor;  // top teeth reach down to here
+  const Coord bot_tip = inner.yhi - corridor;  // bottom teeth rise to here
+
+  std::vector<Coord> top_teeth, bot_teeth;
+  for (std::size_t i = 0; i < teeth; ++i) {
+    const Coord a = inner.xlo + slot * static_cast<Coord>(i + 1) - t / 2;
+    if (i % 2 == 0) {
+      bot_teeth.push_back(a);
+    } else {
+      top_teeth.push_back(a);
+    }
+  }
+
+  std::vector<Point> v;
+  // Outer boundary (counterclockwise), skipping the west-wall gap.
+  v.push_back({outer.xlo, gy0});
+  v.push_back({outer.xlo, outer.ylo});
+  v.push_back({outer.xhi, outer.ylo});
+  v.push_back({outer.xhi, outer.yhi});
+  v.push_back({outer.xlo, outer.yhi});
+  v.push_back({outer.xlo, gy1});
+  v.push_back({inner.xlo, gy1});  // cross the wall at the gap's top lip
+  // Inner contour: up the west wall, east along the top arm (around the
+  // hanging teeth), down the east wall, west along the bottom arm (around
+  // the rising teeth), and back to the gap's bottom lip.
+  v.push_back({inner.xlo, inner.yhi});
+  for (const Coord a : top_teeth) {
+    v.push_back({a, inner.yhi});
+    v.push_back({a, top_tip});
+    v.push_back({a + t, top_tip});
+    v.push_back({a + t, inner.yhi});
+  }
+  v.push_back({inner.xhi, inner.yhi});
+  v.push_back({inner.xhi, inner.ylo});
+  for (auto it = bot_teeth.rbegin(); it != bot_teeth.rend(); ++it) {
+    const Coord a = *it;
+    v.push_back({a + t, inner.ylo});
+    v.push_back({a + t, bot_tip});
+    v.push_back({a, bot_tip});
+    v.push_back({a, inner.ylo});
+  }
+  v.push_back({inner.xlo, inner.ylo});
+  v.push_back({inner.xlo, gy0});
+  return OrthoPolygon{std::move(v)};
+}
+
+}  // namespace
+
+PointQuery comb_maze(std::size_t teeth) {
+  const Coord t = 4;       // wall thickness
+  const Coord c = 12;      // corridor width at each tooth tip
+  const Coord slot = 16;   // tooth-to-tooth spacing
+  const Coord margin = 8;
+  const Coord height = 96;
+  const Coord width =
+      margin * 2 + 2 * t + slot * static_cast<Coord>(teeth + 1);
+
+  PointQuery q;
+  q.layout = layout::Layout(Rect{0, 0, width, height + 2 * margin});
+  q.layout.set_min_separation(2);
+
+  const Rect outer{margin, margin, width - margin, margin + height};
+  q.layout.add_cell(layout::Cell{
+      "labyrinth", labyrinth(outer, t, /*gap=*/8, c, teeth, slot)});
+
+  // Source outside the entry gap; destination in the chamber past the last
+  // tooth.
+  q.s = Point{margin / 2, (outer.ylo + outer.yhi) / 2};
+  q.d = Point{outer.xhi - t - slot / 2, (outer.ylo + outer.yhi) / 2};
+  return q;
+}
+
+PointQuery spiral_maze(std::size_t turns) {
+  const Coord t = 4;    // wall thickness
+  const Coord c = 12;   // corridor width
+  const Coord g = 8;    // gap width
+  const Coord margin = 8;
+  const Coord core = 24;
+  const Coord size =
+      2 * (margin + static_cast<Coord>(turns) * (t + c)) + core;
+
+  PointQuery q;
+  q.layout = layout::Layout(Rect{0, 0, size, size});
+  q.layout.set_min_separation(2);
+
+  for (std::size_t k = 0; k < turns; ++k) {
+    const Coord inset = margin + static_cast<Coord>(k) * (t + c);
+    const Rect outer{inset, inset, size - inset, size - inset};
+    q.layout.add_cell(layout::Cell{"ring" + std::to_string(k),
+                                   c_ring(outer, t, g, static_cast<int>(k % 4))});
+  }
+  q.s = Point{2, 2};
+  q.d = Point{size / 2, size / 2};
+  return q;
+}
+
+}  // namespace gcr::workload

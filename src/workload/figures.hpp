@@ -1,0 +1,40 @@
+#pragma once
+
+#include "layout/layout.hpp"
+
+/// \file figures.hpp
+/// Deterministic layouts replicating the paper's figures and the layouts the
+/// qualitative claims need.
+
+namespace gcr::workload {
+
+/// A layout plus one source/destination query, for figure-style experiments.
+struct PointQuery {
+  layout::Layout layout;
+  geom::Point s;
+  geom::Point d;
+};
+
+/// Figure 1 replica: several blocks between a left-hand source and a
+/// right-hand destination, sized so the optimal route must round two block
+/// corners — the configuration the paper uses to show "surprisingly few
+/// nodes are generated before an optimal path is found".
+[[nodiscard]] PointQuery figure1_layout();
+
+/// Figure 2 replica: a single block with source/destination placed so that
+/// several equal-length shortest routes exist, exactly one of which bends at
+/// the block corner (the preferred route).  Exercises the inverted-corner
+/// epsilon.
+[[nodiscard]] PointQuery inverted_corner_layout();
+
+/// A comb maze of \p teeth alternating walls.  Admissible searches always
+/// connect s to d (through the serpentine); the greedy Hightower line search
+/// loses its way for modest tooth counts — the paper's "fails to find some
+/// connections which could be found by a Lee-Moore router".
+[[nodiscard]] PointQuery comb_maze(std::size_t teeth);
+
+/// A spiral maze wrapping \p turns times around the destination; the
+/// hardest case for blind searches and another Hightower killer.
+[[nodiscard]] PointQuery spiral_maze(std::size_t turns);
+
+}  // namespace gcr::workload

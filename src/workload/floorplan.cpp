@@ -1,0 +1,82 @@
+#include "workload/floorplan.hpp"
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gcr::workload {
+
+using geom::Coord;
+using geom::Rect;
+
+namespace {
+
+/// Recursively bisects \p region into \p count slots with jittered cuts.
+void slice(std::mt19937_64& rng, const Rect& region, std::size_t count,
+           std::vector<Rect>& out) {
+  if (count <= 1) {
+    out.push_back(region);
+    return;
+  }
+  const std::size_t left = count / 2;
+  const std::size_t right = count - left;
+  // Cut the longer side; the cut position tracks the slot ratio with jitter
+  // so slots stay roughly proportional but not identical.
+  const bool cut_x = region.width() >= region.height();
+  const Coord extent = cut_x ? region.width() : region.height();
+  const Coord ideal =
+      extent * static_cast<Coord>(left) / static_cast<Coord>(count);
+  const Coord jitter_range = std::max<Coord>(1, extent / 8);
+  std::uniform_int_distribution<Coord> jitter(-jitter_range, jitter_range);
+  const Coord cut =
+      std::clamp<Coord>(ideal + jitter(rng), extent / 5, extent * 4 / 5);
+  if (cut_x) {
+    slice(rng, Rect{region.xlo, region.ylo, region.xlo + cut, region.yhi},
+          left, out);
+    slice(rng, Rect{region.xlo + cut, region.ylo, region.xhi, region.yhi},
+          right, out);
+  } else {
+    slice(rng, Rect{region.xlo, region.ylo, region.xhi, region.ylo + cut},
+          left, out);
+    slice(rng, Rect{region.xlo, region.ylo + cut, region.xhi, region.yhi},
+          right, out);
+  }
+}
+
+}  // namespace
+
+layout::Layout random_floorplan(const FloorplanOptions& opts) {
+  layout::Layout lay(opts.boundary);
+  lay.set_min_separation(opts.min_separation);
+  std::mt19937_64 rng(opts.seed);
+
+  std::vector<Rect> slots;
+  slice(rng, opts.boundary, opts.cell_count, slots);
+
+  std::uniform_int_distribution<int> fill(opts.min_fill_pct,
+                                          opts.max_fill_pct);
+  // Half the separation on each side of every slot guarantees the pairwise
+  // distance; rounding up keeps odd separations safe.
+  const Coord inset = (opts.min_separation + 1) / 2;
+
+  std::size_t idx = 0;
+  for (const Rect& slot : slots) {
+    const Rect usable = Rect{slot.xlo + inset, slot.ylo + inset,
+                             slot.xhi - inset, slot.yhi - inset};
+    if (!usable.proper()) continue;  // degenerate slot: skip (tiny boundary)
+    Coord w = std::max<Coord>(2, usable.width() * fill(rng) / 100);
+    Coord h = std::max<Coord>(2, usable.height() * fill(rng) / 100);
+    w = std::min(w, usable.width());
+    h = std::min(h, usable.height());
+    std::uniform_int_distribution<Coord> px(usable.xlo, usable.xhi - w);
+    std::uniform_int_distribution<Coord> py(usable.ylo, usable.yhi - h);
+    const Coord x = px(rng);
+    const Coord y = py(rng);
+    lay.add_cell(layout::Cell{"cell" + std::to_string(idx++),
+                              Rect{x, y, x + w, y + h}});
+  }
+  return lay;
+}
+
+}  // namespace gcr::workload

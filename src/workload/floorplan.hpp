@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+
+#include "layout/layout.hpp"
+
+/// \file floorplan.hpp
+/// Synthetic general-cell placements.
+///
+/// The paper's own workloads (Caltech custom-chip layouts assembled by the
+/// Siclops silicon compiler) are not available, so benchmarks run on
+/// parameterized slicing floorplans: recursive bisection partitions the
+/// routing boundary into slots, and each slot receives one randomly sized
+/// block inset by half the required separation.  The construction
+/// *guarantees* the paper's placement restrictions — rectangular blocks,
+/// orthogonal orientation, pairwise separation >= min_separation — for every
+/// seed and cell count, which is what makes seed sweeps usable as unit
+/// property tests.
+
+namespace gcr::workload {
+
+struct FloorplanOptions {
+  geom::Rect boundary{0, 0, 1024, 1024};
+  std::size_t cell_count = 16;
+  /// Minimum inter-cell separation (also kept to the boundary).
+  geom::Coord min_separation = 8;
+  /// Cell side as a percentage of its slot side, sampled uniformly in
+  /// [min_fill_pct, max_fill_pct].
+  int min_fill_pct = 45;
+  int max_fill_pct = 80;
+  std::uint64_t seed = 1;
+};
+
+/// Generates a valid random placement (cells only; add pins/nets with the
+/// netgen helpers).
+[[nodiscard]] layout::Layout random_floorplan(const FloorplanOptions& opts);
+
+}  // namespace gcr::workload

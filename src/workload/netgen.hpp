@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+
+#include "layout/layout.hpp"
+
+/// \file netgen.hpp
+/// Random pin and net generation on top of a placed layout.
+///
+/// Pins land on cell boundaries (the only physically meaningful location for
+/// a macro's connection points).  Terminals are optionally multi-pin —
+/// several electrically equivalent pins on different sides of the same cell,
+/// the case the paper's "logically grouping all pins which belong to a
+/// terminal" extension addresses.  Nets draw 2..k terminals from distinct
+/// cells, exercising the Steiner construction.
+
+namespace gcr::workload {
+
+struct PinGenOptions {
+  /// Terminals per cell, uniform in [min_terminals, max_terminals].
+  std::size_t min_terminals = 2;
+  std::size_t max_terminals = 4;
+  /// Percentage of terminals that get 2-3 pins on different cell sides.
+  int multi_pin_pct = 20;
+  std::uint64_t seed = 7;
+};
+
+/// Adds random boundary terminals to every cell of \p lay.
+void sprinkle_pins(layout::Layout& lay, const PinGenOptions& opts = {});
+
+struct NetGenOptions {
+  std::size_t net_count = 32;
+  /// Terminals per net, uniform in [min_terminals, max_terminals].
+  std::size_t min_terminals = 2;
+  std::size_t max_terminals = 4;
+  std::uint64_t seed = 11;
+};
+
+/// Adds random nets over the cells' existing terminals.  Each net's
+/// terminals come from distinct cells.  Cells without terminals are skipped;
+/// generation quietly produces fewer nets when the layout is too small.
+void generate_nets(layout::Layout& lay, const NetGenOptions& opts = {});
+
+}  // namespace gcr::workload

@@ -1,0 +1,69 @@
+#include "workload/padring.hpp"
+
+#include <random>
+#include <string>
+#include <vector>
+
+namespace gcr::workload {
+
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+std::size_t add_pad_ring(layout::Layout& lay, const PadRingOptions& opts) {
+  const Rect& b = lay.boundary();
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<int> pct(0, 99);
+
+  // Evenly spaced pads on each side (corners excluded).
+  std::vector<layout::TerminalRef> pads;
+  const auto side_positions = [&](Coord lo, Coord hi) {
+    std::vector<Coord> out;
+    const Coord step = (hi - lo) / static_cast<Coord>(opts.pads_per_side + 1);
+    for (std::size_t i = 1; i <= opts.pads_per_side; ++i) {
+      out.push_back(lo + step * static_cast<Coord>(i));
+    }
+    return out;
+  };
+  std::size_t pad_no = 0;
+  for (const Coord x : side_positions(b.xlo, b.xhi)) {
+    pads.push_back(lay.add_pad_pin("pad" + std::to_string(pad_no++),
+                                   Point{x, b.ylo}));
+    pads.push_back(lay.add_pad_pin("pad" + std::to_string(pad_no++),
+                                   Point{x, b.yhi}));
+  }
+  for (const Coord y : side_positions(b.ylo, b.yhi)) {
+    pads.push_back(lay.add_pad_pin("pad" + std::to_string(pad_no++),
+                                   Point{b.xlo, y}));
+    pads.push_back(lay.add_pad_pin("pad" + std::to_string(pad_no++),
+                                   Point{b.xhi, y}));
+  }
+
+  // Eligible core terminals.
+  std::vector<layout::TerminalRef> core;
+  for (std::size_t c = 0; c < lay.cells().size(); ++c) {
+    for (std::size_t t = 0; t < lay.cells()[c].terminals().size(); ++t) {
+      core.push_back(layout::TerminalRef{
+          layout::CellId{static_cast<std::uint32_t>(c)},
+          static_cast<std::uint32_t>(t)});
+    }
+  }
+  if (core.empty()) return 0;
+
+  std::uniform_int_distribution<std::size_t> pick(0, core.size() - 1);
+  std::size_t nets_made = 0;
+  for (std::size_t p = 0; p < pads.size(); ++p) {
+    if (pct(rng) >= opts.connected_pct) continue;
+    layout::Net net("padnet" + std::to_string(p));
+    net.add_terminal(pads[p]);
+    net.add_terminal(core[pick(rng)]);
+    for (std::size_t e = 0; e < opts.extra_terminals; ++e) {
+      net.add_terminal(core[pick(rng)]);
+    }
+    lay.add_net(std::move(net));
+    ++nets_made;
+  }
+  return nets_made;
+}
+
+}  // namespace gcr::workload

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+
+#include "layout/layout.hpp"
+
+/// \file padring.hpp
+/// I/O pad generation — the missing piece of the paper's chip-assembly
+/// scenario: "These components or cells can then be connected together,
+/// along with the pads, to form a complete chip."  Pads are cell-less
+/// terminals distributed around the routing boundary; pad nets tie each pad
+/// to terminals of core cells.
+
+namespace gcr::workload {
+
+struct PadRingOptions {
+  /// Pads per boundary side.
+  std::size_t pads_per_side = 4;
+  /// Fraction (percent) of pads wired to a core-cell terminal.
+  int connected_pct = 100;
+  /// Extra core terminals per pad net beyond the first (0 = two-point nets).
+  std::size_t extra_terminals = 0;
+  std::uint64_t seed = 23;
+};
+
+/// Adds a ring of pads on the boundary of \p lay and nets from pads to
+/// randomly chosen existing cell terminals.  Cells must already carry
+/// terminals (see sprinkle_pins).  Returns the number of pad nets created.
+std::size_t add_pad_ring(layout::Layout& lay, const PadRingOptions& opts = {});
+
+}  // namespace gcr::workload

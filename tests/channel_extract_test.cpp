@@ -1,0 +1,118 @@
+// Tests for the channel-problem extraction bridge and the VCG routing of
+// dynamically discovered channels.
+
+#include <gtest/gtest.h>
+
+#include "core/netlist_router.hpp"
+#include "detail/channel_extract.hpp"
+#include "detail/detailed_router.hpp"
+#include "workload/floorplan.hpp"
+#include "workload/netgen.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+using geom::Segment;
+
+route::NetlistResult two_net_global() {
+  // Net 0: trunk y=10 from x=0..50, rising at both ends (top pins).
+  // Net 1: trunk y=14 from x=20..70, dropping at both ends (bottom pins).
+  route::NetlistResult g;
+  route::NetRoute n0;
+  n0.ok = true;
+  n0.segments = {Segment{Point{0, 30}, Point{0, 10}},
+                 Segment{Point{0, 10}, Point{50, 10}},
+                 Segment{Point{50, 10}, Point{50, 30}}};
+  route::NetRoute n1;
+  n1.ok = true;
+  n1.segments = {Segment{Point{20, 0}, Point{20, 14}},
+                 Segment{Point{20, 14}, Point{70, 14}},
+                 Segment{Point{70, 14}, Point{70, 0}}};
+  g.routes = {n0, n1};
+  g.routed = 2;
+  return g;
+}
+
+TEST(ChannelExtract, RecoverPinSides) {
+  const auto global = two_net_global();
+  const auto subnets = detail::collect_subnets(global);
+  const auto channels = detail::assign_channels(subnets, /*window=*/8);
+
+  // Find the horizontal channel containing both trunks.
+  const detail::Channel* hchan = nullptr;
+  for (const auto& ch : channels) {
+    if (ch.axis == geom::Axis::kX && ch.members.size() == 2) hchan = &ch;
+  }
+  ASSERT_NE(hchan, nullptr);
+
+  const auto problem = detail::make_channel_problem(*hchan, subnets, global);
+  ASSERT_EQ(problem.columns(), 4u);
+  // Net 0 (id 1) pins on top; net 1 (id 2) pins on bottom.
+  int top_count = 0, bottom_count = 0;
+  for (std::size_t c = 0; c < problem.columns(); ++c) {
+    if (problem.top[c] == 1) ++top_count;
+    if (problem.bottom[c] == 2) ++bottom_count;
+  }
+  EXPECT_EQ(top_count, 2);
+  EXPECT_EQ(bottom_count, 2);
+}
+
+TEST(ChannelExtract, VcgRoutesExtractedChannel) {
+  const auto global = two_net_global();
+  const auto subnets = detail::collect_subnets(global);
+  const auto channels = detail::assign_channels(subnets, 8);
+  const auto summary = detail::route_channels_vcg(channels, subnets, global);
+  EXPECT_EQ(summary.channels_failed, 0u);
+  EXPECT_EQ(summary.channels_routed, channels.size());
+  // The overlapping trunks need two tracks in their shared channel.
+  EXPECT_GE(summary.total_tracks, 2u);
+  EXPECT_GE(summary.total_tracks, summary.density_lower_bound);
+}
+
+TEST(ChannelExtract, FullFlowOnRandomLayout) {
+  workload::FloorplanOptions fp;
+  fp.seed = 77;
+  fp.cell_count = 9;
+  fp.boundary = geom::Rect{0, 0, 512, 512};
+  layout::Layout lay = workload::random_floorplan(fp);
+  workload::PinGenOptions pg;
+  pg.seed = 78;
+  workload::sprinkle_pins(lay, pg);
+  workload::NetGenOptions ng;
+  ng.seed = 79;
+  ng.net_count = 12;
+  workload::generate_nets(lay, ng);
+
+  const route::NetlistRouter router(lay);
+  const auto global = router.route_all();
+  ASSERT_EQ(global.failed, 0u);
+
+  const auto subnets = detail::collect_subnets(global);
+  const auto channels = detail::assign_channels(subnets, 8);
+  const auto summary = detail::route_channels_vcg(channels, subnets, global);
+  // Most channels route; constraint-cycle fallbacks stay rare.
+  EXPECT_GT(summary.channels_routed, 0u);
+  EXPECT_LE(summary.channels_failed, channels.size() / 4);
+  EXPECT_GE(summary.total_tracks, summary.density_lower_bound);
+}
+
+TEST(ChannelExtract, UnknownSidePinsStillSpanInterval) {
+  // A lone trunk with no perpendicular continuations: interval preserved on
+  // the bottom row, one track suffices.
+  route::NetlistResult g;
+  route::NetRoute n0;
+  n0.ok = true;
+  n0.segments = {Segment{Point{0, 10}, Point{50, 10}}};
+  g.routes = {n0};
+  g.routed = 1;
+  const auto subnets = detail::collect_subnets(g);
+  const auto channels = detail::assign_channels(subnets, 8);
+  ASSERT_EQ(channels.size(), 1u);
+  const auto problem = detail::make_channel_problem(channels[0], subnets, g);
+  const auto r = detail::route_channel(problem);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.tracks_used, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Tests for the classic two-row channel router: density bounds, vertical
+// constraints, dogleg cycle breaking, on textbook-style instances.
+
+#include <gtest/gtest.h>
+
+#include "detail/channel_router.hpp"
+
+namespace {
+
+using namespace gcr::detail;
+
+/// Checks the two legality rules: no same-track overlap between different
+/// nets, and every vertical constraint respected (top net on higher track —
+/// i.e. numerically smaller — than bottom net at that column).
+void expect_legal(const ChannelProblem& p, const ChannelResult& r) {
+  ASSERT_TRUE(r.ok);
+  for (std::size_t i = 0; i < r.trunks.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.trunks.size(); ++j) {
+      const ChannelTrunk& a = r.trunks[i];
+      const ChannelTrunk& b = r.trunks[j];
+      if (a.track != b.track || a.net == b.net) continue;
+      const bool overlap = a.col_lo <= b.col_hi && b.col_lo <= a.col_hi;
+      EXPECT_FALSE(overlap) << "nets " << a.net << "," << b.net << " on track "
+                            << a.track;
+    }
+  }
+  const auto trunk_at = [&r](int net, std::size_t col) -> const ChannelTrunk* {
+    for (const ChannelTrunk& t : r.trunks) {
+      if (t.net == net && t.col_lo <= col && col <= t.col_hi) return &t;
+    }
+    return nullptr;
+  };
+  for (std::size_t c = 0; c < p.columns(); ++c) {
+    const int t = p.top[c];
+    const int b = p.bottom[c];
+    if (t <= 0 || b <= 0 || t == b) continue;
+    const ChannelTrunk* tt = trunk_at(t, c);
+    const ChannelTrunk* bt = trunk_at(b, c);
+    if (tt == nullptr || bt == nullptr) continue;  // straight verticals
+    EXPECT_LT(tt->track, bt->track)
+        << "column " << c << ": net " << t << " must be above net " << b;
+  }
+}
+
+TEST(ChannelRouter, SingleNetSingleTrack) {
+  const ChannelProblem p{{1, 0, 1}, {0, 0, 0}};
+  const auto r = route_channel(p);
+  expect_legal(p, r);
+  EXPECT_EQ(r.tracks_used, 1u);
+}
+
+TEST(ChannelRouter, DisjointNetsShareTrack) {
+  const ChannelProblem p{{1, 1, 0, 2, 2}, {0, 0, 0, 0, 0}};
+  const auto r = route_channel(p);
+  expect_legal(p, r);
+  EXPECT_EQ(r.tracks_used, 1u);
+}
+
+TEST(ChannelRouter, OverlappingNetsStack) {
+  const ChannelProblem p{{1, 2, 0, 0, 0}, {0, 0, 1, 2, 0}};
+  const auto r = route_channel(p);
+  expect_legal(p, r);
+  EXPECT_GE(r.tracks_used, 2u);
+}
+
+TEST(ChannelRouter, VerticalConstraintOrdersTracks) {
+  // Column 1 pins net 1 on top and net 2 on bottom; both span overlapping
+  // ranges, so net 1 must take the higher track.
+  const ChannelProblem p{{0, 1, 1, 0}, {2, 2, 0, 0}};
+  const auto r = route_channel(p);
+  expect_legal(p, r);
+}
+
+TEST(ChannelRouter, DensityLowerBoundRespected) {
+  const ChannelProblem p{{1, 2, 3, 0, 0, 0}, {0, 0, 0, 1, 2, 3}};
+  EXPECT_EQ(p.density(), 3u);
+  const auto r = route_channel(p);
+  expect_legal(p, r);
+  EXPECT_GE(r.tracks_used, p.density());
+}
+
+TEST(ChannelRouter, ClassicExampleNearDensity) {
+  // A Yoshimura-Kuh-style instance.
+  const ChannelProblem p{
+      {0, 1, 4, 5, 1, 6, 7, 0, 4, 9, 10, 10},
+      {2, 3, 5, 3, 5, 2, 6, 8, 9, 8, 7, 9}};
+  const auto r = route_channel(p);
+  expect_legal(p, r);
+  EXPECT_GE(r.tracks_used, p.density());
+  EXPECT_LE(r.tracks_used, p.density() + 4);  // near-density, not exact
+}
+
+TEST(ChannelRouter, CycleBrokenByDogleg) {
+  // Net 1 above net 2 at column 0, net 2 above net 1 at column 2: a 2-cycle.
+  // Net 1 has an internal pin at column 1, so one dogleg resolves it.
+  const ChannelProblem p{{1, 1, 2}, {2, 1, 1}};
+  const auto r = route_channel(p);
+  EXPECT_TRUE(r.ok);
+  EXPECT_GE(r.doglegs, 1u);
+}
+
+TEST(ChannelRouter, IrreducibleCycleFailsWithoutDoglegs) {
+  const ChannelProblem p{{1, 1, 2}, {2, 1, 1}};
+  ChannelOptions opts;
+  opts.allow_doglegs = false;
+  const auto r = route_channel(p, opts);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ChannelRouter, UnsplittableCycleFails) {
+  // 2-cycle between two 2-pin nets: no internal pin to dogleg at.
+  const ChannelProblem p{{1, 2}, {2, 1}};
+  const auto r = route_channel(p);
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(ChannelRouter, StraightVerticalNeedsNoTrunk) {
+  // Net 1 pins top and bottom of the same column only.
+  const ChannelProblem p{{1, 2, 2}, {1, 0, 0}};
+  const auto r = route_channel(p);
+  expect_legal(p, r);
+  for (const ChannelTrunk& t : r.trunks) EXPECT_NE(t.net, 1);
+}
+
+TEST(ChannelRouter, EmptyChannel) {
+  const ChannelProblem p{{}, {}};
+  const auto r = route_channel(p);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.tracks_used, 0u);
+  EXPECT_EQ(p.density(), 0u);
+}
+
+TEST(ChannelRouter, DensityComputation) {
+  const ChannelProblem p{{1, 0, 0, 1}, {0, 2, 2, 0}};
+  EXPECT_EQ(p.density(), 2u);
+}
+
+}  // namespace

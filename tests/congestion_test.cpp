@@ -1,0 +1,180 @@
+// Tests for passage extraction, congestion accounting, and the two-pass
+// congestion-driven re-route.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "congestion/two_pass.hpp"
+#include "workload/figures.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+using geom::Rect;
+
+TEST(Passages, ExtractsFacingPair) {
+  layout::Layout lay(Rect{0, 0, 120, 100});
+  lay.set_min_separation(4);
+  lay.add_cell(layout::Cell{"a", Rect{10, 10, 50, 60}});
+  lay.add_cell(layout::Cell{"b", Rect{58, 10, 100, 60}});
+  congestion::PassageOptions opts;
+  opts.wire_pitch = 2;
+  const auto ps = congestion::extract_passages(lay, opts);
+  // The a<->b gap must be among them.
+  const auto it = std::find_if(ps.begin(), ps.end(), [](const auto& p) {
+    return p.cell_a == 0 && p.cell_b == 1;
+  });
+  ASSERT_NE(it, ps.end());
+  EXPECT_EQ(it->gap, 8);
+  EXPECT_EQ(it->capacity, 4u);
+  EXPECT_EQ(it->flow_axis, geom::Axis::kY);
+  EXPECT_EQ(it->region, (Rect{50, 10, 58, 60}));
+}
+
+TEST(Passages, VerticalStackGap) {
+  layout::Layout lay(Rect{0, 0, 100, 120});
+  lay.set_min_separation(4);
+  lay.add_cell(layout::Cell{"lo", Rect{20, 10, 80, 50}});
+  lay.add_cell(layout::Cell{"hi", Rect{30, 56, 90, 100}});
+  const auto ps = congestion::extract_passages(lay, {});
+  const auto it = std::find_if(ps.begin(), ps.end(), [](const auto& p) {
+    return p.cell_a == 0 && p.cell_b == 1;
+  });
+  ASSERT_NE(it, ps.end());
+  EXPECT_EQ(it->gap, 6);
+  EXPECT_EQ(it->flow_axis, geom::Axis::kX);
+  EXPECT_EQ(it->region, (Rect{30, 50, 80, 56}));
+}
+
+TEST(Passages, ThirdCellBlocksPassage) {
+  layout::Layout lay(Rect{0, 0, 200, 100});
+  lay.set_min_separation(2);
+  lay.add_cell(layout::Cell{"a", Rect{10, 10, 50, 60}});
+  lay.add_cell(layout::Cell{"b", Rect{100, 10, 140, 60}});
+  lay.add_cell(layout::Cell{"mid", Rect{70, 5, 80, 70}});  // intrudes
+  congestion::PassageOptions opts;
+  opts.max_gap = 0;
+  const auto ps = congestion::extract_passages(lay, opts);
+  const bool ab = std::any_of(ps.begin(), ps.end(), [](const auto& p) {
+    return p.cell_a == 0 && p.cell_b == 1;
+  });
+  EXPECT_FALSE(ab);
+}
+
+TEST(Passages, MaxGapFilters) {
+  layout::Layout lay(Rect{0, 0, 200, 100});
+  lay.set_min_separation(2);
+  lay.add_cell(layout::Cell{"a", Rect{10, 10, 50, 60}});
+  lay.add_cell(layout::Cell{"b", Rect{100, 10, 140, 60}});  // gap 50
+  congestion::PassageOptions opts;
+  opts.max_gap = 20;
+  const auto ps = congestion::extract_passages(lay, opts);
+  EXPECT_TRUE(std::none_of(ps.begin(), ps.end(), [](const auto& p) {
+    return p.cell_a == 0 && p.cell_b == 1;
+  }));
+}
+
+TEST(Passages, BoundaryPassages) {
+  layout::Layout lay(Rect{0, 0, 100, 100});
+  lay.set_min_separation(2);
+  lay.add_cell(layout::Cell{"a", Rect{10, 6, 50, 60}});  // 6 above south edge
+  const auto ps = congestion::extract_passages(lay, {});
+  const bool boundary_passage =
+      std::any_of(ps.begin(), ps.end(), [](const auto& p) {
+        return p.cell_a == 0 && p.cell_b == congestion::Passage::npos &&
+               p.gap == 6;
+      });
+  EXPECT_TRUE(boundary_passage);
+}
+
+TEST(CongestionMap, CountsDistinctNetsOnce) {
+  congestion::Passage p;
+  p.region = Rect{50, 10, 58, 60};
+  p.capacity = 1;
+  congestion::CongestionMap map({p});
+
+  route::NetRoute nr;
+  nr.ok = true;
+  // Two segments of the same net through the region: one occupant.
+  nr.segments.push_back(geom::Segment{Point{54, 0}, Point{54, 80}});
+  nr.segments.push_back(geom::Segment{Point{40, 30}, Point{70, 30}});
+  map.add_net(3, nr);
+  EXPECT_EQ(map.loads()[0].occupancy, 1u);
+  EXPECT_EQ(map.nets_through(0), (std::vector<std::size_t>{3}));
+
+  route::NetRoute other;
+  other.ok = true;
+  other.segments.push_back(geom::Segment{Point{52, 0}, Point{52, 80}});
+  map.add_net(7, other);
+  EXPECT_EQ(map.loads()[0].occupancy, 2u);
+  EXPECT_EQ(map.loads()[0].overflow(), 1u);
+  EXPECT_EQ(map.max_occupancy(), 2u);
+  EXPECT_EQ(map.total_overflow(), 1u);
+  EXPECT_EQ(map.congested(), (std::vector<std::size_t>{0}));
+}
+
+TEST(CongestionMap, MissingNetsDontCount) {
+  congestion::Passage p;
+  p.region = Rect{50, 10, 58, 60};
+  p.capacity = 2;
+  congestion::CongestionMap map({p});
+  route::NetRoute nr;
+  nr.ok = true;
+  nr.segments.push_back(geom::Segment{Point{0, 80}, Point{10, 80}});  // far
+  map.add_net(0, nr);
+  EXPECT_EQ(map.loads()[0].occupancy, 0u);
+  EXPECT_TRUE(map.congested().empty());
+}
+
+/// A layout that funnels several nets through one narrow passage although an
+/// open detour exists above.
+layout::Layout funnel_layout(std::size_t net_count) {
+  layout::Layout lay(Rect{0, 0, 140, 120});
+  lay.set_min_separation(4);
+  const auto a = lay.add_cell(layout::Cell{"a", Rect{20, 10, 64, 70}});
+  const auto b = lay.add_cell(layout::Cell{"b", Rect{70, 10, 120, 70}});
+  // Pins on facing edges near the gap's vertical middle; the straight route
+  // for every net dives through the 6-wide corridor.
+  for (std::size_t i = 0; i < net_count; ++i) {
+    const geom::Coord y = 20 + static_cast<geom::Coord>(i) * 8;
+    lay.cell(a).add_pin_terminal("p" + std::to_string(i), Point{64, y});
+    lay.cell(b).add_pin_terminal("q" + std::to_string(i), Point{70, y});
+    layout::Net net("n" + std::to_string(i));
+    net.add_terminal(layout::TerminalRef{a, static_cast<std::uint32_t>(i)});
+    net.add_terminal(layout::TerminalRef{b, static_cast<std::uint32_t>(i)});
+    lay.add_net(std::move(net));
+  }
+  return lay;
+}
+
+TEST(TwoPass, FirstPassRevealsCongestion) {
+  const layout::Layout lay = funnel_layout(5);
+  ASSERT_TRUE(lay.valid());
+  const route::NetlistRouter router(lay);
+  const auto result = router.route_all();
+  ASSERT_EQ(result.failed, 0u);
+  congestion::PassageOptions popts;
+  popts.wire_pitch = 2;
+  const auto map = congestion::build_map(lay, result, popts);
+  EXPECT_GE(map.max_occupancy(), 5u);  // every net uses the funnel
+}
+
+TEST(TwoPass, ReportsAreConsistent) {
+  const layout::Layout lay = funnel_layout(5);
+  const congestion::TwoPassRouter tp(lay);
+  congestion::TwoPassOptions opts;
+  opts.passages.wire_pitch = 2;
+  const auto report = tp.run(opts);
+  EXPECT_EQ(report.first_pass.failed, 0u);
+  EXPECT_EQ(report.final_pass.failed, 0u);
+  EXPECT_GE(report.passes_run, 1u);
+  EXPECT_LE(report.overflow_after, report.overflow_before);
+  // Every net still routed, wirelength stays finite and accounted.
+  geom::Cost sum = 0;
+  for (const auto& nr : report.final_pass.routes) sum += nr.wirelength;
+  EXPECT_EQ(sum, report.final_pass.total_wirelength);
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for the detailed-routing substrate: interference-based channel
+// discovery, left-edge track assignment, and the full pipeline.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "detail/detailed_router.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Interval;
+using geom::Point;
+using geom::Rect;
+using geom::Segment;
+
+// ------------------------------------------------------------ LeftEdge
+
+TEST(LeftEdge, DisjointIntervalsShareOneTrack) {
+  const std::vector<detail::TrackInterval> ivs = {
+      {{0, 10}, 0}, {{20, 30}, 1}, {{40, 50}, 2}};
+  const auto ta = detail::left_edge(ivs);
+  EXPECT_EQ(ta.tracks_used, 1u);
+  EXPECT_EQ(ta.track_of, (std::vector<std::size_t>{0, 0, 0}));
+}
+
+TEST(LeftEdge, OverlappingIntervalsStack) {
+  const std::vector<detail::TrackInterval> ivs = {
+      {{0, 30}, 0}, {{10, 40}, 1}, {{20, 50}, 2}};
+  const auto ta = detail::left_edge(ivs);
+  EXPECT_EQ(ta.tracks_used, 3u);
+}
+
+TEST(LeftEdge, SameNetMayAbutDifferentNetsMayNot) {
+  const std::vector<detail::TrackInterval> same = {{{0, 10}, 7}, {{10, 20}, 7}};
+  EXPECT_EQ(detail::left_edge(same).tracks_used, 1u);
+  const std::vector<detail::TrackInterval> diff = {{{0, 10}, 1}, {{10, 20}, 2}};
+  EXPECT_EQ(detail::left_edge(diff).tracks_used, 2u);
+}
+
+TEST(LeftEdge, ClassicStaircasePacksTwoTracks) {
+  // {[0,10],[5,15],[12,22],[16,26]} packs into 2 tracks.
+  const std::vector<detail::TrackInterval> ivs = {
+      {{0, 10}, 0}, {{5, 15}, 1}, {{12, 22}, 2}, {{16, 26}, 3}};
+  const auto ta = detail::left_edge(ivs);
+  EXPECT_EQ(ta.tracks_used, 2u);
+  // No two different-net intervals on the same track overlap.
+  for (std::size_t i = 0; i < ivs.size(); ++i) {
+    for (std::size_t j = i + 1; j < ivs.size(); ++j) {
+      if (ta.track_of[i] != ta.track_of[j]) continue;
+      if (ivs[i].net == ivs[j].net) continue;
+      EXPECT_FALSE(ivs[i].span.overlaps(ivs[j].span)) << i << "," << j;
+    }
+  }
+}
+
+TEST(LeftEdge, EmptyInput) {
+  const auto ta = detail::left_edge({});
+  EXPECT_EQ(ta.tracks_used, 0u);
+  EXPECT_TRUE(ta.track_of.empty());
+}
+
+// ------------------------------------------------------------ Channels
+
+TEST(Channels, ParallelOverlappingSubnetsCluster) {
+  const std::vector<detail::SubNet> subnets = {
+      {0, Segment{Point{0, 10}, Point{50, 10}}},
+      {1, Segment{Point{20, 12}, Point{70, 12}}},   // interferes with #0
+      {2, Segment{Point{0, 50}, Point{50, 50}}},    // far away: own channel
+      {3, Segment{Point{30, 0}, Point{30, 40}}},    // vertical: own channel
+  };
+  const auto channels = detail::assign_channels(subnets, /*window=*/8);
+  ASSERT_EQ(channels.size(), 3u);
+  const auto& first = channels[0];
+  EXPECT_EQ(first.members.size(), 2u);
+  EXPECT_EQ(first.axis, geom::Axis::kX);
+}
+
+TEST(Channels, WindowControlsInterference) {
+  const std::vector<detail::SubNet> subnets = {
+      {0, Segment{Point{0, 10}, Point{50, 10}}},
+      {1, Segment{Point{20, 30}, Point{70, 30}}},  // 20 apart
+  };
+  EXPECT_EQ(detail::assign_channels(subnets, 8).size(), 2u);
+  EXPECT_EQ(detail::assign_channels(subnets, 25).size(), 1u);
+}
+
+TEST(Channels, TransitiveClosureMerges) {
+  // a-b interfere, b-c interfere, a-c do not: one channel of three.
+  const std::vector<detail::SubNet> subnets = {
+      {0, Segment{Point{0, 10}, Point{50, 10}}},
+      {1, Segment{Point{0, 16}, Point{50, 16}}},
+      {2, Segment{Point{0, 22}, Point{50, 22}}},
+  };
+  const auto channels = detail::assign_channels(subnets, 8);
+  ASSERT_EQ(channels.size(), 1u);
+  EXPECT_EQ(channels[0].members.size(), 3u);
+}
+
+TEST(Channels, DegenerateSubnetsIgnored) {
+  const std::vector<detail::SubNet> subnets = {
+      {0, Segment{Point{5, 5}, Point{5, 5}}},
+  };
+  EXPECT_TRUE(detail::assign_channels(subnets, 8).empty());
+}
+
+// ------------------------------------------------------- DetailedRouter
+
+route::NetlistResult fake_global(std::vector<std::vector<Segment>> nets) {
+  route::NetlistResult r;
+  for (auto& segs : nets) {
+    route::NetRoute nr;
+    nr.ok = true;
+    nr.segments = std::move(segs);
+    r.routes.push_back(std::move(nr));
+    ++r.routed;
+  }
+  return r;
+}
+
+TEST(DetailedRouter, CountsSubnetsChannelsTracksVias) {
+  // Two nets sharing a horizontal corridor plus one bend each.
+  const auto global = fake_global({
+      {Segment{Point{0, 10}, Point{50, 10}}, Segment{Point{50, 10}, Point{50, 40}}},
+      {Segment{Point{0, 12}, Point{60, 12}}, Segment{Point{60, 12}, Point{60, 40}}},
+  });
+  const detail::DetailedRouter dr;
+  const auto res = dr.run(global);
+  EXPECT_EQ(res.subnet_count, 4u);
+  EXPECT_EQ(res.via_count, 2u);  // one bend per net
+  EXPECT_GE(res.channel_count, 2u);
+  // The shared horizontal corridor needs two tracks.
+  EXPECT_GE(res.max_channel_tracks, 2u);
+  EXPECT_EQ(res.wires.size(), 4u);
+}
+
+TEST(DetailedRouter, TrackOffsetsSeparateDifferentNets) {
+  const auto global = fake_global({
+      {Segment{Point{0, 10}, Point{50, 10}}},
+      {Segment{Point{0, 10}, Point{60, 10}}},  // same track, different net
+  });
+  detail::DetailedOptions opts;
+  opts.track_pitch = 3;
+  const detail::DetailedRouter dr(opts);
+  const auto res = dr.run(global);
+  ASSERT_EQ(res.wires.size(), 2u);
+  EXPECT_NE(res.wires[0].seg.track(), res.wires[1].seg.track());
+  EXPECT_EQ(std::abs(res.wires[0].seg.track() - res.wires[1].seg.track()), 3);
+}
+
+TEST(DetailedRouter, LayersFollowHVConvention) {
+  const auto global = fake_global({
+      {Segment{Point{0, 10}, Point{50, 10}}, Segment{Point{50, 10}, Point{50, 40}}},
+  });
+  const detail::DetailedRouter dr;
+  const auto res = dr.run(global);
+  for (const auto& w : res.wires) {
+    if (w.seg.horizontal()) {
+      EXPECT_EQ(w.layer, 0u);
+    } else {
+      EXPECT_EQ(w.layer, 1u);
+    }
+  }
+}
+
+TEST(DetailedRouter, FailedNetsSkipped) {
+  route::NetlistResult global;
+  route::NetRoute bad;
+  bad.ok = false;
+  bad.segments.push_back(Segment{Point{0, 0}, Point{9, 0}});
+  global.routes.push_back(bad);
+  const detail::DetailedRouter dr;
+  const auto res = dr.run(global);
+  EXPECT_EQ(res.subnet_count, 0u);
+  EXPECT_EQ(res.via_count, 0u);
+}
+
+TEST(DetailedRouter, ViaPositionsAtBends) {
+  const auto global = fake_global({
+      {Segment{Point{0, 10}, Point{50, 10}}, Segment{Point{50, 10}, Point{50, 40}}},
+  });
+  const detail::DetailedRouter dr;
+  const auto res = dr.run(global);
+  ASSERT_EQ(res.vias.size(), 1u);
+  EXPECT_EQ(res.vias[0], (Point{50, 10}));
+}
+
+}  // namespace

@@ -1,0 +1,208 @@
+// Unit tests for the geometry substrate: intervals, rects, segments,
+// orthogonal polygons.
+
+#include <gtest/gtest.h>
+
+#include "geometry/geometry.hpp"
+
+namespace {
+
+using namespace gcr::geom;
+
+// ---------------------------------------------------------------- Interval
+
+TEST(Interval, DefaultIsEmpty) {
+  Interval iv;
+  EXPECT_TRUE(iv.empty());
+  EXPECT_EQ(iv.length(), 0);
+}
+
+TEST(Interval, ContainsClosedVsOpen) {
+  const Interval iv{2, 5};
+  EXPECT_TRUE(iv.contains(2));
+  EXPECT_TRUE(iv.contains(5));
+  EXPECT_FALSE(iv.contains_open(2));
+  EXPECT_FALSE(iv.contains_open(5));
+  EXPECT_TRUE(iv.contains_open(3));
+  EXPECT_FALSE(iv.contains(6));
+}
+
+TEST(Interval, OverlapSemantics) {
+  EXPECT_TRUE((Interval{0, 5}.overlaps(Interval{5, 9})));   // touch counts
+  EXPECT_FALSE((Interval{0, 5}.overlaps_open(Interval{5, 9})));
+  EXPECT_TRUE((Interval{0, 5}.overlaps_open(Interval{4, 9})));
+  EXPECT_FALSE((Interval{0, 5}.overlaps(Interval{6, 9})));
+}
+
+TEST(Interval, IntersectionHull) {
+  const Interval a{0, 10};
+  const Interval b{5, 20};
+  EXPECT_EQ(a.intersection(b), (Interval{5, 10}));
+  EXPECT_EQ(a.hull(b), (Interval{0, 20}));
+  EXPECT_TRUE((Interval{0, 2}.intersection(Interval{5, 6}).empty()));
+  EXPECT_EQ(Interval{}.hull(a), a);
+}
+
+// -------------------------------------------------------------------- Rect
+
+TEST(Rect, ProperAndEmpty) {
+  EXPECT_TRUE(Rect().empty());
+  EXPECT_FALSE((Rect{0, 0, 5, 0}.proper()));  // zero height line
+  EXPECT_TRUE((Rect{0, 0, 5, 3}.proper()));
+}
+
+TEST(Rect, ContainmentOpenVsClosed) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 5}));
+  EXPECT_FALSE(r.contains_open(Point{0, 5}));   // boundary: routable
+  EXPECT_TRUE(r.contains_open(Point{5, 5}));
+  EXPECT_TRUE(r.on_boundary(Point{10, 10}));
+  EXPECT_FALSE(r.on_boundary(Point{5, 5}));
+}
+
+TEST(Rect, SeparationIsManhattanGap) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.separation(Rect{12, 0, 20, 10}), 2);   // side by side
+  EXPECT_EQ(a.separation(Rect{0, 15, 10, 20}), 5);   // stacked
+  EXPECT_EQ(a.separation(Rect{13, 14, 20, 20}), 7);  // diagonal: dx+dy
+  EXPECT_EQ(a.separation(Rect{10, 0, 20, 10}), 0);   // touching
+  EXPECT_EQ(a.separation(Rect{5, 5, 20, 20}), 0);    // overlapping
+}
+
+TEST(Rect, DistanceToPoint) {
+  const Rect r{10, 10, 20, 20};
+  EXPECT_EQ(r.distance(Point{15, 15}), 0);
+  EXPECT_EQ(r.distance(Point{10, 10}), 0);
+  EXPECT_EQ(r.distance(Point{0, 15}), 10);
+  EXPECT_EQ(r.distance(Point{25, 25}), 10);
+}
+
+TEST(Rect, HullAndIntersection) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{3, 3, 9, 4};
+  EXPECT_EQ(a.hull(b), (Rect{0, 0, 9, 5}));
+  EXPECT_EQ(a.intersection(b), (Rect{3, 3, 5, 4}));
+}
+
+// ------------------------------------------------------------------- Point
+
+TEST(Point, ManhattanAndStep) {
+  EXPECT_EQ(manhattan(Point{0, 0}, Point{3, 4}), 7);
+  EXPECT_EQ((Point{5, 5}.stepped(Dir::kWest, 3)), (Point{2, 5}));
+  EXPECT_EQ((Point{5, 5}.stepped(Dir::kNorth, 2)), (Point{5, 7}));
+}
+
+TEST(Point, DirHelpers) {
+  EXPECT_EQ(axis_of(Dir::kEast), Axis::kX);
+  EXPECT_EQ(axis_of(Dir::kSouth), Axis::kY);
+  EXPECT_EQ(opposite(Dir::kEast), Dir::kWest);
+  EXPECT_EQ(opposite(Dir::kNorth), Dir::kSouth);
+  EXPECT_EQ(sign_of(Dir::kWest), -1);
+  EXPECT_EQ(other(Axis::kX), Axis::kY);
+}
+
+// ----------------------------------------------------------------- Segment
+
+TEST(Segment, AxisTrackSpan) {
+  const Segment h{Point{2, 5}, Point{9, 5}};
+  EXPECT_TRUE(h.horizontal());
+  EXPECT_EQ(h.track(), 5);
+  EXPECT_EQ(h.span(), (Interval{2, 9}));
+  EXPECT_EQ(h.length(), 7);
+
+  const Segment v{Point{4, 1}, Point{4, 8}};
+  EXPECT_TRUE(v.vertical());
+  EXPECT_EQ(v.track(), 4);
+}
+
+TEST(Segment, CrossingPerpendicular) {
+  const Segment h{Point{0, 5}, Point{10, 5}};
+  const Segment v{Point{4, 0}, Point{4, 9}};
+  const auto x = h.crossing(v);
+  ASSERT_TRUE(x.has_value());
+  EXPECT_EQ(*x, (Point{4, 5}));
+  // Endpoint touch counts.
+  const Segment v2{Point{10, 5}, Point{10, 9}};
+  EXPECT_TRUE(h.crossing(v2).has_value());
+  // Disjoint.
+  const Segment v3{Point{12, 0}, Point{12, 9}};
+  EXPECT_FALSE(h.crossing(v3).has_value());
+  // Parallel: nullopt even when overlapping.
+  const Segment h2{Point{5, 5}, Point{20, 5}};
+  EXPECT_FALSE(h.crossing(h2).has_value());
+}
+
+TEST(Segment, PiercesOnlyOpenInterior) {
+  const Rect r{10, 10, 20, 20};
+  // Crossing straight through.
+  EXPECT_TRUE((Segment{Point{0, 15}, Point{30, 15}}.pierces(r)));
+  // Hugging an edge: legal.
+  EXPECT_FALSE((Segment{Point{0, 10}, Point{30, 10}}.pierces(r)));
+  EXPECT_FALSE((Segment{Point{20, 0}, Point{20, 30}}.pierces(r)));
+  // Ending exactly on the boundary from outside: legal.
+  EXPECT_FALSE((Segment{Point{0, 15}, Point{10, 15}}.pierces(r)));
+  // Ending inside: pierces.
+  EXPECT_TRUE((Segment{Point{0, 15}, Point{15, 15}}.pierces(r)));
+  // Degenerate inside.
+  EXPECT_TRUE((Segment{Point{15, 15}, Point{15, 15}}.pierces(r)));
+}
+
+TEST(Segment, ClosestPointClamps) {
+  const Segment h{Point{0, 5}, Point{10, 5}};
+  EXPECT_EQ(h.closest_point(Point{4, 9}), (Point{4, 5}));
+  EXPECT_EQ(h.closest_point(Point{-3, 9}), (Point{0, 5}));
+  EXPECT_EQ(h.closest_point(Point{15, 0}), (Point{10, 5}));
+}
+
+// ------------------------------------------------------------ OrthoPolygon
+
+TEST(OrthoPolygon, RectRoundTrip) {
+  const auto poly = OrthoPolygon::from_rect(Rect{0, 0, 10, 6});
+  EXPECT_TRUE(poly.valid());
+  EXPECT_EQ(poly.area(), 60);
+  EXPECT_EQ(poly.bounding_box(), (Rect{0, 0, 10, 6}));
+  const auto rects = poly.decompose();
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{0, 0, 10, 6}));
+}
+
+TEST(OrthoPolygon, LShapeDecomposition) {
+  // L-shape: 20x20 square minus its top-right 10x10 quadrant.
+  const OrthoPolygon poly{{{0, 0}, {20, 0}, {20, 10}, {10, 10},
+                           {10, 20}, {0, 20}}};
+  ASSERT_TRUE(poly.valid());
+  EXPECT_EQ(poly.area(), 300);
+  Cost total = 0;
+  for (const Rect& r : poly.decompose()) total += r.area();
+  EXPECT_EQ(total, 300);
+  EXPECT_TRUE(poly.contains(Point{5, 15}));
+  EXPECT_FALSE(poly.contains(Point{15, 15}));
+  EXPECT_TRUE(poly.contains(Point{10, 15}));       // on the notch edge
+  EXPECT_FALSE(poly.contains_open(Point{10, 15}));
+  EXPECT_TRUE(poly.contains_open(Point{5, 5}));
+}
+
+TEST(OrthoPolygon, InvalidShapesRejected) {
+  // Non-alternating (two horizontal moves in a row can't happen with
+  // distinct vertices, so test a diagonal edge instead).
+  const OrthoPolygon diag{{{0, 0}, {5, 5}, {0, 5}, {5, 0}}};
+  EXPECT_FALSE(diag.valid());
+  // Self-intersecting bow-tie of rectilinear edges.
+  const OrthoPolygon bow{{{0, 0}, {10, 0}, {10, 10}, {4, 10},
+                          {4, -5}, {6, -5}, {6, 5}, {0, 5}}};
+  EXPECT_FALSE(bow.valid());
+  // Too few vertices.
+  EXPECT_FALSE((OrthoPolygon{{{0, 0}, {5, 0}}}.valid()));
+}
+
+TEST(OrthoPolygon, UShapeDecomposition) {
+  // U-shape: 30 wide, 20 tall, with a 10-wide notch from the top.
+  const OrthoPolygon poly{{{0, 0}, {30, 0}, {30, 20}, {20, 20},
+                           {20, 5}, {10, 5}, {10, 20}, {0, 20}}};
+  ASSERT_TRUE(poly.valid());
+  EXPECT_EQ(poly.area(), 30 * 20 - 10 * 15);
+  EXPECT_FALSE(poly.contains(Point{15, 15}));  // inside the notch
+  EXPECT_TRUE(poly.contains(Point{15, 3}));    // in the bridge
+}
+
+}  // namespace

@@ -1,0 +1,153 @@
+// Tests for the Lee-Moore grid baseline: rasterization, snapping, wave
+// expansion, and its equivalence to "the general algorithm with grid
+// successors and h = 0".
+
+#include <gtest/gtest.h>
+
+#include "grid/grid_graph.hpp"
+#include "grid/lee_moore.hpp"
+#include "spatial/obstacle_index.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+using geom::Rect;
+
+spatial::ObstacleIndex one_block() {
+  return spatial::ObstacleIndex(Rect{0, 0, 100, 100}, {Rect{40, 40, 60, 60}});
+}
+
+TEST(GridGraph, DimensionsFollowPitch) {
+  const auto idx = one_block();
+  const grid::GridGraph g1(idx, 1);
+  EXPECT_EQ(g1.nx(), 101);
+  EXPECT_EQ(g1.ny(), 101);
+  EXPECT_EQ(g1.vertex_count(), 101u * 101u);
+
+  const grid::GridGraph g5(idx, 5);
+  EXPECT_EQ(g5.nx(), 21);
+  EXPECT_EQ(g5.vertex_count(), 21u * 21u);
+}
+
+TEST(GridGraph, RasterizationBlocksOnlyOpenInterior) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 1);
+  // Boundary grid points of the block stay routable (hugging).
+  EXPECT_TRUE(g.routable(g.nearest(Point{40, 50})));
+  EXPECT_TRUE(g.routable(g.nearest(Point{60, 60})));
+  EXPECT_FALSE(g.routable(g.nearest(Point{50, 50})));
+  EXPECT_FALSE(g.routable(g.nearest(Point{41, 41})));
+}
+
+TEST(GridGraph, CoarsePitchRasterization) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 10);
+  // Grid point (50,50) is strictly inside; (40,50) lies on the edge.
+  EXPECT_FALSE(g.routable(g.nearest(Point{50, 50})));
+  EXPECT_TRUE(g.routable(g.nearest(Point{40, 50})));
+}
+
+TEST(GridGraph, ToDbuRoundTrip) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 5);
+  const grid::GridPoint gp = g.nearest(Point{42, 58});
+  EXPECT_EQ(g.to_dbu(gp), (Point{40, 60}));  // rounds to nearest lattice
+}
+
+TEST(GridGraph, SnapEscapesBlockedPoint) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 1);
+  const auto snapped = g.snap(Point{50, 50});  // interior: must move out
+  ASSERT_TRUE(snapped.has_value());
+  EXPECT_TRUE(g.routable(*snapped));
+}
+
+TEST(GridGraph, SnapReturnsNulloptWhenFullyBlocked) {
+  // An obstacle covering everything except the outer boundary ring still
+  // leaves routable boundary points, so block the entire region instead by
+  // inflating past the boundary.
+  const spatial::ObstacleIndex idx(Rect{10, 10, 20, 20},
+                                   {Rect{0, 0, 30, 30}});
+  const grid::GridGraph g(idx, 1);
+  EXPECT_FALSE(g.snap(Point{15, 15}).has_value());
+}
+
+TEST(LeeMoore, FindsShortestPathAroundBlock) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 1);
+  const grid::LeeMooreRouter router(g);
+  const auto r = router.route({10, 50}, {90, 50});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.length, 80 + 2 * 10);
+}
+
+TEST(LeeMoore, BreadthFirstEqualsBestFirstLengthOnUnitGrid) {
+  // On a uniform grid, BFS wave expansion and best-first (h=0, Dijkstra)
+  // find equal-length paths: the paper's Lee-Moore equivalence.
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 2);
+  const grid::LeeMooreRouter router(g);
+  const auto bfs = router.route({10, 50}, {90, 50},
+                                search::Strategy::kBreadthFirst);
+  const auto dij = router.route({10, 50}, {90, 50},
+                                search::Strategy::kBestFirst);
+  ASSERT_TRUE(bfs.found);
+  ASSERT_TRUE(dij.found);
+  EXPECT_EQ(bfs.length, dij.length);
+}
+
+TEST(LeeMoore, AStarExpandsFewerNodesThanWaveExpansion) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 1);
+  const grid::LeeMooreRouter router(g);
+  const auto wave = router.route({10, 50}, {90, 50},
+                                 search::Strategy::kBestFirst);
+  const auto astar = router.route({10, 50}, {90, 50},
+                                  search::Strategy::kAStar);
+  ASSERT_TRUE(wave.found);
+  ASSERT_TRUE(astar.found);
+  EXPECT_EQ(wave.length, astar.length);
+  EXPECT_LT(astar.stats.nodes_expanded, wave.stats.nodes_expanded);
+}
+
+TEST(LeeMoore, PitchScalesLength) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 5);
+  const grid::LeeMooreRouter router(g);
+  const auto r = router.route({10, 50}, {90, 50});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.length % 5, 0);
+  EXPECT_GE(r.length, 100);
+}
+
+TEST(LeeMoore, MultiSourceMultiTarget) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 1);
+  const grid::LeeMooreRouter router(g);
+  const auto r = router.route_set({{10, 10}, {80, 80}}, {{85, 85}, {0, 99}});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.length, 10);  // (80,80) -> (85,85)
+}
+
+TEST(LeeMoore, UnroutableWhenTargetsMissing) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 1);
+  const grid::LeeMooreRouter router(g);
+  const auto r = router.route_set({{10, 10}}, {});
+  EXPECT_FALSE(r.found);
+}
+
+TEST(LeeMoore, PathIsFourConnectedAndUnblocked) {
+  const auto idx = one_block();
+  const grid::GridGraph g(idx, 1);
+  const grid::LeeMooreRouter router(g);
+  const auto r = router.route({30, 30}, {70, 70});
+  ASSERT_TRUE(r.found);
+  for (std::size_t i = 0; i + 1 < r.points.size(); ++i) {
+    EXPECT_EQ(manhattan(r.points[i], r.points[i + 1]), 1);
+    EXPECT_FALSE(idx.interior(r.points[i]));
+  }
+}
+
+}  // namespace

@@ -1,0 +1,115 @@
+// Tests for the Hightower line-probe baseline: succeeds on easy cases, uses
+// few escape lines, produces legal (if not minimal) paths — and fails on
+// labyrinths that the admissible searches solve, the paper's motivating
+// contrast.
+
+#include <gtest/gtest.h>
+
+#include "core/gridless_router.hpp"
+#include "hightower/hightower.hpp"
+#include "workload/figures.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+using geom::Rect;
+using geom::Segment;
+
+TEST(Hightower, StraightLine) {
+  const spatial::ObstacleIndex idx(Rect{0, 0, 100, 100}, {});
+  const hightower::HightowerRouter router(idx);
+  const auto r = router.route({10, 20}, {90, 20});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.length, 80);
+}
+
+TEST(Hightower, LConnection) {
+  const spatial::ObstacleIndex idx(Rect{0, 0, 100, 100}, {});
+  const hightower::HightowerRouter router(idx);
+  const auto r = router.route({10, 10}, {60, 70});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.length, 110);
+  // The initial cross lines already meet: minimal probing effort.
+  EXPECT_LE(r.lines_used, 4u);
+}
+
+TEST(Hightower, RoundsOneBlock) {
+  const spatial::ObstacleIndex idx(Rect{0, 0, 100, 100},
+                                   {Rect{40, 30, 60, 70}});
+  const hightower::HightowerRouter router(idx);
+  const auto r = router.route({10, 50}, {90, 50});
+  ASSERT_TRUE(r.found);
+  // Legal path (not necessarily minimal).
+  for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+    EXPECT_FALSE(idx.segment_blocked(Segment{r.path[i], r.path[i + 1]}));
+  }
+  EXPECT_GE(r.length, 120);  // cannot beat the optimum
+}
+
+TEST(Hightower, PathEndpointsAreTerminals) {
+  const spatial::ObstacleIndex idx(Rect{0, 0, 100, 100},
+                                   {Rect{40, 30, 60, 70}});
+  const hightower::HightowerRouter router(idx);
+  const auto r = router.route({10, 50}, {90, 50});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.path.front(), (Point{10, 50}));
+  EXPECT_EQ(r.path.back(), (Point{90, 50}));
+}
+
+TEST(Hightower, UnroutableEndpointsRejected) {
+  const spatial::ObstacleIndex idx(Rect{0, 0, 100, 100},
+                                   {Rect{40, 30, 60, 70}});
+  const hightower::HightowerRouter router(idx);
+  EXPECT_FALSE(router.route({50, 50}, {90, 50}).found);  // buried source
+  EXPECT_FALSE(router.route({10, 50}, {50, 50}).found);  // buried target
+}
+
+TEST(Hightower, FailsOnSpiralThatAStarSolves) {
+  // The paper: Hightower "fail[s] to find some connections which could be
+  // found by a Lee-Moore router"; the admissible line search inherits
+  // Lee-Moore's completeness.  On a spiral both probe trees exhaust their
+  // escape points without meeting, no matter how large the line budget.
+  const workload::PointQuery q = workload::spiral_maze(3);
+  ASSERT_TRUE(q.layout.valid());
+  const spatial::ObstacleIndex idx(q.layout.boundary(), q.layout.obstacles());
+
+  const hightower::HightowerRouter ht(idx);
+  const auto hr = ht.route(q.s, q.d, /*max_lines=*/4096);
+  EXPECT_FALSE(hr.found);
+
+  const spatial::EscapeLineSet lines(idx);
+  const route::GridlessRouter astar(idx, lines);
+  const auto ar = astar.route(q.s, q.d);
+  EXPECT_TRUE(ar.found);  // complete search always connects
+}
+
+TEST(Hightower, TightBudgetFailsOnCombThatAStarSolves) {
+  // With its "quick first try" budget, Hightower gives up on the labyrinth;
+  // with a generous budget it serpentines through at much higher effort.
+  const workload::PointQuery q = workload::comb_maze(6);
+  const spatial::ObstacleIndex idx(q.layout.boundary(), q.layout.obstacles());
+  const hightower::HightowerRouter ht(idx);
+  const auto quick = ht.route(q.s, q.d, /*max_lines=*/16);
+  EXPECT_FALSE(quick.found);
+  const auto patient = ht.route(q.s, q.d, /*max_lines=*/256);
+  ASSERT_TRUE(patient.found);
+  EXPECT_GT(patient.lines_used, 16u);
+
+  const spatial::EscapeLineSet lines(idx);
+  const route::GridlessRouter astar(idx, lines);
+  const auto ar = astar.route(q.s, q.d);
+  ASSERT_TRUE(ar.found);
+  // Hightower's path is legal but not minimal on the serpentine.
+  EXPECT_GE(patient.length, ar.length);
+}
+
+TEST(Hightower, RespectsLineBudget) {
+  const workload::PointQuery q = workload::spiral_maze(4);
+  const spatial::ObstacleIndex idx(q.layout.boundary(), q.layout.obstacles());
+  const hightower::HightowerRouter ht(idx);
+  const auto r = ht.route(q.s, q.d, /*max_lines=*/8);
+  EXPECT_LE(r.lines_used, 2u * 8u + 4u);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Tests for the iterative-deepening drivers (IDDFS, IDA*): optimality,
+// completeness, memory-light behaviour, agreement with the queue-based A*.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/gridless_router.hpp"
+#include "search/iterative.hpp"
+#include "workload/figures.hpp"
+
+namespace {
+
+using namespace gcr;
+using search::IterativeOptions;
+using search::Successor;
+
+struct GraphSpace {
+  using State = std::string;
+  std::map<std::string, std::vector<Successor<std::string>>> edges;
+  std::map<std::string, geom::Cost> h;
+  std::string goal;
+
+  void successors(const State& s, std::vector<Successor<State>>& out) const {
+    const auto it = edges.find(s);
+    if (it != edges.end()) out = it->second;
+  }
+  [[nodiscard]] geom::Cost heuristic(const State& s) const {
+    const auto it = h.find(s);
+    return it == h.end() ? 0 : it->second;
+  }
+  [[nodiscard]] bool is_goal(const State& s) const { return s == goal; }
+};
+
+GraphSpace diamond() {
+  GraphSpace g;
+  g.edges["s"] = {{"a", 1}, {"b", 4}};
+  g.edges["a"] = {{"t", 5}};
+  g.edges["b"] = {{"t", 1}};
+  g.goal = "t";
+  return g;
+}
+
+TEST(IdaStar, FindsMinimalCost) {
+  const GraphSpace g = diamond();
+  const auto r = search::ida_star(g, std::string("s"));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 5);
+  EXPECT_EQ(r.path, (std::vector<std::string>{"s", "b", "t"}));
+}
+
+TEST(IdaStar, AdmissibleHeuristicPreservesOptimality) {
+  GraphSpace g = diamond();
+  g.h = {{"s", 5}, {"a", 4}, {"b", 1}, {"t", 0}};
+  const auto r = search::ida_star(g, std::string("s"));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 5);
+}
+
+TEST(IdaStar, UnreachableGoal) {
+  GraphSpace g = diamond();
+  g.goal = "nowhere";
+  const auto r = search::ida_star(g, std::string("s"));
+  EXPECT_FALSE(r.found);
+}
+
+TEST(IdaStar, StartIsGoal) {
+  GraphSpace g = diamond();
+  g.goal = "s";
+  const auto r = search::ida_star(g, std::string("s"));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 0);
+}
+
+TEST(IdaStar, RespectsExpansionCap) {
+  GraphSpace g;
+  for (int i = 0; i < 200; ++i) {
+    g.edges["n" + std::to_string(i)] = {{"n" + std::to_string(i + 1), 1}};
+  }
+  g.goal = "n200";
+  IterativeOptions opts;
+  opts.max_expansions = 10;
+  const auto r = search::ida_star(g, std::string("n0"), opts);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.stats.aborted);
+}
+
+TEST(IdaStar, MatchesAStarOnGridlessRouting) {
+  const workload::PointQuery q = workload::figure1_layout();
+  const spatial::ObstacleIndex index(q.layout.boundary(), q.layout.obstacles());
+  const spatial::EscapeLineSet lines(index);
+  const route::GridlessRouter router(index, lines);
+  const auto astar = router.route(q.s, q.d);
+  ASSERT_TRUE(astar.found);
+
+  const route::GridlessSpace space(index, lines, {q.d});
+  IterativeOptions opts;
+  opts.max_expansions = 2'000'000;
+  const auto ida =
+      search::ida_star(space, route::RouteState{q.s, route::kNoDir}, opts);
+  ASSERT_TRUE(ida.found);
+  EXPECT_EQ(ida.cost, astar.cost);
+}
+
+TEST(Iddfs, FindsShallowestPath) {
+  GraphSpace g;
+  g.edges["s"] = {{"deep1", 1}, {"t_direct", 100}};
+  g.edges["deep1"] = {{"deep2", 1}};
+  g.edges["deep2"] = {{"t", 1}};
+  g.edges["t_direct"] = {{"t", 1}};
+  g.goal = "t";
+  const auto r = search::iddfs(g, std::string("s"));
+  ASSERT_TRUE(r.found);
+  // Shallowest = 2 edges via t_direct (costs ignored by IDDFS).
+  EXPECT_EQ(r.path.size(), 3u);
+}
+
+TEST(Iddfs, UnreachableTerminatesOnFiniteGraph) {
+  GraphSpace g = diamond();
+  g.goal = "nowhere";
+  const auto r = search::iddfs(g, std::string("s"));
+  EXPECT_FALSE(r.found);
+}
+
+TEST(Iddfs, StartIsGoal) {
+  GraphSpace g = diamond();
+  g.goal = "s";
+  const auto r = search::iddfs(g, std::string("s"));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.path, (std::vector<std::string>{"s"}));
+}
+
+TEST(Iddfs, MaxBoundStopsGrowth) {
+  GraphSpace g;
+  for (int i = 0; i < 50; ++i) {
+    g.edges["n" + std::to_string(i)] = {{"n" + std::to_string(i + 1), 1}};
+  }
+  g.goal = "n50";
+  IterativeOptions opts;
+  opts.max_bound = 10;  // depth ceiling below the solution depth
+  const auto r = search::iddfs(g, std::string("n0"), opts);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(Iddfs, RoutesOnGridlessSpace) {
+  const spatial::ObstacleIndex index(geom::Rect{0, 0, 100, 100},
+                                     {geom::Rect{40, 30, 60, 70}});
+  const spatial::EscapeLineSet lines(index);
+  const route::GridlessSpace space(index, lines, {{90, 50}});
+  IterativeOptions opts;
+  opts.max_expansions = 500000;
+  const auto r =
+      search::iddfs(space, route::RouteState{{10, 50}, route::kNoDir}, opts);
+  ASSERT_TRUE(r.found);
+  EXPECT_GE(r.cost, 120 * route::kCostScale);  // legal but maybe suboptimal
+}
+
+}  // namespace

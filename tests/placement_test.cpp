@@ -1,0 +1,140 @@
+// Tests for the routing-to-placement feedback loop (the paper's stated
+// future work): spacing-demand analysis, rigid widening, and empirical
+// convergence.
+
+#include <gtest/gtest.h>
+
+#include "placement/feedback_loop.hpp"
+#include "verify/route_verifier.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+
+/// Two macros with a deliberately under-sized gap and several nets whose
+/// shortest routes hug the gap's rims.
+layout::Layout tight_gap_layout(std::size_t nets, Coord gap) {
+  const Coord top = 30 + static_cast<Coord>(nets) * 8 + 40;
+  layout::Layout lay(Rect{0, 0, 186 + gap, top + 20});
+  lay.set_min_separation(2);
+  const auto a = lay.add_cell(layout::Cell{"west", Rect{20, 10, 100, top}});
+  const auto b = lay.add_cell(
+      layout::Cell{"east", Rect{100 + gap, 10, 180 + gap, top}});
+  for (std::size_t i = 0; i < nets; ++i) {
+    const Coord y = 30 + static_cast<Coord>(i) * 8;
+    lay.cell(a).add_pin_terminal("p" + std::to_string(i), Point{20, y});
+    lay.cell(b).add_pin_terminal("q" + std::to_string(i),
+                                 Point{180 + gap, y});
+    layout::Net net("n" + std::to_string(i));
+    net.add_terminal(layout::TerminalRef{a, static_cast<std::uint32_t>(i)});
+    net.add_terminal(layout::TerminalRef{b, static_cast<std::uint32_t>(i)});
+    lay.add_net(std::move(net));
+  }
+  return lay;
+}
+
+TEST(SpacingDemand, FindsUndersizedPassage) {
+  const layout::Layout lay = tight_gap_layout(6, 4);
+  ASSERT_TRUE(lay.valid());
+  const route::NetlistRouter router(lay);
+  const auto routed = router.route_all();
+  ASSERT_EQ(routed.failed, 0u);
+
+  placement::SpacingOptions opts;
+  opts.wire_pitch = 2;
+  const auto deficits = placement::spacing_deficits(lay, routed, opts);
+  ASSERT_FALSE(deficits.empty());
+  // 6 nets at pitch 2 demand 12; gap is 4: deficit 8.
+  EXPECT_EQ(deficits.front().occupancy, 6u);
+  EXPECT_EQ(deficits.front().deficit, 8);
+}
+
+TEST(SpacingDemand, NoDeficitWhenGapSuffices) {
+  const layout::Layout lay = tight_gap_layout(3, 20);
+  const route::NetlistRouter router(lay);
+  const auto routed = router.route_all();
+  placement::SpacingOptions opts;
+  opts.wire_pitch = 2;
+  EXPECT_TRUE(placement::spacing_deficits(lay, routed, opts).empty());
+}
+
+TEST(WidenPassages, ShiftsCellsAndGrowsBoundary) {
+  layout::Layout lay = tight_gap_layout(6, 4);
+  const route::NetlistRouter router(lay);
+  const auto routed = router.route_all();
+  placement::SpacingOptions opts;
+  opts.wire_pitch = 2;
+  const auto deficits = placement::spacing_deficits(lay, routed, opts);
+  ASSERT_FALSE(deficits.empty());
+
+  const Rect east_before = lay.cells()[1].outline();
+  const Point pin_before = lay.cells()[1].terminals()[0].pins[0].pos;
+  const geom::Cost growth = placement::widen_passages(lay, deficits);
+  EXPECT_GT(growth, 0);
+  // The east cell and its pins moved together; the layout is still valid.
+  EXPECT_EQ(lay.cells()[1].outline().xlo, east_before.xlo + 8);
+  EXPECT_EQ(lay.cells()[1].terminals()[0].pins[0].pos.x, pin_before.x + 8);
+  EXPECT_TRUE(lay.valid()) << lay.validate().front().detail;
+}
+
+TEST(FeedbackLoop, ConvergesOnTightGap) {
+  const layout::Layout lay = tight_gap_layout(6, 4);
+  placement::FeedbackOptions opts;
+  opts.spacing.wire_pitch = 2;
+  const auto report = placement::run_feedback(lay, opts);
+  EXPECT_TRUE(report.converged);
+  EXPECT_GE(report.iterations, 2u);  // at least one adjustment round
+  EXPECT_TRUE(report.final_layout.valid());
+  // Final routes verify and the final gap carries all nets.
+  const auto violations =
+      verify::verify_routes(report.final_layout, report.final_routes);
+  EXPECT_TRUE(violations.empty());
+  placement::SpacingOptions sopts;
+  sopts.wire_pitch = 2;
+  EXPECT_TRUE(placement::spacing_deficits(report.final_layout,
+                                          report.final_routes, sopts)
+                  .empty());
+}
+
+TEST(FeedbackLoop, AlreadyConvergedNeedsOneIteration) {
+  const layout::Layout lay = tight_gap_layout(3, 20);
+  placement::FeedbackOptions opts;
+  opts.spacing.wire_pitch = 2;
+  const auto report = placement::run_feedback(lay, opts);
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.iterations, 1u);
+  EXPECT_EQ(report.trace.size(), 1u);
+  EXPECT_EQ(report.trace[0].deficits, 0u);
+}
+
+TEST(FeedbackLoop, TraceRecordsMonotoneProgress) {
+  const layout::Layout lay = tight_gap_layout(8, 2);
+  placement::FeedbackOptions opts;
+  opts.spacing.wire_pitch = 2;
+  const auto report = placement::run_feedback(lay, opts);
+  ASSERT_TRUE(report.converged);
+  // Worst deficit never increases across iterations in this monotone
+  // (widen-only) scheme.
+  for (std::size_t i = 1; i < report.trace.size(); ++i) {
+    EXPECT_LE(report.trace[i].worst_deficit,
+              report.trace[i - 1].worst_deficit == 0
+                  ? geom::kCoordMax
+                  : report.trace[i - 1].worst_deficit);
+  }
+}
+
+TEST(CellTranslate, MovesPolygonShape) {
+  layout::Layout lay(Rect{0, 0, 200, 200});
+  const geom::OrthoPolygon ell{{{10, 10}, {50, 10}, {50, 30}, {30, 30},
+                                {30, 50}, {10, 50}}};
+  const auto id = lay.add_cell(layout::Cell{"ell", ell});
+  lay.cell(id).translate(5, 7);
+  EXPECT_EQ(lay.cell(id).outline(), (Rect{15, 17, 55, 57}));
+  EXPECT_EQ(lay.cell(id).shape().vertices()[0], (Point{15, 17}));
+  EXPECT_TRUE(lay.cell(id).shape().valid());
+}
+
+}  // namespace

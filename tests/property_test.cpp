@@ -1,0 +1,140 @@
+// Randomized cross-validation properties — the strongest correctness
+// evidence in the suite.  On seed-swept random placements:
+//   * gridless A* path length == explicit track-graph Dijkstra length
+//     == unit-pitch Lee-Moore length (three independent implementations),
+//   * paths are always geometrically legal,
+//   * the A* cost respects the Manhattan lower bound,
+//   * all admissible strategies agree on cost.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/gridless_router.hpp"
+#include "core/track_graph.hpp"
+#include "grid/lee_moore.hpp"
+#include "workload/floorplan.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+using geom::Rect;
+
+struct World {
+  layout::Layout lay;
+  spatial::ObstacleIndex index;
+  spatial::EscapeLineSet lines;
+
+  explicit World(std::uint64_t seed, std::size_t cells, geom::Coord extent)
+      : lay([&] {
+          workload::FloorplanOptions opts;
+          opts.seed = seed;
+          opts.cell_count = cells;
+          opts.boundary = Rect{0, 0, extent, extent};
+          opts.min_separation = 4;
+          return workload::random_floorplan(opts);
+        }()),
+        index(lay.boundary(), lay.obstacles()),
+        lines(index) {}
+
+  Point random_free_point(std::mt19937_64& rng) const {
+    std::uniform_int_distribution<geom::Coord> c(0, lay.boundary().xhi);
+    for (;;) {
+      const Point p{c(rng), c(rng)};
+      if (index.routable(p)) return p;
+    }
+  }
+};
+
+class RouteCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RouteCrossValidation, GridlessMatchesOracleAndGrid) {
+  const std::uint64_t seed = GetParam();
+  const World w(seed, 8, 128);
+  std::mt19937_64 rng(seed * 997 + 1);
+
+  const route::GridlessRouter router(w.index, w.lines);
+  const route::TrackGraph oracle(w.index, w.lines);
+  const grid::GridGraph gg(w.index, 1);
+  const grid::LeeMooreRouter lee(gg);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    const Point a = w.random_free_point(rng);
+    const Point b = w.random_free_point(rng);
+
+    const auto r = router.route(a, b);
+    ASSERT_TRUE(r.found) << "seed " << seed << " " << a << "->" << b;
+
+    // Path legality.
+    EXPECT_EQ(r.points.front(), a);
+    EXPECT_EQ(r.points.back(), b);
+    for (const auto& seg : r.segments()) {
+      EXPECT_FALSE(w.index.segment_blocked(seg))
+          << "seed " << seed << ": " << seg;
+    }
+    EXPECT_EQ(r.length, route::polyline_length(r.points));
+
+    // Manhattan lower bound (admissibility).
+    EXPECT_GE(r.length, manhattan(a, b));
+
+    // Independent implementations agree.
+    EXPECT_EQ(oracle.shortest_length(a, b), r.length)
+        << "seed " << seed << " " << a << "->" << b;
+    const auto lr = lee.route(a, b, search::Strategy::kAStar);
+    ASSERT_TRUE(lr.found);
+    EXPECT_EQ(lr.length, r.length) << "seed " << seed << " " << a << "->" << b;
+  }
+}
+
+TEST_P(RouteCrossValidation, AdmissibleStrategiesAgreeOnCost) {
+  const std::uint64_t seed = GetParam();
+  const World w(seed, 6, 96);
+  std::mt19937_64 rng(seed * 31 + 7);
+  const route::GridlessRouter router(w.index, w.lines);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const Point a = w.random_free_point(rng);
+    const Point b = w.random_free_point(rng);
+    geom::Cost expected = -1;
+    for (const auto strat :
+         {search::Strategy::kAStar, search::Strategy::kBestFirst,
+          search::Strategy::kExhaustive}) {
+      route::RouteOptions opts;
+      opts.strategy = strat;
+      const auto r = router.route(a, b, opts);
+      ASSERT_TRUE(r.found) << to_string(strat);
+      if (expected < 0) {
+        expected = r.cost;
+      } else {
+        EXPECT_EQ(r.cost, expected) << to_string(strat) << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST_P(RouteCrossValidation, AStarNeverExpandsMoreThanBestFirst) {
+  const std::uint64_t seed = GetParam();
+  const World w(seed, 8, 128);
+  std::mt19937_64 rng(seed * 131 + 5);
+  const route::GridlessRouter router(w.index, w.lines);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    const Point a = w.random_free_point(rng);
+    const Point b = w.random_free_point(rng);
+    route::RouteOptions astar{.strategy = search::Strategy::kAStar};
+    route::RouteOptions dijkstra{.strategy = search::Strategy::kBestFirst};
+    const auto ra = router.route(a, b, astar);
+    const auto rd = router.route(a, b, dijkstra);
+    ASSERT_TRUE(ra.found && rd.found);
+    // The heuristic can only prune (consistent h): classic A* dominance.
+    EXPECT_LE(ra.stats.nodes_expanded, rd.stats.nodes_expanded)
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RouteCrossValidation,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace

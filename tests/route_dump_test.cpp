@@ -1,0 +1,85 @@
+// Tests for the route-dump serialization: round trip, failure records, and
+// malformed-input diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "core/netlist_router.hpp"
+#include "io/route_dump.hpp"
+#include "io/text_format.hpp"
+#include "workload/floorplan.hpp"
+#include "workload/netgen.hpp"
+
+namespace {
+
+using namespace gcr;
+
+layout::Layout routed_layout() {
+  workload::FloorplanOptions fp;
+  fp.seed = 5;
+  fp.cell_count = 9;
+  fp.boundary = geom::Rect{0, 0, 512, 512};
+  layout::Layout lay = workload::random_floorplan(fp);
+  workload::PinGenOptions pg;
+  pg.seed = 6;
+  workload::sprinkle_pins(lay, pg);
+  workload::NetGenOptions ng;
+  ng.seed = 7;
+  ng.net_count = 8;
+  workload::generate_nets(lay, ng);
+  return lay;
+}
+
+TEST(RouteDump, RoundTrip) {
+  const layout::Layout lay = routed_layout();
+  const route::NetlistRouter router(lay);
+  const auto result = router.route_all();
+  ASSERT_EQ(result.failed, 0u);
+
+  const std::string text = io::write_routes_string(lay, result);
+  const auto back = io::read_routes_string(text, lay);
+  EXPECT_EQ(back.routed, result.routed);
+  EXPECT_EQ(back.failed, result.failed);
+  EXPECT_EQ(back.total_wirelength, result.total_wirelength);
+  for (std::size_t n = 0; n < result.routes.size(); ++n) {
+    EXPECT_EQ(back.routes[n].ok, result.routes[n].ok);
+    EXPECT_EQ(back.routes[n].segments, result.routes[n].segments) << n;
+    EXPECT_EQ(back.routes[n].wirelength, result.routes[n].wirelength) << n;
+  }
+  // Idempotent serialization.
+  EXPECT_EQ(io::write_routes_string(lay, back), text);
+}
+
+TEST(RouteDump, FailedNetsRecorded) {
+  const layout::Layout lay = routed_layout();
+  const route::NetlistRouter router(lay);
+  auto result = router.route_all();
+  result.routes[2] = route::NetRoute{};  // mark failed
+  const std::string text = io::write_routes_string(lay, result);
+  EXPECT_NE(text.find(lay.nets()[2].name() + " failed"), std::string::npos);
+  const auto back = io::read_routes_string(text, lay);
+  EXPECT_FALSE(back.routes[2].ok);
+  EXPECT_EQ(back.failed, 1u);
+}
+
+TEST(RouteDump, Errors) {
+  const layout::Layout lay = routed_layout();
+  EXPECT_THROW(io::read_routes_string("bogus", lay), io::ParseError);
+  EXPECT_THROW(io::read_routes_string("seg 0 0 5 0", lay), io::ParseError);
+  EXPECT_THROW(io::read_routes_string("route ghost ok wirelength 0", lay),
+               io::ParseError);
+  EXPECT_THROW(io::read_routes_string(
+                   "route " + lay.nets()[0].name() + " maybe", lay),
+               io::ParseError);
+  // Diagonal segment.
+  EXPECT_THROW(io::read_routes_string("route " + lay.nets()[0].name() +
+                                          " ok wirelength 10\nseg 0 0 5 5",
+                                      lay),
+               io::ParseError);
+  // Wirelength lie.
+  EXPECT_THROW(io::read_routes_string("route " + lay.nets()[0].name() +
+                                          " ok wirelength 99\nseg 0 0 5 0",
+                                      lay),
+               io::ParseError);
+}
+
+}  // namespace

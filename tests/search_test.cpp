@@ -1,0 +1,218 @@
+// Unit tests for the generic state-space search engine: the paper's OPEN/
+// CLOSED machinery, all five strategies, reopening with parent re-pointing,
+// and multi-source seeding.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "search/searcher.hpp"
+
+namespace {
+
+using namespace gcr;
+using search::SearchOptions;
+using search::Strategy;
+using search::Successor;
+
+/// A tiny explicit weighted digraph with string states.
+struct GraphSpace {
+  using State = std::string;
+
+  std::map<std::string, std::vector<Successor<std::string>>> edges;
+  std::map<std::string, geom::Cost> h;  // optional heuristic values
+  std::string goal;
+
+  void successors(const State& s, std::vector<Successor<State>>& out) const {
+    const auto it = edges.find(s);
+    if (it != edges.end()) out = it->second;
+  }
+  [[nodiscard]] geom::Cost heuristic(const State& s) const {
+    const auto it = h.find(s);
+    return it == h.end() ? 0 : it->second;
+  }
+  [[nodiscard]] bool is_goal(const State& s) const { return s == goal; }
+};
+
+/// Diamond graph: s->a(1), s->b(4), a->t(5), b->t(1); optimal s-b-t = 5.
+GraphSpace diamond() {
+  GraphSpace g;
+  g.edges["s"] = {{"a", 1}, {"b", 4}};
+  g.edges["a"] = {{"t", 5}};
+  g.edges["b"] = {{"t", 1}};
+  g.goal = "t";
+  return g;
+}
+
+TEST(Searcher, BestFirstFindsMinimalCost) {
+  const GraphSpace g = diamond();
+  const auto r = search::find_path(g, std::string("s"),
+                                   SearchOptions{.strategy = Strategy::kBestFirst});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 5);
+  EXPECT_EQ(r.path, (std::vector<std::string>{"s", "b", "t"}));
+}
+
+TEST(Searcher, AStarFindsMinimalCostWithAdmissibleHeuristic) {
+  GraphSpace g = diamond();
+  g.h = {{"s", 5}, {"a", 4}, {"b", 1}, {"t", 0}};  // admissible lower bounds
+  const auto r = search::find_path(g, std::string("s"),
+                                   SearchOptions{.strategy = Strategy::kAStar});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 5);
+}
+
+TEST(Searcher, ExhaustiveDrainsOpenAndFindsOptimum) {
+  const GraphSpace g = diamond();
+  const auto r = search::find_path(
+      g, std::string("s"), SearchOptions{.strategy = Strategy::kExhaustive});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 5);
+  // Exhaustive expands every non-goal node: s, a, b.
+  EXPECT_EQ(r.stats.nodes_expanded, 3u);
+}
+
+TEST(Searcher, BlindSearchesFindSomePathNotNecessarilyOptimal) {
+  const GraphSpace g = diamond();
+  for (const Strategy s : {Strategy::kDepthFirst, Strategy::kBreadthFirst}) {
+    const auto r =
+        search::find_path(g, std::string("s"), SearchOptions{.strategy = s});
+    ASSERT_TRUE(r.found) << to_string(s);
+    EXPECT_GE(r.cost, 5) << to_string(s);
+    EXPECT_EQ(r.path.front(), "s");
+    EXPECT_EQ(r.path.back(), "t");
+  }
+}
+
+TEST(Searcher, GreedyFollowsHeuristicOnly) {
+  GraphSpace g = diamond();
+  // Mislead greedy: a looks closer than b.
+  g.h = {{"s", 2}, {"a", 1}, {"b", 100}, {"t", 0}};
+  const auto r = search::find_path(g, std::string("s"),
+                                   SearchOptions{.strategy = Strategy::kGreedy});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 6);  // took the s-a-t detour
+}
+
+TEST(Searcher, ReopensClosedNodeOnShorterPath) {
+  // With an inconsistent heuristic A* can close a node via a longer path
+  // first; the paper requires moving it back to OPEN and re-pointing.
+  GraphSpace g;
+  g.edges["s"] = {{"a", 10}, {"b", 1}};
+  g.edges["a"] = {{"t", 1}};
+  g.edges["b"] = {{"a", 2}};
+  g.goal = "t";
+  // h(b) chosen so b is expanded after a closes but before the goal pops
+  // (f(a)=10 ties f(b)=10; FIFO tie-break expands a first, then t enters
+  // OPEN at f=11, then b expands at f=10 and reveals the shortcut to a).
+  g.h = {{"s", 0}, {"a", 0}, {"b", 9}, {"t", 0}};
+  const auto r = search::find_path(g, std::string("s"),
+                                   SearchOptions{.strategy = Strategy::kAStar});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 4);  // s-b-a-t
+  EXPECT_EQ(r.path, (std::vector<std::string>{"s", "b", "a", "t"}));
+  EXPECT_GE(r.stats.nodes_reopened, 1u);
+}
+
+TEST(Searcher, StartIsGoal) {
+  GraphSpace g = diamond();
+  g.goal = "s";
+  const auto r = search::find_path(g, std::string("s"), SearchOptions{});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 0);
+  EXPECT_EQ(r.path, (std::vector<std::string>{"s"}));
+}
+
+TEST(Searcher, UnreachableGoalReportsNotFound) {
+  GraphSpace g = diamond();
+  g.goal = "nowhere";
+  for (const Strategy s :
+       {Strategy::kDepthFirst, Strategy::kBreadthFirst, Strategy::kBestFirst,
+        Strategy::kAStar, Strategy::kExhaustive}) {
+    const auto r =
+        search::find_path(g, std::string("s"), SearchOptions{.strategy = s});
+    EXPECT_FALSE(r.found) << to_string(s);
+  }
+}
+
+TEST(Searcher, MultiSourceSeedsAllStarts) {
+  GraphSpace g;
+  g.edges["far"] = {{"mid", 10}};
+  g.edges["mid"] = {{"t", 10}};
+  g.edges["near"] = {{"t", 1}};
+  g.goal = "t";
+  search::Searcher<GraphSpace> searcher(g);
+  const auto r = searcher.run({"far", "near"},
+                              SearchOptions{.strategy = Strategy::kBestFirst});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.cost, 1);
+  EXPECT_EQ(r.path.front(), "near");
+}
+
+TEST(Searcher, DepthLimitCutsDeepBranches) {
+  // Chain s -> c1 -> c2 -> ... -> t of length 5; depth limit 3 must fail,
+  // limit 5 must succeed.
+  GraphSpace g;
+  g.edges["s"] = {{"c1", 1}};
+  g.edges["c1"] = {{"c2", 1}};
+  g.edges["c2"] = {{"c3", 1}};
+  g.edges["c3"] = {{"c4", 1}};
+  g.edges["c4"] = {{"t", 1}};
+  g.goal = "t";
+  const auto fail = search::find_path(
+      g, std::string("s"),
+      SearchOptions{.strategy = Strategy::kDepthFirst, .depth_limit = 3});
+  EXPECT_FALSE(fail.found);
+  const auto ok = search::find_path(
+      g, std::string("s"),
+      SearchOptions{.strategy = Strategy::kDepthFirst, .depth_limit = 5});
+  EXPECT_TRUE(ok.found);
+}
+
+TEST(Searcher, MaxExpansionsAborts) {
+  // Infinite-ish chain graph via a long line.
+  GraphSpace g;
+  for (int i = 0; i < 1000; ++i) {
+    g.edges["n" + std::to_string(i)] = {{"n" + std::to_string(i + 1), 1}};
+  }
+  g.goal = "n1000";
+  const auto r = search::find_path(
+      g, std::string("n0"),
+      SearchOptions{.strategy = Strategy::kBestFirst, .max_expansions = 10});
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.stats.aborted);
+}
+
+TEST(Searcher, StatsCountExpansionsAndGenerations) {
+  const GraphSpace g = diamond();
+  const auto r = search::find_path(g, std::string("s"),
+                                   SearchOptions{.strategy = Strategy::kBestFirst});
+  // Expansions: s, a (f=1+5=6 ordering: s then a(g=1) then b(g=4) ... t).
+  EXPECT_GE(r.stats.nodes_expanded, 2u);
+  EXPECT_GE(r.stats.nodes_generated, 3u);
+  EXPECT_GE(r.stats.max_open_size, 1u);
+}
+
+TEST(SearchStats, Accumulate) {
+  search::SearchStats a{10, 20, 1, 5, false};
+  const search::SearchStats b{1, 2, 0, 9, true};
+  a += b;
+  EXPECT_EQ(a.nodes_expanded, 11u);
+  EXPECT_EQ(a.nodes_generated, 22u);
+  EXPECT_EQ(a.nodes_reopened, 1u);
+  EXPECT_EQ(a.max_open_size, 9u);
+  EXPECT_TRUE(a.aborted);
+}
+
+TEST(Strategy, Names) {
+  EXPECT_EQ(to_string(Strategy::kAStar), "A*");
+  EXPECT_EQ(to_string(Strategy::kDepthFirst), "depth-first");
+  EXPECT_TRUE(admissible(Strategy::kAStar));
+  EXPECT_TRUE(admissible(Strategy::kBestFirst));
+  EXPECT_FALSE(admissible(Strategy::kGreedy));
+  EXPECT_FALSE(admissible(Strategy::kDepthFirst));
+}
+
+}  // namespace

@@ -1,0 +1,40 @@
+// End-to-end smoke: build a tiny layout, route a net gridlessly, compare
+// against the Lee-Moore baseline and the track-graph oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/gridless_router.hpp"
+#include "core/track_graph.hpp"
+#include "grid/lee_moore.hpp"
+#include "workload/figures.hpp"
+
+namespace {
+
+using namespace gcr;
+
+TEST(Smoke, Figure1RoutesAndAgreesWithBaselines) {
+  const workload::PointQuery q = workload::figure1_layout();
+  ASSERT_TRUE(q.layout.valid());
+
+  const spatial::ObstacleIndex index(q.layout.boundary(), q.layout.obstacles());
+  const spatial::EscapeLineSet lines(index);
+
+  const route::GridlessRouter router(index, lines);
+  const route::Route r = router.route(q.s, q.d);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.length * route::kCostScale, r.cost);
+
+  // Oracle: explicit track-graph Dijkstra.
+  const route::TrackGraph oracle(index, lines);
+  EXPECT_EQ(oracle.shortest_length(q.s, q.d), r.length);
+
+  // Grid baseline at pitch 1 must agree on length and expand far more nodes.
+  const grid::GridGraph gg(index, 1);
+  const grid::LeeMooreRouter lee(gg);
+  const grid::GridRoute gr = lee.route(q.s, q.d);
+  ASSERT_TRUE(gr.found);
+  EXPECT_EQ(gr.length, r.length);
+  EXPECT_GT(gr.stats.nodes_expanded, r.stats.nodes_expanded);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Unit tests for the spatial substrate: ray tracing against obstacle edges
+// and escape-line extraction/crossing queries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "spatial/escape_lines.hpp"
+#include "spatial/obstacle_index.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Axis;
+using geom::Dir;
+using geom::Interval;
+using geom::Point;
+using geom::Rect;
+
+spatial::ObstacleIndex one_block() {
+  return spatial::ObstacleIndex(Rect{0, 0, 100, 100}, {Rect{40, 40, 60, 60}});
+}
+
+TEST(ObstacleIndex, RoutabilityRespectsOpenInteriors) {
+  const auto idx = one_block();
+  EXPECT_TRUE(idx.routable(Point{0, 0}));
+  EXPECT_TRUE(idx.routable(Point{40, 50}));   // on the boundary: legal hug
+  EXPECT_TRUE(idx.routable(Point{40, 40}));   // corner
+  EXPECT_FALSE(idx.routable(Point{50, 50}));  // strictly inside
+  EXPECT_FALSE(idx.routable(Point{101, 0}));  // outside the region
+}
+
+TEST(ObstacleIndex, RayStopsAtFirstObstacle) {
+  const auto idx = one_block();
+  const auto hit = idx.trace(Point{10, 50}, Dir::kEast);
+  EXPECT_EQ(hit.stop, 40);
+  ASSERT_TRUE(hit.obstacle.has_value());
+  EXPECT_EQ(*hit.obstacle, 0u);
+}
+
+TEST(ObstacleIndex, RayReachesBoundaryWhenClear) {
+  const auto idx = one_block();
+  // y = 40 grazes the block's bottom edge: the edge line is routable, so the
+  // ray passes all the way to the boundary.
+  const auto hit = idx.trace(Point{10, 40}, Dir::kEast);
+  EXPECT_EQ(hit.stop, 100);
+  EXPECT_FALSE(hit.obstacle.has_value());
+}
+
+TEST(ObstacleIndex, RayFromHugPositionHasZeroExtent) {
+  const auto idx = one_block();
+  const auto hit = idx.trace(Point{40, 50}, Dir::kEast);
+  EXPECT_EQ(hit.stop, 40);
+  ASSERT_TRUE(hit.obstacle.has_value());
+}
+
+TEST(ObstacleIndex, AllFourDirections) {
+  const auto idx = one_block();
+  EXPECT_EQ(idx.trace(Point{50, 10}, Dir::kNorth).stop, 40);
+  EXPECT_EQ(idx.trace(Point{50, 90}, Dir::kSouth).stop, 60);
+  EXPECT_EQ(idx.trace(Point{90, 50}, Dir::kWest).stop, 60);
+  EXPECT_EQ(idx.trace(Point{50, 70}, Dir::kNorth).stop, 100);
+}
+
+TEST(ObstacleIndex, NearestOfSeveralObstaclesWins) {
+  const spatial::ObstacleIndex idx(
+      Rect{0, 0, 200, 100},
+      {Rect{50, 20, 70, 80}, Rect{120, 20, 140, 80}, Rect{30, 90, 40, 95}});
+  const auto hit = idx.trace(Point{0, 50}, Dir::kEast);
+  EXPECT_EQ(hit.stop, 50);
+  EXPECT_EQ(*hit.obstacle, 0u);
+  const auto hit2 = idx.trace(Point{200, 50}, Dir::kWest);
+  EXPECT_EQ(hit2.stop, 140);
+  EXPECT_EQ(*hit2.obstacle, 1u);
+}
+
+TEST(ObstacleIndex, SegmentBlockedMatchesPierces) {
+  const auto idx = one_block();
+  EXPECT_TRUE(idx.segment_blocked(
+      geom::Segment{Point{0, 50}, Point{100, 50}}));
+  EXPECT_FALSE(idx.segment_blocked(
+      geom::Segment{Point{0, 40}, Point{100, 40}}));  // hugging
+  EXPECT_FALSE(idx.segment_blocked(
+      geom::Segment{Point{0, 10}, Point{100, 10}}));
+}
+
+TEST(ObstacleIndex, QueryFindsIntersectingObstacles) {
+  const spatial::ObstacleIndex idx(
+      Rect{0, 0, 200, 100},
+      {Rect{50, 20, 70, 80}, Rect{120, 20, 140, 80}});
+  EXPECT_EQ(idx.query(Rect{0, 0, 60, 100}).size(), 1u);
+  EXPECT_EQ(idx.query(Rect{0, 0, 200, 100}).size(), 2u);
+  EXPECT_TRUE(idx.query(Rect{80, 0, 110, 100}).empty());
+}
+
+// ------------------------------------------------------------ EscapeLines
+
+TEST(EscapeLines, OneBlockProducesEdgeAndBoundaryLines) {
+  const auto idx = one_block();
+  const spatial::EscapeLineSet lines(idx);
+  // 4 boundary lines + 4 obstacle edge lines.
+  EXPECT_EQ(lines.lines().size(), 8u);
+
+  // The vertical line through the block's left edge spans the full layout:
+  // the extensions beyond the corners are unobstructed.
+  const auto it = std::find_if(
+      lines.lines().begin(), lines.lines().end(), [](const auto& ln) {
+        return ln.axis == Axis::kY && ln.track == 40 && ln.source == 0u;
+      });
+  ASSERT_NE(it, lines.lines().end());
+  EXPECT_EQ(it->span, (Interval{0, 100}));
+}
+
+TEST(EscapeLines, ExtensionStopsAtBlockingNeighbor) {
+  // Second block directly above the first: the first block's left-edge line
+  // must stop at the neighbor's bottom edge.
+  const spatial::ObstacleIndex idx(
+      Rect{0, 0, 100, 100},
+      {Rect{40, 40, 60, 60}, Rect{30, 80, 70, 95}});
+  const spatial::EscapeLineSet lines(idx);
+  const auto it = std::find_if(
+      lines.lines().begin(), lines.lines().end(), [](const auto& ln) {
+        return ln.axis == Axis::kY && ln.track == 40 && ln.source == 0u;
+      });
+  ASSERT_NE(it, lines.lines().end());
+  EXPECT_EQ(it->span, (Interval{0, 80}));
+}
+
+TEST(EscapeLines, CrossingsAlongARay) {
+  const auto idx = one_block();
+  const spatial::EscapeLineSet lines(idx);
+  // Horizontal ray at y=10 from x=5 to the east boundary crosses the
+  // vertical lines x=40 and x=60 (edge lines span the whole layout here)
+  // and the boundary line x=100.
+  const auto xs = lines.crossings(Point{5, 10}, Dir::kEast, 100);
+  EXPECT_EQ(xs, (std::vector<geom::Coord>{40, 60, 100}));
+}
+
+TEST(EscapeLines, CrossingsRespectSpanContainment) {
+  // Neighbor above shortens the left-edge line; a ray passing below still
+  // crosses it, a ray passing above does not.
+  const spatial::ObstacleIndex idx(
+      Rect{0, 0, 100, 100},
+      {Rect{40, 40, 60, 60}, Rect{30, 80, 70, 95}});
+  const spatial::EscapeLineSet lines(idx);
+  const auto below = lines.crossings(Point{5, 10}, Dir::kEast, 100);
+  EXPECT_TRUE(std::count(below.begin(), below.end(), 40) == 1);
+  const auto above = lines.crossings(Point{5, 97}, Dir::kEast, 100);
+  EXPECT_TRUE(std::count(above.begin(), above.end(), 40) == 0);
+  // x=30/70 (the neighbor's edges) do span y=97.
+  EXPECT_TRUE(std::count(above.begin(), above.end(), 30) == 1);
+}
+
+TEST(EscapeLines, CrossingsExcludeOriginAndOrderByTravel) {
+  const auto idx = one_block();
+  const spatial::EscapeLineSet lines(idx);
+  // Westward ray: descending coordinates.
+  const auto xs = lines.crossings(Point{95, 10}, Dir::kWest, 0);
+  EXPECT_EQ(xs, (std::vector<geom::Coord>{60, 40, 0}));
+  // A ray starting exactly on a line does not re-emit its own track.
+  const auto from_edge = lines.crossings(Point{40, 10}, Dir::kEast, 100);
+  EXPECT_EQ(from_edge, (std::vector<geom::Coord>{60, 100}));
+}
+
+TEST(EscapeLines, DuplicateEdgeLinesMerged) {
+  // Two blocks sharing the same left-edge x coordinate produce one merged
+  // line record per identical (axis, track, span) triple.
+  const spatial::ObstacleIndex idx(
+      Rect{0, 0, 100, 100},
+      {Rect{40, 10, 60, 20}, Rect{40, 70, 60, 90}});
+  const spatial::EscapeLineSet lines(idx);
+  const auto count = std::count_if(
+      lines.lines().begin(), lines.lines().end(), [](const auto& ln) {
+        return ln.axis == Axis::kY && ln.track == 40 &&
+               ln.span == Interval{0, 100};
+      });
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+// Tests for the independent route verifier: it must accept everything the
+// router produces and reject every class of corruption.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/netlist_router.hpp"
+#include "verify/route_verifier.hpp"
+#include "workload/floorplan.hpp"
+#include "workload/netgen.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Point;
+using geom::Rect;
+using geom::Segment;
+
+layout::Layout routed_layout(std::uint64_t seed) {
+  workload::FloorplanOptions fp;
+  fp.seed = seed;
+  fp.cell_count = 9;
+  fp.boundary = Rect{0, 0, 512, 512};
+  layout::Layout lay = workload::random_floorplan(fp);
+  workload::PinGenOptions pg;
+  pg.seed = seed + 1;
+  workload::sprinkle_pins(lay, pg);
+  workload::NetGenOptions ng;
+  ng.seed = seed + 2;
+  ng.net_count = 10;
+  workload::generate_nets(lay, ng);
+  return lay;
+}
+
+bool has(const std::vector<verify::RouteViolation>& vs,
+         verify::RouteViolation::Kind k) {
+  return std::any_of(vs.begin(), vs.end(),
+                     [k](const auto& v) { return v.kind == k; });
+}
+
+class VerifierSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VerifierSeedSweep, RouterOutputAlwaysVerifies) {
+  const layout::Layout lay = routed_layout(GetParam());
+  const route::NetlistRouter router(lay);
+  const auto result = router.route_all();
+  ASSERT_EQ(result.failed, 0u);
+  const auto violations = verify::verify_routes(lay, result);
+  EXPECT_TRUE(violations.empty())
+      << "net " << violations.front().net << ": "
+      << verify::to_string(violations.front().kind) << " — "
+      << violations.front().detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+TEST(Verifier, DetectsSegmentThroughCell) {
+  const layout::Layout lay = routed_layout(1);
+  const route::NetlistRouter router(lay);
+  auto result = router.route_all();
+  // Corrupt a net: drive a wire straight through cell 0's center.
+  const Rect& c0 = lay.cells()[0].outline();
+  result.routes[0].segments.push_back(
+      Segment{Point{c0.xlo - 1, c0.center().y}, Point{c0.xhi + 1, c0.center().y}});
+  result.routes[0].wirelength += c0.width() + 2;
+  const auto violations = verify::verify_routes(lay, result);
+  EXPECT_TRUE(has(violations, verify::RouteViolation::Kind::kSegmentThroughCell));
+}
+
+TEST(Verifier, DetectsWirelengthMismatch) {
+  const layout::Layout lay = routed_layout(2);
+  const route::NetlistRouter router(lay);
+  auto result = router.route_all();
+  result.routes[0].wirelength += 7;
+  const auto violations = verify::verify_routes(lay, result);
+  EXPECT_TRUE(has(violations, verify::RouteViolation::Kind::kWirelengthMismatch));
+}
+
+TEST(Verifier, DetectsDisconnectedTree) {
+  const layout::Layout lay = routed_layout(3);
+  const route::NetlistRouter router(lay);
+  auto result = router.route_all();
+  // Add a stray segment far from the tree (and fix the length accounting so
+  // only connectivity trips).
+  result.routes[0].segments.push_back(Segment{Point{1, 1}, Point{4, 1}});
+  result.routes[0].wirelength += 3;
+  const auto violations = verify::verify_net(lay, 0, result.routes[0]);
+  EXPECT_TRUE(has(violations, verify::RouteViolation::Kind::kTreeDisconnected));
+}
+
+TEST(Verifier, DetectsMissingTerminal) {
+  const layout::Layout lay = routed_layout(4);
+  const route::NetlistRouter router(lay);
+  auto result = router.route_all();
+  // Remove the tail segment of some net until a terminal detaches.
+  auto& nr = result.routes[0];
+  bool detected = false;
+  while (!nr.segments.empty() && !detected) {
+    nr.wirelength -= nr.segments.back().length();
+    nr.segments.pop_back();
+    const auto violations = verify::verify_net(lay, 0, nr);
+    detected =
+        has(violations, verify::RouteViolation::Kind::kTerminalNotConnected) ||
+        has(violations, verify::RouteViolation::Kind::kTreeDisconnected);
+  }
+  EXPECT_TRUE(detected);
+}
+
+TEST(Verifier, DetectsSegmentOutsideBoundary) {
+  const layout::Layout lay = routed_layout(5);
+  const route::NetlistRouter router(lay);
+  auto result = router.route_all();
+  result.routes[0].segments.push_back(
+      Segment{Point{0, 0}, Point{-50, 0}});
+  result.routes[0].wirelength += 50;
+  const auto violations = verify::verify_routes(lay, result);
+  EXPECT_TRUE(
+      has(violations, verify::RouteViolation::Kind::kSegmentOutsideBoundary));
+}
+
+TEST(Verifier, UnroutedNetPolicy) {
+  const layout::Layout lay = routed_layout(6);
+  const route::NetlistRouter router(lay);
+  auto result = router.route_all();
+  result.routes[0].ok = false;
+  EXPECT_TRUE(has(verify::verify_routes(lay, result),
+                  verify::RouteViolation::Kind::kNetNotRouted));
+  verify::VerifyOptions lax;
+  lax.require_all_routed = false;
+  EXPECT_FALSE(has(verify::verify_routes(lay, result, lax),
+                   verify::RouteViolation::Kind::kNetNotRouted));
+}
+
+TEST(Verifier, KindNames) {
+  EXPECT_EQ(verify::to_string(
+                verify::RouteViolation::Kind::kSegmentThroughCell),
+            "segment-through-cell");
+  EXPECT_EQ(verify::to_string(verify::RouteViolation::Kind::kNetNotRouted),
+            "net-not-routed");
+}
+
+}  // namespace

@@ -1,0 +1,222 @@
+// Tests for the synthetic workload generators: every generated layout must
+// satisfy the paper's placement restrictions for every seed (parameterized
+// sweep), and the figure replicas must have their designed properties.
+
+#include <gtest/gtest.h>
+
+#include "core/netlist_router.hpp"
+#include "workload/figures.hpp"
+#include "workload/floorplan.hpp"
+#include "workload/netgen.hpp"
+#include "workload/padring.hpp"
+
+namespace {
+
+using namespace gcr;
+
+class FloorplanSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FloorplanSeedSweep, GeneratedPlacementIsAlwaysValid) {
+  workload::FloorplanOptions opts;
+  opts.seed = GetParam();
+  opts.cell_count = 24;
+  layout::Layout lay = workload::random_floorplan(opts);
+  EXPECT_EQ(lay.cells().size(), 24u);
+  EXPECT_TRUE(lay.valid()) << "seed " << GetParam() << ": "
+                           << lay.validate().front().detail;
+
+  workload::PinGenOptions pins;
+  pins.seed = GetParam() * 13 + 1;
+  workload::sprinkle_pins(lay, pins);
+  workload::NetGenOptions nets;
+  nets.seed = GetParam() * 17 + 3;
+  nets.net_count = 16;
+  workload::generate_nets(lay, nets);
+  EXPECT_TRUE(lay.valid()) << "seed " << GetParam() << " after pins/nets: "
+                           << lay.validate().front().detail;
+  EXPECT_EQ(lay.nets().size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FloorplanSeedSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                           144, 233));
+
+class FloorplanSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FloorplanSizeSweep, ScalesAcrossCellCounts) {
+  workload::FloorplanOptions opts;
+  opts.cell_count = GetParam();
+  opts.seed = 99;
+  const layout::Layout lay = workload::random_floorplan(opts);
+  EXPECT_EQ(lay.cells().size(), GetParam());
+  EXPECT_TRUE(lay.valid());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FloorplanSizeSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128));
+
+TEST(Floorplan, Deterministic) {
+  workload::FloorplanOptions opts;
+  opts.seed = 7;
+  const auto a = workload::random_floorplan(opts);
+  const auto b = workload::random_floorplan(opts);
+  ASSERT_EQ(a.cells().size(), b.cells().size());
+  for (std::size_t i = 0; i < a.cells().size(); ++i) {
+    EXPECT_EQ(a.cells()[i].outline(), b.cells()[i].outline());
+  }
+}
+
+TEST(Floorplan, RespectsRequestedSeparation) {
+  workload::FloorplanOptions opts;
+  opts.min_separation = 16;
+  opts.cell_count = 12;
+  opts.seed = 5;
+  const auto lay = workload::random_floorplan(opts);
+  for (std::size_t i = 0; i < lay.cells().size(); ++i) {
+    for (std::size_t j = i + 1; j < lay.cells().size(); ++j) {
+      EXPECT_GE(lay.cells()[i].outline().separation(lay.cells()[j].outline()),
+                16);
+    }
+  }
+}
+
+TEST(NetGen, PinsLandOnCellBoundaries) {
+  workload::FloorplanOptions opts;
+  opts.seed = 3;
+  layout::Layout lay = workload::random_floorplan(opts);
+  workload::sprinkle_pins(lay);
+  for (const auto& cell : lay.cells()) {
+    for (const auto& term : cell.terminals()) {
+      ASSERT_FALSE(term.pins.empty());
+      for (const auto& pin : term.pins) {
+        EXPECT_TRUE(cell.outline().on_boundary(pin.pos))
+            << cell.name() << " pin " << pin.pos;
+      }
+    }
+  }
+}
+
+TEST(NetGen, NetsUseDistinctCells) {
+  workload::FloorplanOptions opts;
+  opts.seed = 3;
+  layout::Layout lay = workload::random_floorplan(opts);
+  workload::sprinkle_pins(lay);
+  workload::generate_nets(lay);
+  for (const auto& net : lay.nets()) {
+    std::vector<std::uint32_t> cells;
+    for (const auto& ref : net.terminals()) cells.push_back(ref.cell.value);
+    std::sort(cells.begin(), cells.end());
+    EXPECT_EQ(std::adjacent_find(cells.begin(), cells.end()), cells.end())
+        << net.name() << " repeats a cell";
+  }
+}
+
+TEST(Figures, Figure1IsValidAndRoutable) {
+  const auto q = workload::figure1_layout();
+  EXPECT_TRUE(q.layout.valid());
+  const spatial::ObstacleIndex idx(q.layout.boundary(), q.layout.obstacles());
+  EXPECT_TRUE(idx.routable(q.s));
+  EXPECT_TRUE(idx.routable(q.d));
+}
+
+TEST(Figures, InvertedCornerHasTieGeometry) {
+  const auto q = workload::inverted_corner_layout();
+  EXPECT_TRUE(q.layout.valid());
+  // Manhattan distance equals the obstacle-avoiding optimum: the block only
+  // grazes the bounding box, so several 80-length routes exist.
+  EXPECT_EQ(manhattan(q.s, q.d), 80);
+}
+
+class MazeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MazeSweep, CombMazeValidAndSerpentine) {
+  const auto q = workload::comb_maze(GetParam());
+  ASSERT_TRUE(q.layout.valid()) << q.layout.validate().front().detail;
+  const spatial::ObstacleIndex idx(q.layout.boundary(), q.layout.obstacles());
+  ASSERT_TRUE(idx.routable(q.s));
+  ASSERT_TRUE(idx.routable(q.d));
+  const spatial::EscapeLineSet lines(idx);
+  const route::GridlessRouter router(idx, lines);
+  const auto r = router.route(q.s, q.d);
+  ASSERT_TRUE(r.found);
+  // The serpentine forces a detour well beyond the Manhattan distance, and
+  // it grows with the tooth count.
+  EXPECT_GT(r.length, manhattan(q.s, q.d) +
+                          static_cast<geom::Cost>(GetParam()) * 50);
+}
+
+TEST_P(MazeSweep, SpiralMazeValidAndSerpentine) {
+  const auto q = workload::spiral_maze(GetParam());
+  ASSERT_TRUE(q.layout.valid()) << q.layout.validate().front().detail;
+  const spatial::ObstacleIndex idx(q.layout.boundary(), q.layout.obstacles());
+  ASSERT_TRUE(idx.routable(q.s));
+  ASSERT_TRUE(idx.routable(q.d));
+  const spatial::EscapeLineSet lines(idx);
+  const route::GridlessRouter router(idx, lines);
+  const auto r = router.route(q.s, q.d);
+  ASSERT_TRUE(r.found);
+  EXPECT_GT(r.length, manhattan(q.s, q.d));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MazeSweep, ::testing::Values(2, 3, 4, 6));
+
+TEST(PadRing, PadsOnBoundaryAndNetsRoutable) {
+  workload::FloorplanOptions fp;
+  fp.seed = 9;
+  fp.cell_count = 9;
+  fp.boundary = geom::Rect{0, 0, 512, 512};
+  layout::Layout lay = workload::random_floorplan(fp);
+  workload::sprinkle_pins(lay);
+
+  workload::PadRingOptions pr;
+  pr.pads_per_side = 3;
+  const std::size_t nets = workload::add_pad_ring(lay, pr);
+  EXPECT_EQ(lay.pads().size(), 12u);
+  EXPECT_EQ(nets, 12u);  // connected_pct = 100
+  for (const auto& pad : lay.pads()) {
+    EXPECT_TRUE(lay.boundary().on_boundary(pad.pins[0].pos))
+        << pad.name << " " << pad.pins[0].pos;
+  }
+  ASSERT_TRUE(lay.valid()) << lay.validate().front().detail;
+
+  const route::NetlistRouter router(lay);
+  const auto result = router.route_all();
+  EXPECT_EQ(result.failed, 0u);
+}
+
+TEST(PadRing, ConnectedFractionRespected) {
+  workload::FloorplanOptions fp;
+  fp.seed = 10;
+  layout::Layout lay = workload::random_floorplan(fp);
+  workload::sprinkle_pins(lay);
+  workload::PadRingOptions pr;
+  pr.pads_per_side = 8;
+  pr.connected_pct = 0;
+  EXPECT_EQ(workload::add_pad_ring(lay, pr), 0u);
+  EXPECT_EQ(lay.pads().size(), 32u);
+  EXPECT_TRUE(lay.nets().empty());
+}
+
+TEST(PadRing, MultiTerminalPadNets) {
+  workload::FloorplanOptions fp;
+  fp.seed = 11;
+  layout::Layout lay = workload::random_floorplan(fp);
+  workload::sprinkle_pins(lay);
+  workload::PadRingOptions pr;
+  pr.pads_per_side = 2;
+  pr.extra_terminals = 2;
+  workload::add_pad_ring(lay, pr);
+  for (const auto& net : lay.nets()) {
+    EXPECT_EQ(net.terminals().size(), 4u);  // pad + 1 + 2 extras
+  }
+  EXPECT_TRUE(lay.valid());
+}
+
+TEST(PadRing, NoCoreTerminalsNoNets) {
+  workload::FloorplanOptions fp;
+  fp.seed = 12;
+  layout::Layout lay = workload::random_floorplan(fp);  // no pins sprinkled
+  EXPECT_EQ(workload::add_pad_ring(lay, {}), 0u);
+}
+
+}  // namespace
