@@ -7,12 +7,15 @@
 //     --verify            run the independent route verifier
 //     --feedback          run the placement-adjustment feedback loop first
 //     --stats             print per-net statistics
+//     --threads N         batch-route independent nets on N workers
+//                         (0 = one per hardware thread; default 1)
 //
 // Reads a layout in the text interchange format (see io/text_format.hpp),
 // routes every net with the gridless A* global router, and reports.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,7 +34,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s layout.txt [--mode independent|sequential|twopass]\n"
                "       [--svg FILE] [--routes FILE] [--verify] [--feedback]\n"
-               "       [--stats]\n",
+               "       [--stats] [--threads N]\n",
                argv0);
   return 2;
 }
@@ -45,6 +48,7 @@ int main(int argc, char** argv) {
   std::string mode = "independent";
   std::string svg_file, routes_file;
   bool do_verify = false, do_feedback = false, do_stats = false;
+  unsigned threads = 1;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -68,6 +72,16 @@ int main(int argc, char** argv) {
       do_feedback = true;
     } else if (arg == "--stats") {
       do_stats = true;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || v[0] == '-' || parsed > 1024) {
+        std::fprintf(stderr, "--threads: expected a count in [0, 1024]\n");
+        return usage(argv[0]);
+      }
+      threads = static_cast<unsigned>(parsed);
     } else {
       return usage(argv[0]);
     }
@@ -105,6 +119,12 @@ int main(int argc, char** argv) {
   }
 
   // --- Route.
+  if (threads != 1 && mode != "independent") {
+    std::fprintf(stderr,
+                 "note: --threads only parallelizes independent mode; "
+                 "%s mode runs serially\n",
+                 mode.c_str());
+  }
   const auto t0 = std::chrono::steady_clock::now();
   route::NetlistResult result;
   if (mode == "twopass") {
@@ -115,6 +135,7 @@ int main(int argc, char** argv) {
     result = rep.final_pass;
   } else {
     route::NetlistOptions opts;
+    opts.threads = threads;
     if (mode == "sequential") {
       opts.mode = route::NetlistMode::kSequential;
     } else if (mode != "independent") {

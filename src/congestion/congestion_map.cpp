@@ -1,6 +1,9 @@
 #include "congestion/congestion_map.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 namespace gcr::congestion {
 

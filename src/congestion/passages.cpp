@@ -1,6 +1,8 @@
 #include "congestion/passages.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 namespace gcr::congestion {
 

@@ -1,7 +1,10 @@
 #include "congestion/two_pass.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace gcr::congestion {
 

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 #include "congestion/congestion_map.hpp"
 #include "core/netlist_router.hpp"
 

@@ -1,6 +1,15 @@
 #include "core/netlist_router.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
 
 namespace gcr::route {
 
@@ -12,12 +21,37 @@ namespace {
 std::vector<std::size_t> resolve_order(const NetlistOptions& opts,
                                        std::size_t n) {
   if (!opts.order.empty()) {
-    assert(opts.order.size() == n && "order must cover every net");
+    // A non-permutation order would double-route some nets and skip others
+    // — and with the parallel batch driver, a duplicate index would let two
+    // workers write the same result slot (a data race).  Fail loudly in
+    // every build type rather than relying on a debug-only assert.
+    bool valid = opts.order.size() == n;
+    if (valid) {
+      std::vector<bool> seen(n, false);
+      for (const std::size_t i : opts.order) {
+        if (i >= n || seen[i]) {
+          valid = false;
+          break;
+        }
+        seen[i] = true;
+      }
+    }
+    if (!valid) {
+      throw std::invalid_argument(
+          "NetlistOptions::order must be a permutation of every net index");
+    }
     return opts.order;
   }
   std::vector<std::size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
   return order;
+}
+
+std::size_t resolve_workers(unsigned requested, std::size_t jobs) {
+  std::size_t n =
+      requested == 0 ? std::thread::hardware_concurrency() : requested;
+  if (n == 0) n = 1;  // hardware_concurrency() may be unknown
+  return std::min(n, std::max<std::size_t>(jobs, 1));
 }
 
 void account(NetlistResult& result, std::size_t net_idx, NetRoute nr) {
@@ -45,13 +79,68 @@ NetlistResult NetlistRouter::route_independent(
 
   // One obstacle index and one escape-line set serve every net: the whole
   // point of independent routing is that the search environment is fixed.
+  // That same immutability is what makes the batch driver below safe — the
+  // index, escape lines, router, and cost model are read-only once built.
   const spatial::ObstacleIndex index(layout_.boundary(), layout_.obstacles());
   const spatial::EscapeLineSet lines(index);
   const SteinerNetRouter net_router(index, lines, cost_);
 
-  for (const std::size_t i : resolve_order(opts, layout_.nets().size())) {
-    account(result, i,
-            net_router.route_net(layout_, layout_.nets()[i], opts.steiner));
+  const std::vector<std::size_t> order =
+      resolve_order(opts, layout_.nets().size());
+  const std::size_t workers = resolve_workers(opts.threads, order.size());
+
+  if (workers <= 1) {
+    // Deterministic serial fallback (and the semantics the parallel path
+    // must reproduce exactly).
+    for (const std::size_t i : order) {
+      account(result, i,
+              net_router.route_net(layout_, layout_.nets()[i], opts.steiner));
+    }
+    return result;
+  }
+
+  // Batch driver: workers pull net indices from a shared cursor and write
+  // each finished route into its own (disjoint) slot, so no locking is
+  // needed on the hot path.  Accounting then runs serially in `order`
+  // order, making totals and stats bit-identical to the serial fallback.
+  std::atomic<std::size_t> cursor{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  const auto work = [&]() noexcept {
+    try {
+      for (std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
+           k < order.size();
+           k = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        const std::size_t i = order[k];
+        result.routes[i] =
+            net_router.route_net(layout_, layout_.nets()[i], opts.steiner);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+      cursor.store(order.size(), std::memory_order_relaxed);  // drain queue
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  try {
+    for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(work);
+  } catch (...) {
+    // Thread exhaustion: drain the queue so already-running workers stop,
+    // join them (destroying a joinable thread would terminate), and let
+    // whatever workers did start plus this thread finish the batch.
+    cursor.store(order.size(), std::memory_order_relaxed);
+    for (std::thread& th : pool) th.join();
+    pool.clear();
+    cursor.store(0, std::memory_order_relaxed);
+  }
+  work();
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const std::size_t i : order) {
+    account(result, i, std::move(result.routes[i]));
   }
   return result;
 }

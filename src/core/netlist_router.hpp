@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "core/steiner.hpp"
@@ -37,6 +38,12 @@ struct NetlistOptions {
   /// meaningful in sequential mode — the paper's point is that independent
   /// routing makes this knob irrelevant.
   std::vector<std::size_t> order;
+  /// Worker threads for the independent-mode batch driver.  1 = the
+  /// deterministic serial loop; 0 = one worker per hardware thread; N > 1 =
+  /// exactly N workers.  Because independent nets share a read-only search
+  /// environment, the result is bit-identical for every thread count.
+  /// Ignored in sequential mode, which is inherently ordered.
+  unsigned threads = 1;
 };
 
 struct NetlistResult {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <compare>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>

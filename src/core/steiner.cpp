@@ -1,7 +1,11 @@
 #include "core/steiner.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace gcr::route {
 

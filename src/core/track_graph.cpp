@@ -1,8 +1,13 @@
 #include "core/track_graph.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <queue>
+#include <utility>
+#include <vector>
 
 namespace gcr::route {
 

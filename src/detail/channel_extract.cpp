@@ -1,7 +1,9 @@
 #include "detail/channel_extract.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
+#include <vector>
 
 namespace gcr::detail {
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstddef>
+#include <vector>
+
 #include "core/netlist_router.hpp"
 #include "detail/channel_router.hpp"
 #include "detail/channels.hpp"

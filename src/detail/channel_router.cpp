@@ -1,8 +1,11 @@
 #include "detail/channel_router.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <map>
 #include <set>
+#include <utility>
+#include <vector>
 
 namespace gcr::detail {
 

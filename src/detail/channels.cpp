@@ -1,7 +1,9 @@
 #include "detail/channels.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
+#include <vector>
 
 namespace gcr::detail {
 

@@ -1,6 +1,8 @@
 #include "detail/detailed_router.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 namespace gcr::detail {
 

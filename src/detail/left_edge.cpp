@@ -1,6 +1,8 @@
 #include "detail/left_edge.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <vector>
 
 namespace gcr::detail {
 

@@ -1,6 +1,10 @@
 #include "detail/track_router.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "core/steiner.hpp"
 

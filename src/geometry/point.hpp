@@ -2,6 +2,7 @@
 
 #include <compare>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <ostream>
 

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <ostream>
 #include <set>
+#include <utility>
+#include <vector>
 
 namespace gcr::geom {
 

@@ -1,5 +1,8 @@
 #include "grid/lee_moore.hpp"
 
+#include <utility>
+#include <vector>
+
 namespace gcr::grid {
 
 using geom::Point;

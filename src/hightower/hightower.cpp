@@ -1,8 +1,12 @@
 #include "hightower/hightower.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <functional>
 #include <optional>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace gcr::hightower {
 

@@ -1,6 +1,9 @@
 #include "io/route_dump.hpp"
 
+#include <cstddef>
+#include <ostream>
 #include <sstream>
+#include <string>
 
 #include "io/text_format.hpp"
 

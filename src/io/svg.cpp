@@ -1,8 +1,11 @@
 #include "io/svg.hpp"
 
 #include <array>
+#include <cstddef>
 #include <fstream>
+#include <ostream>
 #include <sstream>
+#include <string>
 
 namespace gcr::io {
 

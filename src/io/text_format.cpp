@@ -1,7 +1,12 @@
 #include "io/text_format.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
+#include <ostream>
 #include <sstream>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace gcr::io {

@@ -1,13 +1,23 @@
 #include "layout/layout.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace gcr::layout {
 
 std::vector<geom::Rect> Cell::obstacles() const {
   if (!polygonal()) return {outline_};
+  // An invalid polygon cannot be decomposed (its edges are not even
+  // axis-parallel); fall back to the bounding outline so callers that run
+  // before/while validate() reports the issue never see garbage rects.
+  if (!shape_->valid()) return {outline_};
   return shape_->blocking_rects();
 }
 
@@ -134,13 +144,16 @@ std::vector<ValidationIssue> Layout::validate() const {
   // Pairwise separation is measured between the cells' actual blocking
   // rectangles (polygon cells decompose), so nested orthogonal-polygon
   // shapes with overlapping bounding boxes are judged correctly.
+  const auto placeable = [](const Cell& c) {
+    return c.outline().proper() && (!c.polygonal() || c.shape().valid());
+  };
   std::vector<std::vector<geom::Rect>> cell_obstacles;
   cell_obstacles.reserve(cells_.size());
   for (const Cell& c : cells_) cell_obstacles.push_back(c.obstacles());
   for (std::size_t i = 0; i < cells_.size(); ++i) {
-    if (!cells_[i].outline().proper()) continue;
+    if (!placeable(cells_[i])) continue;
     for (std::size_t j = i + 1; j < cells_.size(); ++j) {
-      if (!cells_[j].outline().proper()) continue;
+      if (!placeable(cells_[j])) continue;
       geom::Coord sep = geom::kCoordMax;
       for (const geom::Rect& a : cell_obstacles[i]) {
         for (const geom::Rect& b : cell_obstacles[j]) {

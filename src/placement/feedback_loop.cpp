@@ -1,5 +1,9 @@
 #include "placement/feedback_loop.hpp"
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 namespace gcr::placement {
 
 FeedbackReport run_feedback(const layout::Layout& lay,

@@ -1,6 +1,9 @@
 #include "placement/spacing_demand.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "congestion/two_pass.hpp"
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <concepts>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <unordered_map>
 #include <vector>

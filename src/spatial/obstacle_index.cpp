@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 namespace gcr::spatial {
 

@@ -1,7 +1,12 @@
 #include "verify/route_verifier.hpp"
 
+#include <cstddef>
 #include <numeric>
 #include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/steiner.hpp"
 #include "spatial/obstacle_index.hpp"

@@ -1,6 +1,8 @@
 #include "workload/figures.hpp"
 
+#include <cstddef>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gcr::workload {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+
 #include "layout/layout.hpp"
 
 /// \file figures.hpp

@@ -1,6 +1,7 @@
 #include "workload/floorplan.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <random>
 #include <string>
 #include <vector>

@@ -1,9 +1,13 @@
 #include "workload/netgen.hpp"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <random>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace gcr::workload {
 

@@ -1,7 +1,10 @@
 #include "workload/padring.hpp"
 
+#include <cstddef>
+#include <cstdint>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gcr::workload {

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+/// \file fuzz_env.hpp
+/// Environment-tunable effort for the randomized cross-validation suites.
+///
+/// The default iteration counts keep `ctest` fast for the edit-build-test
+/// loop; CI (or a soak run) can crank them up without a rebuild:
+///
+///     GCR_FUZZ_ITERS=20000 ctest -L fuzz --output-on-failure
+///
+/// `GCR_FUZZ_ITERS` overrides the per-test query-loop counts and also
+/// grows the number of generated fuzz seeds (seed count scales as
+/// iters/1000, capped at kMaxFuzzSeeds so total effort stays roughly
+/// linear in the knob rather than quadratic).  Unset, zero, or unparsable
+/// values fall back to the built-in defaults.
+
+namespace gcr::test {
+
+/// Hard ceiling on generated seeds: each seed is a full gtest suite
+/// instantiation, so an absurd env value must not OOM the test binary.
+inline constexpr std::size_t kMaxFuzzSeeds = 64;
+
+/// Raw env override; 0 = not set / invalid.
+inline long fuzz_iters_override() {
+  static const long value = [] {
+    const char* env = std::getenv("GCR_FUZZ_ITERS");
+    if (env == nullptr) return 0L;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    return (end != env && parsed > 0) ? parsed : 0L;
+  }();
+  return value;
+}
+
+/// Iterations for a randomized query loop: the env override when set,
+/// otherwise the suite's built-in default.
+inline int fuzz_iters(int fallback) {
+  const long override_value = fuzz_iters_override();
+  if (override_value <= 0) return fallback;
+  constexpr long kIntMax = std::numeric_limits<int>::max();
+  return static_cast<int>(override_value < kIntMax ? override_value
+                                                   : kIntMax);
+}
+
+/// Seed list for INSTANTIATE_TEST_SUITE_P: `count` seeds starting at
+/// `start` with stride `stride`.  With GCR_FUZZ_ITERS set, the count
+/// grows to iters/1000 — never below the default, never above
+/// kMaxFuzzSeeds — so soak runs cover more layouts without exploding
+/// quadratically (total work ~ seeds x iters).
+inline std::vector<std::uint64_t> fuzz_seeds(std::uint64_t start,
+                                             std::uint64_t stride,
+                                             std::size_t count) {
+  const long override_value = fuzz_iters_override();
+  if (override_value > 0) {
+    const std::size_t scaled = static_cast<std::size_t>(override_value) / 1000;
+    if (scaled > count) count = scaled;
+    if (count > kMaxFuzzSeeds) count = kMaxFuzzSeeds;
+  }
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back(start + stride * static_cast<std::uint64_t>(i));
+  }
+  return seeds;
+}
+
+}  // namespace gcr::test

@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <random>
 
+#include "fuzz_env.hpp"
 #include "spatial/escape_lines.hpp"
 #include "spatial/obstacle_index.hpp"
 #include "workload/floorplan.hpp"
@@ -73,7 +74,7 @@ TEST_P(SpatialFuzz, TraceMatchesNaiveReference) {
 
   std::mt19937_64 rng(GetParam() * 7919 + 3);
   std::uniform_int_distribution<Coord> c(0, 400);
-  for (int q = 0; q < 500; ++q) {
+  for (int q = 0; q < gcr::test::fuzz_iters(500); ++q) {
     const Point p{c(rng), c(rng)};
     if (!index.routable(p)) continue;
     for (const Dir d : geom::kAllDirs) {
@@ -99,7 +100,7 @@ TEST_P(SpatialFuzz, SegmentBlockedMatchesPointScan) {
 
   std::mt19937_64 rng(GetParam() * 31 + 17);
   std::uniform_int_distribution<Coord> c(0, 200);
-  for (int q = 0; q < 200; ++q) {
+  for (int q = 0; q < gcr::test::fuzz_iters(200); ++q) {
     Point a{c(rng), c(rng)};
     Point b = (q % 2 == 0) ? Point{c(rng), a.y} : Point{a.x, c(rng)};
     const Segment s{a, b};
@@ -173,7 +174,7 @@ TEST_P(SpatialFuzz, CrossingsMatchNaiveFilter) {
 
   std::mt19937_64 rng(GetParam() * 101 + 9);
   std::uniform_int_distribution<Coord> c(0, 250);
-  for (int q = 0; q < 100; ++q) {
+  for (int q = 0; q < gcr::test::fuzz_iters(100); ++q) {
     const Point p{c(rng), c(rng)};
     if (!index.routable(p)) continue;
     for (const Dir d : geom::kAllDirs) {
@@ -199,6 +200,8 @@ TEST_P(SpatialFuzz, CrossingsMatchNaiveFilter) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SpatialFuzz, ::testing::Values(1, 2, 3, 4, 5));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SpatialFuzz,
+    ::testing::ValuesIn(gcr::test::fuzz_seeds(1, 1, 5)));
 
 }  // namespace

@@ -159,6 +159,18 @@ TEST(Layout, RejectsInvalidPolygonCell) {
                         layout::ValidationIssue::Kind::kInvalidPolygon));
 }
 
+TEST(Layout, InvalidPolygonObstaclesFallBackToOutline) {
+  // An invalid polygon cannot be decomposed; obstacle queries (which run
+  // even on layouts validate() rejects) must degrade to the bounding
+  // outline instead of crashing on non-rectilinear edges.
+  layout::Layout lay(Rect{0, 0, 100, 100});
+  const geom::OrthoPolygon bad{{{0, 0}, {10, 10}, {0, 10}, {10, 0}}};
+  lay.add_cell(layout::Cell{"bad", bad});
+  const auto rects = lay.obstacles();
+  ASSERT_EQ(rects.size(), 1u);
+  EXPECT_EQ(rects[0], (Rect{0, 0, 10, 10}));
+}
+
 TEST(Layout, NestedPolygonSeparationUsesDecomposition) {
   // A C-ring around a small block: bounding boxes overlap, but the actual
   // wall rectangles keep their distance, so the layout is valid.

@@ -140,6 +140,81 @@ TEST(NetlistRouter, SequentialSearchCostsMoreThanIndependent) {
   EXPECT_GE(sequential.stats.nodes_generated, indep.stats.nodes_generated);
 }
 
+TEST(NetlistRouter, ParallelBatchMatchesSingleThread) {
+  // The batch driver shares one read-only ObstacleIndex/EscapeLineSet, so
+  // every thread count must reproduce the serial result bit-for-bit: same
+  // per-net segments, same totals, same search stats.
+  const layout::Layout lay = small_routed_layout(27, 24);
+  const route::NetlistRouter router(lay);
+
+  route::NetlistOptions serial;
+  serial.threads = 1;
+  const auto base = router.route_all(serial);
+  ASSERT_EQ(base.routed + base.failed, lay.nets().size());
+
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    route::NetlistOptions par;
+    par.threads = threads;
+    const auto got = router.route_all(par);
+    EXPECT_EQ(got.total_wirelength, base.total_wirelength)
+        << threads << " threads";
+    EXPECT_EQ(got.routed, base.routed) << threads << " threads";
+    EXPECT_EQ(got.failed, base.failed) << threads << " threads";
+    EXPECT_EQ(got.stats.nodes_expanded, base.stats.nodes_expanded)
+        << threads << " threads";
+    EXPECT_EQ(got.stats.nodes_generated, base.stats.nodes_generated)
+        << threads << " threads";
+    ASSERT_EQ(got.routes.size(), base.routes.size());
+    for (std::size_t i = 0; i < base.routes.size(); ++i) {
+      EXPECT_EQ(got.routes[i].ok, base.routes[i].ok) << "net " << i;
+      EXPECT_EQ(got.routes[i].segments, base.routes[i].segments)
+          << "net " << i << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(NetlistRouter, ParallelAutoThreadCountRoutesEverything) {
+  // threads == 0 means "one worker per hardware thread"; whatever that
+  // resolves to, results must still match the serial run.
+  const layout::Layout lay = small_routed_layout(28);
+  const route::NetlistRouter router(lay);
+  const auto base = router.route_all();
+  route::NetlistOptions aut;
+  aut.threads = 0;
+  const auto got = router.route_all(aut);
+  EXPECT_EQ(got.total_wirelength, base.total_wirelength);
+  EXPECT_EQ(got.routed, base.routed);
+  EXPECT_EQ(got.failed, base.failed);
+}
+
+TEST(NetlistRouter, RejectsNonPermutationOrder) {
+  // A duplicate index would make two batch workers race on one result
+  // slot; the router must reject bad orders in every build type.
+  const layout::Layout lay = small_routed_layout(30, 3);
+  const route::NetlistRouter router(lay);
+  route::NetlistOptions dup;
+  dup.order = {0, 0, 2};
+  EXPECT_THROW((void)router.route_all(dup), std::invalid_argument);
+  route::NetlistOptions short_order;
+  short_order.order = {0, 1};
+  EXPECT_THROW((void)router.route_all(short_order), std::invalid_argument);
+  route::NetlistOptions out_of_range;
+  out_of_range.order = {0, 1, 7};
+  EXPECT_THROW((void)router.route_all(out_of_range), std::invalid_argument);
+}
+
+TEST(NetlistRouter, ParallelMoreThreadsThanNets) {
+  // Worker count is clamped to the job count; a tiny netlist with a huge
+  // thread request must not deadlock or drop nets.
+  const layout::Layout lay = small_routed_layout(29, 2);
+  const route::NetlistRouter router(lay);
+  route::NetlistOptions par;
+  par.threads = 64;
+  const auto got = router.route_all(par);
+  EXPECT_EQ(got.routed + got.failed, lay.nets().size());
+  EXPECT_EQ(got.routes.size(), lay.nets().size());
+}
+
 TEST(NetlistRouter, ResultAccountingConsistent) {
   const layout::Layout lay = small_routed_layout(26);
   const route::NetlistRouter router(lay);

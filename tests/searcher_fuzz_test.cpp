@@ -8,6 +8,7 @@
 #include <random>
 #include <vector>
 
+#include "fuzz_env.hpp"
 #include "search/iterative.hpp"
 #include "search/searcher.hpp"
 
@@ -184,7 +185,8 @@ TEST_P(SearcherFuzz, IdaStarMatchesDijkstraOnDags) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SearcherFuzz,
-                         ::testing::Values(7, 14, 21, 28, 35, 42, 49, 56));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SearcherFuzz,
+    ::testing::ValuesIn(gcr::test::fuzz_seeds(7, 7, 8)));
 
 }  // namespace
