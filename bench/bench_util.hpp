@@ -37,19 +37,7 @@ struct World {
 /// and `nets` nets.
 inline layout::Layout make_workload(std::size_t cells, geom::Coord extent,
                                     std::size_t nets, std::uint64_t seed) {
-  workload::FloorplanOptions fp;
-  fp.cell_count = cells;
-  fp.boundary = geom::Rect{0, 0, extent, extent};
-  fp.seed = seed;
-  layout::Layout lay = workload::random_floorplan(fp);
-  workload::PinGenOptions pg;
-  pg.seed = seed + 1;
-  workload::sprinkle_pins(lay, pg);
-  workload::NetGenOptions ng;
-  ng.seed = seed + 2;
-  ng.net_count = nets;
-  workload::generate_nets(lay, ng);
-  return lay;
+  return workload::standard_workload(cells, extent, nets, seed);
 }
 
 /// Random routable point pairs for two-pin queries, reproducible by seed.

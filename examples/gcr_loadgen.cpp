@@ -1,0 +1,438 @@
+// gcr_loadgen — closed-loop load generator for the routing service.
+//
+// Two modes:
+//
+//   in-process (default): builds a RoutingService and hammers it from N
+//   client threads, each issuing requests back-to-back (closed loop: the
+//   next request leaves when the previous response lands).  Measures
+//   end-to-end requests/sec against worker count and prints the service's
+//   own STATS counters.
+//
+//   --server PATH: forks PATH (gcr_serve) and drives it over a real
+//   transport — a socketpair by default, or the daemon's stdin/stdout
+//   pipes with --transport pipe — exercising the framed protocol
+//   end-to-end: LOAD, pipelined ROUTEs, STATS, QUIT.  Every ROUTE response
+//   body is parsed back (io::read_routes) and cross-checked against an
+//   in-process reference route of the same layout, so this doubles as the
+//   protocol round-trip test.
+//
+//   $ gcr_loadgen --clients 8 --requests 16 --workers 4
+//   $ gcr_loadgen --server ./example_gcr_serve --requests 8
+//
+// The workload is a seeded workload::floorplan netlist, so runs are
+// reproducible and the reference comparison is exact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "io/route_dump.hpp"
+#include "io/text_format.hpp"
+#include "serve/fd_stream.hpp"
+#include "serve/protocol.hpp"
+#include "serve/routing_service.hpp"
+#include "workload/netgen.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#define GCR_LOADGEN_HAVE_FORK 1
+#else
+#define GCR_LOADGEN_HAVE_FORK 0
+#endif
+
+namespace {
+
+using namespace gcr;
+
+struct Config {
+  std::string server;  // empty = in-process
+  bool pipe_transport = false;
+  std::size_t clients = 4;
+  std::size_t requests = 8;  // per client
+  std::size_t workers = 0;   // 0 = hardware threads
+  std::size_t cells = 16;
+  std::size_t nets = 24;
+  std::uint64_t seed = 42;
+  long deadline_ms = -1;  // <0 = none
+};
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--server PATH [--transport socket|pipe]]\n"
+      "       [--clients N] [--requests N] [--workers N]\n"
+      "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n",
+      argv0);
+  return 2;
+}
+
+layout::Layout make_workload(const Config& cfg) {
+  return workload::standard_workload(cfg.cells, 640, cfg.nets, cfg.seed);
+}
+
+// ------------------------------------------------------------ protocol client
+
+struct Reply {
+  bool ok = false;
+  std::string meta;  // status line after "OK <n> "
+  std::string body;
+  std::string error;
+};
+
+/// Sends one framed request and reads one framed response.
+Reply transact(std::ostream& out, std::istream& in, const std::string& line,
+               const std::string& body = std::string()) {
+  Reply r;
+  out << line << '\n' << body;
+  out.flush();
+  std::string status;
+  if (!std::getline(in, status)) {
+    r.error = "connection closed before response";
+    return r;
+  }
+  if (!status.empty() && status.back() == '\r') status.pop_back();
+  std::istringstream is(status);
+  std::string kw;
+  is >> kw;
+  if (kw == "ERR") {
+    std::getline(is, r.error);
+    return r;
+  }
+  if (kw != "OK") {
+    r.error = "malformed status line: " + status;
+    return r;
+  }
+  std::size_t nbytes = 0;
+  if (!(is >> nbytes)) {
+    r.error = "missing body byte count: " + status;
+    return r;
+  }
+  std::getline(is >> std::ws, r.meta);
+  r.body.resize(nbytes);
+  in.read(r.body.data(), static_cast<std::streamsize>(nbytes));
+  if (static_cast<std::size_t>(in.gcount()) != nbytes) {
+    r.error = "truncated response body";
+    return r;
+  }
+  r.ok = true;
+  return r;
+}
+
+/// Pulls `key value` out of a response meta string; -1 when absent or not
+/// numeric.  Values may be non-numeric (the session key), so everything is
+/// read as a token and only the requested one is converted.
+long long meta_value(const std::string& meta, const std::string& key) {
+  std::istringstream is(meta);
+  std::string k, v;
+  while (is >> k >> v) {
+    if (k != key) continue;
+    try {
+      return std::stoll(v);
+    } catch (const std::exception&) {
+      return -1;
+    }
+  }
+  return -1;
+}
+
+// ------------------------------------------------------------ in-process mode
+
+int run_inproc(const Config& cfg, const std::string& layout_text,
+               const route::NetlistResult& reference) {
+  serve::RoutingService::Options sopts;
+  sopts.workers = cfg.workers;
+  sopts.queue_capacity = std::max<std::size_t>(cfg.clients * 2, 64);
+  serve::RoutingService service(sopts);
+
+  const auto session = service.load(layout_text);
+  std::printf("session %s: %zu cells, %zu nets, %zu workers\n",
+              session->key.c_str(), session->layout.cells().size(),
+              session->layout.nets().size(), service.worker_count());
+
+  std::vector<std::size_t> ok_counts(cfg.clients, 0);
+  std::vector<std::size_t> bad_counts(cfg.clients, 0);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(cfg.clients);
+    for (std::size_t c = 0; c < cfg.clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t q = 0; q < cfg.requests; ++q) {
+          serve::RouteRequest req;
+          req.session_key = session->key;
+          if (cfg.deadline_ms >= 0) {
+            req.deadline = std::chrono::steady_clock::now() +
+                           std::chrono::milliseconds(cfg.deadline_ms);
+          }
+          const serve::RouteResponse resp = service.route(std::move(req));
+          const bool good =
+              resp.ok() &&
+              resp.result.total_wirelength == reference.total_wirelength &&
+              resp.result.routed == reference.routed;
+          (good ? ok_counts : bad_counts)[c] += 1;
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  std::size_t ok = 0, bad = 0;
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    ok += ok_counts[c];
+    bad += bad_counts[c];
+  }
+  const std::size_t total = ok + bad;
+  std::printf("%zu requests (%zu clients x %zu), %.3f s, %.1f req/s, "
+              "%zu mismatched/failed\n",
+              total, cfg.clients, cfg.requests, secs,
+              secs > 0 ? static_cast<double>(total) / secs : 0.0, bad);
+  std::fputs(service.stats_text().c_str(), stdout);
+  return bad == 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------ forked server
+
+#if GCR_LOADGEN_HAVE_FORK
+
+struct Child {
+  pid_t pid = -1;
+  int read_fd = -1;   // responses arrive here
+  int write_fd = -1;  // requests go here
+};
+
+/// Forks \p cfg.server speaking the protocol over a socketpair (--fd) or
+/// over its stdin/stdout pipes.  Returns pid -1 on failure.
+Child spawn_server(const Config& cfg) {
+  Child child;
+  std::vector<std::string> args{cfg.server, "--workers",
+                                std::to_string(cfg.workers)};
+  if (!cfg.pipe_transport) {
+    int sv[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return child;
+    const pid_t pid = ::fork();
+    if (pid < 0) return child;
+    if (pid == 0) {
+      ::close(sv[0]);
+      // Pin the service end to a known descriptor for --fd.
+      if (::dup2(sv[1], 3) < 0) _exit(127);
+      if (sv[1] != 3) ::close(sv[1]);
+      args.insert(args.end(), {"--fd", "3"});
+      std::vector<char*> argv;
+      argv.reserve(args.size() + 1);
+      for (std::string& a : args) argv.push_back(a.data());
+      argv.push_back(nullptr);
+      ::execv(argv[0], argv.data());
+      _exit(127);
+    }
+    ::close(sv[1]);
+    child.pid = pid;
+    child.read_fd = child.write_fd = sv[0];
+    return child;
+  }
+  int to_child[2], from_child[2];
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) return child;
+  const pid_t pid = ::fork();
+  if (pid < 0) return child;
+  if (pid == 0) {
+    ::dup2(to_child[0], 0);
+    ::dup2(from_child[1], 1);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  child.pid = pid;
+  child.read_fd = from_child[0];
+  child.write_fd = to_child[1];
+  return child;
+}
+
+int run_against_server(const Config& cfg, const std::string& layout_text,
+                       const layout::Layout& lay,
+                       const route::NetlistResult& reference) {
+  const Child child = spawn_server(cfg);
+  if (child.pid < 0) {
+    std::fprintf(stderr, "loadgen: cannot spawn %s\n", cfg.server.c_str());
+    return 1;
+  }
+  std::printf("spawned %s (pid %d, %s transport)\n", cfg.server.c_str(),
+              static_cast<int>(child.pid),
+              cfg.pipe_transport ? "pipe" : "socketpair");
+
+  int failures = 0;
+  {
+    serve::FdTransport transport(child.read_fd, child.write_fd);
+    std::istream& in = transport.in();
+    std::ostream& out = transport.out();
+
+    // LOAD twice: the second must be a cache hit (no rebuild server-side).
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      const Reply r = transact(
+          out, in, "LOAD " + std::to_string(layout_text.size()), layout_text);
+      if (!r.ok) {
+        std::fprintf(stderr, "LOAD failed: %s\n", r.error.c_str());
+        return 1;
+      }
+      const long long cached = meta_value(r.meta, "cached");
+      if (cached != (attempt == 0 ? 0 : 1)) {
+        std::fprintf(stderr, "LOAD attempt %d: unexpected cached=%lld\n",
+                     attempt, cached);
+        ++failures;
+      }
+    }
+    const std::string key = serve::SessionCache::content_key(layout_text);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::string route_line = "ROUTE " + key;
+    if (cfg.deadline_ms >= 0) {
+      route_line += " deadline_ms=" + std::to_string(cfg.deadline_ms);
+    }
+    const std::size_t total = cfg.requests * std::max<std::size_t>(cfg.clients, 1);
+    for (std::size_t q = 0; q < total; ++q) {
+      const Reply r = transact(out, in, route_line);
+      if (!r.ok) {
+        std::fprintf(stderr, "ROUTE %zu failed: %s\n", q, r.error.c_str());
+        ++failures;
+        continue;
+      }
+      // Round trip: the dump must parse against the layout and reproduce
+      // the in-process reference exactly.
+      try {
+        const route::NetlistResult parsed = io::read_routes_string(r.body, lay);
+        if (parsed.total_wirelength != reference.total_wirelength ||
+            parsed.routed != reference.routed ||
+            meta_value(r.meta, "wirelength") !=
+                static_cast<long long>(reference.total_wirelength)) {
+          std::fprintf(stderr, "ROUTE %zu: result mismatch vs reference\n", q);
+          ++failures;
+        }
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "ROUTE %zu: dump unparsable: %s\n", q, e.what());
+        ++failures;
+      }
+    }
+    const double secs = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+    std::printf("%zu round trips, %.3f s, %.1f req/s, %d failures\n", total,
+                secs, secs > 0 ? static_cast<double>(total) / secs : 0.0,
+                failures);
+
+    const Reply stats = transact(out, in, "STATS");
+    if (stats.ok) {
+      std::fputs(stats.body.c_str(), stdout);
+    } else {
+      std::fprintf(stderr, "STATS failed: %s\n", stats.error.c_str());
+      ++failures;
+    }
+    const Reply bye = transact(out, in, "QUIT");
+    if (!bye.ok) ++failures;
+  }
+  ::close(child.write_fd);
+  if (child.read_fd != child.write_fd) ::close(child.read_fd);
+
+  int status = 0;
+  ::waitpid(child.pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "server exited abnormally (status %d)\n", status);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+#else  // !GCR_LOADGEN_HAVE_FORK
+
+int run_against_server(const Config&, const std::string&,
+                       const layout::Layout&, const route::NetlistResult&) {
+  std::fprintf(stderr, "--server requires a POSIX platform\n");
+  return 1;
+}
+
+#endif  // GCR_LOADGEN_HAVE_FORK
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    const auto number = [&](std::size_t limit, std::size_t* out) {
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || v[0] == '-' || parsed > limit) {
+        return false;
+      }
+      *out = static_cast<std::size_t>(parsed);
+      ++i;
+      return true;
+    };
+    std::size_t n = 0;
+    if (arg == "--server" && v != nullptr) {
+      cfg.server = v;
+      ++i;
+    } else if (arg == "--transport" && v != nullptr) {
+      const std::string t = v;
+      if (t != "socket" && t != "pipe") return usage(argv[0]);
+      cfg.pipe_transport = t == "pipe";
+      ++i;
+    } else if (arg == "--clients" && number(1024, &n)) {
+      cfg.clients = std::max<std::size_t>(n, 1);
+    } else if (arg == "--requests" && number(1 << 20, &n)) {
+      cfg.requests = n;
+    } else if (arg == "--workers" && number(1024, &n)) {
+      cfg.workers = n;
+    } else if (arg == "--cells" && number(4096, &n)) {
+      cfg.cells = std::max<std::size_t>(n, 2);
+    } else if (arg == "--nets" && number(1 << 16, &n)) {
+      cfg.nets = n;
+    } else if (arg == "--seed" && number(SIZE_MAX, &n)) {
+      cfg.seed = n;
+    } else if (arg == "--deadline-ms" && number(1 << 30, &n)) {
+      cfg.deadline_ms = static_cast<long>(n);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    const layout::Layout lay = make_workload(cfg);
+    const std::string text = io::write_layout_string(lay);
+    // One in-process reference route: the ground truth every response is
+    // compared against (independent routing is deterministic).
+    const route::NetlistRouter ref_router(lay);
+    const route::NetlistResult reference = ref_router.route_all();
+    std::printf("workload: %zu cells, %zu nets, reference wirelength %lld "
+                "(%zu routed, %zu failed)\n",
+                lay.cells().size(), lay.nets().size(),
+                static_cast<long long>(reference.total_wirelength),
+                reference.routed, reference.failed);
+
+    if (cfg.server.empty()) return run_inproc(cfg, text, reference);
+    return run_against_server(cfg, text, lay, reference);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen: fatal: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,93 @@
+// gcr_serve — the routing daemon: speaks the framed line protocol of
+// serve/protocol.hpp over stdin/stdout (the pipe transport) or over an
+// inherited descriptor (the socketpair transport), backed by a persistent
+// worker pool and a content-addressed layout-session cache.
+//
+//   $ gcr_serve [options]
+//     --workers N    routing worker threads (0 = one per hardware thread)
+//     --queue N      bounded job-queue capacity      (default 64)
+//     --cache N      layout-session cache capacity   (default 8)
+//     --fd FD        serve a bidirectional descriptor (e.g. one end of a
+//                    socketpair) instead of stdin/stdout
+//
+// A session survives across requests: LOAD once, ROUTE many times — every
+// ROUTE reuses the session's prebuilt obstacle index and escape lines.
+//
+//   $ printf 'LOAD 47\nboundary 0 0 64 64\ncell a 8 8 24 24\n...' | gcr_serve
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <iostream>
+
+#include "serve/fd_stream.hpp"
+#include "serve/protocol.hpp"
+#include "serve/routing_service.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workers N] [--queue N] [--cache N] [--fd FD]\n",
+               argv0);
+  return 2;
+}
+
+bool parse_size(const char* v, std::size_t limit, std::size_t* out) {
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0' || v[0] == '-' || parsed > limit) return false;
+  *out = static_cast<std::size_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gcr;
+
+  serve::RoutingService::Options opts;
+  long fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    std::size_t parsed = 0;
+    if (arg == "--workers" && v != nullptr && parse_size(v, 1024, &parsed)) {
+      opts.workers = parsed;
+      ++i;
+    } else if (arg == "--queue" && v != nullptr &&
+               parse_size(v, 1 << 20, &parsed)) {
+      opts.queue_capacity = parsed;
+      ++i;
+    } else if (arg == "--cache" && v != nullptr &&
+               parse_size(v, 1 << 16, &parsed)) {
+      opts.cache_capacity = parsed;
+      ++i;
+    } else if (arg == "--fd" && v != nullptr && parse_size(v, 1 << 20, &parsed)) {
+      fd = static_cast<long>(parsed);
+      ++i;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  try {
+    serve::RoutingService service(opts);
+    std::size_t frames = 0;
+    if (fd >= 0) {
+      serve::FdTransport transport(static_cast<int>(fd));
+      frames = serve::serve_connection(service, transport.in(),
+                                       transport.out());
+    } else {
+      std::ios::sync_with_stdio(false);
+      frames = serve::serve_connection(service, std::cin, std::cout);
+    }
+    std::fprintf(stderr, "gcr_serve: connection closed after %zu frames\n",
+                 frames);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gcr_serve: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include <exception>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -48,10 +49,41 @@ std::vector<std::size_t> resolve_order(const NetlistOptions& opts,
 }
 
 std::size_t resolve_workers(unsigned requested, std::size_t jobs) {
-  std::size_t n =
-      requested == 0 ? std::thread::hardware_concurrency() : requested;
-  if (n == 0) n = 1;  // hardware_concurrency() may be unknown
-  return std::min(n, std::max<std::size_t>(jobs, 1));
+  return std::min(resolve_worker_count(requested),
+                  std::max<std::size_t>(jobs, 1));
+}
+
+/// Estimated routing effort of a net: the half-perimeter of its pins'
+/// bounding box.  Search work grows with the spanned area, so this cheap
+/// proxy is what the batch driver sorts by to schedule long nets first.
+geom::Cost estimated_effort(const layout::Layout& lay,
+                            const layout::Net& net) {
+  std::optional<Rect> bbox;
+  for (const auto& pins : net_terminal_pins(lay, net)) {
+    for (const geom::Point& p : pins) {
+      bbox = bbox ? bbox->hull(p) : Rect{p, p};
+    }
+  }
+  return bbox ? bbox->half_perimeter() : 0;
+}
+
+/// Longest-first dispatch schedule for the batch driver.  A stable sort on
+/// descending effort keeps ties in `order` order, so the schedule is
+/// deterministic; results are unaffected either way because accounting
+/// always replays the caller's `order`.
+std::vector<std::size_t> effort_sorted(const layout::Layout& lay,
+                                       const std::vector<std::size_t>& order) {
+  std::vector<std::pair<geom::Cost, std::size_t>> keyed;
+  keyed.reserve(order.size());
+  for (const std::size_t i : order) {
+    keyed.emplace_back(estimated_effort(lay, lay.nets()[i]), i);
+  }
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::size_t> dispatch;
+  dispatch.reserve(keyed.size());
+  for (const auto& [effort, i] : keyed) dispatch.push_back(i);
+  return dispatch;
 }
 
 void account(NetlistResult& result, std::size_t net_idx, NetRoute nr) {
@@ -67,6 +99,13 @@ void account(NetlistResult& result, std::size_t net_idx, NetRoute nr) {
 
 }  // namespace
 
+std::size_t resolve_worker_count(std::size_t requested) {
+  std::size_t n =
+      requested == 0 ? std::thread::hardware_concurrency() : requested;
+  if (n == 0) n = 1;  // hardware_concurrency() may be unknown
+  return n;
+}
+
 NetlistResult NetlistRouter::route_all(const NetlistOptions& opts) const {
   return opts.mode == NetlistMode::kIndependent ? route_independent(opts)
                                                 : route_sequential(opts);
@@ -81,9 +120,12 @@ NetlistResult NetlistRouter::route_independent(
   // point of independent routing is that the search environment is fixed.
   // That same immutability is what makes the batch driver below safe — the
   // index, escape lines, router, and cost model are read-only once built.
-  const spatial::ObstacleIndex index(layout_.boundary(), layout_.obstacles());
-  const spatial::EscapeLineSet lines(index);
-  const SteinerNetRouter net_router(index, lines, cost_);
+  // An injected environment (the serving layer's session cache) skips the
+  // per-call build entirely.
+  std::optional<SearchEnvironment> local_env;
+  if (env_ == nullptr) local_env.emplace(layout_);
+  const SearchEnvironment& env = env_ != nullptr ? *env_ : *local_env;
+  const SteinerNetRouter net_router(env.index(), env.lines(), cost_);
 
   const std::vector<std::size_t> order =
       resolve_order(opts, layout_.nets().size());
@@ -103,22 +145,26 @@ NetlistResult NetlistRouter::route_independent(
   // each finished route into its own (disjoint) slot, so no locking is
   // needed on the hot path.  Accounting then runs serially in `order`
   // order, making totals and stats bit-identical to the serial fallback.
+  // Dispatch longest-first by default: with arrival-order dispatch a long
+  // net pulled last runs alone while every other worker idles.
+  const std::vector<std::size_t> dispatch =
+      opts.sorted_dispatch ? effort_sorted(layout_, order) : order;
   std::atomic<std::size_t> cursor{0};
   std::exception_ptr first_error;
   std::mutex error_mu;
   const auto work = [&]() noexcept {
     try {
       for (std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
-           k < order.size();
+           k < dispatch.size();
            k = cursor.fetch_add(1, std::memory_order_relaxed)) {
-        const std::size_t i = order[k];
+        const std::size_t i = dispatch[k];
         result.routes[i] =
             net_router.route_net(layout_, layout_.nets()[i], opts.steiner);
       }
     } catch (...) {
       const std::lock_guard<std::mutex> lock(error_mu);
       if (!first_error) first_error = std::current_exception();
-      cursor.store(order.size(), std::memory_order_relaxed);  // drain queue
+      cursor.store(dispatch.size(), std::memory_order_relaxed);  // drain queue
     }
   };
 
@@ -130,7 +176,7 @@ NetlistResult NetlistRouter::route_independent(
     // Thread exhaustion: drain the queue so already-running workers stop,
     // join them (destroying a joinable thread would terminate), and let
     // whatever workers did start plus this thread finish the batch.
-    cursor.store(order.size(), std::memory_order_relaxed);
+    cursor.store(dispatch.size(), std::memory_order_relaxed);
     for (std::thread& th : pool) th.join();
     pool.clear();
     cursor.store(0, std::memory_order_relaxed);

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/search_environment.hpp"
 #include "core/steiner.hpp"
 #include "layout/layout.hpp"
 
@@ -44,6 +45,15 @@ struct NetlistOptions {
   /// environment, the result is bit-identical for every thread count.
   /// Ignored in sequential mode, which is inherently ordered.
   unsigned threads = 1;
+  /// Batch-driver scheduling: dispatch work items longest-first (estimated
+  /// effort = net bounding-box half-perimeter, descending) so a long net
+  /// pulled last cannot straggle alone at the tail of the batch.  Dispatch
+  /// order never affects results — independent nets share a read-only
+  /// environment and each writes its own slot — so this is purely a
+  /// tail-latency knob; `false` restores arrival-order dispatch (the
+  /// baseline `bench_independent_nets` compares against).  Ignored when the
+  /// batch runs serially.
+  bool sorted_dispatch = true;
 };
 
 struct NetlistResult {
@@ -54,12 +64,28 @@ struct NetlistResult {
   search::SearchStats stats;
 };
 
+/// Resolves the "0 = one worker per hardware thread" convention shared by
+/// the batch driver and the serving worker pool; never returns 0 (a machine
+/// whose concurrency is unknown gets one worker).
+[[nodiscard]] std::size_t resolve_worker_count(std::size_t requested);
+
 class NetlistRouter {
  public:
   /// \p cost may be nullptr.  The layout must outlive the router.
+  /// Independent mode builds a fresh SearchEnvironment per route_all call.
   explicit NetlistRouter(const layout::Layout& lay,
                          const CostModel* cost = nullptr)
       : layout_(lay), cost_(cost) {}
+
+  /// Injects a prebuilt environment (the serving layer's session cache):
+  /// independent-mode calls reuse \p env instead of rebuilding the obstacle
+  /// index and escape lines.  \p env must have been built from \p lay's
+  /// current placement and must outlive the router.  Sequential mode still
+  /// rebuilds per net — routed wires join the obstacle set, so no immutable
+  /// environment can serve it.
+  NetlistRouter(const layout::Layout& lay, const SearchEnvironment& env,
+                const CostModel* cost = nullptr)
+      : layout_(lay), cost_(cost), env_(&env) {}
 
   [[nodiscard]] NetlistResult route_all(const NetlistOptions& opts = {}) const;
 
@@ -69,6 +95,7 @@ class NetlistRouter {
 
   const layout::Layout& layout_;
   const CostModel* cost_;
+  const SearchEnvironment* env_ = nullptr;  ///< optional injected environment
 };
 
 }  // namespace gcr::route

@@ -1,0 +1,20 @@
+#include "core/search_environment.hpp"
+
+#include <atomic>
+
+namespace gcr::route {
+
+namespace {
+std::atomic<std::size_t> g_build_count{0};
+}  // namespace
+
+SearchEnvironment::SearchEnvironment(const layout::Layout& lay)
+    : index_(lay.boundary(), lay.obstacles()), lines_(index_) {
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::size_t SearchEnvironment::build_count() noexcept {
+  return g_build_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace gcr::route

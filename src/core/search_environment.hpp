@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+
+#include "layout/layout.hpp"
+#include "spatial/escape_lines.hpp"
+#include "spatial/obstacle_index.hpp"
+
+/// \file search_environment.hpp
+/// The immutable per-layout search state shared by every independent-mode
+/// net: the obstacle index over the placed cells and the escape-line set
+/// derived from it.
+///
+/// The paper's independent-routing scheme fixes the obstacle set for the
+/// whole netlist ("the only obstacles are the cells"), so this environment
+/// is built once per *layout*, not once per routing call — the serving
+/// layer caches it inside a layout session and reuses it across requests,
+/// amortizing the dominant setup cost (EscapeLineSet construction) over
+/// arbitrarily many route requests.
+
+namespace gcr::route {
+
+/// Read-only after construction; safe to share across threads.
+class SearchEnvironment {
+ public:
+  /// Builds the index and escape lines for \p lay's current placement.  The
+  /// environment copies what it needs; it does not retain a reference to
+  /// \p lay, but it also does not track later mutations of the layout.
+  explicit SearchEnvironment(const layout::Layout& lay);
+
+  [[nodiscard]] const spatial::ObstacleIndex& index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] const spatial::EscapeLineSet& lines() const noexcept {
+    return lines_;
+  }
+
+  /// Process-wide count of environments ever constructed.  Exists so tests
+  /// can assert that a session-cache hit really skipped ObstacleIndex and
+  /// EscapeLineSet construction (the serving layer's whole reason to exist).
+  [[nodiscard]] static std::size_t build_count() noexcept;
+
+ private:
+  spatial::ObstacleIndex index_;
+  spatial::EscapeLineSet lines_;
+};
+
+}  // namespace gcr::route

@@ -1,5 +1,6 @@
 #include "io/text_format.hpp"
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -28,6 +29,21 @@ std::vector<std::string> tokenize(const std::string& line) {
   return out;
 }
 
+/// Clamps a token for error messages: untrusted input (the serving layer
+/// parses request bodies) can contain arbitrarily long or binary garbage —
+/// including terminal escape sequences — and the diagnostic is echoed back
+/// to clients and operator terminals, so it must stay short and printable.
+std::string printable(const std::string& tok) {
+  std::string out;
+  const std::size_t limit = std::min<std::size_t>(tok.size(), 32);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const unsigned char c = static_cast<unsigned char>(tok[i]);
+    out += (c >= 0x20 && c < 0x7f) ? tok[i] : '?';
+  }
+  if (tok.size() > limit) out += "...";
+  return out;
+}
+
 Coord to_coord(const std::string& s, std::size_t line_no) {
   try {
     std::size_t used = 0;
@@ -35,7 +51,7 @@ Coord to_coord(const std::string& s, std::size_t line_no) {
     if (used != s.size()) throw std::invalid_argument(s);
     return static_cast<Coord>(v);
   } catch (const std::exception&) {
-    throw ParseError(line_no, "expected integer, got '" + s + "'");
+    throw ParseError(line_no, "expected integer, got '" + printable(s) + "'");
   }
 }
 
@@ -49,6 +65,7 @@ layout::Layout read_layout(std::istream& in) {
 
   std::string line;
   std::size_t line_no = 0;
+  bool have_boundary = false;
   while (std::getline(in, line)) {
     ++line_no;
     const std::vector<std::string> tok = tokenize(line);
@@ -57,22 +74,30 @@ layout::Layout read_layout(std::istream& in) {
     const auto need = [&](std::size_t n) {
       if (tok.size() < n + 1) {
         throw ParseError(line_no, kw + " needs at least " +
-                                      std::to_string(n) + " arguments");
+                                      std::to_string(n) + " arguments, got " +
+                                      std::to_string(tok.size() - 1));
       }
     };
 
     if (kw == "boundary") {
       need(4);
-      lay.set_boundary(Rect{to_coord(tok[1], line_no), to_coord(tok[2], line_no),
-                            to_coord(tok[3], line_no),
-                            to_coord(tok[4], line_no)});
+      if (have_boundary) {
+        throw ParseError(line_no, "duplicate boundary directive");
+      }
+      const Rect b{to_coord(tok[1], line_no), to_coord(tok[2], line_no),
+                   to_coord(tok[3], line_no), to_coord(tok[4], line_no)};
+      if (b.xhi <= b.xlo || b.yhi <= b.ylo) {
+        throw ParseError(line_no, "boundary is empty or inverted");
+      }
+      lay.set_boundary(b);
+      have_boundary = true;
     } else if (kw == "minsep") {
       need(1);
       lay.set_min_separation(to_coord(tok[1], line_no));
     } else if (kw == "cell") {
       need(5);
       if (cell_by_name.count(tok[1]) != 0) {
-        throw ParseError(line_no, "duplicate cell '" + tok[1] + "'");
+        throw ParseError(line_no, "duplicate cell '" + printable(tok[1]) + "'");
       }
       cell_by_name[tok[1]] = lay.add_cell(layout::Cell{
           tok[1], Rect{to_coord(tok[2], line_no), to_coord(tok[3], line_no),
@@ -83,7 +108,7 @@ layout::Layout read_layout(std::istream& in) {
         throw ParseError(line_no, "poly needs an even coordinate count");
       }
       if (cell_by_name.count(tok[1]) != 0) {
-        throw ParseError(line_no, "duplicate cell '" + tok[1] + "'");
+        throw ParseError(line_no, "duplicate cell '" + printable(tok[1]) + "'");
       }
       std::vector<Point> verts;
       for (std::size_t i = 2; i + 1 < tok.size(); i += 2) {
@@ -92,14 +117,15 @@ layout::Layout read_layout(std::istream& in) {
       }
       geom::OrthoPolygon poly(std::move(verts));
       if (!poly.valid()) {
-        throw ParseError(line_no, "invalid orthogonal polygon '" + tok[1] + "'");
+        throw ParseError(line_no, "invalid orthogonal polygon '" +
+                                      printable(tok[1]) + "'");
       }
       cell_by_name[tok[1]] = lay.add_cell(layout::Cell{tok[1], std::move(poly)});
     } else if (kw == "term") {
       need(4);
       const auto it = cell_by_name.find(tok[1]);
       if (it == cell_by_name.end()) {
-        throw ParseError(line_no, "unknown cell '" + tok[1] + "'");
+        throw ParseError(line_no, "unknown cell '" + printable(tok[1]) + "'");
       }
       if ((tok.size() - 3) % 2 != 0) {
         throw ParseError(line_no, "term needs pin coordinate pairs");
@@ -116,7 +142,7 @@ layout::Layout read_layout(std::istream& in) {
     } else if (kw == "pad") {
       need(3);
       if (pad_by_name.count(tok[1]) != 0) {
-        throw ParseError(line_no, "duplicate pad '" + tok[1] + "'");
+        throw ParseError(line_no, "duplicate pad '" + printable(tok[1]) + "'");
       }
       layout::Terminal term;
       term.name = tok[1];
@@ -133,7 +159,7 @@ layout::Layout read_layout(std::istream& in) {
         const std::string& ref = tok[i];
         const std::size_t dot = ref.find('.');
         if (dot == std::string::npos) {
-          throw ParseError(line_no, "terminal ref '" + ref +
+          throw ParseError(line_no, "terminal ref '" + printable(ref) +
                                         "' must be cell.term or pad.name");
         }
         const std::string owner = ref.substr(0, dot);
@@ -141,27 +167,38 @@ layout::Layout read_layout(std::istream& in) {
         if (owner == "pad") {
           const auto it = pad_by_name.find(term);
           if (it == pad_by_name.end()) {
-            throw ParseError(line_no, "unknown pad '" + term + "'");
+            throw ParseError(line_no, "unknown pad '" + printable(term) + "'");
           }
           net.add_terminal(layout::TerminalRef{layout::CellId{}, it->second});
         } else {
           const auto cit = cell_by_name.find(owner);
           if (cit == cell_by_name.end()) {
-            throw ParseError(line_no, "unknown cell '" + owner + "'");
+            throw ParseError(line_no, "unknown cell '" + printable(owner) + "'");
           }
           const auto& terms = term_by_name[owner];
           const auto tit = terms.find(term);
           if (tit == terms.end()) {
-            throw ParseError(line_no,
-                             "unknown terminal '" + owner + "." + term + "'");
+            throw ParseError(line_no, "unknown terminal '" + printable(owner) +
+                                          "." + printable(term) + "'");
           }
           net.add_terminal(layout::TerminalRef{cit->second, tit->second});
         }
       }
       lay.add_net(std::move(net));
     } else {
-      throw ParseError(line_no, "unknown directive '" + kw + "'");
+      throw ParseError(line_no, "unknown directive '" + printable(kw) + "'");
     }
+  }
+  // A stream that *failed* (I/O error) rather than cleanly reaching EOF may
+  // have silently dropped trailing directives — never hand back the partial
+  // layout it happened to accumulate.
+  if (in.bad()) {
+    throw ParseError(line_no, "I/O error while reading layout");
+  }
+  if (!have_boundary) {
+    throw ParseError(line_no,
+                     "input ended without a boundary directive (truncated or "
+                     "not a layout)");
   }
   return lay;
 }

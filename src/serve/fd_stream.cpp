@@ -1,0 +1,101 @@
+#include "serve/fd_stream.hpp"
+
+#include <cstddef>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+
+#include <cerrno>
+#define GCR_SERVE_HAVE_POSIX_FD 1
+#else
+#define GCR_SERVE_HAVE_POSIX_FD 0
+#endif
+
+namespace gcr::serve {
+
+#if GCR_SERVE_HAVE_POSIX_FD
+
+namespace {
+
+/// write(2) until done, retrying EINTR.  False on error/closed peer.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+FdStreamBuf::FdStreamBuf(int read_fd, int write_fd)
+    : read_fd_(read_fd), write_fd_(write_fd) {
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data());
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (read_fd_ < 0) return traits_type::eof();
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  ssize_t n;
+  do {
+    n = ::read(read_fd_, in_buf_.data(), in_buf_.size());
+  } while (n < 0 && errno == EINTR);
+  if (n <= 0) return traits_type::eof();
+  setg(in_buf_.data(), in_buf_.data(), in_buf_.data() + n);
+  return traits_type::to_int_type(*gptr());
+}
+
+bool FdStreamBuf::flush_buffer() {
+  const std::size_t n = static_cast<std::size_t>(pptr() - pbase());
+  if (n == 0) return true;
+  if (write_fd_ < 0 || !write_all(write_fd_, pbase(), n)) return false;
+  setp(out_buf_.data(), out_buf_.data() + out_buf_.size());
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_buffer()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flush_buffer() ? 0 : -1; }
+
+std::streamsize FdStreamBuf::xsputn(const char* s, std::streamsize n) {
+  // Large bodies (layout text, route dumps) bypass the buffer: flush what
+  // is pending, then write straight through.
+  if (n >= static_cast<std::streamsize>(out_buf_.size())) {
+    if (!flush_buffer()) return 0;
+    return write_all(write_fd_, s, static_cast<std::size_t>(n)) ? n : 0;
+  }
+  return std::streambuf::xsputn(s, n);
+}
+
+#else  // !GCR_SERVE_HAVE_POSIX_FD
+
+FdStreamBuf::FdStreamBuf(int, int) {
+  throw std::runtime_error("fd transport requires a POSIX platform");
+}
+FdStreamBuf::int_type FdStreamBuf::underflow() { return traits_type::eof(); }
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type) {
+  return traits_type::eof();
+}
+int FdStreamBuf::sync() { return -1; }
+std::streamsize FdStreamBuf::xsputn(const char*, std::streamsize) {
+  return 0;
+}
+bool FdStreamBuf::flush_buffer() { return false; }
+
+#endif  // GCR_SERVE_HAVE_POSIX_FD
+
+}  // namespace gcr::serve

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <utility>
+
+/// \file job_queue.hpp
+/// A bounded multi-producer multi-consumer queue: the admission-control
+/// stage of the routing service.  Producers are transport threads turning
+/// protocol frames into jobs; consumers are the persistent worker pool.
+/// The bound is what gives the service backpressure — when routing falls
+/// behind, `try_push` fails fast and the transport can reject with a
+/// retryable error instead of buffering unboundedly.
+
+namespace gcr::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while full.  Returns false (dropping \p v) once closed.
+  bool push(T v) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [&] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push(std::move(v));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking admission: false when full or closed (queue saturation —
+  /// the caller should shed the request).
+  bool try_push(T v) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push(std::move(v));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty.  Returns nullopt once the queue is closed *and*
+  /// drained, which is the worker-pool shutdown signal.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop();
+    lock.unlock();
+    not_full_.notify_one();
+    return v;
+  }
+
+  /// Stops admission.  Queued jobs still drain; blocked producers and (once
+  /// drained) blocked consumers wake and return failure.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::queue<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace gcr::serve

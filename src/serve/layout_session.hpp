@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/search_environment.hpp"
+#include "layout/layout.hpp"
+
+/// \file layout_session.hpp
+/// The session layer of the routing service.
+///
+/// Every `route_all` call used to rebuild the ObstacleIndex and the
+/// EscapeLineSet from scratch; under serving traffic those builds dominate
+/// request latency while being identical for every request against the same
+/// layout.  A LayoutSession parses the text-format layout once and owns the
+/// shared read-only SearchEnvironment; the SessionCache keys sessions by
+/// layout *content* hash (FNV-1a over the request body), so two clients
+/// uploading byte-identical layouts share one session — the same idea as a
+/// connection/session manager in front of a fieldbus scanner: expensive
+/// immutable state is established once and addressed by handle thereafter.
+
+namespace gcr::serve {
+
+/// Immutable once constructed; shared across worker threads by shared_ptr.
+struct LayoutSession {
+  std::string key;             ///< content hash, 16 hex digits
+  layout::Layout layout;       ///< parsed, validated problem
+  route::SearchEnvironment env;  ///< obstacle index + escape lines
+
+  LayoutSession(std::string k, layout::Layout lay)
+      : key(std::move(k)), layout(std::move(lay)), env(layout) {}
+};
+
+/// Thread-safe LRU cache of layout sessions.
+class SessionCache {
+ public:
+  explicit SessionCache(std::size_t capacity = 8)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// FNV-1a 64-bit over the exact request bytes, as 16 lowercase hex digits
+  /// — the session handle clients quote in ROUTE commands.
+  [[nodiscard]] static std::string content_key(const std::string& text);
+
+  /// Parses \p text (io::text_format), validates the layout, and inserts a
+  /// session — or returns the cached one when the content hash is already
+  /// resident (no parse, no environment build).  \p cache_hit, when
+  /// non-null, reports which of the two happened (authoritative, unlike
+  /// inferring it from counter deltas, which races with concurrent
+  /// lookups).  Throws std::runtime_error (io::ParseError for malformed
+  /// text, plain runtime_error listing the first placement violation for
+  /// invalid layouts); untrusted request bodies must never become
+  /// half-built sessions.
+  std::shared_ptr<const LayoutSession> load(const std::string& text,
+                                            bool* cache_hit = nullptr);
+
+  /// Looks up a session by handle; nullptr when absent (expired or never
+  /// loaded).  Refreshes LRU recency on hit but does not touch the
+  /// hit/miss counters — those measure LOAD deduplication, not lookups.
+  [[nodiscard]] std::shared_ptr<const LayoutSession> find(
+      const std::string& key);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// LOAD-deduplication counters: a hit is a load() whose content was
+  /// already resident (parse + environment build skipped).
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const LayoutSession> session;
+    std::list<std::string>::iterator recency;  ///< position in recency_
+  };
+
+  /// Moves \p entry to the front of the recency list (O(1)).  mu_ must be
+  /// held — request admission touches on every lookup, so this must never
+  /// scan.
+  void touch(Entry& entry);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> recency_;  ///< most recent first
+  std::map<std::string, Entry> sessions_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gcr::serve

@@ -1,0 +1,49 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gcr::serve {
+
+std::uint64_t LatencyWindow::percentile(double q) const {
+  std::vector<std::uint64_t> sorted;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    sorted = samples_;
+  }
+  if (sorted.empty()) return 0;
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 100.0);
+  // Nearest-rank: the smallest sample with at least q% of samples <= it.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::ostringstream os;
+  os << "requests_submitted " << requests_submitted << '\n'
+     << "requests_ok " << requests_ok << '\n'
+     << "requests_rejected " << requests_rejected << '\n'
+     << "requests_expired " << requests_expired << '\n'
+     << "requests_cancelled " << requests_cancelled << '\n'
+     << "requests_not_found " << requests_not_found << '\n'
+     << "requests_errored " << requests_errored << '\n'
+     << "nets_routed " << nets_routed << '\n'
+     << "nets_failed " << nets_failed << '\n'
+     << "latency_p50_us " << latency_p50_us << '\n'
+     << "latency_p95_us " << latency_p95_us << '\n'
+     << "latency_p99_us " << latency_p99_us << '\n'
+     << "queue_wait_p50_us " << queue_wait_p50_us << '\n'
+     << "queue_depth " << queue_depth << '\n'
+     << "queue_capacity " << queue_capacity << '\n'
+     << "workers " << workers << '\n'
+     << "cache_hits " << cache_hits << '\n'
+     << "cache_misses " << cache_misses << '\n'
+     << "cache_evictions " << cache_evictions << '\n'
+     << "cache_size " << cache_size << '\n';
+  return os.str();
+}
+
+}  // namespace gcr::serve

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file metrics.hpp
+/// Service observability: request counters and a latency window with
+/// percentile queries, rendered as the STATS response body.  Counters are
+/// lock-free atomics (touched on every request); the latency window takes a
+/// mutex only to append one sample, and percentile queries — rare, operator
+/// driven — pay the sort.
+
+namespace gcr::serve {
+
+/// Sliding window over the most recent `capacity` latency samples
+/// (microseconds).  A ring buffer rather than a full history so a soak run
+/// cannot grow memory without bound; percentiles therefore describe recent
+/// traffic, which is what a load shedder or dashboard wants anyway.
+class LatencyWindow {
+ public:
+  explicit LatencyWindow(std::size_t capacity = 4096)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  void record(std::uint64_t micros) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (samples_.size() < capacity_) {
+      samples_.push_back(micros);
+    } else {
+      samples_[next_] = micros;
+    }
+    next_ = (next_ + 1) % capacity_;
+    ++count_;
+  }
+
+  /// \p q in [0, 100].  Nearest-rank percentile over the window; 0 when no
+  /// samples have been recorded.
+  [[nodiscard]] std::uint64_t percentile(double q) const;
+
+  [[nodiscard]] std::uint64_t total_recorded() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> samples_;
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Aggregate counters for one RoutingService instance.
+struct ServiceMetrics {
+  std::atomic<std::uint64_t> requests_submitted{0};
+  std::atomic<std::uint64_t> requests_ok{0};
+  std::atomic<std::uint64_t> requests_rejected{0};   ///< queue full
+  std::atomic<std::uint64_t> requests_expired{0};    ///< deadline passed
+  std::atomic<std::uint64_t> requests_cancelled{0};
+  std::atomic<std::uint64_t> requests_not_found{0};  ///< unknown session key
+  std::atomic<std::uint64_t> requests_errored{0};    ///< routing threw
+  std::atomic<std::uint64_t> nets_routed{0};
+  std::atomic<std::uint64_t> nets_failed{0};
+  LatencyWindow latency;        ///< enqueue -> response, microseconds
+  LatencyWindow queue_wait;     ///< enqueue -> dequeue, microseconds
+};
+
+/// One point-in-time view, cheap to format.
+struct MetricsSnapshot {
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t requests_ok = 0;
+  std::uint64_t requests_rejected = 0;
+  std::uint64_t requests_expired = 0;
+  std::uint64_t requests_cancelled = 0;
+  std::uint64_t requests_not_found = 0;
+  std::uint64_t requests_errored = 0;
+  std::uint64_t nets_routed = 0;
+  std::uint64_t nets_failed = 0;
+  std::uint64_t latency_p50_us = 0;
+  std::uint64_t latency_p95_us = 0;
+  std::uint64_t latency_p99_us = 0;
+  std::uint64_t queue_wait_p50_us = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t workers = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_size = 0;
+
+  /// `key value` lines, one metric per line — the STATS response body.
+  [[nodiscard]] std::string to_text() const;
+};
+
+}  // namespace gcr::serve

@@ -1,0 +1,216 @@
+#include "serve/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "io/route_dump.hpp"
+
+namespace gcr::serve {
+
+namespace {
+
+/// getline that strips a trailing CR, so CRLF peers work unchanged.
+bool read_line(std::istream& in, std::string& line) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return true;
+}
+
+std::vector<std::string> split_words(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Strict non-negative integer parse with token context in the error.
+unsigned long long parse_count(const std::string& tok,
+                               const std::string& what) {
+  if (tok.empty() || tok.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::runtime_error(what + ": expected a non-negative integer, got '" +
+                             tok + "'");
+  }
+  try {
+    return std::stoull(tok);
+  } catch (const std::exception&) {
+    throw std::runtime_error(what + ": value out of range: '" + tok + "'");
+  }
+}
+
+}  // namespace
+
+RouteCommand parse_route_command(const std::string& args) {
+  const std::vector<std::string> words = split_words(args);
+  if (words.empty()) {
+    throw std::runtime_error("ROUTE needs a session key");
+  }
+  RouteCommand cmd;
+  cmd.session_key = words[0];
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    const std::size_t eq = w.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
+      throw std::runtime_error("ROUTE option '" + w +
+                               "' is not of the form key=value");
+    }
+    const std::string key = w.substr(0, eq);
+    const std::string value = w.substr(eq + 1);
+    if (key == "mode") {
+      if (value == "independent") {
+        cmd.opts.mode = route::NetlistMode::kIndependent;
+      } else if (value == "sequential") {
+        cmd.opts.mode = route::NetlistMode::kSequential;
+      } else {
+        throw std::runtime_error("ROUTE mode must be independent or "
+                                 "sequential, got '" + value + "'");
+      }
+    } else if (key == "threads") {
+      const unsigned long long n = parse_count(value, "ROUTE threads");
+      if (n > 1024) throw std::runtime_error("ROUTE threads: at most 1024");
+      cmd.opts.threads = static_cast<unsigned>(n);
+    } else if (key == "deadline_ms") {
+      cmd.deadline = std::chrono::milliseconds(
+          parse_count(value, "ROUTE deadline_ms"));
+    } else if (key == "sorted") {
+      if (value != "0" && value != "1") {
+        throw std::runtime_error("ROUTE sorted must be 0 or 1");
+      }
+      cmd.opts.sorted_dispatch = value == "1";
+    } else if (key == "segments") {
+      if (value != "0" && value != "1") {
+        throw std::runtime_error("ROUTE segments must be 0 or 1");
+      }
+      cmd.opts.steiner.connect_to_segments = value == "1";
+    } else {
+      throw std::runtime_error("ROUTE: unknown option '" + key + "'");
+    }
+  }
+  return cmd;
+}
+
+void write_ok(std::ostream& out, const std::string& meta,
+              const std::string& body) {
+  out << "OK " << body.size();
+  if (!meta.empty()) out << ' ' << meta;
+  out << '\n' << body;
+  out.flush();
+}
+
+void write_err(std::ostream& out, const std::string& reason) {
+  // Frame integrity: a reason with embedded newlines would fabricate extra
+  // protocol lines, so flatten them.
+  std::string flat = reason;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  out << "ERR " << flat << '\n';
+  out.flush();
+}
+
+std::size_t serve_connection(RoutingService& service, std::istream& in,
+                             std::ostream& out) {
+  std::size_t frames = 0;
+  std::string line;
+  while (read_line(in, line)) {
+    const std::vector<std::string> words = split_words(line);
+    if (words.empty()) continue;  // blank keep-alive line
+    ++frames;
+    const std::string& kw = words[0];
+
+    if (kw == "QUIT") {
+      write_ok(out, "bye", "");
+      break;
+    }
+
+    if (kw == "STATS") {
+      write_ok(out, "", service.stats_text());
+      continue;
+    }
+
+    if (kw == "LOAD") {
+      unsigned long long nbytes = 0;
+      try {
+        if (words.size() != 2) {
+          throw std::runtime_error("LOAD needs exactly one byte count");
+        }
+        nbytes = parse_count(words[1], "LOAD byte count");
+      } catch (const std::exception& e) {
+        // Without a trustworthy byte count the body length is unknown, so
+        // the stream position is lost — drop the connection rather than
+        // parse body bytes as commands.
+        write_err(out, std::string(e.what()) + " (connection out of sync)");
+        break;
+      }
+      if (nbytes > (64ull << 20)) {
+        // The count is valid, just unacceptable: skip exactly the declared
+        // body so the connection stays framed, then keep serving.
+        write_err(out, "LOAD body larger than 64 MiB");
+        in.ignore(static_cast<std::streamsize>(nbytes));
+        if (static_cast<unsigned long long>(in.gcount()) != nbytes) break;
+        continue;
+      }
+      std::string body(static_cast<std::size_t>(nbytes), '\0');
+      in.read(body.data(), static_cast<std::streamsize>(body.size()));
+      if (static_cast<unsigned long long>(in.gcount()) != nbytes) {
+        // A truncated body desynchronizes the framing; the only safe
+        // recovery is to drop the connection.
+        write_err(out, "LOAD body truncated (connection out of sync)");
+        break;
+      }
+      try {
+        bool cached = false;
+        const auto session = service.load(body, &cached);
+        std::ostringstream meta;
+        meta << "session " << session->key << " cells "
+             << session->layout.cells().size() << " nets "
+             << session->layout.nets().size() << " cached " << (cached ? 1 : 0);
+        write_ok(out, meta.str(), "");
+      } catch (const std::exception& e) {
+        write_err(out, e.what());
+      }
+      continue;
+    }
+
+    if (kw == "ROUTE") {
+      RouteRequest req;
+      try {
+        const std::size_t args_at = line.find("ROUTE") + 5;
+        const RouteCommand cmd = parse_route_command(line.substr(args_at));
+        req.session_key = cmd.session_key;
+        req.opts = cmd.opts;
+        if (cmd.deadline) {
+          req.deadline = std::chrono::steady_clock::now() + *cmd.deadline;
+        }
+      } catch (const std::exception& e) {
+        write_err(out, e.what());
+        continue;
+      }
+      RouteResponse resp = service.route(std::move(req));
+      if (!resp.ok()) {
+        write_err(out, resp.error.empty() ? to_string(resp.status)
+                                          : std::string(to_string(resp.status)) +
+                                                ": " + resp.error);
+        continue;
+      }
+      const std::string body =
+          io::write_routes_string(resp.session->layout, resp.result);
+      std::ostringstream meta;
+      meta << "routed " << resp.result.routed << " failed "
+           << resp.result.failed << " wirelength "
+           << resp.result.total_wirelength << " queue_us "
+           << resp.queue_wait.count() << " total_us " << resp.latency.count();
+      write_ok(out, meta.str(), body);
+      continue;
+    }
+
+    write_err(out, "unknown command '" + kw + "'");
+  }
+  return frames;
+}
+
+}  // namespace gcr::serve

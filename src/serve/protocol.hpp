@@ -1,0 +1,73 @@
+#pragma once
+
+#include <chrono>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "serve/routing_service.hpp"
+
+/// \file protocol.hpp
+/// The framed line protocol of the routing service.
+///
+/// Requests (one command line, LF- or CRLF-terminated; LOAD carries a byte-
+/// counted body immediately after its line):
+///
+/// ```text
+/// LOAD <nbytes>                  ; followed by exactly <nbytes> bytes of
+///                                ;   io::text_format layout
+/// ROUTE <session> [key=value]…   ; options: mode=independent|sequential
+///                                ;   threads=N  deadline_ms=N  sorted=0|1
+///                                ;   segments=0|1 (Steiner connect-to-
+///                                ;   segments; 1 is the paper's scheme)
+/// STATS                          ; service metrics
+/// QUIT                           ; close the connection
+/// ```
+///
+/// Responses are framed the same way — a status line carrying the body byte
+/// count, then the body verbatim:
+///
+/// ```text
+/// OK <nbytes> [meta]…            ; <nbytes> bytes of body follow the LF
+/// ERR <reason…>                  ; no body
+/// ```
+///
+/// `LOAD` replies `OK 0 session <key> cells <n> nets <m> cached <0|1>`.
+/// `ROUTE` replies `OK <nbytes> routed <r> failed <f> wirelength <w>
+/// queue_us <q> total_us <t>` with an io::route_dump body, or `ERR
+/// <status>` (session_not_found, rejected, deadline_expired, …).
+/// `STATS` replies `OK <nbytes>` with `key value` metric lines.
+///
+/// Byte-counted bodies make the protocol safe over any 8-bit pipe: layout
+/// text and route dumps pass through unescaped, and a desynchronized peer
+/// fails loudly at the next status line instead of silently misparsing.
+
+namespace gcr::serve {
+
+/// A parsed ROUTE command.
+struct RouteCommand {
+  std::string session_key;
+  route::NetlistOptions opts;
+  std::optional<std::chrono::milliseconds> deadline;
+};
+
+/// Parses the ROUTE argument vector (everything after the keyword).
+/// Throws std::runtime_error with token context on unknown or malformed
+/// options.
+[[nodiscard]] RouteCommand parse_route_command(const std::string& args);
+
+/// Writes one `OK` frame: status line (`OK <body.size()> <meta>`) + body.
+void write_ok(std::ostream& out, const std::string& meta,
+              const std::string& body);
+/// Writes one `ERR` frame.
+void write_err(std::ostream& out, const std::string& reason);
+
+/// Serves one connection: reads command frames from \p in, writes response
+/// frames to \p out, until QUIT, end of input, or an unrecoverable framing
+/// error (a LOAD whose body ends early).  Malformed *command lines* get an
+/// ERR response and the connection continues — one bad request must not
+/// take down a pipelined client.  Returns the number of frames served.
+std::size_t serve_connection(RoutingService& service, std::istream& in,
+                             std::ostream& out);
+
+}  // namespace gcr::serve

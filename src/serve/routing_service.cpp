@@ -1,0 +1,177 @@
+#include "serve/routing_service.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace gcr::serve {
+
+namespace {
+
+std::uint64_t micros_between(std::chrono::steady_clock::time_point a,
+                             std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+}  // namespace
+
+const char* to_string(RouteStatus s) noexcept {
+  switch (s) {
+    case RouteStatus::kOk: return "ok";
+    case RouteStatus::kSessionNotFound: return "session_not_found";
+    case RouteStatus::kRejected: return "rejected";
+    case RouteStatus::kExpired: return "deadline_expired";
+    case RouteStatus::kCancelled: return "cancelled";
+    case RouteStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+RoutingService::RoutingService(const Options& opts)
+    : cache_(opts.cache_capacity), queue_(opts.queue_capacity) {
+  const std::size_t n = route::resolve_worker_count(opts.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RoutingService::~RoutingService() {
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+  // Workers have drained the queue: every accepted promise is fulfilled.
+}
+
+std::shared_ptr<const LayoutSession> RoutingService::load(
+    const std::string& text, bool* cache_hit) {
+  return cache_.load(text, cache_hit);
+}
+
+std::future<RouteResponse> RoutingService::submit(RouteRequest req) {
+  metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
+  const auto now = std::chrono::steady_clock::now();
+
+  const auto fail_now = [&](RouteStatus status) {
+    std::promise<RouteResponse> p;
+    RouteResponse resp;
+    resp.status = status;
+    p.set_value(std::move(resp));
+    return p.get_future();
+  };
+
+  // Resolve the session at admission: an unknown handle must fail fast, not
+  // burn a queue slot and a worker wake-up.
+  std::shared_ptr<const LayoutSession> session = cache_.find(req.session_key);
+  if (session == nullptr) {
+    metrics_.requests_not_found.fetch_add(1, std::memory_order_relaxed);
+    return fail_now(RouteStatus::kSessionNotFound);
+  }
+
+  Job job;
+  job.req = std::move(req);
+  job.session = std::move(session);
+  job.submitted = now;
+  std::future<RouteResponse> fut = job.done.get_future();
+  if (!queue_.try_push(std::move(job))) {
+    // The rejected job's promise dies unfulfilled; `fut` is abandoned and a
+    // fresh immediately-completed future reports the rejection instead.
+    metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
+    return fail_now(RouteStatus::kRejected);
+  }
+  return fut;
+}
+
+RouteResponse RoutingService::route(RouteRequest req) {
+  return submit(std::move(req)).get();
+}
+
+void RoutingService::worker_loop() {
+  for (;;) {
+    std::optional<Job> job = queue_.pop();
+    if (!job) return;  // closed and drained
+
+    const auto dequeued = std::chrono::steady_clock::now();
+    RouteResponse resp;
+    resp.queue_wait = std::chrono::microseconds(
+        micros_between(job->submitted, dequeued));
+    metrics_.queue_wait.record(
+        static_cast<std::uint64_t>(resp.queue_wait.count()));
+
+    if (job->req.cancel && job->req.cancel->load(std::memory_order_relaxed)) {
+      resp.status = RouteStatus::kCancelled;
+      metrics_.requests_cancelled.fetch_add(1, std::memory_order_relaxed);
+      finish(*job, std::move(resp));
+      continue;
+    }
+    if (job->req.deadline != std::chrono::steady_clock::time_point{} &&
+        dequeued > job->req.deadline) {
+      resp.status = RouteStatus::kExpired;
+      metrics_.requests_expired.fetch_add(1, std::memory_order_relaxed);
+      finish(*job, std::move(resp));
+      continue;
+    }
+
+    try {
+      // The session's environment is injected, so this call performs no
+      // ObstacleIndex / EscapeLineSet construction — the cache already paid
+      // for both.
+      const route::NetlistRouter router(job->session->layout,
+                                        job->session->env);
+      resp.result = router.route_all(job->req.opts);
+      resp.session = job->session;
+      resp.status = RouteStatus::kOk;
+      metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+      metrics_.nets_routed.fetch_add(resp.result.routed,
+                                     std::memory_order_relaxed);
+      metrics_.nets_failed.fetch_add(resp.result.failed,
+                                     std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      resp.status = RouteStatus::kError;
+      resp.error = e.what();
+      metrics_.requests_errored.fetch_add(1, std::memory_order_relaxed);
+    }
+    finish(*job, std::move(resp));
+  }
+}
+
+void RoutingService::finish(Job& job, RouteResponse&& resp) {
+  resp.latency = std::chrono::microseconds(
+      micros_between(job.submitted, std::chrono::steady_clock::now()));
+  metrics_.latency.record(static_cast<std::uint64_t>(resp.latency.count()));
+  job.done.set_value(std::move(resp));
+}
+
+MetricsSnapshot RoutingService::snapshot() const {
+  MetricsSnapshot s;
+  s.requests_submitted =
+      metrics_.requests_submitted.load(std::memory_order_relaxed);
+  s.requests_ok = metrics_.requests_ok.load(std::memory_order_relaxed);
+  s.requests_rejected =
+      metrics_.requests_rejected.load(std::memory_order_relaxed);
+  s.requests_expired =
+      metrics_.requests_expired.load(std::memory_order_relaxed);
+  s.requests_cancelled =
+      metrics_.requests_cancelled.load(std::memory_order_relaxed);
+  s.requests_not_found =
+      metrics_.requests_not_found.load(std::memory_order_relaxed);
+  s.requests_errored =
+      metrics_.requests_errored.load(std::memory_order_relaxed);
+  s.nets_routed = metrics_.nets_routed.load(std::memory_order_relaxed);
+  s.nets_failed = metrics_.nets_failed.load(std::memory_order_relaxed);
+  s.latency_p50_us = metrics_.latency.percentile(50);
+  s.latency_p95_us = metrics_.latency.percentile(95);
+  s.latency_p99_us = metrics_.latency.percentile(99);
+  s.queue_wait_p50_us = metrics_.queue_wait.percentile(50);
+  s.queue_depth = queue_.size();
+  s.queue_capacity = queue_.capacity();
+  s.workers = workers_.size();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.cache_size = cache_.size();
+  return s;
+}
+
+std::string RoutingService::stats_text() const { return snapshot().to_text(); }
+
+}  // namespace gcr::serve

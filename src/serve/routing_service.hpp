@@ -1,0 +1,127 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/layout_session.hpp"
+#include "serve/metrics.hpp"
+
+/// \file routing_service.hpp
+/// The serving facade: a persistent worker pool draining a bounded job
+/// queue of route requests against cached layout sessions.
+///
+/// Request lifecycle:
+///   submit  -> session resolved (miss fails fast, nothing queued)
+///           -> admission through the bounded queue (full = rejected)
+///   worker  -> cancellation and deadline checked at dequeue
+///           -> NetlistRouter::route_all over the session's shared
+///              SearchEnvironment (no per-request index builds)
+///   future  -> RouteResponse with result, status, and latency breakdown
+///
+/// Deadlines and cancellation are enforced at the queue boundary: a job
+/// whose deadline passed while queued, or whose client hung up, is dropped
+/// without routing.  An in-flight route runs to completion — the router has
+/// no preemption points — so the deadline bounds *queue* time, which under
+/// saturation is where nearly all latency lives.
+
+namespace gcr::serve {
+
+enum class RouteStatus {
+  kOk,
+  kSessionNotFound,  ///< ROUTE before LOAD (or evicted session)
+  kRejected,         ///< queue full at admission
+  kExpired,          ///< deadline passed before a worker picked the job up
+  kCancelled,        ///< cancel token set before a worker picked the job up
+  kError,            ///< routing threw (bad options, internal failure)
+};
+
+[[nodiscard]] const char* to_string(RouteStatus s) noexcept;
+
+struct RouteRequest {
+  std::string session_key;
+  route::NetlistOptions opts;
+  /// Zero (default) = no deadline.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Optional cooperative cancel token; set it to true to drop the request
+  /// if it has not started routing yet.
+  std::shared_ptr<std::atomic<bool>> cancel;
+};
+
+struct RouteResponse {
+  RouteStatus status = RouteStatus::kError;
+  std::string error;  ///< populated for kError
+  /// The session the request routed against (null unless kOk); holding it
+  /// keeps the layout alive while the caller renders the route dump.
+  std::shared_ptr<const LayoutSession> session;
+  route::NetlistResult result;
+  std::chrono::microseconds queue_wait{0};  ///< submit -> dequeue
+  std::chrono::microseconds latency{0};     ///< submit -> completion
+
+  [[nodiscard]] bool ok() const noexcept { return status == RouteStatus::kOk; }
+};
+
+class RoutingService {
+ public:
+  struct Options {
+    /// 0 = one worker per hardware thread.
+    std::size_t workers = 0;
+    std::size_t queue_capacity = 64;
+    std::size_t cache_capacity = 8;
+  };
+
+  RoutingService() : RoutingService(Options{}) {}
+  explicit RoutingService(const Options& opts);
+  ~RoutingService();  ///< closes the queue and joins the pool
+
+  RoutingService(const RoutingService&) = delete;
+  RoutingService& operator=(const RoutingService&) = delete;
+
+  /// Parses + caches a layout (see SessionCache::load).  Throws
+  /// std::runtime_error on malformed or invalid layouts.
+  std::shared_ptr<const LayoutSession> load(const std::string& text,
+                                            bool* cache_hit = nullptr);
+
+  /// Non-blocking admission.  The returned future is always valid; a
+  /// request that cannot be served (unknown session, full queue) completes
+  /// immediately with the corresponding status.
+  [[nodiscard]] std::future<RouteResponse> submit(RouteRequest req);
+
+  /// Closed-loop convenience: submit and wait.
+  [[nodiscard]] RouteResponse route(RouteRequest req);
+
+  [[nodiscard]] SessionCache& sessions() noexcept { return cache_; }
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  /// The STATS response body.
+  [[nodiscard]] std::string stats_text() const;
+
+ private:
+  struct Job {
+    RouteRequest req;
+    std::shared_ptr<const LayoutSession> session;
+    std::promise<RouteResponse> done;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  void worker_loop();
+  void finish(Job& job, RouteResponse&& resp);
+
+  SessionCache cache_;
+  BoundedQueue<Job> queue_;
+  ServiceMetrics metrics_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gcr::serve

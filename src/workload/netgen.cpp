@@ -9,6 +9,8 @@
 #include <utility>
 #include <vector>
 
+#include "workload/floorplan.hpp"
+
 namespace gcr::workload {
 
 using geom::Coord;
@@ -89,6 +91,23 @@ void generate_nets(layout::Layout& lay, const NetGenOptions& opts) {
     }
     lay.add_net(std::move(net));
   }
+}
+
+layout::Layout standard_workload(std::size_t cells, geom::Coord extent,
+                                 std::size_t nets, std::uint64_t seed) {
+  FloorplanOptions fp;
+  fp.cell_count = cells;
+  fp.boundary = geom::Rect{0, 0, extent, extent};
+  fp.seed = seed;
+  layout::Layout lay = random_floorplan(fp);
+  PinGenOptions pg;
+  pg.seed = seed + 1;
+  sprinkle_pins(lay, pg);
+  NetGenOptions ng;
+  ng.seed = seed + 2;
+  ng.net_count = nets;
+  generate_nets(lay, ng);
+  return lay;
 }
 
 }  // namespace gcr::workload

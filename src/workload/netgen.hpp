@@ -42,4 +42,14 @@ struct NetGenOptions {
 /// generation quietly produces fewer nets when the layout is too small.
 void generate_nets(layout::Layout& lay, const NetGenOptions& opts = {});
 
+/// The standard synthetic routing problem used by benches, the serving
+/// tests, and the load generator: `cells` macros in an `extent`² region
+/// (random_floorplan seeded with \p seed), pins sprinkled with seed+1, and
+/// `nets` nets generated with seed+2.  One definition so the seed-offset
+/// convention cannot drift between the reference and the thing under test.
+[[nodiscard]] layout::Layout standard_workload(std::size_t cells,
+                                               geom::Coord extent,
+                                               std::size_t nets,
+                                               std::uint64_t seed);
+
 }  // namespace gcr::workload

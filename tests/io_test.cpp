@@ -102,6 +102,45 @@ TEST(TextFormat, Errors) {
   }
 }
 
+TEST(TextFormat, RejectsTruncatedAndGarbageInput) {
+  // The serving layer parses untrusted request bodies: anything that is not
+  // a complete layout must throw, never return partial state.
+  EXPECT_THROW((void)io::read_layout_string(""), io::ParseError);
+  EXPECT_THROW((void)io::read_layout_string("# only a comment\n"),
+               io::ParseError);
+  // Truncated: directives but no boundary.
+  EXPECT_THROW((void)io::read_layout_string("minsep 4\n"), io::ParseError);
+  // Degenerate or inverted boundary.
+  EXPECT_THROW((void)io::read_layout_string("boundary 0 0 0 0\n"),
+               io::ParseError);
+  EXPECT_THROW((void)io::read_layout_string("boundary 9 9 0 0\n"),
+               io::ParseError);
+  // Duplicate boundary.
+  EXPECT_THROW((void)io::read_layout_string(
+                   "boundary 0 0 9 9\nboundary 0 0 8 8\n"),
+               io::ParseError);
+  // Binary garbage: the error must carry line + a printable token.
+  try {
+    (void)io::read_layout_string(std::string("\x01\x02\xff garbage", 11));
+    FAIL() << "expected ParseError";
+  } catch (const io::ParseError& e) {
+    EXPECT_EQ(e.line(), 1u);
+    const std::string what = e.what();
+    for (const char c : what) {
+      EXPECT_TRUE(c == '\t' || (static_cast<unsigned char>(c) >= 0x20 &&
+                                static_cast<unsigned char>(c) < 0x7f))
+          << "unprintable byte in diagnostic";
+    }
+  }
+  // Error messages report how many arguments were actually supplied.
+  try {
+    (void)io::read_layout_string("boundary 1 2 3");
+    FAIL() << "expected ParseError";
+  } catch (const io::ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("got 3"), std::string::npos);
+  }
+}
+
 TEST(TextFormat, CommentsAndBlankLinesIgnored) {
   const layout::Layout lay = io::read_layout_string(
       "\n# header\nboundary 0 0 9 9\n\ncell a 1 1 3 3  # inline comment\n");

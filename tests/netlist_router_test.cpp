@@ -173,6 +173,49 @@ TEST(NetlistRouter, ParallelBatchMatchesSingleThread) {
   }
 }
 
+TEST(NetlistRouter, SortedDispatchIsBitIdentical) {
+  // Longest-first dispatch reorders only *when* nets are routed, never the
+  // result: every (sorted, threads) combination reproduces the serial
+  // arrival-order run bit-for-bit.
+  const layout::Layout lay = small_routed_layout(27, 24);
+  const route::NetlistRouter router(lay);
+
+  route::NetlistOptions serial;
+  serial.threads = 1;
+  const auto base = router.route_all(serial);
+
+  for (const bool sorted : {false, true}) {
+    route::NetlistOptions par;
+    par.threads = 4;
+    par.sorted_dispatch = sorted;
+    const auto got = router.route_all(par);
+    EXPECT_EQ(got.total_wirelength, base.total_wirelength) << sorted;
+    EXPECT_EQ(got.stats.nodes_expanded, base.stats.nodes_expanded) << sorted;
+    ASSERT_EQ(got.routes.size(), base.routes.size());
+    for (std::size_t i = 0; i < base.routes.size(); ++i) {
+      EXPECT_EQ(got.routes[i].segments, base.routes[i].segments)
+          << "net " << i << " sorted=" << sorted;
+    }
+  }
+}
+
+TEST(NetlistRouter, InjectedEnvironmentMatchesAndSkipsBuilds) {
+  // A prebuilt SearchEnvironment (the serving layer's cached session state)
+  // must yield identical results and perform zero index/escape-line builds
+  // inside route_all.
+  const layout::Layout lay = small_routed_layout(31);
+  const auto base = route::NetlistRouter(lay).route_all();
+
+  const route::SearchEnvironment env(lay);
+  const route::NetlistRouter cached_router(lay, env);
+  const std::size_t builds = route::SearchEnvironment::build_count();
+  const auto got = cached_router.route_all();
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds);
+  EXPECT_EQ(got.total_wirelength, base.total_wirelength);
+  EXPECT_EQ(got.routed, base.routed);
+  EXPECT_EQ(got.stats.nodes_expanded, base.stats.nodes_expanded);
+}
+
 TEST(NetlistRouter, ParallelAutoThreadCountRoutesEverything) {
   // threads == 0 means "one worker per hardware thread"; whatever that
   // resolves to, results must still match the serial run.

@@ -1,0 +1,382 @@
+// Tests for the serving subsystem: session cache (content addressing, LRU,
+// environment reuse), bounded job queue, worker-pool request lifecycle
+// (deadlines, cancellation, saturation), and the framed line protocol.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "core/search_environment.hpp"
+#include "io/route_dump.hpp"
+#include "io/text_format.hpp"
+#include "serve/job_queue.hpp"
+#include "serve/layout_session.hpp"
+#include "serve/protocol.hpp"
+#include "serve/routing_service.hpp"
+#include "workload/netgen.hpp"
+
+namespace {
+
+using namespace gcr;
+
+constexpr const char* kTinyLayout = R"(boundary 0 0 100 100
+minsep 4
+cell alu 10 10 30 30
+cell rom 50 50 80 80
+term alu a 30 20
+term rom d 50 70
+net n1 alu.a rom.d
+)";
+
+std::string workload_text(std::size_t cells, std::size_t nets,
+                          std::uint64_t seed) {
+  return io::write_layout_string(
+      workload::standard_workload(cells, 512, nets, seed));
+}
+
+// ------------------------------------------------------------- session cache
+
+TEST(SessionCache, HitSkipsEnvironmentConstruction) {
+  serve::SessionCache cache(4);
+  const std::string text = workload_text(9, 12, 3);
+
+  const std::size_t builds_before = route::SearchEnvironment::build_count();
+  const auto first = cache.load(text);
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds_before + 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+
+  // The acceptance check: a cache hit must perform zero ObstacleIndex /
+  // EscapeLineSet construction.
+  const auto second = cache.load(text);
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds_before + 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(second.get(), first.get());  // literally the same session
+}
+
+TEST(SessionCache, ContentAddressing) {
+  // Known FNV-1a vectors pin the hash: an accidental constant change would
+  // silently orphan every handle a client computed out-of-process.
+  EXPECT_EQ(serve::SessionCache::content_key(""), "cbf29ce484222325");
+  EXPECT_EQ(serve::SessionCache::content_key("a"), "af63dc4c8601ec8c");
+
+  const std::string a = workload_text(9, 12, 3);
+  const std::string b = workload_text(9, 12, 4);
+  EXPECT_EQ(serve::SessionCache::content_key(a),
+            serve::SessionCache::content_key(a));
+  EXPECT_NE(serve::SessionCache::content_key(a),
+            serve::SessionCache::content_key(b));
+
+  serve::SessionCache cache(4);
+  const auto sa = cache.load(a);
+  EXPECT_EQ(sa->key, serve::SessionCache::content_key(a));
+  EXPECT_EQ(cache.find(sa->key).get(), sa.get());
+  EXPECT_EQ(cache.find("0000000000000000"), nullptr);
+}
+
+TEST(SessionCache, LruEviction) {
+  serve::SessionCache cache(2);
+  const std::string a = workload_text(9, 12, 3);
+  const std::string b = workload_text(9, 12, 4);
+  const std::string c = workload_text(9, 12, 5);
+  const auto ka = cache.load(a)->key;
+  const auto kb = cache.load(b)->key;
+  (void)cache.find(ka);  // refresh a: b is now least recent
+  (void)cache.load(c);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.find(ka), nullptr);
+  EXPECT_EQ(cache.find(kb), nullptr);  // evicted
+}
+
+TEST(SessionCache, RejectsMalformedAndInvalidLayouts) {
+  serve::SessionCache cache(2);
+  EXPECT_THROW((void)cache.load("boundary 0 0 9\n"), std::runtime_error);
+  EXPECT_THROW((void)cache.load("garbage directive\n"), std::runtime_error);
+  // Parseable but violates placement rules (overlapping cells): the service
+  // must refuse to build a session rather than route a broken problem.
+  EXPECT_THROW(
+      (void)cache.load("boundary 0 0 100 100\ncell a 10 10 50 50\n"
+                       "cell b 20 20 60 60\n"),
+      std::runtime_error);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------- job queue
+
+TEST(BoundedQueue, SaturationAndClose) {
+  serve::BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: admission fails fast
+  EXPECT_EQ(q.size(), 2u);
+
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed: no admission
+  EXPECT_EQ(q.pop(), 2);        // but queued jobs drain
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), std::nullopt);  // closed + drained
+}
+
+TEST(BoundedQueue, BlockingHandoff) {
+  serve::BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(7));
+  std::thread producer([&] { EXPECT_TRUE(q.push(8)); });  // blocks while full
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), 8);
+  producer.join();
+}
+
+// ------------------------------------------------------------ route service
+
+TEST(RoutingService, MatchesDirectRouterOnCachedSession) {
+  const std::string text = workload_text(9, 12, 7);
+  const layout::Layout lay = io::read_layout_string(text);
+  const route::NetlistResult direct = route::NetlistRouter(lay).route_all();
+
+  serve::RoutingService::Options opts;
+  opts.workers = 2;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+
+  serve::RouteRequest req;
+  req.session_key = session->key;
+  const serve::RouteResponse resp = service.route(std::move(req));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp.result.total_wirelength, direct.total_wirelength);
+  EXPECT_EQ(resp.result.routed, direct.routed);
+  EXPECT_EQ(resp.result.failed, direct.failed);
+  EXPECT_GE(resp.latency.count(), resp.queue_wait.count());
+}
+
+TEST(RoutingService, ConcurrentRequestsShareOneSession) {
+  const std::string text = workload_text(9, 12, 7);
+  serve::RoutingService::Options opts;
+  opts.workers = 4;
+  opts.queue_capacity = 64;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+  const std::size_t builds_after_load = route::SearchEnvironment::build_count();
+
+  const geom::Cost expected =
+      route::NetlistRouter(session->layout, session->env)
+          .route_all()
+          .total_wirelength;
+
+  constexpr std::size_t kClients = 8;
+  constexpr std::size_t kPerClient = 4;
+  std::atomic<std::size_t> mismatches{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        serve::RouteRequest req;
+        req.session_key = session->key;
+        const serve::RouteResponse resp = service.route(std::move(req));
+        if (!resp.ok() || resp.result.total_wirelength != expected) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(mismatches.load(), 0u);
+  // The reference route and all 32 concurrent requests reused the session's
+  // environment: not one ObstacleIndex or EscapeLineSet was built after
+  // load().
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds_after_load);
+  EXPECT_EQ(service.snapshot().requests_ok, kClients * kPerClient);
+}
+
+TEST(RoutingService, UnknownSessionFailsFast) {
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  serve::RoutingService service(opts);
+  serve::RouteRequest req;
+  req.session_key = "feedfacefeedface";
+  const serve::RouteResponse resp = service.route(std::move(req));
+  EXPECT_EQ(resp.status, serve::RouteStatus::kSessionNotFound);
+  const serve::MetricsSnapshot snap = service.snapshot();
+  EXPECT_EQ(snap.requests_not_found, 1u);
+  EXPECT_EQ(snap.requests_errored, 0u);  // addressing mistake, not a failure
+}
+
+TEST(RoutingService, ExpiredDeadlineIsDroppedAtDequeue) {
+  const std::string text = workload_text(9, 12, 7);
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+
+  serve::RouteRequest req;
+  req.session_key = session->key;
+  req.deadline = std::chrono::steady_clock::now() -
+                 std::chrono::milliseconds(1);  // already expired
+  const serve::RouteResponse resp = service.route(std::move(req));
+  EXPECT_EQ(resp.status, serve::RouteStatus::kExpired);
+  EXPECT_EQ(service.snapshot().requests_expired, 1u);
+}
+
+TEST(RoutingService, CancelledRequestNeverRoutes) {
+  const std::string text = workload_text(9, 12, 7);
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+
+  serve::RouteRequest req;
+  req.session_key = session->key;
+  req.cancel = std::make_shared<std::atomic<bool>>(true);
+  const serve::RouteResponse resp = service.route(std::move(req));
+  EXPECT_EQ(resp.status, serve::RouteStatus::kCancelled);
+  EXPECT_EQ(service.snapshot().nets_routed, 0u);
+}
+
+// ------------------------------------------------------------------ protocol
+
+/// Runs a scripted connection and returns everything the service wrote.
+std::string run_protocol(const std::string& script,
+                         std::size_t workers = 1) {
+  serve::RoutingService::Options opts;
+  opts.workers = workers;
+  serve::RoutingService service(opts);
+  std::istringstream in(script);
+  std::ostringstream out;
+  serve::serve_connection(service, in, out);
+  return out.str();
+}
+
+/// Reads one framed response (status line + counted body) off \p in.
+struct Frame {
+  std::string status;
+  std::string body;
+};
+
+Frame next_frame(std::istringstream& in) {
+  Frame f;
+  EXPECT_TRUE(static_cast<bool>(std::getline(in, f.status)));
+  std::istringstream is(f.status);
+  std::string kw;
+  std::size_t nbytes = 0;
+  is >> kw;
+  if (kw == "OK" && (is >> nbytes) && nbytes > 0) {
+    f.body.resize(nbytes);
+    in.read(f.body.data(), static_cast<std::streamsize>(nbytes));
+  }
+  return f;
+}
+
+TEST(Protocol, LoadRouteStatsQuitRoundTrip) {
+  const std::string text(kTinyLayout);
+  const std::string key = serve::SessionCache::content_key(text);
+  const std::string script = "LOAD " + std::to_string(text.size()) + "\n" +
+                             text + "LOAD " + std::to_string(text.size()) +
+                             "\n" + text + "ROUTE " + key +
+                             " threads=1\nSTATS\nQUIT\n";
+  std::istringstream replies(run_protocol(script));
+
+  const Frame load1 = next_frame(replies);
+  EXPECT_NE(load1.status.find("OK 0 session " + key), std::string::npos);
+  EXPECT_NE(load1.status.find("cached 0"), std::string::npos);
+  const Frame load2 = next_frame(replies);
+  EXPECT_NE(load2.status.find("cached 1"), std::string::npos);
+
+  const Frame route = next_frame(replies);
+  ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
+  EXPECT_NE(route.status.find("routed 1 failed 0"), std::string::npos);
+  // The body is a parseable route dump that matches a direct route.
+  const layout::Layout lay = io::read_layout_string(text);
+  const route::NetlistResult direct = route::NetlistRouter(lay).route_all();
+  const route::NetlistResult parsed = io::read_routes_string(route.body, lay);
+  EXPECT_EQ(parsed.total_wirelength, direct.total_wirelength);
+  EXPECT_EQ(parsed.routed, direct.routed);
+
+  const Frame stats = next_frame(replies);
+  EXPECT_EQ(stats.status.rfind("OK ", 0), 0u);
+  EXPECT_NE(stats.body.find("requests_ok 1"), std::string::npos);
+  EXPECT_NE(stats.body.find("cache_hits"), std::string::npos);
+
+  const Frame bye = next_frame(replies);
+  EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
+TEST(Protocol, MalformedFramesGetErrNotCrash) {
+  const std::string text(kTinyLayout);
+  // Bad *command lines* are recoverable: the stream position is still at a
+  // line boundary, so the connection continues.
+  const std::string script =
+      "NONSENSE\n"                      // unknown command
+      "ROUTE\n"                         // missing session key
+      "ROUTE deadbeefdeadbeef\n"        // unknown session
+      "ROUTE k mode=banana\n"           // bad option value
+      "ROUTE k frobnicate=1\n"          // unknown option
+      "ROUTE k threads\n"               // not key=value
+      "LOAD " + std::to_string(text.size()) + "\n" + text +  // recovers
+      "QUIT\n";
+  std::istringstream replies(run_protocol(script));
+  for (int i = 0; i < 6; ++i) {
+    const Frame f = next_frame(replies);
+    EXPECT_EQ(f.status.rfind("ERR ", 0), 0u) << "frame " << i << ": "
+                                             << f.status;
+  }
+  // The connection survived six bad frames and still serves real ones.
+  const Frame load = next_frame(replies);
+  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  const Frame bye = next_frame(replies);
+  EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
+TEST(Protocol, UnframeableLoadDropsConnection) {
+  // A LOAD whose byte count cannot be parsed leaves the body length — and
+  // therefore the stream position — unknown; the connection must drop
+  // instead of parsing body bytes as commands (a QUIT inside a layout
+  // would otherwise kill a pipelined client's session).
+  for (const char* bad : {"LOAD\n", "LOAD abc\n",
+                          "LOAD 99999999999999999999\n"}) {
+    const std::string out = run_protocol(std::string(bad) + "QUIT\n");
+    EXPECT_EQ(out.rfind("ERR ", 0), 0u) << bad;
+    EXPECT_EQ(out.find("OK 0 bye"), std::string::npos)
+        << "connection continued after " << bad;
+  }
+  // An oversized but well-formed count keeps framing: the declared body is
+  // skipped and the connection continues (here the body is absent, so the
+  // skip hits EOF and the connection ends — without misparsing).
+  const std::string out = run_protocol("LOAD 67108865\nQUIT\n");
+  EXPECT_NE(out.find("larger than 64 MiB"), std::string::npos);
+}
+
+TEST(Protocol, TruncatedLoadBodyDropsConnection) {
+  // 100 declared bytes, far fewer supplied: framing is unrecoverable.
+  const std::string out = run_protocol("LOAD 100\nboundary 0 0 9 9\n");
+  EXPECT_EQ(out.rfind("ERR ", 0), 0u);
+  EXPECT_NE(out.find("truncated"), std::string::npos);
+}
+
+TEST(Protocol, ParseRouteCommand) {
+  const serve::RouteCommand cmd = serve::parse_route_command(
+      " abc123 mode=sequential threads=4 deadline_ms=250 sorted=0"
+      " segments=0");
+  EXPECT_EQ(cmd.session_key, "abc123");
+  EXPECT_EQ(cmd.opts.mode, route::NetlistMode::kSequential);
+  EXPECT_EQ(cmd.opts.threads, 4u);
+  EXPECT_FALSE(cmd.opts.sorted_dispatch);
+  EXPECT_FALSE(cmd.opts.steiner.connect_to_segments);
+  ASSERT_TRUE(cmd.deadline.has_value());
+  EXPECT_EQ(cmd.deadline->count(), 250);
+  EXPECT_THROW((void)serve::parse_route_command(""), std::runtime_error);
+  EXPECT_THROW((void)serve::parse_route_command("k deadline_ms=-1"),
+               std::runtime_error);
+}
+
+}  // namespace
