@@ -16,6 +16,8 @@
 #include "core/search_environment.hpp"
 #include "io/text_format.hpp"
 #include "serve/routing_service.hpp"
+#include "spatial/escape_lines.hpp"
+#include "spatial/obstacle_index.hpp"
 
 namespace {
 
@@ -99,8 +101,47 @@ void print_table() {
   std::printf("  environments built: %zu (cold) + %zu (100 warm loads)\n",
               static_cast<std::size_t>(1),
               static_cast<std::size_t>(builds_after - builds_before - 1));
+
+  // Cold-load anatomy: EscapeLineSet construction dominates large
+  // floorplans and is embarrassingly parallel per obstacle edge (each
+  // obstacle's lines land in preassigned slots, so every thread count is
+  // bit-identical).  Serial vs parallel build on a floorplan big enough to
+  // clear the auto-parallel threshold:
+  std::puts("cold-build anatomy (600-cell floorplan, escape-line set):");
+  const layout::Layout big = bench::make_workload(600, 8000, 1, 11);
+  const spatial::ObstacleIndex big_index(big.boundary(), big.obstacles());
+  const auto b0 = std::chrono::steady_clock::now();
+  const spatial::EscapeLineSet serial_lines(big_index, 1);
+  const auto b1 = std::chrono::steady_clock::now();
+  const spatial::EscapeLineSet parallel_lines(big_index, 0);
+  const auto b2 = std::chrono::steady_clock::now();
+  const double serial_ms =
+      std::chrono::duration<double, std::milli>(b1 - b0).count();
+  const double parallel_ms =
+      std::chrono::duration<double, std::milli>(b2 - b1).count();
+  std::printf(
+      "  serial %8.2f ms   parallel(auto) %8.2f ms   (%.2fx, %zu lines,"
+      " identical: %s)\n",
+      serial_ms, parallel_ms,
+      parallel_ms > 0 ? serial_ms / parallel_ms : 0.0,
+      parallel_lines.lines().size(),
+      serial_lines.lines() == parallel_lines.lines() ? "yes" : "NO");
   bench::rule('-', 72);
 }
+
+void BM_EscapeLineBuild(benchmark::State& state) {
+  // The cold-session-load hot spot: escape-line construction over a large
+  // floorplan, serial (threads=1) vs auto-parallel (threads=0).
+  const layout::Layout big = bench::make_workload(600, 8000, 1, 11);
+  const spatial::ObstacleIndex index(big.boundary(), big.obstacles());
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const spatial::EscapeLineSet lines(index, threads);
+    benchmark::DoNotOptimize(lines.lines().size());
+  }
+  state.SetLabel(threads == 0 ? "auto threads" : "serial");
+}
+BENCHMARK(BM_EscapeLineBuild)->Arg(1)->Arg(0);
 
 void BM_ServiceRoute(benchmark::State& state) {
   const std::string text = workload_text(25, 40, 105);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <exception>
 #include <mutex>
@@ -15,7 +16,6 @@
 namespace gcr::route {
 
 using geom::Rect;
-using geom::Segment;
 
 namespace {
 
@@ -197,22 +197,26 @@ NetlistResult NetlistRouter::route_sequential(
   result.routes.resize(layout_.nets().size());
 
   // Previously routed nets join the obstacle set (inflated by the wire
-  // spacing halo), so the index and escape lines must be rebuilt per net —
-  // part of the cost the paper's independent scheme avoids.
-  std::vector<Rect> obstacles = layout_.obstacles();
-  const std::size_t cell_obstacles = obstacles.size();
+  // spacing halo).  The environment absorbs each routed net *incrementally*
+  // (commit_route: bucket insert + localized escape-line regeneration), so
+  // sequential mode pays O(local update) per net instead of the full
+  // O(index + escape-line rebuild) the classical scheme implies — and a
+  // cached session environment can serve sequential requests too: copying
+  // the shared read-only environment is vector duplication, not a build.
+  assert((env_ == nullptr || env_->committed() == 0) &&
+         "injected environment must not carry committed wire halos");
+  SearchEnvironment env =
+      env_ != nullptr ? *env_ : SearchEnvironment(layout_);
 
   for (const std::size_t i : resolve_order(opts, layout_.nets().size())) {
-    const spatial::ObstacleIndex index(layout_.boundary(), obstacles);
-    const spatial::EscapeLineSet lines(index);
-    const SteinerNetRouter net_router(index, lines, cost_);
+    const SteinerNetRouter net_router(env.index(), env.lines(), cost_);
 
     // A net whose pins are swallowed by earlier wires' halos cannot route.
     bool pins_ok = true;
     for (const auto& pins :
          net_terminal_pins(layout_, layout_.nets()[i])) {
       for (const geom::Point& p : pins) {
-        if (!index.routable(p)) pins_ok = false;
+        if (!env.index().routable(p)) pins_ok = false;
       }
     }
     NetRoute nr;
@@ -220,14 +224,10 @@ NetlistResult NetlistRouter::route_sequential(
       nr = net_router.route_net(layout_, layout_.nets()[i], opts.steiner);
     }
     if (nr.ok) {
-      for (const Segment& s : nr.segments) {
-        obstacles.push_back(s.bounds().inflated(opts.wire_halo));
-      }
+      env.commit_route(nr.segments, opts.wire_halo);
     }
     account(result, i, std::move(nr));
   }
-  // Restore invariant for readers: obstacles beyond cell_obstacles are wires.
-  (void)cell_obstacles;
   return result;
 }
 

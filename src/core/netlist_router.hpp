@@ -79,10 +79,11 @@ class NetlistRouter {
 
   /// Injects a prebuilt environment (the serving layer's session cache):
   /// independent-mode calls reuse \p env instead of rebuilding the obstacle
-  /// index and escape lines.  \p env must have been built from \p lay's
-  /// current placement and must outlive the router.  Sequential mode still
-  /// rebuilds per net — routed wires join the obstacle set, so no immutable
-  /// environment can serve it.
+  /// index and escape lines, and sequential-mode calls start from a *copy*
+  /// of it (plain vector duplication, no build) and absorb each routed
+  /// net's wire halos via incremental `commit_route` updates.  \p env must
+  /// have been built from \p lay's current placement, hold no committed
+  /// halos, and outlive the router.
   NetlistRouter(const layout::Layout& lay, const SearchEnvironment& env,
                 const CostModel* cost = nullptr)
       : layout_(lay), cost_(cost), env_(&env) {}

@@ -9,7 +9,30 @@ std::atomic<std::size_t> g_build_count{0};
 }  // namespace
 
 SearchEnvironment::SearchEnvironment(const layout::Layout& lay)
-    : index_(lay.boundary(), lay.obstacles()), lines_(index_) {
+    : index_(lay.boundary(), lay.obstacles()),
+      lines_(index_),
+      base_obstacles_(index_.size()) {
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SearchEnvironment::commit_route(
+    const std::vector<geom::Segment>& segments, geom::Coord halo) {
+  for (const geom::Segment& s : segments) {
+    index_.insert(s.bounds().inflated(halo));
+    lines_.insert_obstacle(index_, index_.size() - 1);
+  }
+}
+
+void SearchEnvironment::rebuild() {
+  index_ = spatial::ObstacleIndex(index_.boundary(), index_.obstacles());
+  lines_ = spatial::EscapeLineSet(index_);
+  g_build_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SearchEnvironment::rebuild(const layout::Layout& lay) {
+  index_ = spatial::ObstacleIndex(lay.boundary(), lay.obstacles());
+  lines_ = spatial::EscapeLineSet(index_);
+  base_obstacles_ = index_.size();
   g_build_count.fetch_add(1, std::memory_order_relaxed);
 }
 

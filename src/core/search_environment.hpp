@@ -1,15 +1,17 @@
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "layout/layout.hpp"
 #include "spatial/escape_lines.hpp"
 #include "spatial/obstacle_index.hpp"
 
 /// \file search_environment.hpp
-/// The immutable per-layout search state shared by every independent-mode
-/// net: the obstacle index over the placed cells and the escape-line set
-/// derived from it.
+/// The per-layout search state shared by every independent-mode net — the
+/// obstacle index over the placed cells and the escape-line set derived from
+/// it — now *incrementally updatable* so sequential-mode routing can reuse
+/// it too.
 ///
 /// The paper's independent-routing scheme fixes the obstacle set for the
 /// whole netlist ("the only obstacles are the cells"), so this environment
@@ -17,15 +19,30 @@
 /// layer caches it inside a layout session and reuses it across requests,
 /// amortizing the dominant setup cost (EscapeLineSet construction) over
 /// arbitrarily many route requests.
+///
+/// Sequential-mode routing adds each routed net's wire halos to the
+/// obstacle set.  `commit_route` applies that as a *local* update — a
+/// spatial-bucket insert into the index plus localized escape-line
+/// regeneration around the new geometry — instead of rebuilding both
+/// structures from scratch per net.  The incremental state is exactly
+/// equivalent to a from-scratch build over the same obstacles (the
+/// differential tests prove bit-identical routes).  For non-local edits
+/// (placement changes, obstacle removal) there is no incremental path:
+/// call `rebuild` to invalidate and reconstruct.
 
 namespace gcr::route {
 
-/// Read-only after construction; safe to share across threads.
+/// Read-only use is safe to share across threads.  Mutation (`commit_route`,
+/// `rebuild`) requires exclusive access; sequential-mode routing therefore
+/// copies a shared environment before committing into it — a copy is plain
+/// vector duplication, far cheaper than a build (and it does not count as
+/// one in `build_count`).
 class SearchEnvironment {
  public:
   /// Builds the index and escape lines for \p lay's current placement.  The
   /// environment copies what it needs; it does not retain a reference to
-  /// \p lay, but it also does not track later mutations of the layout.
+  /// \p lay, but it also does not track later mutations of the layout (see
+  /// `rebuild`).
   explicit SearchEnvironment(const layout::Layout& lay);
 
   [[nodiscard]] const spatial::ObstacleIndex& index() const noexcept {
@@ -35,14 +52,38 @@ class SearchEnvironment {
     return lines_;
   }
 
-  /// Process-wide count of environments ever constructed.  Exists so tests
-  /// can assert that a session-cache hit really skipped ObstacleIndex and
-  /// EscapeLineSet construction (the serving layer's whole reason to exist).
+  /// Commits a routed net: every segment, inflated by \p halo (the minimum
+  /// wire spacing), joins the obstacle set via incremental insertion —
+  /// O(affected geometry), not O(full rebuild).  Equivalent to rebuilding
+  /// the environment over the extended obstacle list.
+  void commit_route(const std::vector<geom::Segment>& segments,
+                    geom::Coord halo);
+
+  /// Obstacles committed on top of the base layout (wire halos).
+  [[nodiscard]] std::size_t committed() const noexcept {
+    return index_.size() - base_obstacles_;
+  }
+
+  /// Invalidate-and-rebuild fallback for non-local edits: reconstructs both
+  /// structures from scratch over the *current* obstacle set (base cells +
+  /// committed halos).  Also re-derives the bucket-grid resolution, which
+  /// incremental inserts leave fixed.  Counts as a build.
+  void rebuild();
+
+  /// Rebuild against a new placement: discards every committed halo and all
+  /// incremental state.  Counts as a build.
+  void rebuild(const layout::Layout& lay);
+
+  /// Process-wide count of environments ever constructed or rebuilt.  Exists
+  /// so tests can assert that a session-cache hit really skipped
+  /// ObstacleIndex and EscapeLineSet construction, and that sequential-mode
+  /// incremental commits never degenerate into rebuilds.
   [[nodiscard]] static std::size_t build_count() noexcept;
 
  private:
   spatial::ObstacleIndex index_;
   spatial::EscapeLineSet lines_;
+  std::size_t base_obstacles_ = 0;
 };
 
 }  // namespace gcr::route

@@ -25,7 +25,10 @@ TrackGraph::Built TrackGraph::build(const Point& a, const Point& b) const {
 
   // Augment the layout's escape lines with the two query points' projection
   // lines (each point contributes one maximal horizontal and one maximal
-  // vertical free segment through itself).
+  // vertical free segment through itself).  The set keeps per-source records
+  // (coincident edges are not merged, for incremental updatability); the
+  // duplicates are harmless here — crossings intern to the same vertex, and
+  // parallel equal-weight edges do not change shortest path lengths.
   std::vector<EscapeLine> lines = lines_.lines();
   for (const Point& p : {a, b}) {
     const Coord w = obstacles_.trace(p, Dir::kWest).stop;

@@ -118,8 +118,10 @@ std::vector<Rect> OrthoPolygon::blocking_rects() const {
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
       if (i == j) continue;
-      const Rect& a = rects[i];
-      const Rect& b = rects[j];
+      // By value: the push_backs below can reallocate `rects`, and a
+      // reference would dangle across them (caught by ASan).
+      const Rect a = rects[i];
+      const Rect b = rects[j];
       // Vertical seam: a's right edge coincides with b's left edge.
       if (a.xhi == b.xlo) {
         const Interval ov = a.ys().intersection(b.ys());

@@ -27,6 +27,9 @@
 namespace gcr::serve {
 
 /// Immutable once constructed; shared across worker threads by shared_ptr.
+/// The environment serves independent-mode requests by reference and
+/// sequential-mode requests by copy (the router clones it and commits wire
+/// halos incrementally), so neither mode rebuilds per request.
 struct LayoutSession {
   std::string key;             ///< content hash, 16 hex digits
   layout::Layout layout;       ///< parsed, validated problem

@@ -114,7 +114,9 @@ void RoutingService::worker_loop() {
     try {
       // The session's environment is injected, so this call performs no
       // ObstacleIndex / EscapeLineSet construction — the cache already paid
-      // for both.
+      // for both.  That holds for *sequential* mode too: the router copies
+      // the shared environment and absorbs routed nets with incremental
+      // commit_route updates instead of per-net rebuilds.
       const route::NetlistRouter router(job->session->layout,
                                         job->session->env);
       resp.result = router.route_all(job->req.opts);

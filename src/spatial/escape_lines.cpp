@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <thread>
 #include <vector>
 
 namespace gcr::spatial {
@@ -14,66 +15,171 @@ using geom::Interval;
 using geom::Point;
 using geom::Rect;
 
-EscapeLineSet::EscapeLineSet(const ObstacleIndex& index) {
-  const Rect& bounds = index.boundary();
+namespace {
 
-  // Boundary edges are routable corridors too.
-  lines_.push_back(
-      {Axis::kX, bounds.ylo, bounds.xs(), EscapeLine::npos});
-  lines_.push_back(
-      {Axis::kX, bounds.yhi, bounds.xs(), EscapeLine::npos});
-  lines_.push_back(
-      {Axis::kY, bounds.xlo, bounds.ys(), EscapeLine::npos});
-  lines_.push_back(
-      {Axis::kY, bounds.xhi, bounds.ys(), EscapeLine::npos});
+/// Below this obstacle count a parallel build costs more in thread spawn
+/// than the traces are worth; measured on the bench_serve cold-load table.
+constexpr std::size_t kParallelThreshold = 256;
+/// Minimum obstacles per worker so threads do not fight over tiny chunks.
+constexpr std::size_t kParallelGrain = 64;
 
-  // Each obstacle edge extends through its corners until the extension would
-  // enter another obstacle's interior (or leave the boundary).  The edge
-  // itself is always part of the line: edges are routable hug corridors.
-  for (std::size_t i = 0; i < index.size(); ++i) {
-    const Rect& r = index.obstacles()[i];
-    // Vertical lines through left/right edges.
-    for (const Coord x : {r.xlo, r.xhi}) {
-      const Coord lo = index.trace(Point{x, r.ylo}, Dir::kSouth).stop;
-      const Coord hi = index.trace(Point{x, r.yhi}, Dir::kNorth).stop;
-      lines_.push_back({Axis::kY, x, Interval{lo, hi}, i});
-    }
-    // Horizontal lines through bottom/top edges.
-    for (const Coord y : {r.ylo, r.yhi}) {
-      const Coord lo = index.trace(Point{r.xlo, y}, Dir::kWest).stop;
-      const Coord hi = index.trace(Point{r.xhi, y}, Dir::kEast).stop;
-      lines_.push_back({Axis::kX, y, Interval{lo, hi}, i});
-    }
+std::size_t resolve_build_workers(unsigned requested, std::size_t jobs) {
+  std::size_t n = requested;
+  if (n == 0) {
+    if (jobs < kParallelThreshold) return 1;
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
   }
+  return std::max<std::size_t>(
+      1, std::min(n, jobs / std::max<std::size_t>(kParallelGrain, 1)));
+}
 
-  // Merge exact duplicates (cells aligned on the same edge coordinate).
-  std::sort(lines_.begin(), lines_.end(),
-            [](const EscapeLine& a, const EscapeLine& b) {
-              return std::tie(a.axis, a.track, a.span.lo, a.span.hi, a.source) <
-                     std::tie(b.axis, b.track, b.span.lo, b.span.hi, b.source);
-            });
-  lines_.erase(std::unique(lines_.begin(), lines_.end(),
-                           [](const EscapeLine& a, const EscapeLine& b) {
-                             return a.axis == b.axis && a.track == b.track &&
-                                    a.span == b.span;
-                           }),
-               lines_.end());
+}  // namespace
 
+void EscapeLineSet::trace_obstacle_lines(const ObstacleIndex& index,
+                                         std::size_t i) {
+  const Rect& r = index.obstacles()[i];
+  const std::size_t base = 4 + 4 * i;
+  // Vertical lines through the left/right edges, extended through the
+  // corners until blocked.  The edge itself is always part of the line:
+  // edges are routable hug corridors.
+  std::size_t slot = base;
+  for (const Coord x : {r.xlo, r.xhi}) {
+    const Coord lo = index.trace(Point{x, r.ylo}, Dir::kSouth).stop;
+    const Coord hi = index.trace(Point{x, r.yhi}, Dir::kNorth).stop;
+    lines_[slot++] = {Axis::kY, x, Interval{lo, hi}, i};
+  }
+  // Horizontal lines through the bottom/top edges.
+  for (const Coord y : {r.ylo, r.yhi}) {
+    const Coord lo = index.trace(Point{r.xlo, y}, Dir::kWest).stop;
+    const Coord hi = index.trace(Point{r.xhi, y}, Dir::kEast).stop;
+    lines_[slot++] = {Axis::kX, y, Interval{lo, hi}, i};
+  }
+}
+
+void EscapeLineSet::retrace_line(const ObstacleIndex& index,
+                                 std::size_t slot) {
+  EscapeLine& ln = lines_[slot];
+  assert(ln.source != EscapeLine::npos && "boundary lines are never clipped");
+  const Rect& r = index.obstacles()[ln.source];
+  if (ln.axis == Axis::kY) {
+    ln.span = {index.trace(Point{ln.track, r.ylo}, Dir::kSouth).stop,
+               index.trace(Point{ln.track, r.yhi}, Dir::kNorth).stop};
+  } else {
+    ln.span = {index.trace(Point{r.xlo, ln.track}, Dir::kWest).stop,
+               index.trace(Point{r.xhi, ln.track}, Dir::kEast).stop};
+  }
+}
+
+void EscapeLineSet::build_tables() {
+  vertical_by_x_.clear();
+  horizontal_by_y_.clear();
   for (std::size_t i = 0; i < lines_.size(); ++i) {
-    if (lines_[i].axis == Axis::kY) {
-      vertical_by_x_.push_back(i);
-    } else {
-      horizontal_by_y_.push_back(i);
-    }
+    (lines_[i].axis == Axis::kY ? vertical_by_x_ : horizontal_by_y_)
+        .push_back(i);
   }
-  std::sort(vertical_by_x_.begin(), vertical_by_x_.end(),
-            [this](std::size_t a, std::size_t b) {
-              return lines_[a].track < lines_[b].track;
-            });
-  std::sort(horizontal_by_y_.begin(), horizontal_by_y_.end(),
-            [this](std::size_t a, std::size_t b) {
-              return lines_[a].track < lines_[b].track;
-            });
+  // Ties broken by slot index so the table layout is deterministic (the
+  // crossings output is tie-order independent either way).
+  const auto by_track = [this](std::size_t a, std::size_t b) {
+    return lines_[a].track != lines_[b].track ? lines_[a].track < lines_[b].track
+                                              : a < b;
+  };
+  std::sort(vertical_by_x_.begin(), vertical_by_x_.end(), by_track);
+  std::sort(horizontal_by_y_.begin(), horizontal_by_y_.end(), by_track);
+}
+
+EscapeLineSet::EscapeLineSet(const ObstacleIndex& index, unsigned threads) {
+  const Rect& bounds = index.boundary();
+  const std::size_t n = index.size();
+  lines_.resize(4 + 4 * n);
+
+  // Boundary edges are routable corridors too.  They carry their full
+  // extent unconditionally — by definition, not by tracing — and
+  // insert_obstacle exempts them the same way, so both construction paths
+  // agree even when a wire halo protrudes across a boundary edge.  (A
+  // stale crossing hint there is harmless: successor candidates are always
+  // clipped to the ray's traced extent.)
+  lines_[0] = {Axis::kX, bounds.ylo, bounds.xs(), EscapeLine::npos};
+  lines_[1] = {Axis::kX, bounds.yhi, bounds.xs(), EscapeLine::npos};
+  lines_[2] = {Axis::kY, bounds.xlo, bounds.ys(), EscapeLine::npos};
+  lines_[3] = {Axis::kY, bounds.xhi, bounds.ys(), EscapeLine::npos};
+
+  // Per-obstacle slots are preassigned, so workers write disjoint ranges of
+  // lines_ against a read-only index: bit-identical for any worker count.
+  const std::size_t workers = resolve_build_workers(threads, n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) trace_obstacle_lines(index, i);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    const std::size_t chunk = (n + workers - 1) / workers;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t lo = w * chunk;
+      const std::size_t hi = std::min(n, lo + chunk);
+      if (lo >= hi) break;
+      pool.emplace_back([this, &index, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) trace_obstacle_lines(index, i);
+      });
+    }
+    for (std::thread& t : pool) t.join();
+  }
+
+  build_tables();
+}
+
+void EscapeLineSet::insert_obstacle(const ObstacleIndex& index,
+                                    std::size_t ob) {
+  assert(ob + 1 == index.size() && "insert_obstacle expects the newest obstacle");
+  assert(lines_.size() == 4 + 4 * ob &&
+         "line set out of step with the index it was built from");
+  const Rect& r = index.obstacles()[ob];
+
+  // Re-trace the existing lines the new interior can cut.  A trace result
+  // changes only if the new obstacle blocks the ray strictly earlier, which
+  // requires the line's track to lie strictly inside the newcomer's
+  // perpendicular open span and the new near edge to fall inside the old
+  // span — so candidates are a binary-searched track range whose spans touch
+  // the newcomer.  Re-tracing a candidate that did not actually change is
+  // idempotent.  Boundary lines are exempt by construction (see ctor).
+  const auto clip = [&](const std::vector<std::size_t>& table,
+                        const Interval& track_open, const Interval& hit_span) {
+    if (track_open.lo >= track_open.hi) return;  // degenerate: blocks nothing
+    const auto first = std::upper_bound(
+        table.begin(), table.end(), track_open.lo,
+        [this](Coord v, std::size_t idx) { return v < lines_[idx].track; });
+    const auto last = std::lower_bound(
+        first, table.end(), track_open.hi,
+        [this](std::size_t idx, Coord v) { return lines_[idx].track < v; });
+    for (auto it = first; it != last; ++it) {
+      const EscapeLine& ln = lines_[*it];
+      if (ln.source == EscapeLine::npos) continue;
+      if (!ln.span.overlaps(hit_span)) continue;
+      retrace_line(index, *it);
+    }
+  };
+  clip(vertical_by_x_, r.xs(), r.ys());
+  clip(horizontal_by_y_, r.ys(), r.xs());
+
+  // Append the newcomer's four lines (traced against the index that already
+  // contains it) and splice their slots into the lookup tables.
+  lines_.resize(lines_.size() + 4);
+  trace_obstacle_lines(index, ob);
+  const auto splice = [this](std::vector<std::size_t>& table,
+                             std::size_t slot) {
+    const auto at = std::upper_bound(
+        table.begin(), table.end(), slot,
+        [this](std::size_t a, std::size_t b) {
+          return lines_[a].track != lines_[b].track
+                     ? lines_[a].track < lines_[b].track
+                     : a < b;
+        });
+    table.insert(at, slot);
+  };
+  const std::size_t base = 4 + 4 * ob;
+  splice(vertical_by_x_, base);        // left edge line (Y)
+  splice(vertical_by_x_, base + 1);    // right edge line (Y)
+  splice(horizontal_by_y_, base + 2);  // bottom edge line (X)
+  splice(horizontal_by_y_, base + 3);  // top edge line (X)
 }
 
 std::vector<Coord> EscapeLineSet::crossings(const Point& from, Dir d,

@@ -19,6 +19,16 @@
 /// ray crosses an escape line, at the hug point on the blocking boundary, and
 /// at the goal-aligned projection.  This is the line-segment representation
 /// that replaces the Lee–Moore grid.
+///
+/// The set is *incrementally updatable*: `insert_obstacle` splices in the
+/// four edge lines of a newly inserted obstacle and re-traces only the lines
+/// whose free extension the new interior cuts.  To make that sound, storage
+/// keeps every source obstacle's four lines as distinct records (coincident
+/// edges are NOT merged): two obstacles sharing an edge coordinate may have
+/// identical spans today yet diverge when a later wire halo lands *between*
+/// them, so a merged record could not be split back apart.  `crossings`
+/// deduplicates emitted coordinates, so duplicate records never change
+/// routing behavior.
 
 namespace gcr::spatial {
 
@@ -44,12 +54,28 @@ class EscapeLineSet {
 
   /// Builds the escape lines of \p index: for every obstacle, the four edge
   /// lines extended until blocked; plus the four routing-boundary edges.
-  /// Duplicates (e.g. two cells sharing an edge coordinate) are merged.
-  explicit EscapeLineSet(const ObstacleIndex& index);
+  /// Construction is embarrassingly parallel per obstacle edge — each
+  /// obstacle's lines land in preassigned slots, so the result is
+  /// bit-identical for every thread count.  \p threads: 0 = one worker per
+  /// hardware thread (small sets stay serial), 1 = serial, N = at most N
+  /// (always capped so each worker keeps a minimum per-thread grain of
+  /// obstacles; tiny sets degrade to serial).
+  explicit EscapeLineSet(const ObstacleIndex& index, unsigned threads = 0);
 
+  /// Line records in a deterministic layout: the four routing-boundary lines
+  /// first, then each obstacle's four edge lines in insertion order.
+  /// Records from coincident edges are kept distinct (see file comment).
   [[nodiscard]] const std::vector<EscapeLine>& lines() const noexcept {
     return lines_;
   }
+
+  /// Incrementally accounts for obstacle \p ob, which must have just been
+  /// added to \p index (the index this set was built from, after an
+  /// `ObstacleIndex::insert`).  Re-traces the existing lines whose extension
+  /// the new interior cuts — a localized subset found by binary search —
+  /// and adds the newcomer's four edge lines.  The result is exactly the
+  /// line set a from-scratch build over \p index would produce.
+  void insert_obstacle(const ObstacleIndex& index, std::size_t ob);
 
   /// All crossings of the directed probe ray from \p from to the stop
   /// coordinate \p stop (exclusive of the origin, inclusive of the stop
@@ -60,6 +86,15 @@ class EscapeLineSet {
                                                    geom::Coord stop) const;
 
  private:
+  /// Writes obstacle \p i's four lines into their preassigned slots
+  /// (4 + 4i .. 4 + 4i + 3), traced against \p index.
+  void trace_obstacle_lines(const ObstacleIndex& index, std::size_t i);
+  /// Re-traces the span of the line in slot \p slot from its source
+  /// obstacle's corners (track and axis never change, so lookup-table order
+  /// is preserved).
+  void retrace_line(const ObstacleIndex& index, std::size_t slot);
+  void build_tables();
+
   std::vector<EscapeLine> lines_;
   // Perpendicular lookup tables sorted by track coordinate.
   std::vector<std::size_t> vertical_by_x_;    // crossed by horizontal probes

@@ -1,7 +1,7 @@
 #include "spatial/obstacle_index.hpp"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -34,11 +34,87 @@ ObstacleIndex::ObstacleIndex(Rect boundary, std::vector<Rect> obstacles)
   std::sort(by_yhi_.begin(), by_yhi_.end(), [&obs](std::size_t a, std::size_t b) {
     return obs[a].yhi > obs[b].yhi;
   });
+  build_buckets();
+}
+
+void ObstacleIndex::build_buckets() {
+  // Aim for ~1 obstacle per cell: a g x g grid with g = ceil(sqrt(n)).
+  // Sequential-mode wire halos keep inserting into this fixed grid; even if
+  // the obstacle count grows well past n, occupancy degrades gracefully (a
+  // rebuild re-derives the resolution).
+  const std::size_t n = obstacles_.size();
+  const std::size_t g = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(std::sqrt(static_cast<double>(n)))));
+  const Coord w = std::max<Coord>(1, boundary_.width());
+  const Coord h = std::max<Coord>(1, boundary_.height());
+  grid_x_ = std::min<std::size_t>(g, static_cast<std::size_t>(w));
+  grid_y_ = std::min<std::size_t>(g, static_cast<std::size_t>(h));
+  cell_w_ = (w + static_cast<Coord>(grid_x_) - 1) / static_cast<Coord>(grid_x_);
+  cell_h_ = (h + static_cast<Coord>(grid_y_) - 1) / static_cast<Coord>(grid_y_);
+  buckets_.assign(grid_x_ * grid_y_, {});
+  for (std::size_t i = 0; i < n; ++i) file_into_buckets(i);
+}
+
+std::size_t ObstacleIndex::bucket_x(Coord x) const noexcept {
+  if (x <= boundary_.xlo) return 0;
+  const std::size_t gx = static_cast<std::size_t>((x - boundary_.xlo) / cell_w_);
+  return std::min(gx, grid_x_ - 1);
+}
+
+std::size_t ObstacleIndex::bucket_y(Coord y) const noexcept {
+  if (y <= boundary_.ylo) return 0;
+  const std::size_t gy = static_cast<std::size_t>((y - boundary_.ylo) / cell_h_);
+  return std::min(gy, grid_y_ - 1);
+}
+
+void ObstacleIndex::file_into_buckets(std::size_t idx) {
+  const Rect& r = obstacles_[idx];
+  const std::size_t x0 = bucket_x(r.xlo), x1 = bucket_x(r.xhi);
+  const std::size_t y0 = bucket_y(r.ylo), y1 = bucket_y(r.yhi);
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      buckets_[gy * grid_x_ + gx].push_back(idx);
+    }
+  }
+}
+
+void ObstacleIndex::insert(const Rect& r) {
+  const std::size_t idx = obstacles_.size();
+  obstacles_.push_back(r);
+  const auto& obs = obstacles_;
+  // A default-constructed index never ran build_buckets (the building ctor
+  // did); lay the grid out now — it files the new obstacle too.
+  const bool grid_ready = !buckets_.empty();
+  if (!grid_ready) build_buckets();
+
+  // Splice into each sorted edge table; equal keys keep the new entry after
+  // existing ones (upper_bound), so insertion is deterministic.
+  const auto splice = [idx](std::vector<std::size_t>& table, auto&& less_key) {
+    table.insert(std::upper_bound(table.begin(), table.end(), idx, less_key),
+                 idx);
+  };
+  splice(by_xlo_, [&obs](std::size_t a, std::size_t b) {
+    return obs[a].xlo < obs[b].xlo;
+  });
+  splice(by_xhi_, [&obs](std::size_t a, std::size_t b) {
+    return obs[a].xhi > obs[b].xhi;
+  });
+  splice(by_ylo_, [&obs](std::size_t a, std::size_t b) {
+    return obs[a].ylo < obs[b].ylo;
+  });
+  splice(by_yhi_, [&obs](std::size_t a, std::size_t b) {
+    return obs[a].yhi > obs[b].yhi;
+  });
+  if (grid_ready) file_into_buckets(idx);
 }
 
 bool ObstacleIndex::interior(const Point& p) const {
-  return std::any_of(obstacles_.begin(), obstacles_.end(),
-                     [&p](const Rect& r) { return r.contains_open(p); });
+  if (buckets_.empty()) return false;
+  const auto& bucket = buckets_[bucket_y(p.y) * grid_x_ + bucket_x(p.x)];
+  return std::any_of(bucket.begin(), bucket.end(), [&](std::size_t i) {
+    return obstacles_[i].contains_open(p);
+  });
 }
 
 bool ObstacleIndex::routable(const Point& p) const {
@@ -46,12 +122,21 @@ bool ObstacleIndex::routable(const Point& p) const {
 }
 
 bool ObstacleIndex::segment_blocked(const Segment& s) const {
-  return std::any_of(obstacles_.begin(), obstacles_.end(),
-                     [&s](const Rect& r) { return s.pierces(r); });
+  if (buckets_.empty()) return false;
+  const Rect b = s.bounds();
+  const std::size_t x0 = bucket_x(b.xlo), x1 = bucket_x(b.xhi);
+  const std::size_t y0 = bucket_y(b.ylo), y1 = bucket_y(b.yhi);
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      for (const std::size_t i : buckets_[gy * grid_x_ + gx]) {
+        if (s.pierces(obstacles_[i])) return true;
+      }
+    }
+  }
+  return false;
 }
 
 RayHit ObstacleIndex::trace(const Point& p, Dir d) const {
-  assert(boundary_.contains(p));
   RayHit hit;
   const Axis ax = axis_of(d);
   const Axis perp = other(ax);
@@ -109,7 +194,8 @@ RayHit ObstacleIndex::trace(const Point& p, Dir d) const {
   }
 
   // A ray never travels backwards: if every blocker is behind p (possible
-  // when p hugs an edge), the stop clamps to p itself.
+  // when p hugs an edge, or when p lies outside the boundary — a wire-halo
+  // corner inflated past it), the stop clamps to p itself.
   if (sign_of(d) > 0) {
     hit.stop = std::max(hit.stop, pos);
   } else {
@@ -120,9 +206,20 @@ RayHit ObstacleIndex::trace(const Point& p, Dir d) const {
 
 std::vector<std::size_t> ObstacleIndex::query(const Rect& q) const {
   std::vector<std::size_t> out;
-  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
-    if (obstacles_[i].intersects(q)) out.push_back(i);
+  if (buckets_.empty() || q.empty()) return out;
+  const std::size_t x0 = bucket_x(q.xlo), x1 = bucket_x(q.xhi);
+  const std::size_t y0 = bucket_y(q.ylo), y1 = bucket_y(q.yhi);
+  for (std::size_t gy = y0; gy <= y1; ++gy) {
+    for (std::size_t gx = x0; gx <= x1; ++gx) {
+      for (const std::size_t i : buckets_[gy * grid_x_ + gx]) {
+        if (obstacles_[i].intersects(q)) out.push_back(i);
+      }
+    }
   }
+  // An obstacle spanning several cells is collected once per cell; callers
+  // expect ascending unique indices (the linear-scan contract).
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 

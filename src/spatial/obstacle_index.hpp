@@ -14,6 +14,14 @@
 /// means of ray-tracing is used to expand the frontiers of the search."
 /// This index realizes that idea with obstacle edge tables sorted per probe
 /// direction, so a ray-trace is a binary search plus a short forward scan.
+///
+/// The index is *incrementally updatable*: `insert` adds one obstacle (a
+/// routed wire's spacing halo, in sequential-mode routing) by splicing it
+/// into the sorted edge tables and the spatial bucket grid, so committing a
+/// routed net costs O(obstacles) table maintenance instead of a full
+/// O(n log n) rebuild.  Point/segment predicates are answered from a uniform
+/// bucket grid over the boundary rather than a linear scan, which keeps them
+/// fast as wire halos accumulate.
 
 namespace gcr::spatial {
 
@@ -33,9 +41,12 @@ struct RayHit {
   }
 };
 
-/// Immutable obstacle index.  Obstacles are closed rectangles whose *open*
-/// interiors block routing; their boundaries are routable (paths may hug
-/// cells).  The routing boundary clips all rays.
+/// Obstacle index.  Obstacles are closed rectangles whose *open* interiors
+/// block routing; their boundaries are routable (paths may hug cells).  The
+/// routing boundary clips all rays.
+///
+/// Read-only operations are safe to share across threads; `insert` requires
+/// exclusive access (sequential-mode routing mutates a private copy).
 class ObstacleIndex {
  public:
   ObstacleIndex() = default;
@@ -49,6 +60,14 @@ class ObstacleIndex {
   }
   [[nodiscard]] std::size_t size() const noexcept { return obstacles_.size(); }
 
+  /// Incrementally adds \p r as obstacle index `size()`.  Equivalent to
+  /// rebuilding the index over the extended obstacle list: every subsequent
+  /// query answers exactly as a from-scratch index would.  The rectangle may
+  /// extend past the routing boundary (wire halos inflate beyond it); the
+  /// out-of-boundary part only matters to `interior`, since rays are
+  /// boundary-clipped anyway.
+  void insert(const geom::Rect& r);
+
   /// True when \p p lies strictly inside some obstacle (an illegal position
   /// for any route point).
   [[nodiscard]] bool interior(const geom::Point& p) const;
@@ -61,17 +80,29 @@ class ObstacleIndex {
   /// interior.  Segments hugging boundaries are legal.
   [[nodiscard]] bool segment_blocked(const geom::Segment& s) const;
 
-  /// Traces a ray from \p p in direction \p d.  Precondition: \p p is
-  /// routable.  Returns where the ray stops and what stopped it.  When \p p
-  /// sits directly against a blocking edge, stop == p's own coordinate and
-  /// the ray has zero extent.
+  /// Traces a ray from \p p in direction \p d.  Returns where the ray stops
+  /// and what stopped it.  When \p p sits directly against a blocking edge,
+  /// stop == p's own coordinate and the ray has zero extent.  Origins
+  /// outside the boundary (wire-halo corners inflate past it) are legal and
+  /// clamp the same way: the ray never travels backwards, so the stop never
+  /// precedes the origin in the travel direction.
   [[nodiscard]] RayHit trace(const geom::Point& p, geom::Dir d) const;
 
   /// Obstacles whose closed extent intersects \p query (for region analyses,
-  /// e.g. congestion passage extraction).
+  /// e.g. congestion passage extraction).  Ascending obstacle index.
   [[nodiscard]] std::vector<std::size_t> query(const geom::Rect& query) const;
 
  private:
+  /// (Re)derives the bucket grid geometry from the boundary and obstacle
+  /// count, then files every obstacle.  Called by the building constructor;
+  /// `insert` files into the existing grid instead (grid resolution is fixed
+  /// at construction — the incremental path trades ideal bucket occupancy
+  /// for O(cells-covered) insertion).
+  void build_buckets();
+  void file_into_buckets(std::size_t idx);
+  [[nodiscard]] std::size_t bucket_x(geom::Coord x) const noexcept;
+  [[nodiscard]] std::size_t bucket_y(geom::Coord y) const noexcept;
+
   geom::Rect boundary_;
   std::vector<geom::Rect> obstacles_;
 
@@ -82,6 +113,15 @@ class ObstacleIndex {
   std::vector<std::size_t> by_xhi_;  // west probes (descending xhi)
   std::vector<std::size_t> by_ylo_;  // north probes
   std::vector<std::size_t> by_yhi_;  // south probes (descending yhi)
+
+  /// Uniform bucket grid over the boundary: buckets_[gy * grid_x_ + gx]
+  /// lists (ascending) the obstacles whose closed extent touches that cell.
+  /// Coordinates outside the boundary clamp to the edge cells, so obstacles
+  /// protruding past the boundary are still filed where a clamped point
+  /// lookup will find them.
+  std::size_t grid_x_ = 1, grid_y_ = 1;
+  geom::Coord cell_w_ = 1, cell_h_ = 1;
+  std::vector<std::vector<std::size_t>> buckets_;
 };
 
 }  // namespace gcr::spatial

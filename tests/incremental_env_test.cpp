@@ -1,0 +1,321 @@
+// Differential tests for the incremental SearchEnvironment: obstacle-index
+// bucket inserts and localized escape-line regeneration must be *exactly*
+// equivalent to rebuilding both structures from scratch after every change.
+// Sequential-mode netlist routing — the consumer that motivated the
+// incremental path — is checked end-to-end for bit-identical routes against
+// a reference loop that rebuilds per net, across the fuzz layout corpus.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "core/search_environment.hpp"
+#include "fuzz_env.hpp"
+#include "reference_sequential.hpp"
+#include "spatial/escape_lines.hpp"
+#include "spatial/obstacle_index.hpp"
+#include "workload/floorplan.hpp"
+#include "workload/netgen.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Coord;
+using geom::Dir;
+using geom::Point;
+using geom::Rect;
+using geom::Segment;
+
+// ------------------------------------------------------------ helpers
+
+/// Random rectangles in a `extent`^2 region; sizes skew small, like wire
+/// halos.  Overlaps are intentional: sequential-mode halos overlap cells.
+std::vector<Rect> random_rects(std::mt19937_64& rng, std::size_t count,
+                               Coord extent) {
+  std::uniform_int_distribution<Coord> pos(0, extent - 1);
+  std::uniform_int_distribution<Coord> len(0, extent / 4);
+  std::vector<Rect> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Coord x = pos(rng), y = pos(rng);
+    out.push_back(Rect{x, y, x + len(rng), y + len(rng)});
+  }
+  return out;
+}
+
+/// Asserts every observable ObstacleIndex query answers identically.
+void expect_index_equivalent(const spatial::ObstacleIndex& incremental,
+                             const spatial::ObstacleIndex& fresh,
+                             std::mt19937_64& rng, int probes) {
+  ASSERT_EQ(incremental.size(), fresh.size());
+  ASSERT_EQ(incremental.obstacles(), fresh.obstacles());
+  const Rect& b = fresh.boundary();
+  std::uniform_int_distribution<Coord> px(b.xlo, b.xhi);
+  std::uniform_int_distribution<Coord> py(b.ylo, b.yhi);
+  for (int i = 0; i < probes; ++i) {
+    const Point p{px(rng), py(rng)};
+    EXPECT_EQ(incremental.interior(p), fresh.interior(p)) << p;
+    EXPECT_EQ(incremental.routable(p), fresh.routable(p)) << p;
+    for (const Dir d : geom::kAllDirs) {
+      EXPECT_EQ(incremental.trace(p, d).stop, fresh.trace(p, d).stop)
+          << p << " dir " << static_cast<int>(d);
+    }
+    const Point q{px(rng), py(rng)};
+    if (p.x == q.x || p.y == q.y) {
+      const Segment s{p, q};
+      EXPECT_EQ(incremental.segment_blocked(s), fresh.segment_blocked(s)) << s;
+    }
+    EXPECT_EQ(incremental.query(Rect{p, q}), fresh.query(Rect{p, q}));
+  }
+}
+
+/// Asserts crossings queries answer identically from random routable probes.
+void expect_lines_equivalent(const spatial::EscapeLineSet& incremental,
+                             const spatial::EscapeLineSet& fresh,
+                             const spatial::ObstacleIndex& index,
+                             std::mt19937_64& rng, int probes) {
+  const Rect& b = index.boundary();
+  std::uniform_int_distribution<Coord> px(b.xlo, b.xhi);
+  std::uniform_int_distribution<Coord> py(b.ylo, b.yhi);
+  for (int i = 0; i < probes; ++i) {
+    const Point p{px(rng), py(rng)};
+    if (!index.routable(p)) continue;
+    for (const Dir d : geom::kAllDirs) {
+      const Coord stop = index.trace(p, d).stop;
+      EXPECT_EQ(incremental.crossings(p, d, stop),
+                fresh.crossings(p, d, stop))
+          << p << " dir " << static_cast<int>(d);
+    }
+  }
+}
+
+layout::Layout corpus_layout(std::uint64_t seed) {
+  workload::FloorplanOptions fp;
+  fp.seed = seed;
+  fp.cell_count = 6 + seed % 7;
+  fp.boundary = Rect{0, 0, 384, 384};
+  layout::Layout lay = workload::random_floorplan(fp);
+  workload::PinGenOptions pins;
+  pins.seed = seed + 1;
+  workload::sprinkle_pins(lay, pins);
+  workload::NetGenOptions ng;
+  ng.seed = seed + 2;
+  ng.net_count = 8 + seed % 9;
+  ng.max_terminals = 3;
+  workload::generate_nets(lay, ng);
+  return lay;
+}
+
+void expect_results_identical(const route::NetlistResult& got,
+                              const route::NetlistResult& want) {
+  EXPECT_EQ(got.routed, want.routed);
+  EXPECT_EQ(got.failed, want.failed);
+  EXPECT_EQ(got.total_wirelength, want.total_wirelength);
+  EXPECT_EQ(got.stats.nodes_expanded, want.stats.nodes_expanded);
+  EXPECT_EQ(got.stats.nodes_generated, want.stats.nodes_generated);
+  EXPECT_EQ(got.stats.nodes_reopened, want.stats.nodes_reopened);
+  ASSERT_EQ(got.routes.size(), want.routes.size());
+  for (std::size_t i = 0; i < want.routes.size(); ++i) {
+    EXPECT_EQ(got.routes[i].ok, want.routes[i].ok) << "net " << i;
+    EXPECT_EQ(got.routes[i].segments, want.routes[i].segments) << "net " << i;
+    EXPECT_EQ(got.routes[i].wirelength, want.routes[i].wirelength)
+        << "net " << i;
+    EXPECT_EQ(got.routes[i].stats.nodes_expanded,
+              want.routes[i].stats.nodes_expanded)
+        << "net " << i;
+  }
+}
+
+// ------------------------------------------------- ObstacleIndex::insert
+
+TEST(IncrementalIndex, InsertMatchesFromScratchBuild) {
+  std::mt19937_64 rng(0xA11CE);
+  const int iters = test::fuzz_iters(40);
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<Rect> rects = random_rects(rng, 24, 200);
+    spatial::ObstacleIndex incremental(Rect{0, 0, 200, 200}, {});
+    for (std::size_t n = 0; n < rects.size(); ++n) {
+      incremental.insert(rects[n]);
+      if (n % 5 != 0 && n + 1 != rects.size()) continue;  // spot-check
+      const spatial::ObstacleIndex fresh(
+          Rect{0, 0, 200, 200},
+          std::vector<Rect>(rects.begin(), rects.begin() + n + 1));
+      expect_index_equivalent(incremental, fresh, rng, iters);
+    }
+  }
+}
+
+TEST(IncrementalIndex, InsertIntoDefaultConstructedIndex) {
+  // A default-constructed index never built its bucket grid; the first
+  // insert must lay it out instead of writing into empty buckets (this was
+  // an ASan finding).
+  spatial::ObstacleIndex idx;
+  idx.insert(Rect{0, 0, 10, 10});
+  idx.insert(Rect{20, 0, 30, 10});
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_TRUE(idx.interior(Point{5, 5}));
+  EXPECT_FALSE(idx.interior(Point{15, 5}));
+  EXPECT_EQ(idx.query(Rect{0, 0, 40, 10}).size(), 2u);
+}
+
+TEST(IncrementalIndex, InsertAcceptsRectsBeyondBoundary) {
+  // Wire halos inflate past the routing boundary; inserts and queries must
+  // behave exactly like a from-scratch build over the same rects.
+  std::mt19937_64 rng(7);
+  spatial::ObstacleIndex incremental(Rect{0, 0, 100, 100},
+                                     {Rect{40, 40, 60, 60}});
+  incremental.insert(Rect{-5, 20, 30, 30});    // protrudes west
+  incremental.insert(Rect{90, 95, 120, 108});  // protrudes north-east
+  const spatial::ObstacleIndex fresh(
+      Rect{0, 0, 100, 100},
+      {Rect{40, 40, 60, 60}, Rect{-5, 20, 30, 30}, Rect{90, 95, 120, 108}});
+  expect_index_equivalent(incremental, fresh, rng, 200);
+  EXPECT_TRUE(incremental.interior(Point{0, 25}));  // inside the west halo
+}
+
+// -------------------------------------------- EscapeLineSet::insert_obstacle
+
+TEST(IncrementalLines, InsertMatchesFromScratchBuild) {
+  std::mt19937_64 rng(0xBEEF);
+  const int iters = test::fuzz_iters(40);
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<Rect> rects = random_rects(rng, 20, 200);
+    spatial::ObstacleIndex index(Rect{0, 0, 200, 200}, {});
+    spatial::EscapeLineSet incremental(index);
+    for (std::size_t n = 0; n < rects.size(); ++n) {
+      index.insert(rects[n]);
+      incremental.insert_obstacle(index, n);
+      if (n % 4 != 0 && n + 1 != rects.size()) continue;  // spot-check
+      const spatial::EscapeLineSet fresh(index);
+      ASSERT_EQ(incremental.lines().size(), fresh.lines().size());
+      EXPECT_EQ(incremental.lines(), fresh.lines());
+      expect_lines_equivalent(incremental, fresh, index, rng, iters);
+    }
+  }
+}
+
+// -------------------------------------------------- SearchEnvironment
+
+TEST(SearchEnvironment, CommitRouteMatchesFromScratchRebuild) {
+  std::mt19937_64 rng(11);
+  const layout::Layout lay = corpus_layout(3);
+  route::SearchEnvironment env(lay);
+
+  const std::vector<Segment> wires{
+      {Point{10, 30}, Point{120, 30}},
+      {Point{120, 30}, Point{120, 90}},
+      {Point{50, 200}, Point{50, 200}},  // degenerate via stub
+  };
+  env.commit_route(wires, 2);
+  EXPECT_EQ(env.committed(), wires.size());
+
+  std::vector<Rect> all = lay.obstacles();
+  for (const Segment& s : wires) all.push_back(s.bounds().inflated(2));
+  const spatial::ObstacleIndex fresh_index(lay.boundary(), all);
+  const spatial::EscapeLineSet fresh_lines(fresh_index);
+  expect_index_equivalent(env.index(), fresh_index, rng, 300);
+  expect_lines_equivalent(env.lines(), fresh_lines, fresh_index, rng, 300);
+}
+
+TEST(SearchEnvironment, RebuildFallbackPreservesBehavior) {
+  // rebuild() is the invalidation path for non-local edits: it re-sorts,
+  // re-buckets, and re-traces everything, and must answer identically.
+  std::mt19937_64 rng(13);
+  const layout::Layout lay = corpus_layout(5);
+  route::SearchEnvironment incremental(lay);
+  incremental.commit_route({{Point{20, 40}, Point{200, 40}}}, 1);
+
+  route::SearchEnvironment rebuilt = incremental;
+  const std::size_t builds = route::SearchEnvironment::build_count();
+  rebuilt.rebuild();
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds + 1);
+  EXPECT_EQ(rebuilt.committed(), incremental.committed());
+  expect_index_equivalent(rebuilt.index(), incremental.index(), rng, 300);
+  expect_lines_equivalent(rebuilt.lines(), incremental.lines(),
+                          incremental.index(), rng, 300);
+}
+
+TEST(SearchEnvironment, RebuildAgainstLayoutDiscardsCommits) {
+  const layout::Layout lay = corpus_layout(7);
+  route::SearchEnvironment env(lay);
+  env.commit_route({{Point{20, 40}, Point{200, 40}}}, 1);
+  ASSERT_GT(env.committed(), 0u);
+  env.rebuild(lay);
+  EXPECT_EQ(env.committed(), 0u);
+  EXPECT_EQ(env.index().size(), lay.obstacles().size());
+}
+
+TEST(SearchEnvironment, CopyDoesNotCountAsBuild) {
+  const layout::Layout lay = corpus_layout(9);
+  const route::SearchEnvironment env(lay);
+  const std::size_t builds = route::SearchEnvironment::build_count();
+  const route::SearchEnvironment copy = env;
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds);
+  EXPECT_EQ(copy.index().size(), env.index().size());
+}
+
+// ------------------------------------------ sequential-mode differential
+
+class SequentialDifferential : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SequentialDifferential, IncrementalRoutesBitIdenticalToPerNetRebuild) {
+  const layout::Layout lay = corpus_layout(GetParam());
+  ASSERT_TRUE(lay.valid());
+
+  route::NetlistOptions opts;
+  opts.mode = route::NetlistMode::kSequential;
+
+  const auto want = test::reference_sequential(lay, opts);
+  const auto got = route::NetlistRouter(lay).route_all(opts);
+  expect_results_identical(got, want);
+
+  // And through a cached (injected) environment — the serving-layer path.
+  const route::SearchEnvironment env(lay);
+  const std::size_t builds = route::SearchEnvironment::build_count();
+  const auto cached = route::NetlistRouter(lay, env).route_all(opts);
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds)
+      << "sequential mode must not rebuild when an environment is injected";
+  expect_results_identical(cached, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzCorpus, SequentialDifferential,
+                         ::testing::ValuesIn(test::fuzz_seeds(41, 17, 6)));
+
+TEST(SequentialDifferential, NonTrivialHaloAndOrder) {
+  // Wider halos force detours/failures; a custom order exercises the
+  // accounting replay.  Both must still match the reference exactly.
+  const layout::Layout lay = corpus_layout(2);
+  route::NetlistOptions opts;
+  opts.mode = route::NetlistMode::kSequential;
+  opts.wire_halo = 4;
+  opts.order.resize(lay.nets().size());
+  for (std::size_t i = 0; i < opts.order.size(); ++i) {
+    opts.order[i] = opts.order.size() - 1 - i;
+  }
+
+  const auto want = test::reference_sequential(lay, opts);
+  const auto got = route::NetlistRouter(lay).route_all(opts);
+  expect_results_identical(got, want);
+}
+
+// ----------------------------------------------- parallel line construction
+
+TEST(EscapeLineBuild, ParallelConstructionIsBitIdentical) {
+  std::mt19937_64 rng(0xCAFE);
+  // Large enough to exceed the auto-parallel threshold.
+  const std::vector<Rect> rects = random_rects(rng, 600, 4000);
+  const spatial::ObstacleIndex index(Rect{0, 0, 4000, 4000}, rects);
+  const spatial::EscapeLineSet serial(index, 1);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    const spatial::EscapeLineSet parallel(index, threads);
+    EXPECT_EQ(serial.lines(), parallel.lines()) << threads << " threads";
+  }
+  const spatial::EscapeLineSet auto_threads(index, 0);
+  EXPECT_EQ(serial.lines(), auto_threads.lines());
+}
+
+}  // namespace

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/netlist_router.hpp"
+#include "core/steiner.hpp"
+#include "layout/layout.hpp"
+#include "spatial/escape_lines.hpp"
+#include "spatial/obstacle_index.hpp"
+
+/// \file reference_sequential.hpp
+/// The pre-incremental sequential routing loop, kept verbatim as the
+/// differential-testing reference: every routed net's wire halos join the
+/// obstacle list and BOTH search structures are rebuilt from scratch before
+/// the next net.  `NetlistRouter::route_all(kSequential)` must reproduce
+/// this bit-for-bit (segments, wirelength, search stats); the tests prove
+/// it and `bench_incremental_env` prices the rebuilds it avoids.  Any
+/// change to sequential-mode semantics (pins_ok rules, halo inflation,
+/// accounting) must land here AND in the router, or the differential suite
+/// will fail — that is the point.
+
+namespace gcr::test {
+
+/// Routes \p lay sequentially with per-net from-scratch rebuilds, honouring
+/// \p opts.order (empty = netlist order) like the production router.
+inline route::NetlistResult reference_sequential(
+    const layout::Layout& lay, const route::NetlistOptions& opts) {
+  route::NetlistResult result;
+  result.routes.resize(lay.nets().size());
+  std::vector<std::size_t> order = opts.order;
+  if (order.empty()) {
+    order.resize(lay.nets().size());
+    std::iota(order.begin(), order.end(), 0);
+  }
+  std::vector<geom::Rect> obstacles = lay.obstacles();
+  for (const std::size_t i : order) {
+    const spatial::ObstacleIndex index(lay.boundary(), obstacles);
+    const spatial::EscapeLineSet lines(index);
+    const route::SteinerNetRouter net_router(index, lines);
+    bool pins_ok = true;
+    for (const auto& pins : route::net_terminal_pins(lay, lay.nets()[i])) {
+      for (const geom::Point& p : pins) {
+        if (!index.routable(p)) pins_ok = false;
+      }
+    }
+    route::NetRoute nr;
+    if (pins_ok) nr = net_router.route_net(lay, lay.nets()[i], opts.steiner);
+    if (nr.ok) {
+      for (const geom::Segment& s : nr.segments) {
+        obstacles.push_back(s.bounds().inflated(opts.wire_halo));
+      }
+      ++result.routed;
+      result.total_wirelength += nr.wirelength;
+    } else {
+      ++result.failed;
+    }
+    result.stats += nr.stats;
+    result.routes[i] = std::move(nr);
+  }
+  return result;
+}
+
+}  // namespace gcr::test

@@ -159,6 +159,40 @@ TEST(RoutingService, MatchesDirectRouterOnCachedSession) {
   EXPECT_GE(resp.latency.count(), resp.queue_wait.count());
 }
 
+TEST(RoutingService, SequentialModeServedFromCachedSession) {
+  // Sequential mode used to rebuild the ObstacleIndex and EscapeLineSet per
+  // net, which made cached sessions useless for it.  With incremental
+  // commit_route updates it starts from a *copy* of the session environment
+  // and performs zero builds — while producing exactly the direct result.
+  const std::string text = workload_text(9, 12, 7);
+  const layout::Layout lay = io::read_layout_string(text);
+  route::NetlistOptions seq;
+  seq.mode = route::NetlistMode::kSequential;
+  const route::NetlistResult direct = route::NetlistRouter(lay).route_all(seq);
+
+  serve::RoutingService::Options opts;
+  opts.workers = 2;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+  const std::size_t builds = route::SearchEnvironment::build_count();
+
+  serve::RouteRequest req;
+  req.session_key = session->key;
+  req.opts = seq;
+  const serve::RouteResponse resp = service.route(std::move(req));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds)
+      << "a cached session must serve sequential mode without env builds";
+  EXPECT_EQ(resp.result.total_wirelength, direct.total_wirelength);
+  EXPECT_EQ(resp.result.routed, direct.routed);
+  EXPECT_EQ(resp.result.failed, direct.failed);
+  ASSERT_EQ(resp.result.routes.size(), direct.routes.size());
+  for (std::size_t i = 0; i < direct.routes.size(); ++i) {
+    EXPECT_EQ(resp.result.routes[i].segments, direct.routes[i].segments)
+        << "net " << i;
+  }
+}
+
 TEST(RoutingService, ConcurrentRequestsShareOneSession) {
   const std::string text = workload_text(9, 12, 7);
   serve::RoutingService::Options opts;

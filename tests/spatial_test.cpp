@@ -162,9 +162,12 @@ TEST(EscapeLines, CrossingsExcludeOriginAndOrderByTravel) {
   EXPECT_EQ(from_edge, (std::vector<geom::Coord>{60, 100}));
 }
 
-TEST(EscapeLines, DuplicateEdgeLinesMerged) {
-  // Two blocks sharing the same left-edge x coordinate produce one merged
-  // line record per identical (axis, track, span) triple.
+TEST(EscapeLines, CoincidentEdgesKeepPerSourceRecords) {
+  // Two blocks sharing the same left-edge x coordinate keep one line record
+  // *each*: the spans coincide today, but a later incremental insert between
+  // the blocks must be able to clip them independently (a merged record
+  // could not be split back apart).  `crossings` deduplicates coordinates,
+  // so the duplicate records never change routing behavior.
   const spatial::ObstacleIndex idx(
       Rect{0, 0, 100, 100},
       {Rect{40, 10, 60, 20}, Rect{40, 70, 60, 90}});
@@ -174,7 +177,49 @@ TEST(EscapeLines, DuplicateEdgeLinesMerged) {
         return ln.axis == Axis::kY && ln.track == 40 &&
                ln.span == Interval{0, 100};
       });
-  EXPECT_EQ(count, 1);
+  EXPECT_EQ(count, 2);
+  const auto xs = lines.crossings(Point{5, 50}, Dir::kEast, 100);
+  EXPECT_EQ(std::count(xs.begin(), xs.end(), 40), 1);  // deduplicated
+}
+
+TEST(EscapeLines, IncrementalInsertSplitsCoincidentCorridors) {
+  // The un-merge scenario: both aligned blocks span x=40 with corridor
+  // [0,100]; a new obstacle landing *between* them must split the corridor
+  // into a per-source lower part ([0,40], block 0's) and upper part
+  // ([50,100], block 1's) — exactly what a from-scratch build produces.
+  spatial::ObstacleIndex idx(
+      Rect{0, 0, 100, 100},
+      {Rect{40, 10, 60, 20}, Rect{40, 70, 60, 90}});
+  spatial::EscapeLineSet lines(idx);
+
+  const Rect blocker{30, 40, 70, 50};
+  idx.insert(blocker);
+  lines.insert_obstacle(idx, 2);
+
+  const spatial::ObstacleIndex fresh(
+      Rect{0, 0, 100, 100},
+      {Rect{40, 10, 60, 20}, Rect{40, 70, 60, 90}, blocker});
+  const spatial::EscapeLineSet fresh_lines(fresh);
+
+  const auto span_at_40 = [](const spatial::EscapeLineSet& ls,
+                             std::size_t source) {
+    const auto it = std::find_if(
+        ls.lines().begin(), ls.lines().end(), [source](const auto& ln) {
+          return ln.axis == Axis::kY && ln.track == 40 && ln.source == source;
+        });
+    return it == ls.lines().end() ? Interval{} : it->span;
+  };
+  EXPECT_EQ(span_at_40(lines, 0), (Interval{0, 40}));
+  EXPECT_EQ(span_at_40(lines, 1), (Interval{50, 100}));
+  EXPECT_EQ(span_at_40(lines, 0), span_at_40(fresh_lines, 0));
+  EXPECT_EQ(span_at_40(lines, 1), span_at_40(fresh_lines, 1));
+
+  // Crossing queries agree with the from-scratch build on both sides.
+  for (const geom::Coord y : {15, 45, 75}) {
+    EXPECT_EQ(lines.crossings(Point{5, y}, Dir::kEast, 100),
+              fresh_lines.crossings(Point{5, y}, Dir::kEast, 100))
+        << "y=" << y;
+  }
 }
 
 }  // namespace
