@@ -16,13 +16,25 @@
 //   in-process reference route of the same layout, so this doubles as the
 //   protocol round-trip test.
 //
+//   --server PATH --tcp: forks PATH with --listen 0, parses the bound port
+//   from its banner, and opens N *concurrent TCP connections* (one per
+//   client thread), each issuing closed-loop ROUTEs against the shared
+//   session.  Every response is cross-checked against the in-process
+//   reference and per-client latency percentiles plus an aggregate
+//   histogram are reported; at the end the server is sent SIGINT and must
+//   drain and exit cleanly.  This is the end-to-end proof of the epoll
+//   front-end: many clients, one worker pool, zero mismatches.
+//
 //   $ gcr_loadgen --clients 8 --requests 16 --workers 4
 //   $ gcr_loadgen --server ./example_gcr_serve --requests 8
+//   $ gcr_loadgen --server ./example_gcr_serve --tcp --clients 16
 //
 // The workload is a seeded workload::floorplan netlist, so runs are
 // reproducible and the reference comparison is exact.
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,12 +47,14 @@
 #include "core/netlist_router.hpp"
 #include "io/route_dump.hpp"
 #include "io/text_format.hpp"
+#include "net/socket.hpp"
 #include "serve/fd_stream.hpp"
 #include "serve/protocol.hpp"
 #include "serve/routing_service.hpp"
 #include "workload/netgen.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -56,6 +70,7 @@ using namespace gcr;
 struct Config {
   std::string server;  // empty = in-process
   bool pipe_transport = false;
+  bool tcp = false;  // fork the server with --listen and fan out over TCP
   std::size_t clients = 4;
   std::size_t requests = 8;  // per client
   std::size_t workers = 0;   // 0 = hardware threads
@@ -68,7 +83,7 @@ struct Config {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--server PATH [--transport socket|pipe]]\n"
+      "usage: %s [--server PATH [--transport socket|pipe] [--tcp]]\n"
       "       [--clients N] [--requests N] [--workers N]\n"
       "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n",
       argv0);
@@ -360,11 +375,225 @@ int run_against_server(const Config& cfg, const std::string& layout_text,
   return failures == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------------ TCP fan-out
+
+struct TcpChild {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+/// Forks \p cfg.server with `--listen 0` and parses the bound port from its
+/// stdout banner ("gcr_serve: listening on 127.0.0.1:<port>").
+TcpChild spawn_tcp_server(const Config& cfg) {
+  TcpChild child;
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) return child;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    return child;
+  }
+  if (pid == 0) {
+    ::dup2(out_pipe[1], 1);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<std::string> args{cfg.server, "--workers",
+                                  std::to_string(cfg.workers), "--listen",
+                                  "0"};
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  ::close(out_pipe[1]);
+  std::string banner;
+  char c = 0;
+  while (banner.find('\n') == std::string::npos &&
+         ::read(out_pipe[0], &c, 1) == 1) {
+    banner.push_back(c);
+  }
+  ::close(out_pipe[0]);
+  const std::size_t colon = banner.rfind(':');
+  if (colon != std::string::npos) {
+    const long port = std::strtol(banner.c_str() + colon + 1, nullptr, 10);
+    if (port > 0 && port <= 65535) {
+      child.pid = pid;
+      child.port = static_cast<std::uint16_t>(port);
+      return child;
+    }
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return child;
+}
+
+/// Nearest-rank percentile of an (unsorted) latency sample, microseconds:
+/// the ceil(q/100 * N)-th smallest value.
+double percentile_us(std::vector<double>& v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto nth = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(v.size())));
+  return v[nth == 0 ? 0 : std::min(v.size(), nth) - 1];
+}
+
+int run_tcp(const Config& cfg, const std::string& layout_text,
+            const layout::Layout& lay, const route::NetlistResult& reference) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const TcpChild child = spawn_tcp_server(cfg);
+  if (child.pid < 0) {
+    std::fprintf(stderr, "loadgen: cannot spawn %s --listen 0\n",
+                 cfg.server.c_str());
+    return 1;
+  }
+  std::printf("spawned %s (pid %d) listening on 127.0.0.1:%u\n",
+              cfg.server.c_str(), static_cast<int>(child.pid),
+              static_cast<unsigned>(child.port));
+
+  struct ClientResult {
+    std::size_t ok = 0;
+    std::size_t bad = 0;
+    std::vector<double> lat_us;
+    std::string first_error;
+  };
+  std::vector<ClientResult> results(cfg.clients);
+  const std::string key = serve::SessionCache::content_key(layout_text);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.clients);
+    for (std::size_t c = 0; c < cfg.clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientResult& res = results[c];
+        const auto fail = [&res](const std::string& why) {
+          ++res.bad;
+          if (res.first_error.empty()) res.first_error = why;
+        };
+        try {
+          const net::ScopedFd sock = net::tcp_connect(child.port);
+          serve::FdTransport transport(sock.get());
+          std::istream& in = transport.in();
+          std::ostream& out = transport.out();
+
+          const Reply loaded = transact(
+              out, in, "LOAD " + std::to_string(layout_text.size()),
+              layout_text);
+          if (!loaded.ok) {
+            fail("LOAD: " + loaded.error);
+            return;
+          }
+          std::string route_line = "ROUTE " + key;
+          if (cfg.deadline_ms >= 0) {
+            route_line += " deadline_ms=" + std::to_string(cfg.deadline_ms);
+          }
+          for (std::size_t q = 0; q < cfg.requests; ++q) {
+            const auto r0 = std::chrono::steady_clock::now();
+            const Reply r = transact(out, in, route_line);
+            res.lat_us.push_back(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - r0)
+                    .count());
+            if (!r.ok) {
+              fail("ROUTE: " + r.error);
+              continue;
+            }
+            try {
+              const route::NetlistResult parsed =
+                  io::read_routes_string(r.body, lay);
+              if (parsed.total_wirelength != reference.total_wirelength ||
+                  parsed.routed != reference.routed) {
+                fail("ROUTE result mismatch vs reference");
+              } else {
+                ++res.ok;
+              }
+            } catch (const std::exception& e) {
+              fail(std::string("dump unparsable: ") + e.what());
+            }
+          }
+          const Reply bye = transact(out, in, "QUIT");
+          if (!bye.ok) fail("QUIT: " + bye.error);
+        } catch (const std::exception& e) {
+          fail(e.what());
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  const double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+
+  std::size_t ok = 0, bad = 0;
+  std::vector<double> all_us;
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    ok += results[c].ok;
+    bad += results[c].bad;
+    all_us.insert(all_us.end(), results[c].lat_us.begin(),
+                  results[c].lat_us.end());
+  }
+  std::printf("%zu TCP round trips (%zu connections x %zu), %.3f s, "
+              "%.1f req/s, %zu mismatched/failed\n",
+              ok + bad, cfg.clients, cfg.requests, secs,
+              secs > 0 ? static_cast<double>(ok + bad) / secs : 0.0, bad);
+
+  // Per-client latency: every connection must see service, not just the
+  // aggregate — a starved client hides inside a global histogram.
+  std::printf("  %-8s %8s %10s %10s %10s\n", "client", "reqs", "p50_us",
+              "p95_us", "max_us");
+  for (std::size_t c = 0; c < cfg.clients; ++c) {
+    std::vector<double>& v = results[c].lat_us;
+    const double mx = v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+    std::printf("  %-8zu %8zu %10.0f %10.0f %10.0f\n", c, v.size(),
+                percentile_us(v, 50), percentile_us(v, 95), mx);
+    if (!results[c].first_error.empty()) {
+      std::printf("           first error: %s\n",
+                  results[c].first_error.c_str());
+    }
+  }
+  // Aggregate histogram in power-of-two microsecond buckets.
+  if (!all_us.empty()) {
+    std::vector<std::size_t> buckets;
+    for (const double us : all_us) {
+      std::size_t b = 0;
+      while ((1u << b) < us && b < 31) ++b;
+      if (buckets.size() <= b) buckets.resize(b + 1, 0);
+      ++buckets[b];
+    }
+    std::printf("  latency histogram (us, all clients):\n");
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      if (buckets[b] == 0) continue;
+      std::printf("    <= %8u : %zu\n", 1u << b, buckets[b]);
+    }
+  }
+
+  // Graceful shutdown: SIGINT must drain and exit 0.
+  int failures = static_cast<int>(bad);
+  ::kill(child.pid, SIGINT);
+  int status = 0;
+  ::waitpid(child.pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "server did not shut down cleanly (status %d)\n",
+                 status);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 #else  // !GCR_LOADGEN_HAVE_FORK
 
 int run_against_server(const Config&, const std::string&,
                        const layout::Layout&, const route::NetlistResult&) {
   std::fprintf(stderr, "--server requires a POSIX platform\n");
+  return 1;
+}
+
+int run_tcp(const Config&, const std::string&, const layout::Layout&,
+            const route::NetlistResult&) {
+  std::fprintf(stderr, "--tcp requires a POSIX platform\n");
   return 1;
 }
 
@@ -397,6 +626,8 @@ int main(int argc, char** argv) {
       if (t != "socket" && t != "pipe") return usage(argv[0]);
       cfg.pipe_transport = t == "pipe";
       ++i;
+    } else if (arg == "--tcp") {
+      cfg.tcp = true;
     } else if (arg == "--clients" && number(1024, &n)) {
       cfg.clients = std::max<std::size_t>(n, 1);
     } else if (arg == "--requests" && number(1 << 20, &n)) {
@@ -429,7 +660,14 @@ int main(int argc, char** argv) {
                 static_cast<long long>(reference.total_wirelength),
                 reference.routed, reference.failed);
 
-    if (cfg.server.empty()) return run_inproc(cfg, text, reference);
+    if (cfg.server.empty()) {
+      if (cfg.tcp) {
+        std::fprintf(stderr, "--tcp needs --server PATH\n");
+        return usage(argv[0]);
+      }
+      return run_inproc(cfg, text, reference);
+    }
+    if (cfg.tcp) return run_tcp(cfg, text, lay, reference);
     return run_against_server(cfg, text, lay, reference);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "loadgen: fatal: %s\n", e.what());

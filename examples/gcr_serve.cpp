@@ -1,35 +1,57 @@
 // gcr_serve — the routing daemon: speaks the framed line protocol of
-// serve/protocol.hpp over stdin/stdout (the pipe transport) or over an
-// inherited descriptor (the socketpair transport), backed by a persistent
-// worker pool and a content-addressed layout-session cache.
+// serve/protocol.hpp over stdin/stdout (the pipe transport), over an
+// inherited descriptor (the socketpair transport), or — the multi-client
+// mode — over TCP via the epoll front-end (src/net/), all backed by one
+// persistent worker pool and a content-addressed layout-session cache.
 //
 //   $ gcr_serve [options]
-//     --workers N    routing worker threads (0 = one per hardware thread)
-//     --queue N      bounded job-queue capacity      (default 64)
-//     --cache N      layout-session cache capacity   (default 8)
-//     --fd FD        serve a bidirectional descriptor (e.g. one end of a
-//                    socketpair) instead of stdin/stdout
+//     --workers N      routing worker threads (0 = one per hardware thread)
+//     --queue N        bounded job-queue capacity      (default 64)
+//     --cache N        layout-session cache capacity   (default 8)
+//     --fd FD          serve a bidirectional descriptor (e.g. one end of a
+//                      socketpair) instead of stdin/stdout
+//     --listen PORT    serve many concurrent TCP clients on 127.0.0.1:PORT
+//                      (0 = kernel-assigned; the bound port is printed as
+//                      "gcr_serve: listening on 127.0.0.1:<port>")
+//     --max-conns N    TCP mode: concurrent connection cap (default 256)
+//     --high-water N   TCP mode: per-connection outbound bytes past which
+//                      reads are suspended (slow-client backpressure)
+//     --hard-cap N     TCP mode: outbound bytes past which a slow client
+//                      is dropped
 //
 // A session survives across requests: LOAD once, ROUTE many times — every
-// ROUTE reuses the session's prebuilt obstacle index and escape lines.
+// ROUTE reuses the session's prebuilt obstacle index and escape lines.  In
+// TCP mode SIGINT/SIGTERM shut down gracefully: the listener closes,
+// in-flight jobs drain and flush, then the loop exits (a second signal
+// force-closes lingering connections).
 //
 //   $ printf 'LOAD 47\nboundary 0 0 64 64\ncell a 8 8 24 24\n...' | gcr_serve
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <iostream>
 
+#include "net/event_loop.hpp"
 #include "serve/fd_stream.hpp"
 #include "serve/protocol.hpp"
 #include "serve/routing_service.hpp"
 
 namespace {
 
+gcr::net::EventLoop* g_loop = nullptr;
+
+extern "C" void on_shutdown_signal(int) {
+  if (g_loop != nullptr) g_loop->stop();  // async-signal-safe
+}
+
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--workers N] [--queue N] [--cache N] [--fd FD]\n",
+               "usage: %s [--workers N] [--queue N] [--cache N] [--fd FD]\n"
+               "       [--listen PORT [--max-conns N] [--high-water BYTES]\n"
+               "        [--hard-cap BYTES]]\n",
                argv0);
   return 2;
 }
@@ -48,7 +70,9 @@ int main(int argc, char** argv) {
   using namespace gcr;
 
   serve::RoutingService::Options opts;
+  net::EventLoopOptions lopts;
   long fd = -1;
+  long listen_port = -1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
@@ -67,13 +91,60 @@ int main(int argc, char** argv) {
     } else if (arg == "--fd" && v != nullptr && parse_size(v, 1 << 20, &parsed)) {
       fd = static_cast<long>(parsed);
       ++i;
+    } else if (arg == "--listen" && v != nullptr &&
+               parse_size(v, 65535, &parsed)) {
+      listen_port = static_cast<long>(parsed);
+      ++i;
+    } else if (arg == "--max-conns" && v != nullptr &&
+               parse_size(v, 1 << 16, &parsed) && parsed > 0) {
+      lopts.max_connections = parsed;
+      ++i;
+    } else if (arg == "--high-water" && v != nullptr &&
+               parse_size(v, 1ull << 30, &parsed) && parsed > 0) {
+      lopts.write_high_water = parsed;
+      ++i;
+    } else if (arg == "--hard-cap" && v != nullptr &&
+               parse_size(v, 1ull << 31, &parsed) && parsed > 0) {
+      lopts.write_hard_cap = parsed;
+      ++i;
     } else {
       return usage(argv[0]);
     }
   }
+  if (lopts.write_hard_cap < lopts.write_high_water) {
+    std::fprintf(stderr, "gcr_serve: --hard-cap must be >= --high-water\n");
+    return 2;
+  }
 
   try {
     serve::RoutingService service(opts);
+
+    if (listen_port >= 0) {
+      lopts.port = static_cast<std::uint16_t>(listen_port);
+      net::EventLoop loop(service, lopts);
+      g_loop = &loop;
+      std::signal(SIGINT, on_shutdown_signal);
+      std::signal(SIGTERM, on_shutdown_signal);
+      std::signal(SIGPIPE, SIG_IGN);
+      // The banner is the contract with spawners (gcr_loadgen --tcp, the CI
+      // smoke job): parse the bound port from stdout when --listen 0.
+      std::printf("gcr_serve: listening on 127.0.0.1:%u\n",
+                  static_cast<unsigned>(loop.port()));
+      std::fflush(stdout);
+      loop.run();
+      g_loop = nullptr;
+      const net::EventLoopStats& s = loop.stats();
+      std::fprintf(stderr,
+                   "gcr_serve: drained: %llu conns, %llu commands, "
+                   "%llu suspended, %llu dropped slow, %llu dropped error\n",
+                   static_cast<unsigned long long>(s.accepted.load()),
+                   static_cast<unsigned long long>(s.commands.load()),
+                   static_cast<unsigned long long>(s.reads_suspended.load()),
+                   static_cast<unsigned long long>(s.dropped_slow.load()),
+                   static_cast<unsigned long long>(s.dropped_error.load()));
+      return 0;
+    }
+
     std::size_t frames = 0;
     if (fd >= 0) {
       serve::FdTransport transport(static_cast<int>(fd));

@@ -21,6 +21,24 @@ namespace {
 
 std::vector<std::size_t> resolve_order(const NetlistOptions& opts,
                                        std::size_t n) {
+  if (!opts.subset.empty()) {
+    // A subset request routes exactly the listed nets; accounting and (in
+    // sequential mode) routing follow list order, so the list doubles as
+    // the order and combining it with `order` would be ambiguous.
+    if (!opts.order.empty()) {
+      throw std::invalid_argument(
+          "NetlistOptions: subset and order are mutually exclusive");
+    }
+    std::vector<bool> seen(n, false);
+    for (const std::size_t i : opts.subset) {
+      if (i >= n || seen[i]) {
+        throw std::invalid_argument(
+            "NetlistOptions::subset entries must be unique net indices");
+      }
+      seen[i] = true;
+    }
+    return opts.subset;
+  }
   if (!opts.order.empty()) {
     // A non-permutation order would double-route some nets and skip others
     // — and with the parallel batch driver, a duplicate index would let two

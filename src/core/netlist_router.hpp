@@ -39,6 +39,15 @@ struct NetlistOptions {
   /// meaningful in sequential mode — the paper's point is that independent
   /// routing makes this knob irrelevant.
   std::vector<std::size_t> order;
+  /// Optional net subset: when non-empty, only the listed nets are routed
+  /// (in list order for sequential mode); every other slot of
+  /// `NetlistResult::routes` stays default-constructed and the
+  /// routed/failed/wirelength totals cover the subset alone.  This is the
+  /// serving layer's request-batching hook — a client re-routes the two
+  /// nets it changed instead of the whole netlist.  Entries must be unique,
+  /// in-range net indices, and `order` must be empty (the subset *is* the
+  /// order); violations throw std::invalid_argument.
+  std::vector<std::size_t> subset;
   /// Worker threads for the independent-mode batch driver.  1 = the
   /// deterministic serial loop; 0 = one worker per hardware thread; N > 1 =
   /// exactly N workers.  Because independent nets share a read-only search

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -29,14 +28,20 @@ std::vector<std::vector<Point>> net_terminal_pins(const layout::Layout& lay,
   return out;
 }
 
-std::vector<Point> SteinerNetRouter::connection_points(
-    const std::vector<Point>& connected_pins, const std::vector<Segment>& tree,
-    const std::vector<Point>& goals, bool segments_allowed) const {
-  std::unordered_set<Point> set(connected_pins.begin(), connected_pins.end());
+void SteinerNetRouter::connection_points(
+    ConnectScratch& scratch, const std::vector<Point>& connected_pins,
+    const std::vector<Segment>& tree, bool segments_allowed) const {
+  // Gather candidates (duplicates and all) into the reused vector, then
+  // sort + unique.  The result must be sorted for deterministic seeding
+  // anyway, so deduplicating through a hash set was pure overhead — and
+  // the per-step set/vector churn showed up in every multi-terminal net.
+  std::vector<Point>& src = scratch.sources;
+  src.clear();  // keeps capacity across tree-growth steps
+  src.insert(src.end(), connected_pins.begin(), connected_pins.end());
   if (segments_allowed) {
     for (const Segment& s : tree) {
-      set.insert(s.a);
-      set.insert(s.b);
+      src.push_back(s.a);
+      src.push_back(s.b);
       if (s.degenerate()) continue;
       // Escape-line crossings along the segment: the departure points the
       // line search could use anyway, realized as explicit sources.
@@ -47,16 +52,15 @@ std::vector<Point> SteinerNetRouter::connection_points(
       for (const Coord c : lines_.crossings(s.a, d, s.b.along(ax))) {
         Point q = s.a;
         q.along(ax) = c;
-        set.insert(q);
+        src.push_back(q);
       }
       // Perpendicular projections of the remaining goals: the closest legal
       // departure toward each target pin.
-      for (const Point& g : goals) set.insert(s.closest_point(g));
+      for (const Point& g : scratch.goals) src.push_back(s.closest_point(g));
     }
   }
-  std::vector<Point> out(set.begin(), set.end());
-  std::sort(out.begin(), out.end());  // deterministic seeding order
-  return out;
+  std::sort(src.begin(), src.end());  // deterministic seeding order
+  src.erase(std::unique(src.begin(), src.end()), src.end());
 }
 
 NetRoute SteinerNetRouter::route_terminals(
@@ -76,16 +80,18 @@ NetRoute SteinerNetRouter::route_terminals(
   std::size_t remaining = terminals.size() - 1;
 
   out.ok = true;
+  ConnectScratch scratch;  // buffers live across the tree-growth steps
   while (remaining > 0) {
-    std::vector<Point> goals;
+    scratch.goals.clear();
     for (std::size_t t = 0; t < terminals.size(); ++t) {
       if (joined[t]) continue;
-      goals.insert(goals.end(), terminals[t].begin(), terminals[t].end());
+      scratch.goals.insert(scratch.goals.end(), terminals[t].begin(),
+                           terminals[t].end());
     }
-    const std::vector<Point> sources = connection_points(
-        connected_pins, out.segments, goals, opts.connect_to_segments);
+    connection_points(scratch, connected_pins, out.segments,
+                      opts.connect_to_segments);
 
-    Route conn = router_.route_set(sources, goals, opts.route);
+    Route conn = router_.route_set(scratch.sources, scratch.goals, opts.route);
     out.stats += conn.stats;
     if (!conn.found) {
       out.ok = false;

@@ -56,14 +56,27 @@ class SteinerNetRouter {
   }
 
  private:
+  /// Reusable workspace for one route_terminals call: connection_points
+  /// used to rebuild a dedup hash set, a source vector, and a goal vector
+  /// on *every* tree-growth step, and those steps are the hot path of
+  /// every multi-terminal net (and, via the serving layer, of every
+  /// request).  Carrying the buffers across steps keeps their capacity
+  /// instead of reallocating per step.  Local to each call, so the router
+  /// itself stays const-shared across the batch driver's threads.
+  struct ConnectScratch {
+    std::vector<geom::Point> sources;
+    std::vector<geom::Point> goals;
+  };
+
   /// The finite realization of "all line segments are potential connection
   /// points": pins already connected, segment endpoints, escape-line
   /// crossings on each segment, and each goal pin's perpendicular
-  /// projection onto each segment.
-  [[nodiscard]] std::vector<geom::Point> connection_points(
-      const std::vector<geom::Point>& connected_pins,
-      const std::vector<geom::Segment>& tree,
-      const std::vector<geom::Point>& goals, bool segments_allowed) const;
+  /// projection onto each segment.  Fills \p scratch.sources (sorted for
+  /// deterministic seeding) from \p scratch.goals and the tree.
+  void connection_points(ConnectScratch& scratch,
+                         const std::vector<geom::Point>& connected_pins,
+                         const std::vector<geom::Segment>& tree,
+                         bool segments_allowed) const;
 
   GridlessRouter router_;
   const spatial::EscapeLineSet& lines_;

@@ -12,21 +12,29 @@ namespace gcr::io {
 using geom::Point;
 using geom::Segment;
 
+namespace {
+
+void write_one_route(std::ostream& out, const layout::Layout& lay,
+                     const route::NetlistResult& result, std::size_t n) {
+  const route::NetRoute& nr = result.routes[n];
+  const std::string& name = n < lay.nets().size() ? lay.nets()[n].name() : "?";
+  if (!nr.ok) {
+    out << "route " << name << " failed\n";
+    return;
+  }
+  out << "route " << name << " ok wirelength " << nr.wirelength << '\n';
+  for (const Segment& s : nr.segments) {
+    out << "seg " << s.a.x << ' ' << s.a.y << ' ' << s.b.x << ' ' << s.b.y
+        << '\n';
+  }
+}
+
+}  // namespace
+
 void write_routes(std::ostream& out, const layout::Layout& lay,
                   const route::NetlistResult& result) {
   for (std::size_t n = 0; n < result.routes.size(); ++n) {
-    const route::NetRoute& nr = result.routes[n];
-    const std::string& name =
-        n < lay.nets().size() ? lay.nets()[n].name() : "?";
-    if (!nr.ok) {
-      out << "route " << name << " failed\n";
-      continue;
-    }
-    out << "route " << name << " ok wirelength " << nr.wirelength << '\n';
-    for (const Segment& s : nr.segments) {
-      out << "seg " << s.a.x << ' ' << s.a.y << ' ' << s.b.x << ' ' << s.b.y
-          << '\n';
-    }
+    write_one_route(out, lay, result, n);
   }
 }
 
@@ -34,6 +42,22 @@ std::string write_routes_string(const layout::Layout& lay,
                                 const route::NetlistResult& result) {
   std::ostringstream os;
   write_routes(os, lay, result);
+  return os.str();
+}
+
+void write_routes(std::ostream& out, const layout::Layout& lay,
+                  const route::NetlistResult& result,
+                  const std::vector<std::size_t>& nets) {
+  for (const std::size_t n : nets) {
+    if (n < result.routes.size()) write_one_route(out, lay, result, n);
+  }
+}
+
+std::string write_routes_string(const layout::Layout& lay,
+                                const route::NetlistResult& result,
+                                const std::vector<std::size_t>& nets) {
+  std::ostringstream os;
+  write_routes(os, lay, result, nets);
   return os.str();
 }
 

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "core/netlist_router.hpp"
 #include "layout/layout.hpp"
@@ -24,6 +26,16 @@ void write_routes(std::ostream& out, const layout::Layout& lay,
                   const route::NetlistResult& result);
 [[nodiscard]] std::string write_routes_string(const layout::Layout& lay,
                                               const route::NetlistResult& result);
+
+/// Writes only the listed nets (in list order) — the dump of a
+/// subset-routing request (`NetlistOptions::subset`), where unlisted slots
+/// of \p result were never attempted and must not be reported as failures.
+void write_routes(std::ostream& out, const layout::Layout& lay,
+                  const route::NetlistResult& result,
+                  const std::vector<std::size_t>& nets);
+[[nodiscard]] std::string write_routes_string(
+    const layout::Layout& lay, const route::NetlistResult& result,
+    const std::vector<std::size_t>& nets);
 
 /// Parses a dump produced by write_routes.  The layout provides net count
 /// and names; mismatched names or malformed lines throw ParseError (see

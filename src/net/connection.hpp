@@ -1,0 +1,147 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/frame_parser.hpp"
+#include "net/socket.hpp"
+
+/// \file connection.hpp
+/// Per-client connection state for the epoll front-end: the incremental
+/// frame parser on the inbound side, and on the outbound side a *sequenced*
+/// response buffer.
+///
+/// Sequencing is the part a blocking loop gets for free and an event loop
+/// must earn: a pipelined client may have several ROUTE jobs in flight on
+/// the worker pool at once, and they complete in whatever order routing
+/// finishes — but the protocol promises responses in request order.  Every
+/// command therefore takes a ticket (assign_seq) at dispatch; a completed
+/// response parks in `ready_` until every earlier ticket has been flattened
+/// into the write buffer.  Interleaving is impossible by construction.
+///
+/// The write buffer is also where backpressure is measured: backlog() is
+/// the byte count a slow reader has forced the server to hold, and the
+/// event loop suspends reads (high-water) or drops the connection (hard
+/// cap) based on it.
+///
+/// All members are owned and touched by the event-loop thread only; worker
+/// threads never see a Connection (they post completions through the
+/// loop's mailbox, keyed by id).  The one cross-thread member is the
+/// cancel token, an atomic shared with queued jobs so a vanished client's
+/// requests are dropped at dequeue instead of routed into the void.
+
+namespace gcr::net {
+
+class Connection {
+ public:
+  Connection(ScopedFd fd, std::uint64_t id, const FrameParser::Options& popts)
+      : fd_(std::move(fd)), id_(id), parser_(popts),
+        cancel_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+  [[nodiscard]] FrameParser& parser() noexcept { return parser_; }
+  [[nodiscard]] const std::shared_ptr<std::atomic<bool>>& cancel_token()
+      const noexcept {
+    return cancel_;
+  }
+
+  // ------------------------------------------------- response sequencing
+  /// Takes the next response ticket; one per dispatched command.
+  [[nodiscard]] std::uint64_t assign_seq() noexcept { return next_seq_++; }
+
+  /// Delivers the response for ticket \p seq.  Flattens it — and any
+  /// later responses it unblocks — into the write buffer the moment it is
+  /// next in line; parks it otherwise.
+  void complete(std::uint64_t seq, std::string frame) {
+    ready_bytes_ += frame.size();
+    ready_.emplace(seq, std::move(frame));
+    auto it = ready_.begin();
+    while (it != ready_.end() && it->first == flush_seq_) {
+      ready_bytes_ -= it->second.size();
+      out_ += it->second;
+      it = ready_.erase(it);
+      ++flush_seq_;
+    }
+  }
+
+  /// In-flight accounting for jobs handed to the worker pool.
+  void job_dispatched() noexcept { ++inflight_; }
+  void job_completed() noexcept {
+    if (inflight_ > 0) --inflight_;
+  }
+  [[nodiscard]] std::size_t inflight() const noexcept { return inflight_; }
+
+  // ------------------------------------------------------- write buffer
+  [[nodiscard]] bool has_output() const noexcept {
+    return out_off_ < out_.size();
+  }
+  [[nodiscard]] const char* out_data() const noexcept {
+    return out_.data() + out_off_;
+  }
+  [[nodiscard]] std::size_t out_size() const noexcept {
+    return out_.size() - out_off_;
+  }
+  /// Marks \p n bytes as written; reclaims the buffer when fully drained
+  /// (or when the dead prefix has grown past a compaction threshold).
+  void out_consume(std::size_t n) noexcept {
+    out_off_ += n;
+    if (out_off_ >= out_.size()) {
+      out_.clear();
+      out_off_ = 0;
+    } else if (out_off_ >= kCompactAt) {
+      out_.erase(0, out_off_);
+      out_off_ = 0;
+    }
+  }
+
+  /// Outbound bytes held for this peer: unwritten buffer + parked
+  /// out-of-order responses.  The backpressure measure.
+  [[nodiscard]] std::size_t backlog() const noexcept {
+    return (out_.size() - out_off_) + ready_bytes_;
+  }
+
+  /// True once every assigned ticket has been completed and written — the
+  /// graceful-close condition.
+  [[nodiscard]] bool drained() const noexcept {
+    return inflight_ == 0 && ready_.empty() && !has_output();
+  }
+
+  // ---------------------------------- lifecycle flags (event-loop owned)
+  bool eof = false;                ///< peer finished sending (read got 0)
+  bool quit = false;               ///< QUIT seen: stop serving commands
+  bool close_after_flush = false;  ///< close once drained
+  bool reads_suspended = false;    ///< EPOLLIN currently off
+  std::uint32_t registered_events = 0;  ///< epoll interest as last set
+
+  /// Commands parsed but not yet dispatched: when one recv batch carries
+  /// more (cheap, synchronously-answered) commands than the high-water
+  /// mark can hold responses for, the surplus parks here and resumes as
+  /// the peer drains — the backlog bound stays real even against a single
+  /// pipelined burst.  Cleared on QUIT/fatal/shutdown (commands after
+  /// those are never served).
+  std::deque<FrameParser::Event> deferred;
+
+ private:
+  static constexpr std::size_t kCompactAt = 64 * 1024;
+
+  ScopedFd fd_;
+  std::uint64_t id_;
+  FrameParser parser_;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  std::uint64_t next_seq_ = 0;   ///< next ticket to hand out
+  std::uint64_t flush_seq_ = 0;  ///< next ticket the write buffer expects
+  std::map<std::uint64_t, std::string> ready_;  ///< parked responses
+  std::size_t ready_bytes_ = 0;
+  std::string out_;
+  std::size_t out_off_ = 0;
+  std::size_t inflight_ = 0;
+};
+
+}  // namespace gcr::net

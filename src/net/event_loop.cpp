@@ -1,0 +1,505 @@
+#include "net/event_loop.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <iterator>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define GCR_NET_HAVE_EPOLL 1
+#else
+#define GCR_NET_HAVE_EPOLL 0
+#endif
+
+namespace gcr::net {
+
+namespace {
+
+#if GCR_NET_HAVE_EPOLL
+
+constexpr std::uint64_t kListenerTag = 0;
+constexpr std::uint64_t kMailboxTag = 1;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
+}
+
+#endif  // GCR_NET_HAVE_EPOLL
+
+}  // namespace
+
+/// The bridge between worker threads and the loop thread.  post() is called
+/// from workers (and, for fail-fast submissions, from the loop itself);
+/// drain() only from the loop.  wake() is a bare eventfd write — no lock,
+/// no allocation — which is what makes stop() safe inside a signal handler.
+/// Held by shared_ptr from every in-flight job's callback, so a completion
+/// landing after the loop died posts into a soon-to-be-freed vector instead
+/// of a dangling one.
+struct EventLoop::Mailbox {
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t seq = 0;
+    std::string frame;
+  };
+
+#if GCR_NET_HAVE_EPOLL
+  Mailbox() : event_fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+    if (!event_fd) throw_errno("eventfd");
+  }
+#else
+  Mailbox() { throw std::runtime_error("gcr::net requires Linux epoll"); }
+#endif
+
+  void post(Completion c) {
+    {
+      const std::lock_guard<std::mutex> lock(mu);
+      items.push_back(std::move(c));
+    }
+    wake();
+  }
+
+  void wake() noexcept {
+#if GCR_NET_HAVE_EPOLL
+    const std::uint64_t one = 1;
+    // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+    [[maybe_unused]] const auto r =
+        ::write(event_fd.get(), &one, sizeof one);
+#endif
+  }
+
+  std::vector<Completion> drain() {
+#if GCR_NET_HAVE_EPOLL
+    std::uint64_t counter = 0;
+    [[maybe_unused]] const auto r =
+        ::read(event_fd.get(), &counter, sizeof counter);
+#endif
+    std::vector<Completion> out;
+    const std::lock_guard<std::mutex> lock(mu);
+    out.swap(items);
+    return out;
+  }
+
+  ScopedFd event_fd;
+  std::mutex mu;
+  std::vector<Completion> items;
+};
+
+#if GCR_NET_HAVE_EPOLL
+
+EventLoop::EventLoop(serve::RoutingService& service,
+                     const EventLoopOptions& opts)
+    : service_(service), opts_(opts),
+      epoll_(::epoll_create1(EPOLL_CLOEXEC)), listener_(opts.port),
+      mailbox_(std::make_shared<Mailbox>()) {
+  if (!epoll_) throw_errno("epoll_create1");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenerTag;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, listener_.fd(), &ev) < 0) {
+    throw_errno("epoll_ctl(listener)");
+  }
+  listener_armed_ = true;
+  ev.events = EPOLLIN;
+  ev.data.u64 = kMailboxTag;
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, mailbox_->event_fd.get(),
+                  &ev) < 0) {
+    throw_errno("epoll_ctl(mailbox)");
+  }
+}
+
+EventLoop::~EventLoop() = default;
+
+std::uint16_t EventLoop::port() const noexcept { return listener_.port(); }
+
+void EventLoop::stop() noexcept {
+  stop_requests_.fetch_add(1, std::memory_order_relaxed);
+  mailbox_->wake();
+}
+
+void EventLoop::run() {
+  epoll_event events[64];
+  for (;;) {
+    const int stops = stop_requests_.load(std::memory_order_relaxed);
+    if (stops > 0 && !stopping_) begin_shutdown();
+    if (stops >= 2) force_close_all();
+    if (stopping_ && conns_.empty()) return;
+
+    const int n = ::epoll_wait(epoll_.get(), events,
+                               static_cast<int>(std::size(events)), -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      const std::uint32_t flags = events[i].events;
+      if (tag == kListenerTag) {
+        accept_ready();
+        continue;
+      }
+      if (tag == kMailboxTag) {
+        drain_mailbox();
+        continue;
+      }
+      // A connection may have been closed by an earlier event in this same
+      // batch (or by a completion); stale tags simply miss.
+      if (conns_.find(tag) == conns_.end()) continue;
+      if ((flags & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (flags & EPOLLIN) == 0) {
+        // Pure error/hangup with nothing readable: the peer is gone.
+        stats_.dropped_error.fetch_add(1, std::memory_order_relaxed);
+        close_connection(tag, /*drop=*/true);
+        continue;
+      }
+      if ((flags & EPOLLIN) != 0) handle_readable(tag);
+      if (conns_.find(tag) != conns_.end() && (flags & EPOLLOUT) != 0) {
+        settle(tag);
+      }
+    }
+  }
+}
+
+void EventLoop::accept_ready() {
+  for (;;) {
+    ScopedFd fd = listener_.accept_one();
+    if (!fd) return;
+    if (stopping_ || conns_.size() >= opts_.max_connections) {
+      // Refuse by closing: the client sees a clean EOF, retries elsewhere.
+      stats_.rejected_at_capacity.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (opts_.so_sndbuf > 0) {
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &opts_.so_sndbuf,
+                   sizeof opts_.so_sndbuf);
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(std::move(fd), id, opts_.parser);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, conn->fd(), &ev) < 0) {
+      continue;  // kernel refused; drop the socket
+    }
+    conn->registered_events = EPOLLIN;
+    conns_.emplace(id, std::move(conn));
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EventLoop::drain_mailbox() {
+  for (auto& c : mailbox_->drain()) {
+    const auto it = conns_.find(c.conn_id);
+    if (it == conns_.end()) {
+      // The connection died while its job was routing; nobody to tell.
+      stats_.completions_discarded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    Connection& conn = *it->second;
+    conn.job_completed();
+    conn.complete(c.seq, std::move(c.frame));
+    settle(c.conn_id);
+  }
+}
+
+void EventLoop::handle_readable(std::uint64_t id) {
+  Connection& conn = *conns_.at(id);
+  char buf[64 * 1024];
+  std::vector<FrameParser::Event> events;
+  // Fairness bound: a sender faster than our parsing must not monopolize
+  // the loop — after a few buffers, fall back to epoll (level-triggered,
+  // so the remaining data re-reports immediately) and let other
+  // connections, accepts, and the completion mailbox run.
+  int rounds = 4;
+  while (!conn.reads_suspended && !conn.eof && rounds-- > 0) {
+    const ssize_t r = ::recv(conn.fd(), buf, sizeof buf, 0);
+    if (r > 0) {
+      events.clear();
+      conn.parser().feed(buf, static_cast<std::size_t>(r), events);
+      process_events(conn, events);
+      if (conn.quit || conn.close_after_flush || conn.parser().dead()) {
+        conn.reads_suspended = true;  // no further commands will be served
+        break;
+      }
+      if (conn.reads_suspended) break;  // backpressured mid-batch
+      continue;
+    }
+    if (r == 0) {
+      // Peer finished sending.  Possibly a half-close: keep flushing what
+      // it is still owed; settle() closes once drained.  The parser may
+      // hold a trailing LF-less command line — the blocking front-end
+      // serves those, so flush and dispatch it for parity.
+      conn.eof = true;
+      conn.reads_suspended = true;
+      events.clear();
+      conn.parser().finish_eof(events);
+      process_events(conn, events);
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    stats_.dropped_error.fetch_add(1, std::memory_order_relaxed);
+    close_connection(id, /*drop=*/true);
+    return;
+  }
+  settle(id);
+}
+
+void EventLoop::process_events(Connection& conn,
+                               std::vector<FrameParser::Event>& events,
+                               std::size_t from) {
+  for (std::size_t i = from; i < events.size(); ++i) {
+    // Commands after QUIT or a fatal framing error are never served.
+    if (conn.quit || conn.close_after_flush) break;
+    if (conn.backlog() > opts_.write_high_water ||
+        conn.inflight() >= opts_.max_inflight) {
+      // One recv batch of cheap commands can outrun the write marks all
+      // by itself, and fail-fast ROUTE responses park in the mailbox
+      // where the byte marks cannot see them; park the surplus so both
+      // bounds hold even against a single pipelined burst.
+      for (std::size_t j = i; j < events.size(); ++j) {
+        conn.deferred.push_back(std::move(events[j]));
+      }
+      if (!conn.reads_suspended) {
+        conn.reads_suspended = true;
+        stats_.reads_suspended.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    dispatch(conn, events[i]);
+  }
+}
+
+void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
+  if (ev.kind != FrameParser::EventKind::kCommand) {
+    stats_.commands.fetch_add(1, std::memory_order_relaxed);
+    const std::uint64_t err_seq = conn.assign_seq();
+    conn.complete(err_seq, serve::format_err(ev.error));
+    if (ev.kind == FrameParser::EventKind::kFatal) {
+      conn.close_after_flush = true;
+      conn.deferred.clear();
+    }
+    return;
+  }
+
+  // Classify before taking a response ticket: an unanswered ticket would
+  // wedge the connection's in-order flush pipeline forever, so a line that
+  // produces no response (blank — the parser filters these, defensive)
+  // must not consume one.
+  const serve::ClassifiedCommand cmd = serve::classify_command(ev.line);
+  if (cmd.kind == serve::CommandKind::kBlank) return;
+  stats_.commands.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t seq = conn.assign_seq();
+
+  switch (cmd.kind) {
+    case serve::CommandKind::kBlank:
+      return;  // unreachable; handled above
+    case serve::CommandKind::kQuit:
+      conn.complete(seq, serve::format_ok("bye", ""));
+      conn.quit = true;
+      conn.close_after_flush = true;
+      conn.deferred.clear();
+      return;
+    case serve::CommandKind::kStats:
+      conn.complete(seq, serve::exec_stats(service_));
+      return;
+    case serve::CommandKind::kLoad:
+      // Parse + session build run on the loop thread (see file comment).
+      conn.complete(seq, serve::exec_load(service_, ev.body));
+      return;
+    case serve::CommandKind::kRoute: {
+      serve::RouteRequest req;
+      try {
+        req = serve::to_request(serve::parse_route_command(cmd.args));
+      } catch (const std::exception& e) {
+        conn.complete(seq, serve::format_err(e.what()));
+        return;
+      }
+      req.cancel = conn.cancel_token();
+      conn.job_dispatched();
+      // The callback runs on a worker thread (or inline for fail-fast
+      // statuses): format there — route dumps are the expensive part of a
+      // response and must stay off the loop — then post the finished bytes.
+      service_.submit(std::move(req),
+                      [mailbox = mailbox_, id = conn.id(),
+                       seq](serve::RouteResponse resp) {
+                        mailbox->post({id, seq,
+                                       serve::format_route_response(resp)});
+                      });
+      return;
+    }
+    case serve::CommandKind::kUnknown:
+      break;
+  }
+  conn.complete(seq,
+                serve::format_err("unknown command '" + cmd.keyword + "'"));
+}
+
+void EventLoop::settle(std::uint64_t id) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Connection& conn = *it->second;
+
+  for (;;) {
+    while (conn.has_output()) {
+      const ssize_t w = ::send(conn.fd(), conn.out_data(), conn.out_size(),
+                               MSG_NOSIGNAL);
+      if (w > 0) {
+        conn.out_consume(static_cast<std::size_t>(w));
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      // EPIPE/ECONNRESET: the peer is gone.  Cancel whatever it still has
+      // queued and discard the connection.
+      stats_.dropped_error.fetch_add(1, std::memory_order_relaxed);
+      close_connection(id, /*drop=*/true);
+      return;
+    }
+
+    if (conn.backlog() > opts_.write_hard_cap) {
+      // The socket stopped accepting and responses keep accumulating: this
+      // reader is too slow to serve while a response is pending.
+      stats_.dropped_slow.fetch_add(1, std::memory_order_relaxed);
+      close_connection(id, /*drop=*/true);
+      return;
+    }
+
+    // Work parked by mid-batch backpressure resumes once the peer has
+    // drained below the low-water mark; whatever it produces goes back
+    // through the flush above.  Dispatch pops the deque front in place —
+    // the undispatched tail stays put, so replay cost is O(1) amortized
+    // per command no matter how often the limits interrupt it (a
+    // wholesale move-out/re-park here would be quadratic against a large
+    // parked burst drained one completion at a time).
+    if (conn.deferred.empty() || conn.quit || conn.close_after_flush ||
+        conn.backlog() > opts_.write_high_water / 2 ||
+        conn.inflight() >= opts_.max_inflight) {
+      break;
+    }
+    while (!conn.deferred.empty() && !conn.quit && !conn.close_after_flush &&
+           conn.backlog() <= opts_.write_high_water &&
+           conn.inflight() < opts_.max_inflight) {
+      FrameParser::Event ev = std::move(conn.deferred.front());
+      conn.deferred.pop_front();
+      // dispatch may clear the deque (QUIT); ev was moved out already.
+      dispatch(conn, ev);
+    }
+  }
+
+  if ((conn.close_after_flush || conn.eof) && conn.drained() &&
+      conn.deferred.empty()) {
+    close_connection(id, /*drop=*/false);
+    return;
+  }
+
+  // Resume reads once a backpressured (but otherwise live) connection has
+  // drained to half the high-water mark — hysteresis so a borderline peer
+  // does not flap between suspend and resume per byte.  Conversely suspend
+  // when *completions* (not reads) pushed the backlog over the mark: an
+  // unread socket then fills the peer's TCP window and stalls the sender
+  // itself, which is backpressure all the way down.
+  if (conn.reads_suspended && !conn.eof && !conn.quit &&
+      !conn.close_after_flush && !conn.parser().dead() && !stopping_ &&
+      conn.deferred.empty() &&
+      conn.inflight() < opts_.max_inflight &&
+      conn.backlog() <= opts_.write_high_water / 2) {
+    conn.reads_suspended = false;
+  } else if (!conn.reads_suspended &&
+             conn.backlog() > opts_.write_high_water) {
+    conn.reads_suspended = true;
+    stats_.reads_suspended.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  update_interest(conn);
+}
+
+void EventLoop::update_interest(Connection& conn) {
+  const std::uint32_t want = (conn.reads_suspended ? 0u : EPOLLIN) |
+                             (conn.has_output() ? EPOLLOUT : 0u);
+  if (want == conn.registered_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = conn.id();
+  if (::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, conn.fd(), &ev) == 0) {
+    conn.registered_events = want;
+  }
+}
+
+void EventLoop::close_connection(std::uint64_t id, bool drop) {
+  const auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  if (drop) {
+    // Jobs still queued for this peer die at dequeue instead of routing
+    // into the void; late completions are discarded in drain_mailbox.
+    it->second->cancel_token()->store(true, std::memory_order_relaxed);
+  }
+  // Closing the fd (ScopedFd dtor) deregisters it from epoll implicitly.
+  conns_.erase(it);
+  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void EventLoop::begin_shutdown() {
+  stopping_ = true;
+  if (listener_armed_) {
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.fd(), nullptr);
+    listener_armed_ = false;
+  }
+  // Stop taking commands everywhere; settle() each connection so the ones
+  // already drained close immediately and the rest close as their
+  // in-flight jobs finish and flush.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) {
+    conn->reads_suspended = true;
+    conn->close_after_flush = true;
+    conn->deferred.clear();  // commands after shutdown are not served
+    ids.push_back(id);
+  }
+  for (const std::uint64_t id : ids) settle(id);
+}
+
+void EventLoop::force_close_all() {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (const std::uint64_t id : ids) close_connection(id, /*drop=*/true);
+}
+
+#else  // !GCR_NET_HAVE_EPOLL
+
+EventLoop::EventLoop(serve::RoutingService& service,
+                     const EventLoopOptions& opts)
+    : service_(service), opts_(opts), listener_(opts.port) {
+  throw std::runtime_error("gcr::net::EventLoop requires Linux epoll");
+}
+
+EventLoop::~EventLoop() = default;
+std::uint16_t EventLoop::port() const noexcept { return 0; }
+void EventLoop::run() {}
+void EventLoop::stop() noexcept {}
+void EventLoop::accept_ready() {}
+void EventLoop::drain_mailbox() {}
+void EventLoop::handle_readable(std::uint64_t) {}
+void EventLoop::process_events(Connection&, std::vector<FrameParser::Event>&,
+                               std::size_t) {}
+void EventLoop::dispatch(Connection&, FrameParser::Event&) {}
+void EventLoop::settle(std::uint64_t) {}
+void EventLoop::close_connection(std::uint64_t, bool) {}
+void EventLoop::begin_shutdown() {}
+void EventLoop::force_close_all() {}
+void EventLoop::update_interest(Connection&) {}
+
+#endif  // GCR_NET_HAVE_EPOLL
+
+}  // namespace gcr::net

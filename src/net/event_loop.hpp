@@ -1,0 +1,146 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/frame_parser.hpp"
+#include "net/socket.hpp"
+#include "serve/routing_service.hpp"
+
+/// \file event_loop.hpp
+/// The asynchronous multi-client front-end: one thread, one epoll set, many
+/// TCP connections, all multiplexed onto the routing service's existing
+/// worker pool.
+///
+/// Division of labour — the loop thread only ever does cheap things:
+///   - accept connections and read whatever bytes are available;
+///   - feed the per-connection FrameParser and dispatch completed commands
+///     (ROUTE becomes a worker-pool job via RoutingService::submit's
+///     callback form; STATS/LOAD/errors are answered inline);
+///   - flush write buffers and maintain epoll interest sets.
+/// Routing runs on the pool; a finished job's worker thread formats the
+/// response (the expensive route-dump rendering) and posts it to the
+/// loop's mailbox — a mutex-guarded vector plus an eventfd the loop sleeps
+/// on — so routing never blocks the loop and the loop never blocks routing.
+/// (One deliberate exception: LOAD parses and builds the session
+/// environment inline, stalling the loop for that connection's sake.
+/// Sessions are loaded once and hit the cache thereafter; offloading LOAD
+/// is a ROADMAP follow-on.)
+///
+/// Backpressure: each connection's backlog (unwritten + parked response
+/// bytes, see Connection) is compared against two marks.  Past
+/// write_high_water the connection's reads are suspended — a slow reader
+/// stops injecting new work but keeps its in-flight responses.  Past
+/// write_hard_cap the connection is dropped: its fd closes, its cancel
+/// token flips so still-queued jobs die at dequeue, and late completions
+/// are discarded by id.
+///
+/// Shutdown: stop() is async-signal-safe (atomic increment + eventfd
+/// write).  The first stop closes the listener and lets every connection
+/// drain — in-flight jobs complete and flush — before the loop returns; a
+/// second stop() force-closes whatever is left (the escape hatch when a
+/// dead peer will never drain its responses).
+
+namespace gcr::net {
+
+struct EventLoopOptions {
+  /// Port to bind on loopback; 0 = kernel-assigned (read EventLoop::port()).
+  std::uint16_t port = 0;
+  std::size_t max_connections = 256;
+  /// Backlog bytes past which a connection's reads are suspended.
+  std::size_t write_high_water = 1u << 20;
+  /// Backlog bytes past which a connection is dropped outright.
+  std::size_t write_hard_cap = 4u << 20;
+  /// Per-connection cap on commands dispatched but not yet completed
+  /// (ROUTE jobs on the pool *and* fail-fast responses still parked in
+  /// the wakeup mailbox — the byte marks cannot see either).  Past it the
+  /// connection's surplus commands park exactly like write backpressure,
+  /// so a burst of instant-failing ROUTEs cannot grow the mailbox without
+  /// bound.
+  std::size_t max_inflight = 256;
+  /// SO_SNDBUF for accepted sockets; 0 = kernel default.  The backpressure
+  /// marks measure *user-space* backlog, so a generous kernel send buffer
+  /// hides a slow reader until it overflows — shrink this to make the
+  /// marks bite early (tests do; a memory-tight deployment might).
+  int so_sndbuf = 0;
+  FrameParser::Options parser{};
+};
+
+/// Counters the loop maintains; atomics so tests and monitoring threads can
+/// read them while the loop runs.
+struct EventLoopStats {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected_at_capacity{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> commands{0};
+  std::atomic<std::uint64_t> reads_suspended{0};  ///< suspension *events*
+  std::atomic<std::uint64_t> dropped_slow{0};     ///< hard-cap drops
+  std::atomic<std::uint64_t> dropped_error{0};    ///< read/write errors
+  std::atomic<std::uint64_t> completions_discarded{0};  ///< conn died first
+};
+
+class EventLoop {
+ public:
+  /// Binds the listener and creates the epoll set and wakeup mailbox; the
+  /// loop does not serve until run().  Throws std::runtime_error when the
+  /// port cannot be bound (and on non-Linux platforms, which lack epoll).
+  EventLoop(serve::RoutingService& service, const EventLoopOptions& opts = {});
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// The bound port — what to advertise when options said 0.
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Serves until stop().  Call from exactly one thread.
+  void run();
+
+  /// Requests shutdown; async-signal-safe, callable from any thread or a
+  /// signal handler.  First call drains, second call force-closes.
+  void stop() noexcept;
+
+  [[nodiscard]] const EventLoopStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Mailbox;  ///< completion queue + wakeup eventfd (in the .cpp)
+
+  void accept_ready();
+  void drain_mailbox();
+  void handle_readable(std::uint64_t id);
+  /// Dispatches events[from..] in order, parking the tail on the
+  /// connection (and suspending reads) the moment the backlog crosses the
+  /// high-water mark — settle() resumes the parked tail as the peer
+  /// drains.
+  void process_events(Connection& conn,
+                      std::vector<FrameParser::Event>& events,
+                      std::size_t from = 0);
+  void dispatch(Connection& conn, FrameParser::Event& ev);
+  /// Writes what the socket accepts, applies backpressure marks, updates
+  /// epoll interest, and closes the connection when it is done.  The one
+  /// place a connection's fate is decided; \p id may be gone afterwards.
+  void settle(std::uint64_t id);
+  void close_connection(std::uint64_t id, bool drop);
+  void begin_shutdown();
+  void force_close_all();
+  void update_interest(Connection& conn);
+
+  serve::RoutingService& service_;
+  EventLoopOptions opts_;
+  EventLoopStats stats_;
+  ScopedFd epoll_;
+  Listener listener_;
+  std::shared_ptr<Mailbox> mailbox_;
+  std::atomic<int> stop_requests_{0};
+  bool stopping_ = false;
+  bool listener_armed_ = false;
+  std::uint64_t next_conn_id_ = 2;  ///< 0 = listener tag, 1 = mailbox tag
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+};
+
+}  // namespace gcr::net

@@ -1,0 +1,137 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define GCR_NET_HAVE_POSIX 1
+#else
+#define GCR_NET_HAVE_POSIX 0
+#endif
+
+namespace gcr::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+#if GCR_NET_HAVE_POSIX
+
+void ScopedFd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+Listener::Listener(std::uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) throw_errno("socket");
+  const int one = 1;
+  // REUSEADDR so a restarted daemon rebinds its port without waiting out
+  // TIME_WAIT sockets from the previous incarnation's connections.
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) < 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0) {
+    throw_errno("bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(fd.get(), 128) < 0) throw_errno("listen");
+  set_nonblocking(fd.get());
+  // Read back the kernel-assigned port for the port=0 case.
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+  fd_ = std::move(fd);
+}
+
+ScopedFd Listener::accept_one() {
+  for (;;) {
+    const int fd = ::accept(fd_.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      ScopedFd out(fd);
+      ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+      set_nonblocking(fd);
+      // The protocol pipelines small frames; Nagle would add 40ms stalls
+      // between a command and its response on an otherwise idle socket.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      return out;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return ScopedFd();
+    // Transient per-connection failures (the peer gave up between the
+    // kernel queueing it and us accepting it) are not listener failures.
+    if (errno == ECONNABORTED || errno == EPROTO) continue;
+    throw_errno("accept");
+  }
+}
+
+ScopedFd tcp_connect(std::uint16_t port, int so_rcvbuf) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd) throw_errno("socket");
+  if (so_rcvbuf > 0) {
+    // Must precede connect: the receive buffer sizes the TCP window the
+    // client advertises in its SYN.
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &so_rcvbuf,
+                 sizeof so_rcvbuf);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0) {
+    throw_errno("connect 127.0.0.1:" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+#else  // !GCR_NET_HAVE_POSIX
+
+void ScopedFd::reset(int fd) noexcept { fd_ = fd; }
+
+void set_nonblocking(int) {
+  throw std::runtime_error("gcr::net requires a POSIX platform");
+}
+
+Listener::Listener(std::uint16_t) {
+  throw std::runtime_error("gcr::net requires a POSIX platform");
+}
+
+ScopedFd Listener::accept_one() { return ScopedFd(); }
+
+ScopedFd tcp_connect(std::uint16_t, int) {
+  throw std::runtime_error("gcr::net requires a POSIX platform");
+}
+
+#endif  // GCR_NET_HAVE_POSIX
+
+}  // namespace gcr::net

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+/// \file socket.hpp
+/// The thin POSIX layer under the network front-end: an owning descriptor,
+/// non-blocking mode, and loopback TCP endpoints.  Everything above this
+/// file (frame parser, connection state, event loop) is testable without a
+/// kernel; everything below it is four syscalls.  POSIX-only — on other
+/// platforms the constructors throw std::runtime_error.
+
+namespace gcr::net {
+
+/// An owning file descriptor (close-on-destroy, move-only).  -1 = empty.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) noexcept : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] explicit operator bool() const noexcept { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+  /// Closes the held descriptor (if any) and adopts \p fd.
+  void reset(int fd = -1) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts \p fd into non-blocking mode; throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+
+/// A listening TCP socket on the loopback interface — the accept side of
+/// the epoll front-end.  Non-blocking, SO_REUSEADDR, close-on-exec.
+class Listener {
+ public:
+  /// Binds 127.0.0.1:\p port (0 = kernel-assigned ephemeral port, see
+  /// port()) and listens.  Throws std::runtime_error on failure.
+  explicit Listener(std::uint16_t port);
+
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  /// The actually bound port — the one to advertise when constructed with 0.
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one pending connection; returns an empty fd when none is
+  /// pending (EAGAIN).  The accepted socket comes back non-blocking and
+  /// close-on-exec.  Throws on unrecoverable accept errors.
+  [[nodiscard]] ScopedFd accept_one();
+
+ private:
+  ScopedFd fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Blocking loopback connect — the client side (load generator, tests).
+/// \p so_rcvbuf > 0 shrinks the client's receive buffer *before* the
+/// connect (it sizes the advertised TCP window), which is how the
+/// backpressure tests make a "slow reader" deterministic: with a tiny
+/// window the kernel cannot absorb responses on the client's behalf.
+/// Throws std::runtime_error when the connection is refused.
+[[nodiscard]] ScopedFd tcp_connect(std::uint16_t port, int so_rcvbuf = 0);
+
+}  // namespace gcr::net

@@ -39,8 +39,10 @@ class BoundedQueue {
   }
 
   /// Non-blocking admission: false when full or closed (queue saturation —
-  /// the caller should shed the request).
-  bool try_push(T v) {
+  /// the caller should shed the request).  Takes an rvalue reference and
+  /// moves only on success, so a rejected job stays intact and the caller
+  /// can still deliver its failure response.
+  bool try_push(T&& v) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) return false;

@@ -34,9 +34,17 @@ struct LayoutSession {
   std::string key;             ///< content hash, 16 hex digits
   layout::Layout layout;       ///< parsed, validated problem
   route::SearchEnvironment env;  ///< obstacle index + escape lines
+  /// Net name -> net index, built once so subset requests (`ROUTE ...
+  /// nets=a,b`) resolve names without scanning the netlist per request.
+  /// Duplicate names keep the first index (matching read_routes lookup).
+  std::map<std::string, std::size_t> net_index;
 
   LayoutSession(std::string k, layout::Layout lay)
-      : key(std::move(k)), layout(std::move(lay)), env(layout) {}
+      : key(std::move(k)), layout(std::move(lay)), env(layout) {
+    for (std::size_t i = 0; i < layout.nets().size(); ++i) {
+      net_index.emplace(layout.nets()[i].name(), i);
+    }
+  }
 };
 
 /// Thread-safe LRU cache of layout sessions.

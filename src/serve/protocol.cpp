@@ -1,10 +1,12 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "io/route_dump.hpp"
@@ -13,11 +15,36 @@ namespace gcr::serve {
 
 namespace {
 
-/// getline that strips a trailing CR, so CRLF peers work unchanged.
-bool read_line(std::istream& in, std::string& line) {
-  if (!std::getline(in, line)) return false;
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  return true;
+/// Outcome of one bounded line read.
+enum class LineRead {
+  kLine,     ///< a complete (possibly empty) line, CR stripped
+  kEof,      ///< no more input
+  kTooLong,  ///< exceeded kMaxCommandLine; discarded up to the next LF
+};
+
+/// getline with a hard length cap: the blocking loop's defence against a
+/// peer that streams bytes without ever sending `\n` (std::getline would
+/// buffer all of them, bypassing the LOAD size cap).  An overlong line is
+/// discarded to its terminating LF so framing survives.
+LineRead read_line_capped(std::istream& in, std::string& line) {
+  line.clear();
+  int ch;
+  while ((ch = in.get()) != std::istream::traits_type::eof()) {
+    if (ch == '\n') {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return LineRead::kLine;
+    }
+    if (line.size() >= kMaxCommandLine) {
+      while ((ch = in.get()) != std::istream::traits_type::eof() &&
+             ch != '\n') {
+      }
+      return LineRead::kTooLong;
+    }
+    line.push_back(static_cast<char>(ch));
+  }
+  if (line.empty()) return LineRead::kEof;
+  if (line.back() == '\r') line.pop_back();  // trailing line without LF
+  return LineRead::kLine;
 }
 
 std::vector<std::string> split_words(const std::string& s) {
@@ -42,7 +69,47 @@ unsigned long long parse_count(const std::string& tok,
   }
 }
 
+/// Splits a `nets=` value on commas.  Empty items (leading, trailing, or
+/// doubled commas) are malformed — they would silently route nothing.
+std::vector<std::string> split_net_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = value.find(',', start);
+    const std::string item = value.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (item.empty()) {
+      throw std::runtime_error("ROUTE nets: empty net name in list");
+    }
+    out.push_back(item);
+    if (comma == std::string::npos) return out;
+    start = comma + 1;
+  }
+}
+
 }  // namespace
+
+ClassifiedCommand classify_command(const std::string& line) {
+  ClassifiedCommand out;
+  const std::size_t start = line.find_first_not_of(" \t");
+  if (start == std::string::npos) return out;  // kBlank
+  std::size_t end = line.find_first_of(" \t", start);
+  if (end == std::string::npos) end = line.size();
+  out.keyword = line.substr(start, end - start);
+  out.args = line.substr(end);
+  if (out.keyword == "QUIT") {
+    out.kind = CommandKind::kQuit;
+  } else if (out.keyword == "STATS") {
+    out.kind = CommandKind::kStats;
+  } else if (out.keyword == "LOAD") {
+    out.kind = CommandKind::kLoad;
+  } else if (out.keyword == "ROUTE") {
+    out.kind = CommandKind::kRoute;
+  } else {
+    out.kind = CommandKind::kUnknown;
+  }
+  return out;
+}
 
 RouteCommand parse_route_command(const std::string& args) {
   const std::vector<std::string> words = split_words(args);
@@ -86,6 +153,8 @@ RouteCommand parse_route_command(const std::string& args) {
         throw std::runtime_error("ROUTE segments must be 0 or 1");
       }
       cmd.opts.steiner.connect_to_segments = value == "1";
+    } else if (key == "nets") {
+      cmd.nets = split_net_list(value);
     } else {
       throw std::runtime_error("ROUTE: unknown option '" + key + "'");
     }
@@ -93,63 +162,140 @@ RouteCommand parse_route_command(const std::string& args) {
   return cmd;
 }
 
-void write_ok(std::ostream& out, const std::string& meta,
-              const std::string& body) {
-  out << "OK " << body.size();
-  if (!meta.empty()) out << ' ' << meta;
-  out << '\n' << body;
-  out.flush();
+unsigned long long parse_load_count(const std::string& line) {
+  const std::vector<std::string> words = split_words(line);
+  if (words.size() != 2) {
+    throw std::runtime_error("LOAD needs exactly one byte count");
+  }
+  return parse_count(words[1], "LOAD byte count");
 }
 
-void write_err(std::ostream& out, const std::string& reason) {
-  // Frame integrity: a reason with embedded newlines would fabricate extra
-  // protocol lines, so flatten them.
-  std::string flat = reason;
-  for (char& c : flat) {
-    if (c == '\n' || c == '\r') c = ' ';
+RouteRequest to_request(const RouteCommand& cmd) {
+  RouteRequest req;
+  req.session_key = cmd.session_key;
+  req.opts = cmd.opts;
+  req.net_names = cmd.nets;
+  if (cmd.deadline) {
+    req.deadline = std::chrono::steady_clock::now() + *cmd.deadline;
   }
-  out << "ERR " << flat << '\n';
-  out.flush();
+  return req;
+}
+
+std::string format_ok(const std::string& meta, const std::string& body) {
+  std::string out = "OK " + std::to_string(body.size());
+  if (!meta.empty()) {
+    out += ' ';
+    out += meta;
+  }
+  out += '\n';
+  out += body;
+  return out;
+}
+
+std::string format_err(const std::string& reason) {
+  // The reason may echo untrusted request bytes: clamp to short printable
+  // ASCII (terminal-escape and amplification defence, text_format-style)
+  // and flatten whitespace so no embedded newline can fabricate frames.
+  constexpr std::size_t kMaxReason = 256;
+  std::string out = "ERR ";
+  const std::size_t limit = std::min(reason.size(), kMaxReason);
+  for (std::size_t i = 0; i < limit; ++i) {
+    const unsigned char c = static_cast<unsigned char>(reason[i]);
+    if (c == '\n' || c == '\r' || c == '\t') {
+      out += ' ';
+    } else {
+      out += (c >= 0x20 && c < 0x7f) ? reason[i] : '?';
+    }
+  }
+  if (reason.size() > limit) out += "...";
+  out += '\n';
+  return out;
+}
+
+std::string exec_load(RoutingService& service, const std::string& body) {
+  try {
+    bool cached = false;
+    const auto session = service.load(body, &cached);
+    std::ostringstream meta;
+    meta << "session " << session->key << " cells "
+         << session->layout.cells().size() << " nets "
+         << session->layout.nets().size() << " cached " << (cached ? 1 : 0);
+    return format_ok(meta.str(), "");
+  } catch (const std::exception& e) {
+    return format_err(e.what());
+  }
+}
+
+std::string exec_stats(RoutingService& service) {
+  return format_ok("", service.stats_text());
+}
+
+std::string format_route_response(const RouteResponse& resp) {
+  if (!resp.ok()) {
+    return format_err(resp.error.empty()
+                          ? to_string(resp.status)
+                          : std::string(to_string(resp.status)) + ": " +
+                                resp.error);
+  }
+  const std::string body =
+      resp.nets.empty()
+          ? io::write_routes_string(resp.session->layout, resp.result)
+          : io::write_routes_string(resp.session->layout, resp.result,
+                                    resp.nets);
+  std::ostringstream meta;
+  meta << "routed " << resp.result.routed << " failed " << resp.result.failed
+       << " wirelength " << resp.result.total_wirelength << " queue_us "
+       << resp.queue_wait.count() << " total_us " << resp.latency.count();
+  return format_ok(meta.str(), body);
 }
 
 std::size_t serve_connection(RoutingService& service, std::istream& in,
                              std::ostream& out) {
+  const auto emit = [&out](const std::string& frame) {
+    out << frame;
+    out.flush();
+  };
+
   std::size_t frames = 0;
   std::string line;
-  while (read_line(in, line)) {
-    const std::vector<std::string> words = split_words(line);
-    if (words.empty()) continue;  // blank keep-alive line
+  for (;;) {
+    const LineRead got = read_line_capped(in, line);
+    if (got == LineRead::kEof) break;
+    if (got == LineRead::kTooLong) {
+      ++frames;
+      emit(format_err("command line exceeds " +
+                      std::to_string(kMaxCommandLine) + " bytes"));
+      continue;
+    }
+    const ClassifiedCommand cmd = classify_command(line);
+    if (cmd.kind == CommandKind::kBlank) continue;  // keep-alive line
     ++frames;
-    const std::string& kw = words[0];
 
-    if (kw == "QUIT") {
-      write_ok(out, "bye", "");
+    if (cmd.kind == CommandKind::kQuit) {
+      emit(format_ok("bye", ""));
       break;
     }
 
-    if (kw == "STATS") {
-      write_ok(out, "", service.stats_text());
+    if (cmd.kind == CommandKind::kStats) {
+      emit(exec_stats(service));
       continue;
     }
 
-    if (kw == "LOAD") {
+    if (cmd.kind == CommandKind::kLoad) {
       unsigned long long nbytes = 0;
       try {
-        if (words.size() != 2) {
-          throw std::runtime_error("LOAD needs exactly one byte count");
-        }
-        nbytes = parse_count(words[1], "LOAD byte count");
+        nbytes = parse_load_count(line);
       } catch (const std::exception& e) {
         // Without a trustworthy byte count the body length is unknown, so
         // the stream position is lost — drop the connection rather than
         // parse body bytes as commands.
-        write_err(out, std::string(e.what()) + " (connection out of sync)");
+        emit(format_err(std::string(e.what()) + " (connection out of sync)"));
         break;
       }
-      if (nbytes > (64ull << 20)) {
+      if (nbytes > kMaxLoadBytes) {
         // The count is valid, just unacceptable: skip exactly the declared
         // body so the connection stays framed, then keep serving.
-        write_err(out, "LOAD body larger than 64 MiB");
+        emit(format_err("LOAD body larger than 64 MiB"));
         in.ignore(static_cast<std::streamsize>(nbytes));
         if (static_cast<unsigned long long>(in.gcount()) != nbytes) break;
         continue;
@@ -159,56 +305,26 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
       if (static_cast<unsigned long long>(in.gcount()) != nbytes) {
         // A truncated body desynchronizes the framing; the only safe
         // recovery is to drop the connection.
-        write_err(out, "LOAD body truncated (connection out of sync)");
+        emit(format_err("LOAD body truncated (connection out of sync)"));
         break;
       }
-      try {
-        bool cached = false;
-        const auto session = service.load(body, &cached);
-        std::ostringstream meta;
-        meta << "session " << session->key << " cells "
-             << session->layout.cells().size() << " nets "
-             << session->layout.nets().size() << " cached " << (cached ? 1 : 0);
-        write_ok(out, meta.str(), "");
-      } catch (const std::exception& e) {
-        write_err(out, e.what());
-      }
+      emit(exec_load(service, body));
       continue;
     }
 
-    if (kw == "ROUTE") {
+    if (cmd.kind == CommandKind::kRoute) {
       RouteRequest req;
       try {
-        const std::size_t args_at = line.find("ROUTE") + 5;
-        const RouteCommand cmd = parse_route_command(line.substr(args_at));
-        req.session_key = cmd.session_key;
-        req.opts = cmd.opts;
-        if (cmd.deadline) {
-          req.deadline = std::chrono::steady_clock::now() + *cmd.deadline;
-        }
+        req = to_request(parse_route_command(cmd.args));
       } catch (const std::exception& e) {
-        write_err(out, e.what());
+        emit(format_err(e.what()));
         continue;
       }
-      RouteResponse resp = service.route(std::move(req));
-      if (!resp.ok()) {
-        write_err(out, resp.error.empty() ? to_string(resp.status)
-                                          : std::string(to_string(resp.status)) +
-                                                ": " + resp.error);
-        continue;
-      }
-      const std::string body =
-          io::write_routes_string(resp.session->layout, resp.result);
-      std::ostringstream meta;
-      meta << "routed " << resp.result.routed << " failed "
-           << resp.result.failed << " wirelength "
-           << resp.result.total_wirelength << " queue_us "
-           << resp.queue_wait.count() << " total_us " << resp.latency.count();
-      write_ok(out, meta.str(), body);
+      emit(format_route_response(service.route(std::move(req))));
       continue;
     }
 
-    write_err(out, "unknown command '" + kw + "'");
+    emit(format_err("unknown command '" + cmd.keyword + "'"));
   }
   return frames;
 }

@@ -1,9 +1,11 @@
 #pragma once
 
 #include <chrono>
+#include <cstddef>
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "serve/routing_service.hpp"
 
@@ -20,6 +22,8 @@
 ///                                ;   threads=N  deadline_ms=N  sorted=0|1
 ///                                ;   segments=0|1 (Steiner connect-to-
 ///                                ;   segments; 1 is the paper's scheme)
+///                                ;   nets=<name>[,<name>]… routes only the
+///                                ;   listed nets against the cached session
 /// STATS                          ; service metrics
 /// QUIT                           ; close the connection
 /// ```
@@ -34,21 +38,61 @@
 ///
 /// `LOAD` replies `OK 0 session <key> cells <n> nets <m> cached <0|1>`.
 /// `ROUTE` replies `OK <nbytes> routed <r> failed <f> wirelength <w>
-/// queue_us <q> total_us <t>` with an io::route_dump body, or `ERR
-/// <status>` (session_not_found, rejected, deadline_expired, …).
+/// queue_us <q> total_us <t>` with an io::route_dump body (restricted to
+/// the requested nets when `nets=` was given), or `ERR <status>`
+/// (session_not_found, rejected, deadline_expired, …).
 /// `STATS` replies `OK <nbytes>` with `key value` metric lines.
 ///
 /// Byte-counted bodies make the protocol safe over any 8-bit pipe: layout
 /// text and route dumps pass through unescaped, and a desynchronized peer
 /// fails loudly at the next status line instead of silently misparsing.
+///
+/// Input hardening: command lines are capped at kMaxCommandLine bytes (a
+/// peer that never sends `\n` cannot buffer unbounded memory), and every
+/// `ERR` reason is clamped to short printable text before echoing — request
+/// bytes are untrusted and may carry terminal escapes or binary garbage.
+///
+/// Everything below except serve_connection is a pure function over
+/// in-memory buffers, shared verbatim by the legacy blocking loop and the
+/// epoll front-end (src/net/): both speak exactly the same bytes.
 
 namespace gcr::serve {
+
+/// Command lines longer than this are rejected with ERR and discarded up to
+/// the next LF; framing survives, memory stays bounded.
+inline constexpr std::size_t kMaxCommandLine = 4096;
+/// LOAD bodies above this are refused (the declared bytes are skipped so
+/// the connection stays framed).
+inline constexpr std::size_t kMaxLoadBytes = 64ull << 20;
+
+/// The command keywords, classified once for both front-ends.
+enum class CommandKind {
+  kBlank,    ///< empty / whitespace-only keep-alive line
+  kQuit,
+  kStats,
+  kLoad,
+  kRoute,
+  kUnknown,
+};
+
+struct ClassifiedCommand {
+  CommandKind kind = CommandKind::kBlank;
+  std::string keyword;  ///< first token (echoed in unknown-command ERRs)
+  std::string args;     ///< everything after the keyword (ROUTE arguments)
+};
+
+/// Splits a command line into keyword + argument rest and names the
+/// command.  The single keyword-routing point shared by the blocking loop
+/// and the epoll front-end — one table, no drift.
+[[nodiscard]] ClassifiedCommand classify_command(const std::string& line);
 
 /// A parsed ROUTE command.
 struct RouteCommand {
   std::string session_key;
   route::NetlistOptions opts;
   std::optional<std::chrono::milliseconds> deadline;
+  /// `nets=` subset (net names, list order preserved); empty = all nets.
+  std::vector<std::string> nets;
 };
 
 /// Parses the ROUTE argument vector (everything after the keyword).
@@ -56,11 +100,37 @@ struct RouteCommand {
 /// options.
 [[nodiscard]] RouteCommand parse_route_command(const std::string& args);
 
-/// Writes one `OK` frame: status line (`OK <body.size()> <meta>`) + body.
-void write_ok(std::ostream& out, const std::string& meta,
-              const std::string& body);
-/// Writes one `ERR` frame.
-void write_err(std::ostream& out, const std::string& reason);
+/// Parses a complete `LOAD <count>` command line and returns the declared
+/// body byte count.  Throws std::runtime_error (with token context) when
+/// the count is missing, non-numeric, or out of range — the caller must
+/// treat that as a lost stream position.  Shared by the blocking loop and
+/// the incremental frame parser so both enforce identical framing.
+[[nodiscard]] unsigned long long parse_load_count(const std::string& line);
+
+/// Lowers a parsed command into a service request (deadline made absolute,
+/// net names handed over for admission-time resolution).
+[[nodiscard]] RouteRequest to_request(const RouteCommand& cmd);
+
+/// Renders one `OK` frame: status line (`OK <body.size()> <meta>`) + body.
+[[nodiscard]] std::string format_ok(const std::string& meta,
+                                    const std::string& body);
+
+/// Renders one `ERR` frame.  The reason is flattened (no embedded newlines
+/// can fabricate protocol lines), clamped to printable ASCII, and truncated
+/// — it may echo untrusted request bytes.
+[[nodiscard]] std::string format_err(const std::string& reason);
+
+/// Executes LOAD against the service and renders the response frame.
+[[nodiscard]] std::string exec_load(RoutingService& service,
+                                    const std::string& body);
+
+/// Renders the STATS response frame.
+[[nodiscard]] std::string exec_stats(RoutingService& service);
+
+/// Renders a completed ROUTE response: OK frame with the route-dump body
+/// (subset-restricted when the request named nets), or the ERR frame for a
+/// failed status.  Pure — safe to call from a worker thread.
+[[nodiscard]] std::string format_route_response(const RouteResponse& resp);
 
 /// Serves one connection: reads command frames from \p in, writes response
 /// frames to \p out, until QUIT, end of input, or an unrecoverable framing

@@ -39,7 +39,7 @@ RoutingService::RoutingService(const Options& opts)
 RoutingService::~RoutingService() {
   queue_.close();
   for (std::thread& t : workers_) t.join();
-  // Workers have drained the queue: every accepted promise is fulfilled.
+  // Workers have drained the queue: every accepted job's callback has fired.
 }
 
 std::shared_ptr<const LayoutSession> RoutingService::load(
@@ -48,15 +48,22 @@ std::shared_ptr<const LayoutSession> RoutingService::load(
 }
 
 std::future<RouteResponse> RoutingService::submit(RouteRequest req) {
+  auto p = std::make_shared<std::promise<RouteResponse>>();
+  std::future<RouteResponse> fut = p->get_future();
+  submit(std::move(req),
+         [p](RouteResponse resp) { p->set_value(std::move(resp)); });
+  return fut;
+}
+
+void RoutingService::submit(RouteRequest req, RouteCallback done) {
   metrics_.requests_submitted.fetch_add(1, std::memory_order_relaxed);
   const auto now = std::chrono::steady_clock::now();
 
-  const auto fail_now = [&](RouteStatus status) {
-    std::promise<RouteResponse> p;
+  const auto fail_now = [&](RouteStatus status, std::string error = {}) {
     RouteResponse resp;
     resp.status = status;
-    p.set_value(std::move(resp));
-    return p.get_future();
+    resp.error = std::move(error);
+    done(std::move(resp));
   };
 
   // Resolve the session at admission: an unknown handle must fail fast, not
@@ -67,18 +74,37 @@ std::future<RouteResponse> RoutingService::submit(RouteRequest req) {
     return fail_now(RouteStatus::kSessionNotFound);
   }
 
+  // Resolve a net-name subset against the session while we still can answer
+  // with a precise diagnostic; by worker time the client context is gone.
+  if (!req.net_names.empty()) {
+    req.opts.subset.clear();
+    req.opts.subset.reserve(req.net_names.size());
+    std::vector<bool> taken(session->layout.nets().size(), false);
+    for (const std::string& name : req.net_names) {
+      const auto it = session->net_index.find(name);
+      if (it == session->net_index.end()) {
+        metrics_.requests_errored.fetch_add(1, std::memory_order_relaxed);
+        return fail_now(RouteStatus::kError, "unknown net '" + name + "'");
+      }
+      if (taken[it->second]) continue;  // duplicate name: route once
+      taken[it->second] = true;
+      req.opts.subset.push_back(it->second);
+    }
+  }
+
   Job job;
   job.req = std::move(req);
   job.session = std::move(session);
+  job.done = std::move(done);
   job.submitted = now;
-  std::future<RouteResponse> fut = job.done.get_future();
   if (!queue_.try_push(std::move(job))) {
-    // The rejected job's promise dies unfulfilled; `fut` is abandoned and a
-    // fresh immediately-completed future reports the rejection instead.
+    // try_push moves only on success, so the rejected job still owns its
+    // callback and can deliver the rejection.
     metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
-    return fail_now(RouteStatus::kRejected);
+    RouteResponse resp;
+    resp.status = RouteStatus::kRejected;
+    job.done(std::move(resp));
   }
-  return fut;
 }
 
 RouteResponse RoutingService::route(RouteRequest req) {
@@ -121,6 +147,7 @@ void RoutingService::worker_loop() {
                                         job->session->env);
       resp.result = router.route_all(job->req.opts);
       resp.session = job->session;
+      resp.nets = job->req.opts.subset;
       resp.status = RouteStatus::kOk;
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
       metrics_.nets_routed.fetch_add(resp.result.routed,
@@ -140,7 +167,7 @@ void RoutingService::finish(Job& job, RouteResponse&& resp) {
   resp.latency = std::chrono::microseconds(
       micros_between(job.submitted, std::chrono::steady_clock::now()));
   metrics_.latency.record(static_cast<std::uint64_t>(resp.latency.count()));
-  job.done.set_value(std::move(resp));
+  job.done(std::move(resp));
 }
 
 MetricsSnapshot RoutingService::snapshot() const {

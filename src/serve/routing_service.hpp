@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <functional>
 #include <future>
 #include <memory>
 #include <string>
@@ -48,6 +49,11 @@ enum class RouteStatus {
 struct RouteRequest {
   std::string session_key;
   route::NetlistOptions opts;
+  /// Net-name subset (the protocol's `nets=a,b,c`): resolved against the
+  /// session's netlist at admission into `opts.subset`; an unknown name
+  /// fails the request with kError before anything is queued.  Duplicate
+  /// names collapse to one routing of that net.  Empty = whole netlist.
+  std::vector<std::string> net_names;
   /// Zero (default) = no deadline.
   std::chrono::steady_clock::time_point deadline{};
   /// Optional cooperative cancel token; set it to true to drop the request
@@ -62,11 +68,21 @@ struct RouteResponse {
   /// keeps the layout alive while the caller renders the route dump.
   std::shared_ptr<const LayoutSession> session;
   route::NetlistResult result;
+  /// The net indices the request covered (the resolved subset); empty when
+  /// the whole netlist was routed.  Dump rendering must restrict itself to
+  /// these — unlisted `result.routes` slots were never attempted.
+  std::vector<std::size_t> nets;
   std::chrono::microseconds queue_wait{0};  ///< submit -> dequeue
   std::chrono::microseconds latency{0};     ///< submit -> completion
 
   [[nodiscard]] bool ok() const noexcept { return status == RouteStatus::kOk; }
 };
+
+/// Completion callback for the asynchronous submit form.  Invoked exactly
+/// once: inline on the submitting thread for fail-fast outcomes (unknown
+/// session, unknown net, full queue), or on a worker thread after routing.
+/// It must not block — the worker pool's throughput rides on it.
+using RouteCallback = std::function<void(RouteResponse)>;
 
 class RoutingService {
  public:
@@ -94,6 +110,12 @@ class RoutingService {
   /// immediately with the corresponding status.
   [[nodiscard]] std::future<RouteResponse> submit(RouteRequest req);
 
+  /// Callback form of admission — the event-driven front-end's entry point
+  /// (src/net/): no future to block on, \p done fires with the response
+  /// wherever it materializes (see RouteCallback).  The callback typically
+  /// formats the response and posts it to the event loop's wakeup mailbox.
+  void submit(RouteRequest req, RouteCallback done);
+
   /// Closed-loop convenience: submit and wait.
   [[nodiscard]] RouteResponse route(RouteRequest req);
 
@@ -111,7 +133,7 @@ class RoutingService {
   struct Job {
     RouteRequest req;
     std::shared_ptr<const LayoutSession> session;
-    std::promise<RouteResponse> done;
+    RouteCallback done;
     std::chrono::steady_clock::time_point submitted;
   };
 

@@ -246,6 +246,52 @@ TEST(NetlistRouter, RejectsNonPermutationOrder) {
   EXPECT_THROW((void)router.route_all(out_of_range), std::invalid_argument);
 }
 
+TEST(NetlistRouter, SubsetRoutesOnlyListedNets) {
+  // Request batching: a subset request must route exactly the listed nets,
+  // bit-identically to their slots in a full run, and leave every other
+  // slot untouched.
+  const layout::Layout lay = small_routed_layout(21);
+  const route::NetlistRouter router(lay);
+  const auto full = router.route_all();
+
+  route::NetlistOptions opts;
+  opts.subset = {4, 1};
+  const auto got = router.route_all(opts);
+  ASSERT_EQ(got.routes.size(), lay.nets().size());
+  EXPECT_EQ(got.routed + got.failed, 2u);
+  EXPECT_EQ(got.routes[1].segments, full.routes[1].segments);
+  EXPECT_EQ(got.routes[4].segments, full.routes[4].segments);
+  EXPECT_EQ(got.total_wirelength,
+            full.routes[1].wirelength + full.routes[4].wirelength);
+  for (std::size_t i = 0; i < got.routes.size(); ++i) {
+    if (i == 1 || i == 4) continue;
+    EXPECT_FALSE(got.routes[i].ok) << "net " << i << " was not requested";
+    EXPECT_TRUE(got.routes[i].segments.empty());
+  }
+
+  // Sequential mode honours the subset (and its order) too.
+  route::NetlistOptions seq;
+  seq.mode = route::NetlistMode::kSequential;
+  seq.subset = {4, 1};
+  const auto seq_got = router.route_all(seq);
+  EXPECT_EQ(seq_got.routed + seq_got.failed, 2u);
+}
+
+TEST(NetlistRouter, RejectsInvalidSubset) {
+  const layout::Layout lay = small_routed_layout(30, 3);
+  const route::NetlistRouter router(lay);
+  route::NetlistOptions dup;
+  dup.subset = {1, 1};
+  EXPECT_THROW((void)router.route_all(dup), std::invalid_argument);
+  route::NetlistOptions out_of_range;
+  out_of_range.subset = {7};
+  EXPECT_THROW((void)router.route_all(out_of_range), std::invalid_argument);
+  route::NetlistOptions both;
+  both.subset = {0};
+  both.order = {0, 1, 2};
+  EXPECT_THROW((void)router.route_all(both), std::invalid_argument);
+}
+
 TEST(NetlistRouter, ParallelMoreThreadsThanNets) {
   // Worker count is clamped to the job count; a tiny netlist with a huge
   // thread request must not deadlock or drop nets.

@@ -397,6 +397,79 @@ TEST(Protocol, TruncatedLoadBodyDropsConnection) {
   EXPECT_NE(out.find("truncated"), std::string::npos);
 }
 
+TEST(Protocol, OverlongCommandLineGetsErrAndRecovers) {
+  // A peer that streams an enormous "line" must not buffer unbounded
+  // memory; the overlong line is discarded to its LF and the connection
+  // keeps serving.
+  const std::string out = run_protocol(
+      std::string(serve::kMaxCommandLine + 100, 'x') + "\nQUIT\n");
+  EXPECT_EQ(out.rfind("ERR ", 0), 0u) << out.substr(0, 40);
+  EXPECT_NE(out.find("command line exceeds"), std::string::npos);
+  EXPECT_NE(out.find("OK 0 bye"), std::string::npos)
+      << "connection must survive an overlong line";
+}
+
+TEST(Protocol, ErrEchoesAreClampedToPrintable) {
+  // Untrusted tokens echo back in ERR reasons; terminal escapes and other
+  // control bytes must never reach the client (or an operator's terminal).
+  const std::string out = run_protocol("FROB\x1b[31m\x01\x02\nQUIT\n");
+  EXPECT_EQ(out.rfind("ERR ", 0), 0u);
+  for (const char c : out) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    EXPECT_TRUE(u == '\n' || (u >= 0x20 && u < 0x7f))
+        << "control byte 0x" << std::hex << static_cast<int>(u)
+        << " leaked into a response";
+  }
+  // And very long reasons are truncated, not amplified.
+  const std::string flood = run_protocol(
+      "ROUTE k " + std::string(2000, 'y') + "=1\nQUIT\n");
+  const std::size_t first_line_len = flood.find('\n');
+  ASSERT_NE(first_line_len, std::string::npos);
+  EXPECT_LE(first_line_len, 300u);
+}
+
+TEST(Protocol, RouteNetSubset) {
+  const std::string text = workload_text(9, 12, 7);
+  const layout::Layout lay = io::read_layout_string(text);
+  const route::NetlistResult reference = route::NetlistRouter(lay).route_all();
+  ASSERT_GE(lay.nets().size(), 3u);
+  const std::string& a = lay.nets()[2].name();
+  const std::string& b = lay.nets()[0].name();
+  const std::string key = serve::SessionCache::content_key(text);
+
+  const std::string script =
+      "LOAD " + std::to_string(text.size()) + "\n" + text +
+      "ROUTE " + key + " nets=" + a + "," + b + "\n" +   // named subset
+      "ROUTE " + key + " nets=" + a + "," + a + "\n" +   // duplicate: once
+      "ROUTE " + key + " nets=bogus\n" +                 // unknown net
+      "QUIT\n";
+  std::istringstream replies(run_protocol(script));
+
+  (void)next_frame(replies);  // LOAD
+  const Frame subset = next_frame(replies);
+  ASSERT_EQ(subset.status.rfind("OK ", 0), 0u) << subset.status;
+  EXPECT_NE(subset.status.find("routed 2 failed 0"), std::string::npos);
+  // The dump covers exactly the requested nets and reproduces the full
+  // run's routes for them bit-for-bit.
+  const route::NetlistResult parsed = io::read_routes_string(subset.body, lay);
+  EXPECT_EQ(parsed.routed, 2u);
+  EXPECT_EQ(parsed.routes[0].segments, reference.routes[0].segments);
+  EXPECT_EQ(parsed.routes[2].segments, reference.routes[2].segments);
+  EXPECT_EQ(subset.body.rfind("route " + a + " ", 0), 0u)
+      << "dump order must follow the request list";
+
+  const Frame dedup = next_frame(replies);
+  EXPECT_NE(dedup.status.find("routed 1 "), std::string::npos)
+      << "duplicate names must route once: " << dedup.status;
+
+  const Frame unknown = next_frame(replies);
+  EXPECT_EQ(unknown.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(unknown.status.find("unknown net 'bogus'"), std::string::npos);
+
+  const Frame bye = next_frame(replies);
+  EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
 TEST(Protocol, ParseRouteCommand) {
   const serve::RouteCommand cmd = serve::parse_route_command(
       " abc123 mode=sequential threads=4 deadline_ms=250 sorted=0"
@@ -410,6 +483,18 @@ TEST(Protocol, ParseRouteCommand) {
   EXPECT_EQ(cmd.deadline->count(), 250);
   EXPECT_THROW((void)serve::parse_route_command(""), std::runtime_error);
   EXPECT_THROW((void)serve::parse_route_command("k deadline_ms=-1"),
+               std::runtime_error);
+}
+
+TEST(Protocol, ParseRouteCommandNets) {
+  const serve::RouteCommand cmd =
+      serve::parse_route_command("key nets=clk,rst,d0");
+  EXPECT_EQ(cmd.nets, (std::vector<std::string>{"clk", "rst", "d0"}));
+  EXPECT_TRUE(serve::parse_route_command("key").nets.empty());
+  // Empty items would silently route nothing — malformed.
+  EXPECT_THROW((void)serve::parse_route_command("k nets=a,,b"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::parse_route_command("k nets=a,"),
                std::runtime_error);
 }
 
