@@ -1,0 +1,195 @@
+// E13 — incremental rip-up (obstacle removal) vs full environment rebuilds.
+//
+// Rip-up-and-reroute rips a committed net's wire halos back out of the
+// search environment.  The classical implementation rebuilds the
+// ObstacleIndex and EscapeLineSet from scratch over the surviving
+// obstacles; `SearchEnvironment::remove_route` instead tombstones the halos
+// in the edge tables and bucket grid and re-extends only the escape lines
+// they had clipped, with periodic compaction keeping the tombstoned tables
+// bounded across rip-up cycles.  Two claims are measured: (1) ripping one
+// wire out costs O(affected geometry) — far cheaper than a rebuild, with
+// the gap growing as committed wires accumulate; (2) end-to-end
+// rip-up-and-reroute (`NetlistOptions::reroute`) beats the rebuild-based
+// reference loop the differential tests prove it bit-identical to.
+//
+// The acceptance bar from the issue: per-net removal at 256 committed
+// wires must be at least 5x cheaper than a full rebuild.
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/netlist_router.hpp"
+#include "core/search_environment.hpp"
+#include "reference_sequential.hpp"
+#include "spatial/escape_lines.hpp"
+#include "spatial/obstacle_index.hpp"
+
+namespace {
+
+using namespace gcr;
+using geom::Coord;
+using geom::Point;
+using geom::Rect;
+using geom::Segment;
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Wire-shaped segments (thin, axis-aligned) like sequential routing
+/// commits, reproducible by seed.
+std::vector<Segment> wire_stream(std::size_t count, Coord extent,
+                                 std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<Coord> pos(0, extent - 1);
+  std::uniform_int_distribution<Coord> len(4, extent / 3);
+  std::uniform_int_distribution<int> axis(0, 1);
+  std::vector<Segment> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Coord x = pos(rng), y = pos(rng), l = len(rng);
+    out.push_back(axis(rng) == 0
+                      ? Segment{Point{x, y}, Point{std::min(x + l, extent), y}}
+                      : Segment{Point{x, y}, Point{x, std::min(y + l, extent)}});
+  }
+  return out;
+}
+
+/// An environment with `wires` single-segment nets committed under keys
+/// 0..wires-1.
+route::SearchEnvironment committed_env(const layout::Layout& base,
+                                       const std::vector<Segment>& wires) {
+  route::SearchEnvironment env(base);
+  for (std::size_t i = 0; i < wires.size(); ++i) {
+    env.commit_route(i, {wires[i]}, 1);
+  }
+  return env;
+}
+
+void print_table() {
+  std::puts("E13 — incremental rip-up (removal) vs full environment rebuilds");
+  bench::rule('-', 78);
+
+  std::puts("per-net removal cost at N committed wires (24 base cells):");
+  std::printf("  %-8s %14s %16s %10s\n", "wires", "remove us/net",
+              "rebuild us/net", "speedup");
+  for (const std::size_t wires : {16u, 64u, 256u}) {
+    const layout::Layout base = bench::make_workload(24, 640, 1, 42);
+    const std::vector<Segment> wires_v = wire_stream(wires, 640, 99);
+    const route::SearchEnvironment env = committed_env(base, wires_v);
+
+    // Remove every 8th committed net from a copy — the rip-up pattern —
+    // and charge the copy outside the timed region.
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 0; i < wires; i += 8) victims.push_back(i);
+
+    route::SearchEnvironment ripped = env;
+    const auto t_remove = Clock::now();
+    for (const std::size_t v : victims) ripped.remove_route(v);
+    const double remove_us =
+        secs_since(t_remove) * 1e6 / double(victims.size());
+    benchmark::DoNotOptimize(ripped.committed());
+
+    // The cost remove_route avoids: a from-scratch build over the same
+    // survivor set, once per removal.  The copy is charged outside the
+    // timed region, same as on the removal side; repeated rebuild() calls
+    // on the copy cost the same as the first (full re-sort + re-trace).
+    route::SearchEnvironment fresh = env;
+    const auto t_rebuild = Clock::now();
+    for (std::size_t k = 0; k < victims.size(); ++k) {
+      fresh.rebuild();
+      benchmark::DoNotOptimize(fresh.committed());
+    }
+    const double rebuild_us =
+        secs_since(t_rebuild) * 1e6 / double(victims.size());
+
+    std::printf("  %-8zu %14.1f %16.1f %9.1fx\n", wires, remove_us,
+                rebuild_us, remove_us > 0 ? rebuild_us / remove_us : 0.0);
+  }
+  std::puts("  (the issue's bar: >= 5x at 256 wires; removal touches only"
+            " the clipped lines)");
+
+  std::puts("end-to-end rip-up-and-reroute (20 cells), incremental vs"
+            " rebuild reference:");
+  std::printf("  %-8s %12s %12s %10s %8s\n", "nets", "incr ms", "rebuild ms",
+              "speedup", "match");
+  for (const std::size_t nets : {8u, 16u, 32u}) {
+    const layout::Layout lay = bench::make_workload(20, 640, nets, 7);
+    route::NetlistOptions opts;
+    opts.mode = route::NetlistMode::kSequential;
+    for (std::size_t i = 0; i < nets; i += 3) opts.reroute.push_back(i);
+
+    const auto t_incr = Clock::now();
+    const auto incr = route::NetlistRouter(lay).route_all(opts);
+    const double incr_ms = secs_since(t_incr) * 1e3;
+
+    const auto t_reb = Clock::now();
+    const auto reb = test::reference_ripup(lay, opts, opts.reroute);
+    const double reb_ms = secs_since(t_reb) * 1e3;
+
+    const bool match = incr.total_wirelength == reb.total_wirelength &&
+                       incr.routed == reb.routed;
+    std::printf("  %-8zu %12.2f %12.2f %9.1fx %8s\n", nets, incr_ms, reb_ms,
+                incr_ms > 0 ? reb_ms / incr_ms : 0.0, match ? "yes" : "NO");
+  }
+  bench::rule('-', 78);
+}
+
+void BM_RemoveRoute(benchmark::State& state) {
+  // Cost of ripping one committed net out of an environment holding
+  // `range` committed wires.
+  const std::size_t preload = static_cast<std::size_t>(state.range(0));
+  const layout::Layout base = bench::make_workload(24, 640, 1, 42);
+  const route::SearchEnvironment env =
+      committed_env(base, wire_stream(preload, 640, 99));
+  for (auto _ : state) {
+    state.PauseTiming();
+    route::SearchEnvironment copy = env;
+    state.ResumeTiming();
+    copy.remove_route(preload / 2);
+    benchmark::DoNotOptimize(copy.committed());
+  }
+  state.SetLabel(std::to_string(preload) + " wires committed");
+}
+BENCHMARK(BM_RemoveRoute)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RebuildAfterRemoval(benchmark::State& state) {
+  // The cost remove_route avoids: the rebuild() fallback over the same
+  // committed set.
+  const std::size_t preload = static_cast<std::size_t>(state.range(0));
+  const layout::Layout base = bench::make_workload(24, 640, 1, 42);
+  const route::SearchEnvironment env =
+      committed_env(base, wire_stream(preload, 640, 99));
+  for (auto _ : state) {
+    state.PauseTiming();
+    route::SearchEnvironment copy = env;
+    state.ResumeTiming();
+    copy.rebuild();
+    benchmark::DoNotOptimize(copy.committed());
+  }
+  state.SetLabel(std::to_string(preload) + " wires committed");
+}
+BENCHMARK(BM_RebuildAfterRemoval)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RipupReroute(benchmark::State& state) {
+  // End-to-end: sequential route, rip a third of the nets, re-route them.
+  const std::size_t nets = static_cast<std::size_t>(state.range(0));
+  const layout::Layout lay = bench::make_workload(20, 640, nets, 7);
+  route::NetlistOptions opts;
+  opts.mode = route::NetlistMode::kSequential;
+  for (std::size_t i = 0; i < nets; i += 3) opts.reroute.push_back(i);
+  const route::NetlistRouter router(lay);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route_all(opts));
+  }
+  state.SetLabel(std::to_string(nets) + " nets");
+}
+BENCHMARK(BM_RipupReroute)->Arg(16)->Arg(48);
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

@@ -462,6 +462,21 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
   std::vector<ClientResult> results(cfg.clients);
   const std::string key = serve::SessionCache::content_key(layout_text);
 
+  // Rip-up-and-reroute reference: every client finishes with one
+  // `REROUTE nets=<first two nets>` whose dump must match this
+  // byte-for-byte (the serve path runs the same deterministic driver).
+  std::string reroute_line, reroute_body;
+  if (lay.nets().size() >= 2) {
+    route::NetlistOptions ropts;
+    ropts.mode = route::NetlistMode::kSequential;
+    ropts.reroute = {0, 1};
+    const route::NetlistResult rres =
+        route::NetlistRouter(lay).route_all(ropts);
+    reroute_body = io::write_routes_string(lay, rres, ropts.reroute);
+    reroute_line = "REROUTE " + key + " nets=" + lay.nets()[0].name() + "," +
+                   lay.nets()[1].name();
+  }
+
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
@@ -512,6 +527,16 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
               }
             } catch (const std::exception& e) {
               fail(std::string("dump unparsable: ") + e.what());
+            }
+          }
+          if (!reroute_line.empty()) {
+            const Reply rr = transact(out, in, reroute_line);
+            if (!rr.ok) {
+              fail("REROUTE: " + rr.error);
+            } else if (rr.body != reroute_body) {
+              fail("REROUTE dump mismatch vs reference");
+            } else {
+              ++res.ok;
             }
           }
           const Reply bye = transact(out, in, "QUIT");

@@ -20,8 +20,12 @@
 //                      is dropped
 //
 // A session survives across requests: LOAD once, ROUTE many times — every
-// ROUTE reuses the session's prebuilt obstacle index and escape lines.  In
-// TCP mode SIGINT/SIGTERM shut down gracefully: the listener closes,
+// ROUTE reuses the session's prebuilt obstacle index and escape lines, and
+// `REROUTE <session> nets=a,b` rips the named nets out of a full
+// sequential pass and re-routes them against the committed remainder
+// (incremental halo removal, no environment rebuild).  In TCP mode cold
+// LOADs build on the worker pool, so one giant layout upload cannot stall
+// the other connections.  SIGINT/SIGTERM shut down gracefully: the listener closes,
 // in-flight jobs drain and flush, then the loop exits (a second signal
 // force-closes lingering connections).
 //

@@ -19,6 +19,32 @@ using geom::Rect;
 
 namespace {
 
+/// Validates NetlistOptions::reroute: unique in-range indices, sequential
+/// mode only, exclusive with subset.  Returns the list (empty = no rip-up).
+std::vector<std::size_t> resolve_reroute(const NetlistOptions& opts,
+                                         std::size_t n) {
+  if (opts.reroute.empty()) return {};
+  if (opts.mode != NetlistMode::kSequential) {
+    throw std::invalid_argument(
+        "NetlistOptions: reroute requires sequential mode (independent "
+        "routing has no net ordering to repair)");
+  }
+  if (!opts.subset.empty()) {
+    throw std::invalid_argument(
+        "NetlistOptions: reroute and subset are mutually exclusive (rip-up "
+        "re-routes against the full committed remainder)");
+  }
+  std::vector<bool> seen(n, false);
+  for (const std::size_t i : opts.reroute) {
+    if (i >= n || seen[i]) {
+      throw std::invalid_argument(
+          "NetlistOptions::reroute entries must be unique net indices");
+    }
+    seen[i] = true;
+  }
+  return opts.reroute;
+}
+
 std::vector<std::size_t> resolve_order(const NetlistOptions& opts,
                                        std::size_t n) {
   if (!opts.subset.empty()) {
@@ -133,6 +159,7 @@ NetlistResult NetlistRouter::route_independent(
     const NetlistOptions& opts) const {
   NetlistResult result;
   result.routes.resize(layout_.nets().size());
+  resolve_reroute(opts, result.routes.size());  // throws: wrong mode
 
   // One obstacle index and one escape-line set serve every net: the whole
   // point of independent routing is that the search environment is fixed.
@@ -212,7 +239,8 @@ NetlistResult NetlistRouter::route_independent(
 NetlistResult NetlistRouter::route_sequential(
     const NetlistOptions& opts) const {
   NetlistResult result;
-  result.routes.resize(layout_.nets().size());
+  const std::size_t n = layout_.nets().size();
+  result.routes.resize(n);
 
   // Previously routed nets join the obstacle set (inflated by the wire
   // spacing halo).  The environment absorbs each routed net *incrementally*
@@ -226,9 +254,11 @@ NetlistResult NetlistRouter::route_sequential(
   SearchEnvironment env =
       env_ != nullptr ? *env_ : SearchEnvironment(layout_);
 
-  for (const std::size_t i : resolve_order(opts, layout_.nets().size())) {
-    const SteinerNetRouter net_router(env.index(), env.lines(), cost_);
+  const std::vector<std::size_t> order = resolve_order(opts, n);
+  const std::vector<std::size_t> reroute = resolve_reroute(opts, n);
 
+  const auto route_one = [&](std::size_t i) {
+    const SteinerNetRouter net_router(env.index(), env.lines(), cost_);
     // A net whose pins are swallowed by earlier wires' halos cannot route.
     bool pins_ok = true;
     for (const auto& pins :
@@ -242,9 +272,39 @@ NetlistResult NetlistRouter::route_sequential(
       nr = net_router.route_net(layout_, layout_.nets()[i], opts.steiner);
     }
     if (nr.ok) {
-      env.commit_route(nr.segments, opts.wire_halo);
+      env.commit_route(i, nr.segments, opts.wire_halo);
     }
-    account(result, i, std::move(nr));
+    result.routes[i] = std::move(nr);
+  };
+
+  for (const std::size_t i : order) route_one(i);
+
+  if (!reroute.empty()) {
+    // Rip-up-and-reroute: tombstone every listed net's halos (each removal
+    // is O(affected geometry); a net that failed to route committed
+    // nothing and remove_route is a no-op), then re-route the list in
+    // order against the committed remainder.  The environment after the
+    // removals is exactly the one a from-scratch rebuild over the
+    // remainder would build, so the re-routes are bit-identical to the
+    // rebuild-based reference — the differential suite proves it.
+    for (const std::size_t r : reroute) env.remove_route(r);
+    for (const std::size_t r : reroute) route_one(r);
+  }
+
+  // Accounting replays the *final* order — remaining nets in first-pass
+  // order, then the re-routed list — over each net's final route, so a
+  // ripped net's discarded first route never pollutes totals or stats and
+  // the result matches the rebuild-based rip-up reference bit for bit.
+  // (That is the guarantee; full equality with a from-scratch route of
+  // this order additionally requires the first pass to have routed the
+  // ripped nets last — see NetlistOptions::reroute.)
+  std::vector<bool> ripped(n, false);
+  for (const std::size_t r : reroute) ripped[r] = true;
+  for (const std::size_t i : order) {
+    if (!ripped[i]) account(result, i, std::move(result.routes[i]));
+  }
+  for (const std::size_t r : reroute) {
+    account(result, r, std::move(result.routes[r]));
   }
   return result;
 }

@@ -48,6 +48,21 @@ struct NetlistOptions {
   /// in-range net indices, and `order` must be empty (the subset *is* the
   /// order); violations throw std::invalid_argument.
   std::vector<std::size_t> subset;
+  /// Rip-up-and-reroute (sequential mode only): after the full sequential
+  /// pass, the listed nets are ripped back out of the search environment
+  /// (incremental halo removal, no rebuild) and re-routed in list order
+  /// against the committed remainder — the classical remedy for
+  /// order-sensitivity, priced at O(affected geometry) per ripped net.
+  /// The final result — routes, totals, stats — is bit-identical to
+  /// performing the same rip-up with from-scratch environment rebuilds
+  /// (the incremental removal is exact), and accounting replays the final
+  /// order (remaining nets in first-pass order, then the list); when the
+  /// first pass already routed the listed nets last, the result is
+  /// therefore bit-identical to the plain sequential route of that order.
+  /// Entries must be unique in-range net indices; requires sequential mode
+  /// and no `subset` (violations throw std::invalid_argument).  May
+  /// combine with `order`, which fixes the first-pass order.
+  std::vector<std::size_t> reroute;
   /// Worker threads for the independent-mode batch driver.  1 = the
   /// deterministic serial loop; 0 = one worker per hardware thread; N > 1 =
   /// exactly N workers.  Because independent nets share a read-only search

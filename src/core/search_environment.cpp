@@ -1,12 +1,46 @@
 #include "core/search_environment.hpp"
 
 #include <atomic>
+#include <stdexcept>
 
 namespace gcr::route {
 
 namespace {
 std::atomic<std::size_t> g_build_count{0};
+std::atomic<bool> g_inject_update_fault{false};
+
+/// Compaction policy: tombstones are cheap individually (a skipped table
+/// entry) but rip-up cycles accumulate them without bound, so compact once
+/// they are both numerous and a large fraction of the table.  The absolute
+/// floor keeps small environments from compacting on every removal; the
+/// ratio keeps query-side skip cost proportional to live work.
+constexpr std::size_t kCompactMinDead = 16;
+
+bool should_compact(const spatial::ObstacleIndex& index) {
+  return index.dead_count() >= kCompactMinDead &&
+         index.dead_count() * 2 >= index.size();
+}
+
 }  // namespace
+
+/// Marks the environment invalid for the duration of a multi-step splice.
+/// Destruction without disarm() — the throw path — leaves it invalid, so
+/// the next accessor repairs with a rebuild instead of answering from a
+/// half-spliced index.
+class SearchEnvironment::UpdateGuard {
+ public:
+  explicit UpdateGuard(SearchEnvironment& env) : env_(env) {
+    env_.invalid_ = true;
+  }
+  ~UpdateGuard() {
+    if (completed_) env_.invalid_ = false;
+  }
+  void disarm() noexcept { completed_ = true; }
+
+ private:
+  SearchEnvironment& env_;
+  bool completed_ = false;
+};
 
 SearchEnvironment::SearchEnvironment(const layout::Layout& lay)
     : index_(lay.boundary(), lay.obstacles()),
@@ -15,17 +49,112 @@ SearchEnvironment::SearchEnvironment(const layout::Layout& lay)
   g_build_count.fetch_add(1, std::memory_order_relaxed);
 }
 
-void SearchEnvironment::commit_route(
-    const std::vector<geom::Segment>& segments, geom::Coord halo) {
-  for (const geom::Segment& s : segments) {
-    index_.insert(s.bounds().inflated(halo));
-    lines_.insert_obstacle(index_, index_.size() - 1);
+void SearchEnvironment::check_injected_fault() {
+  if (g_inject_update_fault.exchange(false, std::memory_order_relaxed)) {
+    throw std::runtime_error("injected SearchEnvironment update fault");
   }
 }
 
+void SearchEnvironment::inject_update_fault_for_tests() noexcept {
+  g_inject_update_fault.store(true, std::memory_order_relaxed);
+}
+
+void SearchEnvironment::commit_route(
+    const std::vector<geom::Segment>& segments, geom::Coord halo) {
+  if (invalid_) rebuild();  // never splice into a half-updated structure
+  UpdateGuard guard(*this);
+  for (const geom::Segment& s : segments) {
+    index_.insert(s.bounds().inflated(halo));
+    check_injected_fault();
+    lines_.insert_obstacle(index_, index_.size() - 1);
+  }
+  guard.disarm();
+}
+
+void SearchEnvironment::commit_route(std::size_t net_id,
+                                     const std::vector<geom::Segment>& segments,
+                                     geom::Coord halo) {
+  if (committed_by_net_.count(net_id) != 0) {
+    throw std::invalid_argument(
+        "SearchEnvironment: net is already committed; remove_route it first");
+  }
+  if (invalid_) rebuild();  // never splice into a half-updated structure
+  // Reserve the record up front: if a splice below throws, every obstacle
+  // that made it into the index is on record, so a later remove_route or
+  // the rebuild repair can still account for it.
+  std::vector<std::size_t>& record = committed_by_net_[net_id];
+  record.reserve(segments.size());
+  UpdateGuard guard(*this);
+  for (const geom::Segment& s : segments) {
+    record.push_back(index_.size());
+    index_.insert(s.bounds().inflated(halo));
+    check_injected_fault();
+    lines_.insert_obstacle(index_, index_.size() - 1);
+  }
+  guard.disarm();
+}
+
+bool SearchEnvironment::remove_route(std::size_t net_id) {
+  // Repair before mutating: a retry directly after a failed update would
+  // otherwise splice against structures that are out of step with each
+  // other (e.g. a tombstoned obstacle whose line records were never
+  // retired — the idempotent skip below would then silently leave them
+  // live forever).  The rebuild also renumbers this net's record, so the
+  // loop only ever sees coherent live indices.
+  if (invalid_) rebuild();
+  const auto it = committed_by_net_.find(net_id);
+  if (it == committed_by_net_.end()) return false;
+  UpdateGuard guard(*this);
+  for (const std::size_t idx : it->second) {
+    // Defensive: a record can only reference live obstacles here (see the
+    // repair above), but remove() stays idempotent regardless.
+    if (!index_.remove(idx)) continue;
+    check_injected_fault();
+    lines_.remove_obstacle(index_, idx);
+  }
+  committed_by_net_.erase(it);
+  maybe_compact();
+  guard.disarm();
+  return true;
+}
+
+void SearchEnvironment::maybe_compact() {
+  if (!should_compact(index_)) return;
+  const std::vector<std::size_t> remap = index_.compact();
+  lines_.compact(remap);
+  for (auto& [net, record] : committed_by_net_) {
+    for (std::size_t& idx : record) idx = remap[idx];
+  }
+}
+
+void SearchEnvironment::repair() const {
+  // Reached only after a failed mutation, which required exclusive access —
+  // so exclusive access still holds and the const_cast rebuild is safe (a
+  // *shared* environment is never invalid; see class comment).
+  const_cast<SearchEnvironment*>(this)->rebuild();
+}
+
 void SearchEnvironment::rebuild() {
-  index_ = spatial::ObstacleIndex(index_.boundary(), index_.obstacles());
+  // compact() doubles as the from-scratch rebuild: it erases tombstones,
+  // renumbers survivors, re-sorts every table, and re-derives the bucket
+  // grid; the line set is then rebuilt outright (after a failed update it
+  // may be out of step with the index, so no incremental shortcut is
+  // sound here).
+  const std::vector<std::size_t> remap = index_.compact();
   lines_ = spatial::EscapeLineSet(index_);
+  for (auto& [net, record] : committed_by_net_) {
+    std::vector<std::size_t> renumbered;
+    renumbered.reserve(record.size());
+    for (const std::size_t idx : record) {
+      // Drop entries that never made it into the index (a commit whose
+      // insert itself threw) along with tombstoned ones.
+      if (idx < remap.size() && remap[idx] != spatial::ObstacleIndex::npos) {
+        renumbered.push_back(remap[idx]);
+      }
+    }
+    record = std::move(renumbered);
+  }
+  invalid_ = false;
   g_build_count.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -33,6 +162,8 @@ void SearchEnvironment::rebuild(const layout::Layout& lay) {
   index_ = spatial::ObstacleIndex(lay.boundary(), lay.obstacles());
   lines_ = spatial::EscapeLineSet(index_);
   base_obstacles_ = index_.size();
+  committed_by_net_.clear();
+  invalid_ = false;
   g_build_count.fetch_add(1, std::memory_order_relaxed);
 }
 

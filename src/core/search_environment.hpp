@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <map>
 #include <vector>
 
 #include "layout/layout.hpp"
@@ -10,8 +11,8 @@
 /// \file search_environment.hpp
 /// The per-layout search state shared by every independent-mode net — the
 /// obstacle index over the placed cells and the escape-line set derived from
-/// it — now *incrementally updatable* so sequential-mode routing can reuse
-/// it too.
+/// it — now *incrementally updatable in both directions* so sequential-mode
+/// routing and rip-up-and-reroute can reuse it too.
 ///
 /// The paper's independent-routing scheme fixes the obstacle set for the
 /// whole netlist ("the only obstacles are the cells"), so this environment
@@ -24,19 +25,34 @@
 /// obstacle set.  `commit_route` applies that as a *local* update — a
 /// spatial-bucket insert into the index plus localized escape-line
 /// regeneration around the new geometry — instead of rebuilding both
-/// structures from scratch per net.  The incremental state is exactly
-/// equivalent to a from-scratch build over the same obstacles (the
-/// differential tests prove bit-identical routes).  For non-local edits
-/// (placement changes, obstacle removal) there is no incremental path:
-/// call `rebuild` to invalidate and reconstruct.
+/// structures from scratch per net.  `remove_route` is the inverse: it
+/// tombstones a committed net's halos and re-extends only the escape lines
+/// they had clipped, so ripping a net up for re-routing costs O(affected
+/// geometry) rather than a full rebuild (tombstones are compacted away
+/// periodically so rip-up cycles keep the tables bounded).  Both
+/// incremental paths are exactly equivalent to a from-scratch build over
+/// the same live obstacles (the differential tests prove bit-identical
+/// routes).  For edits with no incremental path (placement changes), call
+/// `rebuild` to invalidate and reconstruct.
+///
+/// Exception safety: a throw from inside `commit_route`/`remove_route`
+/// (allocation, most plausibly) can leave the index and line set
+/// half-spliced.  Both operations therefore flag the environment invalid
+/// for their duration; on a throw the flag sticks, and the next accessor
+/// *or mutator* call repairs the environment with a full `rebuild()` first
+/// — a query can observe a coherent (possibly partially-updated) obstacle
+/// set, never a torn index, and a retried mutation never splices into
+/// structures that are out of step with each other.
 
 namespace gcr::route {
 
-/// Read-only use is safe to share across threads.  Mutation (`commit_route`,
-/// `rebuild`) requires exclusive access; sequential-mode routing therefore
-/// copies a shared environment before committing into it — a copy is plain
-/// vector duplication, far cheaper than a build (and it does not count as
-/// one in `build_count`).
+/// Read-only use is safe to share across threads: a shared environment is
+/// only ever in the valid state, so the accessors' lazy-repair path (see
+/// file comment) cannot run on it.  Mutation (`commit_route`,
+/// `remove_route`, `rebuild`) requires exclusive access; sequential-mode
+/// routing therefore copies a shared environment before committing into it
+/// — a copy is plain vector duplication, far cheaper than a build (and it
+/// does not count as one in `build_count`).
 class SearchEnvironment {
  public:
   /// Builds the index and escape lines for \p lay's current placement.  The
@@ -45,29 +61,57 @@ class SearchEnvironment {
   /// `rebuild`).
   explicit SearchEnvironment(const layout::Layout& lay);
 
-  [[nodiscard]] const spatial::ObstacleIndex& index() const noexcept {
+  /// Accessors repair an invalidated environment (failed update) with a
+  /// full rebuild before answering — hence not noexcept.
+  [[nodiscard]] const spatial::ObstacleIndex& index() const {
+    if (invalid_) repair();
     return index_;
   }
-  [[nodiscard]] const spatial::EscapeLineSet& lines() const noexcept {
+  [[nodiscard]] const spatial::EscapeLineSet& lines() const {
+    if (invalid_) repair();
     return lines_;
   }
 
   /// Commits a routed net: every segment, inflated by \p halo (the minimum
   /// wire spacing), joins the obstacle set via incremental insertion —
   /// O(affected geometry), not O(full rebuild).  Equivalent to rebuilding
-  /// the environment over the extended obstacle list.
+  /// the environment over the extended obstacle list.  This form is
+  /// anonymous: the halos cannot be ripped up again except via
+  /// `rebuild(layout)`.
   void commit_route(const std::vector<geom::Segment>& segments,
                     geom::Coord halo);
 
-  /// Obstacles committed on top of the base layout (wire halos).
+  /// Keyed form: same incremental commit, but the halos are recorded under
+  /// \p net_id so `remove_route(net_id)` can rip them back out.
+  /// Re-committing an id that is still committed throws
+  /// std::invalid_argument (rip it up first).
+  void commit_route(std::size_t net_id,
+                    const std::vector<geom::Segment>& segments,
+                    geom::Coord halo);
+
+  /// Rips up the net committed under \p net_id: its halos are tombstoned in
+  /// the index and the escape lines they clipped are re-extended — both
+  /// O(affected geometry).  Exactly equivalent to rebuilding the
+  /// environment over the remaining live obstacles.  Returns false (and
+  /// does nothing) when nothing is committed under \p net_id.  Triggers a
+  /// coordinated compaction of the tombstoned tables once enough removals
+  /// have accumulated, so rip-up cycles keep memory and query cost bounded.
+  bool remove_route(std::size_t net_id);
+
+  /// Live obstacles committed on top of the base layout (wire halos).
   [[nodiscard]] std::size_t committed() const noexcept {
-    return index_.size() - base_obstacles_;
+    return index_.live_size() - base_obstacles_;
   }
 
-  /// Invalidate-and-rebuild fallback for non-local edits: reconstructs both
-  /// structures from scratch over the *current* obstacle set (base cells +
-  /// committed halos).  Also re-derives the bucket-grid resolution, which
-  /// incremental inserts leave fixed.  Counts as a build.
+  /// False after `commit_route`/`remove_route` threw mid-update: queries
+  /// would repair via rebuild() first (see file comment).
+  [[nodiscard]] bool valid() const noexcept { return !invalid_; }
+
+  /// Invalidate-and-rebuild fallback: reconstructs both structures from
+  /// scratch over the *current* live obstacle set (base cells + committed
+  /// halos), erasing accumulated tombstones and re-deriving the bucket-grid
+  /// resolution.  Keyed commit records survive (renumbered).  Counts as a
+  /// build.
   void rebuild();
 
   /// Rebuild against a new placement: discards every committed halo and all
@@ -80,10 +124,28 @@ class SearchEnvironment {
   /// incremental commits never degenerate into rebuilds.
   [[nodiscard]] static std::size_t build_count() noexcept;
 
+  /// Test seam for the exception-safety contract: the next
+  /// `commit_route`/`remove_route` on any environment throws mid-update
+  /// (after part of the splice has been applied), as an allocation failure
+  /// would.  One-shot; cleared when it fires.
+  static void inject_update_fault_for_tests() noexcept;
+
  private:
+  /// RAII guard around a multi-step splice: the environment reads as
+  /// invalid while the update runs, and stays invalid if it throws.
+  class UpdateGuard;
+
+  void repair() const;  ///< rebuild() from a const accessor (exclusive access)
+  void maybe_compact();
+  static void check_injected_fault();
+
   spatial::ObstacleIndex index_;
   spatial::EscapeLineSet lines_;
   std::size_t base_obstacles_ = 0;
+  bool invalid_ = false;
+  /// Obstacle indices of each keyed committed net, for remove_route.
+  /// Renumbered in place when the index compacts.
+  std::map<std::size_t, std::vector<std::size_t>> committed_by_net_;
 };
 
 }  // namespace gcr::route

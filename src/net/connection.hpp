@@ -118,6 +118,12 @@ class Connection {
   bool quit = false;               ///< QUIT seen: stop serving commands
   bool close_after_flush = false;  ///< close once drained
   bool reads_suspended = false;    ///< EPOLLIN currently off
+  /// A cold LOAD is building on the worker pool.  Commands behind it park
+  /// in `deferred` until its completion lands: a pipelined `LOAD …\nROUTE`
+  /// burst must see the session resolvable at the ROUTE's admission, which
+  /// the old loop-thread-inline LOAD guaranteed for free and the offloaded
+  /// path must earn with this barrier.
+  bool load_inflight = false;
   std::uint32_t registered_events = 0;  ///< epoll interest as last set
 
   /// Commands parsed but not yet dispatched: when one recv batch carries

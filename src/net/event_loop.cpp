@@ -50,6 +50,10 @@ struct EventLoop::Mailbox {
     std::uint64_t conn_id = 0;
     std::uint64_t seq = 0;
     std::string frame;
+    /// This completion finishes the connection's offloaded LOAD: drop the
+    /// dispatch barrier so parked commands replay (see
+    /// Connection::load_inflight).
+    bool load = false;
   };
 
 #if GCR_NET_HAVE_EPOLL
@@ -207,6 +211,7 @@ void EventLoop::drain_mailbox() {
     }
     Connection& conn = *it->second;
     conn.job_completed();
+    if (c.load) conn.load_inflight = false;  // barrier down: deferred replay
     conn.complete(c.seq, std::move(c.frame));
     settle(c.conn_id);
   }
@@ -261,18 +266,24 @@ void EventLoop::process_events(Connection& conn,
   for (std::size_t i = from; i < events.size(); ++i) {
     // Commands after QUIT or a fatal framing error are never served.
     if (conn.quit || conn.close_after_flush) break;
-    if (conn.backlog() > opts_.write_high_water ||
-        conn.inflight() >= opts_.max_inflight) {
+    const bool backpressured = conn.backlog() > opts_.write_high_water ||
+                               conn.inflight() >= opts_.max_inflight;
+    if (backpressured || conn.load_inflight) {
       // One recv batch of cheap commands can outrun the write marks all
       // by itself, and fail-fast ROUTE responses park in the mailbox
       // where the byte marks cannot see them; park the surplus so both
-      // bounds hold even against a single pipelined burst.
+      // bounds hold even against a single pipelined burst.  An offloaded
+      // LOAD parks everything behind it too (the ordering barrier) —
+      // that is sequencing, not a slow reader, so it skips the
+      // backpressure stat.
       for (std::size_t j = i; j < events.size(); ++j) {
         conn.deferred.push_back(std::move(events[j]));
       }
       if (!conn.reads_suspended) {
         conn.reads_suspended = true;
-        stats_.reads_suspended.fetch_add(1, std::memory_order_relaxed);
+        if (backpressured) {
+          stats_.reads_suspended.fetch_add(1, std::memory_order_relaxed);
+        }
       }
       return;
     }
@@ -313,14 +324,39 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
     case serve::CommandKind::kStats:
       conn.complete(seq, serve::exec_stats(service_));
       return;
-    case serve::CommandKind::kLoad:
-      // Parse + session build run on the loop thread (see file comment).
-      conn.complete(seq, serve::exec_load(service_, ev.body));
+    case serve::CommandKind::kLoad: {
+      // Repeat LOADs of resident content answer inline: the probe costs
+      // one content hash — O(body bytes), which the loop pays knowingly;
+      // it is orders of magnitude cheaper than the parse + environment
+      // build and is what keeps the common resident case off the queue.
+      // Cold LOADs go to the worker pool (with the already-computed key,
+      // so the body is hashed exactly once) so a cold-session storm
+      // cannot stall the loop thread; the barrier parks this connection's
+      // later commands until the session exists (pipelined LOAD→ROUTE
+      // must still resolve).
+      std::string key;
+      if (const auto cached = service_.sessions().find_content(ev.body, &key)) {
+        conn.complete(seq, serve::format_load_ok(*cached, true));
+        return;
+      }
+      conn.job_dispatched();
+      conn.load_inflight = true;
+      service_.submit_load(
+          std::move(ev.body), std::move(key), conn.cancel_token(),
+          [mailbox = mailbox_, id = conn.id(),
+           seq](serve::LoadResponse resp) {
+            mailbox->post({id, seq, serve::format_load_response(resp),
+                           /*load=*/true});
+          });
       return;
-    case serve::CommandKind::kRoute: {
+    }
+    case serve::CommandKind::kRoute:
+    case serve::CommandKind::kReroute: {
       serve::RouteRequest req;
       try {
-        req = serve::to_request(serve::parse_route_command(cmd.args));
+        req = serve::to_request(cmd.kind == serve::CommandKind::kRoute
+                                    ? serve::parse_route_command(cmd.args)
+                                    : serve::parse_reroute_command(cmd.args));
       } catch (const std::exception& e) {
         conn.complete(seq, serve::format_err(e.what()));
         return;
@@ -383,11 +419,13 @@ void EventLoop::settle(std::uint64_t id) {
     // wholesale move-out/re-park here would be quadratic against a large
     // parked burst drained one completion at a time).
     if (conn.deferred.empty() || conn.quit || conn.close_after_flush ||
+        conn.load_inflight ||
         conn.backlog() > opts_.write_high_water / 2 ||
         conn.inflight() >= opts_.max_inflight) {
       break;
     }
     while (!conn.deferred.empty() && !conn.quit && !conn.close_after_flush &&
+           !conn.load_inflight &&
            conn.backlog() <= opts_.write_high_water &&
            conn.inflight() < opts_.max_inflight) {
       FrameParser::Event ev = std::move(conn.deferred.front());
@@ -411,7 +449,7 @@ void EventLoop::settle(std::uint64_t id) {
   // itself, which is backpressure all the way down.
   if (conn.reads_suspended && !conn.eof && !conn.quit &&
       !conn.close_after_flush && !conn.parser().dead() && !stopping_ &&
-      conn.deferred.empty() &&
+      conn.deferred.empty() && !conn.load_inflight &&
       conn.inflight() < opts_.max_inflight &&
       conn.backlog() <= opts_.write_high_water / 2) {
     conn.reads_suspended = false;

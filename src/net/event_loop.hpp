@@ -27,10 +27,13 @@
 /// response (the expensive route-dump rendering) and posts it to the
 /// loop's mailbox — a mutex-guarded vector plus an eventfd the loop sleeps
 /// on — so routing never blocks the loop and the loop never blocks routing.
-/// (One deliberate exception: LOAD parses and builds the session
-/// environment inline, stalling the loop for that connection's sake.
-/// Sessions are loaded once and hit the cache thereafter; offloading LOAD
-/// is a ROADMAP follow-on.)
+/// Cold LOADs (layout parse + environment build) go to the pool the same
+/// way, so a cold-session storm cannot stall every connection behind one
+/// build; only the content-hash probe for an already-resident session runs
+/// on the loop.  While a connection's LOAD is building, its later commands
+/// park on the connection (Connection::load_inflight) and replay once the
+/// completion lands, preserving pipelined LOAD→ROUTE semantics and
+/// response order.
 ///
 /// Backpressure: each connection's backlog (unwritten + parked response
 /// bytes, see Connection) is compared against two marks.  Past

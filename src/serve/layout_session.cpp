@@ -28,7 +28,11 @@ std::string SessionCache::content_key(const std::string& text) {
 
 std::shared_ptr<const LayoutSession> SessionCache::load(
     const std::string& text, bool* cache_hit) {
-  const std::string key = content_key(text);
+  return load(text, content_key(text), cache_hit);
+}
+
+std::shared_ptr<const LayoutSession> SessionCache::load(
+    const std::string& text, std::string key, bool* cache_hit) {
   {
     const std::lock_guard<std::mutex> lock(mu_);
     const auto it = sessions_.find(key);
@@ -82,6 +86,18 @@ std::shared_ptr<const LayoutSession> SessionCache::find(
   const std::lock_guard<std::mutex> lock(mu_);
   const auto it = sessions_.find(key);
   if (it == sessions_.end()) return nullptr;
+  touch(it->second);
+  return it->second.session;
+}
+
+std::shared_ptr<const LayoutSession> SessionCache::find_content(
+    const std::string& text, std::string* key_out) {
+  std::string key = content_key(text);
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(key);
+  if (key_out != nullptr) *key_out = std::move(key);
+  if (it == sessions_.end()) return nullptr;  // load() will count the miss
+  ++hits_;
   touch(it->second);
   return it->second.session;
 }

@@ -75,6 +75,23 @@ class SessionCache {
   [[nodiscard]] std::shared_ptr<const LayoutSession> find(
       const std::string& key);
 
+  /// Content probe: hashes \p text and returns the resident session, or
+  /// nullptr without parsing or building anything.  A hit counts as a LOAD
+  /// deduplication (it answers a LOAD), a miss counts nothing — the
+  /// follow-up load() will record it.  The event-driven front-end uses this
+  /// to answer repeat LOADs inline instead of burning a worker-pool trip.
+  /// \p key_out, when non-null, receives the computed content key either
+  /// way, so a miss can hand it to `load(text, key, …)` instead of hashing
+  /// the body a second time.
+  [[nodiscard]] std::shared_ptr<const LayoutSession> find_content(
+      const std::string& text, std::string* key_out = nullptr);
+
+  /// load() with a precomputed `content_key(text)` — the offloaded-LOAD
+  /// path, whose admission probe already paid the hash.
+  std::shared_ptr<const LayoutSession> load(const std::string& text,
+                                            std::string key,
+                                            bool* cache_hit = nullptr);
+
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   /// LOAD-deduplication counters: a hit is a load() whose content was

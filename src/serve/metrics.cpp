@@ -32,6 +32,9 @@ std::string MetricsSnapshot::to_text() const {
      << "requests_errored " << requests_errored << '\n'
      << "nets_routed " << nets_routed << '\n'
      << "nets_failed " << nets_failed << '\n'
+     << "loads_offloaded " << loads_offloaded << '\n'
+     << "loads_ok " << loads_ok << '\n'
+     << "loads_failed " << loads_failed << '\n'
      << "latency_p50_us " << latency_p50_us << '\n'
      << "latency_p95_us " << latency_p95_us << '\n'
      << "latency_p99_us " << latency_p99_us << '\n'

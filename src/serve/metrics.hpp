@@ -64,6 +64,11 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> requests_errored{0};    ///< routing threw
   std::atomic<std::uint64_t> nets_routed{0};
   std::atomic<std::uint64_t> nets_failed{0};
+  /// LOAD jobs offloaded to the worker pool by the event-driven front-end
+  /// (the blocking front-end parses inline and does not count here).
+  std::atomic<std::uint64_t> loads_offloaded{0};
+  std::atomic<std::uint64_t> loads_ok{0};
+  std::atomic<std::uint64_t> loads_failed{0};  ///< parse error / rejected
   LatencyWindow latency;        ///< enqueue -> response, microseconds
   LatencyWindow queue_wait;     ///< enqueue -> dequeue, microseconds
 };
@@ -79,6 +84,9 @@ struct MetricsSnapshot {
   std::uint64_t requests_errored = 0;
   std::uint64_t nets_routed = 0;
   std::uint64_t nets_failed = 0;
+  std::uint64_t loads_offloaded = 0;
+  std::uint64_t loads_ok = 0;
+  std::uint64_t loads_failed = 0;
   std::uint64_t latency_p50_us = 0;
   std::uint64_t latency_p95_us = 0;
   std::uint64_t latency_p99_us = 0;

@@ -105,6 +105,8 @@ ClassifiedCommand classify_command(const std::string& line) {
     out.kind = CommandKind::kLoad;
   } else if (out.keyword == "ROUTE") {
     out.kind = CommandKind::kRoute;
+  } else if (out.keyword == "REROUTE") {
+    out.kind = CommandKind::kReroute;
   } else {
     out.kind = CommandKind::kUnknown;
   }
@@ -162,6 +164,25 @@ RouteCommand parse_route_command(const std::string& args) {
   return cmd;
 }
 
+RouteCommand parse_reroute_command(const std::string& args) {
+  // mode= must be rejected *before* the shared parse: the parsed options
+  // cannot distinguish an explicit mode=independent from the default.
+  for (const std::string& w : split_words(args)) {
+    if (w.rfind("mode=", 0) == 0) {
+      throw std::runtime_error(
+          "REROUTE is always sequential; mode= is not accepted");
+    }
+  }
+  RouteCommand cmd = parse_route_command(args);
+  if (cmd.nets.empty()) {
+    throw std::runtime_error(
+        "REROUTE needs nets=<name>[,<name>]... (the rip-up set)");
+  }
+  cmd.opts.mode = route::NetlistMode::kSequential;
+  cmd.reroute = true;
+  return cmd;
+}
+
 unsigned long long parse_load_count(const std::string& line) {
   const std::vector<std::string> words = split_words(line);
   if (words.size() != 2) {
@@ -175,6 +196,7 @@ RouteRequest to_request(const RouteCommand& cmd) {
   req.session_key = cmd.session_key;
   req.opts = cmd.opts;
   req.net_names = cmd.nets;
+  req.reroute = cmd.reroute;
   if (cmd.deadline) {
     req.deadline = std::chrono::steady_clock::now() + *cmd.deadline;
   }
@@ -212,15 +234,24 @@ std::string format_err(const std::string& reason) {
   return out;
 }
 
+std::string format_load_ok(const LayoutSession& session, bool cached) {
+  std::ostringstream meta;
+  meta << "session " << session.key << " cells "
+       << session.layout.cells().size() << " nets "
+       << session.layout.nets().size() << " cached " << (cached ? 1 : 0);
+  return format_ok(meta.str(), "");
+}
+
+std::string format_load_response(const LoadResponse& resp) {
+  if (!resp.ok) return format_err(resp.error);
+  return format_load_ok(*resp.session, resp.cache_hit);
+}
+
 std::string exec_load(RoutingService& service, const std::string& body) {
   try {
     bool cached = false;
     const auto session = service.load(body, &cached);
-    std::ostringstream meta;
-    meta << "session " << session->key << " cells "
-         << session->layout.cells().size() << " nets "
-         << session->layout.nets().size() << " cached " << (cached ? 1 : 0);
-    return format_ok(meta.str(), "");
+    return format_load_ok(*session, cached);
   } catch (const std::exception& e) {
     return format_err(e.what());
   }
@@ -312,10 +343,13 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
       continue;
     }
 
-    if (cmd.kind == CommandKind::kRoute) {
+    if (cmd.kind == CommandKind::kRoute ||
+        cmd.kind == CommandKind::kReroute) {
       RouteRequest req;
       try {
-        req = to_request(parse_route_command(cmd.args));
+        req = to_request(cmd.kind == CommandKind::kRoute
+                             ? parse_route_command(cmd.args)
+                             : parse_reroute_command(cmd.args));
       } catch (const std::exception& e) {
         emit(format_err(e.what()));
         continue;

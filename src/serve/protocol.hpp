@@ -24,6 +24,14 @@
 ///                                ;   segments; 1 is the paper's scheme)
 ///                                ;   nets=<name>[,<name>]… routes only the
 ///                                ;   listed nets against the cached session
+/// REROUTE <session> nets=<list>  ; rip-up-and-reroute: a full sequential
+///                                ;   pass, then the listed nets are ripped
+///                                ;   out (incremental halo removal) and
+///                                ;   re-routed last against the committed
+///                                ;   remainder.  nets= is required; mode=
+///                                ;   is rejected (always sequential);
+///                                ;   other ROUTE options apply.  The dump
+///                                ;   is restricted to the listed nets.
 /// STATS                          ; service metrics
 /// QUIT                           ; close the connection
 /// ```
@@ -37,9 +45,11 @@
 /// ```
 ///
 /// `LOAD` replies `OK 0 session <key> cells <n> nets <m> cached <0|1>`.
-/// `ROUTE` replies `OK <nbytes> routed <r> failed <f> wirelength <w>
-/// queue_us <q> total_us <t>` with an io::route_dump body (restricted to
-/// the requested nets when `nets=` was given), or `ERR <status>`
+/// `ROUTE` and `REROUTE` reply `OK <nbytes> routed <r> failed <f>
+/// wirelength <w> queue_us <q> total_us <t>` with an io::route_dump body
+/// (restricted to the requested nets when `nets=` was given; REROUTE's
+/// totals still cover the whole netlist — the remainder is part of the
+/// result, only the dump is restricted), or `ERR <status>`
 /// (session_not_found, rejected, deadline_expired, …).
 /// `STATS` replies `OK <nbytes>` with `key value` metric lines.
 ///
@@ -72,6 +82,7 @@ enum class CommandKind {
   kStats,
   kLoad,
   kRoute,
+  kReroute,
   kUnknown,
 };
 
@@ -86,19 +97,27 @@ struct ClassifiedCommand {
 /// and the epoll front-end — one table, no drift.
 [[nodiscard]] ClassifiedCommand classify_command(const std::string& line);
 
-/// A parsed ROUTE command.
+/// A parsed ROUTE or REROUTE command.
 struct RouteCommand {
   std::string session_key;
   route::NetlistOptions opts;
   std::optional<std::chrono::milliseconds> deadline;
-  /// `nets=` subset (net names, list order preserved); empty = all nets.
+  /// `nets=` list (net names, list order preserved); empty = all nets.
   std::vector<std::string> nets;
+  /// REROUTE: `nets` is the rip-up set, not a subset restriction.
+  bool reroute = false;
 };
 
 /// Parses the ROUTE argument vector (everything after the keyword).
 /// Throws std::runtime_error with token context on unknown or malformed
 /// options.
 [[nodiscard]] RouteCommand parse_route_command(const std::string& args);
+
+/// Parses a REROUTE argument vector: the ROUTE grammar, except `nets=` is
+/// required (an empty rip-up set would silently be a plain route) and
+/// `mode=` is rejected — rip-up-and-reroute is sequential by definition.
+/// Throws std::runtime_error like parse_route_command.
+[[nodiscard]] RouteCommand parse_reroute_command(const std::string& args);
 
 /// Parses a complete `LOAD <count>` command line and returns the declared
 /// body byte count.  Throws std::runtime_error (with token context) when
@@ -121,8 +140,20 @@ struct RouteCommand {
 [[nodiscard]] std::string format_err(const std::string& reason);
 
 /// Executes LOAD against the service and renders the response frame.
+/// Synchronous — the blocking front-end's path; the event loop offloads
+/// the build via RoutingService::submit_load and renders with
+/// format_load_response instead.
 [[nodiscard]] std::string exec_load(RoutingService& service,
                                     const std::string& body);
+
+/// Renders the LOAD OK frame for an already-resolved session (the inline
+/// cache-hit fast path of the event loop).
+[[nodiscard]] std::string format_load_ok(const LayoutSession& session,
+                                         bool cached);
+
+/// Renders a completed offloaded LOAD: the same bytes exec_load would have
+/// produced for the same outcome.  Pure — safe on a worker thread.
+[[nodiscard]] std::string format_load_response(const LoadResponse& resp);
 
 /// Renders the STATS response frame.
 [[nodiscard]] std::string exec_stats(RoutingService& service);

@@ -74,11 +74,12 @@ void RoutingService::submit(RouteRequest req, RouteCallback done) {
     return fail_now(RouteStatus::kSessionNotFound);
   }
 
-  // Resolve a net-name subset against the session while we still can answer
+  // Resolve a net-name list against the session while we still can answer
   // with a precise diagnostic; by worker time the client context is gone.
+  // ROUTE lists become a subset restriction, REROUTE lists the rip-up set.
   if (!req.net_names.empty()) {
-    req.opts.subset.clear();
-    req.opts.subset.reserve(req.net_names.size());
+    std::vector<std::size_t> indices;
+    indices.reserve(req.net_names.size());
     std::vector<bool> taken(session->layout.nets().size(), false);
     for (const std::string& name : req.net_names) {
       const auto it = session->net_index.find(name);
@@ -88,7 +89,13 @@ void RoutingService::submit(RouteRequest req, RouteCallback done) {
       }
       if (taken[it->second]) continue;  // duplicate name: route once
       taken[it->second] = true;
-      req.opts.subset.push_back(it->second);
+      indices.push_back(it->second);
+    }
+    if (req.reroute) {
+      req.opts.reroute = std::move(indices);
+      req.opts.subset.clear();
+    } else {
+      req.opts.subset = std::move(indices);
     }
   }
 
@@ -111,10 +118,59 @@ RouteResponse RoutingService::route(RouteRequest req) {
   return submit(std::move(req)).get();
 }
 
+void RoutingService::submit_load(std::string text, std::string key,
+                                 std::shared_ptr<std::atomic<bool>> cancel,
+                                 LoadCallback done) {
+  metrics_.loads_offloaded.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.kind = Job::Kind::kLoad;
+  job.load_text = std::move(text);
+  job.load_key = std::move(key);
+  job.load_cancel = std::move(cancel);
+  job.load_done = std::move(done);
+  job.submitted = std::chrono::steady_clock::now();
+  if (!queue_.try_push(std::move(job))) {
+    metrics_.loads_failed.fetch_add(1, std::memory_order_relaxed);
+    LoadResponse resp;
+    resp.error = "rejected";
+    job.load_done(std::move(resp));
+  }
+}
+
+void RoutingService::run_load_job(Job& job) {
+  // Deliberately not recorded into the latency/queue-wait windows: those
+  // are what STATS reports as *routing* percentiles, and one cold
+  // environment build would distort p95/p99 for every dashboard reading
+  // them.  The loads_* counters below are the LOAD-side observability.
+  LoadResponse resp;
+  if (job.load_cancel &&
+      job.load_cancel->load(std::memory_order_relaxed)) {
+    resp.error = "cancelled";  // peer gone: skip the expensive build
+  } else {
+    try {
+      resp.session =
+          cache_.load(job.load_text, std::move(job.load_key), &resp.cache_hit);
+      resp.ok = true;
+      metrics_.loads_ok.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      resp.error = e.what();
+    }
+  }
+  if (!resp.ok) {
+    metrics_.loads_failed.fetch_add(1, std::memory_order_relaxed);
+  }
+  job.load_done(std::move(resp));
+}
+
 void RoutingService::worker_loop() {
   for (;;) {
     std::optional<Job> job = queue_.pop();
     if (!job) return;  // closed and drained
+
+    if (job->kind == Job::Kind::kLoad) {
+      run_load_job(*job);
+      continue;
+    }
 
     const auto dequeued = std::chrono::steady_clock::now();
     RouteResponse resp;
@@ -147,7 +203,11 @@ void RoutingService::worker_loop() {
                                         job->session->env);
       resp.result = router.route_all(job->req.opts);
       resp.session = job->session;
-      resp.nets = job->req.opts.subset;
+      // The dump restriction: the subset that was routed, or — for a
+      // rip-up — the nets that were re-routed (the rest of the netlist was
+      // only the committed backdrop).
+      resp.nets = job->req.reroute ? job->req.opts.reroute
+                                   : job->req.opts.subset;
       resp.status = RouteStatus::kOk;
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
       metrics_.nets_routed.fetch_add(resp.result.routed,
@@ -187,6 +247,9 @@ MetricsSnapshot RoutingService::snapshot() const {
       metrics_.requests_errored.load(std::memory_order_relaxed);
   s.nets_routed = metrics_.nets_routed.load(std::memory_order_relaxed);
   s.nets_failed = metrics_.nets_failed.load(std::memory_order_relaxed);
+  s.loads_offloaded = metrics_.loads_offloaded.load(std::memory_order_relaxed);
+  s.loads_ok = metrics_.loads_ok.load(std::memory_order_relaxed);
+  s.loads_failed = metrics_.loads_failed.load(std::memory_order_relaxed);
   s.latency_p50_us = metrics_.latency.percentile(50);
   s.latency_p95_us = metrics_.latency.percentile(95);
   s.latency_p99_us = metrics_.latency.percentile(99);

@@ -49,11 +49,18 @@ enum class RouteStatus {
 struct RouteRequest {
   std::string session_key;
   route::NetlistOptions opts;
-  /// Net-name subset (the protocol's `nets=a,b,c`): resolved against the
-  /// session's netlist at admission into `opts.subset`; an unknown name
-  /// fails the request with kError before anything is queued.  Duplicate
-  /// names collapse to one routing of that net.  Empty = whole netlist.
+  /// Net-name list (the protocol's `nets=a,b,c`): resolved against the
+  /// session's netlist at admission — into `opts.subset` (ROUTE: route only
+  /// these nets) or, when `reroute` is set, into `opts.reroute` (REROUTE:
+  /// rip these up and re-route them last).  An unknown name fails the
+  /// request with kError before anything is queued.  Duplicate names
+  /// collapse to one entry.  Empty = whole netlist (ROUTE only).
   std::vector<std::string> net_names;
+  /// REROUTE semantics: `net_names` is the rip-up set, routed against the
+  /// committed remainder of a full sequential pass (see
+  /// route::NetlistOptions::reroute).  The response dump is restricted to
+  /// these nets, exactly like a subset request.
+  bool reroute = false;
   /// Zero (default) = no deadline.
   std::chrono::steady_clock::time_point deadline{};
   /// Optional cooperative cancel token; set it to true to drop the request
@@ -83,6 +90,19 @@ struct RouteResponse {
 /// session, unknown net, full queue), or on a worker thread after routing.
 /// It must not block — the worker pool's throughput rides on it.
 using RouteCallback = std::function<void(RouteResponse)>;
+
+/// Outcome of an offloaded LOAD (parse + validate + environment build on a
+/// worker instead of the caller's thread).
+struct LoadResponse {
+  bool ok = false;
+  std::string error;  ///< parse/validation failure, or the rejection reason
+  std::shared_ptr<const LayoutSession> session;  ///< set iff ok
+  bool cache_hit = false;
+};
+
+/// Invoked exactly once, like RouteCallback: inline for a full queue, on a
+/// worker thread otherwise.  Must not block.
+using LoadCallback = std::function<void(LoadResponse)>;
 
 class RoutingService {
  public:
@@ -116,6 +136,19 @@ class RoutingService {
   /// formats the response and posts it to the event loop's wakeup mailbox.
   void submit(RouteRequest req, RouteCallback done);
 
+  /// Offloads a LOAD — layout parse, validation, and the expensive
+  /// environment build — to the worker pool instead of the calling thread;
+  /// the event loop's defence against a cold-session storm stalling every
+  /// connection.  \p key is the precomputed `SessionCache::content_key` of
+  /// \p text (the caller's admission probe already hashed the body; the
+  /// worker must not pay that again).  \p done fires on a worker (or
+  /// inline with a rejection when the queue is full).  \p cancel, when set
+  /// at dequeue, skips the build — the peer is gone and nobody wants the
+  /// session (the callback still fires, with ok=false).
+  void submit_load(std::string text, std::string key,
+                   std::shared_ptr<std::atomic<bool>> cancel,
+                   LoadCallback done);
+
   /// Closed-loop convenience: submit and wait.
   [[nodiscard]] RouteResponse route(RouteRequest req);
 
@@ -131,13 +164,22 @@ class RoutingService {
 
  private:
   struct Job {
+    enum class Kind { kRoute, kLoad };
+    Kind kind = Kind::kRoute;
+    // kRoute fields.
     RouteRequest req;
     std::shared_ptr<const LayoutSession> session;
     RouteCallback done;
+    // kLoad fields.
+    std::string load_text;
+    std::string load_key;  ///< content_key(load_text), hashed at admission
+    std::shared_ptr<std::atomic<bool>> load_cancel;
+    LoadCallback load_done;
     std::chrono::steady_clock::time_point submitted;
   };
 
   void worker_loop();
+  void run_load_job(Job& job);
   void finish(Job& job, RouteResponse&& resp);
 
   SessionCache cache_;

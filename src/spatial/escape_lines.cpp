@@ -71,10 +71,37 @@ void EscapeLineSet::retrace_line(const ObstacleIndex& index,
   }
 }
 
+void EscapeLineSet::splice_table_slot(std::vector<std::size_t>& table,
+                                      std::size_t slot) {
+  const auto at = std::upper_bound(
+      table.begin(), table.end(), slot,
+      [this](std::size_t a, std::size_t b) {
+        return lines_[a].track != lines_[b].track
+                   ? lines_[a].track < lines_[b].track
+                   : a < b;
+      });
+  table.insert(at, slot);
+}
+
+void EscapeLineSet::erase_table_slot(std::vector<std::size_t>& table,
+                                     std::size_t slot) {
+  // The tables are sorted by (track, slot), so the exact entry is a binary
+  // search away; the slot's record must still carry its track.
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), slot,
+      [this](std::size_t a, std::size_t b) {
+        return lines_[a].track != lines_[b].track
+                   ? lines_[a].track < lines_[b].track
+                   : a < b;
+      });
+  if (it != table.end() && *it == slot) table.erase(it);
+}
+
 void EscapeLineSet::build_tables() {
   vertical_by_x_.clear();
   horizontal_by_y_.clear();
   for (std::size_t i = 0; i < lines_.size(); ++i) {
+    if (lines_[i].dead) continue;  // retired records never re-enter
     (lines_[i].axis == Axis::kY ? vertical_by_x_ : horizontal_by_y_)
         .push_back(i);
   }
@@ -164,22 +191,84 @@ void EscapeLineSet::insert_obstacle(const ObstacleIndex& index,
   // contains it) and splice their slots into the lookup tables.
   lines_.resize(lines_.size() + 4);
   trace_obstacle_lines(index, ob);
-  const auto splice = [this](std::vector<std::size_t>& table,
-                             std::size_t slot) {
-    const auto at = std::upper_bound(
-        table.begin(), table.end(), slot,
-        [this](std::size_t a, std::size_t b) {
-          return lines_[a].track != lines_[b].track
-                     ? lines_[a].track < lines_[b].track
-                     : a < b;
-        });
-    table.insert(at, slot);
-  };
   const std::size_t base = 4 + 4 * ob;
-  splice(vertical_by_x_, base);        // left edge line (Y)
-  splice(vertical_by_x_, base + 1);    // right edge line (Y)
-  splice(horizontal_by_y_, base + 2);  // bottom edge line (X)
-  splice(horizontal_by_y_, base + 3);  // top edge line (X)
+  splice_table_slot(vertical_by_x_, base);        // left edge line (Y)
+  splice_table_slot(vertical_by_x_, base + 1);    // right edge line (Y)
+  splice_table_slot(horizontal_by_y_, base + 2);  // bottom edge line (X)
+  splice_table_slot(horizontal_by_y_, base + 3);  // top edge line (X)
+}
+
+void EscapeLineSet::remove_obstacle(const ObstacleIndex& index,
+                                    std::size_t ob) {
+  assert(ob < index.size() && !index.alive(ob) &&
+         "remove_obstacle expects an index that already tombstoned ob");
+  assert(lines_.size() == 4 + 4 * index.size() &&
+         "line set out of step with the index it was built from");
+  const std::size_t base = 4 + 4 * ob;
+  if (lines_[base].dead) return;  // retried after a failed multi-step update
+  const Rect& r = index.obstacles()[ob];
+
+  // Retire the obstacle's four records: out of the lookup tables first
+  // (erase needs the still-live track), then flagged.  Spans are blanked so
+  // a stale record can never masquerade as a corridor.
+  erase_table_slot(vertical_by_x_, base);
+  erase_table_slot(vertical_by_x_, base + 1);
+  erase_table_slot(horizontal_by_y_, base + 2);
+  erase_table_slot(horizontal_by_y_, base + 3);
+  for (std::size_t k = 0; k < 4; ++k) {
+    lines_[base + k].dead = true;
+    lines_[base + k].span = {};
+  }
+
+  // Re-extend the lines the vacated interior had clipped.  A line was
+  // clipped by `r` only if its track lies strictly inside r's perpendicular
+  // open span (an obstacle blocks only rays strictly inside it), and a
+  // clipped span *abuts* the blocking edge — so candidates are the same
+  // binary-searched track range as the insert-side clip, tested with
+  // closed (touching) span overlap.  Re-tracing an unclipped candidate is
+  // idempotent, and the traces run against the post-tombstone index, so
+  // spans grow through the hole exactly as a from-scratch build would
+  // find them.
+  const auto reextend = [&](const std::vector<std::size_t>& table,
+                            const Interval& track_open,
+                            const Interval& edge_span) {
+    if (track_open.lo >= track_open.hi) return;  // degenerate: blocked nothing
+    const auto first = std::upper_bound(
+        table.begin(), table.end(), track_open.lo,
+        [this](Coord v, std::size_t idx) { return v < lines_[idx].track; });
+    const auto last = std::lower_bound(
+        first, table.end(), track_open.hi,
+        [this](std::size_t idx, Coord v) { return lines_[idx].track < v; });
+    for (auto it = first; it != last; ++it) {
+      const EscapeLine& ln = lines_[*it];
+      if (ln.source == EscapeLine::npos) continue;  // boundary: full extent
+      if (!ln.span.overlaps(edge_span)) continue;
+      retrace_line(index, *it);
+    }
+  };
+  reextend(vertical_by_x_, r.xs(), r.ys());
+  reextend(horizontal_by_y_, r.ys(), r.xs());
+}
+
+void EscapeLineSet::compact(const std::vector<std::size_t>& remap) {
+  assert(lines_.size() == 4 + 4 * remap.size() &&
+         "compact remap out of step with the line set");
+  std::size_t live = 0;
+  for (const std::size_t to : remap) live += to != ObstacleIndex::npos;
+  std::vector<EscapeLine> next(4 + 4 * live);
+  for (std::size_t k = 0; k < 4; ++k) next[k] = lines_[k];
+  for (std::size_t i = 0; i < remap.size(); ++i) {
+    const std::size_t to = remap[i];
+    if (to == ObstacleIndex::npos) continue;
+    for (std::size_t k = 0; k < 4; ++k) {
+      EscapeLine& moved = next[4 + 4 * to + k];
+      moved = lines_[4 + 4 * i + k];
+      assert(!moved.dead && "survivor slot holds a retired record");
+      moved.source = to;
+    }
+  }
+  lines_.swap(next);
+  build_tables();
 }
 
 std::vector<Coord> EscapeLineSet::crossings(const Point& from, Dir d,

@@ -20,15 +20,25 @@
 /// at the goal-aligned projection.  This is the line-segment representation
 /// that replaces the Lee–Moore grid.
 ///
-/// The set is *incrementally updatable*: `insert_obstacle` splices in the
-/// four edge lines of a newly inserted obstacle and re-traces only the lines
-/// whose free extension the new interior cuts.  To make that sound, storage
-/// keeps every source obstacle's four lines as distinct records (coincident
-/// edges are NOT merged): two obstacles sharing an edge coordinate may have
-/// identical spans today yet diverge when a later wire halo lands *between*
-/// them, so a merged record could not be split back apart.  `crossings`
-/// deduplicates emitted coordinates, so duplicate records never change
-/// routing behavior.
+/// The set is *incrementally updatable* in both directions.
+/// `insert_obstacle` splices in the four edge lines of a newly inserted
+/// obstacle and re-traces only the lines whose free extension the new
+/// interior cuts; `remove_obstacle` — the rip-up direction — retires the
+/// removed obstacle's four records and re-extends only the lines its
+/// interior had clipped (the same binary-searched candidate range, probed
+/// against the index *after* the tombstone so traces pass through).  To
+/// make both sound, storage keeps every source obstacle's four lines as
+/// distinct records (coincident edges are NOT merged): two obstacles
+/// sharing an edge coordinate may have identical spans today yet diverge
+/// when a later wire halo lands *between* them, so a merged record could
+/// not be split back apart — and symmetrically, removal retires exactly the
+/// four records of its own obstacle, so repeated insert/remove cycles can
+/// never leak or lose a duplicate.  `crossings` deduplicates emitted
+/// coordinates, so duplicate records never change routing behavior.
+///
+/// Retired records stay as dead slots in `lines()` (slot k of obstacle i is
+/// always 4 + 4i + k, the invariant every update relies on) until `compact`
+/// renumbers the set in lockstep with an `ObstacleIndex::compact`.
 
 namespace gcr::spatial {
 
@@ -41,6 +51,9 @@ struct EscapeLine {
   geom::Interval span;
   /// Obstacle that generated the line (routing-boundary lines: npos).
   std::size_t source = npos;
+  /// Retired by remove_obstacle: the slot lingers (slot arithmetic must
+  /// hold) but the line is out of the lookup tables and never crossed.
+  bool dead = false;
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -77,6 +90,29 @@ class EscapeLineSet {
   /// line set a from-scratch build over \p index would produce.
   void insert_obstacle(const ObstacleIndex& index, std::size_t ob);
 
+  /// Incrementally rips obstacle \p ob back out.  \p index must already
+  /// have it tombstoned (`ObstacleIndex::remove`), so re-traces extend
+  /// through the vacated interior.  Retires the obstacle's four records and
+  /// re-extends the lines whose span the removed interior had clipped — a
+  /// localized candidate set: tracks strictly inside the removed rect's
+  /// perpendicular open span whose spans *touch* its parallel span (a
+  /// clipped line abuts the blocking edge exactly).  The result answers
+  /// `crossings` exactly as a from-scratch build over the remaining live
+  /// obstacles would.  Idempotent for an already-retired obstacle.
+  void remove_obstacle(const ObstacleIndex& index, std::size_t ob);
+
+  /// Renumbers the set after an `ObstacleIndex::compact`: dead slots are
+  /// erased, survivor slots move to 4 + 4*remap[source], and sources are
+  /// rewritten through \p remap.  Spans are already exact (removal
+  /// re-extended them), so this is pure bookkeeping — no tracing.
+  void compact(const std::vector<std::size_t>& remap);
+
+  /// Records still participating in crossings (boundary lines + 4 per live
+  /// obstacle).
+  [[nodiscard]] std::size_t live_lines() const noexcept {
+    return vertical_by_x_.size() + horizontal_by_y_.size();
+  }
+
   /// All crossings of the directed probe ray from \p from to the stop
   /// coordinate \p stop (exclusive of the origin, inclusive of the stop
   /// coordinate) with escape lines perpendicular to the probe.  Returned as
@@ -94,6 +130,10 @@ class EscapeLineSet {
   /// is preserved).
   void retrace_line(const ObstacleIndex& index, std::size_t slot);
   void build_tables();
+  /// Splices \p slot into \p table at its (track, slot) position.
+  void splice_table_slot(std::vector<std::size_t>& table, std::size_t slot);
+  /// Removes \p slot from \p table (binary search on the same ordering).
+  void erase_table_slot(std::vector<std::size_t>& table, std::size_t slot);
 
   std::vector<EscapeLine> lines_;
   // Perpendicular lookup tables sorted by track coordinate.

@@ -18,6 +18,7 @@ using geom::Segment;
 ObstacleIndex::ObstacleIndex(Rect boundary, std::vector<Rect> obstacles)
     : boundary_(boundary), obstacles_(std::move(obstacles)) {
   const std::size_t n = obstacles_.size();
+  dead_.assign(n, 0);
   by_xlo_.resize(n);
   for (std::size_t i = 0; i < n; ++i) by_xlo_[i] = i;
   by_xhi_ = by_ylo_ = by_yhi_ = by_xlo_;
@@ -81,7 +82,12 @@ void ObstacleIndex::file_into_buckets(std::size_t idx) {
 
 void ObstacleIndex::insert(const Rect& r) {
   const std::size_t idx = obstacles_.size();
+  // Grow the parallel arrays before touching any table: if a later splice
+  // throws (allocation), the rect and its live flag are already consistent,
+  // so a rebuild over `obstacles_` recovers a coherent index (the
+  // environment's invalidation contract relies on this).
   obstacles_.push_back(r);
+  dead_.push_back(0);
   const auto& obs = obstacles_;
   // A default-constructed index never ran build_buckets (the building ctor
   // did); lay the grid out now — it files the new obstacle too.
@@ -109,11 +115,34 @@ void ObstacleIndex::insert(const Rect& r) {
   if (grid_ready) file_into_buckets(idx);
 }
 
+bool ObstacleIndex::remove(std::size_t idx) noexcept {
+  if (idx >= obstacles_.size() || dead_[idx] != 0) return false;
+  dead_[idx] = 1;
+  ++dead_count_;
+  return true;
+}
+
+std::vector<std::size_t> ObstacleIndex::compact() {
+  std::vector<std::size_t> remap(obstacles_.size(), npos);
+  std::vector<Rect> live;
+  live.reserve(obstacles_.size() - dead_count_);
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    if (dead_[i] != 0) continue;
+    remap[i] = live.size();
+    live.push_back(obstacles_[i]);
+  }
+  // The building constructor already does everything a compaction needs:
+  // stable renumbering happened above, and rebuilding re-sorts the tables
+  // and re-derives the bucket resolution for the shrunken count.
+  *this = ObstacleIndex(boundary_, std::move(live));
+  return remap;
+}
+
 bool ObstacleIndex::interior(const Point& p) const {
   if (buckets_.empty()) return false;
   const auto& bucket = buckets_[bucket_y(p.y) * grid_x_ + bucket_x(p.x)];
   return std::any_of(bucket.begin(), bucket.end(), [&](std::size_t i) {
-    return obstacles_[i].contains_open(p);
+    return dead_[i] == 0 && obstacles_[i].contains_open(p);
   });
 }
 
@@ -129,7 +158,7 @@ bool ObstacleIndex::segment_blocked(const Segment& s) const {
   for (std::size_t gy = y0; gy <= y1; ++gy) {
     for (std::size_t gx = x0; gx <= x1; ++gx) {
       for (const std::size_t i : buckets_[gy * grid_x_ + gx]) {
-        if (s.pierces(obstacles_[i])) return true;
+        if (dead_[i] == 0 && s.pierces(obstacles_[i])) return true;
       }
     }
   }
@@ -174,6 +203,7 @@ RayHit ObstacleIndex::trace(const Point& p, Dir d) const {
     for (; it != table.end(); ++it) {
       const Coord edge = near_edge(*it);
       if (sgn * edge > sgn * hit.stop) break;  // beyond current stop: done
+      if (dead_[*it] != 0) continue;           // tombstoned (ripped-up halo)
       const Rect& r = obstacles_[*it];
       if (!r.span(perp).contains_open(off)) continue;
       // This obstacle's interior starts at `edge` in travel direction; the
@@ -212,7 +242,7 @@ std::vector<std::size_t> ObstacleIndex::query(const Rect& q) const {
   for (std::size_t gy = y0; gy <= y1; ++gy) {
     for (std::size_t gx = x0; gx <= x1; ++gx) {
       for (const std::size_t i : buckets_[gy * grid_x_ + gx]) {
-        if (obstacles_[i].intersects(q)) out.push_back(i);
+        if (dead_[i] == 0 && obstacles_[i].intersects(q)) out.push_back(i);
       }
     }
   }

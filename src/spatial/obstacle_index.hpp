@@ -15,13 +15,19 @@
 /// This index realizes that idea with obstacle edge tables sorted per probe
 /// direction, so a ray-trace is a binary search plus a short forward scan.
 ///
-/// The index is *incrementally updatable*: `insert` adds one obstacle (a
-/// routed wire's spacing halo, in sequential-mode routing) by splicing it
-/// into the sorted edge tables and the spatial bucket grid, so committing a
-/// routed net costs O(obstacles) table maintenance instead of a full
-/// O(n log n) rebuild.  Point/segment predicates are answered from a uniform
-/// bucket grid over the boundary rather than a linear scan, which keeps them
-/// fast as wire halos accumulate.
+/// The index is *incrementally updatable* in both directions.  `insert` adds
+/// one obstacle (a routed wire's spacing halo, in sequential-mode routing)
+/// by splicing it into the sorted edge tables and the spatial bucket grid,
+/// so committing a routed net costs O(obstacles) table maintenance instead
+/// of a full O(n log n) rebuild.  `remove` — the rip-up direction — is a
+/// *tombstone*: the obstacle stays in the tables and buckets but every query
+/// skips it, so ripping a wire out costs O(1) plus the query-side skips.
+/// Tombstones accumulate across rip-up cycles; `compact` erases them,
+/// renumbers the survivors, and re-derives the bucket grid, and callers that
+/// hold obstacle indices (the escape-line set, the environment's per-net
+/// records) renumber through the remap it returns.  Point/segment predicates
+/// are answered from a uniform bucket grid over the boundary rather than a
+/// linear scan, which keeps them fast as wire halos accumulate.
 
 namespace gcr::spatial {
 
@@ -55,10 +61,20 @@ class ObstacleIndex {
   [[nodiscard]] const geom::Rect& boundary() const noexcept {
     return boundary_;
   }
+  /// Every obstacle ever inserted, *including tombstoned ones* (their slots
+  /// keep the removed geometry until `compact`); filter with `alive`.
   [[nodiscard]] const std::vector<geom::Rect>& obstacles() const noexcept {
     return obstacles_;
   }
   [[nodiscard]] std::size_t size() const noexcept { return obstacles_.size(); }
+  /// Obstacles that still block routing (size() minus tombstones).
+  [[nodiscard]] std::size_t live_size() const noexcept {
+    return obstacles_.size() - dead_count_;
+  }
+  [[nodiscard]] std::size_t dead_count() const noexcept { return dead_count_; }
+  [[nodiscard]] bool alive(std::size_t idx) const noexcept {
+    return idx < obstacles_.size() && dead_[idx] == 0;
+  }
 
   /// Incrementally adds \p r as obstacle index `size()`.  Equivalent to
   /// rebuilding the index over the extended obstacle list: every subsequent
@@ -67,6 +83,23 @@ class ObstacleIndex {
   /// out-of-boundary part only matters to `interior`, since rays are
   /// boundary-clipped anyway.
   void insert(const geom::Rect& r);
+
+  /// Tombstones obstacle \p idx: it stops blocking every query, exactly as
+  /// if the index had been rebuilt without it, but its slots linger in the
+  /// edge tables and buckets until `compact`.  Indices of other obstacles
+  /// are untouched.  Idempotent — removing a dead or out-of-range index is a
+  /// no-op — and returns whether this call actually removed it, so a caller
+  /// retrying after a failed multi-obstacle update can skip the side effects
+  /// it already applied.  Never throws.
+  bool remove(std::size_t idx) noexcept;
+
+  /// Erases every tombstone, renumbers the survivors (stable order), re-sorts
+  /// the edge tables, and re-derives the bucket grid resolution.  Returns the
+  /// renumbering: remap[old] is the new index, or `npos` for removed
+  /// obstacles.  Queries answer identically before and after.
+  std::vector<std::size_t> compact();
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
   /// True when \p p lies strictly inside some obstacle (an illegal position
   /// for any route point).
@@ -105,6 +138,10 @@ class ObstacleIndex {
 
   geom::Rect boundary_;
   std::vector<geom::Rect> obstacles_;
+  /// Tombstone flags, parallel to obstacles_ (char, not bool: the hot query
+  /// loops index it and vector<bool>'s proxy defeats the optimizer).
+  std::vector<char> dead_;
+  std::size_t dead_count_ = 0;
 
   /// Edge tables: obstacle indices sorted by the coordinate of the edge a ray
   /// travelling in the keyed direction would hit first (east rays hit left

@@ -7,8 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <random>
+#include <stdexcept>
 #include <vector>
 
 #include "core/netlist_router.hpp"
@@ -89,6 +91,43 @@ void expect_lines_equivalent(const spatial::EscapeLineSet& incremental,
                 fresh.crossings(p, d, stop))
           << p << " dir " << static_cast<int>(d);
     }
+  }
+}
+
+/// Behavioral index equivalence for the removal path: a tombstoned index
+/// and a fresh build over the live rects number their obstacles
+/// differently, so identity-carrying outputs (`query` indices) are
+/// compared as *rect sets* and everything else by observable geometry.
+void expect_index_equivalent_behavior(const spatial::ObstacleIndex& got,
+                                      const spatial::ObstacleIndex& want,
+                                      std::mt19937_64& rng, int probes) {
+  ASSERT_EQ(got.live_size(), want.live_size());
+  const Rect& b = want.boundary();
+  std::uniform_int_distribution<Coord> px(b.xlo, b.xhi);
+  std::uniform_int_distribution<Coord> py(b.ylo, b.yhi);
+  const auto rect_set = [](const spatial::ObstacleIndex& idx,
+                           const std::vector<std::size_t>& hits) {
+    std::vector<Rect> out;
+    out.reserve(hits.size());
+    for (const std::size_t i : hits) out.push_back(idx.obstacles()[i]);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  for (int i = 0; i < probes; ++i) {
+    const Point p{px(rng), py(rng)};
+    EXPECT_EQ(got.interior(p), want.interior(p)) << p;
+    EXPECT_EQ(got.routable(p), want.routable(p)) << p;
+    for (const Dir d : geom::kAllDirs) {
+      EXPECT_EQ(got.trace(p, d).stop, want.trace(p, d).stop)
+          << p << " dir " << static_cast<int>(d);
+    }
+    const Point q{px(rng), py(rng)};
+    if (p.x == q.x || p.y == q.y) {
+      const Segment s{p, q};
+      EXPECT_EQ(got.segment_blocked(s), want.segment_blocked(s)) << s;
+    }
+    EXPECT_EQ(rect_set(got, got.query(Rect{p, q})),
+              rect_set(want, want.query(Rect{p, q})));
   }
 }
 
@@ -176,6 +215,58 @@ TEST(IncrementalIndex, InsertAcceptsRectsBeyondBoundary) {
   EXPECT_TRUE(incremental.interior(Point{0, 25}));  // inside the west halo
 }
 
+// ------------------------------------------------- ObstacleIndex::remove
+
+TEST(IncrementalIndex, RemoveMatchesFromScratchBuild) {
+  // Tombstoning must answer every query exactly like a fresh build over
+  // the surviving rects, at any interleaving of removals — and compact()
+  // must preserve the answers while erasing the tombstones.
+  std::mt19937_64 rng(0xD00D);
+  const int iters = test::fuzz_iters(40);
+  for (int round = 0; round < 8; ++round) {
+    const std::vector<Rect> rects = random_rects(rng, 24, 200);
+    spatial::ObstacleIndex incremental(Rect{0, 0, 200, 200}, {});
+    for (const Rect& r : rects) incremental.insert(r);
+
+    // Remove a random half, one at a time, spot-checking along the way.
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (rng() % 2 == 0) victims.push_back(i);
+    }
+    std::vector<bool> removed(rects.size(), false);
+    for (std::size_t k = 0; k < victims.size(); ++k) {
+      EXPECT_TRUE(incremental.remove(victims[k]));
+      EXPECT_FALSE(incremental.remove(victims[k]));  // idempotent
+      removed[victims[k]] = true;
+      if (k % 3 != 0 && k + 1 != victims.size()) continue;  // spot-check
+      std::vector<Rect> live;
+      for (std::size_t i = 0; i < rects.size(); ++i) {
+        if (!removed[i]) live.push_back(rects[i]);
+      }
+      const spatial::ObstacleIndex fresh(Rect{0, 0, 200, 200}, live);
+      expect_index_equivalent_behavior(incremental, fresh, rng, iters);
+    }
+
+    // Compaction: same behavior, tombstones gone, remap consistent.
+    const std::size_t live_before = incremental.live_size();
+    const std::vector<std::size_t> remap = incremental.compact();
+    EXPECT_EQ(incremental.dead_count(), 0u);
+    EXPECT_EQ(incremental.size(), live_before);
+    std::vector<Rect> live;
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (removed[i]) {
+        EXPECT_EQ(remap[i], spatial::ObstacleIndex::npos);
+      } else {
+        ASSERT_LT(remap[i], incremental.size());
+        EXPECT_EQ(incremental.obstacles()[remap[i]], rects[i]);
+        live.push_back(rects[i]);
+      }
+    }
+    const spatial::ObstacleIndex fresh(Rect{0, 0, 200, 200}, live);
+    expect_index_equivalent(incremental, fresh, rng, iters);
+  }
+}
+
 // -------------------------------------------- EscapeLineSet::insert_obstacle
 
 TEST(IncrementalLines, InsertMatchesFromScratchBuild) {
@@ -195,6 +286,86 @@ TEST(IncrementalLines, InsertMatchesFromScratchBuild) {
       expect_lines_equivalent(incremental, fresh, index, rng, iters);
     }
   }
+}
+
+// -------------------------------------------- EscapeLineSet::remove_obstacle
+
+TEST(IncrementalLines, RemoveMatchesFromScratchBuild) {
+  // Ripping an obstacle out must re-extend exactly the lines it had
+  // clipped: crossings answers must match a fresh build over the live
+  // obstacles at every step, and a compaction must reproduce the fresh
+  // build's records verbatim.
+  std::mt19937_64 rng(0xFEED);
+  const int iters = test::fuzz_iters(40);
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<Rect> rects = random_rects(rng, 20, 200);
+    spatial::ObstacleIndex index(Rect{0, 0, 200, 200}, {});
+    spatial::EscapeLineSet incremental(index);
+    for (std::size_t n = 0; n < rects.size(); ++n) {
+      index.insert(rects[n]);
+      incremental.insert_obstacle(index, n);
+    }
+
+    std::vector<bool> removed(rects.size(), false);
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (rng() % 2 == 0) victims.push_back(i);
+    }
+    for (std::size_t k = 0; k < victims.size(); ++k) {
+      ASSERT_TRUE(index.remove(victims[k]));
+      incremental.remove_obstacle(index, victims[k]);
+      removed[victims[k]] = true;
+      EXPECT_EQ(incremental.live_lines(), 4 + 4 * index.live_size());
+      if (k % 3 != 0 && k + 1 != victims.size()) continue;  // spot-check
+      std::vector<Rect> live;
+      for (std::size_t i = 0; i < rects.size(); ++i) {
+        if (!removed[i]) live.push_back(rects[i]);
+      }
+      const spatial::ObstacleIndex fresh_index(Rect{0, 0, 200, 200}, live);
+      const spatial::EscapeLineSet fresh(fresh_index);
+      expect_lines_equivalent(incremental, fresh, fresh_index, rng, iters);
+    }
+
+    // Lockstep compaction must land on exactly the fresh build's records.
+    const std::vector<std::size_t> remap = index.compact();
+    incremental.compact(remap);
+    const spatial::EscapeLineSet fresh(index);
+    EXPECT_EQ(incremental.lines(), fresh.lines());
+  }
+}
+
+TEST(IncrementalLines, CoincidentCorridorSplitHealsAfterRemoval) {
+  // Two cells sharing an edge coordinate keep distinct line records; a
+  // halo landing between them splits the corridor, and removing that halo
+  // must re-merge the spans without leaking or losing a record — even
+  // cycled many times (the rip-up soak the per-source storage exists for).
+  const Rect bounds{0, 0, 100, 100};
+  spatial::ObstacleIndex index(bounds, {});
+  spatial::EscapeLineSet lines(index);
+  index.insert(Rect{10, 20, 30, 40});
+  lines.insert_obstacle(index, 0);
+  index.insert(Rect{60, 20, 80, 40});  // same y-edges: coincident corridors
+  lines.insert_obstacle(index, 1);
+
+  const spatial::EscapeLineSet fresh_two(index);
+  const int cycles = test::fuzz_iters(1000);
+  for (int k = 0; k < cycles; ++k) {
+    const std::size_t ob = index.size();
+    index.insert(Rect{40, 15, 50, 45});  // between them: splits y=20/y=40
+    lines.insert_obstacle(index, ob);
+    ASSERT_TRUE(index.remove(ob));
+    lines.remove_obstacle(index, ob);
+    ASSERT_EQ(lines.live_lines(), 4u + 4 * 2)
+        << "cycle " << k << " leaked or lost a line record";
+  }
+  // After any number of cycles the live behavior is the two-obstacle set.
+  std::mt19937_64 rng(5);
+  expect_lines_equivalent(lines, fresh_two, index, rng, 300);
+  // And a lockstep compaction erases every tombstone, restoring the exact
+  // two-obstacle records — memory does not grow with cycle count anymore.
+  lines.compact(index.compact());
+  EXPECT_EQ(lines.lines(), fresh_two.lines());
+  EXPECT_EQ(lines.lines().size(), 4u + 4 * 2);
 }
 
 // -------------------------------------------------- SearchEnvironment
@@ -248,6 +419,130 @@ TEST(SearchEnvironment, RebuildAgainstLayoutDiscardsCommits) {
   EXPECT_EQ(env.index().size(), lay.obstacles().size());
 }
 
+TEST(SearchEnvironment, RemoveRouteMatchesFromScratchRebuild) {
+  // Rip-up at the environment level: committing three keyed nets and
+  // removing one must answer every query exactly like a fresh environment
+  // over the base cells plus the surviving nets' halos.
+  std::mt19937_64 rng(17);
+  const layout::Layout lay = corpus_layout(4);
+  route::SearchEnvironment env(lay);
+
+  const std::vector<std::vector<Segment>> nets{
+      {{Point{10, 30}, Point{120, 30}}, {Point{120, 30}, Point{120, 90}}},
+      {{Point{40, 160}, Point{200, 160}}},
+      {{Point{250, 40}, Point{250, 220}}, {Point{250, 220}, Point{300, 220}}},
+  };
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    env.commit_route(i, nets[i], 2);
+  }
+  EXPECT_EQ(env.committed(), 5u);
+
+  EXPECT_FALSE(env.remove_route(99));  // unknown id: no-op
+  EXPECT_TRUE(env.remove_route(1));
+  EXPECT_FALSE(env.remove_route(1));  // already ripped
+  EXPECT_EQ(env.committed(), 4u);
+
+  std::vector<Rect> want_obs = lay.obstacles();
+  for (const std::size_t i : {0u, 2u}) {
+    for (const Segment& s : nets[i]) want_obs.push_back(s.bounds().inflated(2));
+  }
+  const spatial::ObstacleIndex fresh_index(lay.boundary(), want_obs);
+  const spatial::EscapeLineSet fresh_lines(fresh_index);
+  expect_index_equivalent_behavior(env.index(), fresh_index, rng, 300);
+  expect_lines_equivalent(env.lines(), fresh_lines, fresh_index, rng, 300);
+
+  // A net committed after removals is itself removable (indices stay
+  // coherent across the tombstones).
+  env.commit_route(7, nets[1], 2);
+  EXPECT_EQ(env.committed(), 5u);
+  EXPECT_TRUE(env.remove_route(7));
+  EXPECT_EQ(env.committed(), 4u);
+  expect_index_equivalent_behavior(env.index(), fresh_index, rng, 200);
+}
+
+TEST(SearchEnvironment, InsertRemoveCyclesStayBoundedAndExact) {
+  // The rip-up soak: a thousand commit/remove cycles must not grow the
+  // tables (periodic compaction), must keep per-source line records exact
+  // (no leaked duplicates from corridor splits), and must leave behavior
+  // identical to the never-touched base environment.
+  std::mt19937_64 rng(23);
+  const layout::Layout lay = corpus_layout(6);
+  route::SearchEnvironment env(lay);
+  const route::SearchEnvironment base(lay);
+  const std::size_t base_obstacles = base.index().size();
+
+  const std::vector<Segment> wire{{Point{20, 50}, Point{180, 50}},
+                                  {Point{180, 50}, Point{180, 140}}};
+  const int cycles = test::fuzz_iters(1000);
+  for (int k = 0; k < cycles; ++k) {
+    env.commit_route(static_cast<std::size_t>(k), wire, 2);
+    ASSERT_TRUE(env.remove_route(static_cast<std::size_t>(k)));
+    ASSERT_EQ(env.committed(), 0u) << "cycle " << k;
+    // Tombstones may linger between compactions, but never unboundedly:
+    // the compaction policy caps the table at roughly twice the live set.
+    ASSERT_LE(env.index().size(), 2 * (base_obstacles + wire.size()) + 16)
+        << "cycle " << k << ": tombstones escaped compaction";
+    ASSERT_EQ(env.lines().lines().size(), 4 + 4 * env.index().size());
+    ASSERT_EQ(env.lines().live_lines(), 4 + 4 * env.index().live_size());
+  }
+  expect_index_equivalent_behavior(env.index(), base.index(), rng, 300);
+  expect_lines_equivalent(env.lines(), base.lines(), base.index(), rng, 300);
+}
+
+TEST(SearchEnvironment, UpdateFaultFlagsInvalidAndNextQueryRebuilds) {
+  // The exception-safety contract: a throw mid-splice leaves the
+  // environment flagged invalid, and the next accessor repairs it with a
+  // full rebuild instead of answering from a half-spliced index.
+  std::mt19937_64 rng(29);
+  const layout::Layout lay = corpus_layout(8);
+  route::SearchEnvironment env(lay);
+  const std::vector<Segment> wire{{Point{15, 60}, Point{160, 60}},
+                                  {Point{160, 60}, Point{160, 130}},
+                                  {Point{160, 130}, Point{240, 130}}};
+
+  route::SearchEnvironment::inject_update_fault_for_tests();
+  EXPECT_THROW(env.commit_route(0, wire, 2), std::runtime_error);
+  EXPECT_FALSE(env.valid());
+
+  const std::size_t builds = route::SearchEnvironment::build_count();
+  (void)env.index();  // the next query triggers the rebuild fallback
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds + 1);
+  EXPECT_TRUE(env.valid());
+
+  // Whatever prefix of the commit survived is on record: ripping the net
+  // back out and comparing against a fresh base environment proves the
+  // repair left a coherent, fully-removable state.
+  env.remove_route(0);
+  const route::SearchEnvironment fresh(lay);
+  expect_index_equivalent_behavior(env.index(), fresh.index(), rng, 300);
+  expect_lines_equivalent(env.lines(), fresh.lines(), fresh.index(), rng, 300);
+
+  // Same contract on the removal side — and this time retry the mutation
+  // *directly*, with no accessor in between: mutators must repair an
+  // invalid environment before splicing (a naive retry would skip the
+  // already-tombstoned halo and leave its line records live forever).
+  env.commit_route(1, wire, 2);
+  route::SearchEnvironment::inject_update_fault_for_tests();
+  EXPECT_THROW((void)env.remove_route(1), std::runtime_error);
+  EXPECT_FALSE(env.valid());
+  EXPECT_TRUE(env.remove_route(1));  // repairs, then finishes the rip-up
+  EXPECT_TRUE(env.valid());
+  expect_index_equivalent_behavior(env.index(), fresh.index(), rng, 300);
+  expect_lines_equivalent(env.lines(), fresh.lines(), fresh.index(), rng, 300);
+
+  // And a commit retried directly after a failed commit: the partial
+  // commit is on record, so the contract is remove-then-recommit.
+  route::SearchEnvironment::inject_update_fault_for_tests();
+  EXPECT_THROW(env.commit_route(2, wire, 2), std::runtime_error);
+  EXPECT_FALSE(env.valid());
+  EXPECT_THROW(env.commit_route(2, wire, 2), std::invalid_argument);
+  EXPECT_TRUE(env.remove_route(2));
+  env.commit_route(2, wire, 2);
+  EXPECT_TRUE(env.valid());
+  EXPECT_TRUE(env.remove_route(2));
+  expect_index_equivalent_behavior(env.index(), fresh.index(), rng, 300);
+}
+
 TEST(SearchEnvironment, CopyDoesNotCountAsBuild) {
   const layout::Layout lay = corpus_layout(9);
   const route::SearchEnvironment env(lay);
@@ -284,6 +579,62 @@ TEST_P(SequentialDifferential, IncrementalRoutesBitIdenticalToPerNetRebuild) {
 
 INSTANTIATE_TEST_SUITE_P(FuzzCorpus, SequentialDifferential,
                          ::testing::ValuesIn(test::fuzz_seeds(41, 17, 6)));
+
+// ------------------------------------------- rip-up-and-reroute differential
+
+class RipupDifferential : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RipupDifferential, IncrementalRipupBitIdenticalToRebuildReference) {
+  // The acceptance property: NetlistOptions::reroute, whose removals are
+  // incremental tombstone updates, must reproduce — segments, wirelength,
+  // stats — the reference that performs the same rip-up with from-scratch
+  // environment rebuilds at every step, across the fuzz corpus.
+  const std::uint64_t seed = GetParam();
+  const layout::Layout lay = corpus_layout(seed);
+  ASSERT_TRUE(lay.valid());
+
+  std::mt19937_64 rng(seed * 977 + 5);
+  std::vector<std::size_t> reroute;
+  for (std::size_t i = 0; i < lay.nets().size(); ++i) {
+    if (rng() % 3 == 0) reroute.push_back(i);
+  }
+  if (reroute.empty()) reroute.push_back(lay.nets().size() / 2);
+  std::shuffle(reroute.begin(), reroute.end(), rng);
+
+  route::NetlistOptions opts;
+  opts.mode = route::NetlistMode::kSequential;
+  opts.reroute = reroute;
+
+  const auto want = test::reference_ripup(lay, opts, reroute);
+  const auto got = route::NetlistRouter(lay).route_all(opts);
+  expect_results_identical(got, want);
+
+  // And through a cached (injected) environment — the REROUTE serve path.
+  const route::SearchEnvironment env(lay);
+  const std::size_t builds = route::SearchEnvironment::build_count();
+  const auto cached = route::NetlistRouter(lay, env).route_all(opts);
+  EXPECT_EQ(route::SearchEnvironment::build_count(), builds)
+      << "rip-up must stay incremental when an environment is injected";
+  expect_results_identical(cached, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzCorpus, RipupDifferential,
+                         ::testing::ValuesIn(test::fuzz_seeds(43, 19, 6)));
+
+TEST(RipupDifferential, WideHaloRipup) {
+  // Wider halos force detours and failures; ripping up half the netlist
+  // must still match the rebuild reference exactly.
+  const layout::Layout lay = corpus_layout(2);
+  route::NetlistOptions opts;
+  opts.mode = route::NetlistMode::kSequential;
+  opts.wire_halo = 4;
+  for (std::size_t i = 0; i < lay.nets().size(); i += 2) {
+    opts.reroute.push_back(i);
+  }
+  const auto want = test::reference_ripup(lay, opts, opts.reroute);
+  const auto got = route::NetlistRouter(lay).route_all(opts);
+  expect_results_identical(got, want);
+}
 
 TEST(SequentialDifferential, NonTrivialHaloAndOrder) {
   // Wider halos force detours/failures; a custom order exercises the

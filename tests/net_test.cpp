@@ -668,6 +668,156 @@ TEST(EventLoop, RouteNetSubsetOverTcp) {
   EXPECT_EQ(bye.status, "OK 0 bye");
 }
 
+TEST(EventLoop, RerouteOverTcp) {
+  // REROUTE end to end over the epoll front-end — pipelined in the same
+  // segment as the LOAD, which since the LOAD offload also exercises the
+  // connection's load barrier: the REROUTE must not be admitted (and fail
+  // session_not_found) before the offloaded build finishes.
+  TestServer server;
+  const std::string text = workload_text(9, 12, 7);
+  const layout::Layout lay = io::read_layout_string(text);
+  const std::string key = serve::SessionCache::content_key(text);
+  ASSERT_GE(lay.nets().size(), 3u);
+  const std::string& a = lay.nets()[2].name();
+  const std::string& b = lay.nets()[0].name();
+
+  route::NetlistOptions ropts;
+  ropts.mode = route::NetlistMode::kSequential;
+  ropts.reroute = {2, 0};
+  const route::NetlistResult want =
+      route::NetlistRouter(lay).route_all(ropts);
+  const std::string want_dump =
+      io::write_routes_string(lay, want, ropts.reroute);
+
+  const net::ScopedFd sock = net::tcp_connect(server.port());
+  serve::FdTransport transport(sock.get());
+  send_all(sock.get(), load_frame(text) + "REROUTE " + key + " nets=" + a +
+                           "," + b + "\nREROUTE " + key +
+                           "\nREROUTE " + key + " mode=independent nets=" +
+                           a + "\nQUIT\n");
+
+  const Frame load = read_frame(transport.in());
+  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  const Frame reroute = read_frame(transport.in());
+  ASSERT_EQ(reroute.status.rfind("OK ", 0), 0u) << reroute.status;
+  EXPECT_NE(reroute.status.find("routed " + std::to_string(want.routed) +
+                                " failed " + std::to_string(want.failed)),
+            std::string::npos)
+      << reroute.status;
+  EXPECT_EQ(reroute.body, want_dump)
+      << "REROUTE dump must reproduce the rip-up driver bit-for-bit";
+
+  const Frame missing = read_frame(transport.in());
+  EXPECT_EQ(missing.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(missing.status.find("REROUTE needs nets="), std::string::npos);
+  const Frame badmode = read_frame(transport.in());
+  EXPECT_EQ(badmode.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(badmode.status.find("always sequential"), std::string::npos);
+  const Frame bye = read_frame(transport.in());
+  EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
+TEST(EventLoop, LoadRunsOnWorkerPoolAndLoopStaysResponsive) {
+  // The LOAD-stall fix: a cold LOAD (parse + environment build) must run
+  // on the worker pool, not the loop thread, so other connections keep
+  // getting served while it builds.
+  serve::RoutingService::Options sopts;
+  sopts.workers = 1;  // a single worker makes the queue trip observable
+  TestServer server(net::EventLoopOptions(), sopts);
+
+  // Big enough that the build takes real time (hundreds of escape-line
+  // traces), small enough to stay fast under sanitizers.
+  const std::string big = workload_text(48, 64, 11);
+  const net::ScopedFd loader = net::tcp_connect(server.port());
+  serve::FdTransport loader_t(loader.get());
+  send_all(loader.get(), load_frame(big));
+
+  // While the LOAD is (at least potentially) building, a second connection
+  // must get an inline answer from the loop.  This is a liveness check —
+  // deterministic ordering proof comes from the metrics below.
+  const net::ScopedFd prober = net::tcp_connect(server.port());
+  serve::FdTransport prober_t(prober.get());
+  send_all(prober.get(), "STATS\n");
+  const Frame stats = read_frame(prober_t.in());
+  EXPECT_EQ(stats.status.rfind("OK ", 0), 0u) << stats.status;
+
+  const Frame load = read_frame(loader_t.in());
+  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+
+  // The cold LOAD went through the pool exactly once...
+  serve::MetricsSnapshot snap = server.service().snapshot();
+  EXPECT_EQ(snap.loads_offloaded, 1u);
+  EXPECT_EQ(snap.loads_ok, 1u);
+
+  // ...and a repeat LOAD of resident content answers inline (a content
+  // hash on the loop), not with a second pool trip.
+  send_all(loader.get(), load_frame(big) + "QUIT\n");
+  const Frame cached = read_frame(loader_t.in());
+  EXPECT_NE(cached.status.find("cached 1"), std::string::npos)
+      << cached.status;
+  snap = server.service().snapshot();
+  EXPECT_EQ(snap.loads_offloaded, 1u)
+      << "a resident LOAD must not burn a worker-pool trip";
+  EXPECT_EQ(snap.cache_hits, 1u);
+  const Frame bye = read_frame(loader_t.in());
+  EXPECT_EQ(bye.status, "OK 0 bye");
+
+  // A malformed body still answers ERR through the offloaded path.
+  const net::ScopedFd bad = net::tcp_connect(server.port());
+  serve::FdTransport bad_t(bad.get());
+  const std::string garbage = "boundary 0 0 10\nnonsense";
+  send_all(bad.get(), "LOAD " + std::to_string(garbage.size()) + "\n" +
+                          garbage + "QUIT\n");
+  const Frame err = read_frame(bad_t.in());
+  EXPECT_EQ(err.status.rfind("ERR ", 0), 0u) << err.status;
+  const Frame bad_bye = read_frame(bad_t.in());
+  EXPECT_EQ(bad_bye.status, "OK 0 bye");
+  EXPECT_EQ(server.service().snapshot().loads_failed, 1u);
+}
+
+TEST(EventLoop, PipelinedLoadRouteBurstWaitsForOffloadedBuild) {
+  // A cold LOAD and the ROUTEs that depend on it in one TCP segment: the
+  // load barrier must park the ROUTEs until the offloaded build finishes
+  // (admission resolves the session by handle), and responses must come
+  // back complete and in order.  Two different layouts back to back also
+  // prove the barrier re-arms.
+  TestServer server;
+  const std::string text_a = workload_text(9, 12, 7);
+  const std::string text_b = workload_text(9, 12, 8);
+  const std::string key_a = serve::SessionCache::content_key(text_a);
+  const std::string key_b = serve::SessionCache::content_key(text_b);
+  const layout::Layout lay_a = io::read_layout_string(text_a);
+  const layout::Layout lay_b = io::read_layout_string(text_b);
+  const route::NetlistResult ref_a = route::NetlistRouter(lay_a).route_all();
+  const route::NetlistResult ref_b = route::NetlistRouter(lay_b).route_all();
+
+  const net::ScopedFd sock = net::tcp_connect(server.port());
+  serve::FdTransport transport(sock.get());
+  send_all(sock.get(), load_frame(text_a) + "ROUTE " + key_a + "\n" +
+                           "ROUTE " + key_a + "\n" + load_frame(text_b) +
+                           "ROUTE " + key_b + "\nQUIT\n");
+
+  const Frame load_a = read_frame(transport.in());
+  EXPECT_NE(load_a.status.find("session " + key_a), std::string::npos);
+  for (int i = 0; i < 2; ++i) {
+    const Frame route = read_frame(transport.in());
+    ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
+    const route::NetlistResult parsed =
+        io::read_routes_string(route.body, lay_a);
+    EXPECT_EQ(parsed.total_wirelength, ref_a.total_wirelength);
+  }
+  const Frame load_b = read_frame(transport.in());
+  EXPECT_NE(load_b.status.find("session " + key_b), std::string::npos);
+  const Frame route_b = read_frame(transport.in());
+  ASSERT_EQ(route_b.status.rfind("OK ", 0), 0u) << route_b.status;
+  const route::NetlistResult parsed_b =
+      io::read_routes_string(route_b.body, lay_b);
+  EXPECT_EQ(parsed_b.total_wirelength, ref_b.total_wirelength);
+  const Frame bye = read_frame(transport.in());
+  EXPECT_EQ(bye.status, "OK 0 bye");
+  EXPECT_GE(server.service().snapshot().loads_offloaded, 2u);
+}
+
 #else  // !__linux__
 
 constexpr bool kHaveEventLoop = false;

@@ -292,6 +292,65 @@ TEST(NetlistRouter, RejectsInvalidSubset) {
   EXPECT_THROW((void)router.route_all(both), std::invalid_argument);
 }
 
+TEST(NetlistRouter, RejectsInvalidReroute) {
+  const layout::Layout lay = small_routed_layout(30, 3);
+  const route::NetlistRouter router(lay);
+  route::NetlistOptions independent;
+  independent.reroute = {0};  // default mode: no ordering to repair
+  EXPECT_THROW((void)router.route_all(independent), std::invalid_argument);
+  route::NetlistOptions dup;
+  dup.mode = route::NetlistMode::kSequential;
+  dup.reroute = {1, 1};
+  EXPECT_THROW((void)router.route_all(dup), std::invalid_argument);
+  route::NetlistOptions out_of_range;
+  out_of_range.mode = route::NetlistMode::kSequential;
+  out_of_range.reroute = {7};
+  EXPECT_THROW((void)router.route_all(out_of_range), std::invalid_argument);
+  route::NetlistOptions with_subset;
+  with_subset.mode = route::NetlistMode::kSequential;
+  with_subset.subset = {0};
+  with_subset.reroute = {1};
+  EXPECT_THROW((void)router.route_all(with_subset), std::invalid_argument);
+}
+
+TEST(NetlistRouter, RerouteOfLastNetsMatchesPlainSequential) {
+  // When the first pass already routed the rip-up set last, ripping it up
+  // and re-routing reproduces the first pass exactly — so the whole result
+  // must be bit-identical to the plain sequential route of that order.
+  // (This is the analytically provable corner of the rebuild-equivalence
+  // property the incremental_env differential suite checks in general.)
+  const layout::Layout lay = small_routed_layout(21);
+  const route::NetlistRouter router(lay);
+  const std::size_t n = lay.nets().size();
+
+  std::vector<std::size_t> last_two_order;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != 0 && i != 2) last_two_order.push_back(i);
+  }
+  last_two_order.push_back(0);
+  last_two_order.push_back(2);
+
+  route::NetlistOptions plain;
+  plain.mode = route::NetlistMode::kSequential;
+  plain.order = last_two_order;
+
+  route::NetlistOptions ripup = plain;
+  ripup.reroute = {0, 2};
+
+  const auto want = router.route_all(plain);
+  const auto got = router.route_all(ripup);
+  EXPECT_EQ(got.routed, want.routed);
+  EXPECT_EQ(got.failed, want.failed);
+  EXPECT_EQ(got.total_wirelength, want.total_wirelength);
+  EXPECT_EQ(got.stats.nodes_expanded, want.stats.nodes_expanded);
+  ASSERT_EQ(got.routes.size(), want.routes.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(got.routes[i].segments, want.routes[i].segments) << "net " << i;
+    EXPECT_EQ(got.routes[i].wirelength, want.routes[i].wirelength)
+        << "net " << i;
+  }
+}
+
 TEST(NetlistRouter, ParallelMoreThreadsThanNets) {
   // Worker count is clamped to the job count; a tiny netlist with a huge
   // thread request must not deadlock or drop nets.

@@ -63,4 +63,90 @@ inline route::NetlistResult reference_sequential(
   return result;
 }
 
+/// Rip-up-and-reroute with *from-scratch environment rebuilds* at every
+/// step — the reference `NetlistOptions::reroute` (incremental tombstone
+/// removal) must reproduce bit-for-bit.  First pass in \p opts.order (empty
+/// = netlist order), then the \p reroute nets' halos are dropped from the
+/// obstacle list and each is re-routed, in list order, against a freshly
+/// built index over the committed remainder.  Accounting replays the final
+/// order exactly like the production driver.
+inline route::NetlistResult reference_ripup(
+    const layout::Layout& lay, const route::NetlistOptions& opts,
+    const std::vector<std::size_t>& reroute) {
+  const std::size_t n = lay.nets().size();
+  route::NetlistResult result;
+  result.routes.resize(n);
+  std::vector<std::size_t> order = opts.order;
+  if (order.empty()) {
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  std::vector<geom::Rect> base = lay.obstacles();
+  std::vector<std::vector<geom::Rect>> halos(n);
+  const auto route_one = [&](std::size_t i,
+                             const std::vector<geom::Rect>& obstacles) {
+    const spatial::ObstacleIndex index(lay.boundary(), obstacles);
+    const spatial::EscapeLineSet lines(index);
+    const route::SteinerNetRouter net_router(index, lines);
+    bool pins_ok = true;
+    for (const auto& pins : route::net_terminal_pins(lay, lay.nets()[i])) {
+      for (const geom::Point& p : pins) {
+        if (!index.routable(p)) pins_ok = false;
+      }
+    }
+    route::NetRoute nr;
+    if (pins_ok) nr = net_router.route_net(lay, lay.nets()[i], opts.steiner);
+    halos[i].clear();
+    if (nr.ok) {
+      for (const geom::Segment& s : nr.segments) {
+        halos[i].push_back(s.bounds().inflated(opts.wire_halo));
+      }
+    }
+    result.routes[i] = std::move(nr);
+  };
+
+  // First pass: plain sequential accumulation.
+  std::vector<geom::Rect> obstacles = base;
+  std::vector<std::size_t> committed;  // commit order, for the remainder
+  for (const std::size_t i : order) {
+    route_one(i, obstacles);
+    if (result.routes[i].ok) {
+      committed.push_back(i);
+      obstacles.insert(obstacles.end(), halos[i].begin(), halos[i].end());
+    }
+  }
+
+  // Rip-up: rebuild the obstacle list over the committed remainder, then
+  // re-route the list against it, committing each re-route.
+  std::vector<bool> ripped(n, false);
+  for (const std::size_t r : reroute) ripped[r] = true;
+  obstacles = base;
+  for (const std::size_t i : committed) {
+    if (ripped[i]) continue;
+    obstacles.insert(obstacles.end(), halos[i].begin(), halos[i].end());
+  }
+  for (const std::size_t r : reroute) {
+    route_one(r, obstacles);
+    obstacles.insert(obstacles.end(), halos[r].begin(), halos[r].end());
+  }
+
+  // Final-order accounting, as the production driver does.
+  const auto account = [&result](std::size_t i) {
+    const route::NetRoute& nr = result.routes[i];
+    result.stats += nr.stats;
+    if (nr.ok) {
+      ++result.routed;
+      result.total_wirelength += nr.wirelength;
+    } else {
+      ++result.failed;
+    }
+  };
+  for (const std::size_t i : order) {
+    if (!ripped[i]) account(i);
+  }
+  for (const std::size_t r : reroute) account(r);
+  return result;
+}
+
 }  // namespace gcr::test

@@ -498,4 +498,86 @@ TEST(Protocol, ParseRouteCommandNets) {
                std::runtime_error);
 }
 
+TEST(Protocol, ParseRerouteCommand) {
+  const serve::RouteCommand cmd =
+      serve::parse_reroute_command("key nets=clk,rst threads=2");
+  EXPECT_EQ(cmd.session_key, "key");
+  EXPECT_EQ(cmd.nets, (std::vector<std::string>{"clk", "rst"}));
+  EXPECT_TRUE(cmd.reroute);
+  EXPECT_EQ(cmd.opts.mode, route::NetlistMode::kSequential);
+  EXPECT_EQ(cmd.opts.threads, 2u);
+  // nets= is mandatory: an empty rip-up set would silently be a plain
+  // route.  mode= is rejected either way — REROUTE is sequential by
+  // definition, and a silently-ignored mode=independent would mislead.
+  EXPECT_THROW((void)serve::parse_reroute_command("key"), std::runtime_error);
+  EXPECT_THROW((void)serve::parse_reroute_command("key mode=independent"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::parse_reroute_command("key mode=sequential"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::parse_reroute_command("key nets=a,"),
+               std::runtime_error);
+  // ROUTE does not grow a reroute flag by accident.
+  EXPECT_FALSE(serve::parse_route_command("key nets=a").reroute);
+}
+
+TEST(Protocol, RerouteRoundTrip) {
+  // Blocking-path REROUTE end to end: the dump must be restricted to the
+  // ripped nets and reproduce the rip-up driver bit-for-bit; the meta
+  // totals cover the whole netlist (the remainder is part of the result).
+  const std::string text = workload_text(9, 12, 7);
+  const layout::Layout lay = io::read_layout_string(text);
+  ASSERT_GE(lay.nets().size(), 4u);
+  const std::string& a = lay.nets()[3].name();
+  const std::string& b = lay.nets()[1].name();
+  const std::string key = serve::SessionCache::content_key(text);
+
+  route::NetlistOptions ropts;
+  ropts.mode = route::NetlistMode::kSequential;
+  ropts.reroute = {3, 1};
+  const route::NetlistResult want =
+      route::NetlistRouter(lay).route_all(ropts);
+  const std::string want_dump =
+      io::write_routes_string(lay, want, ropts.reroute);
+
+  const std::string script =
+      "LOAD " + std::to_string(text.size()) + "\n" + text +
+      "REROUTE " + key + " nets=" + a + "," + b + "\n" +
+      "REROUTE " + key + " nets=" + a + "," + a + "\n" +  // dedup: rip once
+      "REROUTE " + key + "\n" +                           // missing nets=
+      "REROUTE " + key + " nets=bogus\n" +                // unknown net
+      "QUIT\n";
+  std::istringstream replies(run_protocol(script));
+
+  (void)next_frame(replies);  // LOAD
+  const Frame reroute = next_frame(replies);
+  ASSERT_EQ(reroute.status.rfind("OK ", 0), 0u) << reroute.status;
+  EXPECT_NE(reroute.status.find(
+                "routed " + std::to_string(want.routed) + " failed " +
+                std::to_string(want.failed) + " wirelength " +
+                std::to_string(want.total_wirelength)),
+            std::string::npos)
+      << reroute.status;
+  EXPECT_EQ(reroute.body, want_dump);
+  EXPECT_EQ(reroute.body.rfind("route " + a + " ", 0), 0u)
+      << "dump order must follow the rip-up list";
+
+  const Frame dedup = next_frame(replies);
+  ASSERT_EQ(dedup.status.rfind("OK ", 0), 0u) << dedup.status;
+  const route::NetlistResult dedup_parsed =
+      io::read_routes_string(dedup.body, lay);
+  EXPECT_EQ(dedup_parsed.routed + dedup_parsed.failed, 1u)
+      << "duplicate names must rip once";
+
+  const Frame missing = next_frame(replies);
+  EXPECT_EQ(missing.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(missing.status.find("REROUTE needs nets="), std::string::npos);
+
+  const Frame unknown = next_frame(replies);
+  EXPECT_EQ(unknown.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(unknown.status.find("unknown net 'bogus'"), std::string::npos);
+
+  const Frame bye = next_frame(replies);
+  EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
 }  // namespace
