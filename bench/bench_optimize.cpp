@@ -1,0 +1,158 @@
+// E14 — OPTIMIZE convergence: iterated rip-up with negotiated-congestion
+// costs.
+//
+// The optimizer's value is its convergence curve: per pass, total
+// wirelength and passage overflow must fall (never rise — regressed passes
+// roll back unrecorded), and most of the win should land in the first few
+// passes.  The curve is a function of the layout and the cost constants
+// only — wirelengths and overflow counts are integers, machine-independent
+// — so the table below is deterministic and CI diffs it (via the JSON dump)
+// against a committed baseline: an engine change that degrades convergence
+// fails the build instead of shipping silently.
+//
+// Set GCR_OPTIMIZE_CONVERGENCE_OUT=<path> to write the same curves as JSON.
+// Regenerate the baseline after an *intentional* engine change by running
+// ./build/bench_optimize --benchmark_filter=NONE with that variable set to
+// bench/baselines/bench_optimize_convergence.json.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/optimize.hpp"
+
+namespace {
+
+using namespace gcr;
+using Clock = std::chrono::steady_clock;
+
+// The congested corpus: dense nets over a coarse passage pitch, the regime
+// pass 1 leaves detours and overflow in.  Fixed seeds — the curves are the
+// regression surface, so they must not float.
+constexpr std::size_t kCells = 12;
+constexpr geom::Coord kExtent = 200;
+constexpr std::size_t kNets = 32;
+constexpr geom::Coord kWirePitch = 12;
+constexpr std::uint64_t kSeeds[] = {101, 118, 135, 152, 169, 186};
+
+route::OptimizeReport run_seed(std::uint64_t seed) {
+  const layout::Layout lay =
+      bench::make_workload(kCells, kExtent, kNets, seed);
+  route::OptimizeOptions opts;
+  opts.passages.wire_pitch = kWirePitch;
+  return route::Optimizer(lay).run(opts);
+}
+
+void write_convergence_json(const char* path,
+                            const std::vector<route::OptimizeReport>& reports) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_optimize: cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"workload\": {\"cells\": %zu, \"extent\": %lld, "
+               "\"nets\": %zu, \"wire_pitch\": %lld},\n  \"seeds\": [\n",
+               kCells, static_cast<long long>(kExtent), kNets,
+               static_cast<long long>(kWirePitch));
+  for (std::size_t s = 0; s < reports.size(); ++s) {
+    std::fprintf(f, "    {\"seed\": %llu, \"passes\": [",
+                 static_cast<unsigned long long>(kSeeds[s]));
+    const auto& passes = reports[s].passes;
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+      std::fprintf(
+          f, "%s{\"pass\": %zu, \"wirelength\": %lld, \"overflow\": %zu}",
+          i == 0 ? "" : ", ", passes[i].pass,
+          static_cast<long long>(passes[i].wirelength), passes[i].overflow);
+    }
+    std::fprintf(f, "]}%s\n", s + 1 == reports.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void print_table() {
+  std::puts("E14 — OPTIMIZE convergence (iterated rip-up, negotiated"
+            " congestion)");
+  bench::rule('-', 78);
+  std::printf("  workload: %zu cells, %lld extent, %zu nets, wire_pitch"
+              " %lld\n",
+              kCells, static_cast<long long>(kExtent), kNets,
+              static_cast<long long>(kWirePitch));
+
+  std::vector<route::OptimizeReport> reports;
+  geom::Cost wl_before = 0, wl_after = 0;
+  std::size_t of_before = 0, of_after = 0;
+  for (const std::uint64_t seed : kSeeds) {
+    reports.push_back(run_seed(seed));
+    const route::OptimizeReport& r = reports.back();
+    std::printf("  seed %-4llu", static_cast<unsigned long long>(seed));
+    for (const route::OptimizePassStats& p : r.passes) {
+      std::printf("  %lld/%zu", static_cast<long long>(p.wirelength),
+                  p.overflow);
+    }
+    std::printf("  (%zu pass%s%s)\n", r.passes.size(),
+                r.passes.size() == 1 ? "" : "es",
+                r.converged ? ", converged" : "");
+    wl_before += r.passes.front().wirelength;
+    of_before += r.passes.front().overflow;
+    wl_after += r.passes.back().wirelength;
+    of_after += r.passes.back().overflow;
+  }
+  std::printf("  aggregate: wirelength %lld -> %lld (%.1f%%), overflow %zu"
+              " -> %zu\n",
+              static_cast<long long>(wl_before),
+              static_cast<long long>(wl_after),
+              wl_before > 0
+                  ? 100.0 * double(wl_before - wl_after) / double(wl_before)
+                  : 0.0,
+              of_before, of_after);
+  std::puts("  (each column is one recorded pass, wirelength/overflow;"
+            " non-increasing by contract)");
+  bench::rule('-', 78);
+
+  if (const char* out = std::getenv("GCR_OPTIMIZE_CONVERGENCE_OUT")) {
+    write_convergence_json(out, reports);
+    std::printf("  convergence JSON written to %s\n", out);
+  }
+}
+
+void BM_OptimizeFullRun(benchmark::State& state) {
+  // End-to-end OPTIMIZE on one congested seed: pass 1 plus every rip-up
+  // pass until convergence.
+  const std::uint64_t seed = kSeeds[static_cast<std::size_t>(state.range(0))];
+  const layout::Layout lay =
+      bench::make_workload(kCells, kExtent, kNets, seed);
+  route::OptimizeOptions opts;
+  opts.passages.wire_pitch = kWirePitch;
+  const route::Optimizer optimizer(lay);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.run(opts));
+  }
+  state.SetLabel("seed " + std::to_string(seed));
+}
+BENCHMARK(BM_OptimizeFullRun)->Arg(0)->Arg(1);
+
+void BM_OptimizeRipupPassesOnly(benchmark::State& state) {
+  // What OPTIMIZE costs *over* ROUTE: the full run minus the pass-1 price,
+  // approximated by timing a max_passes=1 run in the same loop for
+  // comparison against BM_OptimizeFullRun.
+  const std::uint64_t seed = kSeeds[0];
+  const layout::Layout lay =
+      bench::make_workload(kCells, kExtent, kNets, seed);
+  route::OptimizeOptions opts;
+  opts.passages.wire_pitch = kWirePitch;
+  opts.max_passes = 1;
+  const route::Optimizer optimizer(lay);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimizer.run(opts));
+  }
+  state.SetLabel("pass 1 + one rip-up pass");
+}
+BENCHMARK(BM_OptimizeRipupPassesOnly);
+
+}  // namespace
+
+GCR_BENCH_MAIN(print_table)

@@ -29,6 +29,10 @@
 //   $ gcr_loadgen --server ./example_gcr_serve --requests 8
 //   $ gcr_loadgen --server ./example_gcr_serve --tcp --clients 16
 //
+// With --optimize, every client finishes with one OPTIMIZE request: the
+// streamed PASS lines must match an in-process Optimizer run exactly (and
+// be non-increasing), and the final dump must parse back to its result.
+//
 // The workload is a seeded workload::floorplan netlist, so runs are
 // reproducible and the reference comparison is exact.
 
@@ -39,12 +43,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/netlist_router.hpp"
+#include "core/optimize.hpp"
 #include "io/route_dump.hpp"
 #include "io/text_format.hpp"
 #include "net/socket.hpp"
@@ -78,6 +84,7 @@ struct Config {
   std::size_t nets = 24;
   std::uint64_t seed = 42;
   long deadline_ms = -1;  // <0 = none
+  bool optimize = false;  // finish every client with one OPTIMIZE
 };
 
 int usage(const char* argv0) {
@@ -85,7 +92,8 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s [--server PATH [--transport socket|pipe] [--tcp]]\n"
       "       [--clients N] [--requests N] [--workers N]\n"
-      "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n",
+      "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n"
+      "       [--optimize]\n",
       argv0);
   return 2;
 }
@@ -159,6 +167,101 @@ long long meta_value(const std::string& meta, const std::string& key) {
   return -1;
 }
 
+/// One OPTIMIZE round trip: PASS progress lines stream ahead of the final
+/// frame, so the reader loops on lines until the first non-PASS status.
+struct OptimizeReply {
+  Reply reply;
+  std::vector<route::OptimizePassStats> passes;
+};
+
+OptimizeReply transact_optimize(std::ostream& out, std::istream& in,
+                                const std::string& line) {
+  OptimizeReply r;
+  out << line << '\n';
+  out.flush();
+  std::string status;
+  for (;;) {
+    if (!std::getline(in, status)) {
+      r.reply.error = "connection closed before response";
+      return r;
+    }
+    if (!status.empty() && status.back() == '\r') status.pop_back();
+    if (status.rfind("PASS ", 0) != 0) break;
+    route::OptimizePassStats p;
+    unsigned long long wl = 0, of = 0;
+    std::size_t pass = 0;
+    if (std::sscanf(status.c_str(), "PASS %zu wirelength=%llu overflow=%llu",
+                    &pass, &wl, &of) != 3) {
+      r.reply.error = "malformed PASS line: " + status;
+      return r;
+    }
+    p.pass = pass;
+    p.wirelength = static_cast<geom::Cost>(wl);
+    p.overflow = static_cast<std::size_t>(of);
+    r.passes.push_back(p);
+  }
+  std::istringstream is(status);
+  std::string kw;
+  is >> kw;
+  if (kw == "ERR") {
+    std::getline(is, r.reply.error);
+    return r;
+  }
+  if (kw != "OK") {
+    r.reply.error = "malformed status line: " + status;
+    return r;
+  }
+  std::size_t nbytes = 0;
+  if (!(is >> nbytes)) {
+    r.reply.error = "missing body byte count: " + status;
+    return r;
+  }
+  std::getline(is >> std::ws, r.reply.meta);
+  r.reply.body.resize(nbytes);
+  in.read(r.reply.body.data(), static_cast<std::streamsize>(nbytes));
+  if (static_cast<std::size_t>(in.gcount()) != nbytes) {
+    r.reply.error = "truncated response body";
+    return r;
+  }
+  r.reply.ok = true;
+  return r;
+}
+
+/// Cross-checks an OPTIMIZE reply against the in-process reference run:
+/// one PASS line per recorded pass, values exact and non-increasing, final
+/// dump parsing back to the reference result.  Empty string = good.
+std::string check_optimize(const OptimizeReply& r, const layout::Layout& lay,
+                           const route::OptimizeReport& want) {
+  if (!r.reply.ok) return "OPTIMIZE: " + r.reply.error;
+  if (r.passes.empty()) return "OPTIMIZE: no PASS lines streamed";
+  if (r.passes.size() != want.passes.size()) {
+    return "OPTIMIZE: streamed " + std::to_string(r.passes.size()) +
+           " passes, reference ran " + std::to_string(want.passes.size());
+  }
+  for (std::size_t i = 0; i < r.passes.size(); ++i) {
+    if (r.passes[i].pass != i + 1 ||
+        r.passes[i].wirelength != want.passes[i].wirelength ||
+        r.passes[i].overflow != want.passes[i].overflow) {
+      return "OPTIMIZE: PASS " + std::to_string(i + 1) +
+             " mismatch vs reference";
+    }
+    if (i > 0 && (r.passes[i].wirelength > r.passes[i - 1].wirelength ||
+                  r.passes[i].overflow > r.passes[i - 1].overflow)) {
+      return "OPTIMIZE: pass curve not non-increasing";
+    }
+  }
+  try {
+    const route::NetlistResult parsed = io::read_routes_string(r.reply.body, lay);
+    if (parsed.total_wirelength != want.result.total_wirelength ||
+        parsed.routed != want.result.routed) {
+      return "OPTIMIZE: final dump mismatch vs reference";
+    }
+  } catch (const std::exception& e) {
+    return std::string("OPTIMIZE: dump unparsable: ") + e.what();
+  }
+  return std::string();
+}
+
 // ------------------------------------------------------------ in-process mode
 
 int run_inproc(const Config& cfg, const std::string& layout_text,
@@ -172,6 +275,11 @@ int run_inproc(const Config& cfg, const std::string& layout_text,
   std::printf("session %s: %zu cells, %zu nets, %zu workers\n",
               session->key.c_str(), session->layout.cells().size(),
               session->layout.nets().size(), service.worker_count());
+
+  // In-process OPTIMIZE reference: the service must reproduce it exactly
+  // (same engine, cached environment, no builds).
+  std::optional<route::OptimizeReport> optref;
+  if (cfg.optimize) optref = route::Optimizer(session->layout).run();
 
   std::vector<std::size_t> ok_counts(cfg.clients, 0);
   std::vector<std::size_t> bad_counts(cfg.clients, 0);
@@ -193,6 +301,18 @@ int run_inproc(const Config& cfg, const std::string& layout_text,
               resp.ok() &&
               resp.result.total_wirelength == reference.total_wirelength &&
               resp.result.routed == reference.routed;
+          (good ? ok_counts : bad_counts)[c] += 1;
+        }
+        if (cfg.optimize) {
+          serve::RouteRequest req;
+          req.session_key = session->key;
+          req.optimize = true;
+          const serve::RouteResponse resp = service.route(std::move(req));
+          const bool good =
+              resp.ok() && resp.passes.size() == optref->passes.size() &&
+              resp.result.total_wirelength ==
+                  optref->result.total_wirelength &&
+              resp.result.routed == optref->result.routed;
           (good ? ok_counts : bad_counts)[c] += 1;
         }
       });
@@ -353,6 +473,21 @@ int run_against_server(const Config& cfg, const std::string& layout_text,
                 secs, secs > 0 ? static_cast<double>(total) / secs : 0.0,
                 failures);
 
+    if (cfg.optimize) {
+      const route::OptimizeReport optref = route::Optimizer(lay).run();
+      const OptimizeReply orep =
+          transact_optimize(out, in, "OPTIMIZE " + key);
+      const std::string err = check_optimize(orep, lay, optref);
+      if (err.empty()) {
+        std::printf("OPTIMIZE: %zu passes streamed, final wirelength %lld\n",
+                    orep.passes.size(),
+                    static_cast<long long>(optref.result.total_wirelength));
+      } else {
+        std::fprintf(stderr, "%s\n", err.c_str());
+        ++failures;
+      }
+    }
+
     const Reply stats = transact(out, in, "STATS");
     if (stats.ok) {
       std::fputs(stats.body.c_str(), stdout);
@@ -477,6 +612,11 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
                    lay.nets()[1].name();
   }
 
+  // OPTIMIZE reference: one in-process run; every client's streamed curve
+  // and final dump must reproduce it exactly.
+  std::optional<route::OptimizeReport> optref;
+  if (cfg.optimize) optref = route::Optimizer(lay).run();
+
   const auto t0 = std::chrono::steady_clock::now();
   {
     std::vector<std::thread> threads;
@@ -537,6 +677,16 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
               fail("REROUTE dump mismatch vs reference");
             } else {
               ++res.ok;
+            }
+          }
+          if (cfg.optimize) {
+            const OptimizeReply orep =
+                transact_optimize(out, in, "OPTIMIZE " + key);
+            const std::string err = check_optimize(orep, lay, *optref);
+            if (err.empty()) {
+              ++res.ok;
+            } else {
+              fail(err);
             }
           }
           const Reply bye = transact(out, in, "QUIT");
@@ -653,6 +803,8 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--tcp") {
       cfg.tcp = true;
+    } else if (arg == "--optimize") {
+      cfg.optimize = true;
     } else if (arg == "--clients" && number(1024, &n)) {
       cfg.clients = std::max<std::size_t>(n, 1);
     } else if (arg == "--requests" && number(1 << 20, &n)) {

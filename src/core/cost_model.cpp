@@ -42,4 +42,20 @@ geom::Cost RegionPenaltyCost::penalty(const EdgeContext& ctx) const {
   return sum;
 }
 
+geom::Cost HistoryCost::penalty(const EdgeContext& ctx) const {
+  const Segment edge{ctx.from.p, ctx.to};
+  geom::Cost sum = 0;
+  for (const Region& r : regions_) {
+    // Closed intersection, like RegionPenaltyCost: running along a
+    // congested passage's rim counts as using it.
+    if (!edge.bounds().intersects(r.area)) continue;
+    // History is clamped so a pathological run cannot overflow the scaled
+    // cost arithmetic; 1024 iterations of sustained overuse is already far
+    // past any practical convergence horizon.
+    const geom::Cost h = std::min<geom::Cost>(r.history, 1024);
+    sum += r.present * (1 + h) + history_base_ * h;
+  }
+  return sum;
+}
+
 }  // namespace gcr::route

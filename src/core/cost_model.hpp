@@ -112,6 +112,50 @@ class RegionPenaltyCost final : public CostModel {
   std::vector<Region> regions_;
 };
 
+/// PathFinder-style negotiated-congestion penalty (McMurchie & Ebeling,
+/// FPGA'95) over region-shaped resources — the iterated generalization of
+/// RegionPenaltyCost.  Each region carries a *present* cost (how over-used
+/// the resource is right now) and a *history* cost (how persistently it has
+/// been over-used across rip-up iterations).  A probe edge crossing the
+/// region pays
+///
+///     present * (1 + history) + history_base * history
+///
+/// so a currently-congested region grows more expensive every iteration it
+/// stays congested (the present term is multiplied up by history), and a
+/// region with a congested *past* keeps a residual charge even after it
+/// drains (the additive history term) — which is what breaks the
+/// oscillation a memoryless penalty falls into when two nets keep swapping
+/// between the same two corridors.  Every term is >= 0, so the Manhattan
+/// heuristic stays a lower bound and A* stays admissible.
+class HistoryCost final : public CostModel {
+ public:
+  struct Region {
+    geom::Rect area;
+    geom::Cost present = 0;  ///< scaled cost per crossing, current overuse
+    geom::Cost history = 0;  ///< accumulated overuse (dimensionless count)
+  };
+
+  /// \p history_base is the scaled cost one unit of history charges on a
+  /// region that is not presently congested.
+  explicit HistoryCost(geom::Cost history_base = 0)
+      : history_base_(history_base) {}
+
+  /// Negative inputs are clamped to zero: penalties must never subtract.
+  void add_region(geom::Rect area, geom::Cost present, geom::Cost history) {
+    regions_.push_back({area, present < 0 ? 0 : present,
+                        history < 0 ? 0 : history});
+  }
+  [[nodiscard]] const std::vector<Region>& regions() const noexcept {
+    return regions_;
+  }
+  [[nodiscard]] geom::Cost penalty(const EdgeContext& ctx) const override;
+
+ private:
+  geom::Cost history_base_;
+  std::vector<Region> regions_;
+};
+
 /// True when \p p lies on the boundary of any obstacle (a "hugging" point).
 [[nodiscard]] bool on_obstacle_boundary(const spatial::ObstacleIndex& idx,
                                         const geom::Point& p);

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "congestion/congestion_map.hpp"
+#include "core/netlist_router.hpp"
+#include "layout/layout.hpp"
+
+/// \file optimize.hpp
+/// Iterated rip-up-and-reroute — the quality engine built on PR 5's cheap
+/// per-net removal.
+///
+/// The paper's escape hatch for congestion — "a second route of the
+/// affected nets could penalize those paths which chose the congested
+/// area" — is a *one-shot* second pass in src/congestion/two_pass.  This
+/// driver iterates it, PathFinder-style (McMurchie & Ebeling, FPGA'95):
+///
+///   1. Route the whole netlist sequentially (keyed commits, so every net
+///      can be ripped back out).
+///   2. Score committed nets by detour ratio (wirelength over the Manhattan
+///      lower bound of the terminal bounding box) and by how many congested
+///      passages they cross.
+///   3. Rip the worst offenders out via SearchEnvironment::remove_route —
+///      O(affected geometry) each, never a rebuild — and re-route them
+///      through a HistoryCost model whose per-passage penalty is the
+///      present overuse multiplied up by the overuse *history* accumulated
+///      across iterations (all terms >= 0, so A* stays admissible).
+///   4. Accept a re-route only if it is no longer and crosses no more
+///      congested passages than the route it replaces; restore the old
+///      route otherwise.  If a whole pass still fails to hold the line on
+///      (wirelength, overflow) — possible when independently-improved nets
+///      pile into the same fresh passage — the pass is rolled back
+///      wholesale.  Total wirelength and total passage overflow are
+///      therefore *non-increasing, pass over pass*, by construction.
+///   5. Repeat until a pass changes nothing (converged), the pass cap is
+///      reached, or the time budget / deadline / cancel token fires —
+///      budget expiry is not an error: the current best routing is
+///      returned, so a client buys quality with latency.
+///
+/// Nets that failed to route in pass 1 committed no wire and are left
+/// alone: recovering them would *raise* total wirelength, and this engine's
+/// contract is monotone improvement of the routed set.
+
+namespace gcr::route {
+
+struct OptimizePassStats {
+  std::size_t pass = 0;  ///< 1-based; pass 1 is the initial sequential route
+  geom::Cost wirelength = 0;    ///< total over routed nets after this pass
+  std::size_t overflow = 0;     ///< total passage overflow after this pass
+  std::size_t routed = 0;
+  std::size_t failed = 0;
+  std::size_t ripped = 0;       ///< nets ripped up this pass
+  std::size_t improved = 0;     ///< rip-ups whose new route was accepted
+};
+
+/// Per-pass progress hook.  Invoked after every completed pass (including
+/// pass 1) from whatever thread runs the optimizer; the serving layer
+/// streams these as `PASS` reply lines.  Must not throw.
+using OptimizeProgress = std::function<void(const OptimizePassStats&)>;
+
+struct OptimizeOptions {
+  SteinerOptions steiner;
+  /// Wire-spacing halo for committed segments (see NetlistOptions).
+  geom::Coord wire_halo = 1;
+  congestion::PassageOptions passages;
+  /// Optimization passes after the initial route (pass cap).
+  std::size_t max_passes = 8;
+  /// Wall-clock budget for the whole run; zero = unbounded.  Checked at
+  /// pass boundaries — an in-flight pass runs to completion.
+  std::chrono::milliseconds budget{0};
+  /// Absolute deadline (the serving layer's deadline_ms); default = none.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Cooperative cancel, checked at pass boundaries (client disconnect).
+  std::shared_ptr<std::atomic<bool>> cancel;
+  OptimizeProgress progress;
+  /// Present-cost per unit of passage overflow, in DBU of equivalent wire
+  /// per crossing (scaled by kCostScale internally).
+  geom::Cost present_penalty_dbu = 8;
+  /// Residual history charge per unit of accumulated overuse, in DBU.
+  geom::Cost history_penalty_dbu = 2;
+  /// Rip at most this fraction of the routed nets per pass...
+  double rip_fraction = 0.25;
+  /// ...and never more than this many.
+  std::size_t max_rip = 64;
+  /// Detour-ratio floor for congestion-free candidates: nets whose route is
+  /// at most this factor over their Manhattan lower bound are left alone
+  /// unless they cross a congested passage.
+  double detour_threshold = 1.05;
+};
+
+struct OptimizeReport {
+  /// Final routing (same shape as NetlistRouter::route_all's result);
+  /// `stats` accumulates every search performed across all passes.
+  NetlistResult result;
+  /// One entry per completed pass, pass 1 first.  `wirelength` and
+  /// `overflow` are non-increasing down this vector.
+  std::vector<OptimizePassStats> passes;
+  /// True when iteration stopped because a pass changed nothing (as opposed
+  /// to hitting the pass cap, budget, deadline, or cancel).
+  bool converged = false;
+  /// True when the cancel token stopped iteration early.
+  bool cancelled = false;
+  [[nodiscard]] std::size_t final_overflow() const noexcept {
+    return passes.empty() ? 0 : passes.back().overflow;
+  }
+};
+
+/// Detour ratio of a routed net: wirelength over the half-perimeter of its
+/// terminals' bounding box (the Manhattan lower bound for connecting them).
+/// A net whose terminals are coincident has a zero lower bound; its ratio
+/// is *defined as 1.0* (no detour) so degenerate nets are never selected
+/// for rip-up and never divide by zero.  Unrouted nets also score 1.0.
+[[nodiscard]] double detour_ratio(const layout::Layout& lay,
+                                  const layout::Net& net, const NetRoute& nr);
+
+class Optimizer {
+ public:
+  /// Independent per-call environments, like NetlistRouter.
+  explicit Optimizer(const layout::Layout& lay) : layout_(lay) {}
+
+  /// Injects a prebuilt environment (the serving layer's cached session):
+  /// the run starts from a *copy* of \p env — plain vector duplication, no
+  /// index or escape-line construction.  \p env must match \p lay's
+  /// placement, hold no committed halos, and outlive the optimizer.
+  Optimizer(const layout::Layout& lay, const SearchEnvironment& env)
+      : layout_(lay), env_(&env) {}
+
+  [[nodiscard]] OptimizeReport run(const OptimizeOptions& opts = {}) const;
+
+ private:
+  const layout::Layout& layout_;
+  const SearchEnvironment* env_ = nullptr;
+};
+
+}  // namespace gcr::route

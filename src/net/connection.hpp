@@ -56,19 +56,21 @@ class Connection {
   /// Takes the next response ticket; one per dispatched command.
   [[nodiscard]] std::uint64_t assign_seq() noexcept { return next_seq_++; }
 
-  /// Delivers the response for ticket \p seq.  Flattens it — and any
-  /// later responses it unblocks — into the write buffer the moment it is
-  /// next in line; parks it otherwise.
+  /// Delivers the final response for ticket \p seq.  Flattens it — and any
+  /// later finished responses it unblocks — into the write buffer the
+  /// moment it is next in line; parks it otherwise.
   void complete(std::uint64_t seq, std::string frame) {
-    ready_bytes_ += frame.size();
-    ready_.emplace(seq, std::move(frame));
-    auto it = ready_.begin();
-    while (it != ready_.end() && it->first == flush_seq_) {
-      ready_bytes_ -= it->second.size();
-      out_ += it->second;
-      it = ready_.erase(it);
-      ++flush_seq_;
-    }
+    deliver(seq, std::move(frame), /*done=*/true);
+  }
+
+  /// Appends a *progress* chunk (an OPTIMIZE `PASS` line) to ticket
+  /// \p seq without finishing it.  When the ticket is front of line the
+  /// bytes stream straight to the write buffer — the client sees passes as
+  /// they complete; otherwise they park with the ticket and flush, still
+  /// in order, once the earlier responses land.  The ticket keeps blocking
+  /// later responses until complete() arrives.
+  void progress(std::uint64_t seq, std::string chunk) {
+    deliver(seq, std::move(chunk), /*done=*/false);
   }
 
   /// In-flight accounting for jobs handed to the worker pool.
@@ -137,13 +139,71 @@ class Connection {
  private:
   static constexpr std::size_t kCompactAt = 64 * 1024;
 
+  /// A parked response: the bytes accumulated so far and whether the final
+  /// frame has arrived.  An unfinished entry at the front of the line
+  /// streams its text out incrementally but stays parked — it must keep
+  /// blocking later tickets until complete() marks it done.
+  struct Pending {
+    std::string text;
+    bool done = false;
+  };
+
+  void deliver(std::uint64_t seq, std::string bytes, bool done) {
+    if (seq == flush_seq_ && ready_.find(seq) == ready_.end()) {
+      // Front of line with nothing parked: stream straight through.
+      out_ += bytes;
+      if (done) {
+        ++flush_seq_;
+        flush_ready();
+      } else {
+        // Park an empty marker so drained() and later tickets still see
+        // this response as unfinished.
+        ready_.emplace(seq, Pending{});
+      }
+      return;
+    }
+    auto [it, inserted] = ready_.try_emplace(seq);
+    Pending& p = it->second;
+    ready_bytes_ += bytes.size();
+    p.text += bytes;
+    p.done = p.done || done;
+    if (seq == flush_seq_) {
+      // Front-of-line ticket that was already parked (progress arrived
+      // before this chunk): flush what we have; retire it only when done.
+      ready_bytes_ -= p.text.size();
+      out_ += p.text;
+      p.text.clear();
+      if (p.done) {
+        ready_.erase(it);
+        ++flush_seq_;
+        flush_ready();
+      }
+    }
+  }
+
+  /// Flattens the in-order prefix of finished responses into the write
+  /// buffer, stopping at a gap or at an unfinished (streaming) ticket.
+  void flush_ready() {
+    auto it = ready_.begin();
+    while (it != ready_.end() && it->first == flush_seq_) {
+      ready_bytes_ -= it->second.text.size();
+      out_ += it->second.text;
+      if (!it->second.done) {
+        it->second.text.clear();
+        break;  // streaming ticket: emit its bytes but keep it parked
+      }
+      it = ready_.erase(it);
+      ++flush_seq_;
+    }
+  }
+
   ScopedFd fd_;
   std::uint64_t id_;
   FrameParser parser_;
   std::shared_ptr<std::atomic<bool>> cancel_;
   std::uint64_t next_seq_ = 0;   ///< next ticket to hand out
   std::uint64_t flush_seq_ = 0;  ///< next ticket the write buffer expects
-  std::map<std::uint64_t, std::string> ready_;  ///< parked responses
+  std::map<std::uint64_t, Pending> ready_;  ///< parked responses
   std::size_t ready_bytes_ = 0;
   std::string out_;
   std::size_t out_off_ = 0;

@@ -54,6 +54,12 @@ struct EventLoop::Mailbox {
     /// dispatch barrier so parked commands replay (see
     /// Connection::load_inflight).
     bool load = false;
+    /// A progress chunk (an OPTIMIZE `PASS` line), not the final response:
+    /// the ticket stays open — no in-flight decrement, no barrier drop —
+    /// and the bytes stream through Connection::progress.  Workers post
+    /// every partial before the final frame on the same thread, and the
+    /// mailbox is FIFO, so order within a ticket is preserved.
+    bool partial = false;
   };
 
 #if GCR_NET_HAVE_EPOLL
@@ -210,6 +216,13 @@ void EventLoop::drain_mailbox() {
       continue;
     }
     Connection& conn = *it->second;
+    if (c.partial) {
+      // Mid-response progress: the job is still running, so the ticket
+      // stays in flight; just stream (or park) the bytes and flush.
+      conn.progress(c.seq, std::move(c.frame));
+      settle(c.conn_id);
+      continue;
+    }
     conn.job_completed();
     if (c.load) conn.load_inflight = false;  // barrier down: deferred replay
     conn.complete(c.seq, std::move(c.frame));
@@ -371,6 +384,33 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
                        seq](serve::RouteResponse resp) {
                         mailbox->post({id, seq,
                                        serve::format_route_response(resp)});
+                      });
+      return;
+    }
+    case serve::CommandKind::kOptimize: {
+      serve::RouteRequest req;
+      try {
+        req = serve::to_request(serve::parse_optimize_command(cmd.args));
+      } catch (const std::exception& e) {
+        conn.complete(seq, serve::format_err(e.what()));
+        return;
+      }
+      req.cancel = conn.cancel_token();
+      // Progress lines post as partial completions under the same ticket:
+      // they stream to the client as passes finish, yet still respect
+      // pipelined request order — an OPTIMIZE behind a slow ROUTE parks
+      // its PASS lines with the ticket until the ROUTE's frame flushes.
+      req.progress = [mailbox = mailbox_, id = conn.id(),
+                      seq](const route::OptimizePassStats& stats) {
+        mailbox->post({id, seq, serve::format_pass_progress(stats),
+                       /*load=*/false, /*partial=*/true});
+      };
+      conn.job_dispatched();
+      service_.submit(std::move(req),
+                      [mailbox = mailbox_, id = conn.id(),
+                       seq](serve::RouteResponse resp) {
+                        mailbox->post(
+                            {id, seq, serve::format_optimize_response(resp)});
                       });
       return;
     }

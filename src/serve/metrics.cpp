@@ -35,6 +35,8 @@ std::string MetricsSnapshot::to_text() const {
      << "loads_offloaded " << loads_offloaded << '\n'
      << "loads_ok " << loads_ok << '\n'
      << "loads_failed " << loads_failed << '\n'
+     << "optimizes_ok " << optimizes_ok << '\n'
+     << "optimize_passes " << optimize_passes << '\n'
      << "latency_p50_us " << latency_p50_us << '\n'
      << "latency_p95_us " << latency_p95_us << '\n'
      << "latency_p99_us " << latency_p99_us << '\n'

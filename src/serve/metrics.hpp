@@ -69,6 +69,10 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> loads_offloaded{0};
   std::atomic<std::uint64_t> loads_ok{0};
   std::atomic<std::uint64_t> loads_failed{0};  ///< parse error / rejected
+  /// OPTIMIZE runs completed (kOk) and the total rip-up passes they ran —
+  /// passes/run is the convergence-speed dashboard number.
+  std::atomic<std::uint64_t> optimizes_ok{0};
+  std::atomic<std::uint64_t> optimize_passes{0};
   LatencyWindow latency;        ///< enqueue -> response, microseconds
   LatencyWindow queue_wait;     ///< enqueue -> dequeue, microseconds
 };
@@ -87,6 +91,8 @@ struct MetricsSnapshot {
   std::uint64_t loads_offloaded = 0;
   std::uint64_t loads_ok = 0;
   std::uint64_t loads_failed = 0;
+  std::uint64_t optimizes_ok = 0;
+  std::uint64_t optimize_passes = 0;
   std::uint64_t latency_p50_us = 0;
   std::uint64_t latency_p95_us = 0;
   std::uint64_t latency_p99_us = 0;

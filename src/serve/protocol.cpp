@@ -87,6 +87,20 @@ std::vector<std::string> split_net_list(const std::string& value) {
   }
 }
 
+/// parse_count plus the 24-hour cap shared by deadline_ms and budget_ms:
+/// std::chrono::milliseconds has a signed rep, so an uncapped ULLONG_MAX
+/// count would narrow to a negative duration, and adding it to
+/// steady_clock::now() overflows the clock rep (signed-overflow UB).
+unsigned long long parse_duration_ms(const std::string& tok,
+                                     const std::string& what) {
+  const unsigned long long ms = parse_count(tok, what);
+  if (ms > kMaxDeadlineMs) {
+    throw std::runtime_error(what + ": at most " +
+                             std::to_string(kMaxDeadlineMs) + " ms (24h)");
+  }
+  return ms;
+}
+
 }  // namespace
 
 ClassifiedCommand classify_command(const std::string& line) {
@@ -107,6 +121,8 @@ ClassifiedCommand classify_command(const std::string& line) {
     out.kind = CommandKind::kRoute;
   } else if (out.keyword == "REROUTE") {
     out.kind = CommandKind::kReroute;
+  } else if (out.keyword == "OPTIMIZE") {
+    out.kind = CommandKind::kOptimize;
   } else {
     out.kind = CommandKind::kUnknown;
   }
@@ -144,7 +160,7 @@ RouteCommand parse_route_command(const std::string& args) {
       cmd.opts.threads = static_cast<unsigned>(n);
     } else if (key == "deadline_ms") {
       cmd.deadline = std::chrono::milliseconds(
-          parse_count(value, "ROUTE deadline_ms"));
+          parse_duration_ms(value, "ROUTE deadline_ms"));
     } else if (key == "sorted") {
       if (value != "0" && value != "1") {
         throw std::runtime_error("ROUTE sorted must be 0 or 1");
@@ -183,6 +199,50 @@ RouteCommand parse_reroute_command(const std::string& args) {
   return cmd;
 }
 
+RouteCommand parse_optimize_command(const std::string& args) {
+  const std::vector<std::string> words = split_words(args);
+  if (words.empty()) {
+    throw std::runtime_error("OPTIMIZE needs a session key");
+  }
+  RouteCommand cmd;
+  cmd.session_key = words[0];
+  cmd.optimize = true;
+  cmd.opts.mode = route::NetlistMode::kSequential;
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    const std::size_t eq = w.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
+      throw std::runtime_error("OPTIMIZE option '" + w +
+                               "' is not of the form key=value");
+    }
+    const std::string key = w.substr(0, eq);
+    const std::string value = w.substr(eq + 1);
+    if (key == "passes") {
+      const unsigned long long n = parse_count(value, "OPTIMIZE passes");
+      if (n == 0 || n > 1024) {
+        throw std::runtime_error("OPTIMIZE passes: must be 1..1024");
+      }
+      cmd.passes = static_cast<std::size_t>(n);
+    } else if (key == "budget_ms") {
+      cmd.budget = std::chrono::milliseconds(
+          parse_duration_ms(value, "OPTIMIZE budget_ms"));
+    } else if (key == "deadline_ms") {
+      cmd.deadline = std::chrono::milliseconds(
+          parse_duration_ms(value, "OPTIMIZE deadline_ms"));
+    } else if (key == "segments") {
+      if (value != "0" && value != "1") {
+        throw std::runtime_error("OPTIMIZE segments must be 0 or 1");
+      }
+      cmd.opts.steiner.connect_to_segments = value == "1";
+    } else {
+      // mode=, nets=, threads=, sorted= land here deliberately: the engine
+      // is sequential whole-netlist by definition.
+      throw std::runtime_error("OPTIMIZE: unknown option '" + key + "'");
+    }
+  }
+  return cmd;
+}
+
 unsigned long long parse_load_count(const std::string& line) {
   const std::vector<std::string> words = split_words(line);
   if (words.size() != 2) {
@@ -197,6 +257,9 @@ RouteRequest to_request(const RouteCommand& cmd) {
   req.opts = cmd.opts;
   req.net_names = cmd.nets;
   req.reroute = cmd.reroute;
+  req.optimize = cmd.optimize;
+  req.optimize_passes = cmd.passes;
+  req.optimize_budget = cmd.budget;
   if (cmd.deadline) {
     req.deadline = std::chrono::steady_clock::now() + *cmd.deadline;
   }
@@ -280,6 +343,32 @@ std::string format_route_response(const RouteResponse& resp) {
   return format_ok(meta.str(), body);
 }
 
+std::string format_pass_progress(const route::OptimizePassStats& stats) {
+  std::ostringstream os;
+  os << "PASS " << stats.pass << " wirelength=" << stats.wirelength
+     << " overflow=" << stats.overflow << '\n';
+  return os.str();
+}
+
+std::string format_optimize_response(const RouteResponse& resp) {
+  if (!resp.ok()) {
+    return format_err(resp.error.empty()
+                          ? to_string(resp.status)
+                          : std::string(to_string(resp.status)) + ": " +
+                                resp.error);
+  }
+  const std::string body =
+      io::write_routes_string(resp.session->layout, resp.result);
+  std::ostringstream meta;
+  meta << "passes " << resp.passes.size() << " routed " << resp.result.routed
+       << " failed " << resp.result.failed << " wirelength "
+       << resp.result.total_wirelength << " overflow "
+       << (resp.passes.empty() ? 0 : resp.passes.back().overflow)
+       << " queue_us " << resp.queue_wait.count() << " total_us "
+       << resp.latency.count();
+  return format_ok(meta.str(), body);
+}
+
 std::size_t serve_connection(RoutingService& service, std::istream& in,
                              std::ostream& out) {
   const auto emit = [&out](const std::string& frame) {
@@ -340,6 +429,27 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
         break;
       }
       emit(exec_load(service, body));
+      continue;
+    }
+
+    if (cmd.kind == CommandKind::kOptimize) {
+      RouteRequest req;
+      try {
+        req = to_request(parse_optimize_command(cmd.args));
+      } catch (const std::exception& e) {
+        emit(format_err(e.what()));
+        continue;
+      }
+      // Stream each completed pass as it lands.  The progress hook runs on
+      // the worker thread while this thread is parked inside route()'s
+      // future wait; the future's synchronization orders every streamed
+      // write before the final frame below, and nothing else writes to
+      // `out` in that window — the blocking loop serves one command at a
+      // time.
+      req.progress = [&emit](const route::OptimizePassStats& stats) {
+        emit(format_pass_progress(stats));
+      };
+      emit(format_optimize_response(service.route(std::move(req))));
       continue;
     }
 

@@ -32,6 +32,13 @@
 ///                                ;   is rejected (always sequential);
 ///                                ;   other ROUTE options apply.  The dump
 ///                                ;   is restricted to the listed nets.
+/// OPTIMIZE <session> [k=v]…      ; iterated rip-up-and-reroute over the
+///                                ;   whole netlist: passes=N caps the
+///                                ;   optimization passes, budget_ms=N
+///                                ;   bounds wall-clock (expiry returns the
+///                                ;   best routing so far, not an error);
+///                                ;   deadline_ms= and segments= as ROUTE.
+///                                ;   mode=/nets=/threads= are rejected.
 /// STATS                          ; service metrics
 /// QUIT                           ; close the connection
 /// ```
@@ -43,6 +50,21 @@
 /// OK <nbytes> [meta]…            ; <nbytes> bytes of body follow the LF
 /// ERR <reason…>                  ; no body
 /// ```
+///
+/// `OPTIMIZE` additionally streams *progress lines* before its final frame
+/// — one per completed pass, in pass order:
+///
+/// ```text
+/// PASS <i> wirelength=<w> overflow=<o>
+/// ```
+///
+/// Progress lines carry no body and are always followed by exactly one
+/// terminating `OK`/`ERR` frame, so a client reads lines until the status
+/// line arrives — within one response the wirelength and overflow values
+/// are non-increasing (the engine never lets a pass regress).  On the
+/// event-driven front-end the lines still respect pipelined request order:
+/// they are sequenced like any response and cannot interleave into an
+/// earlier command's reply.
 ///
 /// `LOAD` replies `OK 0 session <key> cells <n> nets <m> cached <0|1>`.
 /// `ROUTE` and `REROUTE` reply `OK <nbytes> routed <r> failed <f>
@@ -74,6 +96,12 @@ inline constexpr std::size_t kMaxCommandLine = 4096;
 /// LOAD bodies above this are refused (the declared bytes are skipped so
 /// the connection stays framed).
 inline constexpr std::size_t kMaxLoadBytes = 64ull << 20;
+/// Upper bound on `deadline_ms`/`budget_ms` (24 hours).  parse_count
+/// accepts anything up to ULLONG_MAX, but milliseconds' rep is signed:
+/// constructing it from a huge count narrows to a *negative* duration, and
+/// `steady_clock::now() + deadline` can overflow the clock rep outright
+/// (signed-overflow UB).  Values above the cap answer ERR instead.
+inline constexpr unsigned long long kMaxDeadlineMs = 86'400'000;
 
 /// The command keywords, classified once for both front-ends.
 enum class CommandKind {
@@ -83,6 +111,7 @@ enum class CommandKind {
   kLoad,
   kRoute,
   kReroute,
+  kOptimize,
   kUnknown,
 };
 
@@ -106,6 +135,12 @@ struct RouteCommand {
   std::vector<std::string> nets;
   /// REROUTE: `nets` is the rip-up set, not a subset restriction.
   bool reroute = false;
+  /// OPTIMIZE: run the iterated rip-up engine (passes/budget below apply).
+  bool optimize = false;
+  /// OPTIMIZE passes= (0 = engine default).
+  std::size_t passes = 0;
+  /// OPTIMIZE budget_ms= (zero = unbounded).
+  std::chrono::milliseconds budget{0};
 };
 
 /// Parses the ROUTE argument vector (everything after the keyword).
@@ -118,6 +153,13 @@ struct RouteCommand {
 /// `mode=` is rejected — rip-up-and-reroute is sequential by definition.
 /// Throws std::runtime_error like parse_route_command.
 [[nodiscard]] RouteCommand parse_reroute_command(const std::string& args);
+
+/// Parses an OPTIMIZE argument vector: `passes=<n>` (1..1024),
+/// `budget_ms=<n>`, plus ROUTE's `deadline_ms=`/`segments=`.  Everything
+/// else — mode=, nets=, threads=, sorted= — is rejected: the engine is
+/// sequential whole-netlist by definition.  Throws std::runtime_error like
+/// parse_route_command.
+[[nodiscard]] RouteCommand parse_optimize_command(const std::string& args);
 
 /// Parses a complete `LOAD <count>` command line and returns the declared
 /// body byte count.  Throws std::runtime_error (with token context) when
@@ -162,6 +204,17 @@ struct RouteCommand {
 /// (subset-restricted when the request named nets), or the ERR frame for a
 /// failed status.  Pure — safe to call from a worker thread.
 [[nodiscard]] std::string format_route_response(const RouteResponse& resp);
+
+/// Renders one OPTIMIZE progress line (`PASS <i> wirelength=<w>
+/// overflow=<o>\n`, no body).  Pure — safe on a worker thread.
+[[nodiscard]] std::string format_pass_progress(
+    const route::OptimizePassStats& stats);
+
+/// Renders a completed OPTIMIZE response: the final OK frame with the
+/// full-netlist route-dump body and convergence meta (`passes`, `overflow`
+/// on top of ROUTE's meta), or the ERR frame.  Pure — safe on a worker
+/// thread.
+[[nodiscard]] std::string format_optimize_response(const RouteResponse& resp);
 
 /// Serves one connection: reads command frames from \p in, writes response
 /// frames to \p out, until QUIT, end of input, or an unrecoverable framing

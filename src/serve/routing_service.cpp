@@ -199,9 +199,40 @@ void RoutingService::worker_loop() {
       // for both.  That holds for *sequential* mode too: the router copies
       // the shared environment and absorbs routed nets with incremental
       // commit_route updates instead of per-net rebuilds.
-      const route::NetlistRouter router(job->session->layout,
-                                        job->session->env);
-      resp.result = router.route_all(job->req.opts);
+      if (job->req.optimize) {
+        route::OptimizeOptions oopts;
+        oopts.steiner = job->req.opts.steiner;
+        oopts.wire_halo = job->req.opts.wire_halo;
+        if (job->req.optimize_passes > 0) {
+          oopts.max_passes = job->req.optimize_passes;
+        }
+        oopts.budget = job->req.optimize_budget;
+        oopts.deadline = job->req.deadline;
+        oopts.cancel = job->req.cancel;
+        oopts.progress = job->req.progress;
+        const route::Optimizer optimizer(job->session->layout,
+                                         job->session->env);
+        route::OptimizeReport report = optimizer.run(oopts);
+        if (report.cancelled) {
+          // The client vanished mid-run (pass-boundary check): nothing
+          // wants the result.  PASS lines already streamed are fine — the
+          // peer that would have read them is gone.
+          resp.status = RouteStatus::kCancelled;
+          metrics_.requests_cancelled.fetch_add(1, std::memory_order_relaxed);
+          finish(*job, std::move(resp));
+          continue;
+        }
+        resp.result = std::move(report.result);
+        resp.passes = std::move(report.passes);
+        metrics_.optimizes_ok.fetch_add(1, std::memory_order_relaxed);
+        metrics_.optimize_passes.fetch_add(
+            resp.passes.empty() ? 0 : resp.passes.size() - 1,
+            std::memory_order_relaxed);
+      } else {
+        const route::NetlistRouter router(job->session->layout,
+                                          job->session->env);
+        resp.result = router.route_all(job->req.opts);
+      }
       resp.session = job->session;
       // The dump restriction: the subset that was routed, or — for a
       // rip-up — the nets that were re-routed (the rest of the netlist was
@@ -250,6 +281,9 @@ MetricsSnapshot RoutingService::snapshot() const {
   s.loads_offloaded = metrics_.loads_offloaded.load(std::memory_order_relaxed);
   s.loads_ok = metrics_.loads_ok.load(std::memory_order_relaxed);
   s.loads_failed = metrics_.loads_failed.load(std::memory_order_relaxed);
+  s.optimizes_ok = metrics_.optimizes_ok.load(std::memory_order_relaxed);
+  s.optimize_passes =
+      metrics_.optimize_passes.load(std::memory_order_relaxed);
   s.latency_p50_us = metrics_.latency.percentile(50);
   s.latency_p95_us = metrics_.latency.percentile(95);
   s.latency_p99_us = metrics_.latency.percentile(99);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/netlist_router.hpp"
+#include "core/optimize.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/layout_session.hpp"
 #include "serve/metrics.hpp"
@@ -61,6 +62,21 @@ struct RouteRequest {
   /// route::NetlistOptions::reroute).  The response dump is restricted to
   /// these nets, exactly like a subset request.
   bool reroute = false;
+  /// OPTIMIZE semantics: run the iterated rip-up-and-reroute engine over
+  /// the whole netlist instead of a single routing pass.  `net_names` must
+  /// be empty; `opts.steiner`/`opts.wire_halo` still apply; the engine's
+  /// own knobs ride in `optimize_passes`/`optimize_budget`; `deadline` and
+  /// `cancel` are honored *at pass boundaries* too (not just at dequeue) —
+  /// expiry mid-run returns the best routing so far rather than an error.
+  bool optimize = false;
+  /// Pass cap for OPTIMIZE; 0 = the engine default.
+  std::size_t optimize_passes = 0;
+  /// Wall-clock budget for OPTIMIZE; zero = unbounded.
+  std::chrono::milliseconds optimize_budget{0};
+  /// Per-pass progress hook for OPTIMIZE (may be empty).  Invoked on the
+  /// worker thread after every completed pass; the front-ends stream each
+  /// call as a `PASS` reply line.  Must not block or throw.
+  route::OptimizeProgress progress;
   /// Zero (default) = no deadline.
   std::chrono::steady_clock::time_point deadline{};
   /// Optional cooperative cancel token; set it to true to drop the request
@@ -79,6 +95,9 @@ struct RouteResponse {
   /// the whole netlist was routed.  Dump rendering must restrict itself to
   /// these — unlisted `result.routes` slots were never attempted.
   std::vector<std::size_t> nets;
+  /// OPTIMIZE: the per-pass convergence curve (pass 1 first, wirelength
+  /// and overflow non-increasing).  Empty for plain ROUTE/REROUTE.
+  std::vector<route::OptimizePassStats> passes;
   std::chrono::microseconds queue_wait{0};  ///< submit -> dequeue
   std::chrono::microseconds latency{0};     ///< submit -> completion
 

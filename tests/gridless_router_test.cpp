@@ -207,6 +207,49 @@ TEST(CostModel, RegionPenaltySteersAroundCongestion) {
   }
 }
 
+TEST(CostModel, HistoryCostArithmeticAndClamping) {
+  const spatial::ObstacleIndex idx(Rect{0, 0, 100, 100}, {});
+  route::HistoryCost cost(/*history_base=*/5);
+  cost.add_region(Rect{40, 0, 60, 100}, /*present=*/7, /*history=*/3);
+  // Negative inputs clamp to zero — penalties must never subtract, or the
+  // Manhattan heuristic stops being a lower bound and A* loses optimality.
+  cost.add_region(Rect{0, 90, 10, 100}, -4, -2);
+  ASSERT_EQ(cost.regions().size(), 2u);
+  EXPECT_EQ(cost.regions()[1].present, 0);
+  EXPECT_EQ(cost.regions()[1].history, 0);
+
+  // An edge through the first region: present*(1+h) + base*h = 7*4 + 5*3.
+  const route::EdgeContext crossing{
+      idx, {{30, 50}, route::kNoDir}, geom::Dir::kEast, {70, 50}};
+  EXPECT_EQ(cost.penalty(crossing), 7 * (1 + 3) + 5 * 3);
+  // An edge clear of both regions is free.
+  const route::EdgeContext clear{
+      idx, {{10, 20}, route::kNoDir}, geom::Dir::kEast, {30, 20}};
+  EXPECT_EQ(cost.penalty(clear), 0);
+  // The clamped region charges nothing even when crossed.
+  const route::EdgeContext clamped{
+      idx, {{5, 85}, route::kNoDir}, geom::Dir::kNorth, {5, 99}};
+  EXPECT_EQ(cost.penalty(clamped), 0);
+}
+
+TEST(CostModel, HistoryCostSteersLikeNegotiatedCongestion) {
+  // Same corridor setup as the RegionPenalty test: a strong present+history
+  // charge on the short corridor must push the route the long way around,
+  // and the route may never touch the charged region.
+  const Fixture f(Rect{0, 0, 100, 100}, {Rect{40, 20, 60, 70}});
+  const auto base = f.go({10, 30}, {90, 30});
+  ASSERT_TRUE(base.found);
+
+  route::HistoryCost cost(kCostScale);
+  cost.add_region(Rect{40, 0, 60, 20}, 100 * kCostScale, 10);
+  const auto steered = f.go({10, 30}, {90, 30}, &cost);
+  ASSERT_TRUE(steered.found);
+  EXPECT_GT(steered.length, base.length);
+  for (const auto& seg : steered.segments()) {
+    EXPECT_FALSE(seg.bounds().intersects(Rect{40, 0, 60, 20})) << seg;
+  }
+}
+
 TEST(CostModel, CompositeSumsPenalties) {
   route::CompositeCost comp;
   EXPECT_TRUE(comp.empty());

@@ -15,6 +15,7 @@
 
 #include "core/netlist_router.hpp"
 #include "core/search_environment.hpp"
+#include "core/steiner.hpp"
 #include "fuzz_env.hpp"
 #include "reference_sequential.hpp"
 #include "spatial/escape_lines.hpp"
@@ -652,6 +653,113 @@ TEST(SequentialDifferential, NonTrivialHaloAndOrder) {
   const auto got = route::NetlistRouter(lay).route_all(opts);
   expect_results_identical(got, want);
 }
+
+// ------------------------------------------- optimize-style rip/commit soak
+
+class OptimizeSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimizeSoak, RepeatedRipCommitPassesStayExactAndBounded) {
+  // The OPTIMIZE engine's SearchEnvironment workload, distilled: route the
+  // netlist once with keyed commits, then run many rip / re-route / commit
+  // passes over rotating thirds of the netlist.  Every re-routed net must
+  // come out bit-identical to the same search through a from-scratch
+  // environment over the base cells plus the surviving halos, the tables
+  // must stay bounded (the removals cross the dead >= max(16, live)
+  // compaction threshold many times over), and the final environment must
+  // be behaviorally indistinguishable from a fresh build.
+  const std::uint64_t seed = GetParam();
+  const layout::Layout lay = corpus_layout(seed);
+  ASSERT_TRUE(lay.valid());
+  std::mt19937_64 rng(seed * 31 + 7);
+  constexpr geom::Coord kHalo = 1;
+  const std::size_t n = lay.nets().size();
+  const std::size_t base_obstacles = lay.obstacles().size();
+
+  const auto route_one = [&](route::SearchEnvironment& e, std::size_t i) {
+    for (const auto& pins : route::net_terminal_pins(lay, lay.nets()[i])) {
+      for (const Point& p : pins) {
+        if (!e.index().routable(p)) return route::NetRoute{};
+      }
+    }
+    return route::SteinerNetRouter(e.index(), e.lines(), nullptr)
+        .route_net(lay, lay.nets()[i], {});
+  };
+
+  route::SearchEnvironment env(lay);
+  std::vector<route::NetRoute> routes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    routes[i] = route_one(env, i);
+    if (routes[i].ok) env.commit_route(i, routes[i].segments, kHalo);
+  }
+
+  // From-scratch reference over the base cells plus every surviving halo.
+  const auto fresh_env = [&]() {
+    route::SearchEnvironment e(lay);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (routes[i].ok) e.commit_route(i, routes[i].segments, kHalo);
+    }
+    return e;
+  };
+
+  std::size_t removed_halos = 0;
+  std::size_t compactions = 0;
+  const int passes = std::max(12, test::fuzz_iters(12));
+  for (int pass = 0; pass < passes; ++pass) {
+    std::vector<std::size_t> victims;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (routes[i].ok && (i + static_cast<std::size_t>(pass)) % 3 == 0) {
+        victims.push_back(i);
+      }
+    }
+    for (const std::size_t v : victims) {
+      const std::size_t dead_before = env.index().dead_count();
+      ASSERT_TRUE(env.remove_route(v)) << "pass " << pass << " net " << v;
+      // A removal only adds tombstones; the count dropping means the
+      // dead >= max(16, live) compaction policy fired mid-soak.
+      if (env.index().dead_count() < dead_before) ++compactions;
+      removed_halos += routes[v].segments.size();
+      routes[v] = route::NetRoute{};
+    }
+    for (const std::size_t v : victims) {
+      route::SearchEnvironment ref = fresh_env();
+      const route::NetRoute want = route_one(ref, v);
+      route::NetRoute got = route_one(env, v);
+      ASSERT_EQ(got.ok, want.ok) << "pass " << pass << " net " << v;
+      EXPECT_EQ(got.segments, want.segments) << "pass " << pass << " net "
+                                             << v;
+      EXPECT_EQ(got.wirelength, want.wirelength);
+      EXPECT_EQ(got.stats.nodes_expanded, want.stats.nodes_expanded);
+      if (got.ok) env.commit_route(v, got.segments, kHalo);
+      routes[v] = std::move(got);
+    }
+
+    // Boundedness: tombstones may linger between compactions but the
+    // table never exceeds roughly twice the live set, and the line set
+    // tracks the obstacle table record for record.
+    std::size_t live_halos = 0;
+    for (const route::NetRoute& r : routes) {
+      if (r.ok) live_halos += r.segments.size();
+    }
+    ASSERT_LE(env.index().size(), 2 * (base_obstacles + live_halos) + 16)
+        << "pass " << pass << ": tombstones escaped compaction";
+    ASSERT_EQ(env.lines().lines().size(), 4 + 4 * env.index().size());
+    ASSERT_EQ(env.lines().live_lines(), 4 + 4 * env.index().live_size());
+  }
+
+  // The soak is only meaningful if it actually drove the compaction
+  // machinery — enough halos ripped that the dead >= max(16, live)
+  // trigger fired at least once.
+  EXPECT_GE(compactions, 1u)
+      << "soak never crossed the compaction threshold (removed "
+      << removed_halos << " halos)";
+
+  const route::SearchEnvironment ref = fresh_env();
+  expect_index_equivalent_behavior(env.index(), ref.index(), rng, 200);
+  expect_lines_equivalent(env.lines(), ref.lines(), ref.index(), rng, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzCorpus, OptimizeSoak,
+                         ::testing::ValuesIn(test::fuzz_seeds(59, 23, 6)));
 
 // ----------------------------------------------- parallel line construction
 

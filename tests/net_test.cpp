@@ -10,13 +10,16 @@
 
 #include <chrono>
 #include <csignal>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/netlist_router.hpp"
+#include "core/optimize.hpp"
 #include "io/route_dump.hpp"
 #include "io/text_format.hpp"
 #include "net/event_loop.hpp"
@@ -715,6 +718,115 @@ TEST(EventLoop, RerouteOverTcp) {
   EXPECT_NE(badmode.status.find("always sequential"), std::string::npos);
   const Frame bye = read_frame(transport.in());
   EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
+/// One parsed `PASS <i> wirelength=<w> overflow=<o>` progress line.
+struct PassLine {
+  std::size_t pass = 0;
+  long long wirelength = 0;
+  long long overflow = 0;
+};
+
+/// Reads an OPTIMIZE reply off a socket stream: any number of PASS progress
+/// lines, then the terminating OK/ERR frame.  No seeking (sockets cannot
+/// rewind) — the first non-PASS line *is* the status line.
+std::pair<std::vector<PassLine>, Frame> read_optimize_reply(std::istream& in) {
+  std::vector<PassLine> passes;
+  std::string line;
+  for (;;) {
+    if (!std::getline(in, line)) {
+      ADD_FAILURE() << "stream ended inside an OPTIMIZE reply";
+      return {passes, {}};
+    }
+    if (line.rfind("PASS ", 0) == 0) {
+      PassLine p;
+      EXPECT_EQ(std::sscanf(line.c_str(),
+                            "PASS %zu wirelength=%lld overflow=%lld", &p.pass,
+                            &p.wirelength, &p.overflow),
+                3)
+          << line;
+      passes.push_back(p);
+      continue;
+    }
+    Frame f;
+    f.status = line;
+    std::istringstream is(line);
+    std::string kw;
+    std::size_t nbytes = 0;
+    is >> kw;
+    if (kw == "OK" && (is >> nbytes) && nbytes > 0) {
+      f.body.resize(nbytes);
+      in.read(f.body.data(), static_cast<std::streamsize>(nbytes));
+    }
+    return {passes, f};
+  }
+}
+
+TEST(EventLoop, OptimizeStreamsPassLinesInPipelineOrder) {
+  // OPTIMIZE over the epoll front-end, pipelined between a ROUTE and a
+  // STATS in one TCP segment.  The PASS progress lines must stream inside
+  // the OPTIMIZE's slot of the response sequence: after the ROUTE's frame
+  // (the partials park with their ticket while the earlier response is
+  // pending), before the final OPTIMIZE frame, never interleaved into the
+  // STATS reply.
+  TestServer server;
+  const std::string text = workload_text(12, 24, 7);
+  const layout::Layout lay = io::read_layout_string(text);
+  const route::NetlistResult ref = route::NetlistRouter(lay).route_all();
+  const route::OptimizeReport direct = route::Optimizer(lay).run();
+  const std::string key = serve::SessionCache::content_key(text);
+
+  const net::ScopedFd sock = net::tcp_connect(server.port());
+  serve::FdTransport transport(sock.get());
+  send_all(sock.get(), load_frame(text) + "ROUTE " + key + "\nOPTIMIZE " +
+                           key + "\nSTATS\nQUIT\n");
+
+  const Frame load = read_frame(transport.in());
+  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  const Frame route = read_frame(transport.in());
+  ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
+  EXPECT_EQ(io::read_routes_string(route.body, lay).total_wirelength,
+            ref.total_wirelength);
+
+  const auto [passes, frame] = read_optimize_reply(transport.in());
+  ASSERT_EQ(frame.status.rfind("OK ", 0), 0u) << frame.status;
+  ASSERT_EQ(passes.size(), direct.passes.size());
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    EXPECT_EQ(passes[i].pass, i + 1);
+    EXPECT_EQ(passes[i].wirelength, direct.passes[i].wirelength);
+    EXPECT_EQ(static_cast<std::size_t>(passes[i].overflow),
+              direct.passes[i].overflow);
+    if (i > 0) {
+      EXPECT_LE(passes[i].wirelength, passes[i - 1].wirelength);
+      EXPECT_LE(passes[i].overflow, passes[i - 1].overflow);
+    }
+  }
+  EXPECT_NE(frame.status.find("passes " +
+                              std::to_string(direct.passes.size())),
+            std::string::npos)
+      << frame.status;
+  const route::NetlistResult parsed = io::read_routes_string(frame.body, lay);
+  EXPECT_EQ(parsed.total_wirelength, direct.result.total_wirelength);
+  EXPECT_EQ(parsed.routed, direct.result.routed);
+
+  const Frame stats = read_frame(transport.in());
+  ASSERT_EQ(stats.status.rfind("OK ", 0), 0u) << stats.status;
+  EXPECT_NE(stats.body.find("requests_submitted"), std::string::npos);
+  const Frame bye = read_frame(transport.in());
+  EXPECT_EQ(bye.status, "OK 0 bye");
+  char c = 0;
+  EXPECT_EQ(::recv(sock.get(), &c, 1, 0), 0);  // clean close, stream intact
+
+  // OPTIMIZE deadline_ms is capped like ROUTE's (the overflow bugfix).
+  const net::ScopedFd cap = net::tcp_connect(server.port());
+  serve::FdTransport cap_t(cap.get());
+  send_all(cap.get(),
+           "OPTIMIZE " + key + " deadline_ms=18446744073709551615\nQUIT\n");
+  const Frame err = read_frame(cap_t.in());
+  EXPECT_EQ(err.status.rfind("ERR ", 0), 0u) << err.status;
+  EXPECT_NE(err.status.find("86400000"), std::string::npos) << err.status;
+  const Frame cap_bye = read_frame(cap_t.in());
+  EXPECT_EQ(cap_bye.status, "OK 0 bye");
 }
 
 TEST(EventLoop, LoadRunsOnWorkerPoolAndLoopStaysResponsive) {

@@ -6,13 +6,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/netlist_router.hpp"
+#include "core/optimize.hpp"
 #include "core/search_environment.hpp"
 #include "io/route_dump.hpp"
 #include "io/text_format.hpp"
@@ -578,6 +581,185 @@ TEST(Protocol, RerouteRoundTrip) {
 
   const Frame bye = next_frame(replies);
   EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
+// ---------------------------------------------------------------- OPTIMIZE
+
+TEST(Protocol, ParseOptimizeCommand) {
+  const serve::RouteCommand cmd = serve::parse_optimize_command(
+      " abc123 passes=4 budget_ms=250 deadline_ms=500 segments=0");
+  EXPECT_EQ(cmd.session_key, "abc123");
+  EXPECT_TRUE(cmd.optimize);
+  EXPECT_FALSE(cmd.reroute);
+  EXPECT_EQ(cmd.passes, 4u);
+  EXPECT_EQ(cmd.budget.count(), 250);
+  ASSERT_TRUE(cmd.deadline.has_value());
+  EXPECT_EQ(cmd.deadline->count(), 500);
+  EXPECT_FALSE(cmd.opts.steiner.connect_to_segments);
+  EXPECT_EQ(cmd.opts.mode, route::NetlistMode::kSequential);
+
+  EXPECT_THROW((void)serve::parse_optimize_command(""), std::runtime_error);
+  EXPECT_THROW((void)serve::parse_optimize_command("k passes=0"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::parse_optimize_command("k passes=1025"),
+               std::runtime_error);
+  // The engine is sequential whole-netlist by definition: mode=, nets=,
+  // threads=, sorted= must be rejected, not silently ignored.
+  for (const char* bad : {"k mode=independent", "k nets=a", "k threads=2",
+                          "k sorted=1"}) {
+    EXPECT_THROW((void)serve::parse_optimize_command(bad), std::runtime_error)
+        << bad;
+  }
+  // ROUTE does not grow an optimize flag by accident.
+  EXPECT_FALSE(serve::parse_route_command("key").optimize);
+  EXPECT_EQ(serve::parse_route_command("key").passes, 0u);
+}
+
+TEST(Protocol, DeadlineAndBudgetCappedAt24Hours) {
+  // deadline_ms used to feed parse_count's full unsigned range straight
+  // into std::chrono::milliseconds (a *signed* rep): a huge value narrowed
+  // to a negative duration, and `now + deadline` could overflow the clock
+  // rep outright.  The cap answers ERR instead; exactly 24h still parses.
+  const std::string max = std::to_string(serve::kMaxDeadlineMs);
+  EXPECT_EQ(serve::parse_route_command("k deadline_ms=" + max)
+                .deadline->count(),
+            static_cast<long long>(serve::kMaxDeadlineMs));
+  EXPECT_THROW((void)serve::parse_route_command("k deadline_ms=86400001"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::parse_route_command(
+                   "k deadline_ms=18446744073709551615"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::parse_reroute_command(
+                   "k nets=a deadline_ms=86400001"),
+               std::runtime_error);
+  EXPECT_EQ(serve::parse_optimize_command("k budget_ms=" + max).budget.count(),
+            static_cast<long long>(serve::kMaxDeadlineMs));
+  EXPECT_THROW((void)serve::parse_optimize_command("k budget_ms=86400001"),
+               std::runtime_error);
+  EXPECT_THROW((void)serve::parse_optimize_command("k deadline_ms=86400001"),
+               std::runtime_error);
+
+  // End to end on the blocking front-end: the oversized value answers ERR
+  // and the connection keeps serving.
+  const std::string out = run_protocol(
+      "ROUTE k deadline_ms=18446744073709551615\nQUIT\n");
+  EXPECT_EQ(out.rfind("ERR ", 0), 0u) << out.substr(0, 60);
+  EXPECT_NE(out.find("86400000"), std::string::npos);
+  EXPECT_NE(out.find("OK 0 bye"), std::string::npos);
+}
+
+/// One parsed `PASS <i> wirelength=<w> overflow=<o>` progress line.
+struct PassLine {
+  std::size_t pass = 0;
+  long long wirelength = 0;
+  long long overflow = 0;
+};
+
+/// Reads an OPTIMIZE reply: any number of PASS progress lines, then the
+/// terminating OK/ERR frame.  (next_frame alone would misparse the PASS
+/// lines as status lines.)
+std::pair<std::vector<PassLine>, Frame> next_optimize_reply(
+    std::istringstream& in) {
+  std::vector<PassLine> passes;
+  std::string line;
+  for (;;) {
+    const std::istringstream::pos_type pos = in.tellg();
+    if (!std::getline(in, line)) {
+      ADD_FAILURE() << "stream ended inside an OPTIMIZE reply";
+      return {passes, {}};
+    }
+    if (line.rfind("PASS ", 0) != 0) {
+      in.seekg(pos);
+      return {passes, next_frame(in)};
+    }
+    PassLine p;
+    EXPECT_EQ(std::sscanf(line.c_str(), "PASS %zu wirelength=%lld overflow=%lld",
+                          &p.pass, &p.wirelength, &p.overflow),
+              3)
+        << line;
+    passes.push_back(p);
+  }
+}
+
+TEST(Protocol, OptimizeRoundTripStreamsPasses) {
+  const std::string text = workload_text(12, 24, 7);
+  const layout::Layout lay = io::read_layout_string(text);
+  const route::OptimizeReport direct = route::Optimizer(lay).run();
+  const std::string key = serve::SessionCache::content_key(text);
+
+  const std::string script =
+      "LOAD " + std::to_string(text.size()) + "\n" + text +
+      "OPTIMIZE " + key + "\n" +
+      "OPTIMIZE deadbeefdeadbeef\n" +   // unknown session
+      "OPTIMIZE " + key + " frob=1\n" + // unknown option
+      "QUIT\n";
+  std::istringstream replies(run_protocol(script));
+
+  (void)next_frame(replies);  // LOAD
+  const auto [passes, frame] = next_optimize_reply(replies);
+  ASSERT_EQ(frame.status.rfind("OK ", 0), 0u) << frame.status;
+
+  // One PASS line per recorded pass, numbered from 1, and — the protocol's
+  // promise — non-increasing in both wirelength and overflow.
+  ASSERT_EQ(passes.size(), direct.passes.size());
+  for (std::size_t i = 0; i < passes.size(); ++i) {
+    EXPECT_EQ(passes[i].pass, i + 1);
+    EXPECT_EQ(passes[i].wirelength, direct.passes[i].wirelength);
+    EXPECT_EQ(static_cast<std::size_t>(passes[i].overflow),
+              direct.passes[i].overflow);
+    if (i > 0) {
+      EXPECT_LE(passes[i].wirelength, passes[i - 1].wirelength);
+      EXPECT_LE(passes[i].overflow, passes[i - 1].overflow);
+    }
+  }
+
+  // The meta summarizes the run; the body is the full final routing and
+  // reproduces the direct optimizer bit-for-bit.
+  EXPECT_NE(frame.status.find(
+                "passes " + std::to_string(direct.passes.size()) + " routed " +
+                std::to_string(direct.result.routed) + " failed " +
+                std::to_string(direct.result.failed) + " wirelength " +
+                std::to_string(direct.result.total_wirelength) + " overflow " +
+                std::to_string(direct.final_overflow())),
+            std::string::npos)
+      << frame.status;
+  const route::NetlistResult parsed = io::read_routes_string(frame.body, lay);
+  EXPECT_EQ(parsed.total_wirelength, direct.result.total_wirelength);
+  EXPECT_EQ(parsed.routed, direct.result.routed);
+
+  const auto [no_passes, not_found] = next_optimize_reply(replies);
+  EXPECT_TRUE(no_passes.empty());
+  EXPECT_EQ(not_found.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(not_found.status.find("session_not_found"), std::string::npos);
+
+  const auto [no_passes2, bad_opt] = next_optimize_reply(replies);
+  EXPECT_TRUE(no_passes2.empty());
+  EXPECT_EQ(bad_opt.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(bad_opt.status.find("unknown option"), std::string::npos);
+
+  const Frame bye = next_frame(replies);
+  EXPECT_EQ(bye.status, "OK 0 bye");
+}
+
+TEST(RoutingService, OptimizeRequestCountsMetrics) {
+  const std::string text = workload_text(12, 24, 7);
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+
+  serve::RouteRequest req;
+  req.session_key = session->key;
+  req.optimize = true;
+  const serve::RouteResponse resp = service.route(std::move(req));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_FALSE(resp.passes.empty());
+  EXPECT_EQ(resp.result.total_wirelength, resp.passes.back().wirelength);
+
+  const serve::MetricsSnapshot snap = service.snapshot();
+  EXPECT_EQ(snap.optimizes_ok, 1u);
+  EXPECT_EQ(snap.optimize_passes, resp.passes.size() - 1);
+  EXPECT_NE(snap.to_text().find("optimizes_ok 1"), std::string::npos);
 }
 
 }  // namespace
