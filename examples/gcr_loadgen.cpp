@@ -25,8 +25,16 @@
 //   drain and exit cleanly.  This is the end-to-end proof of the epoll
 //   front-end: many clients, one worker pool, zero mismatches.
 //
+//   --gen (with --server): clients synthesize their workload *server-side*
+//   with the GEN verb instead of shipping a LOAD body — each TCP client
+//   from a distinct seed — and cross-check the returned session key
+//   against an identical client-side generation (GEN is deterministic, so
+//   the content-addressed key is predictable before the request is sent).
+//   Every client closes with one DETAIL and one VERIFY round trip whose
+//   meta and body must match an in-process pipeline-stage run exactly.
+//
 //   $ gcr_loadgen --clients 8 --requests 16 --workers 4
-//   $ gcr_loadgen --server ./example_gcr_serve --requests 8
+//   $ gcr_loadgen --server ./example_gcr_serve --requests 8 --gen
 //   $ gcr_loadgen --server ./example_gcr_serve --tcp --clients 16
 //
 // With --optimize, every client finishes with one OPTIMIZE request: the
@@ -51,9 +59,12 @@
 
 #include "core/netlist_router.hpp"
 #include "core/optimize.hpp"
+#include "core/search_environment.hpp"
 #include "io/route_dump.hpp"
 #include "io/text_format.hpp"
 #include "net/socket.hpp"
+#include "pipeline/stage.hpp"
+#include "pipeline/stage_runner.hpp"
 #include "serve/fd_stream.hpp"
 #include "serve/protocol.hpp"
 #include "serve/routing_service.hpp"
@@ -85,6 +96,7 @@ struct Config {
   std::uint64_t seed = 42;
   long deadline_ms = -1;  // <0 = none
   bool optimize = false;  // finish every client with one OPTIMIZE
+  bool gen = false;       // synthesize the workload server-side (GEN verb)
 };
 
 int usage(const char* argv0) {
@@ -93,13 +105,26 @@ int usage(const char* argv0) {
       "usage: %s [--server PATH [--transport socket|pipe] [--tcp]]\n"
       "       [--clients N] [--requests N] [--workers N]\n"
       "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n"
-      "       [--optimize]\n",
+      "       [--optimize] [--gen]\n",
       argv0);
   return 2;
 }
 
+layout::Layout gen_workload(const Config& cfg, std::uint64_t seed) {
+  return workload::standard_workload(cfg.cells, 640, cfg.nets, seed);
+}
+
 layout::Layout make_workload(const Config& cfg) {
-  return workload::standard_workload(cfg.cells, 640, cfg.nets, cfg.seed);
+  return gen_workload(cfg, cfg.seed);
+}
+
+/// The GEN command mirroring gen_workload: the server must synthesize a
+/// byte-identical layout from the same seed, so the session key in its
+/// reply is predictable before the request leaves.
+std::string gen_command(const Config& cfg, std::uint64_t seed) {
+  return "GEN standard seed=" + std::to_string(seed) +
+         " cells=" + std::to_string(cfg.cells) +
+         " extent=640 nets=" + std::to_string(cfg.nets);
 }
 
 // ------------------------------------------------------------ protocol client
@@ -165,6 +190,17 @@ long long meta_value(const std::string& meta, const std::string& key) {
     }
   }
   return -1;
+}
+
+/// Raw token after `key` in a meta string ("" when absent) — for the
+/// non-numeric values (session key, stage kind) meta_value cannot carry.
+std::string meta_token(const std::string& meta, const std::string& key) {
+  std::istringstream is(meta);
+  std::string k, v;
+  while (is >> k >> v) {
+    if (k == key) return v;
+  }
+  return std::string();
 }
 
 /// One OPTIMIZE round trip: PASS progress lines stream ahead of the final
@@ -259,6 +295,33 @@ std::string check_optimize(const OptimizeReply& r, const layout::Layout& lay,
   } catch (const std::exception& e) {
     return std::string("OPTIMIZE: dump unparsable: ") + e.what();
   }
+  return std::string();
+}
+
+/// Cross-checks a DETAIL/VERIFY reply against an in-process stage run over
+/// the reference route: the reply meta must carry the stage's own meta and
+/// the body must match byte-for-byte.  Empty string = good.
+std::string check_stage(const Reply& r, pipeline::StageKind kind,
+                        const layout::Layout& lay,
+                        const route::NetlistResult& reference) {
+  const std::string name{pipeline::to_string(kind)};
+  if (!r.ok) return name + ": " + r.error;
+  route::SearchEnvironment env(lay);
+  pipeline::StageOptions sopts;
+  sopts.kind = kind;
+  const pipeline::StageContext ctx{lay, env, reference, nullptr, {}};
+  const pipeline::StageOutcome want = pipeline::run_stage(ctx, sopts);
+  if (!want.result) return name + ": reference stage did not complete";
+  const std::string prefix = "stage " + name + " cached ";
+  if (r.meta.rfind(prefix, 0) != 0) {
+    return name + ": meta missing '" + prefix + "': " + r.meta;
+  }
+  if (!want.result->meta.empty() &&
+      r.meta.find(want.result->meta) == std::string::npos) {
+    return name + ": meta mismatch (want '" + want.result->meta + "', got '" +
+           r.meta + "')";
+  }
+  if (r.body != want.result->body) return name + ": body mismatch";
   return std::string();
 }
 
@@ -420,22 +483,49 @@ int run_against_server(const Config& cfg, const std::string& layout_text,
     std::istream& in = transport.in();
     std::ostream& out = transport.out();
 
-    // LOAD twice: the second must be a cache hit (no rebuild server-side).
-    for (int attempt = 0; attempt < 2; ++attempt) {
-      const Reply r = transact(
-          out, in, "LOAD " + std::to_string(layout_text.size()), layout_text);
-      if (!r.ok) {
-        std::fprintf(stderr, "LOAD failed: %s\n", r.error.c_str());
-        return 1;
+    const std::string key = serve::SessionCache::content_key(layout_text);
+    if (cfg.gen) {
+      // GEN twice: deterministic synthesis means the second request dedups
+      // into the first session (cached=1), and the key matches the
+      // client-side generation of the same seed.
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const Reply r = transact(out, in, gen_command(cfg, cfg.seed));
+        if (!r.ok) {
+          std::fprintf(stderr, "GEN failed: %s\n", r.error.c_str());
+          return 1;
+        }
+        if (meta_token(r.meta, "session") != key) {
+          std::fprintf(stderr,
+                       "GEN attempt %d: key mismatch vs client-side "
+                       "generation (%s)\n",
+                       attempt, r.meta.c_str());
+          ++failures;
+        }
+        const long long cached = meta_value(r.meta, "cached");
+        if (cached != (attempt == 0 ? 0 : 1)) {
+          std::fprintf(stderr, "GEN attempt %d: unexpected cached=%lld\n",
+                       attempt, cached);
+          ++failures;
+        }
       }
-      const long long cached = meta_value(r.meta, "cached");
-      if (cached != (attempt == 0 ? 0 : 1)) {
-        std::fprintf(stderr, "LOAD attempt %d: unexpected cached=%lld\n",
-                     attempt, cached);
-        ++failures;
+    } else {
+      // LOAD twice: the second must be a cache hit (no rebuild server-side).
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        const Reply r = transact(
+            out, in, "LOAD " + std::to_string(layout_text.size()),
+            layout_text);
+        if (!r.ok) {
+          std::fprintf(stderr, "LOAD failed: %s\n", r.error.c_str());
+          return 1;
+        }
+        const long long cached = meta_value(r.meta, "cached");
+        if (cached != (attempt == 0 ? 0 : 1)) {
+          std::fprintf(stderr, "LOAD attempt %d: unexpected cached=%lld\n",
+                       attempt, cached);
+          ++failures;
+        }
       }
     }
-    const std::string key = serve::SessionCache::content_key(layout_text);
 
     const auto t0 = std::chrono::steady_clock::now();
     std::string route_line = "ROUTE " + key;
@@ -488,6 +578,22 @@ int run_against_server(const Config& cfg, const std::string& layout_text,
       }
     }
 
+    if (cfg.gen) {
+      // One DETAIL and one VERIFY round trip, each checked against an
+      // in-process pipeline-stage run over the reference route.
+      for (const pipeline::StageKind kind :
+           {pipeline::StageKind::kDetail, pipeline::StageKind::kVerify}) {
+        const std::string verb =
+            kind == pipeline::StageKind::kDetail ? "DETAIL" : "VERIFY";
+        const Reply r = transact(out, in, verb + " " + key);
+        const std::string err = check_stage(r, kind, lay, reference);
+        if (!err.empty()) {
+          std::fprintf(stderr, "%s\n", err.c_str());
+          ++failures;
+        }
+      }
+    }
+
     const Reply stats = transact(out, in, "STATS");
     if (stats.ok) {
       std::fputs(stats.body.c_str(), stdout);
@@ -536,6 +642,13 @@ TcpChild spawn_tcp_server(const Config& cfg) {
     std::vector<std::string> args{cfg.server, "--workers",
                                   std::to_string(cfg.workers), "--listen",
                                   "0"};
+    if (cfg.gen) {
+      // Distinct per-client seeds mean distinct sessions; the cache must
+      // hold them all or mid-run eviction would fail later ROUTEs.
+      args.insert(args.end(),
+                  {"--cache", std::to_string(std::max<std::size_t>(
+                                  cfg.clients * 2, 8))});
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -601,7 +714,7 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
   // `REROUTE nets=<first two nets>` whose dump must match this
   // byte-for-byte (the serve path runs the same deterministic driver).
   std::string reroute_line, reroute_body;
-  if (lay.nets().size() >= 2) {
+  if (!cfg.gen && lay.nets().size() >= 2) {
     route::NetlistOptions ropts;
     ropts.mode = route::NetlistMode::kSequential;
     ropts.reroute = {0, 1};
@@ -629,19 +742,50 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
           if (res.first_error.empty()) res.first_error = why;
         };
         try {
+          // GEN mode: every client synthesizes its own workload server-side
+          // from a distinct seed, so its layout, reference route, and
+          // session key differ from the shared (seed-0) ones.
+          std::optional<layout::Layout> own_lay;
+          std::optional<route::NetlistResult> own_ref;
+          const layout::Layout* clay = &lay;
+          const route::NetlistResult* cref = &reference;
+          std::string ckey = key;
+          if (cfg.gen) {
+            own_lay.emplace(gen_workload(cfg, cfg.seed + c));
+            own_ref.emplace(route::NetlistRouter(*own_lay).route_all());
+            clay = &*own_lay;
+            cref = &*own_ref;
+            ckey = serve::SessionCache::content_key(
+                io::write_layout_string(*own_lay));
+          }
+
           const net::ScopedFd sock = net::tcp_connect(child.port);
           serve::FdTransport transport(sock.get());
           std::istream& in = transport.in();
           std::ostream& out = transport.out();
 
-          const Reply loaded = transact(
-              out, in, "LOAD " + std::to_string(layout_text.size()),
-              layout_text);
-          if (!loaded.ok) {
-            fail("LOAD: " + loaded.error);
-            return;
+          if (cfg.gen) {
+            const Reply genned =
+                transact(out, in, gen_command(cfg, cfg.seed + c));
+            if (!genned.ok) {
+              fail("GEN: " + genned.error);
+              return;
+            }
+            if (meta_token(genned.meta, "session") != ckey) {
+              fail("GEN: session key mismatch vs client-side generation");
+              return;
+            }
+            ++res.ok;
+          } else {
+            const Reply loaded = transact(
+                out, in, "LOAD " + std::to_string(layout_text.size()),
+                layout_text);
+            if (!loaded.ok) {
+              fail("LOAD: " + loaded.error);
+              return;
+            }
           }
-          std::string route_line = "ROUTE " + key;
+          std::string route_line = "ROUTE " + ckey;
           if (cfg.deadline_ms >= 0) {
             route_line += " deadline_ms=" + std::to_string(cfg.deadline_ms);
           }
@@ -658,15 +802,32 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
             }
             try {
               const route::NetlistResult parsed =
-                  io::read_routes_string(r.body, lay);
-              if (parsed.total_wirelength != reference.total_wirelength ||
-                  parsed.routed != reference.routed) {
+                  io::read_routes_string(r.body, *clay);
+              if (parsed.total_wirelength != cref->total_wirelength ||
+                  parsed.routed != cref->routed) {
                 fail("ROUTE result mismatch vs reference");
               } else {
                 ++res.ok;
               }
             } catch (const std::exception& e) {
               fail(std::string("dump unparsable: ") + e.what());
+            }
+          }
+          if (cfg.gen) {
+            // One DETAIL and one VERIFY round trip per client, checked
+            // against an in-process stage run over this client's reference.
+            for (const pipeline::StageKind kind :
+                 {pipeline::StageKind::kDetail,
+                  pipeline::StageKind::kVerify}) {
+              const std::string verb =
+                  kind == pipeline::StageKind::kDetail ? "DETAIL" : "VERIFY";
+              const Reply r = transact(out, in, verb + " " + ckey);
+              const std::string err = check_stage(r, kind, *clay, *cref);
+              if (err.empty()) {
+                ++res.ok;
+              } else {
+                fail(err);
+              }
             }
           }
           if (!reroute_line.empty()) {
@@ -805,6 +966,8 @@ int main(int argc, char** argv) {
       cfg.tcp = true;
     } else if (arg == "--optimize") {
       cfg.optimize = true;
+    } else if (arg == "--gen") {
+      cfg.gen = true;
     } else if (arg == "--clients" && number(1024, &n)) {
       cfg.clients = std::max<std::size_t>(n, 1);
     } else if (arg == "--requests" && number(1 << 20, &n)) {
@@ -822,6 +985,16 @@ int main(int argc, char** argv) {
     } else {
       return usage(argv[0]);
     }
+  }
+  if (cfg.gen && cfg.server.empty()) {
+    std::fprintf(stderr, "--gen needs --server PATH (GEN is a protocol verb)\n");
+    return usage(argv[0]);
+  }
+  if (cfg.gen && cfg.optimize) {
+    // OPTIMIZE cross-checks ride the shared workload; GEN gives every
+    // client its own.  Keep the reference bookkeeping simple.
+    std::fprintf(stderr, "--gen and --optimize are mutually exclusive\n");
+    return usage(argv[0]);
   }
 
   try {

@@ -1,7 +1,9 @@
 #include "congestion/two_pass.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <optional>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -19,13 +21,33 @@ CongestionMap build_map(const layout::Layout& lay,
 }
 
 TwoPassReport TwoPassRouter::run(const TwoPassOptions& opts) const {
+  using Clock = std::chrono::steady_clock;
   TwoPassReport report;
 
-  // Pass 1: independent wirelength routing.
-  const route::NetlistRouter base_router(layout_);
-  route::NetlistOptions nl_opts;
-  nl_opts.steiner = opts.steiner;
-  report.first_pass = base_router.route_all(nl_opts);
+  // Stop improving (keeping whatever routes exist) when the requester is
+  // gone or out of time; checked between per-net reroutes like the
+  // optimizer's pass boundaries.
+  const auto stop_requested = [&] {
+    if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+      report.cancelled = true;
+      return true;
+    }
+    return opts.deadline != Clock::time_point{} &&
+           Clock::now() >= opts.deadline;
+  };
+
+  // Pass 1: independent wirelength routing — unless the caller already has
+  // routes (the serving layer's committed state), which become pass 1.
+  if (opts.first_pass != nullptr) {
+    report.first_pass = *opts.first_pass;
+  } else {
+    const route::NetlistRouter base_router =
+        env_ != nullptr ? route::NetlistRouter(layout_, *env_)
+                        : route::NetlistRouter(layout_);
+    route::NetlistOptions nl_opts;
+    nl_opts.steiner = opts.steiner;
+    report.first_pass = base_router.route_all(nl_opts);
+  }
 
   route::NetlistResult current = report.first_pass;
   {
@@ -34,7 +56,9 @@ TwoPassReport TwoPassRouter::run(const TwoPassOptions& opts) const {
     report.max_occupancy_before = map.max_occupancy();
   }
 
-  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+  bool stopped = false;
+  for (std::size_t iter = 0; iter < opts.max_iterations && !stopped; ++iter) {
+    if (stop_requested()) break;
     const CongestionMap map = build_map(layout_, current, opts.passages);
     const std::vector<std::size_t> hot = map.congested();
     if (hot.empty()) break;
@@ -51,12 +75,26 @@ TwoPassReport TwoPassRouter::run(const TwoPassOptions& opts) const {
     }
     if (affected.empty()) break;
 
-    // Re-route only the offenders with the penalized cost function.
-    const spatial::ObstacleIndex index(layout_.boundary(), layout_.obstacles());
-    const spatial::EscapeLineSet lines(index);
+    // Re-route only the offenders with the penalized cost function.  An
+    // injected environment already holds the index and escape lines; the
+    // standalone path builds them once per iteration as before.
+    std::optional<spatial::ObstacleIndex> own_index;
+    std::optional<spatial::EscapeLineSet> own_lines;
+    if (env_ == nullptr) {
+      own_index.emplace(layout_.boundary(), layout_.obstacles());
+      own_lines.emplace(*own_index);
+    }
+    const spatial::ObstacleIndex& index =
+        env_ != nullptr ? env_->index() : *own_index;
+    const spatial::EscapeLineSet& lines =
+        env_ != nullptr ? env_->lines() : *own_lines;
     const route::SteinerNetRouter rerouter(index, lines, &penalty);
     bool changed = false;
     for (const std::size_t n : affected) {
+      if (stop_requested()) {
+        stopped = true;
+        break;
+      }
       route::NetRoute nr =
           rerouter.route_net(layout_, layout_.nets()[n], opts.steiner);
       if (!nr.ok) continue;  // keep the pass-1 route on failure

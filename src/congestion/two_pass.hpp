@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <memory>
 
 #include "congestion/congestion_map.hpp"
 #include "core/netlist_router.hpp"
@@ -26,6 +29,15 @@ struct TwoPassOptions {
   geom::Cost penalty_dbu = 32;
   /// Re-route iterations (each rebuilds the map and re-routes offenders).
   std::size_t max_iterations = 3;
+  /// Starts from these routes instead of running pass 1 (the serving
+  /// layer's committed routes).  Must index the same netlist as the layout;
+  /// must outlive the run() call.  nullptr = route pass 1 internally.
+  const route::NetlistResult* first_pass = nullptr;
+  /// Absolute deadline; default = none.  Checked between per-net reroutes —
+  /// an expired run keeps whatever routes it has and stops improving them.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Cooperative cancel (client disconnect), checked with the deadline.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 struct TwoPassReport {
@@ -38,16 +50,27 @@ struct TwoPassReport {
   std::size_t overflow_after = 0;
   std::size_t max_occupancy_before = 0;
   std::size_t max_occupancy_after = 0;
+  /// True when the cancel token stopped the reroute loop early.
+  bool cancelled = false;
 };
 
 class TwoPassRouter {
  public:
   explicit TwoPassRouter(const layout::Layout& lay) : layout_(lay) {}
 
+  /// Injects a prebuilt environment (the serving layer's session cache):
+  /// pass 1 and the penalized reroutes reuse \p env's obstacle index and
+  /// escape lines instead of rebuilding them per iteration.  \p env must
+  /// match \p lay's placement, hold no committed halos, and outlive the
+  /// router.
+  TwoPassRouter(const layout::Layout& lay, const route::SearchEnvironment& env)
+      : layout_(lay), env_(&env) {}
+
   [[nodiscard]] TwoPassReport run(const TwoPassOptions& opts = {}) const;
 
  private:
   const layout::Layout& layout_;
+  const route::SearchEnvironment* env_ = nullptr;
 };
 
 /// Builds a congestion map for an already-routed netlist.

@@ -1,6 +1,7 @@
 #include "detail/detailed_router.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <vector>
 
@@ -25,7 +26,17 @@ std::vector<SubNet> collect_subnets(const route::NetlistResult& global) {
 }
 
 DetailedResult DetailedRouter::run(const route::NetlistResult& global) const {
+  using Clock = std::chrono::steady_clock;
   DetailedResult out;
+
+  const auto stop_requested = [&] {
+    if (opts_.cancel && opts_.cancel->load(std::memory_order_relaxed)) {
+      return true;
+    }
+    return opts_.deadline != Clock::time_point{} &&
+           Clock::now() >= opts_.deadline;
+  };
+
   const std::vector<SubNet> subnets = collect_subnets(global);
   out.subnet_count = subnets.size();
 
@@ -35,6 +46,10 @@ DetailedResult DetailedRouter::run(const route::NetlistResult& global) const {
 
   out.wires.reserve(subnets.size());
   for (std::size_t c = 0; c < channels.size(); ++c) {
+    if (stop_requested()) {
+      out.cancelled = true;
+      return out;
+    }
     const Channel& ch = channels[c];
     std::vector<TrackInterval> ivs;
     ivs.reserve(ch.members.size());

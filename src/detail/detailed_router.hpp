@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/netlist_router.hpp"
@@ -30,6 +33,12 @@ struct DetailedOptions {
   geom::Coord channel_window = 8;
   /// Track pitch for the offset geometry (DBU).
   geom::Coord track_pitch = 2;
+  /// Absolute deadline; default = none.  Checked between channels — an
+  /// expired run returns the channels assigned so far with
+  /// `cancelled = true`.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Cooperative cancel (client disconnect), checked with the deadline.
+  std::shared_ptr<std::atomic<bool>> cancel;
 };
 
 /// A subnet after track assignment: its final (offset) geometry and layer.
@@ -49,6 +58,9 @@ struct DetailedResult {
   std::size_t via_count = 0;           ///< one per bend of every net
   std::vector<AssignedWire> wires;
   std::vector<geom::Point> vias;
+  /// True when the cancel token or deadline stopped track assignment early;
+  /// the wires/counters cover only the channels completed before the stop.
+  bool cancelled = false;
 };
 
 class DetailedRouter {

@@ -414,6 +414,82 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
                       });
       return;
     }
+    case serve::CommandKind::kDetail:
+    case serve::CommandKind::kCongest:
+    case serve::CommandKind::kVerify:
+    case serve::CommandKind::kSvg: {
+      const pipeline::StageKind stage_kind =
+          cmd.kind == serve::CommandKind::kDetail
+              ? pipeline::StageKind::kDetail
+          : cmd.kind == serve::CommandKind::kCongest
+              ? pipeline::StageKind::kCongest
+          : cmd.kind == serve::CommandKind::kVerify
+              ? pipeline::StageKind::kVerify
+              : pipeline::StageKind::kSvg;
+      serve::RouteRequest req;
+      try {
+        req = serve::to_request(
+            serve::parse_stage_command(stage_kind, cmd.args));
+      } catch (const std::exception& e) {
+        conn.complete(seq, serve::format_err(e.what()));
+        return;
+      }
+      req.cancel = conn.cancel_token();
+      conn.job_dispatched();
+      // Same shape as ROUTE: the stage runs (or its cached result is
+      // fetched) on a worker, the body — possibly a multi-MB SVG — is
+      // formatted there, and the finished frame posts back for the
+      // in-order backpressured flush.
+      service_.submit(std::move(req),
+                      [mailbox = mailbox_, id = conn.id(),
+                       seq](serve::RouteResponse resp) {
+                        mailbox->post({id, seq,
+                                       serve::format_stage_response(resp)});
+                      });
+      return;
+    }
+    case serve::CommandKind::kGen: {
+      serve::GenCommand gen;
+      try {
+        gen = serve::parse_gen_command(cmd.args);
+      } catch (const std::exception& e) {
+        conn.complete(seq, serve::format_err(e.what()));
+        return;
+      }
+      // Synthesis is deterministic and cheap relative to the environment
+      // build (string assembly, capped sizes), so it runs on the loop
+      // thread; the result then takes LOAD's exact path — inline content
+      // probe for residency, worker offload for the cold build, with the
+      // same ordering barrier for pipelined GEN→ROUTE.
+      std::string text;
+      try {
+        text = serve::generate_workload_text(gen);
+      } catch (const std::exception& e) {
+        service_.record_gen(false);
+        conn.complete(seq, serve::format_err(e.what()));
+        return;
+      }
+      std::string key;
+      if (const auto cached = service_.sessions().find_content(text, &key)) {
+        service_.record_gen(true);
+        conn.complete(seq, serve::format_gen_ok(*cached, true, gen.kind));
+        return;
+      }
+      conn.job_dispatched();
+      conn.load_inflight = true;
+      service_.submit_load(
+          std::move(text), std::move(key), conn.cancel_token(),
+          [mailbox = mailbox_, id = conn.id(), seq, kind = gen.kind,
+           service = &service_](serve::LoadResponse resp) {
+            service->record_gen(resp.ok);
+            std::string frame =
+                resp.ok ? serve::format_gen_ok(*resp.session, resp.cache_hit,
+                                               kind)
+                        : serve::format_err(resp.error);
+            mailbox->post({id, seq, std::move(frame), /*load=*/true});
+          });
+      return;
+    }
     case serve::CommandKind::kUnknown:
       break;
   }

@@ -1,0 +1,59 @@
+#include "pipeline/route_state.hpp"
+
+#include <cstdint>
+#include <utility>
+
+namespace gcr::pipeline {
+
+namespace {
+
+void mix(std::uint64_t& h, std::uint64_t v) {
+  // FNV-1a byte-wise over the value's 8 little-endian bytes.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 0x100000001b3ull;  // FNV-1a prime
+  }
+}
+
+}  // namespace
+
+std::string fingerprint_routes(const route::NetlistResult& r) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  mix(h, r.routes.size());
+  for (const route::NetRoute& nr : r.routes) {
+    mix(h, nr.ok ? 1 : 0);
+    mix(h, static_cast<std::uint64_t>(nr.wirelength));
+    mix(h, nr.segments.size());
+    for (const geom::Segment& s : nr.segments) {
+      mix(h, static_cast<std::uint64_t>(s.a.x));
+      mix(h, static_cast<std::uint64_t>(s.a.y));
+      mix(h, static_cast<std::uint64_t>(s.b.x));
+      mix(h, static_cast<std::uint64_t>(s.b.y));
+    }
+  }
+  char buf[17];
+  static const char* hex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = hex[h & 0xf];
+    h >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf, 16);
+}
+
+std::shared_ptr<const CommittedRoutes> RouteStateSlot::get() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+std::shared_ptr<const CommittedRoutes> RouteStateSlot::set(
+    route::NetlistResult result) {
+  auto next = std::make_shared<CommittedRoutes>();
+  next->fingerprint = fingerprint_routes(result);
+  next->result = std::move(result);
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = next;
+  return state_;
+}
+
+}  // namespace gcr::pipeline

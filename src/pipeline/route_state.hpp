@@ -1,0 +1,51 @@
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/netlist_router.hpp"
+
+/// \file route_state.hpp
+/// A session's committed global routes — the input every pipeline stage
+/// consumes.
+///
+/// LayoutSession is immutable by design (shared read-only across workers);
+/// committed routes are the one piece of per-session state that ROUTE,
+/// REROUTE, and OPTIMIZE legitimately replace.  A RouteStateSlot is a tiny
+/// swap cell: writers publish a complete immutable CommittedRoutes snapshot,
+/// readers grab a shared_ptr and work off it without holding any lock while
+/// stages run.  The snapshot carries a content fingerprint of its geometry;
+/// since the stage cache keys on that fingerprint, replacing the routes
+/// *automatically* invalidates every cached stage result — dirty tracking by
+/// content addressing, no explicit invalidation walk.
+
+namespace gcr::pipeline {
+
+struct CommittedRoutes {
+  route::NetlistResult result;
+  /// FNV-1a over the route geometry, 16 lowercase hex digits.  Identical
+  /// routes re-committed (e.g. a repeated full ROUTE of an unchanged
+  /// session) keep the fingerprint and therefore keep stage-cache hits.
+  std::string fingerprint;
+};
+
+/// FNV-1a 64-bit over every route's ok flag, wirelength, and segment
+/// coordinates, as 16 lowercase hex digits.
+[[nodiscard]] std::string fingerprint_routes(const route::NetlistResult& r);
+
+class RouteStateSlot {
+ public:
+  /// The current snapshot; nullptr when nothing has been committed yet.
+  [[nodiscard]] std::shared_ptr<const CommittedRoutes> get() const;
+
+  /// Publishes \p result as the committed state (computes the fingerprint
+  /// outside the lock) and returns the new snapshot.
+  std::shared_ptr<const CommittedRoutes> set(route::NetlistResult result);
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const CommittedRoutes> state_;
+};
+
+}  // namespace gcr::pipeline

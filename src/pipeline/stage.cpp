@@ -1,0 +1,41 @@
+#include "pipeline/stage.hpp"
+
+#include <sstream>
+
+namespace gcr::pipeline {
+
+std::string_view to_string(StageKind k) noexcept {
+  switch (k) {
+    case StageKind::kDetail: return "detail";
+    case StageKind::kCongest: return "congest";
+    case StageKind::kVerify: return "verify";
+    case StageKind::kSvg: return "svg";
+  }
+  return "?";
+}
+
+std::string StageOptions::fingerprint() const {
+  std::ostringstream out;
+  out << to_string(kind);
+  switch (kind) {
+    case StageKind::kDetail:
+      out << " cw=" << channel_window << " tp=" << track_pitch;
+      break;
+    case StageKind::kCongest:
+      out << " pen=" << penalty_dbu << " it=" << max_iterations
+          << " wp=" << wire_pitch << " mg=" << max_gap;
+      break;
+    case StageKind::kVerify:
+      out << " all=" << (require_all_routed ? 1 : 0);
+      break;
+    case StageKind::kSvg:
+      // The scale is formatted through the stream's default float rules on
+      // purpose: two option sets that print the same render the same SVG.
+      out << " s=" << scale << " p=" << (draw_pins ? 1 : 0)
+          << " n=" << (draw_cell_names ? 1 : 0);
+      break;
+  }
+  return std::move(out).str();
+}
+
+}  // namespace gcr::pipeline

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "geometry/geometry.hpp"
+
+/// \file stage.hpp
+/// Stage vocabulary for the pipeline-orchestration subsystem.
+///
+/// The repo holds every stage of the paper's flow — congestion analysis,
+/// channel/detailed routing, verification, rendering, workload synthesis —
+/// but until this subsystem only the netlist router was served.  A Stage is
+/// one of those engines run against a session's committed global routes; a
+/// StageResult is the protocol-ready rendering of its output (meta fields
+/// for the OK line, body lines for the framed payload), cacheable because
+/// every input that affects it is captured by the cache key: the session's
+/// content hash, the committed-route fingerprint, and the stage options
+/// fingerprint below.
+
+namespace gcr::pipeline {
+
+enum class StageKind {
+  kDetail,   ///< channel extraction + left-edge track assignment
+  kCongest,  ///< two-pass congestion map over the committed routes
+  kVerify,   ///< deployment-side route verifier
+  kSvg,      ///< layout + routes rendered as a standalone SVG
+};
+
+[[nodiscard]] std::string_view to_string(StageKind k) noexcept;
+
+/// All knobs of every stage, with the engines' defaults.  Only the fields
+/// the selected stage reads participate in `fingerprint()`, so a DETAIL
+/// request never misses the cache because an (irrelevant) congestion knob
+/// differs.
+struct StageOptions {
+  StageKind kind = StageKind::kDetail;
+
+  // DETAIL: detail::DetailedOptions.
+  geom::Coord channel_window = 8;
+  geom::Coord track_pitch = 2;
+
+  // CONGEST: congestion::TwoPassOptions + PassageOptions.
+  geom::Cost penalty_dbu = 32;
+  std::size_t max_iterations = 3;
+  geom::Coord wire_pitch = 2;
+  geom::Coord max_gap = 0;
+
+  // VERIFY: verify::VerifyOptions.
+  bool require_all_routed = true;
+
+  // SVG: io::SvgOptions.
+  double scale = 4.0;
+  bool draw_pins = true;
+  bool draw_cell_names = true;
+
+  /// Canonical stage + relevant-knob string, the third component of the
+  /// stage-cache key.
+  [[nodiscard]] std::string fingerprint() const;
+};
+
+/// A stage's protocol-ready output.  `meta` is appended to the OK response
+/// line (space-separated `key value` fields, no newline); `body` is the
+/// framed payload the OK line's byte count announces.  Immutable once built
+/// and shared by shared_ptr, like LayoutSession.
+struct StageResult {
+  StageKind kind = StageKind::kDetail;
+  std::string meta;
+  std::string body;
+};
+
+}  // namespace gcr::pipeline

@@ -1,0 +1,64 @@
+#include "pipeline/stage_cache.hpp"
+
+#include <utility>
+
+namespace gcr::pipeline {
+
+std::shared_ptr<const StageResult> StageCache::find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  touch(it->second);
+  return it->second.result;
+}
+
+void StageCache::insert(const std::string& key,
+                        std::shared_ptr<const StageResult> res) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // A concurrent builder won the race; keep the resident result (both
+    // were computed from identical inputs) and just refresh recency.
+    touch(it->second);
+    return;
+  }
+  recency_.push_front(key);
+  entries_.emplace(key, Entry{std::move(res), recency_.begin()});
+  while (entries_.size() > capacity_) {
+    const std::string& victim = recency_.back();
+    entries_.erase(victim);
+    recency_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t StageCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t StageCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t StageCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t StageCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+void StageCache::touch(Entry& entry) {
+  recency_.splice(recency_.begin(), recency_, entry.recency);
+  entry.recency = recency_.begin();
+}
+
+}  // namespace gcr::pipeline

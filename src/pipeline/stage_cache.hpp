@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "pipeline/stage.hpp"
+
+/// \file stage_cache.hpp
+/// Content-addressed LRU cache of stage results, the pipeline counterpart
+/// of serve's SessionCache.
+///
+/// The key is the concatenation of every input a stage reads: the session's
+/// layout content hash, the committed-route fingerprint, and the stage
+/// options fingerprint.  Because routes are addressed by content, a
+/// REROUTE/OPTIMIZE that changes the geometry changes the key — stale
+/// entries are never *returned*, they merely age out of the LRU.  A repeated
+/// DETAIL on an unchanged session hits; the counters below make both
+/// visible in STATS.
+
+namespace gcr::pipeline {
+
+class StageCache {
+ public:
+  explicit StageCache(std::size_t capacity = 32)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// The composite cache key.  '|' never occurs inside the components
+  /// (session keys and route fingerprints are hex, option fingerprints use
+  /// spaces and '='), so the concatenation is unambiguous.
+  [[nodiscard]] static std::string key_for(const std::string& session_key,
+                                           const std::string& routes_fp,
+                                           const std::string& options_fp) {
+    return session_key + "|" + routes_fp + "|" + options_fp;
+  }
+
+  /// nullptr on miss.  Hits refresh LRU recency and the hit counter; misses
+  /// count too — together they are the stage-dedup ratio STATS reports.
+  [[nodiscard]] std::shared_ptr<const StageResult> find(const std::string& key);
+
+  /// Inserts (or replaces — idempotent for concurrent builders of the same
+  /// key) and becomes most recent.
+  void insert(const std::string& key, std::shared_ptr<const StageResult> res);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t hits() const;
+  [[nodiscard]] std::uint64_t misses() const;
+  [[nodiscard]] std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const StageResult> result;
+    std::list<std::string>::iterator recency;  ///< position in recency_
+  };
+
+  void touch(Entry& entry);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> recency_;  ///< most recent first
+  std::map<std::string, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace gcr::pipeline

@@ -1,0 +1,156 @@
+#include "pipeline/stage_runner.hpp"
+
+#include <atomic>
+#include <sstream>
+#include <utility>
+
+#include "congestion/two_pass.hpp"
+#include "detail/detailed_router.hpp"
+#include "io/svg.hpp"
+#include "verify/route_verifier.hpp"
+
+namespace gcr::pipeline {
+
+namespace {
+
+std::atomic<std::size_t> g_stage_builds{0};
+
+using Clock = std::chrono::steady_clock;
+
+bool stopped(const StageContext& ctx) {
+  if (ctx.cancel && ctx.cancel->load(std::memory_order_relaxed)) return true;
+  return ctx.deadline != Clock::time_point{} && Clock::now() >= ctx.deadline;
+}
+
+StageOutcome run_detail(const StageContext& ctx, const StageOptions& opts) {
+  detail::DetailedOptions dopts;
+  dopts.channel_window = opts.channel_window;
+  dopts.track_pitch = opts.track_pitch;
+  dopts.cancel = ctx.cancel;
+  dopts.deadline = ctx.deadline;
+  const detail::DetailedResult dr =
+      detail::DetailedRouter(dopts).run(ctx.routes);
+  if (dr.cancelled) return StageOutcome{nullptr, true};
+
+  auto res = std::make_shared<StageResult>();
+  res->kind = StageKind::kDetail;
+  {
+    std::ostringstream meta;
+    meta << "subnets " << dr.subnet_count << " channels " << dr.channel_count
+         << " tracks " << dr.total_tracks << " max_tracks "
+         << dr.max_channel_tracks << " vias " << dr.via_count;
+    res->meta = std::move(meta).str();
+  }
+  std::ostringstream body;
+  for (const detail::AssignedWire& w : dr.wires) {
+    body << "wire " << w.net << " " << w.seg.a.x << " " << w.seg.a.y << " "
+         << w.seg.b.x << " " << w.seg.b.y << " layer " << w.layer
+         << " channel " << w.channel << " track " << w.track << "\n";
+  }
+  for (const geom::Point& v : dr.vias) {
+    body << "via " << v.x << " " << v.y << "\n";
+  }
+  res->body = std::move(body).str();
+  return StageOutcome{std::move(res), false};
+}
+
+StageOutcome run_congest(const StageContext& ctx, const StageOptions& opts) {
+  congestion::TwoPassOptions topts;
+  topts.passages.wire_pitch = opts.wire_pitch;
+  topts.passages.max_gap = opts.max_gap;
+  topts.penalty_dbu = opts.penalty_dbu;
+  topts.max_iterations = opts.max_iterations;
+  topts.first_pass = &ctx.routes;
+  topts.cancel = ctx.cancel;
+  topts.deadline = ctx.deadline;
+  const congestion::TwoPassRouter router(ctx.layout, ctx.env);
+  const congestion::TwoPassReport rep = router.run(topts);
+  if (rep.cancelled) return StageOutcome{nullptr, true};
+
+  const congestion::CongestionMap map = congestion::build_map(
+      ctx.layout, rep.final_pass, topts.passages);
+
+  auto res = std::make_shared<StageResult>();
+  res->kind = StageKind::kCongest;
+  {
+    std::ostringstream meta;
+    meta << "passages " << map.loads().size() << " passes " << rep.passes_run
+         << " rerouted " << rep.nets_rerouted << " overflow_before "
+         << rep.overflow_before << " overflow " << rep.overflow_after
+         << " max_occupancy " << rep.max_occupancy_after;
+    res->meta = std::move(meta).str();
+  }
+  std::ostringstream body;
+  for (std::size_t i = 0; i < map.loads().size(); ++i) {
+    const congestion::PassageLoad& ld = map.loads()[i];
+    body << "passage " << i << " axis "
+         << (ld.passage.flow_axis == geom::Axis::kX ? "x" : "y") << " region "
+         << ld.passage.region.xlo << " " << ld.passage.region.ylo << " "
+         << ld.passage.region.xhi << " " << ld.passage.region.yhi << " gap "
+         << ld.passage.gap << " capacity " << ld.passage.capacity
+         << " occupancy " << ld.occupancy << " overflow " << ld.overflow()
+         << "\n";
+  }
+  res->body = std::move(body).str();
+  return StageOutcome{std::move(res), false};
+}
+
+StageOutcome run_verify(const StageContext& ctx, const StageOptions& opts) {
+  verify::VerifyOptions vopts;
+  vopts.require_all_routed = opts.require_all_routed;
+  const std::vector<verify::RouteViolation> violations =
+      verify::verify_routes(ctx.layout, ctx.routes, vopts);
+
+  auto res = std::make_shared<StageResult>();
+  res->kind = StageKind::kVerify;
+  res->meta = "violations " + std::to_string(violations.size());
+  std::ostringstream body;
+  for (const verify::RouteViolation& v : violations) {
+    body << verify::to_string(v.kind) << " " << v.net << " "
+         << (v.net < ctx.layout.nets().size()
+                 ? ctx.layout.nets()[v.net].name()
+                 : std::string("?"))
+         << " " << v.detail << "\n";
+  }
+  res->body = std::move(body).str();
+  return StageOutcome{std::move(res), false};
+}
+
+StageOutcome run_svg(const StageContext& ctx, const StageOptions& opts) {
+  io::SvgOptions sopts;
+  sopts.scale = opts.scale;
+  sopts.draw_pins = opts.draw_pins;
+  sopts.draw_cell_names = opts.draw_cell_names;
+  auto res = std::make_shared<StageResult>();
+  res->kind = StageKind::kSvg;
+  res->meta = "format svg";
+  res->body = io::svg_string(ctx.layout, &ctx.routes, sopts);
+  return StageOutcome{std::move(res), false};
+}
+
+}  // namespace
+
+StageOutcome run_stage(const StageContext& ctx, const StageOptions& opts) {
+  // One check before any work: a request whose client is already gone (or
+  // whose deadline passed in the queue) must not burn a worker.  The
+  // heavier stages keep checking inside their own loops.
+  if (stopped(ctx)) return StageOutcome{nullptr, true};
+
+  StageOutcome out;
+  switch (opts.kind) {
+    case StageKind::kDetail: out = run_detail(ctx, opts); break;
+    case StageKind::kCongest: out = run_congest(ctx, opts); break;
+    case StageKind::kVerify: out = run_verify(ctx, opts); break;
+    case StageKind::kSvg: out = run_svg(ctx, opts); break;
+  }
+  if (out.result != nullptr) {
+    g_stage_builds.fetch_add(1, std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::size_t stage_build_count() noexcept {
+  return g_stage_builds.load(std::memory_order_relaxed);
+}
+
+}  // namespace gcr::pipeline

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <memory>
+
+#include "core/netlist_router.hpp"
+#include "core/search_environment.hpp"
+#include "layout/layout.hpp"
+#include "pipeline/stage.hpp"
+
+/// \file stage_runner.hpp
+/// Executes one pipeline stage against a session's committed routes and
+/// renders the protocol-ready StageResult.
+///
+/// The runner is a pure function of its context: layout + environment +
+/// routes + options in, StageResult out, nothing mutated — which is what
+/// makes the StageCache sound.  Cancel/deadline tokens thread into the
+/// engines that do real work (two-pass reroutes, per-channel track
+/// assignment); a stopped stage returns no result and is never cached.
+
+namespace gcr::pipeline {
+
+struct StageContext {
+  const layout::Layout& layout;
+  const route::SearchEnvironment& env;
+  const route::NetlistResult& routes;
+  /// Cooperative cancel (client disconnect); may be null.
+  std::shared_ptr<std::atomic<bool>> cancel;
+  /// Absolute deadline; default = none.
+  std::chrono::steady_clock::time_point deadline{};
+};
+
+struct StageOutcome {
+  /// The rendered result; nullptr when the stage was stopped early.
+  std::shared_ptr<const StageResult> result;
+  /// True when the cancel token or deadline stopped the stage.
+  bool cancelled = false;
+};
+
+[[nodiscard]] StageOutcome run_stage(const StageContext& ctx,
+                                     const StageOptions& opts);
+
+/// Test seam: number of stage executions that ran to completion in this
+/// process (cache hits don't count — the invalidation tests assert on the
+/// delta, like the PR 2 environment-build counter).
+[[nodiscard]] std::size_t stage_build_count() noexcept;
+
+}  // namespace gcr::pipeline

@@ -10,6 +10,7 @@
 
 #include "core/search_environment.hpp"
 #include "layout/layout.hpp"
+#include "pipeline/route_state.hpp"
 
 /// \file layout_session.hpp
 /// The session layer of the routing service.
@@ -38,6 +39,12 @@ struct LayoutSession {
   /// nets=a,b`) resolve names without scanning the netlist per request.
   /// Duplicate names keep the first index (matching read_routes lookup).
   std::map<std::string, std::size_t> net_index;
+  /// The committed global routes pipeline stages consume — the one mutable
+  /// slot of the otherwise-immutable session.  A full ROUTE, REROUTE, or
+  /// OPTIMIZE publishes its result here; the snapshot's content fingerprint
+  /// feeds the stage-cache key, so replacing the routes invalidates every
+  /// cached stage result without an explicit invalidation walk.
+  mutable pipeline::RouteStateSlot routes;
 
   LayoutSession(std::string k, layout::Layout lay)
       : key(std::move(k)), layout(std::move(lay)), env(layout) {

@@ -37,6 +37,14 @@ std::string MetricsSnapshot::to_text() const {
      << "loads_failed " << loads_failed << '\n'
      << "optimizes_ok " << optimizes_ok << '\n'
      << "optimize_passes " << optimize_passes << '\n'
+     << "stages_ok " << stages_ok << '\n'
+     << "stages_failed " << stages_failed << '\n'
+     << "gens_ok " << gens_ok << '\n'
+     << "gens_failed " << gens_failed << '\n'
+     << "stage_cache_hits " << stage_cache_hits << '\n'
+     << "stage_cache_misses " << stage_cache_misses << '\n'
+     << "stage_cache_evictions " << stage_cache_evictions << '\n'
+     << "stage_cache_size " << stage_cache_size << '\n'
      << "latency_p50_us " << latency_p50_us << '\n'
      << "latency_p95_us " << latency_p95_us << '\n'
      << "latency_p99_us " << latency_p99_us << '\n'

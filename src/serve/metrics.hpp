@@ -73,6 +73,13 @@ struct ServiceMetrics {
   /// passes/run is the convergence-speed dashboard number.
   std::atomic<std::uint64_t> optimizes_ok{0};
   std::atomic<std::uint64_t> optimize_passes{0};
+  /// Pipeline stages (DETAIL/CONGEST/VERIFY/SVG) completed, split by how:
+  /// served from the stage cache vs. executed on a worker vs. failed.
+  std::atomic<std::uint64_t> stages_ok{0};
+  std::atomic<std::uint64_t> stages_failed{0};
+  /// Server-side GEN workload syntheses (materialized sessions).
+  std::atomic<std::uint64_t> gens_ok{0};
+  std::atomic<std::uint64_t> gens_failed{0};
   LatencyWindow latency;        ///< enqueue -> response, microseconds
   LatencyWindow queue_wait;     ///< enqueue -> dequeue, microseconds
 };
@@ -93,6 +100,14 @@ struct MetricsSnapshot {
   std::uint64_t loads_failed = 0;
   std::uint64_t optimizes_ok = 0;
   std::uint64_t optimize_passes = 0;
+  std::uint64_t stages_ok = 0;
+  std::uint64_t stages_failed = 0;
+  std::uint64_t gens_ok = 0;
+  std::uint64_t gens_failed = 0;
+  std::uint64_t stage_cache_hits = 0;
+  std::uint64_t stage_cache_misses = 0;
+  std::uint64_t stage_cache_evictions = 0;
+  std::size_t stage_cache_size = 0;
   std::uint64_t latency_p50_us = 0;
   std::uint64_t latency_p95_us = 0;
   std::uint64_t latency_p99_us = 0;

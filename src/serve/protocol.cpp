@@ -10,6 +10,10 @@
 #include <vector>
 
 #include "io/route_dump.hpp"
+#include "io/text_format.hpp"
+#include "workload/floorplan.hpp"
+#include "workload/netgen.hpp"
+#include "workload/padring.hpp"
 
 namespace gcr::serve {
 
@@ -123,6 +127,16 @@ ClassifiedCommand classify_command(const std::string& line) {
     out.kind = CommandKind::kReroute;
   } else if (out.keyword == "OPTIMIZE") {
     out.kind = CommandKind::kOptimize;
+  } else if (out.keyword == "DETAIL") {
+    out.kind = CommandKind::kDetail;
+  } else if (out.keyword == "CONGEST") {
+    out.kind = CommandKind::kCongest;
+  } else if (out.keyword == "VERIFY") {
+    out.kind = CommandKind::kVerify;
+  } else if (out.keyword == "SVG") {
+    out.kind = CommandKind::kSvg;
+  } else if (out.keyword == "GEN") {
+    out.kind = CommandKind::kGen;
   } else {
     out.kind = CommandKind::kUnknown;
   }
@@ -243,6 +257,207 @@ RouteCommand parse_optimize_command(const std::string& args) {
   return cmd;
 }
 
+RouteCommand parse_stage_command(pipeline::StageKind kind,
+                                 const std::string& args) {
+  // Protocol-side verb name for diagnostics (the uppercase wire keyword).
+  const auto verb = [&]() -> std::string {
+    switch (kind) {
+      case pipeline::StageKind::kDetail: return "DETAIL";
+      case pipeline::StageKind::kCongest: return "CONGEST";
+      case pipeline::StageKind::kVerify: return "VERIFY";
+      case pipeline::StageKind::kSvg: return "SVG";
+    }
+    return "?";
+  }();
+
+  const std::vector<std::string> words = split_words(args);
+  if (words.empty()) {
+    throw std::runtime_error(verb + " needs a session key");
+  }
+  RouteCommand cmd;
+  cmd.session_key = words[0];
+  pipeline::StageOptions sopts;
+  sopts.kind = kind;
+
+  const auto parse_coord = [&](const std::string& value,
+                               const std::string& what) {
+    const unsigned long long n = parse_count(value, what);
+    if (n == 0 || n > 1'000'000) {
+      throw std::runtime_error(what + ": must be 1..1000000");
+    }
+    return static_cast<geom::Coord>(n);
+  };
+  const auto parse_bool = [&](const std::string& value,
+                              const std::string& what) {
+    if (value != "0" && value != "1") {
+      throw std::runtime_error(what + " must be 0 or 1");
+    }
+    return value == "1";
+  };
+
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    const std::size_t eq = w.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
+      throw std::runtime_error(verb + " option '" + w +
+                               "' is not of the form key=value");
+    }
+    const std::string key = w.substr(0, eq);
+    const std::string value = w.substr(eq + 1);
+    if (key == "deadline_ms") {
+      cmd.deadline = std::chrono::milliseconds(
+          parse_duration_ms(value, verb + " deadline_ms"));
+    } else if (kind == pipeline::StageKind::kDetail && key == "window") {
+      sopts.channel_window = parse_coord(value, verb + " window");
+    } else if (kind == pipeline::StageKind::kDetail && key == "pitch") {
+      sopts.track_pitch = parse_coord(value, verb + " pitch");
+    } else if (kind == pipeline::StageKind::kCongest && key == "penalty") {
+      const unsigned long long n = parse_count(value, verb + " penalty");
+      if (n > 1'000'000'000) {
+        throw std::runtime_error(verb + " penalty: at most 1000000000");
+      }
+      sopts.penalty_dbu = static_cast<geom::Cost>(n);
+    } else if (kind == pipeline::StageKind::kCongest && key == "iterations") {
+      const unsigned long long n = parse_count(value, verb + " iterations");
+      if (n == 0 || n > 64) {
+        throw std::runtime_error(verb + " iterations: must be 1..64");
+      }
+      sopts.max_iterations = static_cast<std::size_t>(n);
+    } else if (kind == pipeline::StageKind::kCongest && key == "wire_pitch") {
+      sopts.wire_pitch = parse_coord(value, verb + " wire_pitch");
+    } else if (kind == pipeline::StageKind::kCongest && key == "max_gap") {
+      const unsigned long long n = parse_count(value, verb + " max_gap");
+      if (n > 1'000'000) {
+        throw std::runtime_error(verb + " max_gap: at most 1000000");
+      }
+      sopts.max_gap = static_cast<geom::Coord>(n);
+    } else if (kind == pipeline::StageKind::kVerify && key == "all_routed") {
+      sopts.require_all_routed = parse_bool(value, verb + " all_routed");
+    } else if (kind == pipeline::StageKind::kSvg && key == "scale") {
+      if (value.empty() ||
+          value.find_first_not_of("0123456789.") != std::string::npos) {
+        throw std::runtime_error(verb + " scale: expected a number, got '" +
+                                 value + "'");
+      }
+      double s = 0.0;
+      try {
+        s = std::stod(value);
+      } catch (const std::exception&) {
+        throw std::runtime_error(verb + " scale: value out of range");
+      }
+      if (!(s >= 0.0625 && s <= 64.0)) {
+        throw std::runtime_error(verb + " scale: must be in [0.0625, 64]");
+      }
+      sopts.scale = s;
+    } else if (kind == pipeline::StageKind::kSvg && key == "pins") {
+      sopts.draw_pins = parse_bool(value, verb + " pins");
+    } else if (kind == pipeline::StageKind::kSvg && key == "names") {
+      sopts.draw_cell_names = parse_bool(value, verb + " names");
+    } else {
+      throw std::runtime_error(verb + ": unknown option '" + key + "'");
+    }
+  }
+  cmd.stage = sopts;
+  return cmd;
+}
+
+const char* to_string(GenCommand::Kind k) noexcept {
+  switch (k) {
+    case GenCommand::Kind::kFloorplan: return "floorplan";
+    case GenCommand::Kind::kStandard: return "standard";
+    case GenCommand::Kind::kPadring: return "padring";
+  }
+  return "?";
+}
+
+GenCommand parse_gen_command(const std::string& args) {
+  const std::vector<std::string> words = split_words(args);
+  if (words.empty()) {
+    throw std::runtime_error(
+        "GEN needs a kind (floorplan, standard, or padring)");
+  }
+  GenCommand cmd;
+  if (words[0] == "floorplan") {
+    cmd.kind = GenCommand::Kind::kFloorplan;
+  } else if (words[0] == "standard") {
+    cmd.kind = GenCommand::Kind::kStandard;
+  } else if (words[0] == "padring") {
+    cmd.kind = GenCommand::Kind::kPadring;
+  } else {
+    throw std::runtime_error("GEN kind must be floorplan, standard, or "
+                             "padring, got '" + words[0] + "'");
+  }
+  bool have_seed = false;
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    const std::size_t eq = w.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
+      throw std::runtime_error("GEN option '" + w +
+                               "' is not of the form key=value");
+    }
+    const std::string key = w.substr(0, eq);
+    const std::string value = w.substr(eq + 1);
+    if (key == "seed") {
+      cmd.seed = parse_count(value, "GEN seed");
+      have_seed = true;
+    } else if (key == "cells") {
+      const unsigned long long n = parse_count(value, "GEN cells");
+      if (n == 0 || n > 4096) {
+        throw std::runtime_error("GEN cells: must be 1..4096");
+      }
+      cmd.cells = static_cast<std::size_t>(n);
+    } else if (key == "extent") {
+      const unsigned long long n = parse_count(value, "GEN extent");
+      if (n < 64 || n > 1'048'576) {
+        throw std::runtime_error("GEN extent: must be 64..1048576");
+      }
+      cmd.extent = static_cast<geom::Coord>(n);
+    } else if (key == "nets") {
+      const unsigned long long n = parse_count(value, "GEN nets");
+      if (n > 65'536) throw std::runtime_error("GEN nets: at most 65536");
+      cmd.nets = static_cast<std::size_t>(n);
+    } else if (key == "pads") {
+      const unsigned long long n = parse_count(value, "GEN pads");
+      if (n == 0 || n > 256) {
+        throw std::runtime_error("GEN pads: must be 1..256");
+      }
+      cmd.pads = static_cast<std::size_t>(n);
+    } else {
+      throw std::runtime_error("GEN: unknown option '" + key + "'");
+    }
+  }
+  // seed= is required: a defaulted seed would silently alias every
+  // unseeded GEN onto one session, which is never what a load test wants.
+  if (!have_seed) throw std::runtime_error("GEN needs seed=<n>");
+  return cmd;
+}
+
+std::string generate_workload_text(const GenCommand& cmd) {
+  switch (cmd.kind) {
+    case GenCommand::Kind::kFloorplan: {
+      workload::FloorplanOptions fp;
+      fp.cell_count = cmd.cells;
+      fp.boundary = geom::Rect{0, 0, cmd.extent, cmd.extent};
+      fp.seed = cmd.seed;
+      return io::write_layout_string(workload::random_floorplan(fp));
+    }
+    case GenCommand::Kind::kStandard:
+      return io::write_layout_string(
+          workload::standard_workload(cmd.cells, cmd.extent, cmd.nets,
+                                      cmd.seed));
+    case GenCommand::Kind::kPadring: {
+      layout::Layout lay = workload::standard_workload(
+          cmd.cells, cmd.extent, cmd.nets, cmd.seed);
+      workload::PadRingOptions pr;
+      pr.pads_per_side = cmd.pads;
+      pr.seed = cmd.seed + 3;  // seed..seed+2 are standard_workload's
+      workload::add_pad_ring(lay, pr);
+      return io::write_layout_string(lay);
+    }
+  }
+  throw std::runtime_error("GEN: unhandled kind");
+}
+
 unsigned long long parse_load_count(const std::string& line) {
   const std::vector<std::string> words = split_words(line);
   if (words.size() != 2) {
@@ -260,6 +475,7 @@ RouteRequest to_request(const RouteCommand& cmd) {
   req.optimize = cmd.optimize;
   req.optimize_passes = cmd.passes;
   req.optimize_budget = cmd.budget;
+  req.stage = cmd.stage;
   if (cmd.deadline) {
     req.deadline = std::chrono::steady_clock::now() + *cmd.deadline;
   }
@@ -369,6 +585,45 @@ std::string format_optimize_response(const RouteResponse& resp) {
   return format_ok(meta.str(), body);
 }
 
+std::string format_stage_response(const RouteResponse& resp) {
+  if (!resp.ok()) {
+    return format_err(resp.error.empty()
+                          ? to_string(resp.status)
+                          : std::string(to_string(resp.status)) + ": " +
+                                resp.error);
+  }
+  std::ostringstream meta;
+  meta << "stage " << pipeline::to_string(resp.stage->kind) << " cached "
+       << (resp.stage_cached ? 1 : 0);
+  if (!resp.stage->meta.empty()) meta << ' ' << resp.stage->meta;
+  meta << " queue_us " << resp.queue_wait.count() << " total_us "
+       << resp.latency.count();
+  return format_ok(meta.str(), resp.stage->body);
+}
+
+std::string format_gen_ok(const LayoutSession& session, bool cached,
+                          GenCommand::Kind kind) {
+  std::ostringstream meta;
+  meta << "session " << session.key << " cells "
+       << session.layout.cells().size() << " nets "
+       << session.layout.nets().size() << " cached " << (cached ? 1 : 0)
+       << " gen " << to_string(kind);
+  return format_ok(meta.str(), "");
+}
+
+std::string exec_gen(RoutingService& service, const GenCommand& cmd) {
+  try {
+    const std::string text = generate_workload_text(cmd);
+    bool cached = false;
+    const auto session = service.load(text, &cached);
+    service.record_gen(true);
+    return format_gen_ok(*session, cached, cmd.kind);
+  } catch (const std::exception& e) {
+    service.record_gen(false);
+    return format_err(e.what());
+  }
+}
+
 std::size_t serve_connection(RoutingService& service, std::istream& in,
                              std::ostream& out) {
   const auto emit = [&out](const std::string& frame) {
@@ -450,6 +705,37 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
         emit(format_pass_progress(stats));
       };
       emit(format_optimize_response(service.route(std::move(req))));
+      continue;
+    }
+
+    if (cmd.kind == CommandKind::kDetail ||
+        cmd.kind == CommandKind::kCongest ||
+        cmd.kind == CommandKind::kVerify || cmd.kind == CommandKind::kSvg) {
+      const pipeline::StageKind stage_kind =
+          cmd.kind == CommandKind::kDetail    ? pipeline::StageKind::kDetail
+          : cmd.kind == CommandKind::kCongest ? pipeline::StageKind::kCongest
+          : cmd.kind == CommandKind::kVerify  ? pipeline::StageKind::kVerify
+                                              : pipeline::StageKind::kSvg;
+      RouteRequest req;
+      try {
+        req = to_request(parse_stage_command(stage_kind, cmd.args));
+      } catch (const std::exception& e) {
+        emit(format_err(e.what()));
+        continue;
+      }
+      emit(format_stage_response(service.route(std::move(req))));
+      continue;
+    }
+
+    if (cmd.kind == CommandKind::kGen) {
+      GenCommand gen;
+      try {
+        gen = parse_gen_command(cmd.args);
+      } catch (const std::exception& e) {
+        emit(format_err(e.what()));
+        continue;
+      }
+      emit(exec_gen(service, gen));
       continue;
     }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <optional>
 #include <string>
@@ -39,6 +40,22 @@
 ///                                ;   best routing so far, not an error);
 ///                                ;   deadline_ms= and segments= as ROUTE.
 ///                                ;   mode=/nets=/threads= are rejected.
+/// DETAIL <session> [k=v]…        ; detailed routing over the session's
+///                                ;   committed routes: window=N (channel
+///                                ;   clustering window, DBU), pitch=N
+///                                ;   (track pitch, DBU), deadline_ms=N.
+/// CONGEST <session> [k=v]…       ; two-pass congestion analysis:
+///                                ;   penalty=N iterations=N wire_pitch=N
+///                                ;   max_gap=N deadline_ms=N.
+/// VERIFY <session> [k=v]…        ; route verifier: all_routed=0|1
+///                                ;   deadline_ms=N.
+/// SVG <session> [k=v]…           ; SVG render: scale=F pins=0|1 names=0|1
+///                                ;   deadline_ms=N.
+/// GEN <kind> seed=<n> [k=v]…     ; server-side workload synthesis; kinds
+///                                ;   floorplan|standard|padring, knobs
+///                                ;   cells=N extent=N nets=N pads=N.
+///                                ;   Materializes a session exactly as if
+///                                ;   the generated layout had been LOADed.
 /// STATS                          ; service metrics
 /// QUIT                           ; close the connection
 /// ```
@@ -65,6 +82,23 @@
 /// event-driven front-end the lines still respect pipelined request order:
 /// they are sequenced like any response and cannot interleave into an
 /// earlier command's reply.
+///
+/// The stage verbs run against the session's *committed* routes — published
+/// by the last full ROUTE, REROUTE, or OPTIMIZE; a session that has none
+/// yet gets a default full sequential pass first (committed for every later
+/// request).  Stage results are cached content-addressed on (session key,
+/// committed-route fingerprint, stage options), so a repeated `DETAIL` is a
+/// cache hit and a mutating `REROUTE`/`OPTIMIZE` re-keys — never staleness.
+/// Replies: `OK <nbytes> stage <kind> cached <0|1> <stage meta…> queue_us
+/// <q> total_us <t>` with a stage-specific body (`DETAIL`: `wire`/`via`
+/// lines; `CONGEST`: per-passage occupancy lines; `VERIFY`: one violation
+/// per line, empty body = clean; `SVG`: the SVG document, byte-framed like
+/// every body so multi-MB renders respect the transport's backpressure).
+///
+/// `GEN` replies exactly like `LOAD` (`OK 0 session <key> …`) with a
+/// trailing `gen <kind>` meta field.  Generation is deterministic: the same
+/// kind/seed/knobs produce a byte-identical layout and therefore the same
+/// session key on every server (see workload/rng.hpp).
 ///
 /// `LOAD` replies `OK 0 session <key> cells <n> nets <m> cached <0|1>`.
 /// `ROUTE` and `REROUTE` reply `OK <nbytes> routed <r> failed <f>
@@ -112,6 +146,11 @@ enum class CommandKind {
   kRoute,
   kReroute,
   kOptimize,
+  kDetail,   ///< pipeline stage: detailed routing
+  kCongest,  ///< pipeline stage: two-pass congestion analysis
+  kVerify,   ///< pipeline stage: route verification
+  kSvg,      ///< pipeline stage: SVG render
+  kGen,      ///< server-side workload synthesis
   kUnknown,
 };
 
@@ -141,6 +180,8 @@ struct RouteCommand {
   std::size_t passes = 0;
   /// OPTIMIZE budget_ms= (zero = unbounded).
   std::chrono::milliseconds budget{0};
+  /// Stage verbs (DETAIL/CONGEST/VERIFY/SVG): the selected stage + knobs.
+  std::optional<pipeline::StageOptions> stage;
 };
 
 /// Parses the ROUTE argument vector (everything after the keyword).
@@ -160,6 +201,39 @@ struct RouteCommand {
 /// sequential whole-netlist by definition.  Throws std::runtime_error like
 /// parse_route_command.
 [[nodiscard]] RouteCommand parse_optimize_command(const std::string& args);
+
+/// Parses a stage-verb argument vector (everything after DETAIL / CONGEST /
+/// VERIFY / SVG): `<session> [key=value]…` with the stage's knobs plus
+/// `deadline_ms=`.  \p kind selects the grammar.  Throws std::runtime_error
+/// with token context like parse_route_command.
+[[nodiscard]] RouteCommand parse_stage_command(pipeline::StageKind kind,
+                                               const std::string& args);
+
+/// A parsed GEN command: which generator and its knobs.  Defaults mirror
+/// the workload tests' standard shapes.
+struct GenCommand {
+  enum class Kind { kFloorplan, kStandard, kPadring };
+  Kind kind = Kind::kStandard;
+  std::uint64_t seed = 0;
+  std::size_t cells = 12;
+  geom::Coord extent = 512;
+  std::size_t nets = 16;        ///< standard/padring net count
+  std::size_t pads = 3;         ///< padring pads per side
+};
+
+[[nodiscard]] const char* to_string(GenCommand::Kind k) noexcept;
+
+/// Parses `GEN <kind> seed=<n> [cells=][extent=][nets=][pads=]`.  seed= is
+/// required (an accidental default would silently alias sessions); the
+/// knobs are capped (cells <= 4096, nets <= 65536, extent 64..1048576,
+/// pads <= 256) so a hostile GEN cannot make the server synthesize an
+/// arbitrarily large layout.  Throws std::runtime_error on violations.
+[[nodiscard]] GenCommand parse_gen_command(const std::string& args);
+
+/// Runs the selected generator — deterministically (workload/rng.hpp): the
+/// same command yields byte-identical text, and therefore the same session
+/// key, on every platform and thread count.  Pure; safe on any thread.
+[[nodiscard]] std::string generate_workload_text(const GenCommand& cmd);
 
 /// Parses a complete `LOAD <count>` command line and returns the declared
 /// body byte count.  Throws std::runtime_error (with token context) when
@@ -215,6 +289,21 @@ struct RouteCommand {
 /// on top of ROUTE's meta), or the ERR frame.  Pure — safe on a worker
 /// thread.
 [[nodiscard]] std::string format_optimize_response(const RouteResponse& resp);
+
+/// Renders a completed stage response: `OK <nbytes> stage <kind> cached
+/// <0|1> <stage meta> queue_us <q> total_us <t>` + the stage body, or the
+/// ERR frame.  Pure — safe on a worker thread.
+[[nodiscard]] std::string format_stage_response(const RouteResponse& resp);
+
+/// Renders the GEN OK frame: LOAD's meta plus a trailing `gen <kind>`.
+[[nodiscard]] std::string format_gen_ok(const LayoutSession& session,
+                                        bool cached, GenCommand::Kind kind);
+
+/// Executes GEN synchronously (generate + load + account) — the blocking
+/// front-end's path; the event loop generates on its own thread and runs
+/// the text through its LOAD machinery instead.
+[[nodiscard]] std::string exec_gen(RoutingService& service,
+                                   const GenCommand& cmd);
 
 /// Serves one connection: reads command frames from \p in, writes response
 /// frames to \p out, until QUIT, end of input, or an unrecoverable framing

@@ -3,6 +3,8 @@
 #include <exception>
 #include <utility>
 
+#include "pipeline/stage_runner.hpp"
+
 namespace gcr::serve {
 
 namespace {
@@ -28,7 +30,9 @@ const char* to_string(RouteStatus s) noexcept {
 }
 
 RoutingService::RoutingService(const Options& opts)
-    : cache_(opts.cache_capacity), queue_(opts.queue_capacity) {
+    : cache_(opts.cache_capacity),
+      stage_cache_(opts.stage_cache_capacity),
+      queue_(opts.queue_capacity) {
   const std::size_t n = route::resolve_worker_count(opts.workers);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -193,6 +197,12 @@ void RoutingService::worker_loop() {
       continue;
     }
 
+    if (job->req.stage.has_value()) {
+      run_stage_job(*job, resp);
+      finish(*job, std::move(resp));
+      continue;
+    }
+
     try {
       // The session's environment is injected, so this call performs no
       // ObstacleIndex / EscapeLineSet construction — the cache already paid
@@ -239,6 +249,17 @@ void RoutingService::worker_loop() {
       // only the committed backdrop).
       resp.nets = job->req.reroute ? job->req.opts.reroute
                                    : job->req.opts.subset;
+      // Publish full-netlist results (ROUTE of everything, REROUTE — whose
+      // result carries the whole netlist around the rip-up set — and
+      // OPTIMIZE) as the session's committed routes.  The fingerprint in
+      // the snapshot re-keys the stage cache, so a mutated routing
+      // invalidates cached stage results while a byte-identical re-commit
+      // keeps them hot.  Subset ROUTEs never commit: their result holds
+      // only the requested nets.
+      if (job->req.optimize || job->req.reroute ||
+          job->req.opts.subset.empty()) {
+        job->session->routes.set(resp.result);
+      }
       resp.status = RouteStatus::kOk;
       metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
       metrics_.nets_routed.fetch_add(resp.result.routed,
@@ -251,6 +272,61 @@ void RoutingService::worker_loop() {
       metrics_.requests_errored.fetch_add(1, std::memory_order_relaxed);
     }
     finish(*job, std::move(resp));
+  }
+}
+
+void RoutingService::run_stage_job(Job& job, RouteResponse& resp) {
+  const pipeline::StageOptions& sopts = *job.req.stage;
+  try {
+    // The stage consumes the committed routes.  A fresh session has none:
+    // run the default full sequential pass once and commit it, so `LOAD;
+    // DETAIL` works without an explicit ROUTE — and later stages (and
+    // ROUTEs) share that exact snapshot.
+    std::shared_ptr<const pipeline::CommittedRoutes> state =
+        job.session->routes.get();
+    if (state == nullptr) {
+      const route::NetlistRouter router(job.session->layout,
+                                        job.session->env);
+      state = job.session->routes.set(router.route_all({}));
+    }
+
+    const std::string key = pipeline::StageCache::key_for(
+        job.session->key, state->fingerprint, sopts.fingerprint());
+    std::shared_ptr<const pipeline::StageResult> cached =
+        stage_cache_.find(key);
+    if (cached != nullptr) {
+      resp.stage = std::move(cached);
+      resp.stage_cached = true;
+    } else {
+      const pipeline::StageContext ctx{job.session->layout,
+                                       job.session->env, state->result,
+                                       job.req.cancel, job.req.deadline};
+      pipeline::StageOutcome out = pipeline::run_stage(ctx, sopts);
+      if (out.result == nullptr) {
+        // Stopped inside the engine: attribute it like the dequeue checks
+        // do — cancel token wins, otherwise it was the deadline.
+        const bool was_cancel =
+            job.req.cancel &&
+            job.req.cancel->load(std::memory_order_relaxed);
+        resp.status =
+            was_cancel ? RouteStatus::kCancelled : RouteStatus::kExpired;
+        (was_cancel ? metrics_.requests_cancelled : metrics_.requests_expired)
+            .fetch_add(1, std::memory_order_relaxed);
+        metrics_.stages_failed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      stage_cache_.insert(key, out.result);
+      resp.stage = std::move(out.result);
+    }
+    resp.session = job.session;
+    resp.status = RouteStatus::kOk;
+    metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
+    metrics_.stages_ok.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    resp.status = RouteStatus::kError;
+    resp.error = e.what();
+    metrics_.requests_errored.fetch_add(1, std::memory_order_relaxed);
+    metrics_.stages_failed.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -284,6 +360,14 @@ MetricsSnapshot RoutingService::snapshot() const {
   s.optimizes_ok = metrics_.optimizes_ok.load(std::memory_order_relaxed);
   s.optimize_passes =
       metrics_.optimize_passes.load(std::memory_order_relaxed);
+  s.stages_ok = metrics_.stages_ok.load(std::memory_order_relaxed);
+  s.stages_failed = metrics_.stages_failed.load(std::memory_order_relaxed);
+  s.gens_ok = metrics_.gens_ok.load(std::memory_order_relaxed);
+  s.gens_failed = metrics_.gens_failed.load(std::memory_order_relaxed);
+  s.stage_cache_hits = stage_cache_.hits();
+  s.stage_cache_misses = stage_cache_.misses();
+  s.stage_cache_evictions = stage_cache_.evictions();
+  s.stage_cache_size = stage_cache_.size();
   s.latency_p50_us = metrics_.latency.percentile(50);
   s.latency_p95_us = metrics_.latency.percentile(95);
   s.latency_p99_us = metrics_.latency.percentile(99);

@@ -6,12 +6,15 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/netlist_router.hpp"
 #include "core/optimize.hpp"
+#include "pipeline/stage.hpp"
+#include "pipeline/stage_cache.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/layout_session.hpp"
 #include "serve/metrics.hpp"
@@ -69,6 +72,13 @@ struct RouteRequest {
   /// `cancel` are honored *at pass boundaries* too (not just at dequeue) —
   /// expiry mid-run returns the best routing so far rather than an error.
   bool optimize = false;
+  /// Pipeline-stage semantics (DETAIL/CONGEST/VERIFY/SVG): run the selected
+  /// stage against the session's committed routes instead of routing.
+  /// `net_names` must be empty; `optimize`/`reroute` must be false.  A
+  /// session with no committed routes first runs a default full sequential
+  /// pass (deterministic) and commits it, so a stage verb works on a fresh
+  /// session too.  Results are cached content-addressed — see StageCache.
+  std::optional<pipeline::StageOptions> stage;
   /// Pass cap for OPTIMIZE; 0 = the engine default.
   std::size_t optimize_passes = 0;
   /// Wall-clock budget for OPTIMIZE; zero = unbounded.
@@ -98,6 +108,10 @@ struct RouteResponse {
   /// OPTIMIZE: the per-pass convergence curve (pass 1 first, wirelength
   /// and overflow non-increasing).  Empty for plain ROUTE/REROUTE.
   std::vector<route::OptimizePassStats> passes;
+  /// Stage requests: the rendered stage output (null otherwise) and whether
+  /// it was served from the stage cache.
+  std::shared_ptr<const pipeline::StageResult> stage;
+  bool stage_cached = false;
   std::chrono::microseconds queue_wait{0};  ///< submit -> dequeue
   std::chrono::microseconds latency{0};     ///< submit -> completion
 
@@ -130,6 +144,9 @@ class RoutingService {
     std::size_t workers = 0;
     std::size_t queue_capacity = 64;
     std::size_t cache_capacity = 8;
+    /// Stage results are small relative to sessions (text renderings, not
+    /// obstacle indexes), so the default holds several per session.
+    std::size_t stage_cache_capacity = 32;
   };
 
   RoutingService() : RoutingService(Options{}) {}
@@ -172,6 +189,15 @@ class RoutingService {
   [[nodiscard]] RouteResponse route(RouteRequest req);
 
   [[nodiscard]] SessionCache& sessions() noexcept { return cache_; }
+  [[nodiscard]] pipeline::StageCache& stages() noexcept {
+    return stage_cache_;
+  }
+  /// GEN accounting: the front-ends synthesize the workload (on their own
+  /// path — inline or via submit_load) and report the outcome here.
+  void record_gen(bool ok) noexcept {
+    (ok ? metrics_.gens_ok : metrics_.gens_failed)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t worker_count() const noexcept {
     return workers_.size();
   }
@@ -199,9 +225,11 @@ class RoutingService {
 
   void worker_loop();
   void run_load_job(Job& job);
+  void run_stage_job(Job& job, RouteResponse& resp);
   void finish(Job& job, RouteResponse&& resp);
 
   SessionCache cache_;
+  pipeline::StageCache stage_cache_;
   BoundedQueue<Job> queue_;
   ServiceMetrics metrics_;
   std::vector<std::thread> workers_;

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "workload/rng.hpp"
+
 namespace gcr::workload {
 
 using geom::Coord;
@@ -29,9 +31,9 @@ void slice(std::mt19937_64& rng, const Rect& region, std::size_t count,
   const Coord ideal =
       extent * static_cast<Coord>(left) / static_cast<Coord>(count);
   const Coord jitter_range = std::max<Coord>(1, extent / 8);
-  std::uniform_int_distribution<Coord> jitter(-jitter_range, jitter_range);
+  const Coord jitter = uniform_int<Coord>(rng, -jitter_range, jitter_range);
   const Coord cut =
-      std::clamp<Coord>(ideal + jitter(rng), extent / 5, extent * 4 / 5);
+      std::clamp<Coord>(ideal + jitter, extent / 5, extent * 4 / 5);
   if (cut_x) {
     slice(rng, Rect{region.xlo, region.ylo, region.xlo + cut, region.yhi},
           left, out);
@@ -55,8 +57,6 @@ layout::Layout random_floorplan(const FloorplanOptions& opts) {
   std::vector<Rect> slots;
   slice(rng, opts.boundary, opts.cell_count, slots);
 
-  std::uniform_int_distribution<int> fill(opts.min_fill_pct,
-                                          opts.max_fill_pct);
   // Half the separation on each side of every slot guarantees the pairwise
   // distance; rounding up keeps odd separations safe.
   const Coord inset = (opts.min_separation + 1) / 2;
@@ -66,14 +66,14 @@ layout::Layout random_floorplan(const FloorplanOptions& opts) {
     const Rect usable = Rect{slot.xlo + inset, slot.ylo + inset,
                              slot.xhi - inset, slot.yhi - inset};
     if (!usable.proper()) continue;  // degenerate slot: skip (tiny boundary)
-    Coord w = std::max<Coord>(2, usable.width() * fill(rng) / 100);
-    Coord h = std::max<Coord>(2, usable.height() * fill(rng) / 100);
+    const int fill_w = uniform_int(rng, opts.min_fill_pct, opts.max_fill_pct);
+    const int fill_h = uniform_int(rng, opts.min_fill_pct, opts.max_fill_pct);
+    Coord w = std::max<Coord>(2, usable.width() * fill_w / 100);
+    Coord h = std::max<Coord>(2, usable.height() * fill_h / 100);
     w = std::min(w, usable.width());
     h = std::min(h, usable.height());
-    std::uniform_int_distribution<Coord> px(usable.xlo, usable.xhi - w);
-    std::uniform_int_distribution<Coord> py(usable.ylo, usable.yhi - h);
-    const Coord x = px(rng);
-    const Coord y = py(rng);
+    const Coord x = uniform_int<Coord>(rng, usable.xlo, usable.xhi - w);
+    const Coord y = uniform_int<Coord>(rng, usable.ylo, usable.yhi - h);
     lay.add_cell(layout::Cell{"cell" + std::to_string(idx++),
                               Rect{x, y, x + w, y + h}});
   }

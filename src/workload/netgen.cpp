@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "workload/floorplan.hpp"
+#include "workload/rng.hpp"
 
 namespace gcr::workload {
 
@@ -21,14 +22,13 @@ namespace {
 
 /// A uniformly random point on the boundary of \p r, one of the four sides.
 Point boundary_point(std::mt19937_64& rng, const Rect& r) {
-  std::uniform_int_distribution<int> side(0, 3);
-  std::uniform_int_distribution<Coord> fx(r.xlo, r.xhi);
-  std::uniform_int_distribution<Coord> fy(r.ylo, r.yhi);
-  switch (side(rng)) {
-    case 0: return {fx(rng), r.ylo};  // south
-    case 1: return {fx(rng), r.yhi};  // north
-    case 2: return {r.xlo, fy(rng)};  // west
-    default: return {r.xhi, fy(rng)}; // east
+  const auto fx = [&] { return uniform_int<Coord>(rng, r.xlo, r.xhi); };
+  const auto fy = [&] { return uniform_int<Coord>(rng, r.ylo, r.yhi); };
+  switch (uniform_int(rng, 0, 3)) {
+    case 0: return {fx(), r.ylo};   // south
+    case 1: return {fx(), r.yhi};   // north
+    case 2: return {r.xlo, fy()};   // west
+    default: return {r.xhi, fy()};  // east
   }
 }
 
@@ -36,21 +36,18 @@ Point boundary_point(std::mt19937_64& rng, const Rect& r) {
 
 void sprinkle_pins(layout::Layout& lay, const PinGenOptions& opts) {
   std::mt19937_64 rng(opts.seed);
-  std::uniform_int_distribution<std::size_t> nterms(opts.min_terminals,
-                                                    opts.max_terminals);
-  std::uniform_int_distribution<int> pct(0, 99);
-  std::uniform_int_distribution<int> extra(1, 2);
 
   for (std::size_t c = 0; c < lay.cells().size(); ++c) {
     layout::Cell& cell = lay.cell(layout::CellId{static_cast<std::uint32_t>(c)});
     const Rect r = cell.outline();
-    const std::size_t n = nterms(rng);
+    const std::size_t n =
+        uniform_int(rng, opts.min_terminals, opts.max_terminals);
     for (std::size_t t = 0; t < n; ++t) {
       layout::Terminal term;
       term.name = "t" + std::to_string(t);
       term.pins.push_back(layout::Pin{boundary_point(rng, r), term.name});
-      if (pct(rng) < opts.multi_pin_pct) {
-        const int more = extra(rng);
+      if (uniform_int(rng, 0, 99) < opts.multi_pin_pct) {
+        const int more = uniform_int(rng, 1, 2);
         for (int k = 0; k < more; ++k) {
           term.pins.push_back(layout::Pin{boundary_point(rng, r), term.name});
         }
@@ -72,22 +69,22 @@ void generate_nets(layout::Layout& lay, const NetGenOptions& opts) {
   }
   if (eligible.size() < 2) return;
 
-  std::uniform_int_distribution<std::size_t> nterms(opts.min_terminals,
-                                                    opts.max_terminals);
   for (std::size_t n = 0; n < opts.net_count; ++n) {
-    const std::size_t want = std::min(nterms(rng), eligible.size());
+    const std::size_t want = std::min(
+        uniform_int(rng, opts.min_terminals, opts.max_terminals),
+        eligible.size());
     if (want < 2) continue;
     // Sample `want` distinct cells.
     std::vector<std::uint32_t> cells = eligible;
-    std::shuffle(cells.begin(), cells.end(), rng);
+    portable_shuffle(cells.begin(), cells.end(), rng);
     cells.resize(want);
 
     layout::Net net("net" + std::to_string(n));
     for (const std::uint32_t c : cells) {
       const auto& terms = lay.cells()[c].terminals();
-      std::uniform_int_distribution<std::uint32_t> pick(
-          0, static_cast<std::uint32_t>(terms.size() - 1));
-      net.add_terminal(layout::TerminalRef{layout::CellId{c}, pick(rng)});
+      const auto pick = static_cast<std::uint32_t>(uniform_int<std::size_t>(
+          rng, 0, terms.size() - 1));
+      net.add_terminal(layout::TerminalRef{layout::CellId{c}, pick});
     }
     lay.add_net(std::move(net));
   }

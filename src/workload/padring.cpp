@@ -7,6 +7,8 @@
 #include <utility>
 #include <vector>
 
+#include "workload/rng.hpp"
+
 namespace gcr::workload {
 
 using geom::Coord;
@@ -16,7 +18,6 @@ using geom::Rect;
 std::size_t add_pad_ring(layout::Layout& lay, const PadRingOptions& opts) {
   const Rect& b = lay.boundary();
   std::mt19937_64 rng(opts.seed);
-  std::uniform_int_distribution<int> pct(0, 99);
 
   // Evenly spaced pads on each side (corners excluded).
   std::vector<layout::TerminalRef> pads;
@@ -53,15 +54,17 @@ std::size_t add_pad_ring(layout::Layout& lay, const PadRingOptions& opts) {
   }
   if (core.empty()) return 0;
 
-  std::uniform_int_distribution<std::size_t> pick(0, core.size() - 1);
+  const auto pick = [&] {
+    return uniform_int<std::size_t>(rng, 0, core.size() - 1);
+  };
   std::size_t nets_made = 0;
   for (std::size_t p = 0; p < pads.size(); ++p) {
-    if (pct(rng) >= opts.connected_pct) continue;
+    if (uniform_int(rng, 0, 99) >= opts.connected_pct) continue;
     layout::Net net("padnet" + std::to_string(p));
     net.add_terminal(pads[p]);
-    net.add_terminal(core[pick(rng)]);
+    net.add_terminal(core[pick()]);
     for (std::size_t e = 0; e < opts.extra_terminals; ++e) {
-      net.add_terminal(core[pick(rng)]);
+      net.add_terminal(core[pick()]);
     }
     lay.add_net(std::move(net));
     ++nets_made;

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <utility>
+
+/// \file rng.hpp
+/// Portable deterministic sampling for the workload generators.
+///
+/// std::mt19937_64 is fully specified by the standard — identical seeds
+/// produce identical 64-bit streams on every platform.  The *distributions*
+/// are not: std::uniform_int_distribution and std::shuffle are
+/// implementation-defined, so libstdc++ and libc++ turn the same engine
+/// stream into different layouts.  That breaks the serving layer's `GEN`
+/// verb, whose whole point is that `GEN standard seed=7 ...` materializes a
+/// byte-identical layout — and therefore the same content-addressed session
+/// key — on every replica a client might hit.  These helpers pin the
+/// engine-to-value mapping: rejection-sampled bounded draws and a
+/// Fisher–Yates shuffle, both defined entirely in terms of the specified
+/// mt19937_64 output.
+
+namespace gcr::workload {
+
+/// Uniform draw in [0, n).  Rejection sampling over the engine's full 64-bit
+/// range: draws below `2^64 mod n` are discarded so every residue is equally
+/// likely (the classic arc4random_uniform construction).  n = 0 is treated
+/// as the degenerate single-value range and returns 0.
+[[nodiscard]] inline std::uint64_t bounded_u64(std::mt19937_64& rng,
+                                               std::uint64_t n) {
+  if (n < 2) return 0;
+  const std::uint64_t threshold = (0 - n) % n;  // (2^64 - n) mod n
+  for (;;) {
+    const std::uint64_t r = rng();
+    if (r >= threshold) return r % n;
+  }
+}
+
+/// Uniform draw in [lo, hi] (inclusive), any integral type.  The span is
+/// computed in 64-bit space so signed ranges (jitter in [-r, r]) are safe.
+template <typename Int>
+[[nodiscard]] Int uniform_int(std::mt19937_64& rng, Int lo, Int hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo));
+  return static_cast<Int>(
+      static_cast<std::int64_t>(lo) +
+      static_cast<std::int64_t>(bounded_u64(rng, span + 1)));
+}
+
+/// Fisher–Yates shuffle with the portable bounded draw — a drop-in for
+/// std::shuffle wherever generated layouts must not depend on the standard
+/// library flavour.
+template <typename It>
+void portable_shuffle(It first, It last, std::mt19937_64& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    using std::swap;
+    swap(first[i - 1], first[bounded_u64(rng, i)]);
+  }
+}
+
+}  // namespace gcr::workload
