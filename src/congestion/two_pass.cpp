@@ -32,8 +32,15 @@ TwoPassReport TwoPassRouter::run(const TwoPassOptions& opts) const {
       report.cancelled = true;
       return true;
     }
-    return opts.deadline != Clock::time_point{} &&
-           Clock::now() >= opts.deadline;
+    if (opts.deadline != Clock::time_point{} &&
+        Clock::now() >= opts.deadline) {
+      // A deadline stop truncates the run exactly like a cancel: the report
+      // is incomplete and must never be mistaken for (or cached as) the
+      // canonical result of these options.
+      report.cancelled = true;
+      return true;
+    }
+    return false;
   };
 
   // Pass 1: independent wirelength routing — unless the caller already has

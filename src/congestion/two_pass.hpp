@@ -50,7 +50,9 @@ struct TwoPassReport {
   std::size_t overflow_after = 0;
   std::size_t max_occupancy_before = 0;
   std::size_t max_occupancy_after = 0;
-  /// True when the cancel token stopped the reroute loop early.
+  /// True when the cancel token or the deadline stopped the reroute loop
+  /// early: the report is truncated and must not be treated (or cached) as
+  /// the canonical result of its options.
   bool cancelled = false;
 };
 

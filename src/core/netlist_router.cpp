@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstddef>
 #include <exception>
 #include <mutex>
@@ -130,6 +131,17 @@ std::vector<std::size_t> effort_sorted(const layout::Layout& lay,
   return dispatch;
 }
 
+/// Between-net stop check shared by every mode: cancel token first (the
+/// cheap load), then the deadline.  Net routing dwarfs a Clock::now() call,
+/// so checking per net costs nothing measurable.
+bool stop_requested(const NetlistOptions& opts) {
+  if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+    return true;
+  }
+  return opts.deadline != std::chrono::steady_clock::time_point{} &&
+         std::chrono::steady_clock::now() >= opts.deadline;
+}
+
 void account(NetlistResult& result, std::size_t net_idx, NetRoute nr) {
   result.stats += nr.stats;
   if (nr.ok) {
@@ -180,6 +192,10 @@ NetlistResult NetlistRouter::route_independent(
     // Deterministic serial fallback (and the semantics the parallel path
     // must reproduce exactly).
     for (const std::size_t i : order) {
+      if (stop_requested(opts)) {
+        result.cancelled = true;
+        return result;
+      }
       account(result, i,
               net_router.route_net(layout_, layout_.nets()[i], opts.steiner));
     }
@@ -195,6 +211,7 @@ NetlistResult NetlistRouter::route_independent(
   const std::vector<std::size_t> dispatch =
       opts.sorted_dispatch ? effort_sorted(layout_, order) : order;
   std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> stopped{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
   const auto work = [&]() noexcept {
@@ -202,6 +219,11 @@ NetlistResult NetlistRouter::route_independent(
       for (std::size_t k = cursor.fetch_add(1, std::memory_order_relaxed);
            k < dispatch.size();
            k = cursor.fetch_add(1, std::memory_order_relaxed)) {
+        if (stop_requested(opts)) {
+          stopped.store(true, std::memory_order_relaxed);
+          cursor.store(dispatch.size(), std::memory_order_relaxed);  // drain
+          return;
+        }
         const std::size_t i = dispatch[k];
         result.routes[i] =
             net_router.route_net(layout_, layout_.nets()[i], opts.steiner);
@@ -229,6 +251,13 @@ NetlistResult NetlistRouter::route_independent(
   work();
   for (std::thread& th : pool) th.join();
   if (first_error) std::rethrow_exception(first_error);
+  if (stopped.load(std::memory_order_relaxed)) {
+    // Partial batch: unreached slots are default-constructed, so replaying
+    // the accounting would miscount them as failures.  The caller discards
+    // a cancelled result anyway.
+    result.cancelled = true;
+    return result;
+  }
 
   for (const std::size_t i : order) {
     account(result, i, std::move(result.routes[i]));
@@ -277,7 +306,13 @@ NetlistResult NetlistRouter::route_sequential(
     result.routes[i] = std::move(nr);
   };
 
-  for (const std::size_t i : order) route_one(i);
+  for (const std::size_t i : order) {
+    if (stop_requested(opts)) {
+      result.cancelled = true;
+      return result;
+    }
+    route_one(i);
+  }
 
   if (!reroute.empty()) {
     // Rip-up-and-reroute: tombstone every listed net's halos (each removal
@@ -288,7 +323,13 @@ NetlistResult NetlistRouter::route_sequential(
     // remainder would build, so the re-routes are bit-identical to the
     // rebuild-based reference — the differential suite proves it.
     for (const std::size_t r : reroute) env.remove_route(r);
-    for (const std::size_t r : reroute) route_one(r);
+    for (const std::size_t r : reroute) {
+      if (stop_requested(opts)) {
+        result.cancelled = true;
+        return result;
+      }
+      route_one(r);
+    }
   }
 
   // Accounting replays the *final* order — remaining nets in first-pass

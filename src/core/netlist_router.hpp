@@ -1,6 +1,9 @@
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/search_environment.hpp"
@@ -69,6 +72,14 @@ struct NetlistOptions {
   /// environment, the result is bit-identical for every thread count.
   /// Ignored in sequential mode, which is inherently ordered.
   unsigned threads = 1;
+  /// Absolute deadline; default = none.  Checked between nets (every mode):
+  /// expiry stops the pass early and marks the result `cancelled`.  It
+  /// never alters a run that finishes in time, so the bit-identical
+  /// guarantees below hold for every completed result.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Cooperative cancel token (client disconnect), checked between nets
+  /// like `deadline`.  May be null.
+  std::shared_ptr<std::atomic<bool>> cancel;
   /// Batch-driver scheduling: dispatch work items longest-first (estimated
   /// effort = net bounding-box half-perimeter, descending) so a long net
   /// pulled last cannot straggle alone at the tail of the batch.  Dispatch
@@ -86,6 +97,11 @@ struct NetlistResult {
   std::size_t failed = 0;
   geom::Cost total_wirelength = 0;
   search::SearchStats stats;
+  /// True when the cancel token or deadline stopped the pass early.  The
+  /// result is then *partial* — unreached `routes` slots stay default and
+  /// the totals are unaccounted — and must be discarded, never committed
+  /// or cached.
+  bool cancelled = false;
 };
 
 /// Resolves the "0 = one worker per hardware thread" convention shared by

@@ -456,29 +456,17 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
         conn.complete(seq, serve::format_err(e.what()));
         return;
       }
-      // Synthesis is deterministic and cheap relative to the environment
-      // build (string assembly, capped sizes), so it runs on the loop
-      // thread; the result then takes LOAD's exact path — inline content
-      // probe for residency, worker offload for the cold build, with the
-      // same ordering barrier for pipelined GEN→ROUTE.
-      std::string text;
-      try {
-        text = serve::generate_workload_text(gen);
-      } catch (const std::exception& e) {
-        service_.record_gen(false);
-        conn.complete(seq, serve::format_err(e.what()));
-        return;
-      }
-      std::string key;
-      if (const auto cached = service_.sessions().find_content(text, &key)) {
-        service_.record_gen(true);
-        conn.complete(seq, serve::format_gen_ok(*cached, true, gen.kind));
-        return;
-      }
+      // Synthesis is deterministic but NOT loop-thread cheap: the parse
+      // caps admit cells=4096 with nets=65536, whose per-net shuffles run
+      // for seconds.  It therefore runs on a worker (like the cold LOAD
+      // build), which then feeds the synthesized text through LOAD's exact
+      // path — content probe, session build, cache insert — with the same
+      // ordering barrier for pipelined GEN→ROUTE.
       conn.job_dispatched();
       conn.load_inflight = true;
-      service_.submit_load(
-          std::move(text), std::move(key), conn.cancel_token(),
+      service_.submit_gen(
+          [gen] { return serve::generate_workload_text(gen); },
+          conn.cancel_token(),
           [mailbox = mailbox_, id = conn.id(), seq, kind = gen.kind,
            service = &service_](serve::LoadResponse resp) {
             service->record_gen(resp.ok);

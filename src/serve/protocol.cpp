@@ -334,16 +334,27 @@ RouteCommand parse_stage_command(pipeline::StageKind kind,
     } else if (kind == pipeline::StageKind::kVerify && key == "all_routed") {
       sopts.require_all_routed = parse_bool(value, verb + " all_routed");
     } else if (kind == pipeline::StageKind::kSvg && key == "scale") {
+      // The charset filter pins the grammar (no signs, exponents, inf/nan,
+      // whitespace); the pos check then rejects tokens std::stod would
+      // silently truncate to a numeric prefix, like "1.2.3".
       if (value.empty() ||
           value.find_first_not_of("0123456789.") != std::string::npos) {
         throw std::runtime_error(verb + " scale: expected a number, got '" +
                                  value + "'");
       }
       double s = 0.0;
+      std::size_t pos = 0;
       try {
-        s = std::stod(value);
-      } catch (const std::exception&) {
+        s = std::stod(value, &pos);
+      } catch (const std::out_of_range&) {
         throw std::runtime_error(verb + " scale: value out of range");
+      } catch (const std::exception&) {
+        throw std::runtime_error(verb + " scale: expected a number, got '" +
+                                 value + "'");
+      }
+      if (pos != value.size()) {
+        throw std::runtime_error(verb + " scale: expected a number, got '" +
+                                 value + "'");
       }
       if (!(s >= 0.0625 && s <= 64.0)) {
         throw std::runtime_error(verb + " scale: must be in [0.0625, 64]");

@@ -141,6 +141,24 @@ void RoutingService::submit_load(std::string text, std::string key,
   }
 }
 
+void RoutingService::submit_gen(std::function<std::string()> synth,
+                                std::shared_ptr<std::atomic<bool>> cancel,
+                                LoadCallback done) {
+  metrics_.loads_offloaded.fetch_add(1, std::memory_order_relaxed);
+  Job job;
+  job.kind = Job::Kind::kLoad;
+  job.load_synth = std::move(synth);
+  job.load_cancel = std::move(cancel);
+  job.load_done = std::move(done);
+  job.submitted = std::chrono::steady_clock::now();
+  if (!queue_.try_push(std::move(job))) {
+    metrics_.loads_failed.fetch_add(1, std::memory_order_relaxed);
+    LoadResponse resp;
+    resp.error = "rejected";
+    job.load_done(std::move(resp));
+  }
+}
+
 void RoutingService::run_load_job(Job& job) {
   // Deliberately not recorded into the latency/queue-wait windows: those
   // are what STATS reports as *routing* percentiles, and one cold
@@ -152,8 +170,14 @@ void RoutingService::run_load_job(Job& job) {
     resp.error = "cancelled";  // peer gone: skip the expensive build
   } else {
     try {
-      resp.session =
-          cache_.load(job.load_text, std::move(job.load_key), &resp.cache_hit);
+      if (job.load_synth) {
+        // GEN: synthesize here, then load by content — the worker hashes
+        // the body it just produced (no admission-time probe existed).
+        resp.session = cache_.load(job.load_synth(), &resp.cache_hit);
+      } else {
+        resp.session = cache_.load(job.load_text, std::move(job.load_key),
+                                   &resp.cache_hit);
+      }
       resp.ok = true;
       metrics_.loads_ok.fetch_add(1, std::memory_order_relaxed);
     } catch (const std::exception& e) {
@@ -241,7 +265,24 @@ void RoutingService::worker_loop() {
       } else {
         const route::NetlistRouter router(job->session->layout,
                                           job->session->env);
+        job->req.opts.deadline = job->req.deadline;
+        job->req.opts.cancel = job->req.cancel;
         resp.result = router.route_all(job->req.opts);
+        if (resp.result.cancelled) {
+          // Stopped between nets: the partial result must not be dumped,
+          // committed, or counted.  Attribute like the dequeue checks do.
+          const bool was_cancel =
+              job->req.cancel &&
+              job->req.cancel->load(std::memory_order_relaxed);
+          resp.result = {};
+          resp.status =
+              was_cancel ? RouteStatus::kCancelled : RouteStatus::kExpired;
+          (was_cancel ? metrics_.requests_cancelled
+                      : metrics_.requests_expired)
+              .fetch_add(1, std::memory_order_relaxed);
+          finish(*job, std::move(resp));
+          continue;
+        }
       }
       resp.session = job->session;
       // The dump restriction: the subset that was routed, or — for a
@@ -287,7 +328,26 @@ void RoutingService::run_stage_job(Job& job, RouteResponse& resp) {
     if (state == nullptr) {
       const route::NetlistRouter router(job.session->layout,
                                         job.session->env);
-      state = job.session->routes.set(router.route_all({}));
+      // The implicit route honors the stage request's deadline and cancel
+      // token (checked between nets) — on a large GEN'd session it can
+      // dwarf the stage itself.  A stopped route is never committed: the
+      // next request starts from a clean no-routes slot.
+      route::NetlistOptions ropts;
+      ropts.deadline = job.req.deadline;
+      ropts.cancel = job.req.cancel;
+      route::NetlistResult routed = router.route_all(ropts);
+      if (routed.cancelled) {
+        const bool was_cancel =
+            job.req.cancel &&
+            job.req.cancel->load(std::memory_order_relaxed);
+        resp.status =
+            was_cancel ? RouteStatus::kCancelled : RouteStatus::kExpired;
+        (was_cancel ? metrics_.requests_cancelled : metrics_.requests_expired)
+            .fetch_add(1, std::memory_order_relaxed);
+        metrics_.stages_failed.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      state = job.session->routes.set(std::move(routed));
     }
 
     const std::string key = pipeline::StageCache::key_for(

@@ -31,11 +31,13 @@
 ///              SearchEnvironment (no per-request index builds)
 ///   future  -> RouteResponse with result, status, and latency breakdown
 ///
-/// Deadlines and cancellation are enforced at the queue boundary: a job
+/// Deadlines and cancellation are enforced at the queue boundary — a job
 /// whose deadline passed while queued, or whose client hung up, is dropped
-/// without routing.  An in-flight route runs to completion — the router has
-/// no preemption points — so the deadline bounds *queue* time, which under
-/// saturation is where nearly all latency lives.
+/// without routing — and cooperatively in flight: ROUTE/REROUTE check
+/// between nets, OPTIMIZE at pass boundaries, and the pipeline stages
+/// inside their own loops.  A stopped run is reported kExpired/kCancelled
+/// and its partial result is discarded — never committed to the session or
+/// cached.
 
 namespace gcr::serve {
 
@@ -43,8 +45,8 @@ enum class RouteStatus {
   kOk,
   kSessionNotFound,  ///< ROUTE before LOAD (or evicted session)
   kRejected,         ///< queue full at admission
-  kExpired,          ///< deadline passed before a worker picked the job up
-  kCancelled,        ///< cancel token set before a worker picked the job up
+  kExpired,          ///< deadline passed while queued or mid-run
+  kCancelled,        ///< cancel token set while queued or mid-run
   kError,            ///< routing threw (bad options, internal failure)
 };
 
@@ -90,7 +92,8 @@ struct RouteRequest {
   /// Zero (default) = no deadline.
   std::chrono::steady_clock::time_point deadline{};
   /// Optional cooperative cancel token; set it to true to drop the request
-  /// if it has not started routing yet.
+  /// — before a worker picks it up, or mid-run at the engine's next check
+  /// (between nets / at pass boundaries / inside stage loops).
   std::shared_ptr<std::atomic<bool>> cancel;
 };
 
@@ -185,6 +188,16 @@ class RoutingService {
                    std::shared_ptr<std::atomic<bool>> cancel,
                    LoadCallback done);
 
+  /// Offloads a GEN: \p synth runs on a worker to produce the layout text
+  /// (at the parse caps synthesis alone can run for seconds — far too long
+  /// for the event-loop thread), then the text takes the LOAD path on the
+  /// same worker — content probe, session build, cache insert.  \p synth
+  /// may throw; the failure comes back as ok=false.  \p cancel and \p done
+  /// behave exactly as in submit_load.
+  void submit_gen(std::function<std::string()> synth,
+                  std::shared_ptr<std::atomic<bool>> cancel,
+                  LoadCallback done);
+
   /// Closed-loop convenience: submit and wait.
   [[nodiscard]] RouteResponse route(RouteRequest req);
 
@@ -218,6 +231,9 @@ class RoutingService {
     // kLoad fields.
     std::string load_text;
     std::string load_key;  ///< content_key(load_text), hashed at admission
+    /// GEN: synthesizes the layout text on the worker (load_text/load_key
+    /// unused; the worker hashes the synthesized body itself).
+    std::function<std::string()> load_synth;
     std::shared_ptr<std::atomic<bool>> load_cancel;
     LoadCallback load_done;
     std::chrono::steady_clock::time_point submitted;

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <limits>
 #include <random>
 #include <utility>
 
@@ -36,14 +38,19 @@ namespace gcr::workload {
 }
 
 /// Uniform draw in [lo, hi] (inclusive), any integral type.  The span is
-/// computed in 64-bit space so signed ranges (jitter in [-r, r]) are safe.
+/// computed as an unsigned 64-bit difference, which is well-defined for the
+/// full range of both signed (jitter in [-r, r]) and unsigned arguments —
+/// including values above INT64_MAX and the degenerate full 64-bit span.
 template <typename Int>
 [[nodiscard]] Int uniform_int(std::mt19937_64& rng, Int lo, Int hi) {
-  const std::uint64_t span = static_cast<std::uint64_t>(
-      static_cast<std::int64_t>(hi) - static_cast<std::int64_t>(lo));
-  return static_cast<Int>(
-      static_cast<std::int64_t>(lo) +
-      static_cast<std::int64_t>(bounded_u64(rng, span + 1)));
+  assert(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (span == std::numeric_limits<std::uint64_t>::max()) {
+    return static_cast<Int>(rng());  // span+1 would wrap to 0
+  }
+  return static_cast<Int>(static_cast<std::uint64_t>(lo) +
+                          bounded_u64(rng, span + 1));
 }
 
 /// Fisher–Yates shuffle with the portable bounded draw — a drop-in for

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
 
 #include "congestion/two_pass.hpp"
 #include "workload/figures.hpp"
@@ -175,6 +178,23 @@ TEST(TwoPass, ReportsAreConsistent) {
   geom::Cost sum = 0;
   for (const auto& nr : report.final_pass.routes) sum += nr.wirelength;
   EXPECT_EQ(sum, report.final_pass.total_wirelength);
+}
+
+TEST(TwoPass, DeadlineStopIsMarkedCancelled) {
+  // A deadline-truncated run must flag itself exactly like a cancel-token
+  // stop: the serving layer treats an unflagged report as complete and
+  // would cache it as the canonical result of its options.
+  const layout::Layout lay = funnel_layout(5);
+  const congestion::TwoPassRouter tp(lay);
+  congestion::TwoPassOptions opts;
+  opts.passages.wire_pitch = 2;
+  opts.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  EXPECT_TRUE(tp.run(opts).cancelled);
+
+  congestion::TwoPassOptions copts;
+  copts.passages.wire_pitch = 2;
+  copts.cancel = std::make_shared<std::atomic<bool>>(true);
+  EXPECT_TRUE(tp.run(copts).cancelled);
 }
 
 }  // namespace

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
 #include <numeric>
 
 #include "core/netlist_router.hpp"
@@ -361,6 +364,31 @@ TEST(NetlistRouter, ParallelMoreThreadsThanNets) {
   const auto got = router.route_all(par);
   EXPECT_EQ(got.routed + got.failed, lay.nets().size());
   EXPECT_EQ(got.routes.size(), lay.nets().size());
+}
+
+TEST(NetlistRouter, DeadlineAndCancelStopEveryMode) {
+  // An expired deadline or a set cancel token stops the pass between nets
+  // and flags the result as cancelled (partial, must be discarded) in each
+  // of the three drivers: serial independent, parallel independent, and
+  // sequential.
+  const layout::Layout lay = small_routed_layout(27);
+  const route::NetlistRouter router(lay);
+
+  route::NetlistOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::seconds(1);
+  EXPECT_TRUE(router.route_all(expired).cancelled);
+
+  expired.threads = 4;
+  EXPECT_TRUE(router.route_all(expired).cancelled);
+
+  route::NetlistOptions cancelled;
+  cancelled.mode = route::NetlistMode::kSequential;
+  cancelled.cancel = std::make_shared<std::atomic<bool>>(true);
+  EXPECT_TRUE(router.route_all(cancelled).cancelled);
+
+  // No token and no deadline: untouched — the pass completes un-flagged.
+  EXPECT_FALSE(router.route_all().cancelled);
 }
 
 TEST(NetlistRouter, ResultAccountingConsistent) {

@@ -481,12 +481,16 @@ TEST(Protocol, StageAndGenParseRejections) {
       "DETAIL deadbeef window=0\n"           // zero channel window
       "CONGEST deadbeef iterations=999\n"    // above the iteration cap
       "SVG deadbeef scale=1000\n"            // above the scale cap
+      "SVG deadbeef scale=1.2.3\n"           // trailing junk after number
+      "SVG deadbeef scale=.\n"               // bare dot, no digits
       "VERIFY deadbeef bogus=1\n"            // unknown stage option
       "QUIT\n";
   std::istringstream replies(run_protocol(script));
   const char* expects[] = {
-      "session_not_found", "seed",   "kind",  "cells", "nets",
-      "window",            "iterations", "scale", "bogus",
+      "session_not_found", "seed",       "kind",
+      "cells",             "nets",       "window",
+      "iterations",        "scale",      "expected a number",
+      "expected a number", "bogus",
   };
   for (const char* expect : expects) {
     const Frame f = next_frame(replies);

@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -260,6 +261,36 @@ TEST(PortableRng, UniformIntIsInclusiveAndSignedSafe) {
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
   EXPECT_EQ(workload::uniform_int(rng, 5, 5), 5);
+}
+
+TEST(PortableRng, UniformIntSurvivesExtremeRanges) {
+  // Unsigned values above INT64_MAX and full-width spans used to collapse
+  // to lo via signed-cast overflow (and span+1 wrapping to 0).
+  std::mt19937_64 rng(9);
+  const std::uint64_t big_lo = 1ull << 63;
+  bool moved = false;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t v =
+        workload::uniform_int(rng, big_lo, big_lo + 1000);
+    EXPECT_GE(v, big_lo);
+    EXPECT_LE(v, big_lo + 1000);
+    moved |= v != big_lo;
+  }
+  EXPECT_TRUE(moved);
+
+  // Full 64-bit span: every draw is just the engine output.
+  std::mt19937_64 a(13), b(13);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(workload::uniform_int(
+                  a, std::uint64_t{0},
+                  std::numeric_limits<std::uint64_t>::max()),
+              b());
+  }
+
+  // Full signed span exercises the same wrap-free path.
+  std::mt19937_64 c(17);
+  (void)workload::uniform_int(c, std::numeric_limits<std::int64_t>::min(),
+                              std::numeric_limits<std::int64_t>::max());
 }
 
 TEST(PortableRng, ShuffleIsAPermutationAndSeedStable) {
