@@ -33,6 +33,11 @@
 //   Every client closes with one DETAIL and one VERIFY round trip whose
 //   meta and body must match an in-process pipeline-stage run exactly.
 //
+//   --restart-dir DIR (with --server): restart-under-load smoke — PIN a
+//   session, COMMIT every net, SAVE into DIR, SIGINT-drain the server,
+//   restart it with --restore-dir DIR, claim the same handle, and verify
+//   the rehydrated pin answers the same REROUTE byte-identically.
+//
 //   $ gcr_loadgen --clients 8 --requests 16 --workers 4
 //   $ gcr_loadgen --server ./example_gcr_serve --requests 8 --gen
 //   $ gcr_loadgen --server ./example_gcr_serve --tcp --clients 16
@@ -97,6 +102,11 @@ struct Config {
   long deadline_ms = -1;  // <0 = none
   bool optimize = false;  // finish every client with one OPTIMIZE
   bool gen = false;       // synthesize the workload server-side (GEN verb)
+  /// Non-empty = restart-under-load smoke: pin a session on a first server,
+  /// SAVE into this directory, SIGINT-drain the server, start a second one
+  /// with --restore-dir, and verify the rehydrated pin answers the same
+  /// REROUTE byte-identically.
+  std::string restart_dir;
 };
 
 int usage(const char* argv0) {
@@ -105,7 +115,7 @@ int usage(const char* argv0) {
       "usage: %s [--server PATH [--transport socket|pipe] [--tcp]]\n"
       "       [--clients N] [--requests N] [--workers N]\n"
       "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n"
-      "       [--optimize] [--gen]\n",
+      "       [--optimize] [--gen] [--restart-dir DIR]\n",
       argv0);
   return 2;
 }
@@ -175,16 +185,17 @@ Reply transact(std::ostream& out, std::istream& in, const std::string& line,
   return r;
 }
 
-/// Pulls `key value` out of a response meta string; -1 when absent or not
+/// Pulls `key=value` out of a response meta string; -1 when absent or not
 /// numeric.  Values may be non-numeric (the session key), so everything is
-/// read as a token and only the requested one is converted.
+/// scanned as tokens and only the requested one is converted.
 long long meta_value(const std::string& meta, const std::string& key) {
   std::istringstream is(meta);
-  std::string k, v;
-  while (is >> k >> v) {
-    if (k != key) continue;
+  std::string tok;
+  while (is >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos || tok.compare(0, eq, key) != 0) continue;
     try {
-      return std::stoll(v);
+      return std::stoll(tok.substr(eq + 1));
     } catch (const std::exception&) {
       return -1;
     }
@@ -192,13 +203,16 @@ long long meta_value(const std::string& meta, const std::string& key) {
   return -1;
 }
 
-/// Raw token after `key` in a meta string ("" when absent) — for the
-/// non-numeric values (session key, stage kind) meta_value cannot carry.
+/// Raw value of `key=` in a meta string ("" when absent) — for the
+/// non-numeric values (session key, pin handle) meta_value cannot carry.
 std::string meta_token(const std::string& meta, const std::string& key) {
   std::istringstream is(meta);
-  std::string k, v;
-  while (is >> k >> v) {
-    if (k == key) return v;
+  std::string tok;
+  while (is >> tok) {
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string::npos && tok.compare(0, eq, key) == 0) {
+      return tok.substr(eq + 1);
+    }
   }
   return std::string();
 }
@@ -312,7 +326,7 @@ std::string check_stage(const Reply& r, pipeline::StageKind kind,
   const pipeline::StageContext ctx{lay, env, reference, nullptr, {}};
   const pipeline::StageOutcome want = pipeline::run_stage(ctx, sopts);
   if (!want.result) return name + ": reference stage did not complete";
-  const std::string prefix = "stage " + name + " cached ";
+  const std::string prefix = "stage=" + name + " cached=";
   if (r.meta.rfind(prefix, 0) != 0) {
     return name + ": meta missing '" + prefix + "': " + r.meta;
   }
@@ -625,7 +639,8 @@ struct TcpChild {
 
 /// Forks \p cfg.server with `--listen 0` and parses the bound port from its
 /// stdout banner ("gcr_serve: listening on 127.0.0.1:<port>").
-TcpChild spawn_tcp_server(const Config& cfg) {
+TcpChild spawn_tcp_server(const Config& cfg,
+                          const std::vector<std::string>& extra = {}) {
   TcpChild child;
   int out_pipe[2];
   if (::pipe(out_pipe) != 0) return child;
@@ -649,6 +664,7 @@ TcpChild spawn_tcp_server(const Config& cfg) {
                   {"--cache", std::to_string(std::max<std::size_t>(
                                   cfg.clients * 2, 8))});
     }
+    args.insert(args.end(), extra.begin(), extra.end());
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& a : args) argv.push_back(a.data());
@@ -919,6 +935,165 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
   return failures == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------------ restart smoke
+
+/// SIGINTs a server and reports whether it drained and exited cleanly.
+bool drain_server(pid_t pid) {
+  ::kill(pid, SIGINT);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+/// Restart-under-load smoke: proves a pinned session survives a full
+/// server restart.  Server 1 (--snapshot-dir) serves HELLO + LOAD + PIN +
+/// COMMIT + SAVE; the reference REROUTE answer is recorded *after* the
+/// SAVE, so the snapshot captures exactly the pre-REROUTE state that
+/// answer was computed from.  Server 1 is then SIGINT-drained and server 2
+/// starts with --restore-dir: claiming the same handle and repeating the
+/// REROUTE must reproduce the recorded body byte-for-byte (timing meta
+/// excluded — only routed/failed/wirelength and the dump are compared).
+int run_restart(const Config& cfg, const std::string& layout_text,
+                const layout::Layout& lay) {
+  std::signal(SIGPIPE, SIG_IGN);
+  if (lay.nets().size() < 2) {
+    std::fprintf(stderr, "restart smoke needs a workload with >= 2 nets\n");
+    return 1;
+  }
+  std::string all_nets;
+  for (const auto& net : lay.nets()) {
+    if (!all_nets.empty()) all_nets += ',';
+    all_nets += net.name();
+  }
+  const std::string rip =
+      lay.nets()[0].name() + "," + lay.nets()[1].name();
+
+  int failures = 0;
+  const auto fail = [&failures](const std::string& why) {
+    std::fprintf(stderr, "restart smoke: %s\n", why.c_str());
+    ++failures;
+  };
+
+  std::string handle;
+  std::string want_body;
+  long long want_routed = -1, want_failed = -1, want_wirelength = -1;
+  long long committed_at_save = -1;
+
+  // ---- phase 1: pin, commit, save, record the reference answer, drain.
+  {
+    const TcpChild server =
+        spawn_tcp_server(cfg, {"--snapshot-dir", cfg.restart_dir});
+    if (server.pid < 0) {
+      std::fprintf(stderr, "loadgen: cannot spawn %s --listen 0\n",
+                   cfg.server.c_str());
+      return 1;
+    }
+    std::printf("restart smoke: server 1 (pid %d) on 127.0.0.1:%u\n",
+                static_cast<int>(server.pid),
+                static_cast<unsigned>(server.port));
+    {
+      const net::ScopedFd sock = net::tcp_connect(server.port);
+      serve::FdTransport transport(sock.get());
+      std::istream& in = transport.in();
+      std::ostream& out = transport.out();
+
+      const Reply hello = transact(out, in, "HELLO");
+      if (!hello.ok) {
+        fail("HELLO: " + hello.error);
+      } else if (meta_value(hello.meta, "version") != 2) {
+        fail("HELLO: unexpected protocol version (" + hello.meta + ")");
+      }
+
+      const Reply loaded = transact(
+          out, in, "LOAD " + std::to_string(layout_text.size()), layout_text);
+      if (!loaded.ok) {
+        fail("LOAD: " + loaded.error);
+      } else {
+        const std::string key = meta_token(loaded.meta, "session");
+        const Reply pinned = transact(out, in, "PIN " + key);
+        if (!pinned.ok) {
+          fail("PIN: " + pinned.error);
+        } else {
+          handle = meta_token(pinned.meta, "pin");
+          const Reply committed =
+              transact(out, in, "COMMIT " + handle + " nets=" + all_nets);
+          if (!committed.ok) {
+            fail("COMMIT: " + committed.error);
+          } else {
+            committed_at_save = meta_value(committed.meta, "committed");
+            const Reply saved =
+                transact(out, in, "SAVE " + handle + " restart-smoke.snap");
+            if (!saved.ok) {
+              fail("SAVE: " + saved.error);
+            } else if (meta_value(saved.meta, "bytes") <= 0) {
+              fail("SAVE: empty snapshot (" + saved.meta + ")");
+            }
+            const Reply rr =
+                transact(out, in, "REROUTE " + handle + " nets=" + rip);
+            if (!rr.ok) {
+              fail("REROUTE (live): " + rr.error);
+            } else {
+              want_body = rr.body;
+              want_routed = meta_value(rr.meta, "routed");
+              want_failed = meta_value(rr.meta, "failed");
+              want_wirelength = meta_value(rr.meta, "wirelength");
+            }
+          }
+        }
+      }
+      transact(out, in, "QUIT");
+    }
+    if (!drain_server(server.pid)) fail("server 1 did not drain cleanly");
+  }
+  if (failures > 0 || handle.empty()) return 1;
+
+  // ---- phase 2: restore, claim the handle, repeat the REROUTE, compare.
+  {
+    const TcpChild server =
+        spawn_tcp_server(cfg, {"--restore-dir", cfg.restart_dir});
+    if (server.pid < 0) {
+      std::fprintf(stderr, "loadgen: cannot respawn %s --listen 0\n",
+                   cfg.server.c_str());
+      return 1;
+    }
+    std::printf("restart smoke: server 2 (pid %d) on 127.0.0.1:%u\n",
+                static_cast<int>(server.pid),
+                static_cast<unsigned>(server.port));
+    {
+      const net::ScopedFd sock = net::tcp_connect(server.port);
+      serve::FdTransport transport(sock.get());
+      std::istream& in = transport.in();
+      std::ostream& out = transport.out();
+
+      const Reply claimed = transact(out, in, "PIN " + handle);
+      if (!claimed.ok) {
+        fail("PIN (restored): " + claimed.error);
+      } else if (meta_value(claimed.meta, "committed") != committed_at_save) {
+        fail("restored pin committed-count mismatch (" + claimed.meta + ")");
+      }
+      const Reply rr = transact(out, in, "REROUTE " + handle + " nets=" + rip);
+      if (!rr.ok) {
+        fail("REROUTE (restored): " + rr.error);
+      } else {
+        if (rr.body != want_body) fail("restored REROUTE body differs");
+        if (meta_value(rr.meta, "routed") != want_routed ||
+            meta_value(rr.meta, "failed") != want_failed ||
+            meta_value(rr.meta, "wirelength") != want_wirelength) {
+          fail("restored REROUTE counters differ (" + rr.meta + ")");
+        }
+      }
+      transact(out, in, "QUIT");
+    }
+    if (!drain_server(server.pid)) fail("server 2 did not drain cleanly");
+  }
+  if (failures == 0) {
+    std::printf("restart smoke: pinned session survived restart, "
+                "REROUTE byte-identical (%lld routed, wirelength %lld)\n",
+                want_routed, want_wirelength);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 #else  // !GCR_LOADGEN_HAVE_FORK
 
 int run_against_server(const Config&, const std::string&,
@@ -930,6 +1105,11 @@ int run_against_server(const Config&, const std::string&,
 int run_tcp(const Config&, const std::string&, const layout::Layout&,
             const route::NetlistResult&) {
   std::fprintf(stderr, "--tcp requires a POSIX platform\n");
+  return 1;
+}
+
+int run_restart(const Config&, const std::string&, const layout::Layout&) {
+  std::fprintf(stderr, "--restart-dir requires a POSIX platform\n");
   return 1;
 }
 
@@ -982,6 +1162,9 @@ int main(int argc, char** argv) {
       cfg.seed = n;
     } else if (arg == "--deadline-ms" && number(1 << 30, &n)) {
       cfg.deadline_ms = static_cast<long>(n);
+    } else if (arg == "--restart-dir" && v != nullptr && v[0] != '\0') {
+      cfg.restart_dir = v;
+      ++i;
     } else {
       return usage(argv[0]);
     }
@@ -1015,8 +1198,13 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--tcp needs --server PATH\n");
         return usage(argv[0]);
       }
+      if (!cfg.restart_dir.empty()) {
+        std::fprintf(stderr, "--restart-dir needs --server PATH\n");
+        return usage(argv[0]);
+      }
       return run_inproc(cfg, text, reference);
     }
+    if (!cfg.restart_dir.empty()) return run_restart(cfg, text, lay);
     if (cfg.tcp) return run_tcp(cfg, text, lay, reference);
     return run_against_server(cfg, text, lay, reference);
   } catch (const std::exception& e) {

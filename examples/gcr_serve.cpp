@@ -18,6 +18,9 @@
 //                      reads are suspended (slow-client backpressure)
 //     --hard-cap N     TCP mode: outbound bytes past which a slow client
 //                      is dropped
+//     --snapshot-dir D enable SAVE: pinned sessions serialize to D/<name>
+//     --restore-dir D  rehydrate every snapshot in D at startup; restored
+//                      pins are unowned until a client PINs their handle
 //
 // A session survives across requests: LOAD once, ROUTE many times — every
 // ROUTE reuses the session's prebuilt obstacle index and escape lines, and
@@ -54,6 +57,7 @@ extern "C" void on_shutdown_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--queue N] [--cache N] [--fd FD]\n"
+               "       [--snapshot-dir DIR] [--restore-dir DIR]\n"
                "       [--listen PORT [--max-conns N] [--high-water BYTES]\n"
                "        [--hard-cap BYTES]]\n",
                argv0);
@@ -110,6 +114,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--hard-cap" && v != nullptr &&
                parse_size(v, 1ull << 31, &parsed) && parsed > 0) {
       lopts.write_hard_cap = parsed;
+      ++i;
+    } else if (arg == "--snapshot-dir" && v != nullptr && v[0] != '\0') {
+      opts.snapshot_dir = v;
+      ++i;
+    } else if (arg == "--restore-dir" && v != nullptr && v[0] != '\0') {
+      opts.restore_dir = v;
       ++i;
     } else {
       return usage(argv[0]);

@@ -167,6 +167,33 @@ void SearchEnvironment::rebuild(const layout::Layout& lay) {
   g_build_count.fetch_add(1, std::memory_order_relaxed);
 }
 
+SearchEnvironment SearchEnvironment::restore(
+    spatial::ObstacleIndex index, spatial::EscapeLineSet lines,
+    std::size_t base_obstacles,
+    std::map<std::size_t, std::vector<std::size_t>> committed) {
+  if (base_obstacles > index.size()) {
+    throw std::invalid_argument(
+        "SearchEnvironment::restore: base obstacle count exceeds the index");
+  }
+  for (const auto& [net, record] : committed) {
+    for (const std::size_t slot : record) {
+      if (slot >= index.size() || slot < base_obstacles) {
+        throw std::invalid_argument(
+            "SearchEnvironment::restore: commit record references an "
+            "obstacle outside the committed range");
+      }
+    }
+  }
+  SearchEnvironment env;
+  env.index_ = std::move(index);
+  env.lines_ = std::move(lines);
+  env.base_obstacles_ = base_obstacles;
+  env.committed_by_net_ = std::move(committed);
+  // No g_build_count bump: nothing was traced or sorted from scratch —
+  // that is the restore path's contract (tests assert it).
+  return env;
+}
+
 std::size_t SearchEnvironment::build_count() noexcept {
   return g_build_count.load(std::memory_order_relaxed);
 }

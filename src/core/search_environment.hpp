@@ -103,6 +103,28 @@ class SearchEnvironment {
     return index_.live_size() - base_obstacles_;
   }
 
+  /// The keyed commit records (net id -> obstacle slots in `index()`), in
+  /// net-id order — the snapshot encoder's view of what `remove_route`
+  /// could still rip up.  Slots may reference tombstoned obstacles only
+  /// after a failed update; a valid environment's records are all live.
+  [[nodiscard]] const std::map<std::size_t, std::vector<std::size_t>>&
+  committed_records() const noexcept {
+    return committed_by_net_;
+  }
+
+  /// Rehydrates an environment from serialized parts (snapshot restore).
+  /// \p index must hold the base obstacles first (the first
+  /// \p base_obstacles slots) followed by committed wire halos, with no
+  /// tombstones; \p lines must be the matching escape-line set; \p
+  /// committed maps net ids to their obstacle slots.  Unlike the building
+  /// constructor and `rebuild`, this performs no tracing and does NOT
+  /// count toward `build_count` — the whole point of a snapshot is that a
+  /// restart skips the build.
+  [[nodiscard]] static SearchEnvironment restore(
+      spatial::ObstacleIndex index, spatial::EscapeLineSet lines,
+      std::size_t base_obstacles,
+      std::map<std::size_t, std::vector<std::size_t>> committed);
+
   /// False after `commit_route`/`remove_route` threw mid-update: queries
   /// would repair via rebuild() first (see file comment).
   [[nodiscard]] bool valid() const noexcept { return !invalid_; }
@@ -131,6 +153,8 @@ class SearchEnvironment {
   static void inject_update_fault_for_tests() noexcept;
 
  private:
+  SearchEnvironment() = default;  ///< restore() fills the members in
+
   /// RAII guard around a multi-step splice: the environment reads as
   /// invalid while the update runs, and stays invalid if it throws.
   class UpdateGuard;

@@ -337,6 +337,11 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
     case serve::CommandKind::kStats:
       conn.complete(seq, serve::exec_stats(service_));
       return;
+    case serve::CommandKind::kHello:
+      // Static capability text straight off the verb table; loop-thread
+      // cheap by construction.
+      conn.complete(seq, serve::format_hello());
+      return;
     case serve::CommandKind::kLoad: {
       // Repeat LOADs of resident content answer inline: the probe costs
       // one content hash — O(body bytes), which the loop pays knowingly;
@@ -365,15 +370,39 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
     }
     case serve::CommandKind::kRoute:
     case serve::CommandKind::kReroute: {
-      serve::RouteRequest req;
+      serve::RouteCommand rc;
       try {
-        req = serve::to_request(cmd.kind == serve::CommandKind::kRoute
-                                    ? serve::parse_route_command(cmd.args)
-                                    : serve::parse_reroute_command(cmd.args));
+        rc = cmd.kind == serve::CommandKind::kRoute
+                 ? serve::parse_route_command(cmd.args)
+                 : serve::parse_reroute_command(cmd.args);
       } catch (const std::exception& e) {
         conn.complete(seq, serve::format_err(e.what()));
         return;
       }
+      // REROUTE against a pin handle reroutes the pin's own committed
+      // remainder (owner-gated, serialized on the pin's ticket chain)
+      // instead of the shared stateless path.  The registry probe is one
+      // locked map lookup — loop-thread cheap.
+      if (cmd.kind == serve::CommandKind::kReroute &&
+          service_.pins().find(rc.session_key) != nullptr) {
+        serve::PinRequest preq;
+        preq.op = serve::PinRequest::Op::kReroute;
+        preq.key = rc.session_key;
+        preq.nets = rc.nets;
+        preq.wire_halo = rc.opts.wire_halo;
+        preq.owner = conn.cancel_token();
+        conn.job_dispatched();
+        service_.submit_pin(
+            std::move(preq),
+            [mailbox = mailbox_, id = conn.id(),
+             seq](serve::PinResponse resp) {
+              mailbox->post({id, seq,
+                             serve::format_pin_response(
+                                 resp, serve::PinRequest::Op::kReroute)});
+            });
+        return;
+      }
+      serve::RouteRequest req = serve::to_request(rc);
       req.cancel = conn.cancel_token();
       conn.job_dispatched();
       // The callback runs on a worker thread (or inline for fail-fast
@@ -476,6 +505,33 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
                         : serve::format_err(resp.error);
             mailbox->post({id, seq, std::move(frame), /*load=*/true});
           });
+      return;
+    }
+    case serve::CommandKind::kPin:
+    case serve::CommandKind::kUnpin:
+    case serve::CommandKind::kCommit:
+    case serve::CommandKind::kUncommit:
+    case serve::CommandKind::kSave: {
+      serve::PinRequest req;
+      try {
+        req = serve::parse_pin_command(cmd.kind, cmd.args);
+      } catch (const std::exception& e) {
+        conn.complete(seq, serve::format_err(e.what()));
+        return;
+      }
+      const serve::PinRequest::Op op = req.op;
+      // The connection's cancel token is the pin owner: pointer identity
+      // gates every later mutation, and close_connection's release_pins
+      // call frees the pins when this peer goes away.
+      req.owner = conn.cancel_token();
+      conn.job_dispatched();
+      service_.submit_pin(std::move(req),
+                          [mailbox = mailbox_, id = conn.id(), seq,
+                           op](serve::PinResponse resp) {
+                            mailbox->post(
+                                {id, seq,
+                                 serve::format_pin_response(resp, op)});
+                          });
       return;
     }
     case serve::CommandKind::kUnknown:
@@ -586,6 +642,9 @@ void EventLoop::close_connection(std::uint64_t id, bool drop) {
     // into the void; late completions are discarded in drain_mailbox.
     it->second->cancel_token()->store(true, std::memory_order_relaxed);
   }
+  // Either way the owner identity is gone: auto-release this connection's
+  // pins so the handles become claimable (and UNPIN-able) by successors.
+  service_.release_pins(it->second->cancel_token());
   // Closing the fd (ScopedFd dtor) deregisters it from epoll implicitly.
   conns_.erase(it);
   stats_.closed.fetch_add(1, std::memory_order_relaxed);

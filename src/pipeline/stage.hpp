@@ -61,7 +61,7 @@ struct StageOptions {
 };
 
 /// A stage's protocol-ready output.  `meta` is appended to the OK response
-/// line (space-separated `key value` fields, no newline); `body` is the
+/// line (space-separated `key=value` fields, no newline); `body` is the
 /// framed payload the OK line's byte count announces.  Immutable once built
 /// and shared by shared_ptr, like LayoutSession.
 struct StageResult {

@@ -36,9 +36,9 @@ StageOutcome run_detail(const StageContext& ctx, const StageOptions& opts) {
   res->kind = StageKind::kDetail;
   {
     std::ostringstream meta;
-    meta << "subnets " << dr.subnet_count << " channels " << dr.channel_count
-         << " tracks " << dr.total_tracks << " max_tracks "
-         << dr.max_channel_tracks << " vias " << dr.via_count;
+    meta << "subnets=" << dr.subnet_count << " channels=" << dr.channel_count
+         << " tracks=" << dr.total_tracks << " max_tracks="
+         << dr.max_channel_tracks << " vias=" << dr.via_count;
     res->meta = std::move(meta).str();
   }
   std::ostringstream body;
@@ -74,10 +74,10 @@ StageOutcome run_congest(const StageContext& ctx, const StageOptions& opts) {
   res->kind = StageKind::kCongest;
   {
     std::ostringstream meta;
-    meta << "passages " << map.loads().size() << " passes " << rep.passes_run
-         << " rerouted " << rep.nets_rerouted << " overflow_before "
-         << rep.overflow_before << " overflow " << rep.overflow_after
-         << " max_occupancy " << rep.max_occupancy_after;
+    meta << "passages=" << map.loads().size() << " passes=" << rep.passes_run
+         << " rerouted=" << rep.nets_rerouted << " overflow_before="
+         << rep.overflow_before << " overflow=" << rep.overflow_after
+         << " max_occupancy=" << rep.max_occupancy_after;
     res->meta = std::move(meta).str();
   }
   std::ostringstream body;
@@ -103,7 +103,7 @@ StageOutcome run_verify(const StageContext& ctx, const StageOptions& opts) {
 
   auto res = std::make_shared<StageResult>();
   res->kind = StageKind::kVerify;
-  res->meta = "violations " + std::to_string(violations.size());
+  res->meta = "violations=" + std::to_string(violations.size());
   std::ostringstream body;
   for (const verify::RouteViolation& v : violations) {
     body << verify::to_string(v.kind) << " " << v.net << " "
@@ -123,7 +123,7 @@ StageOutcome run_svg(const StageContext& ctx, const StageOptions& opts) {
   sopts.draw_cell_names = opts.draw_cell_names;
   auto res = std::make_shared<StageResult>();
   res->kind = StageKind::kSvg;
-  res->meta = "format svg";
+  res->meta = "format=svg";
   res->body = io::svg_string(ctx.layout, &ctx.routes, sopts);
   return StageOutcome{std::move(res), false};
 }

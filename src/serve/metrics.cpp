@@ -41,6 +41,13 @@ std::string MetricsSnapshot::to_text() const {
      << "stages_failed " << stages_failed << '\n'
      << "gens_ok " << gens_ok << '\n'
      << "gens_failed " << gens_failed << '\n'
+     << "pins_created " << pins_created << '\n'
+     << "pins_released " << pins_released << '\n'
+     << "pins_restored " << pins_restored << '\n'
+     << "pin_ops_ok " << pin_ops_ok << '\n'
+     << "pin_ops_failed " << pin_ops_failed << '\n'
+     << "pin_saves " << pin_saves << '\n'
+     << "pins_active " << pins_active << '\n'
      << "stage_cache_hits " << stage_cache_hits << '\n'
      << "stage_cache_misses " << stage_cache_misses << '\n'
      << "stage_cache_evictions " << stage_cache_evictions << '\n'

@@ -80,6 +80,15 @@ struct ServiceMetrics {
   /// Server-side GEN workload syntheses (materialized sessions).
   std::atomic<std::uint64_t> gens_ok{0};
   std::atomic<std::uint64_t> gens_failed{0};
+  /// Session lifecycle: pins derived/claimed, released (UNPIN + disconnect
+  /// auto-release), restored from snapshots at startup, and the mutation
+  /// ops (COMMIT/UNCOMMIT/REROUTE/SAVE) split by outcome.
+  std::atomic<std::uint64_t> pins_created{0};
+  std::atomic<std::uint64_t> pins_released{0};
+  std::atomic<std::uint64_t> pins_restored{0};
+  std::atomic<std::uint64_t> pin_ops_ok{0};
+  std::atomic<std::uint64_t> pin_ops_failed{0};
+  std::atomic<std::uint64_t> pin_saves{0};
   LatencyWindow latency;        ///< enqueue -> response, microseconds
   LatencyWindow queue_wait;     ///< enqueue -> dequeue, microseconds
 };
@@ -104,6 +113,13 @@ struct MetricsSnapshot {
   std::uint64_t stages_failed = 0;
   std::uint64_t gens_ok = 0;
   std::uint64_t gens_failed = 0;
+  std::uint64_t pins_created = 0;
+  std::uint64_t pins_released = 0;
+  std::uint64_t pins_restored = 0;
+  std::uint64_t pin_ops_ok = 0;
+  std::uint64_t pin_ops_failed = 0;
+  std::uint64_t pin_saves = 0;
+  std::size_t pins_active = 0;
   std::uint64_t stage_cache_hits = 0;
   std::uint64_t stage_cache_misses = 0;
   std::uint64_t stage_cache_evictions = 0;

@@ -75,7 +75,8 @@ unsigned long long parse_count(const std::string& tok,
 
 /// Splits a `nets=` value on commas.  Empty items (leading, trailing, or
 /// doubled commas) are malformed — they would silently route nothing.
-std::vector<std::string> split_net_list(const std::string& value) {
+std::vector<std::string> split_net_list(const std::string& value,
+                                        const std::string& what) {
   std::vector<std::string> out;
   std::size_t start = 0;
   for (;;) {
@@ -83,7 +84,7 @@ std::vector<std::string> split_net_list(const std::string& value) {
     const std::string item = value.substr(
         start, comma == std::string::npos ? std::string::npos : comma - start);
     if (item.empty()) {
-      throw std::runtime_error("ROUTE nets: empty net name in list");
+      throw std::runtime_error(what + ": empty net name in list");
     }
     out.push_back(item);
     if (comma == std::string::npos) return out;
@@ -105,7 +106,306 @@ unsigned long long parse_duration_ms(const std::string& tok,
   return ms;
 }
 
+constexpr unsigned long long kNoCap = ~0ull;
+
+// ------------------------------------------------------- the shared parser
+
+/// One validated knob value.  Which member is meaningful follows from the
+/// KnobSpec's type; keeping them side by side beats a variant for a parser
+/// this small.
+struct KnobValue {
+  unsigned long long num = 0;                               ///< kCount/kDuration
+  bool flag = false;                                        ///< kBool
+  double real = 0.0;                                        ///< kScale
+  route::NetlistMode mode = route::NetlistMode::kIndependent;  ///< kMode
+  std::vector<std::string> list;                            ///< kNets
+};
+
+struct ParsedArgs {
+  std::vector<std::string> positionals;
+  std::map<std::string, KnobValue> values;
+
+  [[nodiscard]] const KnobValue* find(const char* key) const {
+    const auto it = values.find(key);
+    return it == values.end() ? nullptr : &it->second;
+  }
+};
+
+/// Parses one knob value per its spec.  Every error message is derived
+/// uniformly from `<verb> <key>` + the spec's range, so all verbs reject
+/// with identical shapes.
+KnobValue parse_knob(const KnobSpec& spec, const char* verb,
+                     const std::string& value) {
+  const std::string what = std::string(verb) + " " + spec.key;
+  KnobValue out;
+  switch (spec.type) {
+    case KnobType::kCount: {
+      const unsigned long long n = parse_count(value, what);
+      if (spec.hi != kNoCap && (n < spec.lo || n > spec.hi)) {
+        throw std::runtime_error(
+            spec.lo == 0
+                ? what + ": at most " + std::to_string(spec.hi)
+                : what + ": must be " + std::to_string(spec.lo) + ".." +
+                      std::to_string(spec.hi));
+      }
+      out.num = n;
+      break;
+    }
+    case KnobType::kDuration:
+      out.num = parse_duration_ms(value, what);
+      break;
+    case KnobType::kBool:
+      if (value != "0" && value != "1") {
+        throw std::runtime_error(what + " must be 0 or 1");
+      }
+      out.flag = value == "1";
+      break;
+    case KnobType::kMode:
+      if (value == "independent") {
+        out.mode = route::NetlistMode::kIndependent;
+      } else if (value == "sequential") {
+        out.mode = route::NetlistMode::kSequential;
+      } else {
+        throw std::runtime_error(what + " must be independent or sequential, "
+                                 "got '" + value + "'");
+      }
+      break;
+    case KnobType::kScale: {
+      // The charset filter pins the grammar (no signs, exponents, inf/nan,
+      // whitespace); the pos check then rejects tokens std::stod would
+      // silently truncate to a numeric prefix, like "1.2.3".
+      if (value.empty() ||
+          value.find_first_not_of("0123456789.") != std::string::npos) {
+        throw std::runtime_error(what + ": expected a number, got '" + value +
+                                 "'");
+      }
+      double s = 0.0;
+      std::size_t pos = 0;
+      try {
+        s = std::stod(value, &pos);
+      } catch (const std::out_of_range&) {
+        throw std::runtime_error(what + ": value out of range");
+      } catch (const std::exception&) {
+        throw std::runtime_error(what + ": expected a number, got '" + value +
+                                 "'");
+      }
+      if (pos != value.size()) {
+        throw std::runtime_error(what + ": expected a number, got '" + value +
+                                 "'");
+      }
+      if (!(s >= 0.0625 && s <= 64.0)) {
+        throw std::runtime_error(what + ": must be in [0.0625, 64]");
+      }
+      out.real = s;
+      break;
+    }
+    case KnobType::kNets:
+      out.list = split_net_list(value, what);
+      break;
+  }
+  return out;
+}
+
+/// The generic tokenizer/validator every verb shares: positional arity,
+/// key=value shape, knob lookup, per-type value validation, required-knob
+/// presence.  Word order is preserved — the first malformed word wins.
+ParsedArgs parse_args(const VerbSpec& verb, const std::string& args) {
+  const std::vector<std::string> words = split_words(args);
+  if (words.size() < verb.min_args) {
+    throw std::runtime_error(std::string(verb.name) + " needs " +
+                             verb.args_doc);
+  }
+  ParsedArgs out;
+  out.positionals.assign(words.begin(),
+                         words.begin() + static_cast<std::ptrdiff_t>(
+                                             verb.min_args));
+  for (std::size_t i = verb.min_args; i < words.size(); ++i) {
+    const std::string& w = words[i];
+    const std::size_t eq = w.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
+      throw std::runtime_error(std::string(verb.name) + " option '" + w +
+                               "' is not of the form key=value");
+    }
+    const std::string key = w.substr(0, eq);
+    const std::string value = w.substr(eq + 1);
+    const KnobSpec* spec = nullptr;
+    for (const KnobSpec& k : verb.knobs) {
+      if (key == k.key) {
+        spec = &k;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      throw std::runtime_error(std::string(verb.name) + ": unknown option '" +
+                               key + "'");
+    }
+    if (spec->reject_msg != nullptr) {
+      throw std::runtime_error(spec->reject_msg);
+    }
+    out.values.insert_or_assign(key, parse_knob(*spec, verb.name, value));
+  }
+  for (const KnobSpec& k : verb.knobs) {
+    if (k.required && out.values.find(k.key) == out.values.end()) {
+      throw std::runtime_error(std::string(verb.name) + " needs " + k.key +
+                               "=" + k.missing_doc);
+    }
+  }
+  return out;
+}
+
+const VerbSpec& verb_for(CommandKind kind) {
+  for (const VerbSpec& v : verb_table()) {
+    if (v.kind == kind) return v;
+  }
+  throw std::logic_error("verb_table: no row for command kind");
+}
+
+// ------------------------------------------------------- response metas
+
+/// The single OK-meta formatter: every response meta is a space-separated
+/// `key=value` list built through here, so clients parse one shape for
+/// every verb (QUIT's bare `bye` and STATS' body are the documented
+/// exceptions).
+class MetaBuilder {
+ public:
+  template <typename T>
+  MetaBuilder& add(const char* key, const T& value) {
+    sep();
+    os_ << key << '=' << value;
+    return *this;
+  }
+
+  /// Splices an already key=value-formatted run (a stage's own meta).
+  MetaBuilder& raw(const std::string& text) {
+    if (text.empty()) return *this;
+    sep();
+    os_ << text;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() { return std::move(os_).str(); }
+
+ private:
+  void sep() {
+    if (!first_) os_ << ' ';
+    first_ = false;
+  }
+
+  std::ostringstream os_;
+  bool first_ = true;
+};
+
+std::string format_status_err(RouteStatus status, const std::string& error) {
+  return format_err(error.empty()
+                        ? to_string(status)
+                        : std::string(to_string(status)) + ": " + error);
+}
+
+// Table-row factories: KnobSpec/VerbSpec carry defaulted fields, and the
+// build treats partially-designated aggregate init as an error.
+KnobSpec knob(const char* key, KnobType type = KnobType::kCount,
+              unsigned long long lo = 0, unsigned long long hi = kNoCap) {
+  KnobSpec k;
+  k.key = key;
+  k.type = type;
+  k.lo = lo;
+  k.hi = hi;
+  return k;
+}
+
+KnobSpec required(KnobSpec k, const char* missing_doc) {
+  k.required = true;
+  k.missing_doc = missing_doc;
+  return k;
+}
+
+KnobSpec rejected(const char* key, const char* msg) {
+  KnobSpec k;
+  k.key = key;
+  k.reject_msg = msg;
+  return k;
+}
+
+VerbSpec verb(const char* name, CommandKind kind, std::size_t min_args = 0,
+              const char* args_doc = "", std::vector<KnobSpec> knobs = {}) {
+  VerbSpec v;
+  v.name = name;
+  v.kind = kind;
+  v.min_args = min_args;
+  v.args_doc = args_doc;
+  v.knobs = std::move(knobs);
+  return v;
+}
+
 }  // namespace
+
+const std::vector<VerbSpec>& verb_table() {
+  static const std::vector<VerbSpec> table = [] {
+    const KnobSpec deadline = knob("deadline_ms", KnobType::kDuration);
+    std::vector<VerbSpec> t;
+    t.push_back(verb("HELLO", CommandKind::kHello));
+    // LOAD's byte count is parsed by parse_load_count (the body framing
+    // needs it before any generic tokenization); the row classifies and
+    // advertises the verb.
+    t.push_back(verb("LOAD", CommandKind::kLoad, 1, "exactly one byte count"));
+    t.push_back(verb("ROUTE", CommandKind::kRoute, 1, "a session key",
+                     {knob("mode", KnobType::kMode),
+                      knob("threads", KnobType::kCount, 0, 1024), deadline,
+                      knob("sorted", KnobType::kBool),
+                      knob("segments", KnobType::kBool),
+                      knob("nets", KnobType::kNets)}));
+    t.push_back(verb(
+        "REROUTE", CommandKind::kReroute, 1, "a session key",
+        {rejected("mode", "REROUTE is always sequential; mode= is not "
+                          "accepted"),
+         knob("threads", KnobType::kCount, 0, 1024), deadline,
+         knob("sorted", KnobType::kBool), knob("segments", KnobType::kBool),
+         required(knob("nets", KnobType::kNets),
+                  "<name>[,<name>]... (the rip-up set)")}));
+    t.push_back(verb("OPTIMIZE", CommandKind::kOptimize, 1, "a session key",
+                     {knob("passes", KnobType::kCount, 1, 1024),
+                      knob("budget_ms", KnobType::kDuration), deadline,
+                      knob("segments", KnobType::kBool)}));
+    t.push_back(verb("DETAIL", CommandKind::kDetail, 1, "a session key",
+                     {knob("window", KnobType::kCount, 1, 1'000'000),
+                      knob("pitch", KnobType::kCount, 1, 1'000'000),
+                      deadline}));
+    t.push_back(verb("CONGEST", CommandKind::kCongest, 1, "a session key",
+                     {knob("penalty", KnobType::kCount, 0, 1'000'000'000),
+                      knob("iterations", KnobType::kCount, 1, 64),
+                      knob("wire_pitch", KnobType::kCount, 1, 1'000'000),
+                      knob("max_gap", KnobType::kCount, 0, 1'000'000),
+                      deadline}));
+    t.push_back(verb("VERIFY", CommandKind::kVerify, 1, "a session key",
+                     {knob("all_routed", KnobType::kBool), deadline}));
+    t.push_back(verb("SVG", CommandKind::kSvg, 1, "a session key",
+                     {knob("scale", KnobType::kScale),
+                      knob("pins", KnobType::kBool),
+                      knob("names", KnobType::kBool), deadline}));
+    t.push_back(verb("GEN", CommandKind::kGen, 1,
+                     "a kind (floorplan, standard, or padring)",
+                     {required(knob("seed"), "<n>"),
+                      knob("cells", KnobType::kCount, 1, 4096),
+                      knob("extent", KnobType::kCount, 64, 1'048'576),
+                      knob("nets", KnobType::kCount, 0, 65'536),
+                      knob("pads", KnobType::kCount, 1, 256)}));
+    t.push_back(verb("PIN", CommandKind::kPin, 1,
+                     "a session key or pin handle"));
+    t.push_back(verb("UNPIN", CommandKind::kUnpin, 1, "a pin handle"));
+    t.push_back(verb("COMMIT", CommandKind::kCommit, 1, "a pin handle",
+                     {required(knob("nets", KnobType::kNets),
+                               "<name>[,<name>]...")}));
+    t.push_back(verb("UNCOMMIT", CommandKind::kUncommit, 1, "a pin handle",
+                     {required(knob("nets", KnobType::kNets),
+                               "<name>[,<name>]...")}));
+    t.push_back(verb("SAVE", CommandKind::kSave, 2,
+                     "a pin handle and a file name"));
+    t.push_back(verb("STATS", CommandKind::kStats));
+    t.push_back(verb("QUIT", CommandKind::kQuit));
+    return t;
+  }();
+  return table;
+}
 
 ClassifiedCommand classify_command(const std::string& line) {
   ClassifiedCommand out;
@@ -115,259 +415,117 @@ ClassifiedCommand classify_command(const std::string& line) {
   if (end == std::string::npos) end = line.size();
   out.keyword = line.substr(start, end - start);
   out.args = line.substr(end);
-  if (out.keyword == "QUIT") {
-    out.kind = CommandKind::kQuit;
-  } else if (out.keyword == "STATS") {
-    out.kind = CommandKind::kStats;
-  } else if (out.keyword == "LOAD") {
-    out.kind = CommandKind::kLoad;
-  } else if (out.keyword == "ROUTE") {
-    out.kind = CommandKind::kRoute;
-  } else if (out.keyword == "REROUTE") {
-    out.kind = CommandKind::kReroute;
-  } else if (out.keyword == "OPTIMIZE") {
-    out.kind = CommandKind::kOptimize;
-  } else if (out.keyword == "DETAIL") {
-    out.kind = CommandKind::kDetail;
-  } else if (out.keyword == "CONGEST") {
-    out.kind = CommandKind::kCongest;
-  } else if (out.keyword == "VERIFY") {
-    out.kind = CommandKind::kVerify;
-  } else if (out.keyword == "SVG") {
-    out.kind = CommandKind::kSvg;
-  } else if (out.keyword == "GEN") {
-    out.kind = CommandKind::kGen;
-  } else {
-    out.kind = CommandKind::kUnknown;
+  out.kind = CommandKind::kUnknown;
+  for (const VerbSpec& v : verb_table()) {
+    if (out.keyword == v.name) {
+      out.kind = v.kind;
+      break;
+    }
   }
   return out;
 }
 
-RouteCommand parse_route_command(const std::string& args) {
-  const std::vector<std::string> words = split_words(args);
-  if (words.empty()) {
-    throw std::runtime_error("ROUTE needs a session key");
-  }
+namespace {
+
+/// ROUTE and REROUTE share knob -> field application; the rows differ only
+/// in nets= being required and mode= being rejected.
+RouteCommand build_route_command(const VerbSpec& verb,
+                                 const std::string& args) {
+  const ParsedArgs pa = parse_args(verb, args);
   RouteCommand cmd;
-  cmd.session_key = words[0];
-  for (std::size_t i = 1; i < words.size(); ++i) {
-    const std::string& w = words[i];
-    const std::size_t eq = w.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
-      throw std::runtime_error("ROUTE option '" + w +
-                               "' is not of the form key=value");
-    }
-    const std::string key = w.substr(0, eq);
-    const std::string value = w.substr(eq + 1);
-    if (key == "mode") {
-      if (value == "independent") {
-        cmd.opts.mode = route::NetlistMode::kIndependent;
-      } else if (value == "sequential") {
-        cmd.opts.mode = route::NetlistMode::kSequential;
-      } else {
-        throw std::runtime_error("ROUTE mode must be independent or "
-                                 "sequential, got '" + value + "'");
-      }
-    } else if (key == "threads") {
-      const unsigned long long n = parse_count(value, "ROUTE threads");
-      if (n > 1024) throw std::runtime_error("ROUTE threads: at most 1024");
-      cmd.opts.threads = static_cast<unsigned>(n);
-    } else if (key == "deadline_ms") {
-      cmd.deadline = std::chrono::milliseconds(
-          parse_duration_ms(value, "ROUTE deadline_ms"));
-    } else if (key == "sorted") {
-      if (value != "0" && value != "1") {
-        throw std::runtime_error("ROUTE sorted must be 0 or 1");
-      }
-      cmd.opts.sorted_dispatch = value == "1";
-    } else if (key == "segments") {
-      if (value != "0" && value != "1") {
-        throw std::runtime_error("ROUTE segments must be 0 or 1");
-      }
-      cmd.opts.steiner.connect_to_segments = value == "1";
-    } else if (key == "nets") {
-      cmd.nets = split_net_list(value);
-    } else {
-      throw std::runtime_error("ROUTE: unknown option '" + key + "'");
-    }
+  cmd.session_key = pa.positionals[0];
+  if (const KnobValue* v = pa.find("mode")) cmd.opts.mode = v->mode;
+  if (const KnobValue* v = pa.find("threads")) {
+    cmd.opts.threads = static_cast<unsigned>(v->num);
   }
+  if (const KnobValue* v = pa.find("deadline_ms")) {
+    cmd.deadline = std::chrono::milliseconds(v->num);
+  }
+  if (const KnobValue* v = pa.find("sorted")) {
+    cmd.opts.sorted_dispatch = v->flag;
+  }
+  if (const KnobValue* v = pa.find("segments")) {
+    cmd.opts.steiner.connect_to_segments = v->flag;
+  }
+  if (const KnobValue* v = pa.find("nets")) cmd.nets = v->list;
   return cmd;
 }
 
+}  // namespace
+
+RouteCommand parse_route_command(const std::string& args) {
+  return build_route_command(verb_for(CommandKind::kRoute), args);
+}
+
 RouteCommand parse_reroute_command(const std::string& args) {
-  // mode= must be rejected *before* the shared parse: the parsed options
-  // cannot distinguish an explicit mode=independent from the default.
-  for (const std::string& w : split_words(args)) {
-    if (w.rfind("mode=", 0) == 0) {
-      throw std::runtime_error(
-          "REROUTE is always sequential; mode= is not accepted");
-    }
-  }
-  RouteCommand cmd = parse_route_command(args);
-  if (cmd.nets.empty()) {
-    throw std::runtime_error(
-        "REROUTE needs nets=<name>[,<name>]... (the rip-up set)");
-  }
+  RouteCommand cmd = build_route_command(verb_for(CommandKind::kReroute), args);
   cmd.opts.mode = route::NetlistMode::kSequential;
   cmd.reroute = true;
   return cmd;
 }
 
 RouteCommand parse_optimize_command(const std::string& args) {
-  const std::vector<std::string> words = split_words(args);
-  if (words.empty()) {
-    throw std::runtime_error("OPTIMIZE needs a session key");
-  }
+  const ParsedArgs pa = parse_args(verb_for(CommandKind::kOptimize), args);
   RouteCommand cmd;
-  cmd.session_key = words[0];
+  cmd.session_key = pa.positionals[0];
   cmd.optimize = true;
   cmd.opts.mode = route::NetlistMode::kSequential;
-  for (std::size_t i = 1; i < words.size(); ++i) {
-    const std::string& w = words[i];
-    const std::size_t eq = w.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
-      throw std::runtime_error("OPTIMIZE option '" + w +
-                               "' is not of the form key=value");
-    }
-    const std::string key = w.substr(0, eq);
-    const std::string value = w.substr(eq + 1);
-    if (key == "passes") {
-      const unsigned long long n = parse_count(value, "OPTIMIZE passes");
-      if (n == 0 || n > 1024) {
-        throw std::runtime_error("OPTIMIZE passes: must be 1..1024");
-      }
-      cmd.passes = static_cast<std::size_t>(n);
-    } else if (key == "budget_ms") {
-      cmd.budget = std::chrono::milliseconds(
-          parse_duration_ms(value, "OPTIMIZE budget_ms"));
-    } else if (key == "deadline_ms") {
-      cmd.deadline = std::chrono::milliseconds(
-          parse_duration_ms(value, "OPTIMIZE deadline_ms"));
-    } else if (key == "segments") {
-      if (value != "0" && value != "1") {
-        throw std::runtime_error("OPTIMIZE segments must be 0 or 1");
-      }
-      cmd.opts.steiner.connect_to_segments = value == "1";
-    } else {
-      // mode=, nets=, threads=, sorted= land here deliberately: the engine
-      // is sequential whole-netlist by definition.
-      throw std::runtime_error("OPTIMIZE: unknown option '" + key + "'");
-    }
+  if (const KnobValue* v = pa.find("passes")) {
+    cmd.passes = static_cast<std::size_t>(v->num);
+  }
+  if (const KnobValue* v = pa.find("budget_ms")) {
+    cmd.budget = std::chrono::milliseconds(v->num);
+  }
+  if (const KnobValue* v = pa.find("deadline_ms")) {
+    cmd.deadline = std::chrono::milliseconds(v->num);
+  }
+  if (const KnobValue* v = pa.find("segments")) {
+    cmd.opts.steiner.connect_to_segments = v->flag;
   }
   return cmd;
 }
 
 RouteCommand parse_stage_command(pipeline::StageKind kind,
                                  const std::string& args) {
-  // Protocol-side verb name for diagnostics (the uppercase wire keyword).
-  const auto verb = [&]() -> std::string {
-    switch (kind) {
-      case pipeline::StageKind::kDetail: return "DETAIL";
-      case pipeline::StageKind::kCongest: return "CONGEST";
-      case pipeline::StageKind::kVerify: return "VERIFY";
-      case pipeline::StageKind::kSvg: return "SVG";
-    }
-    return "?";
-  }();
-
-  const std::vector<std::string> words = split_words(args);
-  if (words.empty()) {
-    throw std::runtime_error(verb + " needs a session key");
-  }
+  const CommandKind ck = kind == pipeline::StageKind::kDetail
+                             ? CommandKind::kDetail
+                         : kind == pipeline::StageKind::kCongest
+                             ? CommandKind::kCongest
+                         : kind == pipeline::StageKind::kVerify
+                             ? CommandKind::kVerify
+                             : CommandKind::kSvg;
+  const ParsedArgs pa = parse_args(verb_for(ck), args);
   RouteCommand cmd;
-  cmd.session_key = words[0];
+  cmd.session_key = pa.positionals[0];
   pipeline::StageOptions sopts;
   sopts.kind = kind;
-
-  const auto parse_coord = [&](const std::string& value,
-                               const std::string& what) {
-    const unsigned long long n = parse_count(value, what);
-    if (n == 0 || n > 1'000'000) {
-      throw std::runtime_error(what + ": must be 1..1000000");
-    }
-    return static_cast<geom::Coord>(n);
-  };
-  const auto parse_bool = [&](const std::string& value,
-                              const std::string& what) {
-    if (value != "0" && value != "1") {
-      throw std::runtime_error(what + " must be 0 or 1");
-    }
-    return value == "1";
-  };
-
-  for (std::size_t i = 1; i < words.size(); ++i) {
-    const std::string& w = words[i];
-    const std::size_t eq = w.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
-      throw std::runtime_error(verb + " option '" + w +
-                               "' is not of the form key=value");
-    }
-    const std::string key = w.substr(0, eq);
-    const std::string value = w.substr(eq + 1);
-    if (key == "deadline_ms") {
-      cmd.deadline = std::chrono::milliseconds(
-          parse_duration_ms(value, verb + " deadline_ms"));
-    } else if (kind == pipeline::StageKind::kDetail && key == "window") {
-      sopts.channel_window = parse_coord(value, verb + " window");
-    } else if (kind == pipeline::StageKind::kDetail && key == "pitch") {
-      sopts.track_pitch = parse_coord(value, verb + " pitch");
-    } else if (kind == pipeline::StageKind::kCongest && key == "penalty") {
-      const unsigned long long n = parse_count(value, verb + " penalty");
-      if (n > 1'000'000'000) {
-        throw std::runtime_error(verb + " penalty: at most 1000000000");
-      }
-      sopts.penalty_dbu = static_cast<geom::Cost>(n);
-    } else if (kind == pipeline::StageKind::kCongest && key == "iterations") {
-      const unsigned long long n = parse_count(value, verb + " iterations");
-      if (n == 0 || n > 64) {
-        throw std::runtime_error(verb + " iterations: must be 1..64");
-      }
-      sopts.max_iterations = static_cast<std::size_t>(n);
-    } else if (kind == pipeline::StageKind::kCongest && key == "wire_pitch") {
-      sopts.wire_pitch = parse_coord(value, verb + " wire_pitch");
-    } else if (kind == pipeline::StageKind::kCongest && key == "max_gap") {
-      const unsigned long long n = parse_count(value, verb + " max_gap");
-      if (n > 1'000'000) {
-        throw std::runtime_error(verb + " max_gap: at most 1000000");
-      }
-      sopts.max_gap = static_cast<geom::Coord>(n);
-    } else if (kind == pipeline::StageKind::kVerify && key == "all_routed") {
-      sopts.require_all_routed = parse_bool(value, verb + " all_routed");
-    } else if (kind == pipeline::StageKind::kSvg && key == "scale") {
-      // The charset filter pins the grammar (no signs, exponents, inf/nan,
-      // whitespace); the pos check then rejects tokens std::stod would
-      // silently truncate to a numeric prefix, like "1.2.3".
-      if (value.empty() ||
-          value.find_first_not_of("0123456789.") != std::string::npos) {
-        throw std::runtime_error(verb + " scale: expected a number, got '" +
-                                 value + "'");
-      }
-      double s = 0.0;
-      std::size_t pos = 0;
-      try {
-        s = std::stod(value, &pos);
-      } catch (const std::out_of_range&) {
-        throw std::runtime_error(verb + " scale: value out of range");
-      } catch (const std::exception&) {
-        throw std::runtime_error(verb + " scale: expected a number, got '" +
-                                 value + "'");
-      }
-      if (pos != value.size()) {
-        throw std::runtime_error(verb + " scale: expected a number, got '" +
-                                 value + "'");
-      }
-      if (!(s >= 0.0625 && s <= 64.0)) {
-        throw std::runtime_error(verb + " scale: must be in [0.0625, 64]");
-      }
-      sopts.scale = s;
-    } else if (kind == pipeline::StageKind::kSvg && key == "pins") {
-      sopts.draw_pins = parse_bool(value, verb + " pins");
-    } else if (kind == pipeline::StageKind::kSvg && key == "names") {
-      sopts.draw_cell_names = parse_bool(value, verb + " names");
-    } else {
-      throw std::runtime_error(verb + ": unknown option '" + key + "'");
-    }
+  if (const KnobValue* v = pa.find("deadline_ms")) {
+    cmd.deadline = std::chrono::milliseconds(v->num);
   }
+  if (const KnobValue* v = pa.find("window")) {
+    sopts.channel_window = static_cast<geom::Coord>(v->num);
+  }
+  if (const KnobValue* v = pa.find("pitch")) {
+    sopts.track_pitch = static_cast<geom::Coord>(v->num);
+  }
+  if (const KnobValue* v = pa.find("penalty")) {
+    sopts.penalty_dbu = static_cast<geom::Cost>(v->num);
+  }
+  if (const KnobValue* v = pa.find("iterations")) {
+    sopts.max_iterations = static_cast<std::size_t>(v->num);
+  }
+  if (const KnobValue* v = pa.find("wire_pitch")) {
+    sopts.wire_pitch = static_cast<geom::Coord>(v->num);
+  }
+  if (const KnobValue* v = pa.find("max_gap")) {
+    sopts.max_gap = static_cast<geom::Coord>(v->num);
+  }
+  if (const KnobValue* v = pa.find("all_routed")) {
+    sopts.require_all_routed = v->flag;
+  }
+  if (const KnobValue* v = pa.find("scale")) sopts.scale = v->real;
+  if (const KnobValue* v = pa.find("pins")) sopts.draw_pins = v->flag;
+  if (const KnobValue* v = pa.find("names")) sopts.draw_cell_names = v->flag;
   cmd.stage = sopts;
   return cmd;
 }
@@ -382,65 +540,64 @@ const char* to_string(GenCommand::Kind k) noexcept {
 }
 
 GenCommand parse_gen_command(const std::string& args) {
-  const std::vector<std::string> words = split_words(args);
-  if (words.empty()) {
-    throw std::runtime_error(
-        "GEN needs a kind (floorplan, standard, or padring)");
-  }
+  const ParsedArgs pa = parse_args(verb_for(CommandKind::kGen), args);
   GenCommand cmd;
-  if (words[0] == "floorplan") {
+  const std::string& kind = pa.positionals[0];
+  if (kind == "floorplan") {
     cmd.kind = GenCommand::Kind::kFloorplan;
-  } else if (words[0] == "standard") {
+  } else if (kind == "standard") {
     cmd.kind = GenCommand::Kind::kStandard;
-  } else if (words[0] == "padring") {
+  } else if (kind == "padring") {
     cmd.kind = GenCommand::Kind::kPadring;
   } else {
     throw std::runtime_error("GEN kind must be floorplan, standard, or "
-                             "padring, got '" + words[0] + "'");
+                             "padring, got '" + kind + "'");
   }
-  bool have_seed = false;
-  for (std::size_t i = 1; i < words.size(); ++i) {
-    const std::string& w = words[i];
-    const std::size_t eq = w.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == w.size()) {
-      throw std::runtime_error("GEN option '" + w +
-                               "' is not of the form key=value");
-    }
-    const std::string key = w.substr(0, eq);
-    const std::string value = w.substr(eq + 1);
-    if (key == "seed") {
-      cmd.seed = parse_count(value, "GEN seed");
-      have_seed = true;
-    } else if (key == "cells") {
-      const unsigned long long n = parse_count(value, "GEN cells");
-      if (n == 0 || n > 4096) {
-        throw std::runtime_error("GEN cells: must be 1..4096");
-      }
-      cmd.cells = static_cast<std::size_t>(n);
-    } else if (key == "extent") {
-      const unsigned long long n = parse_count(value, "GEN extent");
-      if (n < 64 || n > 1'048'576) {
-        throw std::runtime_error("GEN extent: must be 64..1048576");
-      }
-      cmd.extent = static_cast<geom::Coord>(n);
-    } else if (key == "nets") {
-      const unsigned long long n = parse_count(value, "GEN nets");
-      if (n > 65'536) throw std::runtime_error("GEN nets: at most 65536");
-      cmd.nets = static_cast<std::size_t>(n);
-    } else if (key == "pads") {
-      const unsigned long long n = parse_count(value, "GEN pads");
-      if (n == 0 || n > 256) {
-        throw std::runtime_error("GEN pads: must be 1..256");
-      }
-      cmd.pads = static_cast<std::size_t>(n);
-    } else {
-      throw std::runtime_error("GEN: unknown option '" + key + "'");
-    }
+  // seed= is required (enforced by the table): a defaulted seed would
+  // silently alias every unseeded GEN onto one session.
+  cmd.seed = pa.find("seed")->num;
+  if (const KnobValue* v = pa.find("cells")) {
+    cmd.cells = static_cast<std::size_t>(v->num);
   }
-  // seed= is required: a defaulted seed would silently alias every
-  // unseeded GEN onto one session, which is never what a load test wants.
-  if (!have_seed) throw std::runtime_error("GEN needs seed=<n>");
+  if (const KnobValue* v = pa.find("extent")) {
+    cmd.extent = static_cast<geom::Coord>(v->num);
+  }
+  if (const KnobValue* v = pa.find("nets")) {
+    cmd.nets = static_cast<std::size_t>(v->num);
+  }
+  if (const KnobValue* v = pa.find("pads")) {
+    cmd.pads = static_cast<std::size_t>(v->num);
+  }
   return cmd;
+}
+
+PinRequest parse_pin_command(CommandKind kind, const std::string& args) {
+  const ParsedArgs pa = parse_args(verb_for(kind), args);
+  PinRequest req;
+  req.key = pa.positionals[0];
+  switch (kind) {
+    case CommandKind::kPin:
+      req.op = PinRequest::Op::kPin;
+      break;
+    case CommandKind::kUnpin:
+      req.op = PinRequest::Op::kUnpin;
+      break;
+    case CommandKind::kCommit:
+      req.op = PinRequest::Op::kCommit;
+      req.nets = pa.find("nets")->list;
+      break;
+    case CommandKind::kUncommit:
+      req.op = PinRequest::Op::kUncommit;
+      req.nets = pa.find("nets")->list;
+      break;
+    case CommandKind::kSave:
+      req.op = PinRequest::Op::kSave;
+      req.save_name = pa.positionals[1];
+      break;
+    default:
+      throw std::logic_error("parse_pin_command: not a pin verb");
+  }
+  return req;
 }
 
 std::string generate_workload_text(const GenCommand& cmd) {
@@ -524,12 +681,37 @@ std::string format_err(const std::string& reason) {
   return out;
 }
 
+std::string format_hello() {
+  std::string body;
+  for (const VerbSpec& v : verb_table()) {
+    body += "verb ";
+    body += v.name;
+    body += " args=" + std::to_string(v.min_args);
+    std::string knobs;
+    for (const KnobSpec& k : v.knobs) {
+      if (k.reject_msg != nullptr) continue;  // rejected, not a capability
+      if (!knobs.empty()) knobs += ',';
+      knobs += k.key;
+      if (k.required) knobs += '!';
+    }
+    if (!knobs.empty()) body += " knobs=" + knobs;
+    body += '\n';
+  }
+  return format_ok(MetaBuilder()
+                       .add("version", kProtocolVersion)
+                       .add("verbs", verb_table().size())
+                       .str(),
+                   body);
+}
+
 std::string format_load_ok(const LayoutSession& session, bool cached) {
-  std::ostringstream meta;
-  meta << "session " << session.key << " cells "
-       << session.layout.cells().size() << " nets "
-       << session.layout.nets().size() << " cached " << (cached ? 1 : 0);
-  return format_ok(meta.str(), "");
+  return format_ok(MetaBuilder()
+                       .add("session", session.key)
+                       .add("cells", session.layout.cells().size())
+                       .add("nets", session.layout.nets().size())
+                       .add("cached", cached ? 1 : 0)
+                       .str(),
+                   "");
 }
 
 std::string format_load_response(const LoadResponse& resp) {
@@ -552,22 +734,20 @@ std::string exec_stats(RoutingService& service) {
 }
 
 std::string format_route_response(const RouteResponse& resp) {
-  if (!resp.ok()) {
-    return format_err(resp.error.empty()
-                          ? to_string(resp.status)
-                          : std::string(to_string(resp.status)) + ": " +
-                                resp.error);
-  }
+  if (!resp.ok()) return format_status_err(resp.status, resp.error);
   const std::string body =
       resp.nets.empty()
           ? io::write_routes_string(resp.session->layout, resp.result)
           : io::write_routes_string(resp.session->layout, resp.result,
                                     resp.nets);
-  std::ostringstream meta;
-  meta << "routed " << resp.result.routed << " failed " << resp.result.failed
-       << " wirelength " << resp.result.total_wirelength << " queue_us "
-       << resp.queue_wait.count() << " total_us " << resp.latency.count();
-  return format_ok(meta.str(), body);
+  return format_ok(MetaBuilder()
+                       .add("routed", resp.result.routed)
+                       .add("failed", resp.result.failed)
+                       .add("wirelength", resp.result.total_wirelength)
+                       .add("queue_us", resp.queue_wait.count())
+                       .add("total_us", resp.latency.count())
+                       .str(),
+                   body);
 }
 
 std::string format_pass_progress(const route::OptimizePassStats& stats) {
@@ -578,48 +758,87 @@ std::string format_pass_progress(const route::OptimizePassStats& stats) {
 }
 
 std::string format_optimize_response(const RouteResponse& resp) {
-  if (!resp.ok()) {
-    return format_err(resp.error.empty()
-                          ? to_string(resp.status)
-                          : std::string(to_string(resp.status)) + ": " +
-                                resp.error);
-  }
+  if (!resp.ok()) return format_status_err(resp.status, resp.error);
   const std::string body =
       io::write_routes_string(resp.session->layout, resp.result);
-  std::ostringstream meta;
-  meta << "passes " << resp.passes.size() << " routed " << resp.result.routed
-       << " failed " << resp.result.failed << " wirelength "
-       << resp.result.total_wirelength << " overflow "
-       << (resp.passes.empty() ? 0 : resp.passes.back().overflow)
-       << " queue_us " << resp.queue_wait.count() << " total_us "
-       << resp.latency.count();
-  return format_ok(meta.str(), body);
+  return format_ok(
+      MetaBuilder()
+          .add("passes", resp.passes.size())
+          .add("routed", resp.result.routed)
+          .add("failed", resp.result.failed)
+          .add("wirelength", resp.result.total_wirelength)
+          .add("overflow", resp.passes.empty() ? 0 : resp.passes.back().overflow)
+          .add("queue_us", resp.queue_wait.count())
+          .add("total_us", resp.latency.count())
+          .str(),
+      body);
 }
 
 std::string format_stage_response(const RouteResponse& resp) {
-  if (!resp.ok()) {
-    return format_err(resp.error.empty()
-                          ? to_string(resp.status)
-                          : std::string(to_string(resp.status)) + ": " +
-                                resp.error);
+  if (!resp.ok()) return format_status_err(resp.status, resp.error);
+  return format_ok(MetaBuilder()
+                       .add("stage", pipeline::to_string(resp.stage->kind))
+                       .add("cached", resp.stage_cached ? 1 : 0)
+                       .raw(resp.stage->meta)
+                       .add("queue_us", resp.queue_wait.count())
+                       .add("total_us", resp.latency.count())
+                       .str(),
+                   resp.stage->body);
+}
+
+std::string format_pin_response(const PinResponse& resp, PinRequest::Op op) {
+  if (!resp.ok()) return format_status_err(resp.status, resp.error);
+  MetaBuilder meta;
+  meta.add("pin", resp.handle);
+  switch (op) {
+    case PinRequest::Op::kPin:
+      meta.add("session", resp.base_key)
+          .add("nets", resp.nets_total)
+          .add("committed", resp.committed);
+      break;
+    case PinRequest::Op::kUnpin:
+      meta.add("released", 1);
+      break;
+    case PinRequest::Op::kCommit:
+      meta.add("committed", resp.committed)
+          .add("routed", resp.routed)
+          .add("failed", resp.failed)
+          .add("wirelength", resp.wirelength)
+          .add("queue_us", resp.queue_wait.count())
+          .add("total_us", resp.latency.count());
+      break;
+    case PinRequest::Op::kReroute:
+      meta.add("routed", resp.routed)
+          .add("failed", resp.failed)
+          .add("wirelength", resp.wirelength)
+          .add("queue_us", resp.queue_wait.count())
+          .add("total_us", resp.latency.count());
+      break;
+    case PinRequest::Op::kUncommit:
+      meta.add("removed", resp.removed)
+          .add("committed", resp.committed)
+          .add("queue_us", resp.queue_wait.count())
+          .add("total_us", resp.latency.count());
+      break;
+    case PinRequest::Op::kSave:
+      meta.add("bytes", resp.save_bytes)
+          .add("queue_us", resp.queue_wait.count())
+          .add("total_us", resp.latency.count());
+      break;
   }
-  std::ostringstream meta;
-  meta << "stage " << pipeline::to_string(resp.stage->kind) << " cached "
-       << (resp.stage_cached ? 1 : 0);
-  if (!resp.stage->meta.empty()) meta << ' ' << resp.stage->meta;
-  meta << " queue_us " << resp.queue_wait.count() << " total_us "
-       << resp.latency.count();
-  return format_ok(meta.str(), resp.stage->body);
+  return format_ok(meta.str(), resp.body);
 }
 
 std::string format_gen_ok(const LayoutSession& session, bool cached,
                           GenCommand::Kind kind) {
-  std::ostringstream meta;
-  meta << "session " << session.key << " cells "
-       << session.layout.cells().size() << " nets "
-       << session.layout.nets().size() << " cached " << (cached ? 1 : 0)
-       << " gen " << to_string(kind);
-  return format_ok(meta.str(), "");
+  return format_ok(MetaBuilder()
+                       .add("session", session.key)
+                       .add("cells", session.layout.cells().size())
+                       .add("nets", session.layout.nets().size())
+                       .add("cached", cached ? 1 : 0)
+                       .add("gen", to_string(kind))
+                       .str(),
+                   "");
 }
 
 std::string exec_gen(RoutingService& service, const GenCommand& cmd) {
@@ -641,6 +860,10 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
     out << frame;
     out.flush();
   };
+  // This connection's identity: gates pin ownership and is what the
+  // disconnect auto-release below keys on.  (The blocking loop never
+  // cancels mid-request, so the flag itself is never set here.)
+  const auto owner = std::make_shared<std::atomic<bool>>(false);
 
   std::size_t frames = 0;
   std::string line;
@@ -664,6 +887,11 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
 
     if (cmd.kind == CommandKind::kStats) {
       emit(exec_stats(service));
+      continue;
+    }
+
+    if (cmd.kind == CommandKind::kHello) {
+      emit(format_hello());
       continue;
     }
 
@@ -750,23 +978,55 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
       continue;
     }
 
-    if (cmd.kind == CommandKind::kRoute ||
-        cmd.kind == CommandKind::kReroute) {
-      RouteRequest req;
+    if (cmd.kind == CommandKind::kPin || cmd.kind == CommandKind::kUnpin ||
+        cmd.kind == CommandKind::kCommit ||
+        cmd.kind == CommandKind::kUncommit ||
+        cmd.kind == CommandKind::kSave) {
+      PinRequest req;
       try {
-        req = to_request(cmd.kind == CommandKind::kRoute
-                             ? parse_route_command(cmd.args)
-                             : parse_reroute_command(cmd.args));
+        req = parse_pin_command(cmd.kind, cmd.args);
       } catch (const std::exception& e) {
         emit(format_err(e.what()));
         continue;
       }
-      emit(format_route_response(service.route(std::move(req))));
+      const PinRequest::Op op = req.op;
+      req.owner = owner;
+      emit(format_pin_response(service.pin_op(std::move(req)), op));
+      continue;
+    }
+
+    if (cmd.kind == CommandKind::kRoute ||
+        cmd.kind == CommandKind::kReroute) {
+      RouteCommand rc;
+      try {
+        rc = cmd.kind == CommandKind::kRoute ? parse_route_command(cmd.args)
+                                             : parse_reroute_command(cmd.args);
+      } catch (const std::exception& e) {
+        emit(format_err(e.what()));
+        continue;
+      }
+      // REROUTE against a pin handle runs the rip-up on the pin's own
+      // committed remainder (owner-gated, per-pin FIFO) instead of the
+      // shared stateless path.
+      if (cmd.kind == CommandKind::kReroute &&
+          service.pins().find(rc.session_key) != nullptr) {
+        PinRequest preq;
+        preq.op = PinRequest::Op::kReroute;
+        preq.key = rc.session_key;
+        preq.nets = rc.nets;
+        preq.wire_halo = rc.opts.wire_halo;
+        preq.owner = owner;
+        emit(format_pin_response(service.pin_op(std::move(preq)),
+                                 PinRequest::Op::kReroute));
+        continue;
+      }
+      emit(format_route_response(service.route(to_request(rc))));
       continue;
     }
 
     emit(format_err("unknown command '" + cmd.keyword + "'"));
   }
+  service.release_pins(owner);
   return frames;
 }
 

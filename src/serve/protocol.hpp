@@ -11,12 +11,15 @@
 #include "serve/routing_service.hpp"
 
 /// \file protocol.hpp
-/// The framed line protocol of the routing service.
+/// The framed line protocol of the routing service — grammar version 2.
 ///
 /// Requests (one command line, LF- or CRLF-terminated; LOAD carries a byte-
 /// counted body immediately after its line):
 ///
 /// ```text
+/// HELLO                          ; protocol version + capability list (the
+///                                ;   serialized verb table, one line per
+///                                ;   verb; '!' marks a required knob)
 /// LOAD <nbytes>                  ; followed by exactly <nbytes> bytes of
 ///                                ;   io::text_format layout
 /// ROUTE <session> [key=value]…   ; options: mode=independent|sequential
@@ -33,6 +36,10 @@
 ///                                ;   is rejected (always sequential);
 ///                                ;   other ROUTE options apply.  The dump
 ///                                ;   is restricted to the listed nets.
+///                                ;   When <session> names a *pin*, the
+///                                ;   rip-up runs against the pin's own
+///                                ;   committed remainder instead (owner
+///                                ;   only; see PIN below).
 /// OPTIMIZE <session> [k=v]…      ; iterated rip-up-and-reroute over the
 ///                                ;   whole netlist: passes=N caps the
 ///                                ;   optimization passes, budget_ms=N
@@ -41,9 +48,8 @@
 ///                                ;   deadline_ms= and segments= as ROUTE.
 ///                                ;   mode=/nets=/threads= are rejected.
 /// DETAIL <session> [k=v]…        ; detailed routing over the session's
-///                                ;   committed routes: window=N (channel
-///                                ;   clustering window, DBU), pitch=N
-///                                ;   (track pitch, DBU), deadline_ms=N.
+///                                ;   committed routes: window=N pitch=N
+///                                ;   deadline_ms=N.
 /// CONGEST <session> [k=v]…       ; two-pass congestion analysis:
 ///                                ;   penalty=N iterations=N wire_pitch=N
 ///                                ;   max_gap=N deadline_ms=N.
@@ -54,8 +60,27 @@
 /// GEN <kind> seed=<n> [k=v]…     ; server-side workload synthesis; kinds
 ///                                ;   floorplan|standard|padring, knobs
 ///                                ;   cells=N extent=N nets=N pads=N.
-///                                ;   Materializes a session exactly as if
-///                                ;   the generated layout had been LOADed.
+/// PIN <session|handle>           ; derive an exclusive *mutable* copy of a
+///                                ;   cached session (copy-on-pin; the
+///                                ;   shared read-only entry is untouched),
+///                                ;   or claim an existing unowned handle
+///                                ;   (the rolling-restart reattach path).
+///                                ;   The pin is owned by this connection
+///                                ;   and auto-released on disconnect.
+/// UNPIN <handle>                 ; release the pin (owner only)
+/// COMMIT <handle> nets=<list>    ; route the listed nets against the pin's
+///                                ;   committed remainder and commit them
+///                                ;   incrementally (no rebuild); errors if
+///                                ;   a listed net is already committed
+/// UNCOMMIT <handle> nets=<list>  ; rip the listed committed nets back out
+///                                ;   (incremental halo removal)
+/// SAVE <handle> <name>           ; serialize the pin (post-compaction
+///                                ;   index + escape lines + commit records
+///                                ;   + routes) to <name> under the
+///                                ;   server's --snapshot-dir; a server
+///                                ;   started with --restore-dir rehydrates
+///                                ;   every decodable blob as an unowned
+///                                ;   pin, zero environment rebuilds
 /// STATS                          ; service metrics
 /// QUIT                           ; close the connection
 /// ```
@@ -67,6 +92,12 @@
 /// OK <nbytes> [meta]…            ; <nbytes> bytes of body follow the LF
 /// ERR <reason…>                  ; no body
 /// ```
+///
+/// Every OK meta is a single space-separated `key=value` list rendered by
+/// one formatter (MetaBuilder in protocol.cpp) — clients parse one shape
+/// for every verb.  The exceptions are fixed by contract: `QUIT` answers
+/// the bare literal `OK 0 bye`, `STATS` bodies stay `key value` metric
+/// lines, and `PASS` progress lines were already key=value.
 ///
 /// `OPTIMIZE` additionally streams *progress lines* before its final frame
 /// — one per completed pass, in pass order:
@@ -83,31 +114,35 @@
 /// they are sequenced like any response and cannot interleave into an
 /// earlier command's reply.
 ///
+/// Reply metas by verb:
+///
+/// ```text
+/// HELLO     OK <n> version=2 verbs=<count>     ; body = one line per verb
+/// LOAD      OK 0 session=<key> cells=<n> nets=<m> cached=<0|1>
+/// GEN       LOAD's meta + gen=<kind>
+/// ROUTE     OK <n> routed=<r> failed=<f> wirelength=<w> queue_us=<q>
+///           total_us=<t>                       ; body = route dump
+/// REROUTE   as ROUTE (pin form adds pin=<handle> first)
+/// OPTIMIZE  OK <n> passes=<p> routed=<r> failed=<f> wirelength=<w>
+///           overflow=<o> queue_us=<q> total_us=<t>
+/// DETAIL &c OK <n> stage=<kind> cached=<0|1> <stage meta…> queue_us=<q>
+///           total_us=<t>
+/// PIN       OK 0 pin=<handle> session=<base-key> nets=<n> committed=<c>
+/// UNPIN     OK 0 pin=<handle> released=1
+/// COMMIT    OK <n> pin=<handle> committed=<c> routed=<r> failed=<f>
+///           wirelength=<w> queue_us=<q> total_us=<t>  ; body = dump of
+///           exactly this op's nets
+/// UNCOMMIT  OK 0 pin=<handle> removed=<r> committed=<c> queue_us=<q>
+///           total_us=<t>
+/// SAVE      OK 0 pin=<handle> bytes=<n> queue_us=<q> total_us=<t>
+/// ```
+///
 /// The stage verbs run against the session's *committed* routes — published
 /// by the last full ROUTE, REROUTE, or OPTIMIZE; a session that has none
 /// yet gets a default full sequential pass first (committed for every later
 /// request).  Stage results are cached content-addressed on (session key,
 /// committed-route fingerprint, stage options), so a repeated `DETAIL` is a
 /// cache hit and a mutating `REROUTE`/`OPTIMIZE` re-keys — never staleness.
-/// Replies: `OK <nbytes> stage <kind> cached <0|1> <stage meta…> queue_us
-/// <q> total_us <t>` with a stage-specific body (`DETAIL`: `wire`/`via`
-/// lines; `CONGEST`: per-passage occupancy lines; `VERIFY`: one violation
-/// per line, empty body = clean; `SVG`: the SVG document, byte-framed like
-/// every body so multi-MB renders respect the transport's backpressure).
-///
-/// `GEN` replies exactly like `LOAD` (`OK 0 session <key> …`) with a
-/// trailing `gen <kind>` meta field.  Generation is deterministic: the same
-/// kind/seed/knobs produce a byte-identical layout and therefore the same
-/// session key on every server (see workload/rng.hpp).
-///
-/// `LOAD` replies `OK 0 session <key> cells <n> nets <m> cached <0|1>`.
-/// `ROUTE` and `REROUTE` reply `OK <nbytes> routed <r> failed <f>
-/// wirelength <w> queue_us <q> total_us <t>` with an io::route_dump body
-/// (restricted to the requested nets when `nets=` was given; REROUTE's
-/// totals still cover the whole netlist — the remainder is part of the
-/// result, only the dump is restricted), or `ERR <status>`
-/// (session_not_found, rejected, deadline_expired, …).
-/// `STATS` replies `OK <nbytes>` with `key value` metric lines.
 ///
 /// Byte-counted bodies make the protocol safe over any 8-bit pipe: layout
 /// text and route dumps pass through unescaped, and a desynchronized peer
@@ -118,9 +153,14 @@
 /// `ERR` reason is clamped to short printable text before echoing — request
 /// bytes are untrusted and may carry terminal escapes or binary garbage.
 ///
-/// Everything below except serve_connection is a pure function over
-/// in-memory buffers, shared verbatim by the legacy blocking loop and the
-/// epoll front-end (src/net/): both speak exactly the same bytes.
+/// The whole request grammar is one declarative table (verb_table() below):
+/// each verb row names its positional arity and its `key=value` knobs with
+/// types, ranges, and required flags; classify_command, every parse_*
+/// function, and the HELLO capability list are all views of that single
+/// table, so the two front-ends cannot drift and a new verb is one row plus
+/// a handler.  Everything below except serve_connection is a pure function
+/// over in-memory buffers, shared verbatim by the legacy blocking loop and
+/// the epoll front-end (src/net/): both speak exactly the same bytes.
 
 namespace gcr::serve {
 
@@ -136,12 +176,16 @@ inline constexpr std::size_t kMaxLoadBytes = 64ull << 20;
 /// `steady_clock::now() + deadline` can overflow the clock rep outright
 /// (signed-overflow UB).  Values above the cap answer ERR instead.
 inline constexpr unsigned long long kMaxDeadlineMs = 86'400'000;
+/// Wire grammar version announced by HELLO.  v2 = table-driven verbs,
+/// uniform key=value response metas, session lifecycle (PIN family).
+inline constexpr unsigned kProtocolVersion = 2;
 
 /// The command keywords, classified once for both front-ends.
 enum class CommandKind {
   kBlank,    ///< empty / whitespace-only keep-alive line
   kQuit,
   kStats,
+  kHello,    ///< version + capability handshake
   kLoad,
   kRoute,
   kReroute,
@@ -151,8 +195,54 @@ enum class CommandKind {
   kVerify,   ///< pipeline stage: route verification
   kSvg,      ///< pipeline stage: SVG render
   kGen,      ///< server-side workload synthesis
+  kPin,      ///< derive/claim a mutable pinned session
+  kUnpin,    ///< release a pinned session
+  kCommit,   ///< route + incrementally commit nets into a pin
+  kUncommit, ///< rip committed nets back out of a pin
+  kSave,     ///< serialize a pin to the snapshot directory
   kUnknown,
 };
+
+/// How a knob's value is parsed and validated.  One enum instead of five
+/// hand-rolled parsers: the range/error text is derived uniformly from the
+/// KnobSpec (see protocol.cpp) so every verb rejects with identical shapes.
+enum class KnobType {
+  kCount,     ///< non-negative integer, optional [lo, hi] range
+  kDuration,  ///< kCount capped at kMaxDeadlineMs
+  kBool,      ///< strictly "0" or "1"
+  kMode,      ///< "independent" | "sequential"
+  kScale,     ///< positive decimal in [0.0625, 64] (SVG)
+  kNets,      ///< comma-separated net-name list, no empty items
+};
+
+/// One `key=value` knob a verb accepts.
+struct KnobSpec {
+  const char* key = "";
+  KnobType type = KnobType::kCount;
+  /// kCount range.  lo==0 renders "at most <hi>", otherwise
+  /// "must be <lo>..<hi>"; hi==ULLONG_MAX disables the check.
+  unsigned long long lo = 0;
+  unsigned long long hi = ~0ull;
+  bool required = false;
+  /// Doc string for the required-knob error: "<VERB> needs <key>=<doc>".
+  const char* missing_doc = "";
+  /// Non-null: the knob's *presence* is an error, answered with exactly
+  /// this message (REROUTE mode=).
+  const char* reject_msg = nullptr;
+};
+
+/// One verb row: everything the shared tokenizer/validator needs.
+struct VerbSpec {
+  const char* name = "";
+  CommandKind kind = CommandKind::kUnknown;
+  std::size_t min_args = 0;       ///< leading positional words
+  const char* args_doc = "";      ///< "<VERB> needs <args_doc>" when short
+  std::vector<KnobSpec> knobs;
+};
+
+/// The single declarative grammar shared by classify_command, the parse_*
+/// wrappers, and format_hello().  Order is the HELLO listing order.
+[[nodiscard]] const std::vector<VerbSpec>& verb_table();
 
 struct ClassifiedCommand {
   CommandKind kind = CommandKind::kBlank;
@@ -161,8 +251,8 @@ struct ClassifiedCommand {
 };
 
 /// Splits a command line into keyword + argument rest and names the
-/// command.  The single keyword-routing point shared by the blocking loop
-/// and the epoll front-end — one table, no drift.
+/// command by verb-table lookup.  The single keyword-routing point shared
+/// by the blocking loop and the epoll front-end — one table, no drift.
 [[nodiscard]] ClassifiedCommand classify_command(const std::string& line);
 
 /// A parsed ROUTE or REROUTE command.
@@ -184,9 +274,9 @@ struct RouteCommand {
   std::optional<pipeline::StageOptions> stage;
 };
 
-/// Parses the ROUTE argument vector (everything after the keyword).
-/// Throws std::runtime_error with token context on unknown or malformed
-/// options.
+/// Parses the ROUTE argument vector (everything after the keyword) through
+/// the verb table.  Throws std::runtime_error with token context on
+/// unknown or malformed options.
 [[nodiscard]] RouteCommand parse_route_command(const std::string& args);
 
 /// Parses a REROUTE argument vector: the ROUTE grammar, except `nets=` is
@@ -204,8 +294,8 @@ struct RouteCommand {
 
 /// Parses a stage-verb argument vector (everything after DETAIL / CONGEST /
 /// VERIFY / SVG): `<session> [key=value]…` with the stage's knobs plus
-/// `deadline_ms=`.  \p kind selects the grammar.  Throws std::runtime_error
-/// with token context like parse_route_command.
+/// `deadline_ms=`.  \p kind selects the verb row.  Throws
+/// std::runtime_error with token context like parse_route_command.
 [[nodiscard]] RouteCommand parse_stage_command(pipeline::StageKind kind,
                                                const std::string& args);
 
@@ -229,6 +319,13 @@ struct GenCommand {
 /// pads <= 256) so a hostile GEN cannot make the server synthesize an
 /// arbitrarily large layout.  Throws std::runtime_error on violations.
 [[nodiscard]] GenCommand parse_gen_command(const std::string& args);
+
+/// Parses a pin-family argument vector (everything after PIN / UNPIN /
+/// COMMIT / UNCOMMIT / SAVE) into a service request.  `owner` is left null
+/// — the front-end stamps its connection identity before submitting.
+/// Throws std::runtime_error with token context like parse_route_command.
+[[nodiscard]] PinRequest parse_pin_command(CommandKind kind,
+                                           const std::string& args);
 
 /// Runs the selected generator — deterministically (workload/rng.hpp): the
 /// same command yields byte-identical text, and therefore the same session
@@ -254,6 +351,11 @@ struct GenCommand {
 /// can fabricate protocol lines), clamped to printable ASCII, and truncated
 /// — it may echo untrusted request bytes.
 [[nodiscard]] std::string format_err(const std::string& reason);
+
+/// Renders the HELLO response: `version=<v> verbs=<n>` meta, body one line
+/// per verb-table row (`verb <NAME> args=<n> [knobs=<k1,k2!,…>]`, '!' =
+/// required).  Pure — rendered straight from verb_table().
+[[nodiscard]] std::string format_hello();
 
 /// Executes LOAD against the service and renders the response frame.
 /// Synchronous — the blocking front-end's path; the event loop offloads
@@ -290,12 +392,18 @@ struct GenCommand {
 /// thread.
 [[nodiscard]] std::string format_optimize_response(const RouteResponse& resp);
 
-/// Renders a completed stage response: `OK <nbytes> stage <kind> cached
-/// <0|1> <stage meta> queue_us <q> total_us <t>` + the stage body, or the
-/// ERR frame.  Pure — safe on a worker thread.
+/// Renders a completed stage response: `OK <nbytes> stage=<kind>
+/// cached=<0|1> <stage meta> queue_us=<q> total_us=<t>` + the stage body,
+/// or the ERR frame.  Pure — safe on a worker thread.
 [[nodiscard]] std::string format_stage_response(const RouteResponse& resp);
 
-/// Renders the GEN OK frame: LOAD's meta plus a trailing `gen <kind>`.
+/// Renders a completed pin-family response (meta per the file comment), or
+/// the ERR frame.  \p op selects the meta shape.  Pure — safe on a worker
+/// thread.
+[[nodiscard]] std::string format_pin_response(const PinResponse& resp,
+                                              PinRequest::Op op);
+
+/// Renders the GEN OK frame: LOAD's meta plus a trailing `gen=<kind>`.
 [[nodiscard]] std::string format_gen_ok(const LayoutSession& session,
                                         bool cached, GenCommand::Kind kind);
 
@@ -309,7 +417,9 @@ struct GenCommand {
 /// frames to \p out, until QUIT, end of input, or an unrecoverable framing
 /// error (a LOAD whose body ends early).  Malformed *command lines* get an
 /// ERR response and the connection continues — one bad request must not
-/// take down a pipelined client.  Returns the number of frames served.
+/// take down a pipelined client.  The connection gets a fresh identity
+/// token; pins it acquires are released when the loop exits, whatever the
+/// exit path.  Returns the number of frames served.
 std::size_t serve_connection(RoutingService& service, std::istream& in,
                              std::ostream& out);
 

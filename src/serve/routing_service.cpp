@@ -1,9 +1,17 @@
 #include "serve/routing_service.hpp"
 
 #include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
 #include <utility>
 
+#include "core/steiner.hpp"
+#include "io/route_dump.hpp"
+#include "io/text_format.hpp"
 #include "pipeline/stage_runner.hpp"
+#include "serve/snapshot.hpp"
 
 namespace gcr::serve {
 
@@ -30,9 +38,13 @@ const char* to_string(RouteStatus s) noexcept {
 }
 
 RoutingService::RoutingService(const Options& opts)
-    : cache_(opts.cache_capacity),
+    : opts_(opts),
+      cache_(opts.cache_capacity),
       stage_cache_(opts.stage_cache_capacity),
       queue_(opts.queue_capacity) {
+  // Rehydrate snapshotted pins before the workers start, so restored
+  // sessions are addressable from the very first request.
+  if (!opts_.restore_dir.empty()) restore_pins(opts_.restore_dir);
   const std::size_t n = route::resolve_worker_count(opts.workers);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -122,6 +134,86 @@ RouteResponse RoutingService::route(RouteRequest req) {
   return submit(std::move(req)).get();
 }
 
+void RoutingService::submit_pin(PinRequest req, PinCallback done) {
+  const auto now = std::chrono::steady_clock::now();
+  const auto fail_now = [&](RouteStatus status, std::string error = {}) {
+    metrics_.pin_ops_failed.fetch_add(1, std::memory_order_relaxed);
+    PinResponse resp;
+    resp.status = status;
+    resp.error = std::move(error);
+    done(std::move(resp));
+  };
+  if (req.owner == nullptr) {
+    return fail_now(RouteStatus::kError,
+                    "pin request without a connection identity");
+  }
+
+  std::shared_ptr<PinnedSession> pin = pins_.find(req.key);
+  if (pin == nullptr && req.op == PinRequest::Op::kPin) {
+    // Derive from a cached session.  The expensive copy-on-pin runs on a
+    // worker; no ticket — the pin does not exist yet, so nothing to order
+    // against (and the client cannot address it before the reply names
+    // the handle).
+    std::shared_ptr<const LayoutSession> session = cache_.find(req.key);
+    if (session == nullptr) return fail_now(RouteStatus::kSessionNotFound);
+    Job job;
+    job.kind = Job::Kind::kPin;
+    job.pin_req = std::move(req);
+    job.session = std::move(session);
+    job.pin_done = std::move(done);
+    job.submitted = now;
+    if (!queue_.try_push(std::move(job))) {
+      metrics_.pin_ops_failed.fetch_add(1, std::memory_order_relaxed);
+      PinResponse resp;
+      resp.status = RouteStatus::kRejected;
+      job.pin_done(std::move(resp));
+    }
+    return;
+  }
+  if (pin == nullptr) {
+    return fail_now(RouteStatus::kSessionNotFound,
+                    "no pin '" + req.key + "'");
+  }
+  // Advisory ownership pre-check (claims excepted — claiming an unowned
+  // pin is the point); re-checked authoritatively on the worker once this
+  // op's turn comes up.
+  if (req.op != PinRequest::Op::kPin && !pins_.verify(pin, req.owner)) {
+    return fail_now(RouteStatus::kError, "pin '" + req.key +
+                                             "' is owned by another "
+                                             "connection");
+  }
+  Job job;
+  job.kind = Job::Kind::kPin;
+  job.pin = std::move(pin);
+  job.pin_ticket = job.pin->acquire_ticket();
+  job.pin_req = std::move(req);
+  job.pin_done = std::move(done);
+  job.submitted = now;
+  if (!queue_.try_push(std::move(job))) {
+    metrics_.pin_ops_failed.fetch_add(1, std::memory_order_relaxed);
+    job.pin->abort_turn(job.pin_ticket);
+    PinResponse resp;
+    resp.status = RouteStatus::kRejected;
+    job.pin_done(std::move(resp));
+  }
+}
+
+PinResponse RoutingService::pin_op(PinRequest req) {
+  auto p = std::make_shared<std::promise<PinResponse>>();
+  std::future<PinResponse> fut = p->get_future();
+  submit_pin(std::move(req),
+             [p](PinResponse resp) { p->set_value(std::move(resp)); });
+  return fut.get();
+}
+
+void RoutingService::release_pins(
+    const std::shared_ptr<std::atomic<bool>>& owner) {
+  const std::size_t released = pins_.release_owner(owner);
+  if (released > 0) {
+    metrics_.pins_released.fetch_add(released, std::memory_order_relaxed);
+  }
+}
+
 void RoutingService::submit_load(std::string text, std::string key,
                                  std::shared_ptr<std::atomic<bool>> cancel,
                                  LoadCallback done) {
@@ -197,6 +289,10 @@ void RoutingService::worker_loop() {
 
     if (job->kind == Job::Kind::kLoad) {
       run_load_job(*job);
+      continue;
+    }
+    if (job->kind == Job::Kind::kPin) {
+      run_pin_job(*job);
       continue;
     }
 
@@ -316,6 +412,351 @@ void RoutingService::worker_loop() {
   }
 }
 
+void RoutingService::run_pin_job(Job& job) {
+  const auto dequeued = std::chrono::steady_clock::now();
+  PinResponse resp;
+  resp.queue_wait =
+      std::chrono::microseconds(micros_between(job.submitted, dequeued));
+  metrics_.queue_wait.record(
+      static_cast<std::uint64_t>(resp.queue_wait.count()));
+
+  if (job.pin == nullptr) {
+    // Derive: copy-on-pin of the cached environment.  The layout is shared
+    // with the base session via an aliasing pointer — the read-only entry
+    // is untouched and stays cached.
+    try {
+      std::shared_ptr<const layout::Layout> layout(job.session,
+                                                   &job.session->layout);
+      std::shared_ptr<PinnedSession> pin = pins_.create(
+          job.session->key, std::move(layout), job.session->env,
+          job.pin_req.owner);
+      resp.status = RouteStatus::kOk;
+      resp.handle = pin->handle;
+      resp.base_key = pin->base_key;
+      resp.nets_total = pin->layout->nets().size();
+      resp.committed = 0;
+      metrics_.pins_created.fetch_add(1, std::memory_order_relaxed);
+    } catch (const std::exception& e) {
+      resp.status = RouteStatus::kError;
+      resp.error = e.what();
+    }
+    finish_pin(job, std::move(resp));
+    return;
+  }
+
+  PinnedSession& pin = *job.pin;
+  pin.wait_turn(job.pin_ticket);
+  resp.handle = pin.handle;
+  resp.base_key = pin.base_key;
+  if (job.pin_req.op == PinRequest::Op::kPin) {
+    // Claim (an existing handle — restored-unowned or idempotent re-claim).
+    // Resolved here rather than at admission so a pipelined claim observes
+    // the pin's state in submission order.
+    switch (pins_.claim(pin.handle, job.pin_req.owner, nullptr)) {
+      case PinRegistry::ClaimResult::kOk:
+        resp.status = RouteStatus::kOk;
+        resp.nets_total = pin.layout->nets().size();
+        resp.committed = pin.routes.size();
+        break;
+      case PinRegistry::ClaimResult::kNotFound:
+        resp.status = RouteStatus::kCancelled;
+        resp.error = "pin released";
+        break;
+      case PinRegistry::ClaimResult::kOwnedElsewhere:
+        resp.status = RouteStatus::kError;
+        resp.error = "pin '" + pin.handle + "' is owned by another connection";
+        break;
+    }
+  } else if (!pins_.verify(job.pin, job.pin_req.owner)) {
+    // The pin was released (disconnect or UNPIN racing ahead in another
+    // claim cycle) between admission and this turn.
+    resp.status = RouteStatus::kCancelled;
+    resp.error = "pin released";
+  } else if (job.pin_req.op == PinRequest::Op::kUnpin) {
+    if (pins_.erase(pin.handle, job.pin_req.owner)) {
+      resp.status = RouteStatus::kOk;
+      metrics_.pins_released.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      resp.status = RouteStatus::kCancelled;
+      resp.error = "pin released";
+    }
+  } else {
+    run_pin_mutation(job, resp);
+  }
+  pin.finish_turn(job.pin_ticket);
+  finish_pin(job, std::move(resp));
+}
+
+void RoutingService::run_pin_mutation(Job& job, PinResponse& resp) {
+  PinnedSession& pin = *job.pin;
+  const PinRequest& req = job.pin_req;
+  try {
+    if (req.op == PinRequest::Op::kSave) {
+      save_pin(pin, req.save_name, resp);
+      return;
+    }
+
+    // Resolve names first: any unknown name fails the whole op before a
+    // single mutation lands (atomic at the op level).
+    std::vector<std::size_t> ids;
+    ids.reserve(req.nets.size());
+    std::vector<bool> taken(pin.layout->nets().size(), false);
+    for (const std::string& name : req.nets) {
+      const auto it = pin.net_index.find(name);
+      if (it == pin.net_index.end()) {
+        resp.status = RouteStatus::kError;
+        resp.error = "unknown net '" + name + "'";
+        return;
+      }
+      if (taken[it->second]) continue;  // duplicate name: once
+      taken[it->second] = true;
+      ids.push_back(it->second);
+    }
+    resp.nets_total = ids.size();
+
+    if (req.op == PinRequest::Op::kCommit) {
+      for (const std::size_t id : ids) {
+        if (pin.routes.count(id) != 0) {
+          resp.status = RouteStatus::kError;
+          resp.error = "net '" + pin.layout->nets()[id].name() +
+                       "' is already committed";
+          return;
+        }
+      }
+    } else if (req.op == PinRequest::Op::kUncommit) {
+      for (const std::size_t id : ids) {
+        if (pin.routes.count(id) == 0) {
+          resp.status = RouteStatus::kError;
+          resp.error =
+              "net '" + pin.layout->nets()[id].name() + "' is not committed";
+          return;
+        }
+      }
+    }
+
+    if (req.op == PinRequest::Op::kUncommit) {
+      for (const std::size_t id : ids) {
+        pin.env.remove_route(id);
+        pin.routes.erase(id);
+      }
+      resp.removed = ids.size();
+      resp.committed = pin.routes.size();
+      resp.status = RouteStatus::kOk;
+      return;
+    }
+
+    if (req.op == PinRequest::Op::kReroute) {
+      // Rip up the listed nets that are present; absent ones just route.
+      for (const std::size_t id : ids) {
+        if (pin.routes.count(id) != 0) {
+          pin.env.remove_route(id);
+          pin.routes.erase(id);
+        }
+      }
+    }
+
+    // Route and commit incrementally, in list order.  The router reads the
+    // pin's own index/lines, so each commit is visible to the next net —
+    // no environment construction anywhere on this path.
+    const route::SteinerNetRouter router(pin.env.index(), pin.env.lines());
+    const route::SteinerOptions sopts;
+    for (const std::size_t id : ids) {
+      route::NetRoute r =
+          router.route_net(*pin.layout, pin.layout->nets()[id], sopts);
+      if (r.ok) {
+        pin.env.commit_route(id, r.segments, req.wire_halo);
+        ++resp.routed;
+        resp.wirelength += r.wirelength;
+      } else {
+        ++resp.failed;
+      }
+      pin.routes[id] = std::move(r);
+    }
+
+    // Dump only the nets this op touched.
+    route::NetlistResult nr;
+    nr.routes.resize(pin.layout->nets().size());
+    for (const std::size_t id : ids) nr.routes[id] = pin.routes[id];
+    resp.body = io::write_routes_string(*pin.layout, nr, ids);
+    resp.committed = pin.routes.size();
+    resp.status = RouteStatus::kOk;
+  } catch (const std::exception& e) {
+    resp.status = RouteStatus::kError;
+    resp.error = e.what();
+  }
+}
+
+void RoutingService::save_pin(const PinnedSession& pin,
+                              const std::string& name, PinResponse& resp) {
+  if (opts_.snapshot_dir.empty()) {
+    resp.status = RouteStatus::kError;
+    resp.error = "snapshots are disabled (start with --snapshot-dir)";
+    return;
+  }
+  if (name.empty() || name.front() == '.' ||
+      name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos) {
+    resp.status = RouteStatus::kError;
+    resp.error = "SAVE name must be a plain file name";
+    return;
+  }
+
+  // Encode the compacted live view: tombstones vanish, survivors are
+  // renumbered densely, and the line set / commit records follow the remap.
+  PinSnapshot snap;
+  snap.handle = pin.handle;
+  snap.base_key = pin.base_key;
+  snap.layout_text = io::write_layout_string(*pin.layout);
+  const spatial::ObstacleIndex& index = pin.env.index();
+  const std::vector<spatial::EscapeLine>& lines = pin.env.lines().lines();
+  if (lines.size() != 4 + 4 * index.size()) {
+    resp.status = RouteStatus::kError;
+    resp.error = "snapshot: line table out of step with the index";
+    return;
+  }
+  snap.boundary = index.boundary();
+  snap.base_obstacles = index.live_size() - pin.env.committed();
+  std::vector<std::size_t> remap(index.size(), spatial::ObstacleIndex::npos);
+  snap.obstacles.reserve(index.live_size());
+  snap.lines.reserve(4 + 4 * index.live_size());
+  for (std::size_t k = 0; k < 4; ++k) {
+    spatial::EscapeLine l = lines[k];
+    l.dead = false;
+    snap.lines.push_back(l);
+  }
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    if (!index.alive(i)) continue;
+    remap[i] = snap.obstacles.size();
+    snap.obstacles.push_back(index.obstacles()[i]);
+    for (std::size_t k = 0; k < 4; ++k) {
+      spatial::EscapeLine l = lines[4 + 4 * i + k];
+      l.source = remap[i];
+      l.dead = false;
+      snap.lines.push_back(l);
+    }
+  }
+  for (const auto& [net, record] : pin.env.committed_records()) {
+    std::vector<std::size_t> renumbered;
+    renumbered.reserve(record.size());
+    for (const std::size_t slot : record) {
+      if (slot >= remap.size() || remap[slot] == spatial::ObstacleIndex::npos) {
+        resp.status = RouteStatus::kError;
+        resp.error = "snapshot: commit record references a dead obstacle";
+        return;
+      }
+      renumbered.push_back(remap[slot]);
+    }
+    snap.committed.emplace(net, std::move(renumbered));
+  }
+  snap.routes = pin.routes;
+
+  const std::string blob = encode_snapshot(snap);
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir(opts_.snapshot_dir);
+  fs::create_directories(dir, ec);  // best effort; the open below reports
+  const fs::path tmp = dir / (name + ".tmp");
+  const fs::path final_path = dir / name;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      resp.status = RouteStatus::kError;
+      resp.error = "cannot write snapshot file '" + tmp.string() + "'";
+      return;
+    }
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    out.flush();
+    if (!out) {
+      resp.status = RouteStatus::kError;
+      resp.error = "short write to snapshot file '" + tmp.string() + "'";
+      return;
+    }
+  }
+  // Atomic publish: a crash mid-write leaves only the .tmp, which restore
+  // skips (bad magic / truncation), never a half-visible snapshot.
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    resp.status = RouteStatus::kError;
+    resp.error = "cannot publish snapshot file: " + ec.message();
+    return;
+  }
+  resp.save_bytes = blob.size();
+  resp.status = RouteStatus::kOk;
+  metrics_.pin_saves.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RoutingService::restore_pins(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    std::cerr << "gcr_serve: cannot read restore dir '" << dir
+              << "': " << ec.message() << "\n";
+    return;
+  }
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string path = entry.path().string();
+    try {
+      std::ifstream in(entry.path(), std::ios::binary);
+      if (!in) throw std::runtime_error("cannot open");
+      const std::string blob((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+      PinSnapshot snap = decode_snapshot(blob);
+
+      layout::Layout lay = io::read_layout_string(snap.layout_text);
+      const std::size_t n_nets = lay.nets().size();
+      for (const auto& [net, record] : snap.committed) {
+        if (net >= n_nets) {
+          throw std::runtime_error("snapshot: commit record for unknown net");
+        }
+      }
+      for (const auto& [net, r] : snap.routes) {
+        if (net >= n_nets) {
+          throw std::runtime_error("snapshot: route record for unknown net");
+        }
+      }
+
+      // Rebuild *lookup tables only* from the serialized live state: the
+      // ObstacleIndex ctor sorts/buckets the given rects and the line set
+      // re-sorts the given lines — no tracing, no environment build (the
+      // build counter stays untouched; tests assert it).
+      spatial::ObstacleIndex index(snap.boundary, snap.obstacles);
+      spatial::EscapeLineSet lines =
+          spatial::EscapeLineSet::restore(std::move(snap.lines));
+      route::SearchEnvironment env = route::SearchEnvironment::restore(
+          std::move(index), std::move(lines), snap.base_obstacles,
+          std::move(snap.committed));
+
+      auto pin = std::make_shared<PinnedSession>(
+          std::move(snap.handle), std::move(snap.base_key),
+          std::make_shared<const layout::Layout>(std::move(lay)),
+          std::move(env));
+      pin->routes = std::move(snap.routes);
+      if (pins_.adopt(std::move(pin))) {
+        metrics_.pins_restored.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        std::cerr << "gcr_serve: skipping snapshot '" << path
+                  << "': duplicate handle\n";
+      }
+    } catch (const std::exception& e) {
+      // Invalid-on-partial-read: the pin was never registered, so a corrupt
+      // file leaves the session absent rather than half-restored.
+      std::cerr << "gcr_serve: skipping snapshot '" << path
+                << "': " << e.what() << "\n";
+    }
+  }
+}
+
+void RoutingService::finish_pin(Job& job, PinResponse&& resp) {
+  resp.latency = std::chrono::microseconds(
+      micros_between(job.submitted, std::chrono::steady_clock::now()));
+  metrics_.latency.record(static_cast<std::uint64_t>(resp.latency.count()));
+  (resp.ok() ? metrics_.pin_ops_ok : metrics_.pin_ops_failed)
+      .fetch_add(1, std::memory_order_relaxed);
+  job.pin_done(std::move(resp));
+}
+
 void RoutingService::run_stage_job(Job& job, RouteResponse& resp) {
   const pipeline::StageOptions& sopts = *job.req.stage;
   try {
@@ -424,6 +865,13 @@ MetricsSnapshot RoutingService::snapshot() const {
   s.stages_failed = metrics_.stages_failed.load(std::memory_order_relaxed);
   s.gens_ok = metrics_.gens_ok.load(std::memory_order_relaxed);
   s.gens_failed = metrics_.gens_failed.load(std::memory_order_relaxed);
+  s.pins_created = metrics_.pins_created.load(std::memory_order_relaxed);
+  s.pins_released = metrics_.pins_released.load(std::memory_order_relaxed);
+  s.pins_restored = metrics_.pins_restored.load(std::memory_order_relaxed);
+  s.pin_ops_ok = metrics_.pin_ops_ok.load(std::memory_order_relaxed);
+  s.pin_ops_failed = metrics_.pin_ops_failed.load(std::memory_order_relaxed);
+  s.pin_saves = metrics_.pin_saves.load(std::memory_order_relaxed);
+  s.pins_active = pins_.size();
   s.stage_cache_hits = stage_cache_.hits();
   s.stage_cache_misses = stage_cache_.misses();
   s.stage_cache_evictions = stage_cache_.evictions();

@@ -18,6 +18,7 @@
 #include "serve/job_queue.hpp"
 #include "serve/layout_session.hpp"
 #include "serve/metrics.hpp"
+#include "serve/pinned_session.hpp"
 
 /// \file routing_service.hpp
 /// The serving facade: a persistent worker pool draining a bounded job
@@ -140,6 +141,50 @@ struct LoadResponse {
 /// worker thread otherwise.  Must not block.
 using LoadCallback = std::function<void(LoadResponse)>;
 
+/// A session-lifecycle request (PIN / UNPIN / COMMIT / UNCOMMIT / pinned
+/// REROUTE / SAVE).  `owner` is the submitting connection's identity — its
+/// cancel token, the same object the disconnect path flips — and gates
+/// every mutation: only the owner may touch a pin.
+struct PinRequest {
+  enum class Op { kPin, kUnpin, kCommit, kUncommit, kReroute, kSave };
+  Op op = Op::kPin;
+  /// PIN: a cached session key (derive) or an existing handle (claim);
+  /// everything else: the pin handle.
+  std::string key;
+  /// COMMIT/UNCOMMIT/REROUTE: the net-name list, resolved against the
+  /// pin's layout on the worker.
+  std::vector<std::string> nets;
+  /// SAVE: the snapshot file name (validated — no path separators).
+  std::string save_name;
+  /// Wire spacing halo for committed segments (COMMIT/REROUTE).
+  geom::Coord wire_halo = 1;
+  std::shared_ptr<std::atomic<bool>> owner;
+};
+
+struct PinResponse {
+  RouteStatus status = RouteStatus::kError;
+  std::string error;
+  std::string handle;
+  std::string base_key;
+  std::size_t nets_total = 0;  ///< nets in the pin's layout
+  std::size_t committed = 0;   ///< nets currently recorded in the pin
+  std::size_t removed = 0;     ///< UNCOMMIT: entries cleared
+  std::size_t routed = 0;      ///< COMMIT/REROUTE: ok nets this op
+  std::size_t failed = 0;      ///< COMMIT/REROUTE: failed nets this op
+  geom::Cost wirelength = 0;   ///< COMMIT/REROUTE: total over this op's nets
+  std::string body;            ///< COMMIT/REROUTE: route dump of this op's nets
+  std::uint64_t save_bytes = 0;  ///< SAVE: blob size written
+  std::chrono::microseconds queue_wait{0};
+  std::chrono::microseconds latency{0};
+
+  [[nodiscard]] bool ok() const noexcept { return status == RouteStatus::kOk; }
+};
+
+/// Invoked exactly once: inline for fail-fast outcomes (unknown key, not
+/// the owner, full queue, inline claims) or on a worker thread.  Must not
+/// block.
+using PinCallback = std::function<void(PinResponse)>;
+
 class RoutingService {
  public:
   struct Options {
@@ -150,6 +195,13 @@ class RoutingService {
     /// Stage results are small relative to sessions (text renderings, not
     /// obstacle indexes), so the default holds several per session.
     std::size_t stage_cache_capacity = 32;
+    /// SAVE target directory; empty = snapshots disabled (SAVE answers ERR).
+    std::string snapshot_dir;
+    /// Directory scanned at construction: every decodable snapshot becomes
+    /// a registered (unowned) pin — the rolling-restart rehydration path.
+    /// Corrupt or truncated files are skipped with a stderr warning; they
+    /// never produce a half-restored session.
+    std::string restore_dir;
   };
 
   RoutingService() : RoutingService(Options{}) {}
@@ -201,6 +253,25 @@ class RoutingService {
   /// Closed-loop convenience: submit and wait.
   [[nodiscard]] RouteResponse route(RouteRequest req);
 
+  /// Session-lifecycle admission.  Claims of an existing handle resolve
+  /// inline (registry mutation only); PIN-derive and every mutating op run
+  /// on the worker pool.  Mutations of one pin apply in submission order —
+  /// a per-pin FIFO ticket chain layered over the queue (see
+  /// pinned_session.hpp) — and the ownership check runs both at admission
+  /// and again on the worker, so a pin released mid-queue fails cleanly.
+  void submit_pin(PinRequest req, PinCallback done);
+
+  /// Closed-loop convenience: submit_pin and wait.
+  [[nodiscard]] PinResponse pin_op(PinRequest req);
+
+  /// Destroys every pin owned by \p owner — the disconnect auto-release
+  /// hook, called by both front-ends when a connection ends (the epoll
+  /// loop from close_connection, the blocking loop at serve_connection
+  /// exit).
+  void release_pins(const std::shared_ptr<std::atomic<bool>>& owner);
+
+  [[nodiscard]] PinRegistry& pins() noexcept { return pins_; }
+
   [[nodiscard]] SessionCache& sessions() noexcept { return cache_; }
   [[nodiscard]] pipeline::StageCache& stages() noexcept {
     return stage_cache_;
@@ -222,7 +293,7 @@ class RoutingService {
 
  private:
   struct Job {
-    enum class Kind { kRoute, kLoad };
+    enum class Kind { kRoute, kLoad, kPin };
     Kind kind = Kind::kRoute;
     // kRoute fields.
     RouteRequest req;
@@ -236,18 +307,34 @@ class RoutingService {
     std::function<std::string()> load_synth;
     std::shared_ptr<std::atomic<bool>> load_cancel;
     LoadCallback load_done;
+    // kPin fields.
+    PinRequest pin_req;
+    /// Resolved at admission for mutating ops (kPin-derive resolves the
+    /// base session into `session` instead); holding it keeps the pin's
+    /// state alive even if it is released while this job is queued.
+    std::shared_ptr<PinnedSession> pin;
+    std::uint64_t pin_ticket = 0;
+    PinCallback pin_done;
     std::chrono::steady_clock::time_point submitted;
   };
 
   void worker_loop();
   void run_load_job(Job& job);
   void run_stage_job(Job& job, RouteResponse& resp);
+  void run_pin_job(Job& job);
+  void run_pin_mutation(Job& job, PinResponse& resp);
+  void save_pin(const PinnedSession& pin, const std::string& name,
+                PinResponse& resp);
+  void restore_pins(const std::string& dir);
   void finish(Job& job, RouteResponse&& resp);
+  void finish_pin(Job& job, PinResponse&& resp);
 
+  Options opts_;
   SessionCache cache_;
   pipeline::StageCache stage_cache_;
   BoundedQueue<Job> queue_;
   ServiceMetrics metrics_;
+  PinRegistry pins_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/route_types.hpp"
+#include "geometry/geometry.hpp"
+#include "spatial/escape_lines.hpp"
+
+/// \file snapshot.hpp
+/// Versioned binary serialization of a pinned session — the durability half
+/// of the session lifecycle (SAVE / `--restore-dir`).
+///
+/// A snapshot captures everything a restarted server needs to answer for a
+/// pin without re-deriving it: the layout text (round-trip exact), the
+/// *compacted* live view of the pin's ObstacleIndex and EscapeLineSet (the
+/// expensive traced state — restoring re-derives only lookup tables, never
+/// re-traces), the per-net commit records, and the per-net routed results
+/// that back the route dumps.  Tombstones are compacted away at encode
+/// time, so the blob is the canonical post-compaction state the file-level
+/// docs promise.
+///
+/// Format (all integers little-endian):
+///
+/// ```text
+/// magic    8 bytes  "GCRSNAP\n"
+/// version  u32      1
+/// size     u64      payload byte count (exactly the remaining bytes)
+/// checksum u64      FNV-1a 64 over the payload
+/// payload  …        fields in PinSnapshot order; strings are u64 length +
+///                   bytes, maps/vectors are u64 count + entries
+/// ```
+///
+/// Decoding is invalid-on-partial-read, mirroring the environment's
+/// UpdateGuard contract: any truncation, trailing garbage, checksum
+/// mismatch, or structural violation (a non-axis-parallel segment, a line
+/// table whose size disagrees with the obstacle count, an out-of-range
+/// commit record) throws std::runtime_error and yields *nothing* — the
+/// caller registers a pin only after the whole blob decoded, so a corrupt
+/// file leaves the session absent, never half-restored.
+
+namespace gcr::serve {
+
+inline constexpr char kSnapshotMagic[8] = {'G', 'C', 'R', 'S',
+                                           'N', 'A', 'P', '\n'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// The serializable state of one pinned session.  `routes` entries carry
+/// ok/wirelength/segments — exactly what the route dump renders; per-
+/// connection search statistics are diagnostics of the original run and
+/// are not preserved.
+struct PinSnapshot {
+  std::string handle;
+  std::string base_key;
+  std::string layout_text;  ///< io::write_layout_string (round-trip exact)
+  std::size_t base_obstacles = 0;
+  geom::Rect boundary;
+  std::vector<geom::Rect> obstacles;       ///< live, compacted order
+  std::vector<spatial::EscapeLine> lines;  ///< 4 + 4 * obstacles.size()
+  std::map<std::size_t, std::vector<std::size_t>> committed;
+  std::map<std::size_t, route::NetRoute> routes;
+};
+
+/// Renders the framed binary blob.
+[[nodiscard]] std::string encode_snapshot(const PinSnapshot& snap);
+
+/// Parses and validates a blob.  Throws std::runtime_error on any
+/// corruption (see file comment); never returns a partial snapshot.
+[[nodiscard]] PinSnapshot decode_snapshot(const std::string& blob);
+
+}  // namespace gcr::serve

@@ -97,6 +97,13 @@ void EscapeLineSet::erase_table_slot(std::vector<std::size_t>& table,
   if (it != table.end() && *it == slot) table.erase(it);
 }
 
+EscapeLineSet EscapeLineSet::restore(std::vector<EscapeLine> lines) {
+  EscapeLineSet out;
+  out.lines_ = std::move(lines);
+  out.build_tables();
+  return out;
+}
+
 void EscapeLineSet::build_tables() {
   vertical_by_x_.clear();
   horizontal_by_y_.clear();

@@ -82,6 +82,14 @@ class EscapeLineSet {
     return lines_;
   }
 
+  /// Rehydrates a set from serialized records (snapshot restore).  \p lines
+  /// must be a from-scratch layout — the four boundary lines, then four
+  /// lines per obstacle, all alive, spans already exact — i.e. what
+  /// `lines()` reports right after a compaction.  Only the lookup tables
+  /// are re-derived; no tracing runs, so restoring skips the expensive
+  /// probe work a constructor build would pay.
+  [[nodiscard]] static EscapeLineSet restore(std::vector<EscapeLine> lines);
+
   /// Incrementally accounts for obstacle \p ob, which must have just been
   /// added to \p index (the index this set was built from, after an
   /// `ObstacleIndex::insert`).  Re-traces the existing lines whose extension

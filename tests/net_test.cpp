@@ -266,7 +266,7 @@ TEST(EventLoop, SplitFramesOneByteWrites) {
     send_all(sock.get(), std::string(1, c));
   }
   const Frame load = read_frame(transport.in());
-  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  EXPECT_EQ(load.status.rfind("OK 0 session=", 0), 0u) << load.status;
   const Frame stats = read_frame(transport.in());
   EXPECT_EQ(stats.status.rfind("OK ", 0), 0u);
   EXPECT_NE(stats.body.find("requests_submitted"), std::string::npos);
@@ -290,7 +290,7 @@ TEST(EventLoop, PipelinedCommandsInOneSegment) {
   send_all(sock.get(), load_frame(text) + "ROUTE " + key + "\nSTATS\nQUIT\n");
 
   const Frame load = read_frame(transport.in());
-  EXPECT_NE(load.status.find("session " + key), std::string::npos);
+  EXPECT_NE(load.status.find("session=" + key), std::string::npos);
   const Frame route = read_frame(transport.in());
   ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
   const route::NetlistResult parsed = io::read_routes_string(route.body, lay);
@@ -383,7 +383,7 @@ TEST(EventLoop, ManyClientsEachGetCorrectUninterleavedResponses) {
       send_all(sock.get(), script);
 
       const Frame load = read_frame(transport.in());
-      if (load.status.rfind("OK 0 session " + key, 0) != 0) ++mismatches[c];
+      if (load.status.rfind("OK 0 session=" + key, 0) != 0) ++mismatches[c];
       for (std::size_t q = 0; q < kPerClient; ++q) {
         const Frame route = read_frame(transport.in());
         if (route.status.rfind("OK ", 0) != 0) {
@@ -457,7 +457,7 @@ TEST(EventLoop, SlowReaderIsSuspendedThenServedOnceItDrains) {
 
   // Now drain like a healthy client: every response arrives, in order.
   const Frame load = read_frame(transport.in());
-  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u);
+  EXPECT_EQ(load.status.rfind("OK 0 session=", 0), 0u);
   for (std::size_t q = 0; q < kRequests; ++q) {
     const Frame route = read_frame(transport.in());
     ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << "request " << q;
@@ -592,7 +592,7 @@ TEST(EventLoop, DisconnectMidRouteCancelsQueuedWork) {
     serve::FdTransport transport(sock.get());
     send_all(sock.get(), load_frame(text));
     const Frame load = read_frame(transport.in());
-    ASSERT_EQ(load.status.rfind("OK 0 session ", 0), 0u);
+    ASSERT_EQ(load.status.rfind("OK 0 session=", 0), 0u);
     std::string script;
     for (std::size_t q = 0; q < kRequests; ++q) {
       script += "ROUTE " + key + "\n";
@@ -653,7 +653,7 @@ TEST(EventLoop, RouteNetSubsetOverTcp) {
   (void)read_frame(transport.in());  // LOAD
   const Frame subset = read_frame(transport.in());
   ASSERT_EQ(subset.status.rfind("OK ", 0), 0u) << subset.status;
-  EXPECT_NE(subset.status.find("routed 2 "), std::string::npos);
+  EXPECT_NE(subset.status.find("routed=2 "), std::string::npos);
   // The dump covers exactly the requested nets, in request order, and each
   // route matches the full-netlist reference bit-for-bit.
   const route::NetlistResult parsed = io::read_routes_string(subset.body, lay);
@@ -700,11 +700,11 @@ TEST(EventLoop, RerouteOverTcp) {
                            a + "\nQUIT\n");
 
   const Frame load = read_frame(transport.in());
-  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  EXPECT_EQ(load.status.rfind("OK 0 session=", 0), 0u) << load.status;
   const Frame reroute = read_frame(transport.in());
   ASSERT_EQ(reroute.status.rfind("OK ", 0), 0u) << reroute.status;
-  EXPECT_NE(reroute.status.find("routed " + std::to_string(want.routed) +
-                                " failed " + std::to_string(want.failed)),
+  EXPECT_NE(reroute.status.find("routed=" + std::to_string(want.routed) +
+                                " failed=" + std::to_string(want.failed)),
             std::string::npos)
       << reroute.status;
   EXPECT_EQ(reroute.body, want_dump)
@@ -782,7 +782,7 @@ TEST(EventLoop, OptimizeStreamsPassLinesInPipelineOrder) {
                            key + "\nSTATS\nQUIT\n");
 
   const Frame load = read_frame(transport.in());
-  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  EXPECT_EQ(load.status.rfind("OK 0 session=", 0), 0u) << load.status;
   const Frame route = read_frame(transport.in());
   ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
   EXPECT_EQ(io::read_routes_string(route.body, lay).total_wirelength,
@@ -801,7 +801,7 @@ TEST(EventLoop, OptimizeStreamsPassLinesInPipelineOrder) {
       EXPECT_LE(passes[i].overflow, passes[i - 1].overflow);
     }
   }
-  EXPECT_NE(frame.status.find("passes " +
+  EXPECT_NE(frame.status.find("passes=" +
                               std::to_string(direct.passes.size())),
             std::string::npos)
       << frame.status;
@@ -854,7 +854,7 @@ TEST(EventLoop, LoadRunsOnWorkerPoolAndLoopStaysResponsive) {
   EXPECT_EQ(stats.status.rfind("OK ", 0), 0u) << stats.status;
 
   const Frame load = read_frame(loader_t.in());
-  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  EXPECT_EQ(load.status.rfind("OK 0 session=", 0), 0u) << load.status;
 
   // The cold LOAD went through the pool exactly once...
   serve::MetricsSnapshot snap = server.service().snapshot();
@@ -865,7 +865,7 @@ TEST(EventLoop, LoadRunsOnWorkerPoolAndLoopStaysResponsive) {
   // hash on the loop), not with a second pool trip.
   send_all(loader.get(), load_frame(big) + "QUIT\n");
   const Frame cached = read_frame(loader_t.in());
-  EXPECT_NE(cached.status.find("cached 1"), std::string::npos)
+  EXPECT_NE(cached.status.find("cached=1"), std::string::npos)
       << cached.status;
   snap = server.service().snapshot();
   EXPECT_EQ(snap.loads_offloaded, 1u)
@@ -910,7 +910,7 @@ TEST(EventLoop, PipelinedLoadRouteBurstWaitsForOffloadedBuild) {
                            "ROUTE " + key_b + "\nQUIT\n");
 
   const Frame load_a = read_frame(transport.in());
-  EXPECT_NE(load_a.status.find("session " + key_a), std::string::npos);
+  EXPECT_NE(load_a.status.find("session=" + key_a), std::string::npos);
   for (int i = 0; i < 2; ++i) {
     const Frame route = read_frame(transport.in());
     ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
@@ -919,7 +919,7 @@ TEST(EventLoop, PipelinedLoadRouteBurstWaitsForOffloadedBuild) {
     EXPECT_EQ(parsed.total_wirelength, ref_a.total_wirelength);
   }
   const Frame load_b = read_frame(transport.in());
-  EXPECT_NE(load_b.status.find("session " + key_b), std::string::npos);
+  EXPECT_NE(load_b.status.find("session=" + key_b), std::string::npos);
   const Frame route_b = read_frame(transport.in());
   ASSERT_EQ(route_b.status.rfind("OK ", 0), 0u) << route_b.status;
   const route::NetlistResult parsed_b =

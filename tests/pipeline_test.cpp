@@ -389,7 +389,7 @@ Frame next_frame(std::istream& in) {
 /// Drops the trailing per-request timing fields, which legitimately differ
 /// between runs and front-ends.
 std::string strip_timing(const std::string& status) {
-  const std::size_t pos = status.find(" queue_us ");
+  const std::size_t pos = status.find(" queue_us=");
   return pos == std::string::npos ? status : status.substr(0, pos);
 }
 
@@ -410,10 +410,10 @@ TEST(Protocol, PipelineVerbsRoundTrip) {
   std::istringstream replies(run_protocol(script));
 
   const Frame gen = next_frame(replies);
-  EXPECT_NE(gen.status.find("session " + key), std::string::npos)
+  EXPECT_NE(gen.status.find("session=" + key), std::string::npos)
       << gen.status;
-  EXPECT_NE(gen.status.find(" gen standard"), std::string::npos);
-  EXPECT_NE(gen.status.find("cached 0"), std::string::npos);
+  EXPECT_NE(gen.status.find(" gen=standard"), std::string::npos);
+  EXPECT_NE(gen.status.find("cached=0"), std::string::npos);
 
   const Frame route = next_frame(replies);
   ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
@@ -428,7 +428,7 @@ TEST(Protocol, PipelineVerbsRoundTrip) {
     const Frame frame = next_frame(replies);
     const std::string name{pipeline::to_string(kind)};
     ASSERT_EQ(frame.status.rfind("OK ", 0), 0u) << frame.status;
-    EXPECT_NE(frame.status.find("stage " + name + " cached 0"),
+    EXPECT_NE(frame.status.find("stage=" + name + " cached=0"),
               std::string::npos)
         << frame.status;
     if (!want->meta.empty()) {
@@ -439,7 +439,7 @@ TEST(Protocol, PipelineVerbsRoundTrip) {
   }
 
   const Frame cached = next_frame(replies);
-  EXPECT_NE(cached.status.find("stage detail cached 1"), std::string::npos)
+  EXPECT_NE(cached.status.find("stage=detail cached=1"), std::string::npos)
       << cached.status;
 
   const Frame stats = next_frame(replies);
@@ -458,17 +458,17 @@ TEST(Protocol, GenDedupsBySeed) {
       "GEN standard seed=6 cells=9 extent=512 nets=12\nQUIT\n";
   std::istringstream replies(run_protocol(script));
   const Frame first = next_frame(replies);
-  EXPECT_NE(first.status.find("session " + key), std::string::npos);
-  EXPECT_NE(first.status.find("cached 0"), std::string::npos);
+  EXPECT_NE(first.status.find("session=" + key), std::string::npos);
+  EXPECT_NE(first.status.find("cached=0"), std::string::npos);
   const Frame second = next_frame(replies);
-  EXPECT_NE(second.status.find("session " + key), std::string::npos);
-  EXPECT_NE(second.status.find("cached 1"), std::string::npos)
+  EXPECT_NE(second.status.find("session=" + key), std::string::npos);
+  EXPECT_NE(second.status.find("cached=1"), std::string::npos)
       << "identical GEN must dedup into the cached session: "
       << second.status;
   const Frame third = next_frame(replies);
-  EXPECT_EQ(third.status.find("session " + key), std::string::npos)
+  EXPECT_EQ(third.status.find("session=" + key), std::string::npos)
       << "a different seed must synthesize a different session";
-  EXPECT_NE(third.status.find("cached 0"), std::string::npos);
+  EXPECT_NE(third.status.find("cached=0"), std::string::npos);
 }
 
 TEST(Protocol, StageAndGenParseRejections) {
@@ -560,8 +560,8 @@ TEST(EventLoopPipeline, PipelinedGenRouteDetailVerifyStats) {
                            key + "\nVERIFY " + key + "\nSTATS\nQUIT\n");
 
   const Frame gen = next_frame(transport.in());
-  ASSERT_EQ(gen.status.rfind("OK 0 session " + key, 0), 0u) << gen.status;
-  EXPECT_NE(gen.status.find(" gen standard"), std::string::npos);
+  ASSERT_EQ(gen.status.rfind("OK 0 session=" + key, 0), 0u) << gen.status;
+  EXPECT_NE(gen.status.find(" gen=standard"), std::string::npos);
 
   const Frame route = next_frame(transport.in());
   ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
@@ -573,7 +573,7 @@ TEST(EventLoopPipeline, PipelinedGenRouteDetailVerifyStats) {
   const auto want_detail =
       reference_stage(lay, ref, pipeline::StageKind::kDetail);
   ASSERT_NE(want_detail, nullptr);
-  EXPECT_NE(detail.status.find("stage detail cached 0"), std::string::npos)
+  EXPECT_NE(detail.status.find("stage=detail cached=0"), std::string::npos)
       << detail.status;
   EXPECT_EQ(detail.body, want_detail->body);
 

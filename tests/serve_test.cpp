@@ -324,14 +324,14 @@ TEST(Protocol, LoadRouteStatsQuitRoundTrip) {
   std::istringstream replies(run_protocol(script));
 
   const Frame load1 = next_frame(replies);
-  EXPECT_NE(load1.status.find("OK 0 session " + key), std::string::npos);
-  EXPECT_NE(load1.status.find("cached 0"), std::string::npos);
+  EXPECT_NE(load1.status.find("OK 0 session=" + key), std::string::npos);
+  EXPECT_NE(load1.status.find("cached=0"), std::string::npos);
   const Frame load2 = next_frame(replies);
-  EXPECT_NE(load2.status.find("cached 1"), std::string::npos);
+  EXPECT_NE(load2.status.find("cached=1"), std::string::npos);
 
   const Frame route = next_frame(replies);
   ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
-  EXPECT_NE(route.status.find("routed 1 failed 0"), std::string::npos);
+  EXPECT_NE(route.status.find("routed=1 failed=0"), std::string::npos);
   // The body is a parseable route dump that matches a direct route.
   const layout::Layout lay = io::read_layout_string(text);
   const route::NetlistResult direct = route::NetlistRouter(lay).route_all();
@@ -369,7 +369,7 @@ TEST(Protocol, MalformedFramesGetErrNotCrash) {
   }
   // The connection survived six bad frames and still serves real ones.
   const Frame load = next_frame(replies);
-  EXPECT_EQ(load.status.rfind("OK 0 session ", 0), 0u) << load.status;
+  EXPECT_EQ(load.status.rfind("OK 0 session=", 0), 0u) << load.status;
   const Frame bye = next_frame(replies);
   EXPECT_EQ(bye.status, "OK 0 bye");
 }
@@ -451,7 +451,7 @@ TEST(Protocol, RouteNetSubset) {
   (void)next_frame(replies);  // LOAD
   const Frame subset = next_frame(replies);
   ASSERT_EQ(subset.status.rfind("OK ", 0), 0u) << subset.status;
-  EXPECT_NE(subset.status.find("routed 2 failed 0"), std::string::npos);
+  EXPECT_NE(subset.status.find("routed=2 failed=0"), std::string::npos);
   // The dump covers exactly the requested nets and reproduces the full
   // run's routes for them bit-for-bit.
   const route::NetlistResult parsed = io::read_routes_string(subset.body, lay);
@@ -462,7 +462,7 @@ TEST(Protocol, RouteNetSubset) {
       << "dump order must follow the request list";
 
   const Frame dedup = next_frame(replies);
-  EXPECT_NE(dedup.status.find("routed 1 "), std::string::npos)
+  EXPECT_NE(dedup.status.find("routed=1 "), std::string::npos)
       << "duplicate names must route once: " << dedup.status;
 
   const Frame unknown = next_frame(replies);
@@ -555,8 +555,8 @@ TEST(Protocol, RerouteRoundTrip) {
   const Frame reroute = next_frame(replies);
   ASSERT_EQ(reroute.status.rfind("OK ", 0), 0u) << reroute.status;
   EXPECT_NE(reroute.status.find(
-                "routed " + std::to_string(want.routed) + " failed " +
-                std::to_string(want.failed) + " wirelength " +
+                "routed=" + std::to_string(want.routed) + " failed=" +
+                std::to_string(want.failed) + " wirelength=" +
                 std::to_string(want.total_wirelength)),
             std::string::npos)
       << reroute.status;
@@ -716,10 +716,10 @@ TEST(Protocol, OptimizeRoundTripStreamsPasses) {
   // The meta summarizes the run; the body is the full final routing and
   // reproduces the direct optimizer bit-for-bit.
   EXPECT_NE(frame.status.find(
-                "passes " + std::to_string(direct.passes.size()) + " routed " +
-                std::to_string(direct.result.routed) + " failed " +
-                std::to_string(direct.result.failed) + " wirelength " +
-                std::to_string(direct.result.total_wirelength) + " overflow " +
+                "passes=" + std::to_string(direct.passes.size()) + " routed=" +
+                std::to_string(direct.result.routed) + " failed=" +
+                std::to_string(direct.result.failed) + " wirelength=" +
+                std::to_string(direct.result.total_wirelength) + " overflow=" +
                 std::to_string(direct.final_overflow())),
             std::string::npos)
       << frame.status;
