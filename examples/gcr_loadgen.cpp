@@ -38,6 +38,13 @@
 //   restart it with --restore-dir DIR, claim the same handle, and verify
 //   the rehydrated pin answers the same REROUTE byte-identically.
 //
+//   --stats-out FILE (with --tcp): before shutting the server down, a
+//   control connection fetches STATS and TRACE and FILE gets a JSON
+//   report: every server STATS counter, the TRACE dump, and the client
+//   side's own per-verb latency aggregates.  The server's counters are
+//   cross-checked against what the clients observed (counter conservation,
+//   per-verb counts), so the artifact doubles as an end-to-end audit.
+//
 //   $ gcr_loadgen --clients 8 --requests 16 --workers 4
 //   $ gcr_loadgen --server ./example_gcr_serve --requests 8 --gen
 //   $ gcr_loadgen --server ./example_gcr_serve --tcp --clients 16
@@ -56,6 +63,8 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -107,6 +116,10 @@ struct Config {
   /// with --restore-dir, and verify the rehydrated pin answers the same
   /// REROUTE byte-identically.
   std::string restart_dir;
+  /// Non-empty (TCP mode): write a JSON audit — server STATS + TRACE next
+  /// to the clients' own per-verb aggregates — to this path before the
+  /// server is shut down.
+  std::string stats_out;
 };
 
 int usage(const char* argv0) {
@@ -115,7 +128,7 @@ int usage(const char* argv0) {
       "usage: %s [--server PATH [--transport socket|pipe] [--tcp]]\n"
       "       [--clients N] [--requests N] [--workers N]\n"
       "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n"
-      "       [--optimize] [--gen] [--restart-dir DIR]\n",
+      "       [--optimize] [--gen] [--restart-dir DIR] [--stats-out FILE]\n",
       argv0);
   return 2;
 }
@@ -704,6 +717,120 @@ double percentile_us(std::vector<double>& v, double q) {
   return v[nth == 0 ? 0 : std::min(v.size(), nth) - 1];
 }
 
+/// Fetches STATS + TRACE over a fresh control connection, cross-checks the
+/// server's counters against the clients' observations, and writes the
+/// combined JSON audit to cfg.stats_out.  Returns the number of
+/// cross-check failures.
+int write_stats_audit(const Config& cfg, std::uint16_t port,
+                      std::map<std::string, std::vector<double>>& verb_lat,
+                      std::size_t client_ok, std::size_t client_bad) {
+  std::string stats_body, trace_body;
+  {
+    const net::ScopedFd sock = net::tcp_connect(port);
+    serve::FdTransport transport(sock.get());
+    const Reply stats = transact(transport.out(), transport.in(), "STATS");
+    const Reply trace = transact(transport.out(), transport.in(), "TRACE");
+    transact(transport.out(), transport.in(), "QUIT");
+    if (!stats.ok || !trace.ok) {
+      std::fprintf(stderr, "stats audit: control connection failed (%s%s)\n",
+                   stats.error.c_str(), trace.error.c_str());
+      return 1;
+    }
+    stats_body = stats.body;
+    trace_body = trace.body;
+  }
+
+  // `<key> <value>` per line, every value numeric.
+  std::map<std::string, long long> server;
+  {
+    std::istringstream is(stats_body);
+    std::string k;
+    long long v = 0;
+    while (is >> k >> v) server[k] = v;
+  }
+  const auto counter = [&server](const char* key) {
+    const auto it = server.find(key);
+    return it == server.end() ? -1 : it->second;
+  };
+
+  int failures = 0;
+  // Counter conservation: every admitted request ended in exactly one
+  // terminal state.  The control connection's own STATS/TRACE are answered
+  // inline (never submitted), so the equality is exact even now.
+  const long long submitted = counter("requests_submitted");
+  const long long terminal =
+      counter("requests_ok") + counter("requests_rejected") +
+      counter("requests_expired") + counter("requests_cancelled") +
+      counter("requests_not_found") + counter("requests_errored");
+  if (submitted < 0 || submitted != terminal) {
+    std::fprintf(stderr,
+                 "stats audit: counter conservation violated "
+                 "(submitted=%lld, terminal sum=%lld)\n",
+                 submitted, terminal);
+    ++failures;
+  }
+  // Per-verb counts: the server's ROUTE shard must account for at least
+  // every ROUTE round trip a client completed (crashed clients may have
+  // sent fewer, never more).
+  const auto check_verb = [&](const char* verb, const char* stat_key) {
+    const auto it = verb_lat.find(verb);
+    const long long sent =
+        it == verb_lat.end() ? 0 : static_cast<long long>(it->second.size());
+    if (counter(stat_key) < sent) {
+      std::fprintf(stderr, "stats audit: %s %lld < %lld %s round trips\n",
+                   stat_key, counter(stat_key), sent, verb);
+      ++failures;
+    }
+  };
+  check_verb("ROUTE", "verb_route_count");
+  check_verb("REROUTE", "verb_reroute_count");
+  check_verb("OPTIMIZE", "verb_optimize_count");
+  check_verb("GEN", "verb_gen_count");
+
+  std::ofstream os(cfg.stats_out);
+  if (!os) {
+    std::fprintf(stderr, "stats audit: cannot write %s\n",
+                 cfg.stats_out.c_str());
+    return failures + 1;
+  }
+  os << "{\n  \"server_stats\": {";
+  bool first = true;
+  for (const auto& [k, v] : server) {
+    os << (first ? "\n" : ",\n") << "    \"" << k << "\": " << v;
+    first = false;
+  }
+  os << "\n  },\n  \"trace\": [";
+  {
+    std::istringstream is(trace_body);
+    std::string line;
+    first = true;
+    while (std::getline(is, line)) {
+      os << (first ? "\n" : ",\n") << "    \"" << line << '"';
+      first = false;
+    }
+  }
+  os << "\n  ],\n  \"client\": {\n    \"connections\": " << cfg.clients
+     << ",\n    \"ok\": " << client_ok << ",\n    \"failed\": " << client_bad
+     << ",\n    \"verbs\": {";
+  first = true;
+  for (auto& [verb, v] : verb_lat) {
+    const double mx = v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+    os << (first ? "\n" : ",\n") << "      \"" << verb
+       << "\": {\"count\": " << v.size() << ", \"p50_us\": "
+       << static_cast<long long>(percentile_us(v, 50)) << ", \"p95_us\": "
+       << static_cast<long long>(percentile_us(v, 95)) << ", \"max_us\": "
+       << static_cast<long long>(mx) << '}';
+    first = false;
+  }
+  os << "\n    }\n  },\n  \"conservation\": {\"submitted\": " << submitted
+     << ", \"terminal_sum\": " << terminal
+     << ", \"holds\": " << (submitted == terminal ? "true" : "false")
+     << "}\n}\n";
+  std::printf("stats audit written to %s (%d cross-check failure%s)\n",
+              cfg.stats_out.c_str(), failures, failures == 1 ? "" : "s");
+  return failures;
+}
+
 int run_tcp(const Config& cfg, const std::string& layout_text,
             const layout::Layout& lay, const route::NetlistResult& reference) {
   std::signal(SIGPIPE, SIG_IGN);
@@ -721,6 +848,9 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
     std::size_t ok = 0;
     std::size_t bad = 0;
     std::vector<double> lat_us;
+    /// (verb, round-trip us) for every framed request this client sent —
+    /// the per-verb table and the --stats-out audit aggregate these.
+    std::vector<std::pair<std::string, double>> verb_us;
     std::string first_error;
   };
   std::vector<ClientResult> results(cfg.clients);
@@ -780,9 +910,21 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
           std::istream& in = transport.in();
           std::ostream& out = transport.out();
 
+          // Every framed round trip lands in the per-verb sample list.
+          const auto timed = [&](const char* verb, const std::string& line,
+                                 const std::string& body = std::string()) {
+            const auto s0 = std::chrono::steady_clock::now();
+            Reply r = transact(out, in, line, body);
+            res.verb_us.emplace_back(
+                verb, std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - s0)
+                          .count());
+            return r;
+          };
+
           if (cfg.gen) {
             const Reply genned =
-                transact(out, in, gen_command(cfg, cfg.seed + c));
+                timed("GEN", gen_command(cfg, cfg.seed + c));
             if (!genned.ok) {
               fail("GEN: " + genned.error);
               return;
@@ -793,8 +935,8 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
             }
             ++res.ok;
           } else {
-            const Reply loaded = transact(
-                out, in, "LOAD " + std::to_string(layout_text.size()),
+            const Reply loaded = timed(
+                "LOAD", "LOAD " + std::to_string(layout_text.size()),
                 layout_text);
             if (!loaded.ok) {
               fail("LOAD: " + loaded.error);
@@ -806,12 +948,8 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
             route_line += " deadline_ms=" + std::to_string(cfg.deadline_ms);
           }
           for (std::size_t q = 0; q < cfg.requests; ++q) {
-            const auto r0 = std::chrono::steady_clock::now();
-            const Reply r = transact(out, in, route_line);
-            res.lat_us.push_back(
-                std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - r0)
-                    .count());
+            const Reply r = timed("ROUTE", route_line);
+            res.lat_us.push_back(res.verb_us.back().second);
             if (!r.ok) {
               fail("ROUTE: " + r.error);
               continue;
@@ -837,7 +975,7 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
                   pipeline::StageKind::kVerify}) {
               const std::string verb =
                   kind == pipeline::StageKind::kDetail ? "DETAIL" : "VERIFY";
-              const Reply r = transact(out, in, verb + " " + ckey);
+              const Reply r = timed(verb.c_str(), verb + " " + ckey);
               const std::string err = check_stage(r, kind, *clay, *cref);
               if (err.empty()) {
                 ++res.ok;
@@ -847,7 +985,7 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
             }
           }
           if (!reroute_line.empty()) {
-            const Reply rr = transact(out, in, reroute_line);
+            const Reply rr = timed("REROUTE", reroute_line);
             if (!rr.ok) {
               fail("REROUTE: " + rr.error);
             } else if (rr.body != reroute_body) {
@@ -857,8 +995,13 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
             }
           }
           if (cfg.optimize) {
+            const auto s0 = std::chrono::steady_clock::now();
             const OptimizeReply orep =
                 transact_optimize(out, in, "OPTIMIZE " + key);
+            res.verb_us.emplace_back(
+                "OPTIMIZE", std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - s0)
+                                .count());
             const std::string err = check_optimize(orep, lay, *optref);
             if (err.empty()) {
               ++res.ok;
@@ -922,8 +1065,31 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
     }
   }
 
-  // Graceful shutdown: SIGINT must drain and exit 0.
+  // Per-verb latency across all clients: STATS shards these server-side,
+  // and this table is the client-side view of the same split.
+  std::map<std::string, std::vector<double>> verb_lat;
+  for (const ClientResult& r : results) {
+    for (const auto& [verb, us] : r.verb_us) verb_lat[verb].push_back(us);
+  }
+  std::printf("  per-verb round-trip latency (all clients):\n");
+  std::printf("    %-10s %8s %10s %10s %10s\n", "verb", "count", "p50_us",
+              "p95_us", "max_us");
+  for (auto& [verb, v] : verb_lat) {
+    const double mx = v.empty() ? 0.0 : *std::max_element(v.begin(), v.end());
+    std::printf("    %-10s %8zu %10.0f %10.0f %10.0f\n", verb.c_str(),
+                v.size(), percentile_us(v, 50), percentile_us(v, 95), mx);
+  }
+
   int failures = static_cast<int>(bad);
+
+  // --stats-out: one control connection reads the server's own view (STATS
+  // + TRACE) while it is still up, cross-checks it against what the
+  // clients measured, and archives both sides as JSON.
+  if (!cfg.stats_out.empty()) {
+    failures += write_stats_audit(cfg, child.port, verb_lat, ok, bad);
+  }
+
+  // Graceful shutdown: SIGINT must drain and exit 0.
   ::kill(child.pid, SIGINT);
   int status = 0;
   ::waitpid(child.pid, &status, 0);
@@ -1165,9 +1331,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--restart-dir" && v != nullptr && v[0] != '\0') {
       cfg.restart_dir = v;
       ++i;
+    } else if (arg == "--stats-out" && v != nullptr && v[0] != '\0') {
+      cfg.stats_out = v;
+      ++i;
     } else {
       return usage(argv[0]);
     }
+  }
+  if (!cfg.stats_out.empty() && !cfg.tcp) {
+    std::fprintf(stderr, "--stats-out needs --tcp (the audit connection "
+                 "rides the TCP front-end)\n");
+    return usage(argv[0]);
   }
   if (cfg.gen && cfg.server.empty()) {
     std::fprintf(stderr, "--gen needs --server PATH (GEN is a protocol verb)\n");

@@ -21,6 +21,9 @@
 //     --snapshot-dir D enable SAVE: pinned sessions serialize to D/<name>
 //     --restore-dir D  rehydrate every snapshot in D at startup; restored
 //                      pins are unowned until a client PINs their handle
+//     --slow-ms N      slow-request ring threshold: only requests taking at
+//                      least N ms are retained for the TRACE verb
+//                      (default 0 = keep the slowest seen regardless)
 //
 // A session survives across requests: LOAD once, ROUTE many times — every
 // ROUTE reuses the session's prebuilt obstacle index and escape lines, and
@@ -57,7 +60,7 @@ extern "C" void on_shutdown_signal(int) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--queue N] [--cache N] [--fd FD]\n"
-               "       [--snapshot-dir DIR] [--restore-dir DIR]\n"
+               "       [--snapshot-dir DIR] [--restore-dir DIR] [--slow-ms N]\n"
                "       [--listen PORT [--max-conns N] [--high-water BYTES]\n"
                "        [--hard-cap BYTES]]\n",
                argv0);
@@ -120,6 +123,10 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--restore-dir" && v != nullptr && v[0] != '\0') {
       opts.restore_dir = v;
+      ++i;
+    } else if (arg == "--slow-ms" && v != nullptr &&
+               parse_size(v, 86'400'000, &parsed)) {
+      opts.slow_threshold_ms = parsed;
       ++i;
     } else {
       return usage(argv[0]);

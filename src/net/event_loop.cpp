@@ -1,9 +1,11 @@
 #include "net/event_loop.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <iterator>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -126,9 +128,18 @@ EventLoop::EventLoop(serve::RoutingService& service,
                   &ev) < 0) {
     throw_errno("epoll_ctl(mailbox)");
   }
+  // Splice the loop's own health into the service's STATS body: TCP
+  // clients see one coherent metrics page.  The render reads only atomics,
+  // so any thread may call stats_text() while the loop runs.
+  service_.set_extra_stats([this] { return render_loop_stats(); });
 }
 
-EventLoop::~EventLoop() = default;
+EventLoop::~EventLoop() {
+  // Unhook before members die; a stats_text() racing the destructor is the
+  // caller's lifetime bug (the loop must outlive its servers), this just
+  // keeps an orderly shutdown from rendering freed counters.
+  service_.set_extra_stats({});
+}
 
 std::uint16_t EventLoop::port() const noexcept { return listener_.port(); }
 
@@ -151,6 +162,9 @@ void EventLoop::run() {
       if (errno == EINTR) continue;
       throw_errno("epoll_wait");
     }
+    // Loop lag = how long this batch keeps the thread away from
+    // epoll_wait; every connection's tail latency rides on it.
+    const auto batch_begin = std::chrono::steady_clock::now();
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
       const std::uint32_t flags = events[i].events;
@@ -177,6 +191,11 @@ void EventLoop::run() {
         settle(tag);
       }
     }
+    stats_.wakeups.fetch_add(1, std::memory_order_relaxed);
+    stats_.loop_lag.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - batch_begin)
+            .count()));
   }
 }
 
@@ -204,6 +223,7 @@ void EventLoop::accept_ready() {
     conn->registered_events = EPOLLIN;
     conns_.emplace(id, std::move(conn));
     stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_.connections.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -242,6 +262,8 @@ void EventLoop::handle_readable(std::uint64_t id) {
   while (!conn.reads_suspended && !conn.eof && rounds-- > 0) {
     const ssize_t r = ::recv(conn.fd(), buf, sizeof buf, 0);
     if (r > 0) {
+      stats_.bytes_in.fetch_add(static_cast<std::uint64_t>(r),
+                                std::memory_order_relaxed);
       events.clear();
       conn.parser().feed(buf, static_cast<std::size_t>(r), events);
       process_events(conn, events);
@@ -289,6 +311,7 @@ void EventLoop::process_events(Connection& conn,
       // LOAD parks everything behind it too (the ordering barrier) —
       // that is sequencing, not a slow reader, so it skips the
       // backpressure stat.
+      stats_.parked.fetch_add(events.size() - i, std::memory_order_relaxed);
       for (std::size_t j = i; j < events.size(); ++j) {
         conn.deferred.push_back(std::move(events[j]));
       }
@@ -324,6 +347,10 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
   if (cmd.kind == serve::CommandKind::kBlank) return;
   stats_.commands.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t seq = conn.assign_seq();
+  // span_parse_us origin: dispatch -> submit covers this front-end's knob
+  // validation and request lowering (a parked command's queueing shows up
+  // in the loop counters, not in its parse span).
+  const auto received = std::chrono::steady_clock::now();
 
   switch (cmd.kind) {
     case serve::CommandKind::kBlank:
@@ -340,8 +367,19 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
     case serve::CommandKind::kHello:
       // Static capability text straight off the verb table; loop-thread
       // cheap by construction.
-      conn.complete(seq, serve::format_hello());
+      conn.complete(seq, serve::format_hello(service_.uptime_s()));
       return;
+    case serve::CommandKind::kTrace: {
+      // A bounded copy of the slow ring (<= 256 small records): loop-thread
+      // cheap, answered inline like STATS.
+      try {
+        conn.complete(seq, serve::exec_trace(
+                               service_, serve::parse_trace_count(cmd.args)));
+      } catch (const std::exception& e) {
+        conn.complete(seq, serve::format_err(e.what()));
+      }
+      return;
+    }
     case serve::CommandKind::kLoad: {
       // Repeat LOADs of resident content answer inline: the probe costs
       // one content hash — O(body bytes), which the loop pays knowingly;
@@ -403,6 +441,7 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
         return;
       }
       serve::RouteRequest req = serve::to_request(rc);
+      req.received = received;
       req.cancel = conn.cancel_token();
       conn.job_dispatched();
       // The callback runs on a worker thread (or inline for fail-fast
@@ -424,6 +463,7 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
         conn.complete(seq, serve::format_err(e.what()));
         return;
       }
+      req.received = received;
       req.cancel = conn.cancel_token();
       // Progress lines post as partial completions under the same ticket:
       // they stream to the client as passes finish, yet still respect
@@ -463,6 +503,7 @@ void EventLoop::dispatch(Connection& conn, FrameParser::Event& ev) {
         conn.complete(seq, serve::format_err(e.what()));
         return;
       }
+      req.received = received;
       req.cancel = conn.cancel_token();
       conn.job_dispatched();
       // Same shape as ROUTE: the stage runs (or its cached result is
@@ -551,6 +592,8 @@ void EventLoop::settle(std::uint64_t id) {
       const ssize_t w = ::send(conn.fd(), conn.out_data(), conn.out_size(),
                                MSG_NOSIGNAL);
       if (w > 0) {
+        stats_.bytes_out.fetch_add(static_cast<std::uint64_t>(w),
+                                   std::memory_order_relaxed);
         conn.out_consume(static_cast<std::size_t>(w));
         continue;
       }
@@ -590,6 +633,7 @@ void EventLoop::settle(std::uint64_t id) {
            conn.inflight() < opts_.max_inflight) {
       FrameParser::Event ev = std::move(conn.deferred.front());
       conn.deferred.pop_front();
+      stats_.replayed.fetch_add(1, std::memory_order_relaxed);
       // dispatch may clear the deque (QUIT); ev was moved out already.
       dispatch(conn, ev);
     }
@@ -648,6 +692,7 @@ void EventLoop::close_connection(std::uint64_t id, bool drop) {
   // Closing the fd (ScopedFd dtor) deregisters it from epoll implicitly.
   conns_.erase(it);
   stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  stats_.connections.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void EventLoop::begin_shutdown() {
@@ -677,6 +722,33 @@ void EventLoop::force_close_all() {
   for (const std::uint64_t id : ids) close_connection(id, /*drop=*/true);
 }
 
+std::string EventLoop::render_loop_stats() const {
+  const auto v = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  const serve::Histogram::Snapshot lag = stats_.loop_lag.snapshot();
+  std::ostringstream os;
+  os << "loop_connections " << v(stats_.connections) << '\n'
+     << "loop_accepted " << v(stats_.accepted) << '\n'
+     << "loop_rejected_at_capacity " << v(stats_.rejected_at_capacity) << '\n'
+     << "loop_closed " << v(stats_.closed) << '\n'
+     << "loop_commands " << v(stats_.commands) << '\n'
+     << "loop_reads_suspended " << v(stats_.reads_suspended) << '\n'
+     << "loop_dropped_slow " << v(stats_.dropped_slow) << '\n'
+     << "loop_dropped_error " << v(stats_.dropped_error) << '\n'
+     << "loop_completions_discarded " << v(stats_.completions_discarded)
+     << '\n'
+     << "loop_parked " << v(stats_.parked) << '\n'
+     << "loop_replayed " << v(stats_.replayed) << '\n'
+     << "loop_bytes_in " << v(stats_.bytes_in) << '\n'
+     << "loop_bytes_out " << v(stats_.bytes_out) << '\n'
+     << "loop_wakeups " << v(stats_.wakeups) << '\n'
+     << "loop_lag_p50_us " << lag.percentile(50) << '\n'
+     << "loop_lag_p95_us " << lag.percentile(95) << '\n'
+     << "loop_lag_p99_us " << lag.percentile(99) << '\n';
+  return os.str();
+}
+
 #else  // !GCR_NET_HAVE_EPOLL
 
 EventLoop::EventLoop(serve::RoutingService& service,
@@ -700,6 +772,7 @@ void EventLoop::close_connection(std::uint64_t, bool) {}
 void EventLoop::begin_shutdown() {}
 void EventLoop::force_close_all() {}
 void EventLoop::update_interest(Connection&) {}
+std::string EventLoop::render_loop_stats() const { return {}; }
 
 #endif  // GCR_NET_HAVE_EPOLL
 

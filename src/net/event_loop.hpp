@@ -11,6 +11,7 @@
 #include "net/frame_parser.hpp"
 #include "net/socket.hpp"
 #include "serve/routing_service.hpp"
+#include "serve/trace.hpp"
 
 /// \file event_loop.hpp
 /// The asynchronous multi-client front-end: one thread, one epoll set, many
@@ -75,7 +76,9 @@ struct EventLoopOptions {
 };
 
 /// Counters the loop maintains; atomics so tests and monitoring threads can
-/// read them while the loop runs.
+/// read them while the loop runs.  Exported verbatim into the STATS body
+/// (as `loop_*` keys) through RoutingService::set_extra_stats, so TCP
+/// clients see loop health next to the service counters.
 struct EventLoopStats {
   std::atomic<std::uint64_t> accepted{0};
   std::atomic<std::uint64_t> rejected_at_capacity{0};
@@ -85,6 +88,21 @@ struct EventLoopStats {
   std::atomic<std::uint64_t> dropped_slow{0};     ///< hard-cap drops
   std::atomic<std::uint64_t> dropped_error{0};    ///< read/write errors
   std::atomic<std::uint64_t> completions_discarded{0};  ///< conn died first
+  /// Commands parked on a connection (backpressure or a LOAD barrier) and
+  /// parked commands later replayed by settle(); parked >= replayed, the
+  /// difference is what is parked right now plus what died parked.
+  std::atomic<std::uint64_t> parked{0};
+  std::atomic<std::uint64_t> replayed{0};
+  std::atomic<std::uint64_t> bytes_in{0};   ///< recv()'d payload bytes
+  std::atomic<std::uint64_t> bytes_out{0};  ///< send()'d payload bytes
+  std::atomic<std::uint64_t> wakeups{0};    ///< epoll batches processed
+  /// Live connection gauge — a dedicated atomic rather than conns_.size()
+  /// because the STATS render runs on whatever thread asked, not the loop.
+  std::atomic<std::uint64_t> connections{0};
+  /// Wall-clock per epoll batch (event processing, not the sleep),
+  /// microseconds: the loop's own responsiveness.  A fat tail here means
+  /// something is doing expensive work on the loop thread.
+  serve::Histogram loop_lag;
 };
 
 class EventLoop {
@@ -132,6 +150,9 @@ class EventLoop {
   void begin_shutdown();
   void force_close_all();
   void update_interest(Connection& conn);
+  /// Renders the `loop_* <value>` lines appended to the STATS body.
+  /// Reads only atomics — safe from any thread while the loop runs.
+  [[nodiscard]] std::string render_loop_stats() const;
 
   serve::RoutingService& service_;
   EventLoopOptions opts_;

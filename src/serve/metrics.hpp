@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -7,12 +8,17 @@
 #include <string>
 #include <vector>
 
+#include "serve/trace.hpp"
+
 /// \file metrics.hpp
-/// Service observability: request counters and a latency window with
-/// percentile queries, rendered as the STATS response body.  Counters are
-/// lock-free atomics (touched on every request); the latency window takes a
-/// mutex only to append one sample, and percentile queries — rare, operator
-/// driven — pay the sort.
+/// Service observability: request counters, per-verb lock-free latency
+/// histograms, rendered as the STATS response body.  Counters and histogram
+/// buckets are lock-free atomics (touched on every request); percentile
+/// queries — rare, operator driven — walk a bucket snapshot.
+///
+/// LatencyWindow (the original exact-sample mutexed ring) is retained for
+/// offline consumers and differential tests, but is no longer on the
+/// service hot path.
 
 namespace gcr::serve {
 
@@ -39,6 +45,13 @@ class LatencyWindow {
   /// \p q in [0, 100].  Nearest-rank percentile over the window; 0 when no
   /// samples have been recorded.
   [[nodiscard]] std::uint64_t percentile(double q) const;
+
+  /// All requested percentiles from ONE snapshot of the window: the samples
+  /// are copied (under the mutex) and sorted once, and every quantile is
+  /// ranked against that single sorted copy — a multi-quantile caller no
+  /// longer pays capacity·log(capacity) per quantile.
+  [[nodiscard]] std::vector<std::uint64_t> percentiles(
+      const std::vector<double>& qs) const;
 
   [[nodiscard]] std::uint64_t total_recorded() const {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -89,8 +102,22 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> pin_ops_ok{0};
   std::atomic<std::uint64_t> pin_ops_failed{0};
   std::atomic<std::uint64_t> pin_saves{0};
-  LatencyWindow latency;        ///< enqueue -> response, microseconds
-  LatencyWindow queue_wait;     ///< enqueue -> dequeue, microseconds
+  /// Lock-free log2 histograms — recorded on every request with zero
+  /// mutexes (Histogram::record is three relaxed atomic adds).
+  Histogram latency;     ///< enqueue -> response, microseconds (all verbs)
+  Histogram queue_wait;  ///< enqueue -> dequeue, microseconds
+  /// Per-verb latency shards: a microsecond STATS render and a multi-second
+  /// OPTIMIZE no longer share one distribution.
+  std::array<Histogram, kVerbKinds> verb_latency{};
+};
+
+/// Per-verb latency digest in a snapshot (percentiles are log2-bucket upper
+/// bounds, see Histogram).
+struct VerbLatencySnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
 };
 
 /// One point-in-time view, cheap to format.
@@ -128,6 +155,12 @@ struct MetricsSnapshot {
   std::uint64_t latency_p95_us = 0;
   std::uint64_t latency_p99_us = 0;
   std::uint64_t queue_wait_p50_us = 0;
+  /// One digest per VerbKind, indexed by static_cast<size_t>(kind); all
+  /// kinds are rendered (count 0 shows as zeros) so dashboards see a stable
+  /// key set.
+  std::array<VerbLatencySnapshot, kVerbKinds> verbs{};
+  std::uint64_t uptime_s = 0;
+  std::uint32_t protocol_version = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_capacity = 0;
   std::size_t workers = 0;

@@ -342,6 +342,9 @@ VerbSpec verb(const char* name, CommandKind kind, std::size_t min_args = 0,
 const std::vector<VerbSpec>& verb_table() {
   static const std::vector<VerbSpec> table = [] {
     const KnobSpec deadline = knob("deadline_ms", KnobType::kDuration);
+    // trace=1 asks the server to echo the span breakdown in the response
+    // meta; accepted by every verb that flows through the worker pool.
+    const KnobSpec trace = knob("trace", KnobType::kBool);
     std::vector<VerbSpec> t;
     t.push_back(verb("HELLO", CommandKind::kHello));
     // LOAD's byte count is parsed by parse_load_count (the body framing
@@ -353,7 +356,7 @@ const std::vector<VerbSpec>& verb_table() {
                       knob("threads", KnobType::kCount, 0, 1024), deadline,
                       knob("sorted", KnobType::kBool),
                       knob("segments", KnobType::kBool),
-                      knob("nets", KnobType::kNets)}));
+                      knob("nets", KnobType::kNets), trace}));
     t.push_back(verb(
         "REROUTE", CommandKind::kReroute, 1, "a session key",
         {rejected("mode", "REROUTE is always sequential; mode= is not "
@@ -361,27 +364,28 @@ const std::vector<VerbSpec>& verb_table() {
          knob("threads", KnobType::kCount, 0, 1024), deadline,
          knob("sorted", KnobType::kBool), knob("segments", KnobType::kBool),
          required(knob("nets", KnobType::kNets),
-                  "<name>[,<name>]... (the rip-up set)")}));
+                  "<name>[,<name>]... (the rip-up set)"),
+         trace}));
     t.push_back(verb("OPTIMIZE", CommandKind::kOptimize, 1, "a session key",
                      {knob("passes", KnobType::kCount, 1, 1024),
                       knob("budget_ms", KnobType::kDuration), deadline,
-                      knob("segments", KnobType::kBool)}));
+                      knob("segments", KnobType::kBool), trace}));
     t.push_back(verb("DETAIL", CommandKind::kDetail, 1, "a session key",
                      {knob("window", KnobType::kCount, 1, 1'000'000),
                       knob("pitch", KnobType::kCount, 1, 1'000'000),
-                      deadline}));
+                      deadline, trace}));
     t.push_back(verb("CONGEST", CommandKind::kCongest, 1, "a session key",
                      {knob("penalty", KnobType::kCount, 0, 1'000'000'000),
                       knob("iterations", KnobType::kCount, 1, 64),
                       knob("wire_pitch", KnobType::kCount, 1, 1'000'000),
                       knob("max_gap", KnobType::kCount, 0, 1'000'000),
-                      deadline}));
+                      deadline, trace}));
     t.push_back(verb("VERIFY", CommandKind::kVerify, 1, "a session key",
-                     {knob("all_routed", KnobType::kBool), deadline}));
+                     {knob("all_routed", KnobType::kBool), deadline, trace}));
     t.push_back(verb("SVG", CommandKind::kSvg, 1, "a session key",
                      {knob("scale", KnobType::kScale),
                       knob("pins", KnobType::kBool),
-                      knob("names", KnobType::kBool), deadline}));
+                      knob("names", KnobType::kBool), deadline, trace}));
     t.push_back(verb("GEN", CommandKind::kGen, 1,
                      "a kind (floorplan, standard, or padring)",
                      {required(knob("seed"), "<n>"),
@@ -401,6 +405,8 @@ const std::vector<VerbSpec>& verb_table() {
     t.push_back(verb("SAVE", CommandKind::kSave, 2,
                      "a pin handle and a file name"));
     t.push_back(verb("STATS", CommandKind::kStats));
+    t.push_back(verb("TRACE", CommandKind::kTrace, 0, "",
+                     {knob("n", KnobType::kCount, 1, 256)}));
     t.push_back(verb("QUIT", CommandKind::kQuit));
     return t;
   }();
@@ -448,6 +454,7 @@ RouteCommand build_route_command(const VerbSpec& verb,
     cmd.opts.steiner.connect_to_segments = v->flag;
   }
   if (const KnobValue* v = pa.find("nets")) cmd.nets = v->list;
+  if (const KnobValue* v = pa.find("trace")) cmd.trace = v->flag;
   return cmd;
 }
 
@@ -482,6 +489,7 @@ RouteCommand parse_optimize_command(const std::string& args) {
   if (const KnobValue* v = pa.find("segments")) {
     cmd.opts.steiner.connect_to_segments = v->flag;
   }
+  if (const KnobValue* v = pa.find("trace")) cmd.trace = v->flag;
   return cmd;
 }
 
@@ -526,6 +534,7 @@ RouteCommand parse_stage_command(pipeline::StageKind kind,
   if (const KnobValue* v = pa.find("scale")) sopts.scale = v->real;
   if (const KnobValue* v = pa.find("pins")) sopts.draw_pins = v->flag;
   if (const KnobValue* v = pa.find("names")) sopts.draw_cell_names = v->flag;
+  if (const KnobValue* v = pa.find("trace")) cmd.trace = v->flag;
   cmd.stage = sopts;
   return cmd;
 }
@@ -644,6 +653,7 @@ RouteRequest to_request(const RouteCommand& cmd) {
   req.optimize_passes = cmd.passes;
   req.optimize_budget = cmd.budget;
   req.stage = cmd.stage;
+  req.trace = cmd.trace;
   if (cmd.deadline) {
     req.deadline = std::chrono::steady_clock::now() + *cmd.deadline;
   }
@@ -681,7 +691,7 @@ std::string format_err(const std::string& reason) {
   return out;
 }
 
-std::string format_hello() {
+std::string format_hello(std::uint64_t uptime_s) {
   std::string body;
   for (const VerbSpec& v : verb_table()) {
     body += "verb ";
@@ -700,6 +710,7 @@ std::string format_hello() {
   return format_ok(MetaBuilder()
                        .add("version", kProtocolVersion)
                        .add("verbs", verb_table().size())
+                       .add("uptime_s", uptime_s)
                        .str(),
                    body);
 }
@@ -730,7 +741,50 @@ std::string exec_load(RoutingService& service, const std::string& body) {
 }
 
 std::string exec_stats(RoutingService& service) {
-  return format_ok("", service.stats_text());
+  // The render itself is metered into the stats verb shard: STATS traffic
+  // (dashboards poll it) must not hide in the global latency picture, and a
+  // render that regresses shows up in the very body it produces.
+  const auto begin = std::chrono::steady_clock::now();
+  std::string out = format_ok("", service.stats_text());
+  const auto end = std::chrono::steady_clock::now();
+  service.record_verb_latency(
+      VerbKind::kStats,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+              .count()));
+  return out;
+}
+
+std::size_t parse_trace_count(const std::string& args) {
+  const ParsedArgs pa = parse_args(verb_for(CommandKind::kTrace), args);
+  if (const KnobValue* v = pa.find("n")) {
+    return static_cast<std::size_t>(v->num);
+  }
+  return 32;
+}
+
+std::string exec_trace(RoutingService& service, std::size_t n) {
+  const std::vector<SlowRecord> records = service.slow_requests(n);
+  std::ostringstream body;
+  for (const SlowRecord& r : records) {
+    const RequestTrace& t = r.trace;
+    body << "trace " << r.id << " verb=" << to_string(r.verb)
+         << " session=" << r.session << " status=" << r.status
+         << " total_us=" << t.total_us << " queue_us="
+         << (t.dequeue_us - t.enqueue_us) << " env_us="
+         << (t.env_us - t.dequeue_us) << " exec_us="
+         << (t.exec_us - t.env_us) << " finish_us="
+         << (t.total_us - t.exec_us);
+    for (const RequestTrace::Sub& sub : t.subs) {
+      body << " sub_" << sub.label << "_us=" << sub.at_us;
+    }
+    body << '\n';
+  }
+  return format_ok(MetaBuilder()
+                       .add("count", records.size())
+                       .add("threshold_ms", service.slow_threshold_ms())
+                       .str(),
+                   body.str());
 }
 
 std::string format_route_response(const RouteResponse& resp) {
@@ -740,14 +794,15 @@ std::string format_route_response(const RouteResponse& resp) {
           ? io::write_routes_string(resp.session->layout, resp.result)
           : io::write_routes_string(resp.session->layout, resp.result,
                                     resp.nets);
-  return format_ok(MetaBuilder()
-                       .add("routed", resp.result.routed)
-                       .add("failed", resp.result.failed)
-                       .add("wirelength", resp.result.total_wirelength)
-                       .add("queue_us", resp.queue_wait.count())
-                       .add("total_us", resp.latency.count())
-                       .str(),
-                   body);
+  std::string meta = MetaBuilder()
+                         .add("routed", resp.result.routed)
+                         .add("failed", resp.result.failed)
+                         .add("wirelength", resp.result.total_wirelength)
+                         .add("queue_us", resp.queue_wait.count())
+                         .add("total_us", resp.latency.count())
+                         .str();
+  if (resp.traced) meta += resp.trace.render_meta();
+  return format_ok(meta, body);
 }
 
 std::string format_pass_progress(const route::OptimizePassStats& stats) {
@@ -761,7 +816,7 @@ std::string format_optimize_response(const RouteResponse& resp) {
   if (!resp.ok()) return format_status_err(resp.status, resp.error);
   const std::string body =
       io::write_routes_string(resp.session->layout, resp.result);
-  return format_ok(
+  std::string meta =
       MetaBuilder()
           .add("passes", resp.passes.size())
           .add("routed", resp.result.routed)
@@ -770,20 +825,22 @@ std::string format_optimize_response(const RouteResponse& resp) {
           .add("overflow", resp.passes.empty() ? 0 : resp.passes.back().overflow)
           .add("queue_us", resp.queue_wait.count())
           .add("total_us", resp.latency.count())
-          .str(),
-      body);
+          .str();
+  if (resp.traced) meta += resp.trace.render_meta();
+  return format_ok(meta, body);
 }
 
 std::string format_stage_response(const RouteResponse& resp) {
   if (!resp.ok()) return format_status_err(resp.status, resp.error);
-  return format_ok(MetaBuilder()
-                       .add("stage", pipeline::to_string(resp.stage->kind))
-                       .add("cached", resp.stage_cached ? 1 : 0)
-                       .raw(resp.stage->meta)
-                       .add("queue_us", resp.queue_wait.count())
-                       .add("total_us", resp.latency.count())
-                       .str(),
-                   resp.stage->body);
+  std::string meta = MetaBuilder()
+                         .add("stage", pipeline::to_string(resp.stage->kind))
+                         .add("cached", resp.stage_cached ? 1 : 0)
+                         .raw(resp.stage->meta)
+                         .add("queue_us", resp.queue_wait.count())
+                         .add("total_us", resp.latency.count())
+                         .str();
+  if (resp.traced) meta += resp.trace.render_meta();
+  return format_ok(meta, resp.stage->body);
 }
 
 std::string format_pin_response(const PinResponse& resp, PinRequest::Op op) {
@@ -876,6 +933,10 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
                       std::to_string(kMaxCommandLine) + " bytes"));
       continue;
     }
+    // Parse-span origin: everything between here and submit (classify,
+    // knob validation, request lowering) is the front-end's own cost and
+    // is reported separately as span_parse_us.
+    const auto received = std::chrono::steady_clock::now();
     const ClassifiedCommand cmd = classify_command(line);
     if (cmd.kind == CommandKind::kBlank) continue;  // keep-alive line
     ++frames;
@@ -891,7 +952,16 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
     }
 
     if (cmd.kind == CommandKind::kHello) {
-      emit(format_hello());
+      emit(format_hello(service.uptime_s()));
+      continue;
+    }
+
+    if (cmd.kind == CommandKind::kTrace) {
+      try {
+        emit(exec_trace(service, parse_trace_count(cmd.args)));
+      } catch (const std::exception& e) {
+        emit(format_err(e.what()));
+      }
       continue;
     }
 
@@ -934,6 +1004,7 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
         emit(format_err(e.what()));
         continue;
       }
+      req.received = received;
       // Stream each completed pass as it lands.  The progress hook runs on
       // the worker thread while this thread is parked inside route()'s
       // future wait; the future's synchronization orders every streamed
@@ -962,6 +1033,7 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
         emit(format_err(e.what()));
         continue;
       }
+      req.received = received;
       emit(format_stage_response(service.route(std::move(req))));
       continue;
     }
@@ -1020,7 +1092,9 @@ std::size_t serve_connection(RoutingService& service, std::istream& in,
                                  PinRequest::Op::kReroute));
         continue;
       }
-      emit(format_route_response(service.route(to_request(rc))));
+      RouteRequest req = to_request(rc);
+      req.received = received;
+      emit(format_route_response(service.route(std::move(req))));
       continue;
     }
 

@@ -82,8 +82,20 @@
 ///                                ;   every decodable blob as an unowned
 ///                                ;   pin, zero environment rebuilds
 /// STATS                          ; service metrics
+/// TRACE [n=<count>]              ; the slowest requests seen so far (the
+///                                ;   slow-request ring): one line per
+///                                ;   record, slowest first, up to n (1..256,
+///                                ;   default 32).  A server started with
+///                                ;   --slow-ms only retains requests at or
+///                                ;   above that threshold; without it the
+///                                ;   ring keeps the top-N by latency.
 /// QUIT                           ; close the connection
 /// ```
+///
+/// ROUTE, REROUTE, OPTIMIZE, and the stage verbs additionally accept
+/// `trace=0|1`: with trace=1 the response meta carries the request's span
+/// breakdown (see "Span glossary" below).  Spans are *always* measured —
+/// the knob only controls whether they are echoed.
 ///
 /// Responses are framed the same way — a status line carrying the body byte
 /// count, then the body verbatim:
@@ -117,7 +129,8 @@
 /// Reply metas by verb:
 ///
 /// ```text
-/// HELLO     OK <n> version=2 verbs=<count>     ; body = one line per verb
+/// HELLO     OK <n> version=2 verbs=<count> uptime_s=<s>
+///                                              ; body = one line per verb
 /// LOAD      OK 0 session=<key> cells=<n> nets=<m> cached=<0|1>
 /// GEN       LOAD's meta + gen=<kind>
 /// ROUTE     OK <n> routed=<r> failed=<f> wirelength=<w> queue_us=<q>
@@ -135,7 +148,29 @@
 /// UNCOMMIT  OK 0 pin=<handle> removed=<r> committed=<c> queue_us=<q>
 ///           total_us=<t>
 /// SAVE      OK 0 pin=<handle> bytes=<n> queue_us=<q> total_us=<t>
+/// TRACE     OK <n> count=<returned> threshold_ms=<t>  ; body = one line
+///           per slow-ring record, slowest first:
+///           `trace <id> verb=<v> session=<key> status=<s> total_us=<t>
+///            queue_us=… env_us=… exec_us=… finish_us=… [sub_<label>_us=…]`
 /// ```
+///
+/// Span glossary (`trace=1` response meta, all microseconds):
+///
+/// ```text
+/// span_parse_us   read-line -> submit (front-end parse; outside total_us)
+/// span_admit_us   submit -> enqueued (admission checks, net resolution)
+/// span_queue_us   enqueued -> dequeued by a worker
+/// span_env_us     dequeue -> routing environment ready (grid/session state)
+/// span_exec_us    environment ready -> engine finished
+/// span_finish_us  engine finished -> response handed to the completion
+/// sub_<label>_us  sub-span offsets from submit: OPTIMIZE emits one
+///                 sub_pass<i>_us per completed pass; stage verbs emit
+///                 sub_stage_run_us or sub_stage_cache_hit_us
+/// ```
+///
+/// span_admit + span_queue + span_env + span_exec + span_finish == the
+/// response's total_us exactly — every stamp is an offset from one
+/// submission timestamp and the deltas telescope.
 ///
 /// The stage verbs run against the session's *committed* routes — published
 /// by the last full ROUTE, REROUTE, or OPTIMIZE; a session that has none
@@ -200,6 +235,7 @@ enum class CommandKind {
   kCommit,   ///< route + incrementally commit nets into a pin
   kUncommit, ///< rip committed nets back out of a pin
   kSave,     ///< serialize a pin to the snapshot directory
+  kTrace,    ///< dump the slow-request ring
   kUnknown,
 };
 
@@ -272,6 +308,8 @@ struct RouteCommand {
   std::chrono::milliseconds budget{0};
   /// Stage verbs (DETAIL/CONGEST/VERIFY/SVG): the selected stage + knobs.
   std::optional<pipeline::StageOptions> stage;
+  /// `trace=1`: echo the span breakdown in the response meta.
+  bool trace = false;
 };
 
 /// Parses the ROUTE argument vector (everything after the keyword) through
@@ -352,10 +390,11 @@ struct GenCommand {
 /// — it may echo untrusted request bytes.
 [[nodiscard]] std::string format_err(const std::string& reason);
 
-/// Renders the HELLO response: `version=<v> verbs=<n>` meta, body one line
-/// per verb-table row (`verb <NAME> args=<n> [knobs=<k1,k2!,…>]`, '!' =
-/// required).  Pure — rendered straight from verb_table().
-[[nodiscard]] std::string format_hello();
+/// Renders the HELLO response: `version=<v> verbs=<n> uptime_s=<s>` meta,
+/// body one line per verb-table row (`verb <NAME> args=<n>
+/// [knobs=<k1,k2!,…>]`, '!' = required).  Pure apart from \p uptime_s,
+/// which the caller reads off the service.
+[[nodiscard]] std::string format_hello(std::uint64_t uptime_s);
 
 /// Executes LOAD against the service and renders the response frame.
 /// Synchronous — the blocking front-end's path; the event loop offloads
@@ -373,8 +412,20 @@ struct GenCommand {
 /// produced for the same outcome.  Pure — safe on a worker thread.
 [[nodiscard]] std::string format_load_response(const LoadResponse& resp);
 
-/// Renders the STATS response frame.
+/// Renders the STATS response frame.  Times its own render and records the
+/// cost into the service's `stats` verb shard — the observer observes
+/// itself, so a pathological STATS render shows up in STATS.
 [[nodiscard]] std::string exec_stats(RoutingService& service);
+
+/// Parses a TRACE argument vector (`[n=<count>]`, 1..256) and returns the
+/// requested record count (32 when omitted).  Throws std::runtime_error
+/// with token context like parse_route_command.
+[[nodiscard]] std::size_t parse_trace_count(const std::string& args);
+
+/// Renders the TRACE response frame: up to \p n slow-ring records, slowest
+/// first, one `trace <id> …` line each (see the file comment), with
+/// `count=` and `threshold_ms=` meta.
+[[nodiscard]] std::string exec_trace(RoutingService& service, std::size_t n);
 
 /// Renders a completed ROUTE response: OK frame with the route-dump body
 /// (subset-restricted when the request named nets), or the ERR frame for a

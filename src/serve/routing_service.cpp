@@ -11,6 +11,7 @@
 #include "io/route_dump.hpp"
 #include "io/text_format.hpp"
 #include "pipeline/stage_runner.hpp"
+#include "serve/protocol.hpp"
 #include "serve/snapshot.hpp"
 
 namespace gcr::serve {
@@ -21,6 +22,21 @@ std::uint64_t micros_between(std::chrono::steady_clock::time_point a,
                              std::chrono::steady_clock::time_point b) {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(b - a).count());
+}
+
+/// The latency shard a route-family request records into.
+VerbKind classify_verb(const RouteRequest& req) {
+  if (req.stage.has_value()) {
+    switch (req.stage->kind) {
+      case pipeline::StageKind::kDetail: return VerbKind::kDetail;
+      case pipeline::StageKind::kCongest: return VerbKind::kCongest;
+      case pipeline::StageKind::kVerify: return VerbKind::kVerify;
+      case pipeline::StageKind::kSvg: return VerbKind::kSvg;
+    }
+  }
+  if (req.optimize) return VerbKind::kOptimize;
+  if (req.reroute) return VerbKind::kReroute;
+  return VerbKind::kRoute;
 }
 
 }  // namespace
@@ -41,7 +57,9 @@ RoutingService::RoutingService(const Options& opts)
     : opts_(opts),
       cache_(opts.cache_capacity),
       stage_cache_(opts.stage_cache_capacity),
-      queue_(opts.queue_capacity) {
+      queue_(opts.queue_capacity),
+      start_(std::chrono::steady_clock::now()),
+      slow_ring_(opts.slow_ring_capacity, opts.slow_threshold_ms * 1000) {
   // Rehydrate snapshotted pins before the workers start, so restored
   // sessions are addressable from the very first request.
   if (!opts_.restore_dir.empty()) restore_pins(opts_.restore_dir);
@@ -120,6 +138,16 @@ void RoutingService::submit(RouteRequest req, RouteCallback done) {
   job.session = std::move(session);
   job.done = std::move(done);
   job.submitted = now;
+  job.id = trace_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
+  job.verb = classify_verb(job.req);
+  if (job.req.received != std::chrono::steady_clock::time_point{} &&
+      job.req.received <= now) {
+    job.trace.parse_us = micros_between(job.req.received, now);
+  }
+  // Admission work (session resolve, net-name resolution) is the span
+  // between the origin and here; the queue span starts at this stamp.
+  job.trace.enqueue_us =
+      micros_between(now, std::chrono::steady_clock::now());
   if (!queue_.try_push(std::move(job))) {
     // try_push moves only on success, so the rejected job still owns its
     // callback and can deliver the rejection.
@@ -158,10 +186,14 @@ void RoutingService::submit_pin(PinRequest req, PinCallback done) {
     if (session == nullptr) return fail_now(RouteStatus::kSessionNotFound);
     Job job;
     job.kind = Job::Kind::kPin;
+    job.verb = VerbKind::kPin;
+    job.id = trace_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
     job.pin_req = std::move(req);
     job.session = std::move(session);
     job.pin_done = std::move(done);
     job.submitted = now;
+    job.trace.enqueue_us =
+        micros_between(now, std::chrono::steady_clock::now());
     if (!queue_.try_push(std::move(job))) {
       metrics_.pin_ops_failed.fetch_add(1, std::memory_order_relaxed);
       PinResponse resp;
@@ -184,11 +216,15 @@ void RoutingService::submit_pin(PinRequest req, PinCallback done) {
   }
   Job job;
   job.kind = Job::Kind::kPin;
+  job.verb = VerbKind::kPin;
+  job.id = trace_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
   job.pin = std::move(pin);
   job.pin_ticket = job.pin->acquire_ticket();
   job.pin_req = std::move(req);
   job.pin_done = std::move(done);
   job.submitted = now;
+  job.trace.enqueue_us =
+      micros_between(now, std::chrono::steady_clock::now());
   if (!queue_.try_push(std::move(job))) {
     metrics_.pin_ops_failed.fetch_add(1, std::memory_order_relaxed);
     job.pin->abort_turn(job.pin_ticket);
@@ -220,6 +256,8 @@ void RoutingService::submit_load(std::string text, std::string key,
   metrics_.loads_offloaded.fetch_add(1, std::memory_order_relaxed);
   Job job;
   job.kind = Job::Kind::kLoad;
+  job.verb = VerbKind::kLoad;
+  job.id = trace_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
   job.load_text = std::move(text);
   job.load_key = std::move(key);
   job.load_cancel = std::move(cancel);
@@ -239,6 +277,8 @@ void RoutingService::submit_gen(std::function<std::string()> synth,
   metrics_.loads_offloaded.fetch_add(1, std::memory_order_relaxed);
   Job job;
   job.kind = Job::Kind::kLoad;
+  job.verb = VerbKind::kGen;
+  job.id = trace_ids_.fetch_add(1, std::memory_order_relaxed) + 1;
   job.load_synth = std::move(synth);
   job.load_cancel = std::move(cancel);
   job.load_done = std::move(done);
@@ -252,10 +292,13 @@ void RoutingService::submit_gen(std::function<std::string()> synth,
 }
 
 void RoutingService::run_load_job(Job& job) {
-  // Deliberately not recorded into the latency/queue-wait windows: those
-  // are what STATS reports as *routing* percentiles, and one cold
-  // environment build would distort p95/p99 for every dashboard reading
-  // them.  The loads_* counters below are the LOAD-side observability.
+  // Deliberately not recorded into the *global* latency/queue-wait
+  // histograms: those are what STATS reports as routing percentiles, and
+  // one cold environment build would distort p95/p99 for every dashboard
+  // reading them.  LOAD/GEN latency lives in its own verb shard (and in
+  // the slow-request ring) instead.
+  job.trace.dequeue_us =
+      micros_between(job.submitted, std::chrono::steady_clock::now());
   LoadResponse resp;
   if (job.load_cancel &&
       job.load_cancel->load(std::memory_order_relaxed)) {
@@ -279,6 +322,20 @@ void RoutingService::run_load_job(Job& job) {
   if (!resp.ok) {
     metrics_.loads_failed.fetch_add(1, std::memory_order_relaxed);
   }
+  RequestTrace& trace = job.trace;
+  const std::uint64_t total =
+      micros_between(job.submitted, std::chrono::steady_clock::now());
+  trace.exec_us = total;
+  if (trace.env_us < trace.dequeue_us) trace.env_us = trace.dequeue_us;
+  trace.total_us = total;
+  metrics_.verb_latency[static_cast<std::size_t>(job.verb)].record(total);
+  SlowRecord rec;
+  rec.id = job.id;
+  rec.verb = job.verb;
+  rec.session = resp.session != nullptr ? resp.session->key : job.load_key;
+  rec.status = resp.ok ? "ok" : "error";
+  rec.trace = std::move(trace);
+  slow_ring_.offer(std::move(rec));
   job.load_done(std::move(resp));
 }
 
@@ -297,6 +354,7 @@ void RoutingService::worker_loop() {
     }
 
     const auto dequeued = std::chrono::steady_clock::now();
+    job->trace.dequeue_us = micros_between(job->submitted, dequeued);
     RouteResponse resp;
     resp.queue_wait = std::chrono::microseconds(
         micros_between(job->submitted, dequeued));
@@ -339,10 +397,27 @@ void RoutingService::worker_loop() {
         oopts.budget = job->req.optimize_budget;
         oopts.deadline = job->req.deadline;
         oopts.cancel = job->req.cancel;
-        oopts.progress = job->req.progress;
+        // Per-pass sub-spans: wrap the caller's progress hook so every
+        // completed pass leaves a trace stamp (same origin as the spans).
+        {
+          const route::OptimizeProgress user = job->req.progress;
+          RequestTrace* trace = &job->trace;
+          const auto origin = job->submitted;
+          oopts.progress = [user, trace,
+                            origin](const route::OptimizePassStats& p) {
+            trace->subs.push_back(
+                {"pass" + std::to_string(p.pass),
+                 micros_between(origin, std::chrono::steady_clock::now())});
+            if (user) user(p);
+          };
+        }
         const route::Optimizer optimizer(job->session->layout,
                                          job->session->env);
+        job->trace.env_us =
+            micros_between(job->submitted, std::chrono::steady_clock::now());
         route::OptimizeReport report = optimizer.run(oopts);
+        job->trace.exec_us =
+            micros_between(job->submitted, std::chrono::steady_clock::now());
         if (report.cancelled) {
           // The client vanished mid-run (pass-boundary check): nothing
           // wants the result.  PASS lines already streamed are fine — the
@@ -363,7 +438,11 @@ void RoutingService::worker_loop() {
                                           job->session->env);
         job->req.opts.deadline = job->req.deadline;
         job->req.opts.cancel = job->req.cancel;
+        job->trace.env_us =
+            micros_between(job->submitted, std::chrono::steady_clock::now());
         resp.result = router.route_all(job->req.opts);
+        job->trace.exec_us =
+            micros_between(job->submitted, std::chrono::steady_clock::now());
         if (resp.result.cancelled) {
           // Stopped between nets: the partial result must not be dumped,
           // committed, or counted.  Attribute like the dequeue checks do.
@@ -414,6 +493,7 @@ void RoutingService::worker_loop() {
 
 void RoutingService::run_pin_job(Job& job) {
   const auto dequeued = std::chrono::steady_clock::now();
+  job.trace.dequeue_us = micros_between(job.submitted, dequeued);
   PinResponse resp;
   resp.queue_wait =
       std::chrono::microseconds(micros_between(job.submitted, dequeued));
@@ -440,6 +520,8 @@ void RoutingService::run_pin_job(Job& job) {
       resp.status = RouteStatus::kError;
       resp.error = e.what();
     }
+    job.trace.exec_us =
+        micros_between(job.submitted, std::chrono::steady_clock::now());
     finish_pin(job, std::move(resp));
     return;
   }
@@ -484,6 +566,8 @@ void RoutingService::run_pin_job(Job& job) {
     run_pin_mutation(job, resp);
   }
   pin.finish_turn(job.pin_ticket);
+  job.trace.exec_us =
+      micros_between(job.submitted, std::chrono::steady_clock::now());
   finish_pin(job, std::move(resp));
 }
 
@@ -749,9 +833,24 @@ void RoutingService::restore_pins(const std::string& dir) {
 }
 
 void RoutingService::finish_pin(Job& job, PinResponse&& resp) {
-  resp.latency = std::chrono::microseconds(
-      micros_between(job.submitted, std::chrono::steady_clock::now()));
-  metrics_.latency.record(static_cast<std::uint64_t>(resp.latency.count()));
+  const std::uint64_t total =
+      micros_between(job.submitted, std::chrono::steady_clock::now());
+  resp.latency = std::chrono::microseconds(total);
+  RequestTrace& trace = job.trace;
+  if (trace.dequeue_us < trace.enqueue_us) trace.dequeue_us = trace.enqueue_us;
+  if (trace.env_us < trace.dequeue_us) trace.env_us = trace.dequeue_us;
+  if (trace.exec_us < trace.env_us) trace.exec_us = trace.env_us;
+  trace.total_us = total;
+  metrics_.latency.record(total);
+  metrics_.verb_latency[static_cast<std::size_t>(VerbKind::kPin)].record(
+      total);
+  SlowRecord rec;
+  rec.id = job.id;
+  rec.verb = VerbKind::kPin;
+  rec.session = job.pin_req.key;
+  rec.status = to_string(resp.status);
+  rec.trace = trace;
+  slow_ring_.offer(std::move(rec));
   (resp.ok() ? metrics_.pin_ops_ok : metrics_.pin_ops_failed)
       .fetch_add(1, std::memory_order_relaxed);
   job.pin_done(std::move(resp));
@@ -790,6 +889,10 @@ void RoutingService::run_stage_job(Job& job, RouteResponse& resp) {
       }
       state = job.session->routes.set(std::move(routed));
     }
+    // Committed routes (possibly just materialized above) are this verb's
+    // "environment": everything after this stamp is the stage itself.
+    job.trace.env_us =
+        micros_between(job.submitted, std::chrono::steady_clock::now());
 
     const std::string key = pipeline::StageCache::key_for(
         job.session->key, state->fingerprint, sopts.fingerprint());
@@ -798,6 +901,9 @@ void RoutingService::run_stage_job(Job& job, RouteResponse& resp) {
     if (cached != nullptr) {
       resp.stage = std::move(cached);
       resp.stage_cached = true;
+      job.trace.subs.push_back(
+          {"stage_cache_hit",
+           micros_between(job.submitted, std::chrono::steady_clock::now())});
     } else {
       const pipeline::StageContext ctx{job.session->layout,
                                        job.session->env, state->result,
@@ -818,7 +924,12 @@ void RoutingService::run_stage_job(Job& job, RouteResponse& resp) {
       }
       stage_cache_.insert(key, out.result);
       resp.stage = std::move(out.result);
+      job.trace.subs.push_back(
+          {"stage_run",
+           micros_between(job.submitted, std::chrono::steady_clock::now())});
     }
+    job.trace.exec_us =
+        micros_between(job.submitted, std::chrono::steady_clock::now());
     resp.session = job.session;
     resp.status = RouteStatus::kOk;
     metrics_.requests_ok.fetch_add(1, std::memory_order_relaxed);
@@ -832,9 +943,30 @@ void RoutingService::run_stage_job(Job& job, RouteResponse& resp) {
 }
 
 void RoutingService::finish(Job& job, RouteResponse&& resp) {
-  resp.latency = std::chrono::microseconds(
-      micros_between(job.submitted, std::chrono::steady_clock::now()));
-  metrics_.latency.record(static_cast<std::uint64_t>(resp.latency.count()));
+  // One clock read produces both the reported latency and the trace's
+  // total_us — the rendered span deltas sum to total_us exactly.
+  const std::uint64_t total =
+      micros_between(job.submitted, std::chrono::steady_clock::now());
+  resp.latency = std::chrono::microseconds(total);
+  RequestTrace& trace = job.trace;
+  // Early-out paths (cancel/expiry at dequeue, admission-stage errors) skip
+  // some stamps; clamp forward so the chain stays monotone with zero-width
+  // spans for the phases that never ran.
+  if (trace.dequeue_us < trace.enqueue_us) trace.dequeue_us = trace.enqueue_us;
+  if (trace.env_us < trace.dequeue_us) trace.env_us = trace.dequeue_us;
+  if (trace.exec_us < trace.env_us) trace.exec_us = trace.env_us;
+  trace.total_us = total;
+  metrics_.latency.record(total);
+  metrics_.verb_latency[static_cast<std::size_t>(job.verb)].record(total);
+  SlowRecord rec;
+  rec.id = job.id;
+  rec.verb = job.verb;
+  rec.session = job.req.session_key;
+  rec.status = to_string(resp.status);
+  rec.trace = trace;
+  slow_ring_.offer(std::move(rec));
+  resp.trace = std::move(trace);
+  resp.traced = job.req.trace;
   job.done(std::move(resp));
 }
 
@@ -876,10 +1008,21 @@ MetricsSnapshot RoutingService::snapshot() const {
   s.stage_cache_misses = stage_cache_.misses();
   s.stage_cache_evictions = stage_cache_.evictions();
   s.stage_cache_size = stage_cache_.size();
-  s.latency_p50_us = metrics_.latency.percentile(50);
-  s.latency_p95_us = metrics_.latency.percentile(95);
-  s.latency_p99_us = metrics_.latency.percentile(99);
-  s.queue_wait_p50_us = metrics_.queue_wait.percentile(50);
+  // One bucket snapshot per histogram serves every quantile query.
+  const Histogram::Snapshot lat = metrics_.latency.snapshot();
+  s.latency_p50_us = lat.percentile(50);
+  s.latency_p95_us = lat.percentile(95);
+  s.latency_p99_us = lat.percentile(99);
+  s.queue_wait_p50_us = metrics_.queue_wait.snapshot().percentile(50);
+  for (std::size_t i = 0; i < kVerbKinds; ++i) {
+    const Histogram::Snapshot vs = metrics_.verb_latency[i].snapshot();
+    s.verbs[i].count = vs.count;
+    s.verbs[i].p50_us = vs.percentile(50);
+    s.verbs[i].p95_us = vs.percentile(95);
+    s.verbs[i].p99_us = vs.percentile(99);
+  }
+  s.uptime_s = uptime_s();
+  s.protocol_version = kProtocolVersion;
   s.queue_depth = queue_.size();
   s.queue_capacity = queue_.capacity();
   s.workers = workers_.size();
@@ -890,6 +1033,27 @@ MetricsSnapshot RoutingService::snapshot() const {
   return s;
 }
 
-std::string RoutingService::stats_text() const { return snapshot().to_text(); }
+std::string RoutingService::stats_text() const {
+  std::string text = snapshot().to_text();
+  std::function<std::string()> extra;
+  {
+    const std::lock_guard<std::mutex> lock(extra_stats_mu_);
+    extra = extra_stats_;
+  }
+  if (extra) text += extra();
+  return text;
+}
+
+void RoutingService::set_extra_stats(std::function<std::string()> extra) {
+  const std::lock_guard<std::mutex> lock(extra_stats_mu_);
+  extra_stats_ = std::move(extra);
+}
+
+std::uint64_t RoutingService::uptime_s() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
 
 }  // namespace gcr::serve

@@ -6,6 +6,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -19,6 +20,7 @@
 #include "serve/layout_session.hpp"
 #include "serve/metrics.hpp"
 #include "serve/pinned_session.hpp"
+#include "serve/trace.hpp"
 
 /// \file routing_service.hpp
 /// The serving facade: a persistent worker pool draining a bounded job
@@ -96,6 +98,15 @@ struct RouteRequest {
   /// — before a worker picks it up, or mid-run at the engine's next check
   /// (between nets / at pass boundaries / inside stage loops).
   std::shared_ptr<std::atomic<bool>> cancel;
+  /// `trace=1`: echo the request's span breakdown in the response meta.
+  /// Spans are stamped unconditionally (a handful of clock reads against
+  /// engine runs of >= 100 us) so the slow-request ring always has them;
+  /// this flag only gates the rendering.
+  bool trace = false;
+  /// When the front-end read the command off the wire, stamped just before
+  /// parsing — the origin of the trace's parse span.  Zero (default) = the
+  /// parse span is not measured.
+  std::chrono::steady_clock::time_point received{};
 };
 
 struct RouteResponse {
@@ -118,6 +129,12 @@ struct RouteResponse {
   bool stage_cached = false;
   std::chrono::microseconds queue_wait{0};  ///< submit -> dequeue
   std::chrono::microseconds latency{0};     ///< submit -> completion
+  /// The span breakdown (always populated for worker-served requests;
+  /// trace.total_us equals latency exactly — same clock read).
+  RequestTrace trace;
+  /// Echo of RouteRequest::trace: the front-end appends trace.render_meta()
+  /// to the response meta iff set.
+  bool traced = false;
 
   [[nodiscard]] bool ok() const noexcept { return status == RouteStatus::kOk; }
 };
@@ -202,6 +219,11 @@ class RoutingService {
     /// Corrupt or truncated files are skipped with a stderr warning; they
     /// never produce a half-restored session.
     std::string restore_dir;
+    /// Slow-request ring admission threshold (the daemon's --slow-ms).
+    /// 0 = no threshold: the ring keeps the top-N slowest requests seen.
+    std::uint64_t slow_threshold_ms = 0;
+    /// How many slow-request traces the TRACE verb can dump.
+    std::size_t slow_ring_capacity = 32;
   };
 
   RoutingService() : RoutingService(Options{}) {}
@@ -288,13 +310,45 @@ class RoutingService {
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
-  /// The STATS response body.
+  /// The STATS response body: the metrics snapshot plus whatever the
+  /// registered extra-stats hook (the TCP front-end's loop-health section)
+  /// appends.
   [[nodiscard]] std::string stats_text() const;
+
+  /// Registers a hook whose output is appended verbatim to stats_text() —
+  /// how the event loop exports its health without the service knowing
+  /// about epoll.  Pass an empty function to clear (the loop's destructor
+  /// must, before its counters die).  The hook may be called from any
+  /// thread and must only read lock-free state.
+  void set_extra_stats(std::function<std::string()> extra);
+
+  /// Records one sample into a verb's latency shard — for request kinds
+  /// served outside the worker pool (the front-ends' inline STATS render).
+  void record_verb_latency(VerbKind kind, std::uint64_t micros) noexcept {
+    metrics_.verb_latency[static_cast<std::size_t>(kind)].record(micros);
+  }
+
+  /// Up to \p n completed slow-request traces, slowest first (TRACE verb).
+  [[nodiscard]] std::vector<SlowRecord> slow_requests(std::size_t n) const {
+    return slow_ring_.top(n);
+  }
+  [[nodiscard]] std::uint64_t slow_threshold_ms() const noexcept {
+    return opts_.slow_threshold_ms;
+  }
+
+  /// Whole seconds since this service instance was constructed.
+  [[nodiscard]] std::uint64_t uptime_s() const;
 
  private:
   struct Job {
     enum class Kind { kRoute, kLoad, kPin };
     Kind kind = Kind::kRoute;
+    /// Which latency shard and TRACE label this job belongs to.
+    VerbKind verb = VerbKind::kRoute;
+    /// Admission sequence number (TRACE output id) and the span stamps,
+    /// written by submit/worker and folded into the response at finish.
+    std::uint64_t id = 0;
+    RequestTrace trace;
     // kRoute fields.
     RouteRequest req;
     std::shared_ptr<const LayoutSession> session;
@@ -335,6 +389,11 @@ class RoutingService {
   BoundedQueue<Job> queue_;
   ServiceMetrics metrics_;
   PinRegistry pins_;
+  std::chrono::steady_clock::time_point start_;
+  SlowRequestRing slow_ring_;
+  std::atomic<std::uint64_t> trace_ids_{0};
+  mutable std::mutex extra_stats_mu_;
+  std::function<std::string()> extra_stats_;
   std::vector<std::thread> workers_;
 };
 

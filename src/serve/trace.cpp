@@ -1,0 +1,117 @@
+#include "serve/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gcr::serve {
+
+std::uint64_t Histogram::Snapshot::percentile(double q) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 100.0) q = 100.0;
+  // Nearest-rank against the bucket mass actually read (the atomics are
+  // sampled bucket-by-bucket, so `count` may disagree by in-flight records).
+  std::uint64_t rank = static_cast<std::uint64_t>(
+      (q / 100.0) * static_cast<double>(total) + 0.9999999);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen >= rank) return bucket_upper(i);
+  }
+  return bucket_upper(buckets.size() - 1);
+}
+
+std::string_view to_string(VerbKind kind) noexcept {
+  switch (kind) {
+    case VerbKind::kRoute:
+      return "route";
+    case VerbKind::kReroute:
+      return "reroute";
+    case VerbKind::kOptimize:
+      return "optimize";
+    case VerbKind::kDetail:
+      return "detail";
+    case VerbKind::kCongest:
+      return "congest";
+    case VerbKind::kVerify:
+      return "verify";
+    case VerbKind::kSvg:
+      return "svg";
+    case VerbKind::kLoad:
+      return "load";
+    case VerbKind::kGen:
+      return "gen";
+    case VerbKind::kPin:
+      return "pin";
+    case VerbKind::kStats:
+      return "stats";
+    case VerbKind::kCount_:
+      break;
+  }
+  return "unknown";
+}
+
+std::string RequestTrace::render_meta() const {
+  std::ostringstream os;
+  os << " span_admit_us=" << enqueue_us
+     << " span_queue_us=" << (dequeue_us - enqueue_us)
+     << " span_env_us=" << (env_us - dequeue_us)
+     << " span_exec_us=" << (exec_us - env_us)
+     << " span_finish_us=" << (total_us - exec_us)
+     << " span_parse_us=" << parse_us;
+  for (const Sub& sub : subs) {
+    os << " sub_" << sub.label << "_us=" << sub.at_us;
+  }
+  return os.str();
+}
+
+void SlowRequestRing::offer(SlowRecord rec) {
+  const std::uint64_t total = rec.trace.total_us;
+  if (total < threshold_us_) return;
+  // Lock-free fast path: a sample at or below the floor of a full ring can
+  // never displace anything.
+  const std::uint64_t floor = floor_us_.load(std::memory_order_relaxed);
+  if (floor != 0 && total <= floor) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (records_.size() < capacity_) {
+    records_.push_back(std::move(rec));
+  } else {
+    auto worst = std::min_element(
+        records_.begin(), records_.end(),
+        [](const SlowRecord& a, const SlowRecord& b) {
+          return a.trace.total_us < b.trace.total_us;
+        });
+    if (worst->trace.total_us >= total) return;
+    *worst = std::move(rec);
+  }
+  if (records_.size() == capacity_) {
+    std::uint64_t min_us = ~std::uint64_t{0};
+    for (const SlowRecord& r : records_) {
+      min_us = std::min(min_us, r.trace.total_us);
+    }
+    floor_us_.store(min_us, std::memory_order_relaxed);
+  }
+}
+
+std::vector<SlowRecord> SlowRequestRing::top(std::size_t n) const {
+  std::vector<SlowRecord> out;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    out = records_;
+  }
+  std::sort(out.begin(), out.end(), [](const SlowRecord& a,
+                                       const SlowRecord& b) {
+    if (a.trace.total_us != b.trace.total_us) {
+      return a.trace.total_us > b.trace.total_us;
+    }
+    return a.id < b.id;
+  });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+}  // namespace gcr::serve

@@ -930,6 +930,75 @@ TEST(EventLoop, PipelinedLoadRouteBurstWaitsForOffloadedBuild) {
   EXPECT_GE(server.service().snapshot().loads_offloaded, 2u);
 }
 
+TEST(EventLoop, StatsCarriesLoopHealthAndTraceWorksOverTcp) {
+  // The loop exports its own health (loop_* keys) into the STATS body via
+  // RoutingService::set_extra_stats, and the TRACE verb + trace=1 knob work
+  // end to end over the epoll front-end.
+  TestServer server;
+  const std::string text = workload_text(9, 12, 7);
+  const std::string key = serve::SessionCache::content_key(text);
+
+  const net::ScopedFd sock = net::tcp_connect(server.port());
+  serve::FdTransport transport(sock.get());
+  send_all(sock.get(), load_frame(text) + "ROUTE " + key + " trace=1\n");
+
+  (void)read_frame(transport.in());  // LOAD
+  const Frame route = read_frame(transport.in());
+  ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
+  // Span breakdown rides the response meta when asked for...
+  EXPECT_NE(route.status.find("span_exec_us="), std::string::npos)
+      << route.status;
+  EXPECT_NE(route.status.find("span_parse_us="), std::string::npos);
+
+  // STATS and TRACE are answered inline on the loop thread the moment they
+  // are parsed (their *responses* still sequence after earlier frames, but
+  // their *content* is computed immediately) — so they only observe the
+  // ROUTE deterministically once its response has been read back, which
+  // happens-after the worker recorded the histogram and ring entries.
+  send_all(sock.get(), "STATS\nTRACE n=4\nQUIT\n");
+  const Frame stats = read_frame(transport.in());
+  ASSERT_EQ(stats.status.rfind("OK ", 0), 0u);
+  // ...the service shards it per verb...
+  EXPECT_NE(stats.body.find("verb_route_count 1"), std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("verb_load_count 1"), std::string::npos);
+  // ...and the loop's own counters ride along.  The connection gauge and
+  // byte counters are live: this very connection is connected and has sent
+  // bytes.
+  EXPECT_NE(stats.body.find("loop_connections 1"), std::string::npos)
+      << stats.body;
+  for (const char* k :
+       {"loop_accepted", "loop_commands", "loop_reads_suspended",
+        "loop_dropped_slow", "loop_dropped_error", "loop_parked",
+        "loop_replayed", "loop_bytes_in", "loop_bytes_out", "loop_wakeups",
+        "loop_lag_p50_us", "loop_lag_p95_us", "loop_lag_p99_us"}) {
+    EXPECT_NE(stats.body.find(std::string(k) + " "), std::string::npos) << k;
+  }
+  EXPECT_EQ(stats.body.find("loop_bytes_in 0\n"), std::string::npos)
+      << "the LOAD alone sent hundreds of bytes";
+
+  const Frame trace = read_frame(transport.in());
+  ASSERT_EQ(trace.status.rfind("OK ", 0), 0u) << trace.status;
+  EXPECT_NE(trace.status.find("count="), std::string::npos);
+  // The traced ROUTE (and the offloaded LOAD) are in the ring.
+  EXPECT_NE(trace.body.find("verb=route"), std::string::npos) << trace.body;
+  EXPECT_NE(trace.body.find("session=" + key), std::string::npos);
+  const Frame bye = read_frame(transport.in());
+  EXPECT_EQ(bye.status, "OK 0 bye");
+
+  // Once the client hangs up the gauge returns to zero — poll briefly, the
+  // loop notices the close asynchronously.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (server.stats().connections.load() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.stats().connections.load(), 0u);
+  EXPECT_GT(server.stats().bytes_out.load(), 0u);
+  EXPECT_GT(server.stats().wakeups.load(), 0u);
+}
+
 #else  // !__linux__
 
 constexpr bool kHaveEventLoop = false;

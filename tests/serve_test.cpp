@@ -21,8 +21,10 @@
 #include "io/text_format.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/layout_session.hpp"
+#include "serve/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/routing_service.hpp"
+#include "serve/trace.hpp"
 #include "workload/netgen.hpp"
 
 namespace {
@@ -760,6 +762,331 @@ TEST(RoutingService, OptimizeRequestCountsMetrics) {
   EXPECT_EQ(snap.optimizes_ok, 1u);
   EXPECT_EQ(snap.optimize_passes, resp.passes.size() - 1);
   EXPECT_NE(snap.to_text().find("optimizes_ok 1"), std::string::npos);
+}
+
+// ------------------------------------------------------------ observability
+
+TEST(Histogram, BucketBoundaries) {
+  // bucket 0 = {0}; bucket k >= 1 covers [2^(k-1), 2^k - 1].
+  EXPECT_EQ(serve::Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(serve::Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(serve::Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(serve::Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(serve::Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(serve::Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(serve::Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(serve::Histogram::bucket_index(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(serve::Histogram::bucket_upper(0), 0u);
+  EXPECT_EQ(serve::Histogram::bucket_upper(1), 1u);
+  EXPECT_EQ(serve::Histogram::bucket_upper(2), 3u);
+  EXPECT_EQ(serve::Histogram::bucket_upper(11), 2047u);
+  EXPECT_EQ(serve::Histogram::bucket_upper(64), ~std::uint64_t{0});
+  // Every value lands in the bucket whose range contains it.
+  for (std::uint64_t v : {5ull, 63ull, 64ull, 999ull, 1ull << 40}) {
+    const std::size_t b = serve::Histogram::bucket_index(v);
+    EXPECT_LE(v, serve::Histogram::bucket_upper(b)) << v;
+    if (b > 1) {
+      EXPECT_GT(v, serve::Histogram::bucket_upper(b - 1)) << v;
+    }
+  }
+}
+
+TEST(Histogram, RecordAndPercentiles) {
+  serve::Histogram h;
+  EXPECT_EQ(h.snapshot().percentile(50), 0u);  // empty -> 0
+  // 90 fast samples (~100us) + 10 slow (~100ms): p50 reports the fast
+  // bucket's upper bound, p99 the slow one's.
+  for (int i = 0; i < 90; ++i) h.record(100);
+  for (int i = 0; i < 10; ++i) h.record(100'000);
+  EXPECT_EQ(h.total_recorded(), 100u);
+  const serve::Histogram::Snapshot s = h.snapshot();
+  EXPECT_EQ(s.percentile(50),
+            serve::Histogram::bucket_upper(serve::Histogram::bucket_index(100)));
+  EXPECT_EQ(s.percentile(99), serve::Histogram::bucket_upper(
+                                  serve::Histogram::bucket_index(100'000)));
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 90u * 100u + 10u * 100'000u);
+  // The record path must stay lock-free — that is the whole point of
+  // replacing the mutexed window on the hot path.
+  static_assert(std::atomic<std::uint64_t>::is_always_lock_free);
+}
+
+TEST(Histogram, AgreesWithLatencyWindowWithinOneBucket) {
+  // The acceptance criterion: on a uniform workload the log2 histogram's
+  // p50/p95/p99 land within one bucket of the exact sliding window's.
+  serve::Histogram hist;
+  serve::LatencyWindow window(4096);
+  std::uint64_t x = 0x243f6a8885a308d3ull;  // deterministic xorshift
+  for (int i = 0; i < 4096; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    const std::uint64_t sample = 200 + x % 1800;  // uniform-ish 200..1999us
+    hist.record(sample);
+    window.record(sample);
+  }
+  const serve::Histogram::Snapshot snap = hist.snapshot();
+  const std::vector<std::uint64_t> exact = window.percentiles({50, 95, 99});
+  const double qs[] = {50, 95, 99};
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t hist_p = snap.percentile(qs[i]);
+    const auto hist_bucket = serve::Histogram::bucket_index(hist_p);
+    const auto exact_bucket = serve::Histogram::bucket_index(exact[i]);
+    EXPECT_LE(hist_bucket > exact_bucket ? hist_bucket - exact_bucket
+                                         : exact_bucket - hist_bucket,
+              1u)
+        << "q=" << qs[i] << " hist=" << hist_p << " exact=" << exact[i];
+  }
+}
+
+TEST(LatencyWindow, PercentilesFromOneSnapshotMatchSingleQueries) {
+  serve::LatencyWindow w(128);
+  for (std::uint64_t v = 1; v <= 100; ++v) w.record(v);
+  const std::vector<std::uint64_t> multi = w.percentiles({0, 50, 95, 99, 100});
+  EXPECT_EQ(multi[0], w.percentile(0));
+  EXPECT_EQ(multi[1], w.percentile(50));
+  EXPECT_EQ(multi[2], w.percentile(95));
+  EXPECT_EQ(multi[3], w.percentile(99));
+  EXPECT_EQ(multi[4], w.percentile(100));
+  EXPECT_EQ(multi[1], 50u);   // nearest-rank on 1..100
+  EXPECT_EQ(multi[4], 100u);
+}
+
+TEST(SlowRequestRing, ThresholdAndTopN) {
+  serve::SlowRequestRing ring(/*capacity=*/3, /*threshold_us=*/1000);
+  const auto rec = [](std::uint64_t id, std::uint64_t total) {
+    serve::SlowRecord r;
+    r.id = id;
+    r.verb = serve::VerbKind::kRoute;
+    r.trace.total_us = total;
+    return r;
+  };
+  ring.offer(rec(1, 500));  // below threshold: dropped
+  ring.offer(rec(2, 1500));
+  ring.offer(rec(3, 3000));
+  ring.offer(rec(4, 2000));
+  ring.offer(rec(5, 1200));  // ring full; displaces nothing (min is 1500)
+  ring.offer(rec(6, 9000));  // displaces the min (1500)
+  const std::vector<serve::SlowRecord> top = ring.top(10);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].id, 6u);  // slowest first
+  EXPECT_EQ(top[1].id, 3u);
+  EXPECT_EQ(top[2].id, 4u);
+  EXPECT_EQ(ring.top(1).size(), 1u);
+  EXPECT_EQ(ring.top(1)[0].id, 6u);
+}
+
+TEST(RoutingService, TraceSpansMonotoneAndSumToTotal) {
+  const std::string text = workload_text(9, 12, 7);
+  serve::RoutingService::Options opts;
+  opts.workers = 2;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+
+  serve::RouteRequest req;
+  req.session_key = session->key;
+  req.trace = true;
+  req.received = std::chrono::steady_clock::now();
+  const serve::RouteResponse resp = service.route(std::move(req));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_TRUE(resp.traced);
+  const serve::RequestTrace& t = resp.trace;
+  // Offsets from one submission origin must be monotone...
+  EXPECT_LE(t.enqueue_us, t.dequeue_us);
+  EXPECT_LE(t.dequeue_us, t.env_us);
+  EXPECT_LE(t.env_us, t.exec_us);
+  EXPECT_LE(t.exec_us, t.total_us);
+  // ...and the rendered deltas telescope to exactly the reported latency.
+  EXPECT_EQ(t.total_us, static_cast<std::uint64_t>(resp.latency.count()));
+  const std::string meta = t.render_meta();
+  EXPECT_NE(meta.find("span_admit_us="), std::string::npos);
+  EXPECT_NE(meta.find("span_parse_us="), std::string::npos);
+
+  // Fail-fast paths skip worker stamps; the clamp must still produce a
+  // monotone (zero-width) breakdown.
+  serve::RouteRequest missing;
+  missing.session_key = "feedfacefeedface";
+  missing.trace = true;
+  const serve::RouteResponse fail = service.route(std::move(missing));
+  EXPECT_EQ(fail.status, serve::RouteStatus::kSessionNotFound);
+  EXPECT_LE(fail.trace.enqueue_us, fail.trace.dequeue_us);
+  EXPECT_LE(fail.trace.dequeue_us, fail.trace.env_us);
+  EXPECT_LE(fail.trace.env_us, fail.trace.exec_us);
+  EXPECT_LE(fail.trace.exec_us, fail.trace.total_us);
+}
+
+/// Pulls `<key>=<number>` out of a status line; fails the test if absent.
+std::uint64_t meta_u64(const std::string& status, const std::string& key) {
+  const std::size_t pos = status.find(" " + key + "=");
+  EXPECT_NE(pos, std::string::npos) << key << " missing in: " << status;
+  if (pos == std::string::npos) return 0;
+  return std::stoull(status.substr(pos + key.size() + 2));
+}
+
+TEST(Protocol, TraceKnobEchoesSpansThatSumToTotal) {
+  const std::string text(kTinyLayout);
+  const std::string key = serve::SessionCache::content_key(text);
+  const std::string script = "LOAD " + std::to_string(text.size()) + "\n" +
+                             text + "ROUTE " + key + " trace=1\n" + "ROUTE " +
+                             key + "\n" + "ROUTE " + key + " trace=2\nQUIT\n";
+  std::istringstream replies(run_protocol(script));
+  (void)next_frame(replies);  // LOAD
+
+  const Frame traced = next_frame(replies);
+  ASSERT_EQ(traced.status.rfind("OK ", 0), 0u) << traced.status;
+  const std::uint64_t total = meta_u64(traced.status, "total_us");
+  const std::uint64_t sum = meta_u64(traced.status, "span_admit_us") +
+                            meta_u64(traced.status, "span_queue_us") +
+                            meta_u64(traced.status, "span_env_us") +
+                            meta_u64(traced.status, "span_exec_us") +
+                            meta_u64(traced.status, "span_finish_us");
+  EXPECT_EQ(sum, total) << traced.status;
+  EXPECT_NE(traced.status.find("span_parse_us="), std::string::npos);
+
+  // trace=0/absent: no span keys in the meta.
+  const Frame untraced = next_frame(replies);
+  ASSERT_EQ(untraced.status.rfind("OK ", 0), 0u);
+  EXPECT_EQ(untraced.status.find("span_"), std::string::npos);
+
+  // trace= is a strict bool.
+  const Frame bad = next_frame(replies);
+  EXPECT_EQ(bad.status.rfind("ERR ", 0), 0u);
+  EXPECT_NE(bad.status.find("trace must be 0 or 1"), std::string::npos);
+}
+
+TEST(Protocol, TraceVerbDumpsSlowestRequests) {
+  const std::string text(kTinyLayout);
+  const std::string key = serve::SessionCache::content_key(text);
+  std::string script = "LOAD " + std::to_string(text.size()) + "\n" + text;
+  for (int i = 0; i < 3; ++i) script += "ROUTE " + key + "\n";
+  script += "TRACE n=2\nTRACE\nTRACE n=0\nTRACE n=257\nTRACE frob=1\nQUIT\n";
+  std::istringstream replies(run_protocol(script));
+  (void)next_frame(replies);  // LOAD
+  for (int i = 0; i < 3; ++i) (void)next_frame(replies);
+
+  const Frame two = next_frame(replies);
+  ASSERT_EQ(two.status.rfind("OK ", 0), 0u) << two.status;
+  EXPECT_EQ(meta_u64(two.status, "count"), 2u);
+  EXPECT_NE(two.status.find("threshold_ms=0"), std::string::npos);
+  // One line per record, slowest first, each with the span fields.
+  std::istringstream body(two.body);
+  std::string line;
+  std::uint64_t prev = ~std::uint64_t{0};
+  int lines = 0;
+  while (std::getline(body, line)) {
+    ASSERT_EQ(line.rfind("trace ", 0), 0u) << line;
+    EXPECT_NE(line.find("verb=route"), std::string::npos) << line;
+    EXPECT_NE(line.find("status=ok"), std::string::npos) << line;
+    const std::uint64_t total = meta_u64(line, "total_us");
+    EXPECT_LE(total, prev) << "records must be sorted slowest-first";
+    prev = total;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 2);
+
+  const Frame all = next_frame(replies);
+  ASSERT_EQ(all.status.rfind("OK ", 0), 0u);
+  EXPECT_EQ(meta_u64(all.status, "count"), 3u);  // default n=32 >= 3 records
+
+  for (const char* what : {"n=0", "n=257", "frob"}) {
+    const Frame bad = next_frame(replies);
+    EXPECT_EQ(bad.status.rfind("ERR ", 0), 0u) << what << ": " << bad.status;
+  }
+  EXPECT_EQ(next_frame(replies).status, "OK 0 bye");
+}
+
+TEST(Protocol, StatsCarriesVerbShardsUptimeAndVersion) {
+  const std::string text(kTinyLayout);
+  const std::string key = serve::SessionCache::content_key(text);
+  const std::string script = "LOAD " + std::to_string(text.size()) + "\n" +
+                             text + "ROUTE " + key + "\nSTATS\nSTATS\n"
+                             "HELLO\nQUIT\n";
+  std::istringstream replies(run_protocol(script));
+  (void)next_frame(replies);  // LOAD
+  (void)next_frame(replies);  // ROUTE
+  (void)next_frame(replies);  // first STATS warms the stats shard
+  const Frame stats = next_frame(replies);
+  EXPECT_NE(stats.body.find("verb_route_count 1"), std::string::npos);
+  EXPECT_NE(stats.body.find("verb_optimize_count 0"), std::string::npos);
+  // The observer observes itself: the first STATS render was recorded into
+  // the stats shard before this one rendered.
+  EXPECT_NE(stats.body.find("verb_stats_count 1"), std::string::npos);
+  EXPECT_NE(stats.body.find("uptime_s "), std::string::npos);
+  EXPECT_NE(stats.body.find("protocol_version 2"), std::string::npos);
+  // ROUTE's latency shows up in both the global histogram and its shard.
+  EXPECT_NE(stats.body.find("latency_p50_us "), std::string::npos);
+  EXPECT_NE(stats.body.find("verb_route_p50_us "), std::string::npos);
+
+  const Frame hello = next_frame(replies);
+  EXPECT_NE(hello.status.find("uptime_s="), std::string::npos);
+  EXPECT_NE(hello.body.find("verb TRACE args=0 knobs=n"), std::string::npos);
+  EXPECT_NE(hello.body.find("trace"), std::string::npos);
+}
+
+TEST(RoutingService, CounterConservationUnderConcurrentMixedBurst) {
+  // Every submission must land in exactly one outcome counter:
+  // submitted == ok + rejected + expired + cancelled + not_found + errored.
+  // The burst mixes all the paths: routable requests, unknown sessions,
+  // pre-expired deadlines, pre-cancelled tokens (the disconnect path),
+  // unknown net names (the admission ERR path), and enough pressure on a
+  // tiny queue to draw rejections.
+  const std::string text = workload_text(9, 12, 7);
+  serve::RoutingService::Options opts;
+  opts.workers = 2;
+  opts.queue_capacity = 2;  // small: saturation produces kRejected
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 12;
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (std::size_t c = 0; c < kThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        serve::RouteRequest req;
+        switch ((c + i) % 5) {
+          case 0:  // ok (or rejected under saturation)
+            req.session_key = session->key;
+            break;
+          case 1:  // not_found
+            req.session_key = "feedfacefeedface";
+            break;
+          case 2:  // expired at dequeue
+            req.session_key = session->key;
+            req.deadline = std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(1);
+            break;
+          case 3:  // cancelled (disconnect): token pre-flipped
+            req.session_key = session->key;
+            req.cancel = std::make_shared<std::atomic<bool>>(true);
+            break;
+          case 4:  // errored at admission: unknown net
+            req.session_key = session->key;
+            req.net_names = {"no_such_net"};
+            break;
+        }
+        (void)service.route(std::move(req));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const serve::MetricsSnapshot snap = service.snapshot();
+  EXPECT_EQ(snap.requests_submitted, kThreads * kPerThread);
+  EXPECT_EQ(snap.requests_submitted,
+            snap.requests_ok + snap.requests_rejected + snap.requests_expired +
+                snap.requests_cancelled + snap.requests_not_found +
+                snap.requests_errored)
+      << "ok=" << snap.requests_ok << " rej=" << snap.requests_rejected
+      << " exp=" << snap.requests_expired << " can=" << snap.requests_cancelled
+      << " nf=" << snap.requests_not_found << " err=" << snap.requests_errored;
+  // Each exercised bucket actually fired.
+  EXPECT_GE(snap.requests_not_found, 1u);
+  EXPECT_GE(snap.requests_expired, 1u);
+  EXPECT_GE(snap.requests_cancelled, 1u);
+  EXPECT_GE(snap.requests_errored, 1u);
+  EXPECT_GE(snap.requests_ok, 1u);
 }
 
 }  // namespace
