@@ -57,11 +57,13 @@
 // reproducible and the reference comparison is exact.
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <exception>
 #include <fstream>
 #include <map>
@@ -94,6 +96,14 @@
 #define GCR_LOADGEN_HAVE_FORK 0
 #endif
 
+#if defined(__linux__)
+#include <fcntl.h>
+#include <sys/epoll.h>
+#define GCR_LOADGEN_HAVE_EPOLL 1
+#else
+#define GCR_LOADGEN_HAVE_EPOLL 0
+#endif
+
 namespace {
 
 using namespace gcr;
@@ -120,15 +130,29 @@ struct Config {
   /// to the clients' own per-verb aggregates — to this path before the
   /// server is shut down.
   std::string stats_out;
+  /// TCP mode: fork the server with --reactors N (SO_REUSEPORT event-loop
+  /// shards); 1 = the single-loop build the responses are differenced
+  /// against.
+  std::size_t reactors = 1;
+  /// Open-loop mode (--tcp only): instead of closed-loop request/response
+  /// clients, pace ROUTEs at fixed offered rates over many pipelined
+  /// connections and measure the p99-vs-offered-load curve.
+  bool open_loop = false;
+  std::string offered = "200,400,800";  // req/s steps, comma-separated
+  std::size_t conns = 64;               // open-loop connection count
+  double step_s = 2.0;                  // seconds per offered-load step
+  std::string curve_out;                // JSON curve artifact path
 };
 
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--server PATH [--transport socket|pipe] [--tcp]]\n"
-      "       [--clients N] [--requests N] [--workers N]\n"
+      "       [--clients N] [--requests N] [--workers N] [--reactors N]\n"
       "       [--cells N] [--nets N] [--seed S] [--deadline-ms N]\n"
-      "       [--optimize] [--gen] [--restart-dir DIR] [--stats-out FILE]\n",
+      "       [--optimize] [--gen] [--restart-dir DIR] [--stats-out FILE]\n"
+      "       [--open-loop [--offered R1,R2,..] [--conns N] [--step-s S]\n"
+      "        [--curve-out FILE]]\n",
       argv0);
   return 2;
 }
@@ -670,6 +694,9 @@ TcpChild spawn_tcp_server(const Config& cfg,
     std::vector<std::string> args{cfg.server, "--workers",
                                   std::to_string(cfg.workers), "--listen",
                                   "0"};
+    if (cfg.reactors > 1) {
+      args.insert(args.end(), {"--reactors", std::to_string(cfg.reactors)});
+    }
     if (cfg.gen) {
       // Distinct per-client seeds mean distinct sessions; the cache must
       // hold them all or mid-run eviction would fail later ROUTEs.
@@ -1101,6 +1128,291 @@ int run_tcp(const Config& cfg, const std::string& layout_text,
   return failures == 0 ? 0 : 1;
 }
 
+// ------------------------------------------------------------ open loop
+
+#if GCR_LOADGEN_HAVE_EPOLL
+
+/// One pipelined open-loop connection: requests are written on the pacer's
+/// schedule regardless of whether earlier responses have arrived, and the
+/// framed replies are matched FIFO against their send timestamps.
+struct OpenConn {
+  net::ScopedFd fd;
+  std::string outbuf;                                   // unwritten requests
+  std::string inbuf;                                    // unparsed reply bytes
+  std::size_t body_left = 0;                            // of current reply
+  std::deque<std::chrono::steady_clock::time_point> inflight;
+  bool out_armed = false;  // EPOLLOUT currently requested
+  bool dead = false;
+};
+
+/// One offered-load step's measurements.
+struct OpenStep {
+  double offered = 0;    // target req/s
+  double achieved = 0;   // sent / elapsed
+  std::size_t sent = 0;
+  std::size_t completed = 0;
+  std::size_t errors = 0;  // ERR replies + dead connections
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+/// Drains fully framed replies out of \p oc.inbuf, recording one latency
+/// sample per completed reply.  ERR replies complete their request too —
+/// the pacer only cares that the response arrived.
+void parse_replies(OpenConn& oc, std::vector<double>& lat_us,
+                   std::size_t* completed, std::size_t* errors) {
+  for (;;) {
+    if (oc.body_left > 0) {
+      const std::size_t take = std::min(oc.body_left, oc.inbuf.size());
+      oc.inbuf.erase(0, take);
+      oc.body_left -= take;
+      if (oc.body_left > 0) return;  // need more bytes
+      continue;                      // body done; next status line
+    }
+    const std::size_t nl = oc.inbuf.find('\n');
+    if (nl == std::string::npos) return;
+    const std::string status = oc.inbuf.substr(0, nl);
+    oc.inbuf.erase(0, nl + 1);
+    std::istringstream is(status);
+    std::string kw;
+    std::size_t nbytes = 0;
+    is >> kw;
+    if (kw == "OK") is >> nbytes;
+    oc.body_left = nbytes;
+    if (kw == "ERR") ++*errors;
+    if (!oc.inflight.empty()) {
+      lat_us.push_back(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() -
+                           oc.inflight.front())
+                           .count());
+      oc.inflight.pop_front();
+      ++*completed;
+    }
+  }
+}
+
+/// Runs one offered-load step: \p total requests paced at \p offered req/s
+/// round-robin over \p conns pipelined connections, all sending
+/// `ROUTE <key>` against the preloaded shared session.
+OpenStep run_open_step(std::uint16_t port, const std::string& request,
+                       double offered, double step_s, std::size_t nconns) {
+  OpenStep step;
+  step.offered = offered;
+  const auto total = static_cast<std::size_t>(offered * step_s);
+
+  std::vector<OpenConn> conns(nconns);
+  const net::ScopedFd ep(::epoll_create1(EPOLL_CLOEXEC));
+  for (std::size_t i = 0; i < nconns; ++i) {
+    conns[i].fd = net::tcp_connect(port);
+    const int flags = ::fcntl(conns[i].fd.get(), F_GETFL, 0);
+    ::fcntl(conns[i].fd.get(), F_SETFL, flags | O_NONBLOCK);
+    ::epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    ::epoll_ctl(ep.get(), EPOLL_CTL_ADD, conns[i].fd.get(), &ev);
+  }
+  const auto rearm = [&](std::size_t i, bool want_out) {
+    if (conns[i].out_armed == want_out) return;
+    conns[i].out_armed = want_out;
+    ::epoll_event ev{};
+    ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+    ev.data.u64 = i;
+    ::epoll_ctl(ep.get(), EPOLL_CTL_MOD, conns[i].fd.get(), &ev);
+  };
+  const auto flush = [&](std::size_t i) {
+    OpenConn& oc = conns[i];
+    while (!oc.outbuf.empty() && !oc.dead) {
+      const ssize_t n =
+          ::send(oc.fd.get(), oc.outbuf.data(), oc.outbuf.size(), 0);
+      if (n > 0) {
+        oc.outbuf.erase(0, static_cast<std::size_t>(n));
+      } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      } else {
+        oc.dead = true;
+        step.errors += oc.inflight.size();
+        oc.inflight.clear();
+      }
+    }
+    rearm(i, !oc.outbuf.empty() && !oc.dead);
+  };
+
+  std::vector<double> lat_us;
+  lat_us.reserve(total);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Grace period past the nominal step for the tail of responses.
+  const auto deadline =
+      t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(step_s + 10.0));
+  std::size_t next = 0;  // next request index to send
+  std::array<::epoll_event, 64> events{};
+  while (step.completed + step.errors < total) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now > deadline) break;
+    // Open loop: every request whose schedule slot has passed goes out
+    // now, response progress notwithstanding.
+    while (next < total &&
+           now >= t0 + std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(
+                               static_cast<double>(next) / offered))) {
+      const std::size_t i = next % nconns;
+      if (!conns[i].dead) {
+        conns[i].outbuf += request;
+        conns[i].inflight.push_back(std::chrono::steady_clock::now());
+        ++step.sent;
+        flush(i);
+      } else {
+        ++step.errors;  // the slot still counts against the step
+      }
+      ++next;
+    }
+    int timeout_ms = 50;
+    if (next < total) {
+      const auto next_at =
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(static_cast<double>(next) /
+                                                 offered));
+      const auto wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          next_at - std::chrono::steady_clock::now());
+      timeout_ms = static_cast<int>(
+          std::clamp<long long>(wait.count(), 0, 50));
+    }
+    const int nready = ::epoll_wait(ep.get(), events.data(),
+                                    static_cast<int>(events.size()),
+                                    timeout_ms);
+    for (int e = 0; e < nready; ++e) {
+      const std::size_t i = events[static_cast<std::size_t>(e)].data.u64;
+      const std::uint32_t what = events[static_cast<std::size_t>(e)].events;
+      OpenConn& oc = conns[i];
+      if (oc.dead) continue;
+      if ((what & EPOLLOUT) != 0u) flush(i);
+      if ((what & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0u) {
+        char buf[65536];
+        for (;;) {
+          const ssize_t n = ::recv(oc.fd.get(), buf, sizeof buf, 0);
+          if (n > 0) {
+            oc.inbuf.append(buf, static_cast<std::size_t>(n));
+          } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            break;
+          } else {
+            oc.dead = true;
+            step.errors += oc.inflight.size();
+            oc.inflight.clear();
+            break;
+          }
+        }
+        parse_replies(oc, lat_us, &step.completed, &step.errors);
+      }
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  step.achieved = secs > 0 ? static_cast<double>(step.sent) / secs : 0.0;
+  step.p50_us = percentile_us(lat_us, 50);
+  step.p99_us = percentile_us(lat_us, 99);
+  return step;
+}
+
+/// Open-loop mode: preload one shared session, then sweep the offered-load
+/// steps, printing the p99-vs-offered-load curve and optionally archiving
+/// it as a JSON artifact (the CI saturation plot).
+int run_open_loop(const Config& cfg, const std::string& layout_text) {
+  std::signal(SIGPIPE, SIG_IGN);
+  const TcpChild child = spawn_tcp_server(cfg);
+  if (child.pid < 0) {
+    std::fprintf(stderr, "loadgen: cannot spawn %s --listen 0\n",
+                 cfg.server.c_str());
+    return 1;
+  }
+  std::printf("spawned %s (pid %d, %zu reactors) on 127.0.0.1:%u\n",
+              cfg.server.c_str(), static_cast<int>(child.pid), cfg.reactors,
+              static_cast<unsigned>(child.port));
+
+  int failures = 0;
+  std::vector<OpenStep> steps;
+  try {
+    const std::string key = serve::SessionCache::content_key(layout_text);
+    {
+      // Warm the shared session once so every paced ROUTE is a cache hit —
+      // the curve measures dispatch, not repeated layout parsing.
+      const net::ScopedFd sock = net::tcp_connect(child.port);
+      serve::FdTransport transport(sock.get());
+      const Reply loaded =
+          transact(transport.out(), transport.in(),
+                   "LOAD " + std::to_string(layout_text.size()), layout_text);
+      transact(transport.out(), transport.in(), "QUIT");
+      if (!loaded.ok) {
+        std::fprintf(stderr, "open-loop: LOAD failed: %s\n",
+                     loaded.error.c_str());
+        ::kill(child.pid, SIGKILL);
+        ::waitpid(child.pid, nullptr, 0);
+        return 1;
+      }
+    }
+    const std::string request = "ROUTE " + key + "\n";
+
+    std::istringstream is(cfg.offered);
+    std::string tok;
+    std::printf("  %10s %10s %8s %9s %7s %10s %10s\n", "offered", "achieved",
+                "sent", "completed", "errors", "p50_us", "p99_us");
+    while (std::getline(is, tok, ',')) {
+      const double offered = std::strtod(tok.c_str(), nullptr);
+      if (offered <= 0) continue;
+      const OpenStep step =
+          run_open_step(child.port, request, offered, cfg.step_s, cfg.conns);
+      std::printf("  %10.0f %10.1f %8zu %9zu %7zu %10.0f %10.0f\n",
+                  step.offered, step.achieved, step.sent, step.completed,
+                  step.errors, step.p50_us, step.p99_us);
+      // A step that lost responses (beyond ERRs, which complete) means the
+      // tail outlived the grace window — saturation is data, losses are not.
+      if (step.completed + step.errors < step.sent) ++failures;
+      steps.push_back(step);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "open-loop: fatal: %s\n", e.what());
+    ++failures;
+  }
+
+  if (!cfg.curve_out.empty()) {
+    std::ofstream os(cfg.curve_out);
+    if (!os) {
+      std::fprintf(stderr, "open-loop: cannot write %s\n",
+                   cfg.curve_out.c_str());
+      ++failures;
+    } else {
+      os << "{\n  \"connections\": " << cfg.conns
+         << ",\n  \"reactors\": " << cfg.reactors
+         << ",\n  \"step_s\": " << cfg.step_s << ",\n  \"curve\": [";
+      bool first = true;
+      for (const OpenStep& s : steps) {
+        os << (first ? "\n" : ",\n") << "    {\"offered_rps\": " << s.offered
+           << ", \"achieved_rps\": " << s.achieved << ", \"sent\": " << s.sent
+           << ", \"completed\": " << s.completed
+           << ", \"errors\": " << s.errors << ", \"p50_us\": " << s.p50_us
+           << ", \"p99_us\": " << s.p99_us << '}';
+        first = false;
+      }
+      os << "\n  ]\n}\n";
+      std::printf("p99-vs-offered-load curve written to %s\n",
+                  cfg.curve_out.c_str());
+    }
+  }
+
+  ::kill(child.pid, SIGINT);
+  int status = 0;
+  ::waitpid(child.pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "server did not shut down cleanly (status %d)\n",
+                 status);
+    ++failures;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+#endif  // GCR_LOADGEN_HAVE_EPOLL
+
 // ------------------------------------------------------------ restart smoke
 
 /// SIGINTs a server and reports whether it drained and exited cleanly.
@@ -1320,6 +1632,20 @@ int main(int argc, char** argv) {
       cfg.requests = n;
     } else if (arg == "--workers" && number(1024, &n)) {
       cfg.workers = n;
+    } else if (arg == "--reactors" && number(256, &n)) {
+      cfg.reactors = std::max<std::size_t>(n, 1);
+    } else if (arg == "--open-loop") {
+      cfg.open_loop = true;
+    } else if (arg == "--offered" && v != nullptr && v[0] != '\0') {
+      cfg.offered = v;
+      ++i;
+    } else if (arg == "--conns" && number(1 << 16, &n)) {
+      cfg.conns = std::max<std::size_t>(n, 1);
+    } else if (arg == "--step-s" && number(3600, &n)) {
+      cfg.step_s = static_cast<double>(std::max<std::size_t>(n, 1));
+    } else if (arg == "--curve-out" && v != nullptr && v[0] != '\0') {
+      cfg.curve_out = v;
+      ++i;
     } else if (arg == "--cells" && number(4096, &n)) {
       cfg.cells = std::max<std::size_t>(n, 2);
     } else if (arg == "--nets" && number(1 << 16, &n)) {
@@ -1353,6 +1679,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--gen and --optimize are mutually exclusive\n");
     return usage(argv[0]);
   }
+  if (cfg.open_loop && !cfg.tcp) {
+    std::fprintf(stderr, "--open-loop needs --tcp\n");
+    return usage(argv[0]);
+  }
 
   try {
     const layout::Layout lay = make_workload(cfg);
@@ -1379,6 +1709,14 @@ int main(int argc, char** argv) {
       return run_inproc(cfg, text, reference);
     }
     if (!cfg.restart_dir.empty()) return run_restart(cfg, text, lay);
+    if (cfg.open_loop) {
+#if GCR_LOADGEN_HAVE_EPOLL
+      return run_open_loop(cfg, text);
+#else
+      std::fprintf(stderr, "--open-loop requires Linux epoll\n");
+      return 2;
+#endif
+    }
     if (cfg.tcp) return run_tcp(cfg, text, lay, reference);
     return run_against_server(cfg, text, lay, reference);
   } catch (const std::exception& e) {

@@ -6,19 +6,30 @@
 //
 //   $ gcr_serve [options]
 //     --workers N      routing worker threads (0 = one per hardware thread)
-//     --queue N        bounded job-queue capacity      (default 64)
+//     --queue N        fair job-queue capacity (total, all shards)
+//                      (default 64)
 //     --cache N        layout-session cache capacity   (default 8)
 //     --fd FD          serve a bidirectional descriptor (e.g. one end of a
 //                      socketpair) instead of stdin/stdout
 //     --listen PORT    serve many concurrent TCP clients on 127.0.0.1:PORT
 //                      (0 = kernel-assigned; the bound port is printed as
 //                      "gcr_serve: listening on 127.0.0.1:<port>")
-//     --max-conns N    TCP mode: concurrent connection cap (default 256)
+//     --reactors N     TCP mode: N event-loop threads sharing the port via
+//                      SO_REUSEPORT (connection-affine; default 1)
+//     --listen-unix P  also accept connections on unix socket path P
+//                      (same protocol; served by the first reactor)
+//     --max-conns N    TCP mode: per-reactor connection cap (default 256)
 //     --high-water N   TCP mode: per-connection outbound bytes past which
 //                      reads are suspended (slow-client backpressure)
 //     --hard-cap N     TCP mode: outbound bytes past which a slow client
 //                      is dropped
-//     --snapshot-dir D enable SAVE: pinned sessions serialize to D/<name>
+//     --snapshot-dir D enable SAVE: pinned sessions serialize to D/<name>;
+//                      a graceful drain writes a final snapshot per
+//                      surviving pin after every loop quiesces
+//     --snapshot-interval-s N
+//                      with --snapshot-dir: background-SAVE every pinned
+//                      session every N seconds (rides each pin's ticket
+//                      chain, so it never tears a mutation)
 //     --restore-dir D  rehydrate every snapshot in D at startup; restored
 //                      pins are unowned until a client PINs their handle
 //     --slow-ms N      slow-request ring threshold: only requests taking at
@@ -31,9 +42,13 @@
 // sequential pass and re-routes them against the committed remainder
 // (incremental halo removal, no environment rebuild).  In TCP mode cold
 // LOADs build on the worker pool, so one giant layout upload cannot stall
-// the other connections.  SIGINT/SIGTERM shut down gracefully: the listener closes,
-// in-flight jobs drain and flush, then the loop exits (a second signal
-// force-closes lingering connections).
+// the other connections.  With --reactors N the kernel shards accepted
+// connections across N independent epoll loops; all of them feed one
+// worker pool through the weighted-fair queue, so responses are
+// byte-identical to the single-reactor build.  SIGINT/SIGTERM shut down
+// gracefully: every listener closes, in-flight jobs drain and flush, and
+// the loop threads join as a barrier before the final pin snapshots are
+// written (a second signal force-closes lingering connections).
 //
 //   $ printf 'LOAD 47\nboundary 0 0 64 64\ncell a 8 8 24 24\n...' | gcr_serve
 
@@ -44,24 +59,26 @@
 #include <exception>
 #include <iostream>
 
-#include "net/event_loop.hpp"
+#include "net/reactor_pool.hpp"
 #include "serve/fd_stream.hpp"
 #include "serve/protocol.hpp"
 #include "serve/routing_service.hpp"
 
 namespace {
 
-gcr::net::EventLoop* g_loop = nullptr;
+gcr::net::ReactorPool* g_pool = nullptr;
 
 extern "C" void on_shutdown_signal(int) {
-  if (g_loop != nullptr) g_loop->stop();  // async-signal-safe
+  if (g_pool != nullptr) g_pool->stop();  // async-signal-safe
 }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workers N] [--queue N] [--cache N] [--fd FD]\n"
-               "       [--snapshot-dir DIR] [--restore-dir DIR] [--slow-ms N]\n"
-               "       [--listen PORT [--max-conns N] [--high-water BYTES]\n"
+               "       [--snapshot-dir DIR [--snapshot-interval-s N]]\n"
+               "       [--restore-dir DIR] [--slow-ms N]\n"
+               "       [--listen PORT [--reactors N] [--listen-unix PATH]\n"
+               "        [--max-conns N] [--high-water BYTES]\n"
                "        [--hard-cap BYTES]]\n",
                argv0);
   return 2;
@@ -82,6 +99,7 @@ int main(int argc, char** argv) {
 
   serve::RoutingService::Options opts;
   net::EventLoopOptions lopts;
+  std::size_t reactors = 1;
   long fd = -1;
   long listen_port = -1;
   for (int i = 1; i < argc; ++i) {
@@ -105,6 +123,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--listen" && v != nullptr &&
                parse_size(v, 65535, &parsed)) {
       listen_port = static_cast<long>(parsed);
+      ++i;
+    } else if (arg == "--reactors" && v != nullptr &&
+               parse_size(v, 256, &parsed) && parsed > 0) {
+      reactors = parsed;
+      ++i;
+    } else if (arg == "--listen-unix" && v != nullptr && v[0] != '\0') {
+      lopts.unix_path = v;
+      ++i;
+    } else if (arg == "--snapshot-interval-s" && v != nullptr &&
+               parse_size(v, 86'400, &parsed) && parsed > 0) {
+      opts.snapshot_interval_s = parsed;
       ++i;
     } else if (arg == "--max-conns" && v != nullptr &&
                parse_size(v, 1 << 16, &parsed) && parsed > 0) {
@@ -136,33 +165,57 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "gcr_serve: --hard-cap must be >= --high-water\n");
     return 2;
   }
+  if (opts.snapshot_interval_s > 0 && opts.snapshot_dir.empty()) {
+    std::fprintf(stderr,
+                 "gcr_serve: --snapshot-interval-s requires --snapshot-dir\n");
+    return 2;
+  }
 
   try {
     serve::RoutingService service(opts);
 
-    if (listen_port >= 0) {
-      lopts.port = static_cast<std::uint16_t>(listen_port);
-      net::EventLoop loop(service, lopts);
-      g_loop = &loop;
+    if (listen_port >= 0 || !lopts.unix_path.empty()) {
+      // --listen-unix alone still binds TCP (port 0 = kernel-assigned) so
+      // the banner contract with spawners holds in every network mode.
+      lopts.port = listen_port >= 0 ? static_cast<std::uint16_t>(listen_port)
+                                    : std::uint16_t{0};
+      net::ReactorPoolOptions popts;
+      popts.reactors = reactors;
+      popts.loop = lopts;
+      net::ReactorPool pool(service, popts);
+      g_pool = &pool;
       std::signal(SIGINT, on_shutdown_signal);
       std::signal(SIGTERM, on_shutdown_signal);
       std::signal(SIGPIPE, SIG_IGN);
       // The banner is the contract with spawners (gcr_loadgen --tcp, the CI
       // smoke job): parse the bound port from stdout when --listen 0.
       std::printf("gcr_serve: listening on 127.0.0.1:%u\n",
-                  static_cast<unsigned>(loop.port()));
+                  static_cast<unsigned>(pool.port()));
       std::fflush(stdout);
-      loop.run();
-      g_loop = nullptr;
-      const net::EventLoopStats& s = loop.stats();
+      pool.run();  // returns once every reactor has drained (the barrier)
+      g_pool = nullptr;
+      // Only now — all loops quiesced, every in-flight pinned-session
+      // mutation finished or cancelled — write the final snapshots.
+      if (!opts.snapshot_dir.empty()) {
+        const std::size_t saved = service.final_save_pins();
+        if (saved > 0) {
+          std::fprintf(stderr, "gcr_serve: final save: %zu pin(s)\n", saved);
+        }
+      }
+      net::LoopStatsView total;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        total.merge(net::snapshot_loop_stats(pool.loop(i).stats()));
+      }
       std::fprintf(stderr,
-                   "gcr_serve: drained: %llu conns, %llu commands, "
-                   "%llu suspended, %llu dropped slow, %llu dropped error\n",
-                   static_cast<unsigned long long>(s.accepted.load()),
-                   static_cast<unsigned long long>(s.commands.load()),
-                   static_cast<unsigned long long>(s.reads_suspended.load()),
-                   static_cast<unsigned long long>(s.dropped_slow.load()),
-                   static_cast<unsigned long long>(s.dropped_error.load()));
+                   "gcr_serve: drained %zu reactor(s): %llu conns, "
+                   "%llu commands, %llu suspended, %llu dropped slow, "
+                   "%llu dropped error\n",
+                   pool.size(),
+                   static_cast<unsigned long long>(total.accepted),
+                   static_cast<unsigned long long>(total.commands),
+                   static_cast<unsigned long long>(total.reads_suspended),
+                   static_cast<unsigned long long>(total.dropped_slow),
+                   static_cast<unsigned long long>(total.dropped_error));
       return 0;
     }
 

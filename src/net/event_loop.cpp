@@ -31,6 +31,7 @@ namespace {
 
 constexpr std::uint64_t kListenerTag = 0;
 constexpr std::uint64_t kMailboxTag = 1;
+constexpr std::uint64_t kUnixListenerTag = 2;
 
 [[noreturn]] void throw_errno(const char* what) {
   throw std::runtime_error(std::string(what) + ": " + std::strerror(errno));
@@ -111,7 +112,8 @@ struct EventLoop::Mailbox {
 EventLoop::EventLoop(serve::RoutingService& service,
                      const EventLoopOptions& opts)
     : service_(service), opts_(opts),
-      epoll_(::epoll_create1(EPOLL_CLOEXEC)), listener_(opts.port),
+      epoll_(::epoll_create1(EPOLL_CLOEXEC)),
+      listener_(opts.port, opts.reuse_port),
       mailbox_(std::make_shared<Mailbox>()) {
   if (!epoll_) throw_errno("epoll_create1");
 
@@ -128,17 +130,34 @@ EventLoop::EventLoop(serve::RoutingService& service,
                   &ev) < 0) {
     throw_errno("epoll_ctl(mailbox)");
   }
+  if (!opts_.unix_path.empty()) {
+    // A second accept source on the same loop: unix-domain peers get the
+    // same Connection/FrameParser/backpressure path as TCP peers — only
+    // the accept syscall's address family differs.
+    unix_listener_.emplace(Listener::unix_listener(opts_.unix_path));
+    ev.events = EPOLLIN;
+    ev.data.u64 = kUnixListenerTag;
+    if (::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, unix_listener_->fd(),
+                    &ev) < 0) {
+      throw_errno("epoll_ctl(unix listener)");
+    }
+    unix_listener_armed_ = true;
+  }
   // Splice the loop's own health into the service's STATS body: TCP
   // clients see one coherent metrics page.  The render reads only atomics,
-  // so any thread may call stats_text() while the loop runs.
-  service_.set_extra_stats([this] { return render_loop_stats(); });
+  // so any thread may call stats_text() while the loop runs.  A
+  // ReactorPool member loop skips this — the pool renders all its loops
+  // through one hook instead.
+  if (opts_.register_stats) {
+    service_.set_extra_stats([this] { return render_loop_stats(); });
+  }
 }
 
 EventLoop::~EventLoop() {
   // Unhook before members die; a stats_text() racing the destructor is the
   // caller's lifetime bug (the loop must outlive its servers), this just
   // keeps an orderly shutdown from rendering freed counters.
-  service_.set_extra_stats({});
+  if (opts_.register_stats) service_.set_extra_stats({});
 }
 
 std::uint16_t EventLoop::port() const noexcept { return listener_.port(); }
@@ -169,7 +188,11 @@ void EventLoop::run() {
       const std::uint64_t tag = events[i].data.u64;
       const std::uint32_t flags = events[i].events;
       if (tag == kListenerTag) {
-        accept_ready();
+        accept_ready(listener_);
+        continue;
+      }
+      if (tag == kUnixListenerTag) {
+        accept_ready(*unix_listener_);
         continue;
       }
       if (tag == kMailboxTag) {
@@ -199,9 +222,9 @@ void EventLoop::run() {
   }
 }
 
-void EventLoop::accept_ready() {
+void EventLoop::accept_ready(Listener& from) {
   for (;;) {
-    ScopedFd fd = listener_.accept_one();
+    ScopedFd fd = from.accept_one();
     if (!fd) return;
     if (stopping_ || conns_.size() >= opts_.max_connections) {
       // Refuse by closing: the client sees a clean EOF, retries elsewhere.
@@ -688,7 +711,9 @@ void EventLoop::close_connection(std::uint64_t id, bool drop) {
   }
   // Either way the owner identity is gone: auto-release this connection's
   // pins so the handles become claimable (and UNPIN-able) by successors.
-  service_.release_pins(it->second->cancel_token());
+  // During a drain, ownership is dropped but the sessions stay registered:
+  // the shutdown path still owes each one a final SAVE.
+  service_.release_pins(it->second->cancel_token(), /*preserve=*/stopping_);
   // Closing the fd (ScopedFd dtor) deregisters it from epoll implicitly.
   conns_.erase(it);
   stats_.closed.fetch_add(1, std::memory_order_relaxed);
@@ -700,6 +725,10 @@ void EventLoop::begin_shutdown() {
   if (listener_armed_) {
     ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, listener_.fd(), nullptr);
     listener_armed_ = false;
+  }
+  if (unix_listener_armed_) {
+    ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, unix_listener_->fd(), nullptr);
+    unix_listener_armed_ = false;
   }
   // Stop taking commands everywhere; settle() each connection so the ones
   // already drained close immediately and the rest close as their
@@ -723,30 +752,7 @@ void EventLoop::force_close_all() {
 }
 
 std::string EventLoop::render_loop_stats() const {
-  const auto v = [](const std::atomic<std::uint64_t>& a) {
-    return a.load(std::memory_order_relaxed);
-  };
-  const serve::Histogram::Snapshot lag = stats_.loop_lag.snapshot();
-  std::ostringstream os;
-  os << "loop_connections " << v(stats_.connections) << '\n'
-     << "loop_accepted " << v(stats_.accepted) << '\n'
-     << "loop_rejected_at_capacity " << v(stats_.rejected_at_capacity) << '\n'
-     << "loop_closed " << v(stats_.closed) << '\n'
-     << "loop_commands " << v(stats_.commands) << '\n'
-     << "loop_reads_suspended " << v(stats_.reads_suspended) << '\n'
-     << "loop_dropped_slow " << v(stats_.dropped_slow) << '\n'
-     << "loop_dropped_error " << v(stats_.dropped_error) << '\n'
-     << "loop_completions_discarded " << v(stats_.completions_discarded)
-     << '\n'
-     << "loop_parked " << v(stats_.parked) << '\n'
-     << "loop_replayed " << v(stats_.replayed) << '\n'
-     << "loop_bytes_in " << v(stats_.bytes_in) << '\n'
-     << "loop_bytes_out " << v(stats_.bytes_out) << '\n'
-     << "loop_wakeups " << v(stats_.wakeups) << '\n'
-     << "loop_lag_p50_us " << lag.percentile(50) << '\n'
-     << "loop_lag_p95_us " << lag.percentile(95) << '\n'
-     << "loop_lag_p99_us " << lag.percentile(99) << '\n';
-  return os.str();
+  return gcr::net::render_loop_stats(snapshot_loop_stats(stats_), "loop_");
 }
 
 #else  // !GCR_NET_HAVE_EPOLL
@@ -761,7 +767,7 @@ EventLoop::~EventLoop() = default;
 std::uint16_t EventLoop::port() const noexcept { return 0; }
 void EventLoop::run() {}
 void EventLoop::stop() noexcept {}
-void EventLoop::accept_ready() {}
+void EventLoop::accept_ready(Listener&) {}
 void EventLoop::drain_mailbox() {}
 void EventLoop::handle_readable(std::uint64_t) {}
 void EventLoop::process_events(Connection&, std::vector<FrameParser::Event>&,
@@ -775,5 +781,77 @@ void EventLoop::update_interest(Connection&) {}
 std::string EventLoop::render_loop_stats() const { return {}; }
 
 #endif  // GCR_NET_HAVE_EPOLL
+
+// ------------------------------------------------------------------------
+// Loop-stats snapshot/render — pure computation, platform-independent.
+
+void LoopStatsView::merge(const LoopStatsView& other) {
+  connections += other.connections;
+  accepted += other.accepted;
+  rejected_at_capacity += other.rejected_at_capacity;
+  closed += other.closed;
+  commands += other.commands;
+  reads_suspended += other.reads_suspended;
+  dropped_slow += other.dropped_slow;
+  dropped_error += other.dropped_error;
+  completions_discarded += other.completions_discarded;
+  parked += other.parked;
+  replayed += other.replayed;
+  bytes_in += other.bytes_in;
+  bytes_out += other.bytes_out;
+  wakeups += other.wakeups;
+  for (std::size_t i = 0; i < lag.buckets.size(); ++i) {
+    lag.buckets[i] += other.lag.buckets[i];
+  }
+  lag.count += other.lag.count;
+  lag.sum += other.lag.sum;
+}
+
+LoopStatsView snapshot_loop_stats(const EventLoopStats& stats) {
+  const auto v = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  LoopStatsView view;
+  view.connections = v(stats.connections);
+  view.accepted = v(stats.accepted);
+  view.rejected_at_capacity = v(stats.rejected_at_capacity);
+  view.closed = v(stats.closed);
+  view.commands = v(stats.commands);
+  view.reads_suspended = v(stats.reads_suspended);
+  view.dropped_slow = v(stats.dropped_slow);
+  view.dropped_error = v(stats.dropped_error);
+  view.completions_discarded = v(stats.completions_discarded);
+  view.parked = v(stats.parked);
+  view.replayed = v(stats.replayed);
+  view.bytes_in = v(stats.bytes_in);
+  view.bytes_out = v(stats.bytes_out);
+  view.wakeups = v(stats.wakeups);
+  view.lag = stats.loop_lag.snapshot();
+  return view;
+}
+
+std::string render_loop_stats(const LoopStatsView& view,
+                              const std::string& prefix) {
+  std::ostringstream os;
+  os << prefix << "connections " << view.connections << '\n'
+     << prefix << "accepted " << view.accepted << '\n'
+     << prefix << "rejected_at_capacity " << view.rejected_at_capacity << '\n'
+     << prefix << "closed " << view.closed << '\n'
+     << prefix << "commands " << view.commands << '\n'
+     << prefix << "reads_suspended " << view.reads_suspended << '\n'
+     << prefix << "dropped_slow " << view.dropped_slow << '\n'
+     << prefix << "dropped_error " << view.dropped_error << '\n'
+     << prefix << "completions_discarded " << view.completions_discarded
+     << '\n'
+     << prefix << "parked " << view.parked << '\n'
+     << prefix << "replayed " << view.replayed << '\n'
+     << prefix << "bytes_in " << view.bytes_in << '\n'
+     << prefix << "bytes_out " << view.bytes_out << '\n'
+     << prefix << "wakeups " << view.wakeups << '\n'
+     << prefix << "lag_p50_us " << view.lag.percentile(50) << '\n'
+     << prefix << "lag_p95_us " << view.lag.percentile(95) << '\n'
+     << prefix << "lag_p99_us " << view.lag.percentile(99) << '\n';
+  return os.str();
+}
 
 }  // namespace gcr::net

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "net/connection.hpp"
@@ -72,6 +74,19 @@ struct EventLoopOptions {
   /// hides a slow reader until it overflows — shrink this to make the
   /// marks bite early (tests do; a memory-tight deployment might).
   int so_sndbuf = 0;
+  /// Sets SO_REUSEPORT on the TCP listener before bind, so N reactor loops
+  /// can each bind the same port and let the kernel spread incoming
+  /// connections across them (see ReactorPool).
+  bool reuse_port = false;
+  /// Non-empty: additionally listen on a unix-domain socket at this path.
+  /// Accepted peers share the Connection/FrameParser path verbatim with
+  /// TCP peers; the socket file is unlinked when the loop is destroyed.
+  std::string unix_path;
+  /// Whether the loop installs itself as the routing service's extra-stats
+  /// hook (the `loop_*` STATS block).  A standalone loop should (default);
+  /// a ReactorPool member must not — the pool owns the single hook and
+  /// renders aggregated `loop_*` plus per-loop `loop<i>_*` shards itself.
+  bool register_stats = true;
   FrameParser::Options parser{};
 };
 
@@ -105,6 +120,42 @@ struct EventLoopStats {
   serve::Histogram loop_lag;
 };
 
+/// A plain-value snapshot of EventLoopStats.  Atomics and histograms do
+/// not add, but their snapshots do: a ReactorPool sums one view per loop
+/// into the aggregated `loop_*` block while rendering each view verbatim
+/// as that loop's `loop<i>_*` shard.
+struct LoopStatsView {
+  std::uint64_t connections = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_at_capacity = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t commands = 0;
+  std::uint64_t reads_suspended = 0;
+  std::uint64_t dropped_slow = 0;
+  std::uint64_t dropped_error = 0;
+  std::uint64_t completions_discarded = 0;
+  std::uint64_t parked = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t wakeups = 0;
+  serve::Histogram::Snapshot lag{};
+
+  /// Folds \p other into this view: counters sum, lag histograms merge
+  /// bucket-wise (percentiles of the merged distribution stay exact).
+  void merge(const LoopStatsView& other);
+};
+
+/// Reads every counter (and the lag histogram) at relaxed order; safe from
+/// any thread while the loop runs.
+[[nodiscard]] LoopStatsView snapshot_loop_stats(const EventLoopStats& stats);
+
+/// Renders the 17-key loop-health block as `<prefix><key> <value>` STATS
+/// lines ("loop_" for the standalone/aggregate block, "loop0_" … for
+/// per-reactor shards).
+[[nodiscard]] std::string render_loop_stats(const LoopStatsView& view,
+                                            const std::string& prefix);
+
 class EventLoop {
  public:
   /// Binds the listener and creates the epoll set and wakeup mailbox; the
@@ -131,7 +182,7 @@ class EventLoop {
  private:
   struct Mailbox;  ///< completion queue + wakeup eventfd (in the .cpp)
 
-  void accept_ready();
+  void accept_ready(Listener& from);
   void drain_mailbox();
   void handle_readable(std::uint64_t id);
   /// Dispatches events[from..] in order, parking the tail on the
@@ -159,11 +210,14 @@ class EventLoop {
   EventLoopStats stats_;
   ScopedFd epoll_;
   Listener listener_;
+  std::optional<Listener> unix_listener_;  ///< --listen-unix, loop 0 only
   std::shared_ptr<Mailbox> mailbox_;
   std::atomic<int> stop_requests_{0};
   bool stopping_ = false;
   bool listener_armed_ = false;
-  std::uint64_t next_conn_id_ = 2;  ///< 0 = listener tag, 1 = mailbox tag
+  bool unix_listener_armed_ = false;
+  /// 0 = TCP listener tag, 1 = mailbox tag, 2 = unix listener tag.
+  std::uint64_t next_conn_id_ = 3;
   std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
 };
 

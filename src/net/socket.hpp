@@ -1,14 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 
 /// \file socket.hpp
 /// The thin POSIX layer under the network front-end: an owning descriptor,
-/// non-blocking mode, and loopback TCP endpoints.  Everything above this
-/// file (frame parser, connection state, event loop) is testable without a
-/// kernel; everything below it is four syscalls.  POSIX-only — on other
-/// platforms the constructors throw std::runtime_error.
+/// non-blocking mode, and loopback TCP / unix-domain endpoints.  Everything
+/// above this file (frame parser, connection state, event loop) is testable
+/// without a kernel; everything below it is four syscalls.  POSIX-only — on
+/// other platforms the constructors throw std::runtime_error.
 
 namespace gcr::net {
 
@@ -42,17 +43,38 @@ class ScopedFd {
 /// Puts \p fd into non-blocking mode; throws std::runtime_error on failure.
 void set_nonblocking(int fd);
 
-/// A listening TCP socket on the loopback interface — the accept side of
-/// the epoll front-end.  Non-blocking, SO_REUSEADDR, close-on-exec.
+/// A listening socket — the accept side of the epoll front-end.  Either a
+/// loopback TCP socket (non-blocking, SO_REUSEADDR, optionally
+/// SO_REUSEPORT for multi-reactor sharding) or a unix-domain socket bound
+/// to a filesystem path (unlinked when the listener is destroyed).
 class Listener {
  public:
   /// Binds 127.0.0.1:\p port (0 = kernel-assigned ephemeral port, see
-  /// port()) and listens.  Throws std::runtime_error on failure.
-  explicit Listener(std::uint16_t port);
+  /// port()) and listens.  With \p reuse_port, SO_REUSEPORT is set before
+  /// the bind so N reactors can each bind the same port and let the kernel
+  /// distribute incoming connections across them — reactor 0 binds with
+  /// port 0, the rest bind the resolved port.  Throws std::runtime_error
+  /// on failure.
+  explicit Listener(std::uint16_t port, bool reuse_port = false);
+
+  /// Binds a unix-domain stream socket at \p path and listens.  A stale
+  /// socket file at \p path is unlinked first (a previous unclean exit
+  /// must not wedge the daemon); the path is unlinked again on
+  /// destruction.  Throws std::runtime_error on failure.
+  static Listener unix_listener(const std::string& path);
+
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
 
   [[nodiscard]] int fd() const noexcept { return fd_.get(); }
-  /// The actually bound port — the one to advertise when constructed with 0.
+  /// The actually bound port — the one to advertise when constructed with
+  /// 0.  Always 0 for a unix-domain listener.
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  /// The bound filesystem path (unix-domain listeners only; else empty).
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
 
   /// Accepts one pending connection; returns an empty fd when none is
   /// pending (EAGAIN).  The accepted socket comes back non-blocking and
@@ -60,8 +82,11 @@ class Listener {
   [[nodiscard]] ScopedFd accept_one();
 
  private:
+  Listener() = default;
+
   ScopedFd fd_;
   std::uint16_t port_ = 0;
+  std::string path_;  ///< non-empty = unix listener, unlink on destroy
 };
 
 /// Blocking loopback connect — the client side (load generator, tests).
@@ -71,5 +96,9 @@ class Listener {
 /// window the kernel cannot absorb responses on the client's behalf.
 /// Throws std::runtime_error when the connection is refused.
 [[nodiscard]] ScopedFd tcp_connect(std::uint16_t port, int so_rcvbuf = 0);
+
+/// Blocking connect to a unix-domain listener at \p path.  Throws
+/// std::runtime_error when the socket is absent or refuses.
+[[nodiscard]] ScopedFd unix_connect(const std::string& path);
 
 }  // namespace gcr::net

@@ -58,6 +58,7 @@ std::string MetricsSnapshot::to_text() const {
      << "pin_ops_ok " << pin_ops_ok << '\n'
      << "pin_ops_failed " << pin_ops_failed << '\n'
      << "pin_saves " << pin_saves << '\n'
+     << "pin_autosaves " << pin_autosaves << '\n'
      << "pins_active " << pins_active << '\n'
      << "stage_cache_hits " << stage_cache_hits << '\n'
      << "stage_cache_misses " << stage_cache_misses << '\n'
@@ -79,7 +80,20 @@ std::string MetricsSnapshot::to_text() const {
      << "protocol_version " << protocol_version << '\n'
      << "queue_depth " << queue_depth << '\n'
      << "queue_capacity " << queue_capacity << '\n'
-     << "workers " << workers << '\n'
+     << "queue_shards " << queue_shards << '\n'
+     << "queue_fair_rounds " << queue_fair_rounds << '\n'
+     << "queue_oldest_wait_us " << queue_oldest_wait_us << '\n';
+  // Live shards only: an idle queue renders no shard lines, so the key set
+  // above stays stable for dashboards while skew remains observable the
+  // moment it exists.
+  for (std::size_t i = 0; i < queue_shard_stats.size(); ++i) {
+    const QueueShardSnapshot& q = queue_shard_stats[i];
+    os << "queue_shard" << i << "_depth " << q.depth << '\n'
+       << "queue_shard" << i << "_enqueued " << q.enqueued << '\n'
+       << "queue_shard" << i << "_served " << q.served << '\n'
+       << "queue_shard" << i << "_head_wait_us " << q.head_wait_us << '\n';
+  }
+  os << "workers " << workers << '\n'
      << "cache_hits " << cache_hits << '\n'
      << "cache_misses " << cache_misses << '\n'
      << "cache_evictions " << cache_evictions << '\n'

@@ -102,6 +102,9 @@ struct ServiceMetrics {
   std::atomic<std::uint64_t> pin_ops_ok{0};
   std::atomic<std::uint64_t> pin_ops_failed{0};
   std::atomic<std::uint64_t> pin_saves{0};
+  /// Snapshots written by the periodic background sweep and the shutdown
+  /// final SAVE (--snapshot-interval-s), as opposed to explicit SAVEs.
+  std::atomic<std::uint64_t> pin_autosaves{0};
   /// Lock-free log2 histograms — recorded on every request with zero
   /// mutexes (Histogram::record is three relaxed atomic adds).
   Histogram latency;     ///< enqueue -> response, microseconds (all verbs)
@@ -109,6 +112,17 @@ struct ServiceMetrics {
   /// Per-verb latency shards: a microsecond STATS render and a multi-second
   /// OPTIMIZE no longer share one distribution.
   std::array<Histogram, kVerbKinds> verb_latency{};
+};
+
+/// One live fair-queue shard in a snapshot: depth and starvation evidence
+/// for a key with work currently queued (see FairQueue::shard_stats).
+/// Rendered positionally (`queue_shard<i>_*`) — STATS values must be
+/// numeric, so the key itself stays out of the text.
+struct QueueShardSnapshot {
+  std::size_t depth = 0;
+  std::uint64_t enqueued = 0;
+  std::uint64_t served = 0;
+  std::uint64_t head_wait_us = 0;
 };
 
 /// Per-verb latency digest in a snapshot (percentiles are log2-bucket upper
@@ -146,6 +160,7 @@ struct MetricsSnapshot {
   std::uint64_t pin_ops_ok = 0;
   std::uint64_t pin_ops_failed = 0;
   std::uint64_t pin_saves = 0;
+  std::uint64_t pin_autosaves = 0;
   std::size_t pins_active = 0;
   std::uint64_t stage_cache_hits = 0;
   std::uint64_t stage_cache_misses = 0;
@@ -163,6 +178,13 @@ struct MetricsSnapshot {
   std::uint32_t protocol_version = 0;
   std::size_t queue_depth = 0;
   std::size_t queue_capacity = 0;
+  /// Weighted-fair dispatch: live shard count, DRR ring rotations, the age
+  /// of the oldest queued item anywhere (the starvation gauge), and one
+  /// entry per live shard in service order.
+  std::size_t queue_shards = 0;
+  std::uint64_t queue_fair_rounds = 0;
+  std::uint64_t queue_oldest_wait_us = 0;
+  std::vector<QueueShardSnapshot> queue_shard_stats;
   std::size_t workers = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;

@@ -135,19 +135,35 @@ bool PinRegistry::erase(const std::string& handle, const Owner& owner) {
   return true;
 }
 
-std::size_t PinRegistry::release_owner(const Owner& owner) {
+std::size_t PinRegistry::release_owner(const Owner& owner, bool preserve) {
   if (owner == nullptr) return 0;
   const std::lock_guard<std::mutex> lock(mu_);
   std::size_t released = 0;
   for (auto it = pins_.begin(); it != pins_.end();) {
     if (it->second->owner == owner) {
-      it = pins_.erase(it);
+      if (preserve) {
+        // Keep the session registered but claimable — the shutdown path
+        // still has a final SAVE to run against it, and a restarted client
+        // can re-claim the handle after a restore.
+        it->second->owner = nullptr;
+        ++it;
+      } else {
+        it = pins_.erase(it);
+      }
       ++released;
     } else {
       ++it;
     }
   }
   return released;
+}
+
+std::vector<std::shared_ptr<PinnedSession>> PinRegistry::all() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::shared_ptr<PinnedSession>> out;
+  out.reserve(pins_.size());
+  for (const auto& [handle, pin] : pins_) out.push_back(pin);
+  return out;
 }
 
 std::size_t PinRegistry::size() const {

@@ -132,9 +132,16 @@ class PinRegistry {
   /// the handle is gone or owned elsewhere.
   bool erase(const std::string& handle, const Owner& owner);
 
-  /// Destroys every pin owned by \p owner — the disconnect auto-release.
-  /// Returns how many were released.
-  std::size_t release_owner(const Owner& owner);
+  /// Releases every pin owned by \p owner — the disconnect auto-release.
+  /// Destroys them by default; with \p preserve the pins stay registered
+  /// but become unowned (claimable again), which is what a graceful
+  /// shutdown wants: the drain can still final-SAVE state whose client
+  /// just hung up.  Returns how many were released.
+  std::size_t release_owner(const Owner& owner, bool preserve = false);
+
+  /// Every registered pin, in handle order — the enumeration the final
+  /// SAVE and the periodic autosave sweep over.
+  [[nodiscard]] std::vector<std::shared_ptr<PinnedSession>> all() const;
 
   [[nodiscard]] std::size_t size() const;
 

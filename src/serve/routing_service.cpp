@@ -68,9 +68,21 @@ RoutingService::RoutingService(const Options& opts)
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  if (!opts_.snapshot_dir.empty() && opts_.snapshot_interval_s > 0) {
+    autosaver_ = std::thread([this] { autosave_loop(); });
+  }
 }
 
 RoutingService::~RoutingService() {
+  // The autosaver submits into the queue; stop it before admission closes.
+  if (autosaver_.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(autosave_mu_);
+      autosave_stop_ = true;
+    }
+    autosave_cv_.notify_all();
+    autosaver_.join();
+  }
   queue_.close();
   for (std::thread& t : workers_) t.join();
   // Workers have drained the queue: every accepted job's callback has fired.
@@ -148,7 +160,12 @@ void RoutingService::submit(RouteRequest req, RouteCallback done) {
   // between the origin and here; the queue span starts at this stamp.
   job.trace.enqueue_us =
       micros_between(now, std::chrono::steady_clock::now());
-  if (!queue_.try_push(std::move(job))) {
+  // Shard by session: fair dispatch is per layout, so one session's burst
+  // queues behind itself instead of in front of everyone else.  The key is
+  // copied out before the push — try_push moves the job (and the string
+  // the key aliases) on success.
+  const std::string shard = job.req.session_key;
+  if (!queue_.try_push(shard, std::move(job))) {
     // try_push moves only on success, so the rejected job still owns its
     // callback and can deliver the rejection.
     metrics_.requests_rejected.fetch_add(1, std::memory_order_relaxed);
@@ -194,7 +211,10 @@ void RoutingService::submit_pin(PinRequest req, PinCallback done) {
     job.submitted = now;
     job.trace.enqueue_us =
         micros_between(now, std::chrono::steady_clock::now());
-    if (!queue_.try_push(std::move(job))) {
+    // Derive shards under the *base session* key: the handle does not
+    // exist yet, and the copy-on-pin competes with that session's routes.
+    const std::string shard = job.pin_req.key;
+    if (!queue_.try_push(shard, std::move(job))) {
       metrics_.pin_ops_failed.fetch_add(1, std::memory_order_relaxed);
       PinResponse resp;
       resp.status = RouteStatus::kRejected;
@@ -207,9 +227,11 @@ void RoutingService::submit_pin(PinRequest req, PinCallback done) {
                     "no pin '" + req.key + "'");
   }
   // Advisory ownership pre-check (claims excepted — claiming an unowned
-  // pin is the point); re-checked authoritatively on the worker once this
+  // pin is the point; system sweeps too — the autosaver snapshots pins it
+  // does not own); re-checked authoritatively on the worker once this
   // op's turn comes up.
-  if (req.op != PinRequest::Op::kPin && !pins_.verify(pin, req.owner)) {
+  if (req.op != PinRequest::Op::kPin && !req.system &&
+      !pins_.verify(pin, req.owner)) {
     return fail_now(RouteStatus::kError, "pin '" + req.key +
                                              "' is owned by another "
                                              "connection");
@@ -225,7 +247,10 @@ void RoutingService::submit_pin(PinRequest req, PinCallback done) {
   job.submitted = now;
   job.trace.enqueue_us =
       micros_between(now, std::chrono::steady_clock::now());
-  if (!queue_.try_push(std::move(job))) {
+  // Mutations shard by handle: the pin's FIFO ticket chain and its queue
+  // shard agree on order, and a busy pin cannot starve other sessions.
+  const std::string shard = job.pin->handle;
+  if (!queue_.try_push(shard, std::move(job))) {
     metrics_.pin_ops_failed.fetch_add(1, std::memory_order_relaxed);
     job.pin->abort_turn(job.pin_ticket);
     PinResponse resp;
@@ -243,10 +268,64 @@ PinResponse RoutingService::pin_op(PinRequest req) {
 }
 
 void RoutingService::release_pins(
-    const std::shared_ptr<std::atomic<bool>>& owner) {
-  const std::size_t released = pins_.release_owner(owner);
+    const std::shared_ptr<std::atomic<bool>>& owner, bool preserve) {
+  const std::size_t released = pins_.release_owner(owner, preserve);
   if (released > 0) {
     metrics_.pins_released.fetch_add(released, std::memory_order_relaxed);
+  }
+}
+
+std::size_t RoutingService::final_save_pins() {
+  if (opts_.snapshot_dir.empty()) return 0;
+  std::size_t written = 0;
+  for (const auto& pin : pins_.all()) {
+    // Ride the ticket chain: a mutation still running on a worker (or
+    // queued ahead by a force-closed connection) holds an earlier ticket,
+    // so wait_turn is the per-pin quiesce barrier — the snapshot always
+    // serializes a committed state, never a half-applied op.
+    const std::uint64_t ticket = pin->acquire_ticket();
+    pin->wait_turn(ticket);
+    PinResponse resp;
+    save_pin(*pin, pin->handle, resp);
+    pin->finish_turn(ticket);
+    if (resp.ok()) {
+      ++written;
+      metrics_.pin_autosaves.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::cerr << "gcr_serve: final save of '" << pin->handle
+                << "' failed: " << resp.error << "\n";
+    }
+  }
+  return written;
+}
+
+void RoutingService::autosave_loop() {
+  const auto interval = std::chrono::seconds(opts_.snapshot_interval_s);
+  std::unique_lock<std::mutex> lock(autosave_mu_);
+  for (;;) {
+    if (autosave_cv_.wait_for(lock, interval,
+                              [&] { return autosave_stop_; })) {
+      return;
+    }
+    lock.unlock();
+    // Hot pins persist continuously: each registered pin gets a system
+    // SAVE job that rides its ticket chain like any client mutation, so
+    // the snapshot lands between ops, in submission order, without ever
+    // claiming the pin away from its owner.
+    for (const auto& pin : pins_.all()) {
+      PinRequest req;
+      req.op = PinRequest::Op::kSave;
+      req.key = pin->handle;
+      req.save_name = pin->handle;
+      req.owner = system_owner_;
+      req.system = true;
+      submit_pin(std::move(req), [this](PinResponse resp) {
+        if (resp.ok()) {
+          metrics_.pin_autosaves.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    lock.lock();
   }
 }
 
@@ -263,7 +342,11 @@ void RoutingService::submit_load(std::string text, std::string key,
   job.load_cancel = std::move(cancel);
   job.load_done = std::move(done);
   job.submitted = std::chrono::steady_clock::now();
-  if (!queue_.try_push(std::move(job))) {
+  // The load key IS the session content key, so a cold LOAD queues in the
+  // same shard as that session's routes — fair against other sessions,
+  // ordered within its own.
+  const std::string shard = job.load_key;
+  if (!queue_.try_push(shard, std::move(job))) {
     metrics_.loads_failed.fetch_add(1, std::memory_order_relaxed);
     LoadResponse resp;
     resp.error = "rejected";
@@ -283,7 +366,10 @@ void RoutingService::submit_gen(std::function<std::string()> synth,
   job.load_cancel = std::move(cancel);
   job.load_done = std::move(done);
   job.submitted = std::chrono::steady_clock::now();
-  if (!queue_.try_push(std::move(job))) {
+  // All GENs share one shard: synthesis has no session identity yet, and
+  // pooling them keeps a generation storm to one DRR turn per round.
+  const std::string shard = "gen";
+  if (!queue_.try_push(shard, std::move(job))) {
     metrics_.loads_failed.fetch_add(1, std::memory_order_relaxed);
     LoadResponse resp;
     resp.error = "rejected";
@@ -549,9 +635,12 @@ void RoutingService::run_pin_job(Job& job) {
         resp.error = "pin '" + pin.handle + "' is owned by another connection";
         break;
     }
-  } else if (!pins_.verify(job.pin, job.pin_req.owner)) {
+  } else if (job.pin_req.system ? pins_.find(job.pin->handle) != job.pin
+                                : !pins_.verify(job.pin, job.pin_req.owner)) {
     // The pin was released (disconnect or UNPIN racing ahead in another
-    // claim cycle) between admission and this turn.
+    // claim cycle) between admission and this turn.  System sweeps skip the
+    // ownership half of the check — the autosaver saves pins it does not
+    // own — but still bail if the pin left the registry.
     resp.status = RouteStatus::kCancelled;
     resp.error = "pin released";
   } else if (job.pin_req.op == PinRequest::Op::kUnpin) {
@@ -1003,6 +1092,7 @@ MetricsSnapshot RoutingService::snapshot() const {
   s.pin_ops_ok = metrics_.pin_ops_ok.load(std::memory_order_relaxed);
   s.pin_ops_failed = metrics_.pin_ops_failed.load(std::memory_order_relaxed);
   s.pin_saves = metrics_.pin_saves.load(std::memory_order_relaxed);
+  s.pin_autosaves = metrics_.pin_autosaves.load(std::memory_order_relaxed);
   s.pins_active = pins_.size();
   s.stage_cache_hits = stage_cache_.hits();
   s.stage_cache_misses = stage_cache_.misses();
@@ -1025,6 +1115,13 @@ MetricsSnapshot RoutingService::snapshot() const {
   s.protocol_version = kProtocolVersion;
   s.queue_depth = queue_.size();
   s.queue_capacity = queue_.capacity();
+  s.queue_shards = queue_.shards();
+  s.queue_fair_rounds = queue_.fair_rounds();
+  s.queue_oldest_wait_us = queue_.oldest_wait_us();
+  for (const auto& sh : queue_.shard_stats()) {
+    s.queue_shard_stats.push_back(
+        {sh.depth, sh.enqueued, sh.served, sh.head_wait_us});
+  }
   s.workers = workers_.size();
   s.cache_hits = cache_.hits();
   s.cache_misses = cache_.misses();

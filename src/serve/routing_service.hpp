@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
 #include <functional>
 #include <future>
@@ -16,19 +17,23 @@
 #include "core/optimize.hpp"
 #include "pipeline/stage.hpp"
 #include "pipeline/stage_cache.hpp"
-#include "serve/job_queue.hpp"
+#include "serve/fair_queue.hpp"
 #include "serve/layout_session.hpp"
 #include "serve/metrics.hpp"
 #include "serve/pinned_session.hpp"
 #include "serve/trace.hpp"
 
 /// \file routing_service.hpp
-/// The serving facade: a persistent worker pool draining a bounded job
-/// queue of route requests against cached layout sessions.
+/// The serving facade: a persistent worker pool draining a bounded,
+/// weighted-fair job queue of route requests against cached layout
+/// sessions.
 ///
 /// Request lifecycle:
 ///   submit  -> session resolved (miss fails fast, nothing queued)
-///           -> admission through the bounded queue (full = rejected)
+///           -> admission through the bounded fair queue (full = rejected);
+///              jobs shard by session key (pins by handle, LOADs by content
+///              key, GENs together) and dequeue by deficit round-robin, so
+///              one saturating session cannot starve its neighbors
 ///   worker  -> cancellation and deadline checked at dequeue
 ///           -> NetlistRouter::route_all over the session's shared
 ///              SearchEnvironment (no per-request index builds)
@@ -176,6 +181,10 @@ struct PinRequest {
   /// Wire spacing halo for committed segments (COMMIT/REROUTE).
   geom::Coord wire_halo = 1;
   std::shared_ptr<std::atomic<bool>> owner;
+  /// Service-internal request (the periodic autosave sweep): bypasses the
+  /// ownership gate so an owned pin can be snapshotted without claiming
+  /// it.  Never set by the protocol parser — unreachable from the wire.
+  bool system = false;
 };
 
 struct PinResponse {
@@ -224,6 +233,12 @@ class RoutingService {
     std::uint64_t slow_threshold_ms = 0;
     /// How many slow-request traces the TRACE verb can dump.
     std::size_t slow_ring_capacity = 32;
+    /// Background SAVE period for registered pins (the daemon's
+    /// --snapshot-interval-s): every interval, each pin gets a system SAVE
+    /// job riding its ticket chain, so a crash loses at most one
+    /// interval's mutations instead of everything since the last explicit
+    /// SAVE.  0 = disabled; requires snapshot_dir.
+    std::size_t snapshot_interval_s = 0;
   };
 
   RoutingService() : RoutingService(Options{}) {}
@@ -286,11 +301,22 @@ class RoutingService {
   /// Closed-loop convenience: submit_pin and wait.
   [[nodiscard]] PinResponse pin_op(PinRequest req);
 
-  /// Destroys every pin owned by \p owner — the disconnect auto-release
+  /// Releases every pin owned by \p owner — the disconnect auto-release
   /// hook, called by both front-ends when a connection ends (the epoll
   /// loop from close_connection, the blocking loop at serve_connection
-  /// exit).
-  void release_pins(const std::shared_ptr<std::atomic<bool>>& owner);
+  /// exit).  With \p preserve (the event loop's drain path during
+  /// shutdown) the pins stay registered unowned instead of being
+  /// destroyed, so final_save_pins can still snapshot them.
+  void release_pins(const std::shared_ptr<std::atomic<bool>>& owner,
+                    bool preserve = false);
+
+  /// Shutdown final SAVE: snapshots every registered pin to snapshot_dir
+  /// under its handle name, bracketing each save on the pin's ticket chain
+  /// — a mutation still in flight (or queued by a force-closed
+  /// connection) finishes before its pin serializes, never mid-op.  Call
+  /// after the front-end has drained; no-op without a snapshot_dir.
+  /// Returns how many snapshots were written.
+  std::size_t final_save_pins();
 
   [[nodiscard]] PinRegistry& pins() noexcept { return pins_; }
 
@@ -373,6 +399,7 @@ class RoutingService {
   };
 
   void worker_loop();
+  void autosave_loop();
   void run_load_job(Job& job);
   void run_stage_job(Job& job, RouteResponse& resp);
   void run_pin_job(Job& job);
@@ -386,7 +413,7 @@ class RoutingService {
   Options opts_;
   SessionCache cache_;
   pipeline::StageCache stage_cache_;
-  BoundedQueue<Job> queue_;
+  FairQueue<Job> queue_;
   ServiceMetrics metrics_;
   PinRegistry pins_;
   std::chrono::steady_clock::time_point start_;
@@ -394,7 +421,15 @@ class RoutingService {
   std::atomic<std::uint64_t> trace_ids_{0};
   mutable std::mutex extra_stats_mu_;
   std::function<std::string()> extra_stats_;
+  /// The autosave sweep's connection identity: submitted system SAVEs need
+  /// an owner token (never flipped — the service does not hang up).
+  std::shared_ptr<std::atomic<bool>> system_owner_ =
+      std::make_shared<std::atomic<bool>>(false);
+  std::mutex autosave_mu_;
+  std::condition_variable autosave_cv_;
+  bool autosave_stop_ = false;
   std::vector<std::thread> workers_;
+  std::thread autosaver_;  ///< running iff snapshot_interval_s > 0
 };
 
 }  // namespace gcr::serve

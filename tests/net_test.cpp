@@ -11,6 +11,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -24,6 +25,7 @@
 #include "io/text_format.hpp"
 #include "net/event_loop.hpp"
 #include "net/frame_parser.hpp"
+#include "net/reactor_pool.hpp"
 #include "net/socket.hpp"
 #include "serve/fd_stream.hpp"
 #include "serve/layout_session.hpp"
@@ -33,6 +35,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/socket.h>
+#include <unistd.h>
 #endif
 
 namespace {
@@ -997,6 +1000,118 @@ TEST(EventLoop, StatsCarriesLoopHealthAndTraceWorksOverTcp) {
   EXPECT_EQ(server.stats().connections.load(), 0u);
   EXPECT_GT(server.stats().bytes_out.load(), 0u);
   EXPECT_GT(server.stats().wakeups.load(), 0u);
+}
+
+TEST(EventLoop, UnixListenerServesSameProtocolAndUnlinksOnExit) {
+  // --listen-unix: a second accept source on the same loop, same framing,
+  // same Connection path.  The listener owns the path: bound at construction,
+  // unlinked when the loop is torn down.
+  const std::string path =
+      "/tmp/gcr_net_test_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(path.c_str());
+  const std::string text = workload_text(9, 12, 7);
+  const std::string key = serve::SessionCache::content_key(text);
+  {
+    net::EventLoopOptions lopts;
+    lopts.unix_path = path;
+    TestServer server(lopts);
+
+    const net::ScopedFd un = net::unix_connect(path);
+    serve::FdTransport transport(un.get());
+    send_all(un.get(), load_frame(text) + "ROUTE " + key + "\nQUIT\n");
+    const Frame load = read_frame(transport.in());
+    EXPECT_EQ(load.status.rfind("OK ", 0), 0u) << load.status;
+    const Frame route = read_frame(transport.in());
+    ASSERT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
+    EXPECT_NE(route.status.find("routed="), std::string::npos);
+    EXPECT_FALSE(route.body.empty());
+    const Frame bye = read_frame(transport.in());
+    EXPECT_EQ(bye.status, "OK 0 bye");
+
+    // The TCP listener coexists on the same loop — and both transports are
+    // the same service: the unix-side LOAD is already cached here.
+    const net::ScopedFd tcp = net::tcp_connect(server.port());
+    serve::FdTransport ttrans(tcp.get());
+    send_all(tcp.get(), "ROUTE " + key + "\nQUIT\n");
+    const Frame troute = read_frame(ttrans.in());
+    EXPECT_EQ(troute.status.rfind("OK ", 0), 0u) << troute.status;
+  }
+  // Loop gone ⇒ path gone (unlink-on-exit), so restarts never hit EADDRINUSE.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ReactorPool, ShardsConnectionsAndAggregatesLoopStats) {
+  // Four reactors, one port, one service.  Connections land on
+  // kernel-chosen loops; STATS must carry the aggregate loop_* block (old
+  // consumers), the reactor count, and the per-loop loop<i>_* shards.
+  serve::RoutingService::Options sopts;
+  sopts.workers = 2;
+  serve::RoutingService service(sopts);
+  net::ReactorPoolOptions popts;
+  popts.reactors = 4;
+  net::ReactorPool pool(service, popts);
+  ASSERT_EQ(pool.size(), 4u);
+  std::thread pool_thread([&] { pool.run(); });
+
+  const std::string text = workload_text(9, 12, 7);
+  const std::string key = serve::SessionCache::content_key(text);
+  {
+    // Enough connections that the reuseport hash almost surely spreads
+    // them; correctness must hold regardless of the actual spread.
+    std::vector<net::ScopedFd> socks;
+    for (int i = 0; i < 8; ++i) {
+      socks.push_back(net::tcp_connect(pool.port()));
+    }
+    for (std::size_t i = 0; i < socks.size(); ++i) {
+      serve::FdTransport transport(socks[i].get());
+      send_all(socks[i].get(), load_frame(text) + "ROUTE " + key + "\n");
+      const Frame load = read_frame(transport.in());
+      EXPECT_EQ(load.status.rfind("OK ", 0), 0u) << load.status;
+      const Frame route = read_frame(transport.in());
+      EXPECT_EQ(route.status.rfind("OK ", 0), 0u) << route.status;
+    }
+
+    // One more connection asks for STATS while the others are still open.
+    const net::ScopedFd ssock = net::tcp_connect(pool.port());
+    serve::FdTransport stransport(ssock.get());
+    send_all(ssock.get(), "STATS\nQUIT\n");
+    const Frame stats = read_frame(stransport.in());
+    ASSERT_EQ(stats.status.rfind("OK ", 0), 0u) << stats.status;
+    EXPECT_NE(stats.body.find("loop_reactors 4"), std::string::npos)
+        << stats.body;
+    // Aggregate block: 9 open connections across the pool, 9 accepts total.
+    EXPECT_NE(stats.body.find("loop_connections 9"), std::string::npos)
+        << stats.body;
+    EXPECT_NE(stats.body.find("loop_accepted 9"), std::string::npos);
+    EXPECT_NE(stats.body.find("loop_lag_p99_us "), std::string::npos);
+    // Per-loop shards exist for every reactor, and the shard counters sum
+    // to the aggregate.
+    std::uint64_t accepted_sum = 0;
+    for (int i = 0; i < 4; ++i) {
+      const std::string shard_key =
+          "loop" + std::to_string(i) + "_accepted ";
+      const std::size_t at = stats.body.find(shard_key);
+      ASSERT_NE(at, std::string::npos) << shard_key << "\n" << stats.body;
+      accepted_sum += std::strtoull(
+          stats.body.c_str() + at + shard_key.size(), nullptr, 10);
+      EXPECT_NE(stats.body.find("loop" + std::to_string(i) + "_commands "),
+                std::string::npos);
+    }
+    EXPECT_EQ(accepted_sum, 9u);
+    const Frame bye = read_frame(stransport.in());
+    EXPECT_EQ(bye.status, "OK 0 bye");
+  }
+
+  // All clients hung up: a single stop() drains every loop and run()
+  // returns — the join below is the multi-reactor shutdown barrier.
+  pool.stop();
+  pool_thread.join();
+  std::uint64_t accepted = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    accepted += pool.loop(i).stats().accepted.load();
+    EXPECT_EQ(pool.loop(i).stats().connections.load(), 0u);
+  }
+  EXPECT_EQ(accepted, 9u);
 }
 
 #else  // !__linux__

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -19,6 +22,7 @@
 #include "core/search_environment.hpp"
 #include "io/route_dump.hpp"
 #include "io/text_format.hpp"
+#include "serve/fair_queue.hpp"
 #include "serve/job_queue.hpp"
 #include "serve/layout_session.hpp"
 #include "serve/metrics.hpp"
@@ -140,6 +144,138 @@ TEST(BoundedQueue, BlockingHandoff) {
   EXPECT_EQ(q.pop(), 7);
   EXPECT_EQ(q.pop(), 8);
   producer.join();
+}
+
+// ---------------------------------------------------------------- fair queue
+
+/// Drains the whole queue (which must already be fully loaded) and returns
+/// the dequeue order.
+std::vector<int> drain_order(serve::FairQueue<int>& q) {
+  std::vector<int> order;
+  while (q.size() > 0) order.push_back(*q.pop());
+  return order;
+}
+
+TEST(FairQueue, SaturationAndCloseMatchBoundedQueueSemantics) {
+  serve::FairQueue<int> q(2);
+  EXPECT_TRUE(q.try_push("a", 1));
+  EXPECT_TRUE(q.try_push("b", 2));
+  EXPECT_FALSE(q.try_push("c", 3));  // capacity is TOTAL, across shards
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_EQ(q.shards(), 2u);
+
+  q.close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.try_push("a", 4));  // closed: no admission
+  EXPECT_NE(q.pop(), std::nullopt);  // but queued jobs drain
+  EXPECT_NE(q.pop(), std::nullopt);
+  EXPECT_EQ(q.pop(), std::nullopt);  // closed + drained
+  EXPECT_EQ(q.shards(), 0u);         // drained shards are retired
+}
+
+TEST(FairQueue, SingleKeyPreservesFifoOrder) {
+  // One shard degenerates to the old bounded FIFO — the N=1 differential
+  // at the queue level.
+  serve::FairQueue<int> q(8);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(q.try_push("only", int{i}));
+  EXPECT_EQ(drain_order(q), (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(FairQueue, DeficitRoundRobinBoundsNeighborBurst) {
+  // Session "hot" has 5 queued jobs before "idle" submits one.  Under the
+  // old global FIFO the idle job waits behind all five; under DRR it waits
+  // behind exactly one (the ring serves each shard once per round).
+  serve::FairQueue<int> q(16);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push("hot", 100 + i));
+  ASSERT_TRUE(q.try_push("idle", 1));
+
+  const std::vector<int> order = drain_order(q);
+  EXPECT_EQ(order, (std::vector<int>{100, 1, 101, 102, 103, 104}));
+  EXPECT_GT(q.fair_rounds(), 0u);
+}
+
+TEST(FairQueue, WeightsScaleServicePerRound) {
+  // weight("hot") = 3: the hot shard drains three jobs per ring pass, the
+  // idle shard one — proportional service, still per-key FIFO.
+  serve::FairQueue<int> q(16);
+  q.set_weight("hot", 3);
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(q.try_push("hot", 100 + i));
+  for (int i = 0; i < 2; ++i) ASSERT_TRUE(q.try_push("idle", int{i}));
+  EXPECT_EQ(drain_order(q),
+            (std::vector<int>{100, 101, 102, 0, 103, 104, 105, 1}));
+}
+
+TEST(FairQueue, ShardStatsExposeSkew) {
+  serve::FairQueue<int> q(16);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(q.try_push("hot", int{i}));
+  ASSERT_TRUE(q.try_push("idle", 9));
+
+  const auto stats = q.shard_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].key, "hot");
+  EXPECT_EQ(stats[0].depth, 4u);
+  EXPECT_EQ(stats[0].enqueued, 4u);
+  EXPECT_EQ(stats[0].served, 0u);
+  EXPECT_EQ(stats[1].key, "idle");
+  EXPECT_EQ(stats[1].depth, 1u);
+
+  (void)q.pop();  // hot serves one
+  const auto after = q.shard_stats();
+  // The served shard rotated to the ring's back; idle now fronts.
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[0].key, "idle");
+  EXPECT_EQ(after[1].key, "hot");
+  EXPECT_EQ(after[1].served, 1u);
+  EXPECT_EQ(after[1].depth, 3u);
+  EXPECT_GE(q.oldest_wait_us(), 0u);
+}
+
+TEST(RoutingService, HotSessionCannotStarveIdleNeighbor) {
+  // The fairness differential at the service level: one worker, a 50-deep
+  // burst on session A, then a single request on session B.  Weighted-fair
+  // dispatch must answer B near the front (it waits behind at most one A
+  // job per DRR round from the moment it queues); the retired global FIFO
+  // would have answered it dead last.
+  const std::string text_a = workload_text(9, 12, 7);
+  const std::string text_b = workload_text(9, 12, 8);
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  opts.queue_capacity = 128;
+  serve::RoutingService service(opts);
+  const auto session_a = service.load(text_a);
+  const auto session_b = service.load(text_b);
+
+  constexpr std::size_t kBurst = 50;
+  std::mutex mu;
+  std::vector<std::string> completions;
+  std::condition_variable cv;
+  const auto on_done = [&](const std::string& tag) {
+    return [&, tag](serve::RouteResponse resp) {
+      EXPECT_TRUE(resp.ok()) << resp.error;
+      const std::lock_guard<std::mutex> lock(mu);
+      completions.push_back(tag);
+      cv.notify_all();
+    };
+  };
+  for (std::size_t i = 0; i < kBurst; ++i) {
+    serve::RouteRequest req;
+    req.session_key = session_a->key;
+    service.submit(std::move(req), on_done("A"));
+  }
+  serve::RouteRequest req;
+  req.session_key = session_b->key;
+  service.submit(std::move(req), on_done("B"));
+
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return completions.size() == kBurst + 1; });
+  const auto b_pos = static_cast<std::size_t>(
+      std::find(completions.begin(), completions.end(), "B") -
+      completions.begin());
+  // The worker may legitimately drain a few A jobs before B is admitted,
+  // but B must never sink to the tail the FIFO would have left it at.
+  EXPECT_LT(b_pos, kBurst / 2) << "idle session starved behind hot burst";
+  EXPECT_GT(service.snapshot().queue_fair_rounds, 0u);
 }
 
 // ------------------------------------------------------------ route service

@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/search_environment.hpp"
@@ -469,6 +471,144 @@ TEST(Protocol, HelloAdvertisesVerbTable) {
   EXPECT_TRUE(saw_pin);
   EXPECT_TRUE(saw_save);
   EXPECT_TRUE(saw_reroute_nets);
+}
+
+// --------------------------------------------------- drain-time final save
+
+TEST(FinalSave, RidesTicketChainSoInFlightMutationsLandInSnapshot) {
+  TempDir dir;
+  const std::string text = workload_text(9, 12, 21);
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  opts.snapshot_dir = dir.path.string();
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+  const auto owner = make_owner();
+
+  serve::PinRequest pin;
+  pin.op = serve::PinRequest::Op::kPin;
+  pin.key = session->key;
+  pin.owner = owner;
+  const serve::PinResponse pinned = service.pin_op(std::move(pin));
+  ASSERT_TRUE(pinned.ok()) << pinned.error;
+
+  // The regression scenario: SIGINT lands while a COMMIT is still in the
+  // pin's ticket chain.  The final save acquires a LATER ticket, so it must
+  // observe the committed state — never a torn or pre-commit snapshot.
+  serve::PinRequest commit;
+  commit.op = serve::PinRequest::Op::kCommit;
+  commit.key = pinned.handle;
+  for (const auto& net : session->layout.nets()) {
+    commit.nets.push_back(net.name());
+  }
+  commit.owner = owner;
+  std::atomic<bool> commit_done{false};
+  std::atomic<std::size_t> commit_routed{0};
+  service.submit_pin(std::move(commit), [&](serve::PinResponse resp) {
+    EXPECT_TRUE(resp.ok()) << resp.error;
+    commit_routed.store(resp.routed);
+    commit_done.store(true);
+  });
+
+  EXPECT_EQ(service.final_save_pins(), 1u);
+  // The ticket chain orders the *mutation* before the save; the response
+  // callback fires just after finish_turn, so give it a beat.
+  for (int i = 0; i < 5000 && !commit_done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(commit_done.load()) << "commit never completed";
+  // Incremental commits leave the halo of each committed net in place, so
+  // not every net of the workload routes — what matters is that the
+  // snapshot holds the commit's *final* count, never a torn prefix of it.
+  EXPECT_GT(commit_routed.load(), 0u);
+
+  const fs::path file = dir.path / pinned.handle;
+  ASSERT_TRUE(fs::exists(file));
+  std::ifstream is(file, std::ios::binary);
+  std::stringstream blob;
+  blob << is.rdbuf();
+  const serve::PinSnapshot snap = serve::decode_snapshot(blob.str());
+  EXPECT_EQ(snap.handle, pinned.handle);
+  EXPECT_EQ(snap.committed.size(), commit_routed.load())
+      << "final save overtook the ticket chain (torn snapshot)";
+  EXPECT_EQ(service.snapshot().pin_autosaves, 1u);
+
+  // Drain-style release: ownership drops (the connection is gone) but the
+  // pin survives, unowned, for later saves and re-claims...
+  service.release_pins(owner, /*preserve=*/true);
+  EXPECT_EQ(service.snapshot().pins_active, 1u);
+
+  // ...and the snapshot restores into a fresh service where a successor
+  // can claim the handle.
+  serve::RoutingService::Options ropts;
+  ropts.workers = 1;
+  ropts.restore_dir = dir.path.string();
+  serve::RoutingService restored(ropts);
+  EXPECT_EQ(restored.snapshot().pins_restored, 1u);
+  serve::PinRequest claim;
+  claim.op = serve::PinRequest::Op::kPin;
+  claim.key = pinned.handle;
+  claim.owner = make_owner();
+  EXPECT_TRUE(restored.pin_op(std::move(claim)).ok());
+}
+
+TEST(FinalSave, NonPreservingReleaseStillDestroysPins) {
+  // The steady-state disconnect path must keep its old semantics: without
+  // preserve, releasing the owner erases the pin outright.
+  const std::string text = workload_text(9, 12, 21);
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+  const auto owner = make_owner();
+
+  serve::PinRequest pin;
+  pin.op = serve::PinRequest::Op::kPin;
+  pin.key = session->key;
+  pin.owner = owner;
+  ASSERT_TRUE(service.pin_op(std::move(pin)).ok());
+  EXPECT_EQ(service.snapshot().pins_active, 1u);
+
+  service.release_pins(owner);
+  EXPECT_EQ(service.snapshot().pins_active, 0u);
+  EXPECT_EQ(service.final_save_pins(), 0u);  // no dir, nothing registered
+}
+
+TEST(FinalSave, PeriodicAutosaveSweepsHotPins) {
+  TempDir dir;
+  const std::string text = workload_text(9, 12, 22);
+  serve::RoutingService::Options opts;
+  opts.workers = 1;
+  opts.snapshot_dir = dir.path.string();
+  opts.snapshot_interval_s = 1;
+  serve::RoutingService service(opts);
+  const auto session = service.load(text);
+  const auto owner = make_owner();
+
+  serve::PinRequest pin;
+  pin.op = serve::PinRequest::Op::kPin;
+  pin.key = session->key;
+  pin.owner = owner;
+  const serve::PinResponse pinned = service.pin_op(std::move(pin));
+  ASSERT_TRUE(pinned.ok()) << pinned.error;
+
+  // The sweep runs every second and snapshots pins it does NOT own (the
+  // system bypass); the artifact is named by handle, ready for
+  // --restore-dir.
+  const fs::path file = dir.path / pinned.handle;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  while (!fs::exists(file) && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_TRUE(fs::exists(file)) << "autosave never wrote " << file;
+  EXPECT_GE(service.snapshot().pin_autosaves, 1u);
+
+  // The blob on disk is a valid snapshot of this pin.
+  std::ifstream is(file, std::ios::binary);
+  std::stringstream blob;
+  blob << is.rdbuf();
+  EXPECT_EQ(serve::decode_snapshot(blob.str()).handle, pinned.handle);
 }
 
 }  // namespace
